@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/ca"
+	"resilience/internal/dcsp"
+	"resilience/internal/experiments"
+	"resilience/internal/graph"
+	"resilience/internal/magent"
+	"resilience/internal/maintain"
+	"resilience/internal/rng"
+)
+
+// benchExperiment runs one registered experiment workload per iteration.
+// Quick mode keeps the full sweep of `go test -bench=.` tractable while
+// exercising exactly the code paths that regenerate each table; run the
+// cmd/resilience CLI for full-size tables.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.Config{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per experiment table/figure (see DESIGN.md's index).
+
+func BenchmarkE01BruneauTriangle(b *testing.B)   { benchExperiment(b, "e01") }
+func BenchmarkE02KRecoverability(b *testing.B)   { benchExperiment(b, "e02") }
+func BenchmarkE03Spacecraft(b *testing.B)        { benchExperiment(b, "e03") }
+func BenchmarkE04Maintainability(b *testing.B)   { benchExperiment(b, "e04") }
+func BenchmarkE05ConcaveFitness(b *testing.B)    { benchExperiment(b, "e05") }
+func BenchmarkE06DiversitySurvival(b *testing.B) { benchExperiment(b, "e06") }
+func BenchmarkE07Knockout(b *testing.B)          { benchExperiment(b, "e07") }
+func BenchmarkE08Stickleback(b *testing.B)       { benchExperiment(b, "e08") }
+func BenchmarkE09RAID(b *testing.B)              { benchExperiment(b, "e09") }
+func BenchmarkE10DesignDiversity(b *testing.B)   { benchExperiment(b, "e10") }
+func BenchmarkE11ForestFire(b *testing.B)        { benchExperiment(b, "e11") }
+func BenchmarkE12Portfolio(b *testing.B)         { benchExperiment(b, "e12") }
+func BenchmarkE13MAPE(b *testing.B)              { benchExperiment(b, "e13") }
+func BenchmarkE14EarlyWarning(b *testing.B)      { benchExperiment(b, "e14") }
+func BenchmarkE15BlackSwan(b *testing.B)         { benchExperiment(b, "e15") }
+func BenchmarkE16SeaWall(b *testing.B)           { benchExperiment(b, "e16") }
+func BenchmarkE17ModeSwitch(b *testing.B)        { benchExperiment(b, "e17") }
+func BenchmarkE18Tradeoff(b *testing.B)          { benchExperiment(b, "e18") }
+func BenchmarkE19Sandpile(b *testing.B)          { benchExperiment(b, "e19") }
+func BenchmarkE20ScaleFree(b *testing.B)         { benchExperiment(b, "e20") }
+func BenchmarkE21Reserves(b *testing.B)          { benchExperiment(b, "e21") }
+func BenchmarkE22Interop(b *testing.B)           { benchExperiment(b, "e22") }
+
+// Extension experiments (the paper's §4–5 open problems).
+
+func BenchmarkE23TigerTeam(b *testing.B)      { benchExperiment(b, "e23") }
+func BenchmarkE24Coordination(b *testing.B)   { benchExperiment(b, "e24") }
+func BenchmarkE25ShockInference(b *testing.B) { benchExperiment(b, "e25") }
+func BenchmarkE26Granularity(b *testing.B)    { benchExperiment(b, "e26") }
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// cost of the core primitives that every experiment leans on.
+
+// BenchmarkAblationGreedyVsOptimalRepair compares the greedy repairer
+// against BFS-optimal repair on the same damaged configuration.
+func BenchmarkAblationGreedyVsOptimalRepair(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rep  dcsp.Repairer
+	}{
+		{"greedy", dcsp.GreedyRepairer{}},
+		{"optimal", dcsp.OptimalRepairer{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			r := rng.New(1)
+			c := dcsp.AllOnes{N: 24}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := bitstring.Ones(24)
+				s.FlipRandom(5, r)
+				if _, err := dcsp.Recover(s, c, tc.rep, 1, 10, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolicySynthesis measures Baral–Eiter value iteration
+// at two state-space sizes, documenting the polynomial growth E04 relies
+// on.
+func BenchmarkAblationPolicySynthesis(b *testing.B) {
+	for _, n := range []int{256, 2048} {
+		b.Run("states="+strconv.Itoa(n), func(b *testing.B) {
+			sys, err := maintain.NewSystem(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.MarkNormal(0); err != nil {
+				b.Fatal(err)
+			}
+			act := sys.AddAction("repair")
+			for i := 1; i < n; i++ {
+				if err := sys.AddTransition(maintain.StateID(i), act, maintain.StateID(i-1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.SynthesizePolicy(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSandpileDrive measures the per-grain cost of the
+// relaxation cascade at the critical state.
+func BenchmarkAblationSandpileDrive(b *testing.B) {
+	r := rng.New(1)
+	s, err := ca.NewSandpile(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		s.AddRandomGrain(r) // reach SOC before timing
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddRandomGrain(r)
+	}
+}
+
+// BenchmarkAblationBAGeneration measures scale-free graph construction.
+func BenchmarkAblationBAGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i))
+		if _, err := graph.BarabasiAlbert(2000, 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWorldStep measures one tick of the multi-agent
+// testbed at the default configuration.
+func BenchmarkAblationWorldStep(b *testing.B) {
+	r := rng.New(1)
+	cfg := magent.DefaultConfig()
+	env, _, err := magent.MaskScenario{CareBits: 6, ShiftDistance: 2, ShiftEvery: 100, Shifts: 0}.Generate(cfg.GenomeLen, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := magent.NewWorld(cfg, env, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkE27Cascade(b *testing.B)      { benchExperiment(b, "e27") }
+func BenchmarkE28MutualAid(b *testing.B)    { benchExperiment(b, "e28") }
+func BenchmarkE29Anticipation(b *testing.B) { benchExperiment(b, "e29") }
+func BenchmarkE30CoRegulation(b *testing.B) { benchExperiment(b, "e30") }
+
+func BenchmarkE31MayStability(b *testing.B) { benchExperiment(b, "e31") }

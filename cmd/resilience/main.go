@@ -1,0 +1,170 @@
+// Command resilience runs the paper-reproduction experiments indexed in
+// DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	resilience list                 # list all experiments
+//	resilience <id> [flags]         # run one experiment (e.g. e05)
+//	resilience all [flags]          # run every experiment
+//	resilience bok                  # print the resilience strategy catalogue
+//	resilience scenario FILE.json   # run a declarative chaos scenario
+//
+// Flags:
+//
+//	-seed N    random seed (default 42)
+//	-quick     shrink workloads for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"resilience/internal/core"
+	"resilience/internal/experiments"
+	"resilience/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		usage(w)
+		return fmt.Errorf("missing command")
+	}
+	cmd := args[0]
+	rest := args[1:]
+	// Allow the scenario path before or after flags: hoist the first
+	// non-flag token so `scenario file.json -seed 7` also parses.
+	var positional []string
+	var flagArgs []string
+	for i := 0; i < len(rest); i++ {
+		a := rest[i]
+		if len(a) > 0 && a[0] != '-' && len(positional) == 0 && len(flagArgs) == 0 {
+			positional = append(positional, a)
+			continue
+		}
+		flagArgs = append(flagArgs, rest[i:]...)
+		break
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(w)
+	seed := fs.Uint64("seed", 42, "random seed")
+	quick := fs.Bool("quick", false, "shrink workloads for a fast run")
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	positional = append(positional, fs.Args()...)
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	switch cmd {
+	case "help", "-h", "--help":
+		usage(w)
+		return nil
+	case "list":
+		return list(w)
+	case "bok":
+		return bok(w)
+	case "scenario":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: resilience scenario <file.json> [-seed N]")
+		}
+		return runScenario(w, positional[0], *seed)
+	case "all":
+		for _, e := range experiments.All() {
+			start := time.Now()
+			if err := e.Run(w, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintf(w, "[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	default:
+		e, ok := experiments.Find(cmd)
+		if !ok {
+			usage(w)
+			return fmt.Errorf("unknown command %q", cmd)
+		}
+		return e.Run(w, cfg)
+	}
+}
+
+func list(w io.Writer) error {
+	for _, e := range experiments.All() {
+		fmt.Fprintf(w, "%s  %-55s %s\n", e.ID, e.Title, e.Source)
+	}
+	return nil
+}
+
+func bok(w io.Writer) error {
+	for _, entry := range core.Catalogue() {
+		kind := "active"
+		if entry.Kind.Passive() {
+			kind = "passive"
+		}
+		fmt.Fprintf(w, "%s (%s, §%s)\n", entry.Kind, kind, entry.Section)
+		fmt.Fprintf(w, "  %s\n", entry.Summary)
+		for _, ex := range entry.Examples {
+			fmt.Fprintf(w, "  - %s\n", ex)
+		}
+		fmt.Fprintf(w, "  code: %v\n", entry.Packages)
+		if entry.Knob != "" {
+			fmt.Fprintf(w, "  knob: %s\n", entry.Knob)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runScenario(w io.Writer, path string, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := scenario.Load(f)
+	if err != nil {
+		return err
+	}
+	res, err := doc.Run(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario: %s (%d steps, seed %d)\n", res.Name, res.Trace.Len(), seed)
+	for _, inj := range res.Injections {
+		fmt.Fprintf(w, "  step %3d: %s\n", inj.Step, inj.Description)
+	}
+	fmt.Fprintf(w, "quality  %s\n", res.Trace.Sparkline(64))
+	rep := res.Profile.Report
+	fmt.Fprintf(w, "loss=%.1f normalized=%.4f robustness=%.1f recovered=%v grade=%s\n",
+		rep.Loss, rep.Normalized, rep.Robustness, res.Profile.Recovered, res.Profile.Grade)
+	if res.EmergencySteps > 0 {
+		fmt.Fprintf(w, "emergency mode: %d steps\n", res.EmergencySteps)
+	}
+	for _, e := range rep.Episodes {
+		status := fmt.Sprintf("recovered in %.0f steps", e.RecoveryTime)
+		if !e.Recovered() {
+			status = "NOT RECOVERED"
+		}
+		fmt.Fprintf(w, "episode at t=%.0f: depth %.1f, loss %.1f, %s\n",
+			e.StartTime, e.Depth, e.Loss, status)
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick]
+
+commands:
+  list                    list all experiments
+  all                     run every experiment
+  bok                     print the resilience strategy catalogue
+  e01..e31                run one experiment
+  scenario <file.json>    run a declarative chaos scenario`)
+}

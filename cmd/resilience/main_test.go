@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"e01", "e10", "e22"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunBok(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"bok"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"redundancy", "diversity", "adaptability", "mode-switching"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("bok output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"e01", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "e01") {
+		t.Fatal("experiment output missing header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("want error for no command")
+	}
+	if err := run([]string{"e99"}, &buf); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+	if err := run([]string{"e01", "-bogusflag"}, &buf); err == nil {
+		t.Error("want flag parse error")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"help"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "usage:") {
+		t.Fatal("help output missing usage")
+	}
+}
+
+func TestRunSeedFlag(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"e08", "-quick", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"e08", "-quick", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed should reproduce identical output")
+	}
+}
+
+func TestRunScenarioCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"scenario", "../../examples/scenario/grid.json", "-seed", "42"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"regional grid", "crash-group(nuclear)", "grade="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario output missing %q:\n%s", want, out)
+		}
+	}
+	// Flags-before-path order also parses.
+	var buf2 bytes.Buffer
+	if err := run([]string{"scenario", "-seed", "42", "../../examples/scenario/grid.json"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("flag order changed the result")
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"scenario"}, &buf); err == nil {
+		t.Error("want usage error for missing path")
+	}
+	if err := run([]string{"scenario", "/nonexistent.json"}, &buf); err == nil {
+		t.Error("want error for missing file")
+	}
+}

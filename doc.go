@@ -1,0 +1,25 @@
+// Package resilience is a Go reproduction of "Towards Systems Resilience"
+// (Maruyama & Minami, 1st Workshop on Systems Resilience at DSN 2013;
+// extended version in Innovation and Supply Chain Management 7(3), 2013).
+//
+// The library implements the paper's formal model of resilience — dynamic
+// constraint satisfaction over bit-string configurations, k-recoverability
+// and K-maintainability, the Bruneau resilience triangle, the diversity
+// index and replicator dynamics, and the evolutionary multi-agent testbed —
+// together with every substrate its cross-domain evidence relies on:
+// synthetic genomes, RAID arrays, N-version voting, forest-fire and
+// sandpile cellular automata, scale-free networks with SIR epidemics,
+// portfolios, heavy-tailed X-event statistics, a component service system
+// with chaos-style fault injection, a MAPE-K autonomic loop, and a
+// mode-switching controller.
+//
+// Entry points:
+//
+//   - internal/core — the public façade: strategy catalogue (BoK),
+//     scenario runner, resilience profiles and grades, budget optimizer;
+//   - cmd/resilience — the experiment CLI (e01..e22, all, bok, list);
+//   - examples/ — runnable walkthroughs (quickstart, spacecraft,
+//     ecosystem, gridops, portfolio);
+//   - DESIGN.md / EXPERIMENTS.md — the system inventory and the
+//     paper-vs-measured record for every figure and claim.
+package resilience

@@ -1,0 +1,103 @@
+// Blackswan: living with extreme events (§3.4.6) — and reasoning about
+// them under uncertainty (§4.3).
+//
+// Three acts:
+//
+//  1. The statistics of X-events: Gaussian intuition fails for power-law
+//     shocks — one event can carry a visible share of all damage ever
+//     observed, and the sample mean never settles.
+//  2. Insurance: an insurer priced comfortably above the "average" claim
+//     is safe under Gaussian claims and ruined under Pareto claims with
+//     the same nominal mean.
+//  3. Design under uncertainty: when you do not even know which shock
+//     class you face, Bayesian inference over shock-class hypotheses
+//     (internal/belief) sizes the defense from the posterior predictive
+//     tail — and shows how dangerous the small-sample regime is.
+//
+// Run with: go run ./examples/blackswan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilience/internal/belief"
+	"resilience/internal/rng"
+	"resilience/internal/xevent"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	r := rng.New(1755) // Lisbon
+
+	// Act 1: sample-mean (in)stability.
+	fmt.Println("ACT 1 — why averages lie about extremes (100k shocks each)")
+	for _, d := range []xevent.ShockDist{
+		xevent.Gaussian{Mean: 10, StdDev: 2},
+		xevent.Pareto{Scale: 1, Alpha: 1.1},
+	} {
+		ms, err := xevent.AssessMeanStability(d, 100000, r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s mean=%6.2f  biggest single event carries %.1f%% of ALL damage\n",
+			d, ms.Mean, 100*ms.MaxShare)
+	}
+
+	// Act 2: insurance.
+	fmt.Println("\nACT 2 — insurance against each world (premium 30% above the mean claim)")
+	ins := xevent.Insurer{Capital: 200, Premium: 13, LossesPerPeriod: 1}
+	for _, d := range []xevent.ShockDist{
+		xevent.Gaussian{Mean: 10, StdDev: 3},
+		xevent.Pareto{Scale: 1, Alpha: 1.1}, // same nominal mean 11
+	} {
+		ruin, err := ins.RuinProbability(d, 500, 1000, r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s ruin probability over 500 periods: %.1f%%\n", d, 100*ruin)
+	}
+	fmt.Println("  \"we can not rely on insurance because insurance is based on the")
+	fmt.Println("   estimated average loss of multiple incidents\" — §3.4.6")
+
+	// Act 3: design under shock-class uncertainty.
+	fmt.Println("\nACT 3 — how high a wall, when you don't know the distribution?")
+	post, err := belief.NewPosterior([]belief.Hypothesis{
+		belief.ParetoHypothesis("pareto(1.1)", 1, 1, 1.1),
+		belief.ParetoHypothesis("pareto(1.5)", 1, 1, 1.5),
+		belief.ParetoHypothesis("pareto(2.0)", 1, 1, 2.0),
+		belief.ExponentialHypothesis("exp(0.5)", 1, 0.5),
+	})
+	if err != nil {
+		return err
+	}
+	candidates := []float64{5.7, 10, 15, 22, 40, 100, 400}
+	level := func() string {
+		lvl, err := post.CoverageLevel(0.01, candidates)
+		if err != nil {
+			return "beyond all candidates"
+		}
+		return fmt.Sprintf("%.1f m", lvl)
+	}
+	fmt.Printf("  prior (no data):            99%%-coverage wall = %s\n", level())
+	const trueAlpha = 1.5
+	seen := 0
+	for _, checkpoint := range []int{10, 50, 300} {
+		for seen < checkpoint {
+			post.Observe(r.Pareto(1, trueAlpha))
+			seen++
+		}
+		hyp, p := post.MAP()
+		fmt.Printf("  after %3d observed floods:  99%%-coverage wall = %-8s (MAP %s, P=%.2f)\n",
+			checkpoint, level(), hyp.Name, p)
+	}
+	fmt.Printf("  ground truth pareto(%.1f) requires 21.5 m\n", trueAlpha)
+	fmt.Println("\n  the paper's Fukushima numbers: designed 5.7 m, hit by ~14-15 m,")
+	fmt.Println("  historical maximum 40 m — the posterior lands where hindsight did")
+	return nil
+}

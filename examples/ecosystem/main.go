@@ -1,0 +1,142 @@
+// Ecosystem: diversity as a survival strategy through a mass extinction.
+//
+// §3.2.1 of the paper: "the Permian–Triassic extinction event … caused up
+// to 96% of marine species to become extinct. One of the reasons that the
+// biological systems as a whole survived is because of their diversity —
+// some species had better capability to deal with changing environments."
+//
+// We evolve two communities under replicator dynamics with trait-based
+// fitness and then shift the environmental optimum abruptly (the
+// extinction event):
+//
+//   - a diverse community whose traits span the whole niche axis, and
+//   - a near-monoculture clustered around the old optimum.
+//
+// Both prosper before the event. Afterwards, the diverse community holds
+// a (tiny, nearly extinct) sub-population near the new optimum that the
+// replicator re-amplifies; the monoculture has nothing to amplify and its
+// mean fitness stays on the floor — alive in name, extinct in function.
+//
+// Run with: go run ./examples/ecosystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilience/internal/diversity"
+	"resilience/internal/dynamics"
+)
+
+const (
+	floorFitness = 0.02
+	nicheWidth   = 0.8
+	preSteps     = 60
+	postSteps    = 400
+	newOptimum   = 3.0
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// community builds an ecosystem of 10 species with traits spread over
+// [0, spread], sharing total population 100. No extinction cutoff: the
+// replicator may carry vanishingly small reserve populations — that IS
+// the diversity being stress-tested.
+func community(spread float64, opt *float64) (*dynamics.Ecosystem, []float64, error) {
+	const nSpecies = 10
+	traits := make([]float64, nSpecies)
+	pops := make([]float64, nSpecies)
+	for i := range traits {
+		traits[i] = spread * float64(i) / float64(nSpecies-1)
+		pops[i] = 100.0 / nSpecies
+	}
+	e, err := dynamics.NewEcosystem(pops, dynamics.GaussianTrait(traits, opt, nicheWidth, floorFitness))
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, traits, nil
+}
+
+func report(label string, e *dynamics.Ecosystem) error {
+	mf, err := e.MeanFitness()
+	if err != nil {
+		return err
+	}
+	inv, err := diversity.InverseSimpson(e.Pops)
+	if err != nil {
+		inv = 0
+	}
+	fmt.Printf("%-24s meanFitness=%.3f  effectiveSpecies=%.2f\n", label, mf, inv)
+	return nil
+}
+
+func run() error {
+	optD, optM := 0.0, 0.0
+	diverse, _, err := community(newOptimum, &optD) // traits 0..3
+	if err != nil {
+		return err
+	}
+	mono, _, err := community(0.3, &optM) // traits 0..0.3
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("two communities of 10 species, niche optimum at trait 0\n\n")
+	fmt.Println("at founding:")
+	if err := report("  diverse (traits 0-3)", diverse); err != nil {
+		return err
+	}
+	if err := report("  monoculture (0-0.3)", mono); err != nil {
+		return err
+	}
+
+	if err := diverse.Run(preSteps); err != nil {
+		return err
+	}
+	if err := mono.Run(preSteps); err != nil {
+		return err
+	}
+	fmt.Printf("\nafter %d quiet generations (the monoculture looks better!):\n", preSteps)
+	if err := report("  diverse", diverse); err != nil {
+		return err
+	}
+	if err := report("  monoculture", mono); err != nil {
+		return err
+	}
+	fmt.Printf("  diverse community's reserve population at trait 3: %.2g (nearly gone, not gone)\n",
+		diverse.Pops[len(diverse.Pops)-1])
+
+	// The extinction event: the optimum jumps to trait 3.
+	optD, optM = newOptimum, newOptimum
+	if err := diverse.Run(postSteps); err != nil {
+		return err
+	}
+	if err := mono.Run(postSteps); err != nil {
+		return err
+	}
+	fmt.Printf("\nafter the X-event (optimum 0 -> %.0f, %d generations):\n", newOptimum, postSteps)
+	if err := report("  diverse", diverse); err != nil {
+		return err
+	}
+	if err := report("  monoculture", mono); err != nil {
+		return err
+	}
+
+	mfD, err := diverse.MeanFitness()
+	if err != nil {
+		return err
+	}
+	mfM, err := mono.MeanFitness()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nthe diverse community re-adapted (mean fitness %.2f); the monoculture is\n", mfD)
+	fmt.Printf("pinned at the floor (%.2f ≈ %.2f): functionally extinct. Diversity paid\n", mfM, floorFitness)
+	fmt.Println("for itself by holding a barely-viable specialist in reserve — the same")
+	fmt.Println("logic as the stickleback's dormant armor gene (§3.1.1).")
+	return nil
+}

@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end — the examples
+// are documentation, and documentation that does not run is wrong.
+// Skipped under -short (each example takes 0.1–3 s).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("examples", e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			continue // data-only directory (e.g. examples/scenario)
+		}
+		ran++
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", e.Name(), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", e.Name())
+			}
+		})
+	}
+	if ran < 7 {
+		t.Fatalf("only %d example mains found, want >= 7", ran)
+	}
+}
+
+// TestScenarioFileShipped validates the checked-in scenario document via
+// the CLI code path.
+func TestScenarioFileShipped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/resilience", "scenario", "examples/scenario/grid.json")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("shipped scenario failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,225 @@
+// Package belief implements the uncertainty reasoning the paper calls for
+// in §4.3: k-maintainability "requires us to know in advance all possible
+// events, some of which could be totally unexpected. … We, therefore,
+// expect that reasoning techniques dealing with various uncertainty of a
+// system model [Chan & Darwiche; Sakama & Inoue] be a promising tool."
+//
+// A Posterior maintains Bayesian beliefs over competing shock-class
+// hypotheses (e.g. "damage sizes are Pareto with α = 1.1 / 1.5 / 2 / 3"),
+// updated from observed shock magnitudes — including soft (virtual)
+// evidence in Pearl's sense, following Chan & Darwiche's treatment of
+// revision under uncertain evidence. The predictive tail of the mixture
+// then answers the design question the paper's spacecraft example leaves
+// open: how large a repair capability k covers the next shock with
+// probability 1 − ε, when the event distribution itself is uncertain?
+package belief
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hypothesis is one candidate shock-class model.
+type Hypothesis struct {
+	// Name identifies the hypothesis in reports.
+	Name string
+	// Prior is the prior probability mass (positive; normalized at
+	// construction).
+	Prior float64
+	// LogLik returns the log-likelihood of one observed shock magnitude.
+	// It may return -Inf for impossible observations.
+	LogLik func(x float64) float64
+	// Tail returns P(X > t) under the hypothesis.
+	Tail func(t float64) float64
+}
+
+// Posterior is a Bayesian posterior over hypotheses.
+type Posterior struct {
+	hyps []Hypothesis
+	logw []float64
+	obs  int
+}
+
+// NewPosterior validates the hypotheses and starts from their priors.
+func NewPosterior(hyps []Hypothesis) (*Posterior, error) {
+	if len(hyps) == 0 {
+		return nil, errors.New("belief: no hypotheses")
+	}
+	p := &Posterior{hyps: make([]Hypothesis, len(hyps)), logw: make([]float64, len(hyps))}
+	copy(p.hyps, hyps)
+	for i, h := range hyps {
+		if h.Prior <= 0 {
+			return nil, fmt.Errorf("belief: hypothesis %q needs positive prior", h.Name)
+		}
+		if h.LogLik == nil || h.Tail == nil {
+			return nil, fmt.Errorf("belief: hypothesis %q needs LogLik and Tail", h.Name)
+		}
+		p.logw[i] = math.Log(h.Prior)
+	}
+	return p, nil
+}
+
+// Observations returns how many updates have been applied.
+func (p *Posterior) Observations() int { return p.obs }
+
+// Observe applies one hard observation (an exactly measured shock
+// magnitude).
+func (p *Posterior) Observe(x float64) {
+	for i, h := range p.hyps {
+		p.logw[i] += h.LogLik(x)
+	}
+	p.obs++
+	p.renormalize()
+}
+
+// ObserveVirtual applies Pearl-style virtual evidence: lik[i] is the
+// likelihood of the (uncertain) evidence under hypothesis i. This is the
+// Chan–Darwiche setting where the evidence itself is unreliable — e.g. a
+// damaged sensor reporting "the shock looked big".
+func (p *Posterior) ObserveVirtual(lik []float64) error {
+	if len(lik) != len(p.hyps) {
+		return fmt.Errorf("belief: likelihood vector length %d != %d hypotheses", len(lik), len(p.hyps))
+	}
+	for _, l := range lik {
+		if l < 0 {
+			return errors.New("belief: negative likelihood")
+		}
+	}
+	for i, l := range lik {
+		if l == 0 {
+			p.logw[i] = math.Inf(-1)
+		} else {
+			p.logw[i] += math.Log(l)
+		}
+	}
+	p.obs++
+	p.renormalize()
+	return nil
+}
+
+// renormalize keeps log-weights from drifting to -Inf by subtracting the
+// maximum (the normalized weights are unchanged).
+func (p *Posterior) renormalize() {
+	maxw := math.Inf(-1)
+	for _, w := range p.logw {
+		if w > maxw {
+			maxw = w
+		}
+	}
+	if math.IsInf(maxw, -1) {
+		return // all hypotheses ruled out; Weights handles this
+	}
+	for i := range p.logw {
+		p.logw[i] -= maxw
+	}
+}
+
+// Weights returns the normalized posterior probabilities. If every
+// hypothesis has been ruled out it returns the uniform distribution
+// (total ignorance).
+func (p *Posterior) Weights() []float64 {
+	out := make([]float64, len(p.logw))
+	var total float64
+	for i, w := range p.logw {
+		out[i] = math.Exp(w)
+		total += out[i]
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// MAP returns the maximum-a-posteriori hypothesis and its probability.
+func (p *Posterior) MAP() (Hypothesis, float64) {
+	weights := p.Weights()
+	best := 0
+	for i, w := range weights {
+		if w > weights[best] {
+			best = i
+		}
+	}
+	return p.hyps[best], weights[best]
+}
+
+// PredictiveTail returns P(next shock > t) under the posterior mixture —
+// the quantity that sizes a defense against an uncertain event class.
+func (p *Posterior) PredictiveTail(t float64) float64 {
+	weights := p.Weights()
+	var tail float64
+	for i, h := range p.hyps {
+		tail += weights[i] * h.Tail(t)
+	}
+	return tail
+}
+
+// CoverageLevel returns the smallest candidate level t with
+// PredictiveTail(t) <= eps — e.g. the repair capability k that covers the
+// next shock with probability 1−eps. Candidates are tried in ascending
+// order; an error is returned if none suffices.
+func (p *Posterior) CoverageLevel(eps float64, candidates []float64) (float64, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("belief: eps %v out of (0,1)", eps)
+	}
+	if len(candidates) == 0 {
+		return 0, errors.New("belief: no candidate levels")
+	}
+	sorted := append([]float64(nil), candidates...)
+	sort.Float64s(sorted)
+	for _, t := range sorted {
+		if p.PredictiveTail(t) <= eps {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("belief: no candidate achieves tail <= %v (best %v)",
+		eps, p.PredictiveTail(sorted[len(sorted)-1]))
+}
+
+// ParetoHypothesis builds a Pareto(xm, alpha) shock-class hypothesis.
+func ParetoHypothesis(name string, prior, xm, alpha float64) Hypothesis {
+	return Hypothesis{
+		Name:  name,
+		Prior: prior,
+		LogLik: func(x float64) float64 {
+			if x < xm {
+				return math.Inf(-1)
+			}
+			return math.Log(alpha) + alpha*math.Log(xm) - (alpha+1)*math.Log(x)
+		},
+		Tail: func(t float64) float64 {
+			if t <= xm {
+				return 1
+			}
+			return math.Pow(xm/t, alpha)
+		},
+	}
+}
+
+// ExponentialHypothesis builds an Exp(rate) shock-class hypothesis — the
+// thin-tailed alternative.
+func ExponentialHypothesis(name string, prior, rate float64) Hypothesis {
+	return Hypothesis{
+		Name:  name,
+		Prior: prior,
+		LogLik: func(x float64) float64 {
+			if x < 0 {
+				return math.Inf(-1)
+			}
+			return math.Log(rate) - rate*x
+		},
+		Tail: func(t float64) float64 {
+			if t <= 0 {
+				return 1
+			}
+			return math.Exp(-rate * t)
+		},
+	}
+}

@@ -1,0 +1,235 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func paretoFamily() []Hypothesis {
+	return []Hypothesis{
+		ParetoHypothesis("alpha=1.1", 1, 1, 1.1),
+		ParetoHypothesis("alpha=1.5", 1, 1, 1.5),
+		ParetoHypothesis("alpha=2.0", 1, 1, 2.0),
+		ParetoHypothesis("alpha=3.0", 1, 1, 3.0),
+	}
+}
+
+func TestNewPosteriorValidation(t *testing.T) {
+	if _, err := NewPosterior(nil); err == nil {
+		t.Error("want error for no hypotheses")
+	}
+	bad := []Hypothesis{{Name: "x", Prior: 0, LogLik: func(float64) float64 { return 0 }, Tail: func(float64) float64 { return 0 }}}
+	if _, err := NewPosterior(bad); err == nil {
+		t.Error("want error for zero prior")
+	}
+	missing := []Hypothesis{{Name: "x", Prior: 1}}
+	if _, err := NewPosterior(missing); err == nil {
+		t.Error("want error for nil functions")
+	}
+}
+
+func TestPriorWeights(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("a", 3, 1, 2),
+		ParetoHypothesis("b", 1, 1, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	if math.Abs(w[0]-0.75) > 1e-12 || math.Abs(w[1]-0.25) > 1e-12 {
+		t.Fatalf("prior weights = %v", w)
+	}
+}
+
+func TestPosteriorConcentratesOnTruth(t *testing.T) {
+	// Data from Pareto(1, 1.5); the posterior over {1.1, 1.5, 2, 3}
+	// must concentrate on alpha=1.5.
+	r := rng.New(1)
+	p, err := NewPosterior(paretoFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Observe(r.Pareto(1, 1.5))
+	}
+	hyp, prob := p.MAP()
+	if hyp.Name != "alpha=1.5" {
+		t.Fatalf("MAP = %s (%v)", hyp.Name, prob)
+	}
+	if prob < 0.9 {
+		t.Fatalf("MAP probability = %v, want concentrated", prob)
+	}
+	if p.Observations() != 500 {
+		t.Fatalf("observations = %d", p.Observations())
+	}
+}
+
+func TestImpossibleObservationRulesOut(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("pareto", 1, 2, 2), // support [2, inf)
+		ExponentialHypothesis("exp", 1, 0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(1.0) // below the Pareto scale: impossible under it
+	w := p.Weights()
+	if w[0] != 0 {
+		t.Fatalf("ruled-out hypothesis weight = %v", w[0])
+	}
+	if math.Abs(w[1]-1) > 1e-12 {
+		t.Fatalf("surviving hypothesis weight = %v", w[1])
+	}
+}
+
+func TestAllRuledOutFallsBackToUniform(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("a", 1, 5, 2),
+		ParetoHypothesis("b", 1, 5, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(1.0) // impossible under both
+	w := p.Weights()
+	if math.Abs(w[0]-0.5) > 1e-12 || math.Abs(w[1]-0.5) > 1e-12 {
+		t.Fatalf("weights = %v, want uniform fallback", w)
+	}
+}
+
+func TestObserveVirtual(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("a", 1, 1, 2),
+		ParetoHypothesis("b", 1, 1, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor says "probably class a": likelihood 0.9 vs 0.3.
+	if err := p.ObserveVirtual([]float64{0.9, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	w := p.Weights()
+	if math.Abs(w[0]-0.75) > 1e-9 {
+		t.Fatalf("virtual evidence weights = %v, want 0.75/0.25", w)
+	}
+	if err := p.ObserveVirtual([]float64{1}); err == nil {
+		t.Error("want error for wrong-length likelihood")
+	}
+	if err := p.ObserveVirtual([]float64{-1, 1}); err == nil {
+		t.Error("want error for negative likelihood")
+	}
+	// Zero likelihood rules out.
+	if err := p.ObserveVirtual([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	w = p.Weights()
+	if w[1] != 0 {
+		t.Fatalf("zero-likelihood hypothesis weight = %v", w[1])
+	}
+}
+
+func TestPredictiveTailMixesHypotheses(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("heavy", 1, 1, 1.1),
+		ParetoHypothesis("light", 1, 1, 3.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the prior (50/50), the tail at t=10 mixes the two.
+	want := 0.5*math.Pow(0.1, 1.1) + 0.5*math.Pow(0.1, 3.0)
+	if got := p.PredictiveTail(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tail = %v, want %v", got, want)
+	}
+	if p.PredictiveTail(0.5) != 1 {
+		t.Fatal("tail below scale should be 1")
+	}
+}
+
+func TestCoverageLevel(t *testing.T) {
+	p, err := NewPosterior([]Hypothesis{ParetoHypothesis("a", 1, 1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(X > t) = t^-2; tail <= 0.01 needs t >= 10.
+	lvl, err := p.CoverageLevel(0.0101, []float64{50, 5, 10, 2}) // unsorted on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 10 {
+		t.Fatalf("coverage level = %v, want 10", lvl)
+	}
+	if _, err := p.CoverageLevel(0.01, []float64{2, 3}); err == nil {
+		t.Error("want error when no candidate suffices")
+	}
+	if _, err := p.CoverageLevel(0, []float64{10}); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := p.CoverageLevel(0.1, nil); err == nil {
+		t.Error("want error for no candidates")
+	}
+}
+
+func TestCoverageAdaptsWithEvidence(t *testing.T) {
+	// The design lesson of §3.4.6: before evidence, the mixture's heavy
+	// hypothesis forces a high defense; after thin-tailed data, the
+	// required level drops.
+	r := rng.New(2)
+	p, err := NewPosterior([]Hypothesis{
+		ParetoHypothesis("heavy", 1, 1, 1.1),
+		ParetoHypothesis("light", 1, 1, 3.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []float64{2, 5, 10, 20, 50, 100, 500}
+	before, err := p.CoverageLevel(0.01, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		p.Observe(r.Pareto(1, 3.0))
+	}
+	after, err := p.CoverageLevel(0.01, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("coverage should drop with thin-tailed evidence: %v -> %v", before, after)
+	}
+}
+
+func TestExponentialHypothesis(t *testing.T) {
+	h := ExponentialHypothesis("e", 1, 2)
+	if !math.IsInf(h.LogLik(-1), -1) {
+		t.Fatal("negative observation should be impossible")
+	}
+	if h.Tail(0) != 1 || h.Tail(-1) != 1 {
+		t.Fatal("tail at/below 0 should be 1")
+	}
+	want := math.Exp(-2 * 3)
+	if math.Abs(h.Tail(3)-want) > 1e-12 {
+		t.Fatalf("tail(3) = %v, want %v", h.Tail(3), want)
+	}
+}
+
+func TestLongStreamNumericallyStable(t *testing.T) {
+	// 100k observations must not underflow the weights thanks to
+	// renormalization.
+	r := rng.New(3)
+	p, err := NewPosterior(paretoFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		p.Observe(r.Pareto(1, 2.0))
+	}
+	hyp, prob := p.MAP()
+	if hyp.Name != "alpha=2.0" || math.IsNaN(prob) || prob < 0.99 {
+		t.Fatalf("MAP = %s %v", hyp.Name, prob)
+	}
+}

@@ -1,0 +1,231 @@
+// Package biosim holds the biological models behind §3.1.1 of the paper:
+//
+//   - Genome redundancy: "E. Coli has approximately 4,300 genes … almost
+//     4,000 of them are known to be redundant — that is, knocking out one
+//     of them will not hamper its ability to reproduce." We model a
+//     genome as a set of pathways (functions), each realized by one or
+//     more genes; the organism is viable iff every essential pathway has
+//     at least one working gene. Knockout screens reproduce the Keio
+//     collection result structurally.
+//
+//   - The dormant-trait (stickleback) model: an armor allele that is
+//     slightly deleterious without predators persists at low frequency
+//     under mutation–selection balance and sweeps back when predation
+//     pressure returns (Fig 1).
+package biosim
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/rng"
+)
+
+// Genome is a synthetic genome organized into pathways.
+type Genome struct {
+	// pathway[i] lists the gene indexes that can each perform function i.
+	pathways [][]int
+	numGenes int
+}
+
+// GenomeSpec describes a synthetic genome to generate.
+type GenomeSpec struct {
+	// Genes is the total gene count (E. coli ≈ 4300).
+	Genes int
+	// EssentialSingletons is the number of pathways carried by exactly
+	// one gene (knocking those out is lethal; E. coli ≈ 300).
+	EssentialSingletons int
+	// RedundantPathways is the number of pathways carried by 2 or more
+	// genes.
+	RedundantPathways int
+	// MaxRedundancy is the maximum genes per redundant pathway
+	// (uniform 2..MaxRedundancy).
+	MaxRedundancy int
+}
+
+// Validate checks the spec is realizable.
+func (s GenomeSpec) Validate() error {
+	switch {
+	case s.Genes <= 0:
+		return errors.New("biosim: genome needs genes")
+	case s.EssentialSingletons < 0 || s.RedundantPathways < 0:
+		return errors.New("biosim: negative pathway counts")
+	case s.MaxRedundancy < 2:
+		return errors.New("biosim: max redundancy must be >= 2")
+	case s.EssentialSingletons+2*s.RedundantPathways > s.Genes:
+		return fmt.Errorf("biosim: %d genes cannot cover %d singleton + %d redundant pathways",
+			s.Genes, s.EssentialSingletons, s.RedundantPathways)
+	}
+	return nil
+}
+
+// EColiSpec returns a spec matching the paper's numbers: ~4300 genes of
+// which ~300 are individually essential.
+func EColiSpec() GenomeSpec {
+	return GenomeSpec{
+		Genes:               4300,
+		EssentialSingletons: 300,
+		RedundantPathways:   1600,
+		MaxRedundancy:       4,
+	}
+}
+
+// GenerateGenome builds a random genome per the spec. Every pathway's
+// genes are distinct; singleton pathways use dedicated genes; redundant
+// pathways draw from the remaining pool (a gene may serve several
+// redundant pathways, as real enzymes do).
+func GenerateGenome(spec GenomeSpec, r *rng.Source) (*Genome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Genome{numGenes: spec.Genes}
+	perm := r.Perm(spec.Genes)
+	// Dedicated essential genes.
+	for i := 0; i < spec.EssentialSingletons; i++ {
+		g.pathways = append(g.pathways, []int{perm[i]})
+	}
+	pool := perm[spec.EssentialSingletons:]
+	for i := 0; i < spec.RedundantPathways; i++ {
+		k := 2 + r.Intn(spec.MaxRedundancy-1)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		genes := make([]int, k)
+		// Sample k distinct genes from the pool.
+		seen := map[int]struct{}{}
+		for j := 0; j < k; j++ {
+			for {
+				cand := pool[r.Intn(len(pool))]
+				if _, dup := seen[cand]; !dup {
+					seen[cand] = struct{}{}
+					genes[j] = cand
+					break
+				}
+			}
+		}
+		g.pathways = append(g.pathways, genes)
+	}
+	return g, nil
+}
+
+// NumGenes returns the gene count.
+func (g *Genome) NumGenes() int { return g.numGenes }
+
+// NumPathways returns the pathway count.
+func (g *Genome) NumPathways() int { return len(g.pathways) }
+
+// Viable reports whether an organism missing the given genes can still
+// perform every pathway function.
+func (g *Genome) Viable(knockedOut map[int]bool) bool {
+	for _, genes := range g.pathways {
+		ok := false
+		for _, gene := range genes {
+			if !knockedOut[gene] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// KnockoutScreen knocks out every gene one at a time (the Keio
+// collection experiment) and returns the number of viable single-gene
+// knockouts.
+func (g *Genome) KnockoutScreen() (viable int) {
+	ko := map[int]bool{}
+	for gene := 0; gene < g.numGenes; gene++ {
+		ko[gene] = true
+		if g.Viable(ko) {
+			viable++
+		}
+		delete(ko, gene)
+	}
+	return viable
+}
+
+// RandomKnockouts knocks out k distinct random genes and reports
+// viability; used to probe how redundancy degrades under multiple hits.
+func (g *Genome) RandomKnockouts(k int, r *rng.Source) bool {
+	if k > g.numGenes {
+		k = g.numGenes
+	}
+	ko := make(map[int]bool, k)
+	for _, gene := range r.Perm(g.numGenes)[:k] {
+		ko[gene] = true
+	}
+	return g.Viable(ko)
+}
+
+// DormantTrait is the stickleback armor model: a one-locus, two-allele
+// Wright–Fisher population. The armor allele has selection coefficient
+// SNeutral (typically slightly negative — armor is costly in fresh water
+// without predators) or SPredation (positive) depending on Predation,
+// with symmetric per-generation mutation Mu between alleles.
+type DormantTrait struct {
+	// N is the population size.
+	N int
+	// Mu is the per-generation mutation probability per individual.
+	Mu float64
+	// SNeutral is armor's selection coefficient without predators.
+	SNeutral float64
+	// SPredation is armor's selection coefficient with predators.
+	SPredation float64
+	// Predation toggles the selective regime — the trout returning to
+	// Lake Washington.
+	Predation bool
+
+	// ArmorCount is the current number of armored individuals.
+	ArmorCount int
+}
+
+// NewDormantTrait builds the model with the given initial armored count.
+func NewDormantTrait(n, armored int, mu, sNeutral, sPredation float64) (*DormantTrait, error) {
+	if n <= 0 || armored < 0 || armored > n {
+		return nil, fmt.Errorf("biosim: invalid population n=%d armored=%d", n, armored)
+	}
+	if mu < 0 || mu > 1 {
+		return nil, fmt.Errorf("biosim: mutation rate %v out of [0,1]", mu)
+	}
+	return &DormantTrait{N: n, Mu: mu, SNeutral: sNeutral, SPredation: sPredation, ArmorCount: armored}, nil
+}
+
+// Frequency returns the armor allele frequency.
+func (d *DormantTrait) Frequency() float64 { return float64(d.ArmorCount) / float64(d.N) }
+
+// Step advances one Wright–Fisher generation: selection reweights the
+// armor frequency, mutation flips alleles both ways, and the next
+// generation is a binomial sample of size N.
+func (d *DormantTrait) Step(r *rng.Source) {
+	s := d.SNeutral
+	if d.Predation {
+		s = d.SPredation
+	}
+	p := d.Frequency()
+	// Selection: armored fitness 1+s, plain fitness 1.
+	wBar := p*(1+s) + (1 - p)
+	if wBar <= 0 {
+		wBar = 1e-12
+	}
+	p = p * (1 + s) / wBar
+	// Symmetric mutation.
+	p = p*(1-d.Mu) + (1-p)*d.Mu
+	// Binomial resample.
+	count := 0
+	for i := 0; i < d.N; i++ {
+		if r.Bool(p) {
+			count++
+		}
+	}
+	d.ArmorCount = count
+}
+
+// Run advances n generations.
+func (d *DormantTrait) Run(n int, r *rng.Source) {
+	for i := 0; i < n; i++ {
+		d.Step(r)
+	}
+}

@@ -1,0 +1,164 @@
+package biosim
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestGenomeSpecValidate(t *testing.T) {
+	if err := EColiSpec().Validate(); err != nil {
+		t.Fatalf("ecoli spec invalid: %v", err)
+	}
+	bad := []GenomeSpec{
+		{Genes: 0, MaxRedundancy: 2},
+		{Genes: 10, EssentialSingletons: -1, MaxRedundancy: 2},
+		{Genes: 10, MaxRedundancy: 1},
+		{Genes: 10, EssentialSingletons: 5, RedundantPathways: 5, MaxRedundancy: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestSingleKnockoutMostlyViable(t *testing.T) {
+	// The paper's E. coli claim: ~4000 of ~4300 single knockouts remain
+	// viable. Structurally, only the essential singletons are lethal.
+	r := rng.New(1)
+	g, err := GenerateGenome(EColiSpec(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viable := g.KnockoutScreen()
+	lethal := g.NumGenes() - viable
+	if lethal != 300 {
+		t.Fatalf("lethal knockouts = %d, want exactly the 300 essential singletons", lethal)
+	}
+	frac := float64(viable) / float64(g.NumGenes())
+	if frac < 0.92 || frac > 0.94 {
+		t.Fatalf("viable fraction = %v, want ~0.93", frac)
+	}
+}
+
+func TestViableBaseline(t *testing.T) {
+	r := rng.New(2)
+	g, err := GenerateGenome(GenomeSpec{Genes: 50, EssentialSingletons: 5, RedundantPathways: 10, MaxRedundancy: 3}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Viable(nil) {
+		t.Fatal("intact genome must be viable")
+	}
+	if g.NumPathways() != 15 {
+		t.Fatalf("pathways = %d", g.NumPathways())
+	}
+}
+
+func TestMultipleKnockoutsDegrade(t *testing.T) {
+	// Redundancy shields against single hits but erodes under many
+	// simultaneous knockouts.
+	r := rng.New(3)
+	g, err := GenerateGenome(GenomeSpec{Genes: 200, EssentialSingletons: 10, RedundantPathways: 60, MaxRedundancy: 3}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survive := func(k int) float64 {
+		ok := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			if g.RandomKnockouts(k, r) {
+				ok++
+			}
+		}
+		return float64(ok) / trials
+	}
+	s1 := survive(1)
+	s20 := survive(20)
+	s100 := survive(100)
+	if !(s1 > s20 && s20 > s100) {
+		t.Fatalf("viability should fall with knockouts: %v, %v, %v", s1, s20, s100)
+	}
+	if s1 < 0.9 {
+		t.Fatalf("single-knockout viability = %v, want high", s1)
+	}
+}
+
+func TestRandomKnockoutsClamps(t *testing.T) {
+	r := rng.New(4)
+	g, err := GenerateGenome(GenomeSpec{Genes: 10, EssentialSingletons: 2, RedundantPathways: 2, MaxRedundancy: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RandomKnockouts(100, r) {
+		t.Fatal("knocking out every gene must be lethal (essential singletons exist)")
+	}
+}
+
+func TestNewDormantTraitValidation(t *testing.T) {
+	if _, err := NewDormantTrait(0, 0, 0.001, -0.01, 0.1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewDormantTrait(10, 11, 0.001, -0.01, 0.1); err == nil {
+		t.Error("want error for armored > n")
+	}
+	if _, err := NewDormantTrait(10, 5, 1.5, -0.01, 0.1); err == nil {
+		t.Error("want error for mu > 1")
+	}
+}
+
+func TestDormantTraitDeclinesWithoutPredation(t *testing.T) {
+	r := rng.New(5)
+	d, err := NewDormantTrait(2000, 1000, 0.002, -0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(300, r)
+	if f := d.Frequency(); f > 0.2 {
+		t.Fatalf("armor frequency = %v, want decline under cost", f)
+	}
+}
+
+func TestDormantTraitPersistsAtMutationSelectionBalance(t *testing.T) {
+	// The allele must NOT vanish: mutation keeps reintroducing it — the
+	// dormant redundancy the paper highlights.
+	r := rng.New(6)
+	d, err := NewDormantTrait(2000, 1000, 0.002, -0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(300, r)
+	lowSamples, presentSamples := 0, 0
+	for i := 0; i < 200; i++ {
+		d.Run(5, r)
+		lowSamples++
+		if d.ArmorCount > 0 {
+			presentSamples++
+		}
+	}
+	if float64(presentSamples)/float64(lowSamples) < 0.8 {
+		t.Fatalf("allele present in only %d/%d samples", presentSamples, lowSamples)
+	}
+}
+
+func TestDormantTraitReactivatesUnderPredation(t *testing.T) {
+	// Fig 1: predation pressure returns and the armored phenotype sweeps
+	// back.
+	r := rng.New(7)
+	d, err := NewDormantTrait(2000, 1000, 0.002, -0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(400, r) // decline phase
+	low := d.Frequency()
+	d.Predation = true
+	d.Run(200, r) // trout arrive
+	high := d.Frequency()
+	if high < 0.9 {
+		t.Fatalf("armor frequency after predation = %v, want sweep toward fixation", high)
+	}
+	if high <= low {
+		t.Fatalf("reactivation failed: %v -> %v", low, high)
+	}
+}

@@ -1,0 +1,286 @@
+// Package bitstring implements fixed-length bit strings, the configuration
+// space of the paper's dynamic-constraint-satisfaction model (Fig 4, §4.2):
+// "a system status can be represented as a bit string of length n. At any
+// given time, the system takes one of the 2^n possible configurations."
+package bitstring
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"resilience/internal/rng"
+)
+
+// ErrLengthMismatch is returned when two bit strings of different lengths
+// are combined.
+var ErrLengthMismatch = errors.New("bitstring: length mismatch")
+
+const wordBits = 64
+
+// String is a fixed-length string of booleans. The zero value is the empty
+// string of length 0. Strings are value types in spirit: all mutating
+// methods operate on the receiver, and Clone produces an independent copy.
+type String struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero bit string of length n. Negative n is treated
+// as zero.
+func New(n int) String {
+	if n < 0 {
+		n = 0
+	}
+	return String{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Random returns a uniformly random bit string of length n.
+func Random(n int, r *rng.Source) String {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = r.Uint64()
+	}
+	s.maskTail()
+	return s
+}
+
+// Parse builds a bit string from a text form such as "0110"; index 0 is the
+// leftmost character. Any rune other than '0' or '1' is an error.
+func Parse(text string) (String, error) {
+	s := New(len(text))
+	for i, c := range text {
+		switch c {
+		case '0':
+		case '1':
+			s.Set(i, true)
+		default:
+			return String{}, fmt.Errorf("bitstring: invalid character %q at %d", c, i)
+		}
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and
+// package-level literals only.
+func MustParse(text string) String {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ones returns an all-one bit string of length n.
+func Ones(n int) String {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+	return s
+}
+
+func (s *String) maskTail() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (s String) Len() int { return s.n }
+
+// Get reports the bit at index i. Out-of-range indexes report false.
+func (s String) Get(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Set assigns the bit at index i. Out-of-range indexes are ignored.
+func (s *String) Set(i int, v bool) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	if v {
+		s.words[i/wordBits] |= 1 << (i % wordBits)
+	} else {
+		s.words[i/wordBits] &^= 1 << (i % wordBits)
+	}
+}
+
+// Flip inverts the bit at index i. Out-of-range indexes are ignored.
+func (s *String) Flip(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] ^= 1 << (i % wordBits)
+}
+
+// Clone returns an independent copy.
+func (s String) Clone() String {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return String{n: s.n, words: w}
+}
+
+// Count returns the number of set bits.
+func (s String) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Hamming returns the Hamming distance between s and t.
+func (s String) Hamming(t String) (int, error) {
+	if s.n != t.n {
+		return 0, ErrLengthMismatch
+	}
+	d := 0
+	for i := range s.words {
+		d += bits.OnesCount64(s.words[i] ^ t.words[i])
+	}
+	return d, nil
+}
+
+// Equal reports whether s and t have the same length and bits.
+func (s String) Equal(t String) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor returns s XOR t.
+func (s String) Xor(t String) (String, error) {
+	if s.n != t.n {
+		return String{}, ErrLengthMismatch
+	}
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] ^= t.words[i]
+	}
+	return out, nil
+}
+
+// And returns s AND t.
+func (s String) And(t String) (String, error) {
+	if s.n != t.n {
+		return String{}, ErrLengthMismatch
+	}
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] &= t.words[i]
+	}
+	return out, nil
+}
+
+// Or returns s OR t.
+func (s String) Or(t String) (String, error) {
+	if s.n != t.n {
+		return String{}, ErrLengthMismatch
+	}
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] |= t.words[i]
+	}
+	return out, nil
+}
+
+// Not returns the bitwise complement of s.
+func (s String) Not() String {
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] = ^out.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// FlipRandom flips k distinct random bit positions and returns the set of
+// flipped indexes. If k >= Len, every bit is flipped.
+func (s *String) FlipRandom(k int, r *rng.Source) []int {
+	if k <= 0 || s.n == 0 {
+		return nil
+	}
+	if k > s.n {
+		k = s.n
+	}
+	perm := r.Perm(s.n)[:k]
+	for _, i := range perm {
+		s.Flip(i)
+	}
+	return perm
+}
+
+// OneIndexes returns the indexes of all set bits in increasing order.
+func (s String) OneIndexes() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ZeroIndexes returns the indexes of all clear bits in increasing order.
+func (s String) ZeroIndexes() []int {
+	out := make([]int, 0, s.n-s.Count())
+	for i := 0; i < s.n; i++ {
+		if !s.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Uint64 returns the low-order bits of s as an integer. Only valid for
+// Len <= 64; longer strings return the first word.
+func (s String) Uint64() uint64 {
+	if len(s.words) == 0 {
+		return 0
+	}
+	return s.words[0]
+}
+
+// FromUint64 builds an n-bit string (n <= 64) from the low bits of v.
+func FromUint64(v uint64, n int) String {
+	s := New(n)
+	if len(s.words) > 0 {
+		s.words[0] = v
+		s.maskTail()
+	}
+	return s
+}
+
+// String renders the bits as a 0/1 text string, index 0 leftmost.
+func (s String) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Key returns a compact comparable key for use in maps.
+func (s String) Key() string {
+	// The textual form is unambiguous and fine for n up to a few thousand.
+	return s.String()
+}

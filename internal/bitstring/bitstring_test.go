@@ -1,0 +1,298 @@
+package bitstring
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+func TestNewZero(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	s := New(-5)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	s := New(100)
+	s.Set(0, true)
+	s.Set(63, true)
+	s.Set(64, true)
+	s.Set(99, true)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !s.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Flip(63)
+	if s.Get(63) {
+		t.Error("bit 63 still set after flip")
+	}
+	s.Set(0, false)
+	if s.Get(0) {
+		t.Error("bit 0 still set after clear")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	s := New(8)
+	s.Set(-1, true)
+	s.Set(8, true)
+	s.Flip(100)
+	if s.Count() != 0 {
+		t.Fatal("out-of-range writes modified the string")
+	}
+	if s.Get(-1) || s.Get(8) {
+		t.Fatal("out-of-range reads returned true")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := Ones(n)
+		if s.Count() != n {
+			t.Errorf("Ones(%d).Count = %d", n, s.Count())
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	const text = "0110100111"
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != text {
+		t.Fatalf("round trip %q -> %q", text, s.String())
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := Parse("01x0"); err == nil {
+		t.Fatal("expected error on invalid character")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := MustParse("110010")
+	b := MustParse("011010")
+	d, err := a.Hamming(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+}
+
+func TestHammingMismatch(t *testing.T) {
+	a := New(4)
+	b := New(5)
+	if _, err := a.Hamming(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustParse("1010")
+	b := a.Clone()
+	b.Flip(0)
+	if !a.Get(0) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+}
+
+func TestXorSelfIsZero(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		s := Random(n, rng.New(seed))
+		x, err := s.Xor(s)
+		if err != nil {
+			return false
+		}
+		_ = r
+		return x.Count() == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorHammingAgree(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		r := rng.New(seed)
+		a := Random(n, r)
+		b := Random(n, r)
+		x, err := a.Xor(b)
+		if err != nil {
+			return false
+		}
+		d, err := a.Hamming(b)
+		if err != nil {
+			return false
+		}
+		return x.Count() == d
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotComplement(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 150)
+		s := Random(n, rng.New(seed))
+		return s.Not().Count() == n-s.Count()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	a := MustParse("1100")
+	b := MustParse("1010")
+	and, err := a.And(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if and.String() != "1000" {
+		t.Fatalf("And = %s", and.String())
+	}
+	or, err := a.Or(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.String() != "1110" {
+		t.Fatalf("Or = %s", or.String())
+	}
+}
+
+func TestBinaryOpsLengthMismatch(t *testing.T) {
+	a, b := New(3), New(4)
+	if _, err := a.Xor(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("Xor: want ErrLengthMismatch")
+	}
+	if _, err := a.And(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("And: want ErrLengthMismatch")
+	}
+	if _, err := a.Or(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("Or: want ErrLengthMismatch")
+	}
+}
+
+func TestFlipRandomDistinct(t *testing.T) {
+	r := rng.New(2)
+	s := New(50)
+	flipped := s.FlipRandom(10, r)
+	if len(flipped) != 10 {
+		t.Fatalf("flipped %d bits, want 10", len(flipped))
+	}
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d, want 10 (positions must be distinct)", s.Count())
+	}
+}
+
+func TestFlipRandomClamp(t *testing.T) {
+	r := rng.New(3)
+	s := New(5)
+	flipped := s.FlipRandom(99, r)
+	if len(flipped) != 5 || s.Count() != 5 {
+		t.Fatalf("FlipRandom over-length: %d flips, count %d", len(flipped), s.Count())
+	}
+	if got := s.FlipRandom(0, r); got != nil {
+		t.Fatalf("FlipRandom(0) = %v, want nil", got)
+	}
+}
+
+func TestOneZeroIndexes(t *testing.T) {
+	s := MustParse("10110")
+	ones := s.OneIndexes()
+	if len(ones) != 3 || ones[0] != 0 || ones[1] != 2 || ones[2] != 3 {
+		t.Fatalf("OneIndexes = %v", ones)
+	}
+	zeros := s.ZeroIndexes()
+	if len(zeros) != 2 || zeros[0] != 1 || zeros[1] != 4 {
+		t.Fatalf("ZeroIndexes = %v", zeros)
+	}
+}
+
+func TestIndexesPartition(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 200)
+		s := Random(n, rng.New(seed))
+		return len(s.OneIndexes())+len(s.ZeroIndexes()) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s := FromUint64(v, n)
+		mask := uint64(1)<<n - 1
+		if n == 64 {
+			mask = ^uint64(0)
+		}
+		return s.Uint64() == v&mask
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("101")
+	b := MustParse("101")
+	c := MustParse("100")
+	d := MustParse("1010")
+	if !a.Equal(b) {
+		t.Error("equal strings reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different bits reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestRandomTailMasked(t *testing.T) {
+	// A random 65-bit string must never report bits beyond its length.
+	for seed := uint64(0); seed < 20; seed++ {
+		s := Random(65, rng.New(seed))
+		n := 0
+		for i := 0; i < 65; i++ {
+			if s.Get(i) {
+				n++
+			}
+		}
+		if n != s.Count() {
+			t.Fatalf("tail bits leak into Count: %d vs %d", n, s.Count())
+		}
+	}
+}
+
+func BenchmarkHamming(b *testing.B) {
+	r := rng.New(1)
+	x := Random(1024, r)
+	y := Random(1024, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = x.Hamming(y)
+	}
+}

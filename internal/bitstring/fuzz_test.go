@@ -1,0 +1,35 @@
+package bitstring
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics, and that accepted inputs
+// round-trip exactly through String().
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "0101", "111111111111111111", "01x", "２進"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		if got := s.String(); got != text {
+			t.Fatalf("round trip %q -> %q", text, got)
+		}
+		if s.Len() != len(text) {
+			t.Fatalf("length %d for %q", s.Len(), text)
+		}
+		// Count must equal the number of '1' runes.
+		ones := 0
+		for _, c := range text {
+			if c == '1' {
+				ones++
+			}
+		}
+		if s.Count() != ones {
+			t.Fatalf("count %d, want %d", s.Count(), ones)
+		}
+	})
+}

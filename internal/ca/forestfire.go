@@ -1,0 +1,202 @@
+package ca
+
+import (
+	"fmt"
+
+	"resilience/internal/diversity"
+	"resilience/internal/rng"
+)
+
+// Cell states of the forest-fire model.
+const (
+	cellEmpty = -1 // no tree; tree cells store their age >= 0
+)
+
+// Forest is an L×L Drossel–Schwabl forest-fire model. Each cell is either
+// empty or holds a tree with an age (steps since it grew). Each step:
+// empty cells sprout with probability GrowP; lightning strikes each tree
+// cell with probability LightningP and instantaneously burns the whole
+// connected cluster — unless the suppression policy puts it out.
+type Forest struct {
+	l     int
+	cells []int // cellEmpty or age
+	// GrowP is the per-step tree growth probability per empty cell.
+	GrowP float64
+	// LightningP is the per-step lightning probability per tree cell.
+	LightningP float64
+	// SuppressBelow extinguishes any fire whose cluster is smaller than
+	// this many trees (0 = let everything burn, the paper's "common
+	// wisdom"). Suppressed clusters survive and keep aging.
+	SuppressBelow int
+
+	// Fires records the size of every cluster that actually burned.
+	Fires []float64
+	// Suppressed counts fires put out by the policy.
+	Suppressed int
+	steps      int
+}
+
+// NewForest creates an empty forest with the given parameters.
+func NewForest(l int, growP, lightningP float64) (*Forest, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("ca: forest side %d must be >= 2", l)
+	}
+	if growP < 0 || growP > 1 || lightningP < 0 || lightningP > 1 {
+		return nil, fmt.Errorf("ca: probabilities growP=%v lightningP=%v out of range", growP, lightningP)
+	}
+	f := &Forest{l: l, cells: make([]int, l*l), GrowP: growP, LightningP: lightningP}
+	for i := range f.cells {
+		f.cells[i] = cellEmpty
+	}
+	return f, nil
+}
+
+// Side returns L.
+func (f *Forest) Side() int { return f.l }
+
+// Steps returns the number of steps simulated.
+func (f *Forest) Steps() int { return f.steps }
+
+// TreeCount returns the current number of trees.
+func (f *Forest) TreeCount() int {
+	n := 0
+	for _, c := range f.cells {
+		if c != cellEmpty {
+			n++
+		}
+	}
+	return n
+}
+
+// Density returns trees / cells.
+func (f *Forest) Density() float64 {
+	return float64(f.TreeCount()) / float64(len(f.cells))
+}
+
+// Step advances one model step.
+func (f *Forest) Step(r *rng.Source) {
+	f.steps++
+	// Age existing trees and grow new ones.
+	for i, c := range f.cells {
+		if c == cellEmpty {
+			if r.Bool(f.GrowP) {
+				f.cells[i] = 0
+			}
+		} else {
+			f.cells[i] = c + 1
+		}
+	}
+	// Lightning strikes. Re-read the cell on each visit: a tree recorded
+	// at the start of the sweep may already have burned in an earlier
+	// strike's cluster.
+	for i := range f.cells {
+		if f.cells[i] == cellEmpty {
+			continue
+		}
+		if !r.Bool(f.LightningP) {
+			continue
+		}
+		cluster := f.cluster(i)
+		if len(cluster) < f.SuppressBelow {
+			f.Suppressed++
+			continue
+		}
+		for _, j := range cluster {
+			f.cells[j] = cellEmpty
+		}
+		f.Fires = append(f.Fires, float64(len(cluster)))
+	}
+}
+
+// cluster returns the connected tree cluster containing cell i
+// (4-neighborhood).
+func (f *Forest) cluster(i int) []int {
+	if f.cells[i] == cellEmpty {
+		return nil
+	}
+	seen := map[int]struct{}{i: {}}
+	queue := []int{i}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		x, y := cur%f.l, cur/f.l
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || ny < 0 || nx >= f.l || ny >= f.l {
+				continue
+			}
+			j := ny*f.l + nx
+			if f.cells[j] == cellEmpty {
+				continue
+			}
+			if _, ok := seen[j]; ok {
+				continue
+			}
+			seen[j] = struct{}{}
+			queue = append(queue, j)
+		}
+	}
+	return queue
+}
+
+// Run advances n steps.
+func (f *Forest) Run(n int, r *rng.Source) error {
+	if n < 0 {
+		return fmt.Errorf("ca: negative steps %d", n)
+	}
+	for i := 0; i < n; i++ {
+		f.Step(r)
+	}
+	return nil
+}
+
+// AgeDiversity returns the paper's diversity index over tree-age buckets
+// of the given width — "the diversity of tree ages in a forest is a key
+// to keep the forest resilient".
+func (f *Forest) AgeDiversity(bucketWidth int) (float64, error) {
+	if bucketWidth < 1 {
+		return 0, fmt.Errorf("ca: bucket width %d must be >= 1", bucketWidth)
+	}
+	counts := map[int]int{}
+	for _, c := range f.cells {
+		if c != cellEmpty {
+			counts[c/bucketWidth]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0, diversity.ErrNoPopulation
+	}
+	return diversity.InverseSimpson(diversity.CountsToPops(counts))
+}
+
+// MeanAge returns the mean age of standing trees (0 for an empty forest)
+// — the paper's "every part of the forest gets older and dryer" under
+// suppression.
+func (f *Forest) MeanAge() float64 {
+	var sum float64
+	n := 0
+	for _, c := range f.cells {
+		if c != cellEmpty {
+			sum += float64(c)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LargeFireFraction returns the fraction of burned fires that consumed at
+// least minSize trees.
+func (f *Forest) LargeFireFraction(minSize int) float64 {
+	if len(f.Fires) == 0 {
+		return 0
+	}
+	large := 0
+	for _, s := range f.Fires {
+		if int(s) >= minSize {
+			large++
+		}
+	}
+	return float64(large) / float64(len(f.Fires))
+}

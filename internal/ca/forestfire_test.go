@@ -1,0 +1,218 @@
+package ca
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/diversity"
+	"resilience/internal/rng"
+	"resilience/internal/stats"
+)
+
+func TestNewForestValidation(t *testing.T) {
+	if _, err := NewForest(1, 0.1, 0.01); err == nil {
+		t.Error("want error for tiny side")
+	}
+	if _, err := NewForest(10, -0.1, 0.01); err == nil {
+		t.Error("want error for negative growP")
+	}
+	if _, err := NewForest(10, 0.1, 1.5); err == nil {
+		t.Error("want error for lightningP > 1")
+	}
+}
+
+func TestForestGrowth(t *testing.T) {
+	r := rng.New(1)
+	f, err := NewForest(20, 0.1, 0) // no lightning
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(100, r); err != nil {
+		t.Fatal(err)
+	}
+	if f.Density() < 0.9 {
+		t.Fatalf("density = %v, want near 1 with no fire", f.Density())
+	}
+	if f.Steps() != 100 {
+		t.Fatalf("steps = %d", f.Steps())
+	}
+}
+
+func TestForestFiresBurnClusters(t *testing.T) {
+	r := rng.New(2)
+	f, err := NewForest(30, 0.05, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(1000, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Fires) == 0 {
+		t.Fatal("expected some fires over 1000 steps")
+	}
+	// Density must settle well below 1 when fires burn.
+	if f.Density() > 0.95 {
+		t.Fatalf("density = %v, fires are not burning", f.Density())
+	}
+}
+
+func TestSuppressionRaisesLargeFireRisk(t *testing.T) {
+	// §3.2.3: extinguishing small fires makes large fires more likely.
+	run := func(suppress int, seed uint64) *Forest {
+		r := rng.New(seed)
+		f, err := NewForest(40, 0.05, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SuppressBelow = suppress
+		if err := f.Run(3000, r); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	const largeFire = 160 // 10% of the 40x40 grid
+	var naturalLarge, suppressedLarge float64
+	var naturalDensity, suppressedDensity float64
+	const trials = 3
+	for seed := uint64(0); seed < trials; seed++ {
+		natural := run(0, seed)
+		managed := run(50, 100+seed)
+		naturalLarge += natural.LargeFireFraction(largeFire)
+		suppressedLarge += managed.LargeFireFraction(largeFire)
+		naturalDensity += natural.Density()
+		suppressedDensity += managed.Density()
+		if managed.Suppressed == 0 {
+			t.Fatal("suppression policy never fired")
+		}
+	}
+	if suppressedDensity <= naturalDensity {
+		t.Fatalf("suppressed forest density %v should exceed natural %v (fuel build-up)",
+			suppressedDensity/trials, naturalDensity/trials)
+	}
+	if suppressedLarge <= naturalLarge {
+		t.Fatalf("suppressed large-fire fraction %v should exceed natural %v",
+			suppressedLarge/trials, naturalLarge/trials)
+	}
+}
+
+func TestSuppressionAgesTheForest(t *testing.T) {
+	// §3.2.3: under suppression "every part of the forest gets older and
+	// dryer". Time-averaged mean tree age must be clearly higher with the
+	// suppression policy than under natural burning.
+	run := func(suppress int, seed uint64) float64 {
+		r := rng.New(seed)
+		f, err := NewForest(40, 0.05, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SuppressBelow = suppress
+		var sum float64
+		var n int
+		for step := 0; step < 3000; step += 100 {
+			if err := f.Run(100, r); err != nil {
+				t.Fatal(err)
+			}
+			if step < 500 {
+				continue // warm-up
+			}
+			sum += f.MeanAge()
+			n++
+		}
+		return sum / float64(n)
+	}
+	var natural, suppressed float64
+	for seed := uint64(0); seed < 3; seed++ {
+		natural += run(0, seed)
+		suppressed += run(50, 100+seed)
+	}
+	if suppressed <= natural {
+		t.Fatalf("suppressed mean age %v should exceed natural %v", suppressed/3, natural/3)
+	}
+}
+
+func TestBurningForestKeepsAgeDiversity(t *testing.T) {
+	// A regularly burning forest is an age mosaic: multiple age classes
+	// coexist (time-averaged inverse-Simpson well above 1).
+	r := rng.New(11)
+	f, err := NewForest(40, 0.05, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for step := 0; step < 2000; step += 100 {
+		if err := f.Run(100, r); err != nil {
+			t.Fatal(err)
+		}
+		if step < 500 {
+			continue
+		}
+		d, err := f.AgeDiversity(10)
+		if err != nil {
+			continue
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	if avg := sum / float64(n); avg < 1.5 {
+		t.Fatalf("mean age diversity = %v, want > 1.5 (age mosaic)", avg)
+	}
+}
+
+func TestAgeDiversityValidation(t *testing.T) {
+	f, err := NewForest(5, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AgeDiversity(0); err == nil {
+		t.Error("want error for zero bucket width")
+	}
+	if _, err := f.AgeDiversity(10); !errors.Is(err, diversity.ErrNoPopulation) {
+		t.Error("want ErrNoPopulation for an empty forest")
+	}
+}
+
+func TestLargeFireFractionEmpty(t *testing.T) {
+	f, err := NewForest(5, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LargeFireFraction(10) != 0 {
+		t.Fatal("no fires should give fraction 0")
+	}
+}
+
+func TestRunNegative(t *testing.T) {
+	r := rng.New(3)
+	f, err := NewForest(5, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(-1, r); err == nil {
+		t.Fatal("want error for negative steps")
+	}
+}
+
+func TestFireSizesHeavyTailed(t *testing.T) {
+	// The DS model at slow lightning rates produces a broad fire-size
+	// distribution; check max/median is large.
+	r := rng.New(4)
+	f, err := NewForest(50, 0.05, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(4000, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Fires) < 20 {
+		t.Skipf("only %d fires, not enough for tail check", len(f.Fires))
+	}
+	med := stats.Quantile(f.Fires, 0.5)
+	maxFire := stats.Max(f.Fires)
+	if maxFire < 10*med {
+		t.Fatalf("max fire %v vs median %v: expected broad distribution", maxFire, med)
+	}
+}

@@ -1,0 +1,174 @@
+// Package ca implements the cellular-automaton substrates behind two of
+// the paper's claims:
+//
+//   - §4.5 (Bak): "many decentralized systems that are modeled based on
+//     cellular automaton naturally reach a critical state with minimum
+//     stability … a small disturbance or noise at the critical state could
+//     cause cascading failures of the system leading to a large disaster"
+//     — the Bak–Tang–Wiesenfeld sandpile (sandpile.go);
+//
+//   - §3.2.3: "it is a common wisdom not to extinguish small forest fires
+//     … Otherwise, every part of the forest gets older and dryer, and the
+//     risk of a large-scale forest fire would much increase" — the
+//     Drossel–Schwabl forest-fire model with a suppression policy
+//     (forestfire.go).
+package ca
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/rng"
+)
+
+// TopplingThreshold is the BTW critical height: a site topples when it
+// holds this many grains, sending one to each of its four neighbors.
+const TopplingThreshold = 4
+
+// Sandpile is an L×L Bak–Tang–Wiesenfeld sandpile with open (dissipating)
+// boundaries.
+type Sandpile struct {
+	l      int
+	height []int
+	// Dissipated counts grains lost over the edges.
+	Dissipated int
+	// TotalAdded counts grains dropped.
+	TotalAdded int
+}
+
+// NewSandpile creates an empty L×L sandpile.
+func NewSandpile(l int) (*Sandpile, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("ca: sandpile side %d must be >= 2", l)
+	}
+	return &Sandpile{l: l, height: make([]int, l*l)}, nil
+}
+
+// Side returns L.
+func (s *Sandpile) Side() int { return s.l }
+
+// Height returns the grain count at (x, y).
+func (s *Sandpile) Height(x, y int) int {
+	if x < 0 || y < 0 || x >= s.l || y >= s.l {
+		return 0
+	}
+	return s.height[y*s.l+x]
+}
+
+// Grains returns the total grains currently on the table.
+func (s *Sandpile) Grains() int {
+	total := 0
+	for _, h := range s.height {
+		total += h
+	}
+	return total
+}
+
+// AddGrain drops one grain at (x, y) and relaxes the pile, returning the
+// avalanche size (number of topplings).
+func (s *Sandpile) AddGrain(x, y int) (int, error) {
+	if x < 0 || y < 0 || x >= s.l || y >= s.l {
+		return 0, fmt.Errorf("ca: site (%d,%d) outside %dx%d pile", x, y, s.l, s.l)
+	}
+	s.TotalAdded++
+	s.height[y*s.l+x]++
+	return s.relax(), nil
+}
+
+// AddRandomGrain drops one grain at a uniformly random site.
+func (s *Sandpile) AddRandomGrain(r *rng.Source) int {
+	s.TotalAdded++
+	s.height[r.Intn(len(s.height))]++
+	return s.relax()
+}
+
+// relax topples until every site is below threshold and returns the
+// number of topplings.
+func (s *Sandpile) relax() int {
+	topplings := 0
+	// Work queue of over-threshold sites.
+	var queue []int
+	for i, h := range s.height {
+		if h >= TopplingThreshold {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for s.height[i] >= TopplingThreshold {
+			s.height[i] -= TopplingThreshold
+			topplings++
+			x, y := i%s.l, i/s.l
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= s.l || ny >= s.l {
+					s.Dissipated++
+					continue
+				}
+				j := ny*s.l + nx
+				s.height[j]++
+				if s.height[j] == TopplingThreshold {
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return topplings
+}
+
+// RemoveRandomGrains removes up to k grains from random occupied sites —
+// the "small destructions to an environment … to improve the
+// sustainability" intervention of §4.5. It returns how many grains were
+// actually removed.
+func (s *Sandpile) RemoveRandomGrains(k int, r *rng.Source) int {
+	removed := 0
+	for attempt := 0; removed < k && attempt < 50*k; attempt++ {
+		i := r.Intn(len(s.height))
+		if s.height[i] > 0 {
+			s.height[i]--
+			removed++
+		}
+	}
+	return removed
+}
+
+// DriveResult holds avalanche statistics from a driven sandpile run.
+type DriveResult struct {
+	// Avalanches holds one entry per grain drop: the avalanche size it
+	// triggered (0 for no topplings).
+	Avalanches []float64
+	// MaxAvalanche is the largest avalanche observed.
+	MaxAvalanche int
+	// FinalGrains is the grain count at the end of the run.
+	FinalGrains int
+}
+
+// Drive drops `drops` random grains (after `warmup` unrecorded drops that
+// bring the pile to its self-organized critical state), removing
+// interventionGrains grains at random every interventionEvery drops when
+// interventionEvery > 0. It records the avalanche size of each drop.
+func (s *Sandpile) Drive(warmup, drops, interventionEvery, interventionGrains int, r *rng.Source) (DriveResult, error) {
+	if warmup < 0 || drops <= 0 {
+		return DriveResult{}, fmt.Errorf("ca: invalid drive warmup=%d drops=%d", warmup, drops)
+	}
+	if interventionEvery < 0 || interventionGrains < 0 {
+		return DriveResult{}, errors.New("ca: negative intervention parameters")
+	}
+	for i := 0; i < warmup; i++ {
+		s.AddRandomGrain(r)
+	}
+	res := DriveResult{Avalanches: make([]float64, 0, drops)}
+	for i := 0; i < drops; i++ {
+		if interventionEvery > 0 && i%interventionEvery == 0 && i > 0 {
+			s.RemoveRandomGrains(interventionGrains, r)
+		}
+		size := s.AddRandomGrain(r)
+		res.Avalanches = append(res.Avalanches, float64(size))
+		if size > res.MaxAvalanche {
+			res.MaxAvalanche = size
+		}
+	}
+	res.FinalGrains = s.Grains()
+	return res, nil
+}

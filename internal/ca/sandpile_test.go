@@ -1,0 +1,229 @@
+package ca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+	"resilience/internal/stats"
+)
+
+func TestNewSandpileValidation(t *testing.T) {
+	if _, err := NewSandpile(1); err == nil {
+		t.Error("want error for side < 2")
+	}
+}
+
+func TestAddGrainBounds(t *testing.T) {
+	s, err := NewSandpile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddGrain(-1, 0); err == nil {
+		t.Error("want error for out-of-range site")
+	}
+	if _, err := s.AddGrain(0, 4); err == nil {
+		t.Error("want error for out-of-range site")
+	}
+}
+
+func TestSingleToppling(t *testing.T) {
+	s, err := NewSandpile(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop 4 grains on the center: exactly one toppling.
+	var size int
+	for i := 0; i < 4; i++ {
+		size, err = s.AddGrain(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size != 1 {
+		t.Fatalf("avalanche = %d, want 1", size)
+	}
+	if s.Height(2, 2) != 0 {
+		t.Fatalf("center height = %d, want 0", s.Height(2, 2))
+	}
+	for _, nb := range [][2]int{{1, 2}, {3, 2}, {2, 1}, {2, 3}} {
+		if s.Height(nb[0], nb[1]) != 1 {
+			t.Fatalf("neighbor %v height = %d, want 1", nb, s.Height(nb[0], nb[1]))
+		}
+	}
+}
+
+func TestBoundaryDissipation(t *testing.T) {
+	s, err := NewSandpile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner toppling loses 2 grains off the edges.
+	for i := 0; i < 4; i++ {
+		if _, err := s.AddGrain(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Dissipated != 2 {
+		t.Fatalf("dissipated = %d, want 2", s.Dissipated)
+	}
+}
+
+func TestGrainConservation(t *testing.T) {
+	// Invariant: grains on table + dissipated = total added.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		s, err := NewSandpile(8)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			s.AddRandomGrain(r)
+		}
+		return s.Grains()+s.Dissipated == s.TotalAdded
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllBelowThresholdAfterRelax(t *testing.T) {
+	r := rng.New(1)
+	s, err := NewSandpile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		s.AddRandomGrain(r)
+	}
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			if h := s.Height(x, y); h >= TopplingThreshold {
+				t.Fatalf("site (%d,%d) height %d >= threshold", x, y, h)
+			}
+		}
+	}
+}
+
+func TestDriveCriticality(t *testing.T) {
+	// At the self-organized critical state the avalanche size
+	// distribution is heavy-tailed: big avalanches (> 100 topplings)
+	// occur even though the median is tiny, and the CCDF fits a power
+	// law reasonably well.
+	r := rng.New(2)
+	s, err := NewSandpile(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Drive(20000, 30000, 0, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAvalanche < 100 {
+		t.Fatalf("max avalanche = %d, want heavy tail", res.MaxAvalanche)
+	}
+	var positive []float64
+	for _, a := range res.Avalanches {
+		if a > 0 {
+			positive = append(positive, a)
+		}
+	}
+	if len(positive) < 1000 {
+		t.Fatalf("only %d toppling avalanches", len(positive))
+	}
+	alpha, r2, err := stats.FitPowerLawCCDF(positive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 0.3 || alpha > 3 {
+		t.Fatalf("avalanche tail exponent = %v, want power-law regime", alpha)
+	}
+	// The finite 32x32 lattice imposes an exponential cutoff on the
+	// largest avalanches, so the straight-line fit degrades in the far
+	// tail; 0.75 still clearly separates power law from exponential.
+	if r2 < 0.75 {
+		t.Fatalf("power-law fit R2 = %v", r2)
+	}
+}
+
+func TestInterventionTruncatesTail(t *testing.T) {
+	// §4.5: small controlled destructions keep the system away from the
+	// critical state, suppressing the largest cascades.
+	run := func(every, grains int, seed uint64) DriveResult {
+		r := rng.New(seed)
+		s, err := NewSandpile(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Drive(20000, 20000, every, grains, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	baselineP99s := make([]float64, 0, 3)
+	intervenedP99s := make([]float64, 0, 3)
+	for seed := uint64(0); seed < 3; seed++ {
+		base := run(0, 0, seed)
+		intervened := run(5, 8, 100+seed) // remove 8 grains every 5 drops
+		baselineP99s = append(baselineP99s, stats.Quantile(base.Avalanches, 0.99))
+		intervenedP99s = append(intervenedP99s, stats.Quantile(intervened.Avalanches, 0.99))
+	}
+	if stats.Mean(intervenedP99s) >= stats.Mean(baselineP99s) {
+		t.Fatalf("intervention p99 %v should be below baseline %v",
+			stats.Mean(intervenedP99s), stats.Mean(baselineP99s))
+	}
+}
+
+func TestDriveValidation(t *testing.T) {
+	r := rng.New(3)
+	s, err := NewSandpile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Drive(-1, 10, 0, 0, r); err == nil {
+		t.Error("want error for negative warmup")
+	}
+	if _, err := s.Drive(0, 0, 0, 0, r); err == nil {
+		t.Error("want error for zero drops")
+	}
+	if _, err := s.Drive(0, 10, -1, 0, r); err == nil {
+		t.Error("want error for negative intervention interval")
+	}
+}
+
+func TestRemoveRandomGrains(t *testing.T) {
+	r := rng.New(4)
+	s, err := NewSandpile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.AddRandomGrain(r)
+	}
+	before := s.Grains()
+	removed := s.RemoveRandomGrains(5, r)
+	if removed != 5 {
+		t.Fatalf("removed = %d, want 5", removed)
+	}
+	if s.Grains() != before-5 {
+		t.Fatalf("grains = %d, want %d", s.Grains(), before-5)
+	}
+	// Removing from an empty pile returns 0 without hanging.
+	empty, err := NewSandpile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.RemoveRandomGrains(3, r); got != 0 {
+		t.Fatalf("removed from empty = %d", got)
+	}
+}
+
+func TestHeightOutOfRange(t *testing.T) {
+	s, err := NewSandpile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Height(-1, 0) != 0 || s.Height(0, 9) != 0 {
+		t.Fatal("out-of-range height should be 0")
+	}
+}

@@ -1,0 +1,238 @@
+// Package chaos injects faults into a sysmodel.System — the synthetic
+// substitute for the unanticipated shocks the paper is about. It covers
+// the shock taxonomy of §5.1: random component failures, correlated
+// common-mode failures (a whole substitution group at once, like the
+// shared design flaw of §3.2.2), and X-events whose magnitudes follow a
+// power law (§3.4.6, "many extreme events, such as earthquakes, are known
+// to follow a power-law distribution").
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// Fault is an injectable perturbation.
+type Fault interface {
+	// Inject applies the fault to the system.
+	Inject(sys *sysmodel.System, r *rng.Source) error
+	// String describes the fault for records and logs.
+	String() string
+}
+
+// Crash takes one component Down.
+type Crash struct {
+	ID sysmodel.ComponentID
+}
+
+var _ Fault = Crash{}
+
+// Inject implements Fault.
+func (f Crash) Inject(sys *sysmodel.System, _ *rng.Source) error {
+	return sys.SetStatus(f.ID, sysmodel.Down)
+}
+
+// String implements Fault.
+func (f Crash) String() string { return fmt.Sprintf("crash(%d)", f.ID) }
+
+// Degrade puts one component into the Degraded state.
+type Degrade struct {
+	ID sysmodel.ComponentID
+}
+
+var _ Fault = Degrade{}
+
+// Inject implements Fault.
+func (f Degrade) Inject(sys *sysmodel.System, _ *rng.Source) error {
+	return sys.SetStatus(f.ID, sysmodel.Degraded)
+}
+
+// String implements Fault.
+func (f Degrade) String() string { return fmt.Sprintf("degrade(%d)", f.ID) }
+
+// Repair returns one component to Up — scheduled recovery.
+type Repair struct {
+	ID sysmodel.ComponentID
+}
+
+var _ Fault = Repair{}
+
+// Inject implements Fault.
+func (f Repair) Inject(sys *sysmodel.System, _ *rng.Source) error {
+	return sys.SetStatus(f.ID, sysmodel.Up)
+}
+
+// String implements Fault.
+func (f Repair) String() string { return fmt.Sprintf("repair(%d)", f.ID) }
+
+// CrashGroup crashes every component of a substitution group at once — a
+// common-mode failure: the §3.2.2 scenario where "a design flaw would
+// make all the computers fail at the same time".
+type CrashGroup struct {
+	Group string
+}
+
+var _ Fault = CrashGroup{}
+
+// Inject implements Fault.
+func (f CrashGroup) Inject(sys *sysmodel.System, _ *rng.Source) error {
+	hit := 0
+	for _, c := range sys.Snapshot() {
+		if c.Group == f.Group {
+			if err := sys.SetStatus(c.ID, sysmodel.Down); err != nil {
+				return err
+			}
+			hit++
+		}
+	}
+	if hit == 0 {
+		return fmt.Errorf("chaos: no components in group %q", f.Group)
+	}
+	return nil
+}
+
+// String implements Fault.
+func (f CrashGroup) String() string { return fmt.Sprintf("crash-group(%s)", f.Group) }
+
+// CrashRandom crashes up to N currently-Up components chosen uniformly.
+type CrashRandom struct {
+	N int
+}
+
+var _ Fault = CrashRandom{}
+
+// Inject implements Fault.
+func (f CrashRandom) Inject(sys *sysmodel.System, r *rng.Source) error {
+	if f.N <= 0 {
+		return nil
+	}
+	var up []sysmodel.ComponentID
+	for _, c := range sys.Snapshot() {
+		if c.Status == sysmodel.Up {
+			up = append(up, c.ID)
+		}
+	}
+	r.Shuffle(len(up), func(i, j int) { up[i], up[j] = up[j], up[i] })
+	n := f.N
+	if n > len(up) {
+		n = len(up)
+	}
+	for _, id := range up[:n] {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements Fault.
+func (f CrashRandom) String() string { return fmt.Sprintf("crash-random(%d)", f.N) }
+
+// XEvent crashes ceil(X) random components where X ~ Pareto(Scale, Alpha)
+// — a heavy-tailed shock whose size is usually small but occasionally
+// enormous.
+type XEvent struct {
+	Scale float64
+	Alpha float64
+}
+
+var _ Fault = XEvent{}
+
+// Inject implements Fault.
+func (f XEvent) Inject(sys *sysmodel.System, r *rng.Source) error {
+	if f.Scale <= 0 || f.Alpha <= 0 {
+		return fmt.Errorf("chaos: xevent needs positive scale and alpha, got %v/%v", f.Scale, f.Alpha)
+	}
+	n := int(math.Ceil(r.Pareto(f.Scale, f.Alpha)))
+	return CrashRandom{N: n}.Inject(sys, r)
+}
+
+// String implements Fault.
+func (f XEvent) String() string { return fmt.Sprintf("xevent(scale=%v,alpha=%v)", f.Scale, f.Alpha) }
+
+// ScheduledFault fires a fault at a specific simulation step.
+type ScheduledFault struct {
+	Step  int
+	Fault Fault
+}
+
+// InjectionRecord logs an injected fault.
+type InjectionRecord struct {
+	Step        int
+	Description string
+}
+
+// Injector drives a system through time while injecting faults.
+type Injector struct {
+	// Schedule lists deterministic faults (fired before the step they
+	// name).
+	Schedule []ScheduledFault
+	// RandomFault, if non-nil, is injected each step with probability
+	// RandomFaultRate.
+	RandomFault Fault
+	// RandomFaultRate is the per-step probability of a random fault.
+	RandomFaultRate float64
+	// AutoRepairProb is the per-step probability that each Down
+	// component recovers on its own (environmental repair, e.g. a
+	// supplier coming back). Zero disables.
+	AutoRepairProb float64
+	// Hook, if non-nil, runs after every step with the step report —
+	// the attachment point for MAPE controllers.
+	Hook func(step int, rep sysmodel.StepReport)
+}
+
+// Run advances the system `steps` steps, returning the quality trace and
+// the log of injected faults.
+func (inj *Injector) Run(sys *sysmodel.System, steps int, r *rng.Source) (*metrics.Trace, []InjectionRecord, error) {
+	if sys == nil {
+		return nil, nil, errors.New("chaos: nil system")
+	}
+	if steps < 0 {
+		return nil, nil, fmt.Errorf("chaos: negative steps %d", steps)
+	}
+	sched := make([]ScheduledFault, len(inj.Schedule))
+	copy(sched, inj.Schedule)
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].Step < sched[j].Step })
+	var records []InjectionRecord
+	tr := metrics.NewTrace(0, 1)
+	next := 0
+	for t := 0; t < steps; t++ {
+		for next < len(sched) && sched[next].Step == t {
+			f := sched[next].Fault
+			if f != nil {
+				if err := f.Inject(sys, r); err != nil {
+					return nil, nil, fmt.Errorf("scheduled fault at step %d: %w", t, err)
+				}
+				records = append(records, InjectionRecord{Step: t, Description: f.String()})
+			}
+			next++
+		}
+		if inj.RandomFault != nil && r.Bool(inj.RandomFaultRate) {
+			if err := inj.RandomFault.Inject(sys, r); err != nil {
+				return nil, nil, fmt.Errorf("random fault at step %d: %w", t, err)
+			}
+			records = append(records, InjectionRecord{Step: t, Description: inj.RandomFault.String()})
+		}
+		if inj.AutoRepairProb > 0 {
+			for _, id := range sys.DownComponents() {
+				if r.Bool(inj.AutoRepairProb) {
+					if err := sys.SetStatus(id, sysmodel.Up); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+		rep := sys.Step()
+		tr.Append(rep.Quality)
+		if inj.Hook != nil {
+			inj.Hook(t, rep)
+		}
+	}
+	return tr, records, nil
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+func buildFarm(t *testing.T, n int, demand, reserve float64) (*sysmodel.System, []sysmodel.ComponentID) {
+	t.Helper()
+	b := sysmodel.NewBuilder()
+	ids := make([]sysmodel.ComponentID, n)
+	for i := range ids {
+		ids[i] = b.Component("node", demand/float64(n), sysmodel.WithGroup("farm"))
+	}
+	sys, err := b.Build(demand, reserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ids
+}
+
+func TestCrashDegradeRepair(t *testing.T) {
+	r := rng.New(1)
+	sys, ids := buildFarm(t, 4, 100, 0)
+	if err := (Crash{ID: ids[0]}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.Status(ids[0]); st != sysmodel.Down {
+		t.Fatal("crash did not take the component down")
+	}
+	if err := (Degrade{ID: ids[1]}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.Status(ids[1]); st != sysmodel.Degraded {
+		t.Fatal("degrade failed")
+	}
+	if err := (Repair{ID: ids[0]}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.Status(ids[0]); st != sysmodel.Up {
+		t.Fatal("repair failed")
+	}
+}
+
+func TestCrashGroupCommonMode(t *testing.T) {
+	r := rng.New(2)
+	sys, ids := buildFarm(t, 3, 90, 0)
+	if err := (CrashGroup{Group: "farm"}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if st, _ := sys.Status(id); st != sysmodel.Down {
+			t.Fatal("common-mode crash must take the whole group down")
+		}
+	}
+	if err := (CrashGroup{Group: "nope"}).Inject(sys, r); err == nil {
+		t.Fatal("want error for unknown group")
+	}
+}
+
+func TestCrashRandom(t *testing.T) {
+	r := rng.New(3)
+	sys, _ := buildFarm(t, 10, 100, 0)
+	if err := (CrashRandom{N: 4}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.DownComponents()); got != 4 {
+		t.Fatalf("down = %d, want 4", got)
+	}
+	// Clamps to available.
+	if err := (CrashRandom{N: 100}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.DownComponents()); got != 10 {
+		t.Fatalf("down = %d, want all 10", got)
+	}
+	// N <= 0 is a no-op.
+	sys2, _ := buildFarm(t, 3, 30, 0)
+	if err := (CrashRandom{N: 0}).Inject(sys2, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys2.DownComponents()) != 0 {
+		t.Fatal("CrashRandom{0} crashed something")
+	}
+}
+
+func TestXEventValidation(t *testing.T) {
+	r := rng.New(4)
+	sys, _ := buildFarm(t, 5, 50, 0)
+	if err := (XEvent{Scale: 0, Alpha: 1}).Inject(sys, r); err == nil {
+		t.Fatal("want error for zero scale")
+	}
+	if err := (XEvent{Scale: 1, Alpha: -1}).Inject(sys, r); err == nil {
+		t.Fatal("want error for negative alpha")
+	}
+	if err := (XEvent{Scale: 1, Alpha: 2}).Inject(sys, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.DownComponents()) < 1 {
+		t.Fatal("xevent should crash at least one component")
+	}
+}
+
+func TestInjectorScheduledFaults(t *testing.T) {
+	r := rng.New(5)
+	sys, ids := buildFarm(t, 4, 100, 0)
+	inj := &Injector{
+		Schedule: []ScheduledFault{
+			{Step: 10, Fault: Crash{ID: ids[0]}},
+			{Step: 5, Fault: Crash{ID: ids[1]}}, // out of order on purpose
+			{Step: 20, Fault: Repair{ID: ids[0]}},
+			{Step: 20, Fault: Repair{ID: ids[1]}},
+		},
+	}
+	tr, recs, err := inj.Run(sys, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 30 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Step != 5 || !strings.HasPrefix(recs[0].Description, "crash") {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	rep, err := metrics.Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Robustness != 50 {
+		t.Fatalf("robustness = %v, want 50 (two of four down)", rep.Robustness)
+	}
+	if len(rep.Episodes) != 1 || !rep.Episodes[0].Recovered() {
+		t.Fatalf("episodes = %+v", rep.Episodes)
+	}
+}
+
+func TestInjectorRandomFaultAndAutoRepair(t *testing.T) {
+	r := rng.New(6)
+	sys, _ := buildFarm(t, 10, 100, 0)
+	inj := &Injector{
+		RandomFault:     CrashRandom{N: 1},
+		RandomFaultRate: 0.3,
+		AutoRepairProb:  0.2,
+	}
+	tr, recs, err := inj.Run(sys, 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 50 {
+		t.Fatalf("records = %d, want many random faults", len(recs))
+	}
+	// Auto-repair must keep the system from total collapse.
+	rob, err := tr.Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob == 0 {
+		t.Log("system hit zero quality; acceptable but unusual at these rates")
+	}
+	loss, err := tr.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss == 0 {
+		t.Fatal("expected some quality loss under random faults")
+	}
+}
+
+func TestInjectorHook(t *testing.T) {
+	r := rng.New(7)
+	sys, _ := buildFarm(t, 2, 20, 0)
+	var calls int
+	inj := &Injector{Hook: func(step int, rep sysmodel.StepReport) {
+		calls++
+		if rep.Quality != 100 {
+			t.Errorf("unexpected degradation at step %d", step)
+		}
+	}}
+	if _, _, err := inj.Run(sys, 25, r); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Fatalf("hook calls = %d", calls)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	r := rng.New(8)
+	if _, _, err := (&Injector{}).Run(nil, 5, r); err == nil {
+		t.Error("want error for nil system")
+	}
+	sys, _ := buildFarm(t, 2, 20, 0)
+	if _, _, err := (&Injector{}).Run(sys, -1, r); err == nil {
+		t.Error("want error for negative steps")
+	}
+	bad := &Injector{Schedule: []ScheduledFault{{Step: 1, Fault: CrashGroup{Group: "missing"}}}}
+	if _, _, err := bad.Run(sys, 5, r); err == nil {
+		t.Error("want error propagated from scheduled fault")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	for _, f := range []Fault{
+		Crash{ID: 1}, Degrade{ID: 2}, Repair{ID: 3},
+		CrashGroup{Group: "g"}, CrashRandom{N: 4}, XEvent{Scale: 1, Alpha: 2},
+	} {
+		if f.String() == "" {
+			t.Errorf("%T has empty description", f)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+
+	"resilience/internal/chaos"
+	"resilience/internal/dcsp"
+	"resilience/internal/mape"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// DCSPSystem adapts a dcsp.System to the core System interface.
+type DCSPSystem struct {
+	Sys *dcsp.System
+	R   *rng.Source
+}
+
+var _ System = (*DCSPSystem)(nil)
+
+// NewDCSPSystem wraps a dynamic-CSP system with its random source.
+func NewDCSPSystem(sys *dcsp.System, r *rng.Source) (*DCSPSystem, error) {
+	if sys == nil || r == nil {
+		return nil, errors.New("core: nil dcsp system or rng")
+	}
+	return &DCSPSystem{Sys: sys, R: r}, nil
+}
+
+// Quality implements System.
+func (a *DCSPSystem) Quality() float64 { return a.Sys.Quality() }
+
+// Step implements System.
+func (a *DCSPSystem) Step() error {
+	a.Sys.Step(a.R)
+	return nil
+}
+
+// Damage returns a Shock applying the damage model to the adapted system.
+func (a *DCSPSystem) Damage(dm dcsp.DamageModel) Shock {
+	return func() error {
+		if dm == nil {
+			return errors.New("core: nil damage model")
+		}
+		_, state := dcsp.DamageEvent{Model: dm}.Apply(a.Sys.Env, a.Sys.State, a.R)
+		a.Sys.State = state
+		return nil
+	}
+}
+
+// ShiftEnvironment returns a Shock replacing the environment constraint.
+func (a *DCSPSystem) ShiftEnvironment(env dcsp.Constraint) Shock {
+	return func() error {
+		if env == nil {
+			return errors.New("core: nil environment")
+		}
+		a.Sys.Env = env
+		return nil
+	}
+}
+
+// ServiceSystem adapts a sysmodel.System (optionally supervised by a MAPE
+// controller) to the core System interface.
+type ServiceSystem struct {
+	Sys *sysmodel.System
+	// Controller, if non-nil, ticks once after every step.
+	Controller *mape.Controller
+
+	lastQuality float64
+	started     bool
+}
+
+var _ System = (*ServiceSystem)(nil)
+
+// NewServiceSystem wraps a service system.
+func NewServiceSystem(sys *sysmodel.System, controller *mape.Controller) (*ServiceSystem, error) {
+	if sys == nil {
+		return nil, errors.New("core: nil service system")
+	}
+	return &ServiceSystem{Sys: sys, Controller: controller}, nil
+}
+
+// Quality implements System: before the first step it peeks via the MAPE
+// monitor; afterwards it reports the last step's served quality.
+func (a *ServiceSystem) Quality() float64 {
+	if !a.started {
+		return mape.QualityMonitor{}.Observe(a.Sys).Quality
+	}
+	return a.lastQuality
+}
+
+// Step implements System.
+func (a *ServiceSystem) Step() error {
+	rep := a.Sys.Step()
+	a.lastQuality = rep.Quality
+	a.started = true
+	if a.Controller != nil {
+		if _, err := a.Controller.Tick(a.Sys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inject returns a Shock applying a chaos fault to the adapted system.
+func (a *ServiceSystem) Inject(f chaos.Fault, r *rng.Source) Shock {
+	return func() error {
+		if f == nil {
+			return errors.New("core: nil fault")
+		}
+		return f.Inject(a.Sys, r)
+	}
+}

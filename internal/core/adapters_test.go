@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/chaos"
+	"resilience/internal/dcsp"
+	"resilience/internal/magent"
+	"resilience/internal/mape"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+func newDCSP(t *testing.T) (*DCSPSystem, *rng.Source) {
+	t.Helper()
+	r := rng.New(1)
+	sys, err := dcsp.NewSystem(dcsp.AllOnes{N: 10}, bitstring.Ones(10), dcsp.GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewDCSPSystem(sys, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, r
+}
+
+func TestNewDCSPSystemValidation(t *testing.T) {
+	r := rng.New(2)
+	if _, err := NewDCSPSystem(nil, r); err == nil {
+		t.Error("want error for nil system")
+	}
+	sys, err := dcsp.NewSystem(dcsp.AllOnes{N: 4}, bitstring.Ones(4), dcsp.GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDCSPSystem(sys, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestDCSPAdapterScenario(t *testing.T) {
+	a, _ := newDCSP(t)
+	sc := Scenario{
+		Steps: 20,
+		ShockAt: map[int]Shock{
+			5: a.Damage(dcsp.ExactFlips{K: 4}),
+		},
+	}
+	tr, err := RunScenario(a, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Recovered {
+		t.Fatal("dcsp system should recover from 4 flips in 20 steps")
+	}
+	if p.Report.Robustness != 60 {
+		t.Fatalf("robustness = %v, want 60", p.Report.Robustness)
+	}
+}
+
+func TestDCSPAdapterShiftEnvironment(t *testing.T) {
+	a, _ := newDCSP(t)
+	sc := Scenario{
+		Steps: 15,
+		ShockAt: map[int]Shock{
+			3: a.ShiftEnvironment(dcsp.AtLeast{N: 10, K: 10}),
+		},
+	}
+	if _, err := RunScenario(a, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sys.Env.Fit(a.Sys.State) {
+		t.Fatal("system should satisfy the shifted environment")
+	}
+	// Nil shocks error cleanly.
+	if err := a.ShiftEnvironment(nil)(); err == nil {
+		t.Error("want error for nil environment")
+	}
+	if err := a.Damage(nil)(); err == nil {
+		t.Error("want error for nil damage model")
+	}
+}
+
+func newService(t *testing.T, withController bool) (*ServiceSystem, []sysmodel.ComponentID) {
+	t.Helper()
+	b := sysmodel.NewBuilder()
+	ids := make([]sysmodel.ComponentID, 5)
+	for i := range ids {
+		ids[i] = b.Component("node", 20)
+	}
+	sys, err := b.Build(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctrl *mape.Controller
+	if withController {
+		ctrl = mape.NewController(99, 1)
+	}
+	a, err := NewServiceSystem(sys, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, ids
+}
+
+func TestNewServiceSystemValidation(t *testing.T) {
+	if _, err := NewServiceSystem(nil, nil); err == nil {
+		t.Error("want error for nil system")
+	}
+}
+
+func TestServiceAdapterWithMAPERecovers(t *testing.T) {
+	a, ids := newService(t, true)
+	r := rng.New(3)
+	sc := Scenario{
+		Steps: 20,
+		ShockAt: map[int]Shock{
+			4: a.Inject(chaos.Crash{ID: ids[0]}, r),
+			5: a.Inject(chaos.Crash{ID: ids[1]}, r),
+		},
+	}
+	tr, err := RunScenario(a, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Recovered {
+		t.Fatal("MAPE-supervised service should recover")
+	}
+	if len(a.Sys.DownComponents()) != 0 {
+		t.Fatal("components still down")
+	}
+}
+
+func TestServiceAdapterWithoutControllerStaysDown(t *testing.T) {
+	a, ids := newService(t, false)
+	r := rng.New(4)
+	sc := Scenario{
+		Steps: 10,
+		ShockAt: map[int]Shock{
+			2: a.Inject(chaos.Crash{ID: ids[0]}, r),
+		},
+	}
+	tr, err := RunScenario(a, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Recovered {
+		t.Fatal("uncontrolled service cannot recover")
+	}
+	if p.Grade != GradeF {
+		t.Fatalf("grade = %s", p.Grade)
+	}
+}
+
+func TestServiceAdapterNilFault(t *testing.T) {
+	a, _ := newService(t, false)
+	r := rng.New(5)
+	if err := a.Inject(nil, r)(); err == nil {
+		t.Fatal("want error for nil fault")
+	}
+}
+
+func TestOptimizeAllocation(t *testing.T) {
+	base := magent.DefaultConfig()
+	base.InitialAgents = 20
+	base.PopulationCap = 60
+	params := magent.DefaultTradeoffParams()
+	scenario := magent.MaskScenario{CareBits: 6, ShiftDistance: 2, ShiftEvery: 25, Shifts: 1}
+	res, err := OptimizeAllocation(base, params, scenario, 2, 60, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) != 6 {
+		t.Fatalf("sweep size = %d", len(res.Sweep))
+	}
+	// The best outcome must have the max survival rate in the sweep.
+	for _, o := range res.Sweep {
+		if o.SurvivalRate > res.Best.SurvivalRate {
+			t.Fatalf("best %v is not maximal (found %v)", res.Best.SurvivalRate, o.SurvivalRate)
+		}
+	}
+	if _, err := OptimizeAllocation(base, params, scenario, 0, 10, 1, 1); err == nil {
+		t.Error("want error for bad resolution")
+	}
+}

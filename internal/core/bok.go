@@ -1,0 +1,178 @@
+package core
+
+// StrategyKind classifies a resilience strategy per the paper's taxonomy.
+type StrategyKind int
+
+// Strategy kinds: the three passive strategies of §3.1–3.3 and the
+// active-resilience dimensions of §3.4.
+const (
+	Redundancy StrategyKind = iota + 1
+	Diversity
+	Adaptability
+	Anticipation
+	Modeling
+	EmergencyResponse
+	ConsensusBuilding
+	ModeSwitching
+)
+
+// String returns the strategy name.
+func (k StrategyKind) String() string {
+	switch k {
+	case Redundancy:
+		return "redundancy"
+	case Diversity:
+		return "diversity"
+	case Adaptability:
+		return "adaptability"
+	case Anticipation:
+		return "anticipation"
+	case Modeling:
+		return "modeling"
+	case EmergencyResponse:
+		return "emergency-response"
+	case ConsensusBuilding:
+		return "consensus-building"
+	case ModeSwitching:
+		return "mode-switching"
+	default:
+		return "unknown"
+	}
+}
+
+// Passive reports whether the strategy operates without human
+// intelligence in the loop (§3.4: "These strategies do not require human
+// intervention and appear in any resilient systems. We call these
+// passive resilience.").
+func (k StrategyKind) Passive() bool {
+	switch k {
+	case Redundancy, Diversity, Adaptability:
+		return true
+	default:
+		return false
+	}
+}
+
+// Entry is one catalogue item of the Resilience body of knowledge.
+type Entry struct {
+	Kind StrategyKind
+	// Section is the paper section introducing the strategy.
+	Section string
+	// Summary restates the strategy.
+	Summary string
+	// Examples lists the paper's cross-domain examples.
+	Examples []string
+	// Packages lists the repository packages implementing the strategy.
+	Packages []string
+	// Knob describes how the strategy is quantified in the multi-agent
+	// testbed or simulators (empty for active strategies without one).
+	Knob string
+}
+
+// Catalogue returns the Resilience BoK: every strategy the paper
+// catalogues, its domain examples, and the code that models it.
+func Catalogue() []Entry {
+	return []Entry{
+		{
+			Kind:    Redundancy,
+			Section: "3.1",
+			Summary: "Spare capacity and substitutable parts keep function available through component loss.",
+			Examples: []string{
+				"E. coli's ~4000 redundant genes survive single knockouts",
+				"RAID storage arrays",
+				"Japan's reserve generation capacity after 3.11",
+				"auto makers' monetary reserves",
+				"interoperable emergency radios (9/11)",
+			},
+			Packages: []string{"internal/biosim", "internal/storage", "internal/sysmodel"},
+			Knob:     "agent resource endowment (magent.Config.InitialResource)",
+		},
+		{
+			Kind:    Diversity,
+			Section: "3.2",
+			Summary: "Heterogeneous designs and populations prevent one shock or flaw from killing everything.",
+			Examples: []string{
+				"survival of life through the Permian–Triassic extinction",
+				"Boeing 777's three independently designed computers",
+				"letting small forest fires burn to keep age diversity",
+				"portfolio diversification",
+			},
+			Packages: []string{"internal/diversity", "internal/dynamics", "internal/nver", "internal/ca", "internal/portfolio"},
+			Knob:     "founder genotypes (magent.Config.FounderGenotypes), diversity index G (§3.2.4)",
+		},
+		{
+			Kind:    Adaptability,
+			Section: "3.3",
+			Summary: "Sensing change and reconfiguring quickly shrinks the recovery side of the resilience triangle.",
+			Examples: []string{
+				"evolution by mutation and selection",
+				"IBM autonomic computing's MAPE loop",
+				"body-temperature homeostasis",
+				"co-regulation adapting faster than statute law",
+			},
+			Packages: []string{"internal/mape", "internal/dcsp", "internal/magent", "internal/regulate"},
+			Knob:     "bits flipped per step (magent.Config.AdaptBits, dcsp flipsPerStep)",
+		},
+		{
+			Kind:    Anticipation,
+			Section: "3.4.1",
+			Summary: "Prediction, scenario planning and early-warning signals buy preparation time before the shock.",
+			Examples: []string{
+				"WHO pandemic phases",
+				"JMA tsunami warnings",
+				"Scheffer's early-warning signals near tipping points",
+			},
+			Packages: []string{"internal/dynamics", "internal/stats", "internal/modeswitch", "internal/belief"},
+			Knob:     "early-warning trend thresholds (dynamics.DetectBeforeTip, modeswitch.Sentinel)",
+		},
+		{
+			Kind:    Modeling,
+			Section: "3.4.2",
+			Summary: "Building models during a crisis turns raw information into executable plans.",
+			Examples: []string{
+				"SPEEDI radiation-dispersion prediction",
+			},
+			Packages: []string{"internal/metrics", "internal/xevent"},
+		},
+		{
+			Kind:    EmergencyResponse,
+			Section: "3.4.3",
+			Summary: "Empowered, improvising responders at the bottom of the hierarchy act faster than the chain of command.",
+			Examples: []string{
+				"Business Continuity Planning, ISO 22320",
+			},
+			Packages: []string{"internal/mape", "internal/magent"},
+			Knob:     "emergency repair budget (mape.ModePolicy.RepairBudget), mutual aid (magent.Config.AidShare)",
+		},
+		{
+			Kind:    ConsensusBuilding,
+			Section: "3.4.5",
+			Summary: "Recovery may rebuild the system into a new acceptable configuration; stakeholders must agree on which.",
+			Examples: []string{
+				"Miyagi rebuilding industry vs Iwate prioritizing wellness after 2011",
+			},
+			Packages: []string{"internal/modeswitch"},
+		},
+		{
+			Kind:    ModeSwitching,
+			Section: "3.4.6",
+			Summary: "Ignore extreme risks in normal mode; switch the whole policy set when an X-event makes the designed realm unreachable.",
+			Examples: []string{
+				"Takeuchi's argument for ignoring rare risks day to day",
+				"Ichigan situation-based security policy switching",
+			},
+			Packages: []string{"internal/modeswitch", "internal/mape", "internal/xevent"},
+			Knob:     "mode thresholds with hysteresis (modeswitch.Config)",
+		},
+	}
+}
+
+// Lookup returns the catalogue entry for a strategy kind.
+func Lookup(kind StrategyKind) (Entry, bool) {
+	for _, e := range Catalogue() {
+		if e.Kind == kind {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,185 @@
+// Package core is the top level of the resilience library: it binds the
+// paper's formal model (dcsp, maintain), its quantitative metric
+// (metrics), its strategy knobs (diversity, magent), and the engineering
+// substrates (sysmodel, chaos, mape) into one API.
+//
+// The package provides:
+//
+//   - the Resilience body of knowledge (bok.go) — the catalogue of
+//     strategies the project set out to organize (§2: "This 'Resilience
+//     BoK' will catalogue various resilience strategies and describe when
+//     and how these strategies should be applied");
+//
+//   - a generic System interface with adapters for the DCSP model and
+//     the component service model (adapters.go);
+//
+//   - a scenario runner and resilience profile: run shocks, collect the
+//     quality trace, compute the Bruneau loss, and grade the outcome;
+//
+//   - the §4.4 budget optimizer over redundancy/diversity/adaptability
+//     (optimize.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"resilience/internal/metrics"
+)
+
+// System is anything whose quality can be sampled while time advances.
+type System interface {
+	// Quality returns the current service quality in [0, 100].
+	Quality() float64
+	// Step advances the system one time unit.
+	Step() error
+}
+
+// Shock is a perturbation applied to a System mid-run.
+type Shock func() error
+
+// Scenario schedules shocks against a system.
+type Scenario struct {
+	// Steps is the run length.
+	Steps int
+	// ShockAt maps step index to the shock fired before that step.
+	ShockAt map[int]Shock
+}
+
+// RunScenario drives the system through the scenario and returns the
+// quality trace: a sample before each step (after that step's shock) and
+// a final sample.
+func RunScenario(sys System, sc Scenario) (*metrics.Trace, error) {
+	if sys == nil {
+		return nil, errors.New("core: nil system")
+	}
+	if sc.Steps < 0 {
+		return nil, fmt.Errorf("core: negative steps %d", sc.Steps)
+	}
+	tr := metrics.NewTrace(0, 1)
+	for t := 0; t < sc.Steps; t++ {
+		if shock, ok := sc.ShockAt[t]; ok && shock != nil {
+			if err := shock(); err != nil {
+				return nil, fmt.Errorf("shock at step %d: %w", t, err)
+			}
+		}
+		tr.Append(sys.Quality())
+		if err := sys.Step(); err != nil {
+			return nil, fmt.Errorf("step %d: %w", t, err)
+		}
+	}
+	tr.Append(sys.Quality())
+	return tr, nil
+}
+
+// Grade is a qualitative resilience rating derived from the normalized
+// Bruneau loss.
+type Grade string
+
+// Grades from most to least resilient.
+const (
+	GradeA Grade = "A" // normalized loss < 1%
+	GradeB Grade = "B" // < 5%
+	GradeC Grade = "C" // < 15%
+	GradeD Grade = "D" // < 40%
+	GradeF Grade = "F" // >= 40% or never recovered
+)
+
+// Profile is a full resilience assessment of one run.
+type Profile struct {
+	Report metrics.Report
+	Grade  Grade
+	// Recovered is false if any episode was still open at the end of
+	// the trace.
+	Recovered bool
+}
+
+// Assess evaluates a quality trace against a baseline (typically 99.9%
+// of full quality) and grades it.
+func Assess(tr *metrics.Trace, baseline float64) (Profile, error) {
+	rep, err := metrics.Assess(tr, baseline)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{Report: rep, Recovered: true}
+	for _, e := range rep.Episodes {
+		if !e.Recovered() {
+			p.Recovered = false
+		}
+	}
+	switch {
+	case !p.Recovered || rep.Normalized >= 0.40:
+		p.Grade = GradeF
+	case rep.Normalized >= 0.15:
+		p.Grade = GradeD
+	case rep.Normalized >= 0.05:
+		p.Grade = GradeC
+	case rep.Normalized >= 0.01:
+		p.Grade = GradeB
+	default:
+		p.Grade = GradeA
+	}
+	return p, nil
+}
+
+// CompareProfiles orders named profiles from most to least resilient
+// (ascending loss).
+type NamedProfile struct {
+	Name    string
+	Profile Profile
+}
+
+// Rank sorts profiles ascending by Bruneau loss (most resilient first).
+func Rank(profiles map[string]Profile) []NamedProfile {
+	out := make([]NamedProfile, 0, len(profiles))
+	for name, p := range profiles {
+		out = append(out, NamedProfile{Name: name, Profile: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Profile.Report.Loss, out[j].Profile.Report.Loss
+		if li != lj {
+			return li < lj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ExpectedLossOverShocks runs the scenario generator for each probability
+// weight and aggregates the expected Bruneau loss — the ensemble view of
+// §4.1.
+func ExpectedLossOverShocks(runs []WeightedRun) (float64, error) {
+	scenarios := make([]metrics.ScenarioLoss, 0, len(runs))
+	for _, wr := range runs {
+		if wr.Trace == nil {
+			return 0, errors.New("core: nil trace in weighted run")
+		}
+		loss, err := wr.Trace.Loss()
+		if err != nil {
+			return 0, err
+		}
+		scenarios = append(scenarios, metrics.ScenarioLoss{Probability: wr.Probability, Loss: loss})
+	}
+	return metrics.ExpectedLoss(scenarios)
+}
+
+// WeightedRun pairs a measured trace with its scenario probability.
+type WeightedRun struct {
+	Probability float64
+	Trace       *metrics.Trace
+}
+
+// RecoverabilityScore condenses a profile into a single [0, 1] score:
+// 1 − normalized loss, floored at 0, zeroed when unrecovered.
+func RecoverabilityScore(p Profile) float64 {
+	if !p.Recovered {
+		return 0
+	}
+	s := 1 - p.Report.Normalized
+	if s < 0 || math.IsNaN(s) {
+		return 0
+	}
+	return s
+}

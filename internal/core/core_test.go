@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/metrics"
+)
+
+// fakeSystem is a scripted System for harness tests.
+type fakeSystem struct {
+	quality float64
+	repair  float64
+	stepErr error
+}
+
+func (f *fakeSystem) Quality() float64 { return f.quality }
+func (f *fakeSystem) Step() error {
+	if f.stepErr != nil {
+		return f.stepErr
+	}
+	f.quality += f.repair
+	if f.quality > 100 {
+		f.quality = 100
+	}
+	return nil
+}
+
+func TestRunScenarioBasics(t *testing.T) {
+	sys := &fakeSystem{quality: 100, repair: 10}
+	sc := Scenario{
+		Steps: 10,
+		ShockAt: map[int]Shock{
+			2: func() error { sys.quality = 40; return nil },
+		},
+	}
+	tr, err := RunScenario(sys, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 11 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+	rob, err := tr.Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob != 40 {
+		t.Fatalf("robustness = %v, want the shocked value 40", rob)
+	}
+	eps := tr.Episodes(99)
+	if len(eps) != 1 || !eps[0].Recovered() {
+		t.Fatalf("episodes = %+v", eps)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(nil, Scenario{Steps: 5}); err == nil {
+		t.Error("want error for nil system")
+	}
+	if _, err := RunScenario(&fakeSystem{}, Scenario{Steps: -1}); err == nil {
+		t.Error("want error for negative steps")
+	}
+	boom := errors.New("boom")
+	sc := Scenario{Steps: 5, ShockAt: map[int]Shock{1: func() error { return boom }}}
+	if _, err := RunScenario(&fakeSystem{quality: 100}, sc); !errors.Is(err, boom) {
+		t.Error("shock error must propagate")
+	}
+	bad := &fakeSystem{quality: 100, stepErr: boom}
+	if _, err := RunScenario(bad, Scenario{Steps: 3}); !errors.Is(err, boom) {
+		t.Error("step error must propagate")
+	}
+}
+
+func traceWithDip(floor float64, dipLen, total int) *metrics.Trace {
+	tr := metrics.NewTrace(0, 1)
+	for i := 0; i < total; i++ {
+		if i >= 2 && i < 2+dipLen {
+			tr.Append(floor)
+		} else {
+			tr.Append(100)
+		}
+	}
+	return tr
+}
+
+func TestAssessGrades(t *testing.T) {
+	cases := []struct {
+		name  string
+		tr    *metrics.Trace
+		grade Grade
+	}{
+		{"perfect", traceWithDip(100, 0, 100), GradeA},
+		{"blip", traceWithDip(50, 1, 100), GradeA},
+		{"moderate", traceWithDip(0, 3, 100), GradeB},
+		{"bad", traceWithDip(0, 10, 100), GradeC},
+		{"awful", traceWithDip(0, 30, 100), GradeD},
+		{"catastrophic", traceWithDip(0, 60, 100), GradeF},
+	}
+	for _, c := range cases {
+		p, err := Assess(c.tr, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if p.Grade != c.grade {
+			t.Errorf("%s: grade = %s (norm %v), want %s", c.name, p.Grade, p.Report.Normalized, c.grade)
+		}
+	}
+}
+
+func TestAssessUnrecoveredIsF(t *testing.T) {
+	tr := metrics.NewTrace(0, 1)
+	for i := 0; i < 50; i++ {
+		tr.Append(100)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Append(50) // ends degraded
+	}
+	p, err := Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Recovered {
+		t.Fatal("profile should be unrecovered")
+	}
+	if p.Grade != GradeF {
+		t.Fatalf("grade = %s, want F for unrecovered", p.Grade)
+	}
+	if RecoverabilityScore(p) != 0 {
+		t.Fatal("unrecovered score must be 0")
+	}
+}
+
+func TestRecoverabilityScore(t *testing.T) {
+	p, err := Assess(traceWithDip(0, 3, 100), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RecoverabilityScore(p)
+	if s <= 0.9 || s > 1 {
+		t.Fatalf("score = %v", s)
+	}
+}
+
+func TestRank(t *testing.T) {
+	good, err := Assess(traceWithDip(50, 2, 100), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Assess(traceWithDip(0, 20, 100), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(map[string]Profile{"bad": bad, "good": good})
+	if len(ranked) != 2 || ranked[0].Name != "good" {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+}
+
+func TestExpectedLossOverShocks(t *testing.T) {
+	small := traceWithDip(50, 2, 50)
+	big := traceWithDip(0, 20, 50)
+	el, err := ExpectedLossOverShocks([]WeightedRun{
+		{Probability: 0.9, Trace: small},
+		{Probability: 0.1, Trace: big},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallLoss, err := small.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigLoss, err := big.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*smallLoss + 0.1*bigLoss
+	if el != want {
+		t.Fatalf("expected loss = %v, want %v", el, want)
+	}
+	if _, err := ExpectedLossOverShocks([]WeightedRun{{Probability: 1, Trace: nil}}); err == nil {
+		t.Error("want error for nil trace")
+	}
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	entries := Catalogue()
+	if len(entries) != 8 {
+		t.Fatalf("catalogue entries = %d, want 8", len(entries))
+	}
+	passives := 0
+	for _, e := range entries {
+		if e.Kind.String() == "unknown" {
+			t.Errorf("entry %v has no name", e.Kind)
+		}
+		if e.Section == "" || e.Summary == "" || len(e.Examples) == 0 || len(e.Packages) == 0 {
+			t.Errorf("entry %s incomplete", e.Kind)
+		}
+		if e.Kind.Passive() {
+			passives++
+		}
+	}
+	if passives != 3 {
+		t.Fatalf("passive strategies = %d, want redundancy/diversity/adaptability", passives)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, ok := Lookup(ModeSwitching)
+	if !ok || e.Kind != ModeSwitching {
+		t.Fatalf("lookup failed: %+v %v", e, ok)
+	}
+	if _, ok := Lookup(StrategyKind(99)); ok {
+		t.Fatal("unknown kind should not resolve")
+	}
+	if StrategyKind(99).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+	if StrategyKind(99).Passive() {
+		t.Fatal("unknown kind should not be passive")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"resilience/internal/magent"
+)
+
+// OptimizeResult is the outcome of a §4.4 budget optimization: the best
+// allocation found and the full sweep, sorted best first.
+type OptimizeResult struct {
+	Best  magent.TradeoffOutcome
+	Sweep []magent.TradeoffOutcome
+}
+
+// OptimizeAllocation sweeps the redundancy/diversity/adaptability simplex
+// at the given resolution and returns the allocation maximizing survival
+// rate (ties broken by faster recovery, then larger final population) —
+// the paper's question "What combination of resilience strategies is
+// optimum under a given condition?"
+func OptimizeAllocation(base magent.Config, params magent.TradeoffParams, scenario magent.Scenario, resolution, steps, trials int, seed uint64) (OptimizeResult, error) {
+	outcomes, err := magent.SweepAllocations(base, params, scenario, resolution, steps, trials, seed)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	if len(outcomes) == 0 {
+		return OptimizeResult{}, errors.New("core: empty sweep")
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		a, b := outcomes[i], outcomes[j]
+		if a.SurvivalRate != b.SurvivalRate {
+			return a.SurvivalRate > b.SurvivalRate
+		}
+		ra, rb := a.MeanRecovery, b.MeanRecovery
+		// NaN recovery (never recovered) sorts last.
+		if math.IsNaN(ra) != math.IsNaN(rb) {
+			return math.IsNaN(rb)
+		}
+		if !math.IsNaN(ra) && ra != rb {
+			return ra < rb
+		}
+		return a.MeanFinalPop > b.MeanFinalPop
+	})
+	return OptimizeResult{Best: outcomes[0], Sweep: outcomes}, nil
+}

@@ -1,0 +1,98 @@
+package dcsp
+
+import (
+	"math"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+// AnnealingRepairer plans repairs by simulated annealing over the
+// configuration space: it searches for a low-violation configuration by
+// accepting uphill moves with temperature-dependent probability, then
+// schedules the bit flips toward the best configuration found. Unlike
+// GreedyRepairer it escapes local minima in deceptive environments, and
+// unlike OptimalRepairer its cost does not explode with the search depth
+// — the trade is that the repair path is not guaranteed minimal.
+type AnnealingRepairer struct {
+	// Iterations per plan (default 2000).
+	Iterations int
+	// StartTemp is the initial temperature (default 2).
+	StartTemp float64
+	// Cooling is the per-iteration temperature multiplier (default
+	// 0.995).
+	Cooling float64
+}
+
+var _ Repairer = AnnealingRepairer{}
+
+func (a AnnealingRepairer) params() (iters int, temp, cooling float64) {
+	iters = a.Iterations
+	if iters <= 0 {
+		iters = 2000
+	}
+	temp = a.StartTemp
+	if temp <= 0 {
+		temp = 2
+	}
+	cooling = a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.995
+	}
+	return iters, temp, cooling
+}
+
+// energy scores a configuration: 0 iff fit. Graded constraints grade the
+// search surface; others give a flat 0/1 landscape (annealing then
+// degenerates to random search, which is still an escape hatch).
+func energy(s bitstring.String, c Constraint) float64 {
+	if g, ok := c.(Graded); ok {
+		return float64(g.Violations(s))
+	}
+	if c.Fit(s) {
+		return 0
+	}
+	return 1
+}
+
+// PlanFlips implements Repairer.
+func (a AnnealingRepairer) PlanFlips(s bitstring.String, c Constraint, budget int, r *rng.Source) []int {
+	if c.Fit(s) || budget <= 0 || s.Len() == 0 {
+		return nil
+	}
+	iters, temp, cooling := a.params()
+	current := s.Clone()
+	curE := energy(current, c)
+	best := current.Clone()
+	bestE := curE
+	for i := 0; i < iters && bestE > 0; i++ {
+		flip := r.Intn(current.Len())
+		current.Flip(flip)
+		newE := energy(current, c)
+		dE := newE - curE
+		if dE <= 0 || r.Float64() < math.Exp(-dE/temp) {
+			curE = newE
+			if curE < bestE {
+				bestE = curE
+				best = current.Clone()
+			}
+		} else {
+			current.Flip(flip) // reject
+		}
+		temp *= cooling
+	}
+	diff, err := s.Xor(best)
+	if err != nil {
+		return nil
+	}
+	flips := diff.OneIndexes()
+	if len(flips) == 0 {
+		// Search made no progress: take a random step rather than
+		// stalling forever.
+		return []int{r.Intn(s.Len())}
+	}
+	if budget < len(flips) {
+		flips = flips[:budget]
+	}
+	return flips
+}

@@ -1,0 +1,152 @@
+package dcsp
+
+import (
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+// deceptiveConstraint is fit only at 1ⁿ, but penalizes odd popcounts so
+// EVERY single-bit flip from an even-count state looks worse — a local
+// minimum that strict greedy descent cannot leave.
+type deceptiveConstraint struct {
+	n int
+}
+
+var _ Graded = deceptiveConstraint{}
+
+func (c deceptiveConstraint) Len() int { return c.n }
+
+func (c deceptiveConstraint) Fit(s bitstring.String) bool {
+	return s.Len() == c.n && s.Count() == c.n
+}
+
+func (c deceptiveConstraint) Violations(s bitstring.String) int {
+	if s.Len() != c.n {
+		return c.MaxViolations()
+	}
+	v := c.n - s.Count()
+	if v == 0 {
+		return 0
+	}
+	if s.Count()%2 == 1 {
+		v += 3 // odd counts penalized: every single flip from even looks bad
+	}
+	return v
+}
+
+func (c deceptiveConstraint) MaxViolations() int { return c.n + 3 }
+
+func TestAnnealingEscapesDeceptiveMinimum(t *testing.T) {
+	const n = 10
+	c := deceptiveConstraint{n: n}
+	start := bitstring.New(n)
+	for i := 0; i < n; i += 2 {
+		start.Set(i, true) // count 5... make it even: set 4 bits
+	}
+	start.Set(8, false) // count 4 (even), violations 6
+	if c.Fit(start) {
+		t.Fatal("setup: start must be unfit")
+	}
+
+	// Strict greedy (no noise) must stall: every single flip increases
+	// the violation count from an even state.
+	rGreedy := rng.New(1)
+	resGreedy, err := Recover(start, c, GreedyRepairer{}, 1, 15, rGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGreedy.Recovered {
+		t.Fatal("strict greedy should be trapped by the deceptive landscape")
+	}
+
+	// Annealing escapes.
+	recovered := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		r := rng.New(seed)
+		res, err := Recover(start, c, AnnealingRepairer{Iterations: 5000}, n, 10, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Recovered {
+			recovered++
+		}
+	}
+	if recovered < 4 {
+		t.Fatalf("annealing recovered only %d/5 runs", recovered)
+	}
+}
+
+func TestAnnealingFitIsNoop(t *testing.T) {
+	r := rng.New(2)
+	if plan := (AnnealingRepairer{}).PlanFlips(bitstring.Ones(8), AllOnes{N: 8}, 4, r); plan != nil {
+		t.Fatal("fit state should plan nothing")
+	}
+	if plan := (AnnealingRepairer{}).PlanFlips(bitstring.New(0), AllOnes{N: 0}, 4, r); plan != nil {
+		t.Fatal("empty string should plan nothing")
+	}
+	if plan := (AnnealingRepairer{}).PlanFlips(bitstring.New(4), AllOnes{N: 4}, 0, r); plan != nil {
+		t.Fatal("zero budget should plan nothing")
+	}
+}
+
+func TestAnnealingRespectsBudget(t *testing.T) {
+	r := rng.New(3)
+	c := AllOnes{N: 16}
+	s := bitstring.New(16)
+	plan := AnnealingRepairer{Iterations: 4000}.PlanFlips(s, c, 3, r)
+	if len(plan) > 3 {
+		t.Fatalf("plan length = %d, budget 3", len(plan))
+	}
+	if len(plan) == 0 {
+		t.Fatal("plan should not be empty for an unfit state")
+	}
+}
+
+func TestAnnealingSolvesPlantedCNF(t *testing.T) {
+	r := rng.New(4)
+	cnf, planted, err := RandomPlantedCNF(16, 50, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := planted.Clone()
+	damaged.FlipRandom(5, r)
+	res, err := Recover(damaged, cnf, AnnealingRepairer{Iterations: 8000}, 4, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("annealing failed to re-satisfy a damaged planted CNF")
+	}
+}
+
+func TestAnnealingNonGraded(t *testing.T) {
+	// Flat landscape: annealing degenerates to random search; on a tiny
+	// instance it should still stumble into the single fit config.
+	r := rng.New(5)
+	pred := Predicate{N: 4, Fn: func(s bitstring.String) bool { return s.Count() == 4 }}
+	res, err := Recover(bitstring.New(4), pred, AnnealingRepairer{Iterations: 20000}, 4, 40, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("random-search fallback should solve a 4-bit instance")
+	}
+}
+
+func TestAnnealingDefaultsApplied(t *testing.T) {
+	iters, temp, cooling := AnnealingRepairer{}.params()
+	if iters != 2000 || temp != 2 || cooling != 0.995 {
+		t.Fatalf("defaults = %d %v %v", iters, temp, cooling)
+	}
+	iters, temp, cooling = AnnealingRepairer{Iterations: 10, StartTemp: 5, Cooling: 0.9}.params()
+	if iters != 10 || temp != 5 || cooling != 0.9 {
+		t.Fatalf("explicit = %d %v %v", iters, temp, cooling)
+	}
+	// Out-of-range cooling falls back.
+	_, _, cooling = AnnealingRepairer{Cooling: 1.5}.params()
+	if cooling != 0.995 {
+		t.Fatalf("cooling fallback = %v", cooling)
+	}
+}

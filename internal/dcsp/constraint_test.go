@@ -1,0 +1,204 @@
+package dcsp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+func TestAllOnes(t *testing.T) {
+	c := AllOnes{N: 5}
+	if !c.Fit(bitstring.Ones(5)) {
+		t.Error("1^n must be fit")
+	}
+	s := bitstring.Ones(5)
+	s.Flip(2)
+	if c.Fit(s) {
+		t.Error("damaged state must be unfit")
+	}
+	if got := c.Violations(s); got != 1 {
+		t.Errorf("Violations = %d, want 1", got)
+	}
+	if c.MaxViolations() != 5 {
+		t.Errorf("MaxViolations = %d", c.MaxViolations())
+	}
+	cfgs := c.FitConfigs()
+	if len(cfgs) != 1 || !cfgs[0].Equal(bitstring.Ones(5)) {
+		t.Error("FitConfigs must be exactly {1^n}")
+	}
+	// Wrong length is unfit and maximally violated.
+	if c.Fit(bitstring.Ones(4)) {
+		t.Error("wrong-length config must be unfit")
+	}
+	if c.Violations(bitstring.Ones(4)) != 5 {
+		t.Error("wrong-length config must be maximally violated")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	c := AtLeast{N: 6, K: 4}
+	s := bitstring.MustParse("111100")
+	if !c.Fit(s) {
+		t.Error("4 ones should satisfy AtLeast(4)")
+	}
+	s.Flip(0)
+	if c.Fit(s) {
+		t.Error("3 ones should violate AtLeast(4)")
+	}
+	if got := c.Violations(s); got != 1 {
+		t.Errorf("Violations = %d, want 1", got)
+	}
+	if c.Violations(bitstring.New(6)) != 4 {
+		t.Error("empty state should need K ones")
+	}
+	if c.Violations(bitstring.Ones(6)) != 0 {
+		t.Error("full state has no violations")
+	}
+}
+
+func TestMask(t *testing.T) {
+	tmpl := bitstring.MustParse("10100")
+	care := bitstring.MustParse("11100")
+	m, err := NewMask(tmpl, care)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fit(bitstring.MustParse("10111")) {
+		t.Error("free bits must not matter")
+	}
+	if m.Fit(bitstring.MustParse("00100")) {
+		t.Error("mismatched cared bit must be unfit")
+	}
+	if got := m.Violations(bitstring.MustParse("01000")); got != 3 {
+		t.Errorf("Violations = %d, want 3", got)
+	}
+	if m.MaxViolations() != 3 {
+		t.Errorf("MaxViolations = %d, want 3", m.MaxViolations())
+	}
+}
+
+func TestMaskLengthMismatch(t *testing.T) {
+	if _, err := NewMask(bitstring.New(3), bitstring.New(4)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatal("want ErrDimensionMismatch")
+	}
+}
+
+func TestMaskZeroCare(t *testing.T) {
+	m, err := NewMask(bitstring.New(4), bitstring.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxViolations() < 1 {
+		t.Error("MaxViolations must be positive to avoid division by zero")
+	}
+	if !m.Fit(bitstring.MustParse("1010")) {
+		t.Error("everything is fit when nothing is cared about")
+	}
+}
+
+func TestSet(t *testing.T) {
+	a := bitstring.MustParse("101")
+	b := bitstring.MustParse("010")
+	c, err := NewSet(3, a, b, a) // duplicate ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FitConfigs()) != 2 {
+		t.Fatalf("FitConfigs = %d, want 2 (dedup)", len(c.FitConfigs()))
+	}
+	if !c.Fit(a) || !c.Fit(b) {
+		t.Error("members must be fit")
+	}
+	if c.Fit(bitstring.MustParse("111")) {
+		t.Error("non-member must be unfit")
+	}
+	if c.Fit(bitstring.MustParse("1010")) {
+		t.Error("wrong length must be unfit")
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	if _, err := NewSet(3); err == nil {
+		t.Error("want error for empty fit set")
+	}
+	if _, err := NewSet(3, bitstring.New(4)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("want ErrDimensionMismatch")
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	even := Predicate{N: 4, Fn: func(s bitstring.String) bool { return s.Count()%2 == 0 }}
+	if !even.Fit(bitstring.MustParse("1100")) {
+		t.Error("even parity should fit")
+	}
+	if even.Fit(bitstring.MustParse("1000")) {
+		t.Error("odd parity should not fit")
+	}
+	nilFn := Predicate{N: 4}
+	if nilFn.Fit(bitstring.New(4)) {
+		t.Error("nil predicate must reject")
+	}
+}
+
+func TestClauseSatisfied(t *testing.T) {
+	s := bitstring.MustParse("10")
+	cl := Clause{{Var: 0, Neg: false}, {Var: 1, Neg: false}}
+	if !cl.Satisfied(s) {
+		t.Error("x0 ∨ x1 should hold for 10")
+	}
+	cl2 := Clause{{Var: 1, Neg: false}}
+	if cl2.Satisfied(s) {
+		t.Error("x1 should fail for 10")
+	}
+	cl3 := Clause{{Var: 1, Neg: true}}
+	if !cl3.Satisfied(s) {
+		t.Error("¬x1 should hold for 10")
+	}
+}
+
+func TestCNFViolations(t *testing.T) {
+	// (x0) ∧ (¬x1) over 2 vars.
+	cnf := CNF{N: 2, Clauses: []Clause{
+		{{Var: 0}},
+		{{Var: 1, Neg: true}},
+	}}
+	if !cnf.Fit(bitstring.MustParse("10")) {
+		t.Error("10 should satisfy")
+	}
+	if got := cnf.Violations(bitstring.MustParse("01")); got != 2 {
+		t.Errorf("Violations = %d, want 2", got)
+	}
+	if cnf.MaxViolations() != 2 {
+		t.Errorf("MaxViolations = %d", cnf.MaxViolations())
+	}
+	if (CNF{N: 2}).MaxViolations() != 1 {
+		t.Error("empty CNF MaxViolations must be positive")
+	}
+}
+
+func TestRandomPlantedCNFSatisfiable(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(8)
+		cnf, planted, err := RandomPlantedCNF(n, 4*n, 3, r)
+		if err != nil {
+			return false
+		}
+		return cnf.Fit(planted)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPlantedCNFInvalid(t *testing.T) {
+	r := rng.New(1)
+	cases := [][3]int{{0, 5, 3}, {5, -1, 3}, {5, 5, 0}, {5, 5, 6}}
+	for _, c := range cases {
+		if _, _, err := RandomPlantedCNF(c[0], c[1], c[2], r); err == nil {
+			t.Errorf("RandomPlantedCNF(%v) should error", c)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package dcsp
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+// DamageModel generates perturbations of a given event type D — "an event
+// (a shock) of type D (say, earthquake of magnitude 7)".
+type DamageModel interface {
+	// Damage returns a perturbed copy of s.
+	Damage(s bitstring.String, r *rng.Source) bitstring.String
+}
+
+// ExactFlips damages the state by flipping exactly K distinct random bits.
+type ExactFlips struct {
+	K int
+}
+
+var _ DamageModel = ExactFlips{}
+
+// Damage implements DamageModel.
+func (d ExactFlips) Damage(s bitstring.String, r *rng.Source) bitstring.String {
+	out := s.Clone()
+	out.FlipRandom(d.K, r)
+	return out
+}
+
+// UpToFlips flips a uniform 1..K distinct random bits — the spacecraft's
+// "at most k component failures".
+type UpToFlips struct {
+	K int
+}
+
+var _ DamageModel = UpToFlips{}
+
+// Damage implements DamageModel.
+func (d UpToFlips) Damage(s bitstring.String, r *rng.Source) bitstring.String {
+	out := s.Clone()
+	if d.K <= 0 {
+		return out
+	}
+	out.FlipRandom(1+r.Intn(d.K), r)
+	return out
+}
+
+// ClearBits zeroes up to K random currently-set bits — component failures
+// that can only break working parts (space debris cannot "fix" a
+// component).
+type ClearBits struct {
+	K int
+}
+
+var _ DamageModel = ClearBits{}
+
+// Damage implements DamageModel.
+func (d ClearBits) Damage(s bitstring.String, r *rng.Source) bitstring.String {
+	out := s.Clone()
+	ones := out.OneIndexes()
+	if d.K <= 0 || len(ones) == 0 {
+		return out
+	}
+	k := d.K
+	if k > len(ones) {
+		k = len(ones)
+	}
+	r.Shuffle(len(ones), func(i, j int) { ones[i], ones[j] = ones[j], ones[i] })
+	for _, i := range ones[:k] {
+		out.Set(i, false)
+	}
+	return out
+}
+
+// RecoveryResult records one recovery attempt.
+type RecoveryResult struct {
+	// Steps is the number of repair steps taken (0 if already fit).
+	Steps int
+	// Recovered reports whether a fit configuration was reached within
+	// the step limit.
+	Recovered bool
+	// FlipsUsed is the total number of bit flips performed.
+	FlipsUsed int
+	// Final is the final configuration.
+	Final bitstring.String
+}
+
+// Recover runs the repair loop: at each step the repairer may flip up to
+// flipsPerStep bits; recovery succeeds when the state becomes fit. It
+// stops after maxSteps steps.
+func Recover(s bitstring.String, c Constraint, rep Repairer, flipsPerStep, maxSteps int, r *rng.Source) (RecoveryResult, error) {
+	if rep == nil {
+		return RecoveryResult{}, errors.New("dcsp: nil repairer")
+	}
+	if flipsPerStep < 1 {
+		return RecoveryResult{}, fmt.Errorf("dcsp: flipsPerStep %d must be >= 1", flipsPerStep)
+	}
+	state := s.Clone()
+	res := RecoveryResult{}
+	for step := 0; step < maxSteps; step++ {
+		if c.Fit(state) {
+			res.Recovered = true
+			res.Final = state
+			return res, nil
+		}
+		plan := rep.PlanFlips(state, c, flipsPerStep, r)
+		res.Steps++
+		for _, i := range plan {
+			state.Flip(i)
+			res.FlipsUsed++
+		}
+	}
+	res.Recovered = c.Fit(state)
+	res.Final = state
+	return res, nil
+}
+
+// RecoverabilityReport summarizes a k-recoverability check.
+type RecoverabilityReport struct {
+	// Trials is the number of (fit state, damage) pairs examined.
+	Trials int
+	// Failures is how many trials did not recover within K steps.
+	Failures int
+	// WorstSteps is the largest recovery step count observed among
+	// successful recoveries.
+	WorstSteps int
+	// Recoverable is true iff every trial recovered within K steps —
+	// the paper's definition of a k-recoverable system.
+	Recoverable bool
+	// K is the step bound checked.
+	K int
+}
+
+// FailureRate returns Failures/Trials, or 0 for an empty report.
+func (rr RecoverabilityReport) FailureRate() float64 {
+	if rr.Trials == 0 {
+		return 0
+	}
+	return float64(rr.Failures) / float64(rr.Trials)
+}
+
+// CheckKRecoverableMC estimates k-recoverability by Monte Carlo: it
+// repeatedly picks a fit starting state, applies the damage model, and
+// runs the repair loop for at most k steps.
+//
+// Starting states are drawn from the constraint's fit set when it is
+// Enumerable; otherwise the caller must supply at least one fit seed
+// state.
+func CheckKRecoverableMC(c Constraint, dm DamageModel, rep Repairer, flipsPerStep, k, trials int, r *rng.Source, seeds ...bitstring.String) (RecoverabilityReport, error) {
+	if k < 0 || trials <= 0 {
+		return RecoverabilityReport{}, fmt.Errorf("dcsp: invalid check parameters k=%d trials=%d", k, trials)
+	}
+	var pool []bitstring.String
+	if en, ok := c.(Enumerable); ok {
+		pool = en.FitConfigs()
+	}
+	for _, s := range seeds {
+		if c.Fit(s) {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) == 0 {
+		return RecoverabilityReport{}, errors.New("dcsp: no fit starting states available")
+	}
+	report := RecoverabilityReport{K: k}
+	for i := 0; i < trials; i++ {
+		start := pool[r.Intn(len(pool))]
+		damaged := dm.Damage(start, r)
+		res, err := Recover(damaged, c, rep, flipsPerStep, k, r)
+		if err != nil {
+			return RecoverabilityReport{}, err
+		}
+		report.Trials++
+		if !res.Recovered {
+			report.Failures++
+		} else if res.Steps > report.WorstSteps {
+			report.WorstSteps = res.Steps
+		}
+	}
+	report.Recoverable = report.Failures == 0
+	return report, nil
+}
+
+// CheckKRecoverableExhaustive verifies k-recoverability exactly for an
+// Enumerable constraint under damage of up to maxFlips arbitrary bit
+// flips: for every fit state and every damage pattern of 1..maxFlips
+// flips, the shortest repair path must be coverable within k steps of
+// flipsPerStep flips each. This matches the paper's universally
+// quantified definition ("for ANY perturbations of type D").
+//
+// Complexity is |C| × Σ C(n, j) shortest-path computations, so it is meant
+// for small n and maxFlips.
+func CheckKRecoverableExhaustive(c Enumerable, maxFlips, flipsPerStep, k int, searchNodes int) (RecoverabilityReport, error) {
+	if maxFlips < 0 || flipsPerStep < 1 || k < 0 {
+		return RecoverabilityReport{}, fmt.Errorf("dcsp: invalid parameters maxFlips=%d flipsPerStep=%d k=%d", maxFlips, flipsPerStep, k)
+	}
+	if searchNodes <= 0 {
+		searchNodes = DefaultMaxNodes
+	}
+	report := RecoverabilityReport{K: k}
+	n := c.Len()
+	budgetFlips := k * flipsPerStep
+	for _, start := range c.FitConfigs() {
+		err := forEachSubsetUpTo(n, maxFlips, func(flips []int) error {
+			damaged := start.Clone()
+			for _, i := range flips {
+				damaged.Flip(i)
+			}
+			report.Trials++
+			dist, err := DistanceToFit(damaged, c, searchNodes)
+			if err != nil {
+				return err
+			}
+			stepsNeeded := (dist + flipsPerStep - 1) / flipsPerStep
+			if dist > budgetFlips {
+				report.Failures++
+			} else if stepsNeeded > report.WorstSteps {
+				report.WorstSteps = stepsNeeded
+			}
+			return nil
+		})
+		if err != nil {
+			return RecoverabilityReport{}, err
+		}
+	}
+	report.Recoverable = report.Failures == 0
+	return report, nil
+}
+
+// forEachSubsetUpTo enumerates every non-empty subset of {0..n-1} with at
+// most maxSize elements.
+func forEachSubsetUpTo(n, maxSize int, fn func([]int) error) error {
+	if maxSize > n {
+		maxSize = n
+	}
+	subset := make([]int, 0, maxSize)
+	var walk func(next int) error
+	walk = func(next int) error {
+		if len(subset) > 0 {
+			if err := fn(subset); err != nil {
+				return err
+			}
+		}
+		if len(subset) == maxSize {
+			return nil
+		}
+		for i := next; i < n; i++ {
+			subset = append(subset, i)
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return nil
+	}
+	return walk(0)
+}

@@ -1,0 +1,280 @@
+package dcsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+func TestDamageModels(t *testing.T) {
+	r := rng.New(1)
+	s := bitstring.Ones(20)
+
+	d1 := ExactFlips{K: 5}.Damage(s, r)
+	h, err := s.Hamming(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 5 {
+		t.Fatalf("ExactFlips hamming = %d, want 5", h)
+	}
+
+	d2 := UpToFlips{K: 5}.Damage(s, r)
+	h, err = s.Hamming(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1 || h > 5 {
+		t.Fatalf("UpToFlips hamming = %d, want 1..5", h)
+	}
+
+	d3 := ClearBits{K: 7}.Damage(s, r)
+	if got := 20 - d3.Count(); got != 7 {
+		t.Fatalf("ClearBits cleared %d, want 7", got)
+	}
+	// ClearBits never sets bits.
+	or, err := s.Or(d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Equal(s) {
+		t.Fatal("ClearBits set a bit")
+	}
+}
+
+func TestDamageModelsDegenerate(t *testing.T) {
+	r := rng.New(2)
+	s := bitstring.Ones(4)
+	if d := (UpToFlips{K: 0}).Damage(s, r); !d.Equal(s) {
+		t.Error("UpToFlips{0} should be identity")
+	}
+	if d := (ClearBits{K: 0}).Damage(s, r); !d.Equal(s) {
+		t.Error("ClearBits{0} should be identity")
+	}
+	empty := bitstring.New(4)
+	if d := (ClearBits{K: 3}).Damage(empty, r); !d.Equal(empty) {
+		t.Error("ClearBits on empty state should be identity")
+	}
+	// ClearBits clamps to available ones.
+	few := bitstring.MustParse("1000")
+	if d := (ClearBits{K: 10}).Damage(few, r); d.Count() != 0 {
+		t.Error("ClearBits should clear all available ones")
+	}
+}
+
+func TestRecoverAlreadyFit(t *testing.T) {
+	r := rng.New(3)
+	res, err := Recover(bitstring.Ones(6), AllOnes{N: 6}, GreedyRepairer{}, 1, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered || res.Steps != 0 || res.FlipsUsed != 0 {
+		t.Fatalf("res = %+v, want immediate recovery", res)
+	}
+}
+
+func TestRecoverWithinBudget(t *testing.T) {
+	r := rng.New(4)
+	c := AllOnes{N: 16}
+	s := bitstring.Ones(16)
+	s.FlipRandom(6, r)
+	res, err := Recover(s, c, GreedyRepairer{}, 2, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("should recover")
+	}
+	if res.Steps != 3 {
+		t.Fatalf("steps = %d, want 3 (6 failures at 2 repairs/step)", res.Steps)
+	}
+}
+
+func TestRecoverExceedsBudget(t *testing.T) {
+	r := rng.New(5)
+	c := AllOnes{N: 16}
+	s := bitstring.Ones(16)
+	s.FlipRandom(10, r)
+	res, err := Recover(s, c, GreedyRepairer{}, 1, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Fatal("cannot repair 10 failures in 5 single-flip steps")
+	}
+}
+
+func TestRecoverValidation(t *testing.T) {
+	r := rng.New(6)
+	if _, err := Recover(bitstring.New(4), AllOnes{N: 4}, nil, 1, 5, r); err == nil {
+		t.Error("want error for nil repairer")
+	}
+	if _, err := Recover(bitstring.New(4), AllOnes{N: 4}, GreedyRepairer{}, 0, 5, r); err == nil {
+		t.Error("want error for zero flipsPerStep")
+	}
+}
+
+func TestCheckKRecoverableMCSpacecraftLaw(t *testing.T) {
+	// The paper's claim: damage ≤ k, one repair per step ⇒ k-recoverable.
+	r := rng.New(7)
+	c := AllOnes{N: 20}
+	rep, err := CheckKRecoverableMC(c, UpToFlips{K: 6}, GreedyRepairer{}, 1, 6, 300, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable {
+		t.Fatalf("expected recoverable, got %+v", rep)
+	}
+	if rep.WorstSteps > 6 {
+		t.Fatalf("worst steps %d > k", rep.WorstSteps)
+	}
+}
+
+func TestCheckKRecoverableMCDetectsFailure(t *testing.T) {
+	// k too small: damage of exactly 6 bits cannot be fixed in 3 steps.
+	r := rng.New(8)
+	c := AllOnes{N: 20}
+	rep, err := CheckKRecoverableMC(c, ExactFlips{K: 6}, GreedyRepairer{}, 1, 3, 100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recoverable {
+		t.Fatal("should not be 3-recoverable under 6-bit damage at 1 flip/step")
+	}
+	if rep.FailureRate() != 1 {
+		t.Fatalf("failure rate = %v, want 1 (exact 6-bit damage always needs 6 steps)", rep.FailureRate())
+	}
+}
+
+func TestCheckKRecoverableMCSeeds(t *testing.T) {
+	r := rng.New(9)
+	// Non-enumerable constraint requires seeds.
+	c := AtLeast{N: 10, K: 8}
+	if _, err := CheckKRecoverableMC(c, ExactFlips{K: 2}, GreedyRepairer{}, 1, 4, 50, r); err == nil {
+		t.Error("want error with no fit seeds for non-enumerable constraint")
+	}
+	rep, err := CheckKRecoverableMC(c, ExactFlips{K: 2}, GreedyRepairer{}, 1, 4, 50, r, bitstring.Ones(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable {
+		t.Fatalf("expected recoverable, got %+v", rep)
+	}
+	// Unfit seeds are ignored.
+	if _, err := CheckKRecoverableMC(c, ExactFlips{K: 2}, GreedyRepairer{}, 1, 4, 10, r, bitstring.New(10)); err == nil {
+		t.Error("unfit seed should not qualify as a starting state")
+	}
+}
+
+func TestCheckKRecoverableMCValidation(t *testing.T) {
+	r := rng.New(10)
+	c := AllOnes{N: 4}
+	if _, err := CheckKRecoverableMC(c, ExactFlips{K: 1}, GreedyRepairer{}, 1, -1, 10, r); err == nil {
+		t.Error("want error for negative k")
+	}
+	if _, err := CheckKRecoverableMC(c, ExactFlips{K: 1}, GreedyRepairer{}, 1, 3, 0, r); err == nil {
+		t.Error("want error for zero trials")
+	}
+}
+
+func TestCheckKRecoverableExhaustive(t *testing.T) {
+	c := AllOnes{N: 8}
+	rep, err := CheckKRecoverableExhaustive(c, 3, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable {
+		t.Fatalf("8-component AllOnes under ≤3 flips must be 3-recoverable: %+v", rep)
+	}
+	// Trials = C(8,1)+C(8,2)+C(8,3) = 8+28+56 = 92.
+	if rep.Trials != 92 {
+		t.Fatalf("trials = %d, want 92", rep.Trials)
+	}
+	if rep.WorstSteps != 3 {
+		t.Fatalf("worst = %d, want 3", rep.WorstSteps)
+	}
+}
+
+func TestCheckKRecoverableExhaustiveFailure(t *testing.T) {
+	c := AllOnes{N: 6}
+	rep, err := CheckKRecoverableExhaustive(c, 3, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recoverable {
+		t.Fatal("3-bit damage cannot be 2-recoverable at 1 flip/step")
+	}
+	// Failures are exactly the C(6,3) = 20 three-bit patterns.
+	if rep.Failures != 20 {
+		t.Fatalf("failures = %d, want 20", rep.Failures)
+	}
+}
+
+func TestCheckKRecoverableExhaustiveFasterRepair(t *testing.T) {
+	// Doubling the repair rate halves the needed k (monotonicity in the
+	// repair budget).
+	c := AllOnes{N: 8}
+	rep, err := CheckKRecoverableExhaustive(c, 4, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable {
+		t.Fatalf("4-bit damage at 2 flips/step must be 2-recoverable: %+v", rep)
+	}
+}
+
+func TestCheckKRecoverableExhaustiveValidation(t *testing.T) {
+	c := AllOnes{N: 4}
+	if _, err := CheckKRecoverableExhaustive(c, -1, 1, 2, 0); err == nil {
+		t.Error("want error for negative maxFlips")
+	}
+	if _, err := CheckKRecoverableExhaustive(c, 2, 0, 2, 0); err == nil {
+		t.Error("want error for zero flipsPerStep")
+	}
+}
+
+func TestRecoverabilityMonotoneInK(t *testing.T) {
+	// Property: if the system is k-recoverable it is (k+1)-recoverable.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(4)
+		d := 1 + r.Intn(3)
+		k := d // exactly enough
+		c := AllOnes{N: n}
+		rep1, err := CheckKRecoverableExhaustive(c, d, 1, k, 0)
+		if err != nil {
+			return false
+		}
+		rep2, err := CheckKRecoverableExhaustive(c, d, 1, k+1, 0)
+		if err != nil {
+			return false
+		}
+		return !rep1.Recoverable || rep2.Recoverable
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSubsetCounts(t *testing.T) {
+	count := 0
+	if err := forEachSubsetUpTo(5, 2, func(s []int) error {
+		count++
+		if len(s) == 0 || len(s) > 2 {
+			t.Fatalf("bad subset %v", s)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 15 { // C(5,1)+C(5,2) = 5+10
+		t.Fatalf("count = %d, want 15", count)
+	}
+}
+
+func TestFailureRateEmpty(t *testing.T) {
+	if (RecoverabilityReport{}).FailureRate() != 0 {
+		t.Fatal("empty report failure rate should be 0")
+	}
+}

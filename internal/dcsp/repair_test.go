@@ -1,0 +1,185 @@
+package dcsp
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+func TestGreedyRepairerFixesAllOnes(t *testing.T) {
+	r := rng.New(1)
+	c := AllOnes{N: 12}
+	s := bitstring.Ones(12)
+	s.FlipRandom(4, r)
+	plan := GreedyRepairer{}.PlanFlips(s, c, 4, r)
+	if len(plan) != 4 {
+		t.Fatalf("plan length = %d, want 4", len(plan))
+	}
+	for _, i := range plan {
+		s.Flip(i)
+	}
+	if !c.Fit(s) {
+		t.Fatal("greedy plan did not restore fitness")
+	}
+}
+
+func TestGreedyRepairerStopsWhenFit(t *testing.T) {
+	r := rng.New(2)
+	c := AllOnes{N: 8}
+	if plan := (GreedyRepairer{}).PlanFlips(bitstring.Ones(8), c, 3, r); plan != nil {
+		t.Fatalf("fit state should yield empty plan, got %v", plan)
+	}
+}
+
+func TestGreedyRepairerPartialBudget(t *testing.T) {
+	r := rng.New(3)
+	c := AllOnes{N: 10}
+	s := bitstring.Ones(10)
+	s.FlipRandom(5, r)
+	plan := GreedyRepairer{}.PlanFlips(s, c, 2, r)
+	if len(plan) != 2 {
+		t.Fatalf("plan length = %d, want exactly budget 2", len(plan))
+	}
+	before := c.Violations(s)
+	for _, i := range plan {
+		s.Flip(i)
+	}
+	if got := c.Violations(s); got != before-2 {
+		t.Fatalf("violations after = %d, want %d", got, before-2)
+	}
+}
+
+func TestGreedyRepairerNonGradedFallsBack(t *testing.T) {
+	r := rng.New(4)
+	pred := Predicate{N: 6, Fn: func(s bitstring.String) bool { return s.Count() == 6 }}
+	s := bitstring.New(6)
+	plan := GreedyRepairer{}.PlanFlips(s, pred, 3, r)
+	if len(plan) != 3 {
+		t.Fatalf("fallback plan length = %d, want 3", len(plan))
+	}
+}
+
+func TestGreedyRepairerCNF(t *testing.T) {
+	r := rng.New(5)
+	cnf, planted, err := RandomPlantedCNF(14, 40, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := planted.Clone()
+	damaged.FlipRandom(3, r)
+	res, err := Recover(damaged, cnf, GreedyRepairer{Noise: 0.2}, 1, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("greedy+noise failed to re-satisfy a lightly damaged planted CNF")
+	}
+}
+
+func TestRandomRepairer(t *testing.T) {
+	r := rng.New(6)
+	c := AllOnes{N: 4}
+	if plan := (RandomRepairer{}).PlanFlips(bitstring.Ones(4), c, 2, r); plan != nil {
+		t.Fatal("fit state should yield nil plan")
+	}
+	s := bitstring.New(4)
+	plan := RandomRepairer{}.PlanFlips(s, c, 10, r)
+	if len(plan) != 4 {
+		t.Fatalf("budget should clamp to n: got %d", len(plan))
+	}
+}
+
+func TestShortestRepairPathAlreadyFit(t *testing.T) {
+	path, err := ShortestRepairPath(bitstring.Ones(5), AllOnes{N: 5}, 1000)
+	if err != nil || path != nil {
+		t.Fatalf("path = %v err = %v, want nil,nil", path, err)
+	}
+}
+
+func TestShortestRepairPathEnumerable(t *testing.T) {
+	a := bitstring.MustParse("1111")
+	b := bitstring.MustParse("0000")
+	c, err := NewSet(4, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bitstring.MustParse("1110")
+	path, err := ShortestRepairPath(s, c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 3 {
+		t.Fatalf("path = %v, want [3]", path)
+	}
+}
+
+func TestShortestRepairPathBFS(t *testing.T) {
+	// Non-enumerable graded constraint forces the BFS branch.
+	c := AtLeast{N: 6, K: 5}
+	s := bitstring.MustParse("110000") // needs 3 more ones
+	path, err := ShortestRepairPath(s, c, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("BFS path length = %d, want 3", len(path))
+	}
+	for _, i := range path {
+		s.Flip(i)
+	}
+	if !c.Fit(s) {
+		t.Fatal("BFS path does not reach the fit set")
+	}
+}
+
+func TestShortestRepairPathExhausted(t *testing.T) {
+	// An unsatisfiable predicate exhausts any budget.
+	c := Predicate{N: 8, Fn: func(bitstring.String) bool { return false }}
+	if _, err := ShortestRepairPath(bitstring.New(8), c, 100); !errors.Is(err, ErrSearchExhausted) {
+		t.Fatalf("err = %v, want ErrSearchExhausted", err)
+	}
+}
+
+func TestDistanceToFit(t *testing.T) {
+	c := AllOnes{N: 10}
+	s := bitstring.Ones(10)
+	s.Flip(0)
+	s.Flip(5)
+	s.Flip(9)
+	d, err := DistanceToFit(s, c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Fatalf("distance = %d, want 3", d)
+	}
+}
+
+func TestOptimalRepairerUsesShortestPath(t *testing.T) {
+	r := rng.New(7)
+	c := AllOnes{N: 8}
+	s := bitstring.Ones(8)
+	s.Flip(1)
+	s.Flip(6)
+	plan := OptimalRepairer{}.PlanFlips(s, c, 8, r)
+	if len(plan) != 2 {
+		t.Fatalf("optimal plan length = %d, want 2", len(plan))
+	}
+	if plan2 := (OptimalRepairer{}).PlanFlips(bitstring.Ones(8), c, 4, r); plan2 != nil {
+		t.Fatal("fit state should yield nil plan")
+	}
+}
+
+func TestOptimalRepairerFallsBackOnExhaustion(t *testing.T) {
+	r := rng.New(8)
+	// Graded but with a tiny node budget on a big instance: must fall
+	// back to greedy rather than return nothing.
+	c := AtLeast{N: 40, K: 40}
+	s := bitstring.New(40)
+	plan := OptimalRepairer{MaxNodes: 10}.PlanFlips(s, c, 5, r)
+	if len(plan) == 0 {
+		t.Fatal("fallback plan must be non-empty for an unfit state")
+	}
+}

@@ -1,0 +1,108 @@
+package dcsp
+
+import (
+	"fmt"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/rng"
+)
+
+// Spacecraft is the paper's worked example (§4.2): "The system consists of
+// a fixed set of n components, each of which has a single binary variable
+// nᵢ representing the availability of the component … Suppose that the
+// constraint C = 1ⁿ at every time t … and that the spacecraft is
+// occasionally hit by space debris causing at most k component failures.
+// … If the spacecraft can fix one component at each time step, we consider
+// that the spacecraft is k-recoverable."
+type Spacecraft struct {
+	sys *System
+	// MaxDebrisHits is k, the worst-case component failures per strike.
+	MaxDebrisHits int
+}
+
+// NewSpacecraft builds an n-component spacecraft that repairs
+// repairsPerStep components per time step and faces debris strikes of at
+// most maxDebrisHits failures.
+func NewSpacecraft(n, maxDebrisHits, repairsPerStep int) (*Spacecraft, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dcsp: spacecraft needs n > 0, got %d", n)
+	}
+	if maxDebrisHits < 0 || maxDebrisHits > n {
+		return nil, fmt.Errorf("dcsp: maxDebrisHits %d out of range [0,%d]", maxDebrisHits, n)
+	}
+	sys, err := NewSystem(AllOnes{N: n}, bitstring.Ones(n), GreedyRepairer{}, repairsPerStep)
+	if err != nil {
+		return nil, err
+	}
+	return &Spacecraft{sys: sys, MaxDebrisHits: maxDebrisHits}, nil
+}
+
+// System exposes the underlying dynamic-CSP system.
+func (sc *Spacecraft) System() *System { return sc.sys }
+
+// DebrisStrike returns the spacecraft's damage event: up to
+// MaxDebrisHits good components fail.
+func (sc *Spacecraft) DebrisStrike() Event {
+	return DamageEvent{Model: ClearBits{K: sc.MaxDebrisHits}}
+}
+
+// FailedComponents returns how many components are currently down.
+func (sc *Spacecraft) FailedComponents() int {
+	return sc.sys.Env.Len() - sc.sys.State.Count()
+}
+
+// VerifyKRecoverable checks the paper's claim exhaustively: under debris
+// causing at most MaxDebrisHits failures and one repair per step, the
+// spacecraft recovers within MaxDebrisHits steps. More generally it
+// verifies k-recoverability for k = ceil(MaxDebrisHits / repairsPerStep).
+func (sc *Spacecraft) VerifyKRecoverable() (RecoverabilityReport, error) {
+	n := sc.sys.Env.Len()
+	k := (sc.MaxDebrisHits + sc.sys.FlipsPerStep - 1) / sc.sys.FlipsPerStep
+	report := RecoverabilityReport{K: k}
+	// With C = 1ⁿ the distance to fitness equals the number of failed
+	// components, so exhaustive verification reduces to checking every
+	// failure count 1..MaxDebrisHits rather than every subset.
+	for failures := 1; failures <= sc.MaxDebrisHits && failures <= n; failures++ {
+		report.Trials++
+		stepsNeeded := (failures + sc.sys.FlipsPerStep - 1) / sc.sys.FlipsPerStep
+		if stepsNeeded > k {
+			report.Failures++
+		} else if stepsNeeded > report.WorstSteps {
+			report.WorstSteps = stepsNeeded
+		}
+	}
+	report.Recoverable = report.Failures == 0
+	return report, nil
+}
+
+// SimulateMission runs the spacecraft for steps time steps with debris
+// strikes arriving as a Poisson process of the given rate, honouring the
+// paper's quiescence assumption ("once the spacecraft has component
+// failures at time t, it will not have another component failure until
+// time t + k"): while any component is down, no new strike occurs. It
+// returns the per-step availability trace.
+func (sc *Spacecraft) SimulateMission(steps int, strikeRate float64, r *rng.Source) (*SpacecraftMission, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("dcsp: negative steps %d", steps)
+	}
+	mission := &SpacecraftMission{}
+	for t := 0; t < steps; t++ {
+		if sc.FailedComponents() == 0 && r.Bool(strikeRate) {
+			sc.sys.Env, sc.sys.State = sc.DebrisStrike().Apply(sc.sys.Env, sc.sys.State, r)
+			mission.Strikes++
+		}
+		sc.sys.Step(r)
+		mission.Availability = append(mission.Availability, sc.sys.Quality())
+		if sc.FailedComponents() > 0 {
+			mission.DegradedSteps++
+		}
+	}
+	return mission, nil
+}
+
+// SpacecraftMission summarizes a simulated mission.
+type SpacecraftMission struct {
+	Strikes       int
+	DegradedSteps int
+	Availability  []float64
+}

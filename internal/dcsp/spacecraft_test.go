@@ -1,0 +1,116 @@
+package dcsp
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestNewSpacecraftValidation(t *testing.T) {
+	if _, err := NewSpacecraft(0, 1, 1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewSpacecraft(5, -1, 1); err == nil {
+		t.Error("want error for negative hits")
+	}
+	if _, err := NewSpacecraft(5, 6, 1); err == nil {
+		t.Error("want error for hits > n")
+	}
+	if _, err := NewSpacecraft(5, 2, 0); err == nil {
+		t.Error("want error for zero repairs per step")
+	}
+}
+
+func TestSpacecraftKRecoverablePaperClaim(t *testing.T) {
+	// §4.2: n components, debris causes at most k failures, fix one per
+	// step ⇒ k-recoverable.
+	sc, err := NewSpacecraft(32, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.VerifyKRecoverable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable {
+		t.Fatalf("paper claim violated: %+v", rep)
+	}
+	if rep.K != 5 {
+		t.Fatalf("K = %d, want 5", rep.K)
+	}
+	if rep.WorstSteps != 5 {
+		t.Fatalf("worst steps = %d, want 5 (tight)", rep.WorstSteps)
+	}
+}
+
+func TestSpacecraftFasterRepairHalvesK(t *testing.T) {
+	sc, err := NewSpacecraft(32, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.VerifyKRecoverable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable || rep.K != 3 {
+		t.Fatalf("report = %+v, want 3-recoverable", rep)
+	}
+}
+
+func TestSpacecraftMission(t *testing.T) {
+	r := rng.New(42)
+	sc, err := NewSpacecraft(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mission, err := sc.SimulateMission(2000, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mission.Strikes == 0 {
+		t.Fatal("expected at least one debris strike at rate 0.05 over 2000 steps")
+	}
+	if len(mission.Availability) != 2000 {
+		t.Fatalf("availability samples = %d", len(mission.Availability))
+	}
+	// Quiescence + k-recoverability: availability never stays degraded
+	// longer than MaxDebrisHits consecutive steps.
+	run := 0
+	for _, q := range mission.Availability {
+		if q < 100 {
+			run++
+			if run > sc.MaxDebrisHits {
+				t.Fatalf("degraded run %d exceeds k=%d", run, sc.MaxDebrisHits)
+			}
+		} else {
+			run = 0
+		}
+	}
+}
+
+func TestSpacecraftMissionNegativeSteps(t *testing.T) {
+	r := rng.New(1)
+	sc, err := NewSpacecraft(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.SimulateMission(-1, 0.1, r); err == nil {
+		t.Fatal("want error for negative steps")
+	}
+}
+
+func TestSpacecraftFailedComponents(t *testing.T) {
+	r := rng.New(2)
+	sc, err := NewSpacecraft(10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.FailedComponents() != 0 {
+		t.Fatal("new spacecraft should be healthy")
+	}
+	env, state := sc.DebrisStrike().Apply(sc.System().Env, sc.System().State, r)
+	sc.System().Env, sc.System().State = env, state
+	if f := sc.FailedComponents(); f < 1 || f > 3 {
+		t.Fatalf("failed components = %d, want 1..3", f)
+	}
+}

@@ -1,0 +1,151 @@
+package dcsp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+)
+
+// Event is a shock in the dynamic CSP: "the environment changes from C to
+// C′. It is also possible for the system to change its state as a result
+// of an event."
+type Event interface {
+	// Apply transforms the environment and/or state.
+	Apply(env Constraint, s bitstring.String, r *rng.Source) (Constraint, bitstring.String)
+}
+
+// DamageEvent perturbs only the state using a DamageModel.
+type DamageEvent struct {
+	Model DamageModel
+}
+
+var _ Event = DamageEvent{}
+
+// Apply implements Event.
+func (e DamageEvent) Apply(env Constraint, s bitstring.String, r *rng.Source) (Constraint, bitstring.String) {
+	if e.Model == nil {
+		return env, s
+	}
+	return env, e.Model.Damage(s, r)
+}
+
+// EnvironmentShift replaces the constraint: the world changed and the old
+// configuration may no longer be fit.
+type EnvironmentShift struct {
+	NewEnv Constraint
+}
+
+var _ Event = EnvironmentShift{}
+
+// Apply implements Event.
+func (e EnvironmentShift) Apply(env Constraint, s bitstring.String, r *rng.Source) (Constraint, bitstring.String) {
+	if e.NewEnv == nil {
+		return env, s
+	}
+	return e.NewEnv, s
+}
+
+// CompositeEvent applies several events in order — e.g. an earthquake that
+// both shifts the environment and damages the state.
+type CompositeEvent []Event
+
+var _ Event = CompositeEvent(nil)
+
+// Apply implements Event.
+func (ce CompositeEvent) Apply(env Constraint, s bitstring.String, r *rng.Source) (Constraint, bitstring.String) {
+	for _, e := range ce {
+		env, s = e.Apply(env, s, r)
+	}
+	return env, s
+}
+
+// TimedEvent schedules an event at a simulation step.
+type TimedEvent struct {
+	Step  int
+	Event Event
+}
+
+// System is a running dynamic-CSP system: an environment, a configuration,
+// and a repair capability.
+type System struct {
+	Env          Constraint
+	State        bitstring.String
+	Repairer     Repairer
+	FlipsPerStep int
+}
+
+// NewSystem builds a System, validating dimensions.
+func NewSystem(env Constraint, initial bitstring.String, rep Repairer, flipsPerStep int) (*System, error) {
+	if env == nil {
+		return nil, errors.New("dcsp: nil environment")
+	}
+	if initial.Len() != env.Len() {
+		return nil, ErrDimensionMismatch
+	}
+	if rep == nil {
+		return nil, errors.New("dcsp: nil repairer")
+	}
+	if flipsPerStep < 1 {
+		return nil, fmt.Errorf("dcsp: flipsPerStep %d must be >= 1", flipsPerStep)
+	}
+	return &System{Env: env, State: initial.Clone(), Repairer: rep, FlipsPerStep: flipsPerStep}, nil
+}
+
+// Quality returns the system quality in [0, 100]: full when fit; for
+// Graded environments it degrades linearly with the violation fraction;
+// otherwise any unfit state scores zero.
+func (sys *System) Quality() float64 {
+	if sys.Env.Fit(sys.State) {
+		return metrics.FullQuality
+	}
+	if g, ok := sys.Env.(Graded); ok {
+		frac := float64(g.Violations(sys.State)) / float64(g.MaxViolations())
+		if frac > 1 {
+			frac = 1
+		}
+		return metrics.FullQuality * (1 - frac)
+	}
+	return 0
+}
+
+// Step performs one adaptation step: if unfit, ask the repairer for up to
+// FlipsPerStep flips and apply them.
+func (sys *System) Step(r *rng.Source) {
+	if sys.Env.Fit(sys.State) {
+		return
+	}
+	for _, i := range sys.Repairer.PlanFlips(sys.State, sys.Env, sys.FlipsPerStep, r) {
+		sys.State.Flip(i)
+	}
+}
+
+// Run simulates steps time steps, applying scheduled events before the
+// repair action of their step, and returns the quality trace (one sample
+// per step, plus the initial sample).
+func (sys *System) Run(steps int, schedule []TimedEvent, r *rng.Source) (*metrics.Trace, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("dcsp: negative steps %d", steps)
+	}
+	events := make([]TimedEvent, len(schedule))
+	copy(events, schedule)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Step < events[j].Step })
+	// Sample quality at the start of each step, after that step's events
+	// but before repair, so the abrupt drop of Fig 3 is visible in the
+	// trace; a final sample captures the state after the last repair.
+	tr := metrics.NewTrace(0, 1)
+	next := 0
+	for t := 0; t < steps; t++ {
+		for next < len(events) && events[next].Step == t {
+			sys.Env, sys.State = events[next].Event.Apply(sys.Env, sys.State, r)
+			next++
+		}
+		tr.Append(sys.Quality())
+		sys.Step(r)
+	}
+	tr.Append(sys.Quality())
+	return tr, nil
+}

@@ -1,0 +1,194 @@
+package dcsp
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, bitstring.New(4), GreedyRepairer{}, 1); err == nil {
+		t.Error("want error for nil env")
+	}
+	if _, err := NewSystem(AllOnes{N: 4}, bitstring.New(5), GreedyRepairer{}, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("want ErrDimensionMismatch")
+	}
+	if _, err := NewSystem(AllOnes{N: 4}, bitstring.New(4), nil, 1); err == nil {
+		t.Error("want error for nil repairer")
+	}
+	if _, err := NewSystem(AllOnes{N: 4}, bitstring.New(4), GreedyRepairer{}, 0); err == nil {
+		t.Error("want error for zero flipsPerStep")
+	}
+}
+
+func TestSystemQualityGraded(t *testing.T) {
+	sys, err := NewSystem(AllOnes{N: 10}, bitstring.Ones(10), GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := sys.Quality(); q != metrics.FullQuality {
+		t.Fatalf("fit quality = %v", q)
+	}
+	sys.State.Flip(0)
+	sys.State.Flip(1)
+	if q := sys.Quality(); q != 80 {
+		t.Fatalf("quality = %v, want 80 (2/10 violated)", q)
+	}
+}
+
+func TestSystemQualityNonGraded(t *testing.T) {
+	pred := Predicate{N: 4, Fn: func(s bitstring.String) bool { return s.Count() == 4 }}
+	sys, err := NewSystem(pred, bitstring.New(4), RandomRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := sys.Quality(); q != 0 {
+		t.Fatalf("unfit non-graded quality = %v, want 0", q)
+	}
+}
+
+func TestSystemStepRepairs(t *testing.T) {
+	r := rng.New(1)
+	sys, err := NewSystem(AllOnes{N: 8}, bitstring.Ones(8), GreedyRepairer{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.State.FlipRandom(4, r)
+	sys.Step(r)
+	sys.Step(r)
+	if !sys.Env.Fit(sys.State) {
+		t.Fatal("two steps of 2 repairs should fix 4 failures")
+	}
+	// Step on a fit system is a no-op.
+	before := sys.State.Clone()
+	sys.Step(r)
+	if !sys.State.Equal(before) {
+		t.Fatal("Step mutated a fit state")
+	}
+}
+
+func TestSystemRunWithEvents(t *testing.T) {
+	r := rng.New(2)
+	sys, err := NewSystem(AllOnes{N: 10}, bitstring.Ones(10), GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := []TimedEvent{
+		{Step: 3, Event: DamageEvent{Model: ExactFlips{K: 4}}},
+	}
+	tr, err := sys.Run(20, schedule, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 21 {
+		t.Fatalf("trace length = %d, want 21", tr.Len())
+	}
+	rep, err := metrics.Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Episodes) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(rep.Episodes))
+	}
+	if !rep.Episodes[0].Recovered() {
+		t.Fatal("system should recover within the run")
+	}
+	// 4 failures at 1 repair/step: recovery takes 4 steps.
+	if got := rep.Episodes[0].RecoveryTime; got != 4 {
+		t.Fatalf("recovery time = %v, want 4", got)
+	}
+}
+
+func TestSystemRunEnvironmentShift(t *testing.T) {
+	r := rng.New(3)
+	sys, err := NewSystem(AtLeast{N: 10, K: 2}, bitstring.MustParse("1100000000"), GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := []TimedEvent{
+		{Step: 2, Event: EnvironmentShift{NewEnv: AtLeast{N: 10, K: 6}}},
+	}
+	tr, err := sys.Run(15, schedule, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Env.Fit(sys.State) {
+		t.Fatal("system should adapt to the new environment")
+	}
+	if sys.State.Count() < 6 {
+		t.Fatalf("final ones = %d, want >= 6", sys.State.Count())
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("trace length = %d", tr.Len())
+	}
+}
+
+func TestSystemRunNegativeSteps(t *testing.T) {
+	r := rng.New(4)
+	sys, err := NewSystem(AllOnes{N: 4}, bitstring.Ones(4), GreedyRepairer{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(-1, nil, r); err == nil {
+		t.Fatal("want error for negative steps")
+	}
+}
+
+func TestCompositeEvent(t *testing.T) {
+	r := rng.New(5)
+	env := Constraint(AllOnes{N: 6})
+	s := bitstring.Ones(6)
+	ev := CompositeEvent{
+		EnvironmentShift{NewEnv: AtLeast{N: 6, K: 3}},
+		DamageEvent{Model: ExactFlips{K: 2}},
+	}
+	env2, s2 := ev.Apply(env, s, r)
+	if _, ok := env2.(AtLeast); !ok {
+		t.Fatalf("env not shifted: %T", env2)
+	}
+	h, err := s.Hamming(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 {
+		t.Fatalf("damage hamming = %d, want 2", h)
+	}
+}
+
+func TestNilEventFields(t *testing.T) {
+	r := rng.New(6)
+	env := Constraint(AllOnes{N: 3})
+	s := bitstring.Ones(3)
+	env2, s2 := DamageEvent{}.Apply(env, s, r)
+	if env2 != env || !s2.Equal(s) {
+		t.Error("nil damage model should be identity")
+	}
+	env3, s3 := EnvironmentShift{}.Apply(env, s, r)
+	if env3 != env || !s3.Equal(s) {
+		t.Error("nil new env should be identity")
+	}
+}
+
+func TestEventsAppliedInStepOrder(t *testing.T) {
+	r := rng.New(7)
+	sys, err := NewSystem(AllOnes{N: 6}, bitstring.Ones(6), GreedyRepairer{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule deliberately out of order; Run must sort.
+	schedule := []TimedEvent{
+		{Step: 8, Event: DamageEvent{Model: ExactFlips{K: 1}}},
+		{Step: 2, Event: DamageEvent{Model: ExactFlips{K: 1}}},
+	}
+	tr, err := sys.Run(12, schedule, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tr.Episodes(99)
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2 separate dips", len(eps))
+	}
+}

@@ -1,0 +1,152 @@
+// Package diversity implements the ecological diversity measures of §3.2.4
+// of the paper, centered on the Diversity Index the paper defines:
+//
+//	G(p1, …, pN) = ( Σᵢ pᵢ² / N )⁻¹
+//
+// which "takes the largest value 1/p² when all the species have exactly the
+// same size of population p" and "is the smallest [1/(p²N)] when one species
+// dominates the entire ecosystem". The package also provides the closely
+// related inverse-Simpson, Gini–Simpson, and Shannon measures used by the
+// multi-agent testbed (§4.4) to quantify population diversity.
+package diversity
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoPopulation is returned when a measure is applied to an empty or
+// all-zero population vector.
+var ErrNoPopulation = errors.New("diversity: empty or zero population")
+
+// IndexG computes the paper's Diversity Index G = (Σ pᵢ²/N)⁻¹ over raw
+// (unnormalized) population counts. Negative entries are rejected.
+func IndexG(pops []float64) (float64, error) {
+	n := len(pops)
+	if n == 0 {
+		return 0, ErrNoPopulation
+	}
+	var sumsq, total float64
+	for _, p := range pops {
+		if p < 0 {
+			return 0, errors.New("diversity: negative population")
+		}
+		sumsq += p * p
+		total += p
+	}
+	if total == 0 || sumsq == 0 {
+		return 0, ErrNoPopulation
+	}
+	return float64(n) / sumsq, nil
+}
+
+// InverseSimpson returns 1/Σ fᵢ² over population *shares* fᵢ = pᵢ/Σp — the
+// "effective number of species". It equals N when all species are equal and
+// approaches 1 under complete domination.
+func InverseSimpson(pops []float64) (float64, error) {
+	shares, err := Shares(pops)
+	if err != nil {
+		return 0, err
+	}
+	var sumsq float64
+	for _, f := range shares {
+		sumsq += f * f
+	}
+	return 1 / sumsq, nil
+}
+
+// GiniSimpson returns 1 − Σ fᵢ², the probability that two random
+// individuals belong to different species. Range [0, 1−1/N].
+func GiniSimpson(pops []float64) (float64, error) {
+	inv, err := InverseSimpson(pops)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - 1/inv, nil
+}
+
+// Shannon returns the Shannon entropy H = −Σ fᵢ ln fᵢ in nats.
+func Shannon(pops []float64) (float64, error) {
+	shares, err := Shares(pops)
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for _, f := range shares {
+		if f > 0 {
+			h -= f * math.Log(f)
+		}
+	}
+	return h, nil
+}
+
+// EffectiveSpecies returns exp(H), the Hill number of order 1: the number
+// of equally-common species that would produce the observed Shannon
+// entropy.
+func EffectiveSpecies(pops []float64) (float64, error) {
+	h, err := Shannon(pops)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(h), nil
+}
+
+// Shares normalizes a population vector to fractions summing to 1.
+// Negative entries are rejected; an all-zero vector is ErrNoPopulation.
+func Shares(pops []float64) ([]float64, error) {
+	if len(pops) == 0 {
+		return nil, ErrNoPopulation
+	}
+	var total float64
+	for _, p := range pops {
+		if p < 0 {
+			return nil, errors.New("diversity: negative population")
+		}
+		total += p
+	}
+	if total == 0 {
+		return nil, ErrNoPopulation
+	}
+	out := make([]float64, len(pops))
+	for i, p := range pops {
+		out[i] = p / total
+	}
+	return out, nil
+}
+
+// Richness returns the number of species with strictly positive population.
+func Richness(pops []float64) int {
+	n := 0
+	for _, p := range pops {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Dominance returns the largest population share, the paper's measure of a
+// single species "dominating the entire ecosystem".
+func Dominance(pops []float64) (float64, error) {
+	shares, err := Shares(pops)
+	if err != nil {
+		return 0, err
+	}
+	var maxShare float64
+	for _, f := range shares {
+		if f > maxShare {
+			maxShare = f
+		}
+	}
+	return maxShare, nil
+}
+
+// CountsToPops converts integer species counts (e.g. genotype tallies from
+// the multi-agent testbed) to a float population vector.
+func CountsToPops[K comparable](counts map[K]int) []float64 {
+	out := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, float64(c))
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package diversity
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIndexGEqualPopulations(t *testing.T) {
+	// Paper: G takes its largest value 1/p² when all species have size p.
+	const p = 4.0
+	pops := []float64{p, p, p, p, p}
+	g, err := IndexG(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 1/(p*p), 1e-12) {
+		t.Fatalf("G = %v, want %v", g, 1/(p*p))
+	}
+}
+
+func TestIndexGDomination(t *testing.T) {
+	// Paper: the smallest value 1/(p²N) when one species holds everything,
+	// p1 = Np.
+	const p, n = 3.0, 6
+	pops := make([]float64, n)
+	pops[0] = p * n
+	g, err := IndexG(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 1/(p*p*n), 1e-12) {
+		t.Fatalf("G = %v, want %v", g, 1/(p*p*n))
+	}
+}
+
+func TestIndexGEqualBeatsDominated(t *testing.T) {
+	// With the same total population and species count, the even split must
+	// maximize G.
+	even := []float64{10, 10, 10, 10}
+	skew := []float64{37, 1, 1, 1}
+	ge, err := IndexG(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := IndexG(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge <= gs {
+		t.Fatalf("even G %v should exceed skewed G %v", ge, gs)
+	}
+}
+
+func TestIndexGErrors(t *testing.T) {
+	if _, err := IndexG(nil); !errors.Is(err, ErrNoPopulation) {
+		t.Error("want ErrNoPopulation for nil")
+	}
+	if _, err := IndexG([]float64{0, 0}); !errors.Is(err, ErrNoPopulation) {
+		t.Error("want ErrNoPopulation for zeros")
+	}
+	if _, err := IndexG([]float64{1, -1}); err == nil {
+		t.Error("want error for negative population")
+	}
+}
+
+func TestInverseSimpsonRange(t *testing.T) {
+	// Equal shares: effective species = N. Domination: -> 1.
+	inv, err := InverseSimpson([]float64{1, 1, 1, 1})
+	if err != nil || !almostEqual(inv, 4, 1e-12) {
+		t.Fatalf("InverseSimpson equal = %v err=%v, want 4", inv, err)
+	}
+	inv, err = InverseSimpson([]float64{1000, 0.001, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv > 1.001 {
+		t.Fatalf("InverseSimpson dominated = %v, want ~1", inv)
+	}
+}
+
+func TestInverseSimpsonProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := rng.New(seed)
+		pops := make([]float64, n)
+		for i := range pops {
+			pops[i] = r.Float64() + 0.01
+		}
+		inv, err := InverseSimpson(pops)
+		if err != nil {
+			return false
+		}
+		return inv >= 1-1e-9 && inv <= float64(n)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		pops := make([]float64, 8)
+		for i := range pops {
+			pops[i] = r.Float64()*10 + 0.1
+		}
+		g1, err1 := IndexG(pops)
+		perm := r.Perm(len(pops))
+		shuffled := make([]float64, len(pops))
+		for i, j := range perm {
+			shuffled[i] = pops[j]
+		}
+		g2, err2 := IndexG(shuffled)
+		return err1 == nil && err2 == nil && almostEqual(g1, g2, 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniSimpson(t *testing.T) {
+	gs, err := GiniSimpson([]float64{1, 1})
+	if err != nil || !almostEqual(gs, 0.5, 1e-12) {
+		t.Fatalf("GiniSimpson = %v err=%v, want 0.5", gs, err)
+	}
+	gs, err = GiniSimpson([]float64{1, 0, 0})
+	if err != nil || !almostEqual(gs, 0, 1e-12) {
+		t.Fatalf("GiniSimpson single = %v, want 0", gs)
+	}
+}
+
+func TestShannon(t *testing.T) {
+	h, err := Shannon([]float64{1, 1, 1, 1})
+	if err != nil || !almostEqual(h, math.Log(4), 1e-12) {
+		t.Fatalf("Shannon = %v err=%v, want ln4", h, err)
+	}
+	h, err = Shannon([]float64{5, 0})
+	if err != nil || h != 0 {
+		t.Fatalf("Shannon single = %v, want 0", h)
+	}
+}
+
+func TestEffectiveSpecies(t *testing.T) {
+	es, err := EffectiveSpecies([]float64{2, 2, 2})
+	if err != nil || !almostEqual(es, 3, 1e-9) {
+		t.Fatalf("EffectiveSpecies = %v err=%v, want 3", es, err)
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := rng.New(seed)
+		pops := make([]float64, n)
+		for i := range pops {
+			pops[i] = r.Float64() * 100
+		}
+		pops[0] += 0.01 // guarantee non-zero total
+		shares, err := Shares(pops)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, f := range shares {
+			sum += f
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRichness(t *testing.T) {
+	if got := Richness([]float64{1, 0, 3, 0}); got != 2 {
+		t.Fatalf("Richness = %d, want 2", got)
+	}
+	if got := Richness(nil); got != 0 {
+		t.Fatalf("Richness(nil) = %d", got)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	d, err := Dominance([]float64{3, 1})
+	if err != nil || !almostEqual(d, 0.75, 1e-12) {
+		t.Fatalf("Dominance = %v err=%v, want 0.75", d, err)
+	}
+	if _, err := Dominance([]float64{0}); !errors.Is(err, ErrNoPopulation) {
+		t.Error("want ErrNoPopulation")
+	}
+}
+
+func TestCountsToPops(t *testing.T) {
+	pops := CountsToPops(map[string]int{"a": 3, "b": 7})
+	if len(pops) != 2 {
+		t.Fatalf("len = %d", len(pops))
+	}
+	sum := pops[0] + pops[1]
+	if sum != 10 {
+		t.Fatalf("sum = %v, want 10", sum)
+	}
+}
+
+func TestScaleInvarianceOfShareMeasures(t *testing.T) {
+	// InverseSimpson, GiniSimpson, Shannon must be invariant to uniform
+	// scaling of raw counts; the paper's IndexG intentionally is not.
+	pops := []float64{2, 5, 3}
+	scaled := []float64{20, 50, 30}
+	for name, f := range map[string]func([]float64) (float64, error){
+		"InverseSimpson": InverseSimpson,
+		"GiniSimpson":    GiniSimpson,
+		"Shannon":        Shannon,
+	} {
+		a, err := f(pops)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := f(scaled)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !almostEqual(a, b, 1e-9) {
+			t.Errorf("%s not scale invariant: %v vs %v", name, a, b)
+		}
+	}
+	ga, err := IndexG(pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := IndexG(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if almostEqual(ga, gb, 1e-12) {
+		t.Error("IndexG should depend on absolute populations")
+	}
+}

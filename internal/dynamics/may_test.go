@@ -1,0 +1,157 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestRandomCommunityValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomCommunity(0, 0.5, 1, 1, r); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := RandomCommunity(5, 1.5, 1, 1, r); err == nil {
+		t.Error("want error for connectance > 1")
+	}
+	if _, err := RandomCommunity(5, 0.5, -1, 1, r); err == nil {
+		t.Error("want error for negative sigma")
+	}
+	if _, err := RandomCommunity(5, 0.5, 1, 0, r); err == nil {
+		t.Error("want error for zero self-regulation")
+	}
+}
+
+func TestRandomCommunityStructure(t *testing.T) {
+	r := rng.New(2)
+	c, err := RandomCommunity(10, 0.3, 0.5, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if c.M[i*10+i] != -2 {
+			t.Fatalf("diagonal[%d] = %v, want -2", i, c.M[i*10+i])
+		}
+	}
+	// Off-diagonal density ≈ connectance.
+	nonzero := 0
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j && c.M[i*10+j] != 0 {
+				nonzero++
+			}
+		}
+	}
+	frac := float64(nonzero) / 90
+	if frac < 0.1 || frac > 0.55 {
+		t.Fatalf("off-diagonal density %v far from connectance 0.3", frac)
+	}
+}
+
+func TestStableDecoupledCommunity(t *testing.T) {
+	// sigma = 0: M = −d·I, trivially stable.
+	r := rng.New(3)
+	c, err := RandomCommunity(8, 0.5, 0, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Stable(50, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("decoupled community must be stable")
+	}
+}
+
+func TestUnstableByConstruction(t *testing.T) {
+	// A 2x2 matrix with eigenvalue +1: [[1,0],[0,-1]].
+	r := rng.New(4)
+	c := &Community{N: 2, M: []float64{1, 0, 0, -1}}
+	ok, err := c.Stable(50, 0.01, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("matrix with positive eigenvalue must be unstable")
+	}
+}
+
+func TestStableValidation(t *testing.T) {
+	r := rng.New(5)
+	c := &Community{N: 1, M: []float64{-1}}
+	if _, err := c.Stable(0, 0.01, r); err == nil {
+		t.Error("want error for zero horizon")
+	}
+	if _, err := c.Stable(10, 0, r); err == nil {
+		t.Error("want error for zero dt")
+	}
+	if _, err := c.Stable(1, 2, r); err == nil {
+		t.Error("want error for dt >= horizon")
+	}
+}
+
+func TestMayThreshold(t *testing.T) {
+	got := MayThreshold(25, 0.4, 0.5)
+	want := 0.5 * math.Sqrt(10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+}
+
+func TestMayTransition(t *testing.T) {
+	// Below May's bound (σ√(nc) « d) communities are almost surely
+	// stable; above it almost surely unstable.
+	r := rng.New(6)
+	// n=20, c=0.3: threshold σ* = 1/√6 ≈ 0.41 for d=1.
+	below, err := StabilityProbability(20, 0.3, 0.15, 1, 30, 60, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := StabilityProbability(20, 0.3, 1.2, 1, 30, 60, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below < 0.9 {
+		t.Fatalf("sub-threshold stability = %v, want ~1", below)
+	}
+	if above > 0.2 {
+		t.Fatalf("super-threshold stability = %v, want ~0", above)
+	}
+}
+
+func TestComplexityDestabilizes(t *testing.T) {
+	// May's paradox at fixed interaction strength: more species ⇒ less
+	// stable. This is the §6 Antarctic answer: a simple community can be
+	// dynamically stable where a rich one cannot.
+	r := rng.New(7)
+	const sigma, conn = 0.45, 0.3
+	small, err := StabilityProbability(5, conn, sigma, 1, 40, 60, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := StabilityProbability(60, conn, sigma, 1, 40, 60, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= large {
+		t.Fatalf("small community stability %v should exceed large %v", small, large)
+	}
+	if small < 0.8 {
+		t.Fatalf("small community stability = %v, want high", small)
+	}
+	if large > 0.3 {
+		t.Fatalf("large community stability = %v, want low", large)
+	}
+}
+
+func TestStabilityProbabilityValidation(t *testing.T) {
+	r := rng.New(8)
+	if _, err := StabilityProbability(5, 0.5, 0.5, 1, 0, 10, 0.01, r); err == nil {
+		t.Error("want error for zero trials")
+	}
+	if _, err := StabilityProbability(0, 0.5, 0.5, 1, 5, 10, 0.01, r); err == nil {
+		t.Error("want error propagated from community construction")
+	}
+}

@@ -1,0 +1,273 @@
+// Package dynamics implements the population dynamics of §3.2.4: the
+// replicator equation
+//
+//	pᵢ(t+1) = pᵢ(t) · πᵢ / π̄(t)
+//
+// where πᵢ is the fitness of species i and π̄ the population-weighted mean
+// fitness, together with the fitness shapes the paper discusses — linear
+// cumulative advantage versus the concave, diminishing-return fitness of
+// Fig 2 ("as the species gain a larger fitness, a contribution of each
+// advantageous mutation to the fitness declines") and density-dependent
+// fitness ("the dominating species loses its advantage as its population
+// increases, and this gives spaces for other species to occupy").
+//
+// The package also provides a finite-population stochastic mode
+// (Wright–Fisher resampling) for the weak-selection experiments, and the
+// early-warning-signal machinery of §3.4.1 in warning.go.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/diversity"
+	"resilience/internal/rng"
+)
+
+// Fitness returns the fitness πᵢ of species i given its current population
+// and the time step — the environment enters through the closure.
+type Fitness func(species int, pop float64, t int) float64
+
+// ErrExtinct is returned when every species has died out.
+var ErrExtinct = errors.New("dynamics: total extinction")
+
+// Ecosystem is a population vector evolving under the replicator equation.
+type Ecosystem struct {
+	// Pops holds the population of each species. Extinct species stay in
+	// the slice with population zero so indices remain stable.
+	Pops []float64
+	// Fitness is the current fitness function; experiments swap it to
+	// model environment change.
+	Fitness Fitness
+	// ExtinctBelow zeroes any population falling below this threshold
+	// after a step (default 0 = never).
+	ExtinctBelow float64
+
+	t int
+}
+
+// NewEcosystem builds an ecosystem with the given initial populations and
+// fitness function.
+func NewEcosystem(pops []float64, f Fitness) (*Ecosystem, error) {
+	if len(pops) == 0 {
+		return nil, errors.New("dynamics: no species")
+	}
+	if f == nil {
+		return nil, errors.New("dynamics: nil fitness")
+	}
+	var total float64
+	for i, p := range pops {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("dynamics: invalid population %v for species %d", p, i)
+		}
+		total += p
+	}
+	if total == 0 {
+		return nil, ErrExtinct
+	}
+	e := &Ecosystem{Pops: make([]float64, len(pops)), Fitness: f}
+	copy(e.Pops, pops)
+	return e, nil
+}
+
+// Time returns the number of steps taken.
+func (e *Ecosystem) Time() int { return e.t }
+
+// Total returns the total population.
+func (e *Ecosystem) Total() float64 {
+	var total float64
+	for _, p := range e.Pops {
+		total += p
+	}
+	return total
+}
+
+// MeanFitness returns π̄ = Σ pᵢπᵢ / Σ pᵢ.
+func (e *Ecosystem) MeanFitness() (float64, error) {
+	var wsum, total float64
+	for i, p := range e.Pops {
+		if p <= 0 {
+			continue
+		}
+		wsum += p * e.Fitness(i, p, e.t)
+		total += p
+	}
+	if total == 0 {
+		return 0, ErrExtinct
+	}
+	return wsum / total, nil
+}
+
+// Step advances one deterministic replicator generation. The replicator
+// map conserves total population exactly (up to floating point), which
+// Step asserts by construction rather than renormalization.
+func (e *Ecosystem) Step() error {
+	mean, err := e.MeanFitness()
+	if err != nil {
+		return err
+	}
+	if mean <= 0 {
+		return errors.New("dynamics: non-positive mean fitness")
+	}
+	for i, p := range e.Pops {
+		if p <= 0 {
+			continue
+		}
+		e.Pops[i] = p * e.Fitness(i, p, e.t) / mean
+	}
+	e.applyExtinction()
+	e.t++
+	if e.Total() == 0 {
+		return ErrExtinct
+	}
+	return nil
+}
+
+// StepStochastic advances one Wright–Fisher generation with effective
+// population size n: the next generation is a multinomial sample of n
+// individuals drawn with probability proportional to pᵢπᵢ. Total
+// population is rescaled so that Σp is preserved. Finite n introduces the
+// genetic drift that the near-neutral theory (§3.2.4) rests on.
+func (e *Ecosystem) StepStochastic(n int, r *rng.Source) error {
+	if n <= 0 {
+		return fmt.Errorf("dynamics: population size %d must be positive", n)
+	}
+	total := e.Total()
+	if total == 0 {
+		return ErrExtinct
+	}
+	weights := make([]float64, len(e.Pops))
+	var wsum float64
+	for i, p := range e.Pops {
+		if p <= 0 {
+			continue
+		}
+		w := p * e.Fitness(i, p, e.t)
+		if w < 0 {
+			w = 0
+		}
+		weights[i] = w
+		wsum += w
+	}
+	if wsum == 0 {
+		return errors.New("dynamics: zero total fitness")
+	}
+	counts := make([]int, len(e.Pops))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i := range e.Pops {
+		e.Pops[i] = float64(counts[i]) / float64(n) * total
+	}
+	e.applyExtinction()
+	e.t++
+	if e.Total() == 0 {
+		return ErrExtinct
+	}
+	return nil
+}
+
+func (e *Ecosystem) applyExtinction() {
+	if e.ExtinctBelow <= 0 {
+		return
+	}
+	for i, p := range e.Pops {
+		if p > 0 && p < e.ExtinctBelow {
+			e.Pops[i] = 0
+		}
+	}
+}
+
+// Run advances n deterministic steps, stopping early on extinction.
+func (e *Ecosystem) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Survivors returns the number of species with positive population.
+func (e *Ecosystem) Survivors() int { return diversity.Richness(e.Pops) }
+
+// Dominance returns the largest population share.
+func (e *Ecosystem) Dominance() (float64, error) { return diversity.Dominance(e.Pops) }
+
+// DiversityG returns the paper's diversity index of the current
+// population.
+func (e *Ecosystem) DiversityG() (float64, error) { return diversity.IndexG(e.Pops) }
+
+// ConstFitness gives species i the fixed fitness values[i]; missing
+// indices default to 1. This is the paper's plain replicator setting where
+// "the most fit species will ultimately dominate the entire ecosystem
+// without a mechanism that penalizes such domination".
+func ConstFitness(values []float64) Fitness {
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	return func(i int, _ float64, _ int) float64 {
+		if i < 0 || i >= len(vals) {
+			return 1
+		}
+		return vals[i]
+	}
+}
+
+// LinearAdvantage maps a cumulative advantage aᵢ to fitness 1 + s·aᵢ —
+// constant marginal returns, the straight line of Fig 2.
+func LinearAdvantage(adv []float64, s float64) Fitness {
+	a := make([]float64, len(adv))
+	copy(a, adv)
+	return func(i int, _ float64, _ int) float64 {
+		if i < 0 || i >= len(a) {
+			return 1
+		}
+		return 1 + s*a[i]
+	}
+}
+
+// ConcaveAdvantage maps cumulative advantage aᵢ to fitness 1 + s·ln(1+aᵢ)
+// — the concave, diminishing-return curve of Fig 2 under which selection
+// between highly advantaged variants becomes weak and slightly deleterious
+// variants persist (Akashi et al.'s weak-selection regime).
+func ConcaveAdvantage(adv []float64, s float64) Fitness {
+	a := make([]float64, len(adv))
+	copy(a, adv)
+	return func(i int, _ float64, _ int) float64 {
+		if i < 0 || i >= len(a) {
+			return 1
+		}
+		return 1 + s*math.Log1p(a[i])
+	}
+}
+
+// DensityDependent wraps base fitness values with the decreasing
+// population response πᵢ(pᵢ) = baseᵢ / (1 + c·pᵢ): "the dominating species
+// loses its advantage as its population increases".
+func DensityDependent(base []float64, c float64) Fitness {
+	b := make([]float64, len(base))
+	copy(b, base)
+	return func(i int, pop float64, _ int) float64 {
+		if i < 0 || i >= len(b) {
+			return 1
+		}
+		return b[i] / (1 + c*pop)
+	}
+}
+
+// GaussianTrait builds an environment-dependent fitness: species i has a
+// fixed trait, and fitness falls off as a Gaussian of the distance between
+// the trait and the environment's current optimum. The optimum is read on
+// every call, so callers can shift the environment mid-run.
+func GaussianTrait(traits []float64, optimum *float64, width, floor float64) Fitness {
+	tr := make([]float64, len(traits))
+	copy(tr, traits)
+	return func(i int, _ float64, _ int) float64 {
+		if i < 0 || i >= len(tr) || width <= 0 {
+			return floor
+		}
+		d := tr[i] - *optimum
+		return floor + math.Exp(-d*d/(2*width*width))
+	}
+}

@@ -1,0 +1,323 @@
+package dynamics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+func TestNewEcosystemValidation(t *testing.T) {
+	f := ConstFitness([]float64{1})
+	if _, err := NewEcosystem(nil, f); err == nil {
+		t.Error("want error for no species")
+	}
+	if _, err := NewEcosystem([]float64{1}, nil); err == nil {
+		t.Error("want error for nil fitness")
+	}
+	if _, err := NewEcosystem([]float64{-1}, f); err == nil {
+		t.Error("want error for negative population")
+	}
+	if _, err := NewEcosystem([]float64{math.NaN()}, f); err == nil {
+		t.Error("want error for NaN population")
+	}
+	if _, err := NewEcosystem([]float64{0, 0}, f); !errors.Is(err, ErrExtinct) {
+		t.Error("want ErrExtinct for all-zero populations")
+	}
+}
+
+func TestReplicatorConservesTotal(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(8)
+		pops := make([]float64, n)
+		fit := make([]float64, n)
+		for i := range pops {
+			pops[i] = 1 + r.Float64()*10
+			fit[i] = 0.5 + r.Float64()
+		}
+		e, err := NewEcosystem(pops, ConstFitness(fit))
+		if err != nil {
+			return false
+		}
+		before := e.Total()
+		for s := 0; s < 20; s++ {
+			if err := e.Step(); err != nil {
+				return false
+			}
+		}
+		return math.Abs(e.Total()-before) < 1e-6*before
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatorGrowthDirection(t *testing.T) {
+	// Fitter species must grow, less fit must shrink, every step.
+	e, err := NewEcosystem([]float64{10, 10}, ConstFitness([]float64{2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pops[0] <= 10 || e.Pops[1] >= 10 {
+		t.Fatalf("pops after step = %v", e.Pops)
+	}
+}
+
+func TestLinearFitnessDomination(t *testing.T) {
+	// The paper: "the most fit species will ultimately dominate the
+	// entire ecosystem without a mechanism that penalizes such
+	// domination."
+	adv := []float64{1, 2, 3, 4, 10}
+	pops := []float64{20, 20, 20, 20, 20}
+	e, err := NewEcosystem(pops, LinearAdvantage(adv, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExtinctBelow = 1e-6
+	if err := e.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	dom, err := e.Dominance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom < 0.999 {
+		t.Fatalf("dominance = %v, want near-total under linear fitness", dom)
+	}
+}
+
+func TestDensityDependenceMaintainsCoexistence(t *testing.T) {
+	// With decreasing πᵢ(pᵢ) the dominating species loses its advantage:
+	// all species persist.
+	base := []float64{1.0, 1.1, 1.2, 1.3}
+	pops := []float64{25, 25, 25, 25}
+	e, err := NewEcosystem(pops, DensityDependent(base, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExtinctBelow = 1e-6
+	if err := e.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if e.Survivors() != 4 {
+		t.Fatalf("survivors = %d, want 4 (coexistence)", e.Survivors())
+	}
+	dom, err := e.Dominance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom > 0.6 {
+		t.Fatalf("dominance = %v, want bounded under density dependence", dom)
+	}
+}
+
+func TestConcaveSlowerDominationThanLinear(t *testing.T) {
+	// Fig 2: under the concave fitness curve, selection among advantaged
+	// variants is weak, so domination takes much longer than under
+	// linear fitness with the same advantage spread.
+	adv := []float64{8, 9, 10, 11, 12}
+	stepsToDominate := func(f Fitness) int {
+		e, err := NewEcosystem([]float64{20, 20, 20, 20, 20}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 1; s <= 5000; s++ {
+			if err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+			dom, err := e.Dominance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dom > 0.9 {
+				return s
+			}
+		}
+		return 5001
+	}
+	linear := stepsToDominate(LinearAdvantage(adv, 1))
+	concave := stepsToDominate(ConcaveAdvantage(adv, 1))
+	if concave < 3*linear {
+		t.Fatalf("concave domination in %d steps vs linear %d: want ≥3× slower", concave, linear)
+	}
+}
+
+func TestGaussianTraitEnvironmentShift(t *testing.T) {
+	traits := []float64{0, 1, 2, 3}
+	opt := 0.0
+	e, err := NewEcosystem([]float64{25, 25, 25, 25}, GaussianTrait(traits, &opt, 1.0, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pops[0] < e.Pops[3] {
+		t.Fatalf("species at optimum should lead: %v", e.Pops)
+	}
+	// Shift the environment: optimum moves to trait 3. The trailing
+	// species has been driven to a tiny (but nonzero) population and must
+	// regrow — the paper's "diversity enables survival of change" story.
+	opt = 3
+	if err := e.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pops[3] < e.Pops[0] {
+		t.Fatalf("after shift species 3 should lead: %v", e.Pops)
+	}
+}
+
+func TestExtinctionThreshold(t *testing.T) {
+	e, err := NewEcosystem([]float64{100, 0.5}, ConstFitness([]float64{2, 0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExtinctBelow = 0.1
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pops[1] != 0 {
+		t.Fatalf("species 1 should be extinct, pop = %v", e.Pops[1])
+	}
+	if e.Survivors() != 1 {
+		t.Fatalf("survivors = %d", e.Survivors())
+	}
+}
+
+func TestTotalExtinctionError(t *testing.T) {
+	e, err := NewEcosystem([]float64{0.05, 0.05}, ConstFitness([]float64{1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ExtinctBelow = 1 // everything dies after the first step
+	if err := e.Step(); !errors.Is(err, ErrExtinct) {
+		t.Fatalf("err = %v, want ErrExtinct", err)
+	}
+}
+
+func TestStepStochasticPreservesTotal(t *testing.T) {
+	r := rng.New(1)
+	e, err := NewEcosystem([]float64{30, 30, 40}, ConstFitness([]float64{1, 1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Total()
+	if err := e.StepStochastic(500, r); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Total()-before) > 1e-9 {
+		t.Fatalf("total changed: %v -> %v", before, e.Total())
+	}
+}
+
+func TestStepStochasticDrift(t *testing.T) {
+	// With neutral fitness and a tiny population, drift must eventually
+	// fix one species (classic Wright–Fisher behaviour).
+	r := rng.New(2)
+	e, err := NewEcosystem([]float64{50, 50}, ConstFitness([]float64{1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := false
+	for s := 0; s < 2000; s++ {
+		if err := e.StepStochastic(20, r); err != nil {
+			t.Fatal(err)
+		}
+		if e.Pops[0] == 0 || e.Pops[1] == 0 {
+			fixed = true
+			break
+		}
+	}
+	if !fixed {
+		t.Fatal("neutral drift with N=20 should fix within 2000 generations")
+	}
+}
+
+func TestStepStochasticSelection(t *testing.T) {
+	// Strong selection with a large population: the fit species should
+	// win essentially always.
+	wins := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		e, err := NewEcosystem([]float64{50, 50}, ConstFitness([]float64{1.5, 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 300; s++ {
+			if err := e.StepStochastic(1000, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.Pops[0] > e.Pops[1] {
+			wins++
+		}
+	}
+	if wins < 19 {
+		t.Fatalf("fit species won only %d/20 runs", wins)
+	}
+}
+
+func TestStepStochasticValidation(t *testing.T) {
+	r := rng.New(3)
+	e, err := NewEcosystem([]float64{1}, ConstFitness([]float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepStochastic(0, r); err == nil {
+		t.Error("want error for n=0")
+	}
+	bad, err := NewEcosystem([]float64{1}, ConstFitness([]float64{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.StepStochastic(10, r); err == nil {
+		t.Error("want error for zero total fitness")
+	}
+}
+
+func TestMeanFitness(t *testing.T) {
+	e, err := NewEcosystem([]float64{1, 3}, ConstFitness([]float64{2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.MeanFitness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1*2 + 3*4) / 4.0
+	if math.Abs(m-want) > 1e-12 {
+		t.Fatalf("mean fitness = %v, want %v", m, want)
+	}
+}
+
+func TestDiversityGAccessor(t *testing.T) {
+	e, err := NewEcosystem([]float64{10, 10}, ConstFitness([]float64{1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := e.DiversityG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1.0/100) > 1e-12 {
+		t.Fatalf("G = %v, want 0.01", g)
+	}
+}
+
+func TestFitnessHelpersOutOfRange(t *testing.T) {
+	for name, f := range map[string]Fitness{
+		"Const":   ConstFitness([]float64{2}),
+		"Linear":  LinearAdvantage([]float64{2}, 1),
+		"Concave": ConcaveAdvantage([]float64{2}, 1),
+		"Density": DensityDependent([]float64{2}, 1),
+	} {
+		if got := f(5, 1, 0); got != 1 {
+			t.Errorf("%s out-of-range fitness = %v, want fallback 1", name, got)
+		}
+	}
+}

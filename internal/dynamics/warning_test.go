@@ -1,0 +1,155 @@
+package dynamics
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestFoldModelBistability(t *testing.T) {
+	r := rng.New(1)
+	// Low driver: stays on the low branch.
+	low := DefaultFoldModel()
+	low.Driver = 0.05
+	for i := 0; i < 5000; i++ {
+		low.Step(r)
+	}
+	if low.X > 0.5 {
+		t.Fatalf("low-driver state = %v, want low branch", low.X)
+	}
+	// High driver: jumps to the high branch.
+	high := DefaultFoldModel()
+	high.Driver = 0.6
+	for i := 0; i < 5000; i++ {
+		high.Step(r)
+	}
+	if high.X < 1.0 {
+		t.Fatalf("high-driver state = %v, want high branch", high.X)
+	}
+}
+
+func TestFoldModelNonNegative(t *testing.T) {
+	r := rng.New(2)
+	m := DefaultFoldModel()
+	m.Noise = 0.5 // violent noise
+	for i := 0; i < 10000; i++ {
+		m.Step(r)
+		if m.X < 0 {
+			t.Fatal("state went negative")
+		}
+	}
+}
+
+func TestRampDriverTips(t *testing.T) {
+	r := rng.New(3)
+	m := DefaultFoldModel()
+	res, err := m.RampDriver(0, 0.5, 20000, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TipIndex < 0 {
+		t.Fatal("ramp to driver 0.5 should tip")
+	}
+	if res.TipIndex < 1000 {
+		t.Fatalf("tip at %d: suspiciously early", res.TipIndex)
+	}
+	if len(res.X) != 20000 || len(res.Driver) != 20000 {
+		t.Fatalf("trajectory lengths %d/%d", len(res.X), len(res.Driver))
+	}
+}
+
+func TestRampDriverValidation(t *testing.T) {
+	r := rng.New(4)
+	m := DefaultFoldModel()
+	if _, err := m.RampDriver(0, 1, 1, 1.0, r); err == nil {
+		t.Fatal("want error for too few steps")
+	}
+}
+
+func TestEarlyWarningRisingSignals(t *testing.T) {
+	// Near the fold, AR(1) and variance must trend upward (critical
+	// slowing down). Use a slow ramp and analyse the pre-tip window.
+	r := rng.New(5)
+	m := DefaultFoldModel()
+	res, err := m.RampDriver(0, 0.45, 40000, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TipIndex < 0 {
+		t.Fatal("expected a tip")
+	}
+	sig, err := EarlyWarning(res.X[:res.TipIndex], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.AR1Trend < 0.3 {
+		t.Fatalf("AR1 trend = %v, want clearly positive", sig.AR1Trend)
+	}
+	if sig.VarianceTrend < 0.3 {
+		t.Fatalf("variance trend = %v, want clearly positive", sig.VarianceTrend)
+	}
+}
+
+func TestEarlyWarningFlatOnStationarySeries(t *testing.T) {
+	// White noise far from any transition: trends should hover near 0.
+	r := rng.New(6)
+	series := make([]float64, 4000)
+	for i := range series {
+		series[i] = r.Norm(0, 1)
+	}
+	sig, err := EarlyWarning(series, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.AR1Trend > 0.5 || sig.AR1Trend < -0.5 {
+		t.Fatalf("white-noise AR1 trend = %v, want near 0", sig.AR1Trend)
+	}
+}
+
+func TestEarlyWarningShortSeries(t *testing.T) {
+	if _, err := EarlyWarning(make([]float64, 10), 8); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("want ErrShortSeries")
+	}
+	if _, err := EarlyWarning(make([]float64, 100), 2); !errors.Is(err, ErrShortSeries) {
+		t.Fatal("want ErrShortSeries for tiny window")
+	}
+}
+
+func TestDetectBeforeTipFires(t *testing.T) {
+	r := rng.New(7)
+	m := DefaultFoldModel()
+	res, err := m.RampDriver(0, 0.45, 40000, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := DetectBeforeTip(res, 1000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Alarmed {
+		t.Fatalf("early warning should fire before the tip: %+v", det.Signals)
+	}
+	if det.LeadTime <= 0 {
+		t.Fatalf("lead time = %d, want positive", det.LeadTime)
+	}
+}
+
+func TestDetectBeforeTipNoTip(t *testing.T) {
+	r := rng.New(8)
+	m := DefaultFoldModel()
+	res, err := m.RampDriver(0, 0.05, 8000, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TipIndex >= 0 {
+		t.Skip("unexpected tip at very low driver")
+	}
+	det, err := DetectBeforeTip(res, 500, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Alarmed && det.LeadTime != -1 {
+		t.Fatal("lead time must be -1 without a tip")
+	}
+}

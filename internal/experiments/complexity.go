@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"resilience/internal/ca"
+	"resilience/internal/chaos"
+	"resilience/internal/graph"
+	"resilience/internal/magent"
+	"resilience/internal/rng"
+	"resilience/internal/stats"
+	"resilience/internal/sysmodel"
+)
+
+// E18 answers the §4.4 question on the multi-agent testbed: sweep the
+// redundancy/diversity/adaptability budget simplex and rank allocations
+// by survival under a shifting environment. Expected shape: corner
+// allocations underperform; the optimum funds adaptability and diversity
+// when the environment keeps moving.
+func E18(w io.Writer, cfg Config) error {
+	section(w, "e18", "resilience budget sweep (redundancy/diversity/adaptability)", "§4.4")
+	resolution := 4
+	steps := 200
+	trials := 8
+	if cfg.Quick {
+		resolution = 2
+		steps = 80
+		trials = 3
+	}
+	base := magent.DefaultConfig()
+	base.InitialAgents = 50
+	base.PopulationCap = 150
+	params := magent.DefaultTradeoffParams()
+	scenario := magent.MaskScenario{CareBits: 12, ShiftDistance: 5, ShiftEvery: 35, Shifts: 4}
+	outcomes, err := magent.SweepAllocations(base, params, scenario, resolution, steps, trials, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		return outcomes[i].SurvivalRate > outcomes[j].SurvivalRate
+	})
+	tb := newTable(w)
+	fmt.Fprintln(tb, "rank\tredundancy\tdiversity\tadaptability\tsurvival\tmeanRecovery\tmeanFinalPop")
+	show := len(outcomes)
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		o := outcomes[i]
+		rec := "-"
+		if !math.IsNaN(o.MeanRecovery) {
+			rec = fmt.Sprintf("%.1f", o.MeanRecovery)
+		}
+		fmt.Fprintf(tb, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%s\t%.0f\n",
+			i+1, o.Allocation.Redundancy, o.Allocation.Diversity, o.Allocation.Adaptability,
+			o.SurvivalRate, rec, o.MeanFinalPop)
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	worst := outcomes[len(outcomes)-1]
+	fmt.Fprintf(w, "worst allocation: R=%.2f D=%.2f A=%.2f survival=%.2f\n",
+		worst.Allocation.Redundancy, worst.Allocation.Diversity,
+		worst.Allocation.Adaptability, worst.SurvivalRate)
+	return nil
+}
+
+// E19 reproduces §4.5 (Bak): the driven sandpile self-organizes to a
+// critical state with power-law avalanches; small controlled removals
+// ("small destructions to the environment") truncate the largest
+// cascades.
+func E19(w io.Writer, cfg Config) error {
+	section(w, "e19", "sandpile criticality and small interventions", "§4.5")
+	side := 32
+	warmup, drops := 20000, 20000
+	if cfg.Quick {
+		side = 16
+		warmup, drops = 4000, 4000
+	}
+	run := func(every, grains int, seed uint64) (ca.DriveResult, error) {
+		r := rng.New(seed)
+		s, err := ca.NewSandpile(side)
+		if err != nil {
+			return ca.DriveResult{}, err
+		}
+		return s.Drive(warmup, drops, every, grains, r)
+	}
+	base, err := run(0, 0, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	intervened, err := run(5, 8, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	var positive []float64
+	for _, a := range base.Avalanches {
+		if a > 0 {
+			positive = append(positive, a)
+		}
+	}
+	alpha, r2 := math.NaN(), math.NaN()
+	if fitAlpha, fitR2, err := stats.FitPowerLawCCDF(positive, 1); err == nil {
+		alpha, r2 = fitAlpha, fitR2
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "policy\tmedian\tp99\tmaxAvalanche\tfinalGrains")
+	fmt.Fprintf(tb, "no-intervention\t%.0f\t%.0f\t%d\t%d\n",
+		stats.Quantile(base.Avalanches, 0.5), stats.Quantile(base.Avalanches, 0.99),
+		base.MaxAvalanche, base.FinalGrains)
+	fmt.Fprintf(tb, "remove-8-every-5\t%.0f\t%.0f\t%d\t%d\n",
+		stats.Quantile(intervened.Avalanches, 0.5), stats.Quantile(intervened.Avalanches, 0.99),
+		intervened.MaxAvalanche, intervened.FinalGrains)
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "avalanche CCDF power-law fit: alpha=%.2f R2=%.3f over %d avalanches\n",
+		alpha, r2, len(positive))
+	return nil
+}
+
+// E20 reproduces §5.1 (Barabási): giant-component robustness curves of
+// scale-free vs random graphs under random failure and targeted hub
+// attack, plus SIR epidemics with hub vs random vaccination. Expected
+// shape: scale-free survives random failure but collapses under hub
+// attack; hub vaccination contains the epidemic.
+func E20(w io.Writer, cfg Config) error {
+	section(w, "e20", "scale-free robustness and hub attacks", "§5.1")
+	n := 2000
+	if cfg.Quick {
+		n = 500
+	}
+	r := rng.New(cfg.Seed)
+	ba, err := graph.BarabasiAlbert(n, 2, r)
+	if err != nil {
+		return err
+	}
+	meanDeg := 2.0 * float64(ba.M()) / float64(n)
+	er, err := graph.ErdosRenyi(n, meanDeg/float64(n-1), r)
+	if err != nil {
+		return err
+	}
+	removals := n / 4
+	tb := newTable(w)
+	fmt.Fprintln(tb, "graph\tattack\tgiantFraction@5%\t@15%\t@25%")
+	for _, g := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"scale-free(BA)", ba}, {"random(ER)", er}} {
+		for _, atk := range []struct {
+			name     string
+			strategy graph.AttackStrategy
+		}{{"random", graph.RandomAttack}, {"targeted", graph.TargetedAttack}} {
+			curve, err := graph.AttackCurve(g.g, atk.strategy, removals, r)
+			if err != nil {
+				return err
+			}
+			at := func(frac float64) float64 {
+				i := int(frac * float64(n))
+				if i >= len(curve) {
+					i = len(curve) - 1
+				}
+				return curve[i]
+			}
+			fmt.Fprintf(tb, "%s\t%s\t%.3f\t%.3f\t%.3f\n",
+				g.name, atk.name, at(0.05), at(0.15), at(0.25))
+		}
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	// Epidemic containment.
+	sirCfg := graph.SIRConfig{Beta: 0.25, Gamma: 0.1, InitialInfections: 2}
+	budget := n / 10
+	tb2 := newTable(w)
+	fmt.Fprintln(tb2, "vaccination\tattackRate\tpeakInfected")
+	for _, v := range []struct {
+		name string
+		vac  graph.Vaccinator
+	}{{"none", nil}, {"random-10%", graph.RandomVaccinator{}}, {"hubs-10%", graph.HubVaccinator{}}} {
+		var chosen []int
+		if v.vac != nil {
+			chosen = v.vac.Select(ba, budget, r)
+		}
+		res, err := graph.RunSIR(ba, sirCfg, chosen, r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tb2, "%s\t%.3f\t%d\n", v.name, res.AttackRate, res.PeakInfected)
+	}
+	return tb2.Flush()
+}
+
+// E21 reproduces §3.1.3: a reserve of universal resource (money, stored
+// energy) covers the shortfall after a capacity shock; survival time
+// grows linearly with the reserve. Expected shape: quality holds at 100
+// until the reserve drains, then collapses — bigger reserves buy
+// proportionally more time for external recovery.
+func E21(w io.Writer, cfg Config) error {
+	section(w, "e21", "universal-resource reserve vs shock survival", "§3.1.3")
+	steps := 100
+	tb := newTable(w)
+	fmt.Fprintln(tb, "reserve\tstepsAtFullQuality\tloss\trecoveredByRepair")
+	for _, reserve := range []float64{0, 100, 300, 600} {
+		sys, ids, err := buildFarm(10, 100, reserve)
+		if err != nil {
+			return err
+		}
+		r := rng.New(cfg.Seed)
+		inj := &chaos.Injector{
+			Schedule: []chaos.ScheduledFault{
+				{Step: 5, Fault: chaos.Crash{ID: ids[0]}},
+				{Step: 5, Fault: chaos.Crash{ID: ids[1]}},
+			},
+			AutoRepairProb: 0.03, // slow external repair
+		}
+		tr, _, err := inj.Run(sys, steps, r)
+		if err != nil {
+			return err
+		}
+		full := 0
+		for _, q := range tr.Q {
+			if q >= 99.9 {
+				full++
+			}
+		}
+		loss, err := tr.Loss()
+		if err != nil {
+			return err
+		}
+		recovered := len(sys.DownComponents()) == 0
+		fmt.Fprintf(tb, "%.0f\t%d\t%.1f\t%v\n", reserve, full, loss, recovered)
+	}
+	return tb.Flush()
+}
+
+// E22 reproduces the 9/11 interoperability lesson of §3.1.3: agencies
+// whose communication systems can substitute for one another survive an
+// agency-wide radio outage; siloed agencies do not. Interoperability is
+// redundancy.
+func E22(w io.Writer, cfg Config) error {
+	section(w, "e22", "interoperability as redundancy", "§3.1.3")
+	build := func(interoperable bool) (*sysmodel.System, error) {
+		b := sysmodel.NewBuilder()
+		agencies := []string{"police", "fire", "ems"}
+		for _, agency := range agencies {
+			group := agency + "-radio"
+			if interoperable {
+				group = "shared-radio"
+			}
+			b.Component(agency+"-radio", 0, sysmodel.WithGroup(group))
+			b.Component(agency+"-dispatch", 100.0/3, sysmodel.WithRequiresGroup(group))
+		}
+		return b.Build(100, 0)
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "architecture\toutage\tquality")
+	for _, interop := range []bool{false, true} {
+		name := "siloed"
+		if interop {
+			name = "interoperable"
+		}
+		// Baseline.
+		sys, err := build(interop)
+		if err != nil {
+			return err
+		}
+		rep := sys.Step()
+		fmt.Fprintf(tb, "%s\tnone\t%.1f\n", name, rep.Quality)
+		// Police radio destroyed.
+		sys, err = build(interop)
+		if err != nil {
+			return err
+		}
+		if err := sys.SetStatus(sysmodel.ComponentID(0), sysmodel.Down); err != nil {
+			return err
+		}
+		rep = sys.Step()
+		fmt.Fprintf(tb, "%s\tpolice radio down\t%.1f\n", name, rep.Quality)
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "with interoperable radios any surviving agency's radio keeps all dispatchers functional")
+	return nil
+}

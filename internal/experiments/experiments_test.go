@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 31 {
+		t.Fatalf("experiments = %d, want 31", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("registry not sorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e05"); !ok {
+		t.Fatal("e05 should exist")
+	}
+	if _, ok := Find("e99"); ok {
+		t.Fatal("e99 should not exist")
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-runs every experiment in Quick mode
+// and sanity-checks the output contains its header and at least one
+// table row.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Config{Seed: 42, Quick: true}); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== "+e.ID+":") {
+				t.Fatalf("%s output missing header:\n%s", e.ID, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s output too short:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resilience/internal/belief"
+	"resilience/internal/magent"
+	"resilience/internal/mape"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+	"resilience/internal/tiger"
+)
+
+// E23 implements the §5.3 proposal: resilience testing by a tiger team.
+// A random prober measures average-case loss; the adversarial search
+// measures what the same shock budget can do in the worst case. Expected
+// shape: on a dependency-structured system the tiger team finds the hub
+// and the worst case is several times the random mean.
+func E23(w io.Writer, cfg Config) error {
+	section(w, "e23", "tiger-team adversarial resilience testing", "§5.3")
+	probes := 12
+	climbs := 6
+	if cfg.Quick {
+		probes = 4
+		climbs = 2
+	}
+	build := func() (*sysmodel.System, *mape.Controller, error) {
+		b := sysmodel.NewBuilder()
+		db := b.Component("db", 10)
+		cache := b.Component("cache", 10, sysmodel.WithDependsOn(db))
+		for i := 0; i < 6; i++ {
+			b.Component(fmt.Sprintf("svc-%d", i), 25,
+				sysmodel.WithDependsOn(db, cache))
+		}
+		for i := 0; i < 4; i++ {
+			b.Component(fmt.Sprintf("batch-%d", i), 10)
+		}
+		sys, err := b.Build(200, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys, mape.NewController(99, 1), nil
+	}
+	tgt, err := tiger.NewServiceTarget(build, 25, 3)
+	if err != nil {
+		return err
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "budget\trandomMeanLoss\tworstLoss\tamplification\tworstAttack")
+	for _, budget := range []int{1, 2, 3} {
+		r := rng.New(cfg.Seed + uint64(budget))
+		rep, err := tiger.Engage(tgt, tiger.Config{
+			Budget: budget, RandomProbes: probes, Climbs: climbs,
+		}, r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tb, "%d\t%.1f\t%.1f\t%.1fx\t%v\n",
+			budget, rep.RandomMean, rep.Worst.Loss, rep.Amplification, rep.Worst.Elements)
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "elements 0/1 are the db and cache hubs every service depends on")
+	return nil
+}
+
+// E24 probes the §4.5 question ("tradeoffs between centralized and
+// decentralized approach"): the same repair budget spent by a central
+// coordinator with a global dependency view (highest-impact first)
+// versus uncoordinated local repair in random order. Expected shape:
+// centralized repair restores quality strictly faster on dependency-
+// structured systems; on flat systems the two coincide.
+func E24(w io.Writer, cfg Config) error {
+	section(w, "e24", "centralized vs decentralized recovery", "§4.5")
+	trials := 20
+	if cfg.Quick {
+		trials = 5
+	}
+	buildTiered := func() (*sysmodel.System, []sysmodel.ComponentID, error) {
+		b := sysmodel.NewBuilder()
+		db := b.Component("db", 10)
+		ids := []sysmodel.ComponentID{db}
+		for i := 0; i < 9; i++ {
+			ids = append(ids, b.Component(fmt.Sprintf("svc-%d", i), 15, sysmodel.WithDependsOn(db)))
+		}
+		sys, err := b.Build(145, 0)
+		return sys, ids, err
+	}
+	buildFlat := func() (*sysmodel.System, []sysmodel.ComponentID, error) {
+		b := sysmodel.NewBuilder()
+		ids := make([]sysmodel.ComponentID, 10)
+		for i := range ids {
+			ids[i] = b.Component(fmt.Sprintf("node-%d", i), 14.5)
+		}
+		sys, err := b.Build(145, 0)
+		return sys, ids, err
+	}
+	runLoss := func(build func() (*sysmodel.System, []sysmodel.ComponentID, error), centralized bool, seed uint64) (float64, error) {
+		sys, ids, err := build()
+		if err != nil {
+			return 0, err
+		}
+		for _, id := range ids {
+			if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+				return 0, err
+			}
+		}
+		c := mape.NewController(99, 1)
+		if centralized {
+			c.Planner = mape.ImpactPlanner{Sys: sys}
+		} else {
+			c.Planner = mape.LocalPlanner{R: rng.New(seed)}
+		}
+		var loss float64
+		for step := 0; step < 15; step++ {
+			rep := sys.Step()
+			loss += 100 - rep.Quality
+			if _, err := c.Tick(sys); err != nil {
+				return 0, err
+			}
+		}
+		return loss, nil
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "topology\tcoordination\tmeanLoss")
+	for _, topo := range []struct {
+		name  string
+		build func() (*sysmodel.System, []sysmodel.ComponentID, error)
+	}{{"hub+9 dependents", buildTiered}, {"flat 10 nodes", buildFlat}} {
+		for _, coord := range []struct {
+			name        string
+			centralized bool
+		}{{"centralized(impact)", true}, {"decentralized(local)", false}} {
+			var sum float64
+			for trial := 0; trial < trials; trial++ {
+				loss, err := runLoss(topo.build, coord.centralized, cfg.Seed+uint64(trial))
+				if err != nil {
+					return err
+				}
+				sum += loss
+			}
+			fmt.Fprintf(tb, "%s\t%s\t%.1f\n", topo.name, coord.name, sum/float64(trials))
+		}
+	}
+	return tb.Flush()
+}
+
+// E25 implements the §4.3 extension: when the event class is uncertain,
+// maintain a Bayesian posterior over shock-class hypotheses and size the
+// defense from the predictive tail. Expected shape: the posterior
+// concentrates on the true class within tens of observations and the
+// 99%-coverage level converges from the conservative prior mixture to
+// the true class's requirement.
+func E25(w io.Writer, cfg Config) error {
+	section(w, "e25", "shock-class inference and adaptive coverage", "§4.3")
+	r := rng.New(cfg.Seed)
+	const trueAlpha = 1.5
+	post, err := belief.NewPosterior([]belief.Hypothesis{
+		belief.ParetoHypothesis("pareto(1.1)", 1, 1, 1.1),
+		belief.ParetoHypothesis("pareto(1.5)", 1, 1, 1.5),
+		belief.ParetoHypothesis("pareto(2.0)", 1, 1, 2.0),
+		belief.ParetoHypothesis("pareto(3.0)", 1, 1, 3.0),
+		belief.ExponentialHypothesis("exp(0.5)", 1, 0.5),
+	})
+	if err != nil {
+		return err
+	}
+	candidates := []float64{5, 10, 15, 22, 30, 50, 100, 200, 500, 1000, 5000}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "observations\tMAPhypothesis\tP(MAP)\tcoverage(eps=1%)\tpredictiveTail@20")
+	checkpoints := []int{0, 5, 20, 100, 500}
+	if cfg.Quick {
+		checkpoints = []int{0, 5, 50}
+	}
+	seen := 0
+	for _, cp := range checkpoints {
+		for seen < cp {
+			post.Observe(r.Pareto(1, trueAlpha))
+			seen++
+		}
+		hyp, prob := post.MAP()
+		level, lerr := post.CoverageLevel(0.01, candidates)
+		levelStr := "unachievable"
+		if lerr == nil {
+			levelStr = fmt.Sprintf("%.0f", level)
+		}
+		fmt.Fprintf(tb, "%d\t%s\t%.2f\t%s\t%.4f\n",
+			cp, hyp.Name, prob, levelStr, post.PredictiveTail(20))
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "true class pareto(%.1f) requires coverage %.1f for eps=1%%\n",
+		trueAlpha, 21.5) // (1/eps)^(1/alpha) = 100^(2/3)
+	fmt.Fprintln(w, "note the small-sample dip: with ~20 observations the posterior can briefly")
+	fmt.Fprintln(w, "favor a thinner tail and under-protect — Taleb's warning in Bayesian form")
+	return nil
+}
+
+// E26 quantifies the §5.2 granularity observation: "the more coarse the
+// system is, it is easier to make the system resilient." The same
+// multi-agent runs are scored at three granularities, each as the
+// survival probability of a *randomly chosen unit* of that granularity:
+//
+//   - individual: a specific founding agent is still alive at the end;
+//   - species: a founding lineage (the founder genotype and all its
+//     descendants, however mutated) still has living members;
+//   - ecosystem: the population as a whole is not extinct.
+//
+// Expected shape: individual < species < ecosystem — "Species can survive
+// even if it loses some of its members during a perturbation … if at
+// least one species survives, the [ecosystem] is considered resilient."
+func E26(w io.Writer, cfg Config) error {
+	section(w, "e26", "resilience across system granularity", "§5.2")
+	trials := 40
+	steps := 150
+	if cfg.Quick {
+		trials = 8
+		steps = 80
+	}
+	base := magent.DefaultConfig()
+	base.InitialAgents = 60
+	base.PopulationCap = 200
+	base.FounderGenotypes = 6
+	base.AdaptBits = 1
+	base.InitialResource = 8 // a deep shift starves slow adapters
+	base.UpkeepWhenUnfit = 2
+	base.ReplicateAbove = 12 // lineages spread early, so species outlive members
+	scenario := magent.MaskScenario{CareBits: 8, ShiftDistance: 5, ShiftEvery: 40, Shifts: 2}
+	root := rng.New(cfg.Seed)
+	var indSum, spSum, popSum float64
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		env, shifts, err := scenario.Generate(base.GenomeLen, r)
+		if err != nil {
+			return err
+		}
+		world, err := magent.NewWorld(base, env, r)
+		if err != nil {
+			return err
+		}
+		founders := map[*magent.Agent]bool{}
+		for _, a := range world.Agents() {
+			founders[a] = true
+		}
+		nFounders := len(founders)
+		res, err := world.Run(steps, shifts)
+		if err != nil {
+			return err
+		}
+		if res.Extinct {
+			continue // all three levels score zero for this trial
+		}
+		popSum++
+		aliveFounders := 0
+		aliveLineages := map[int]bool{}
+		for _, a := range world.Agents() {
+			if founders[a] {
+				aliveFounders++
+			}
+			aliveLineages[a.Lineage] = true
+		}
+		indSum += float64(aliveFounders) / float64(nFounders)
+		spSum += float64(len(aliveLineages)) / float64(base.FounderGenotypes)
+	}
+	n := float64(trials)
+	tb := newTable(w)
+	fmt.Fprintln(tb, "granularity\tunit\tsurvivalProbability")
+	fmt.Fprintf(tb, "individual\ta specific founding agent\t%.2f\n", indSum/n)
+	fmt.Fprintf(tb, "species\ta founding lineage\t%.2f\n", spSum/n)
+	fmt.Fprintf(tb, "ecosystem\tthe whole population\t%.2f\n", popSum/n)
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "coarser units survive more easily: members die, lineages persist through")
+	fmt.Fprintln(w, "their descendants, the ecosystem outlives both — the paper's hierarchy")
+	return nil
+}

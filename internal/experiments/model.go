@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resilience/internal/dcsp"
+	"resilience/internal/maintain"
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+)
+
+// E01 reproduces Fig 3: the resilience triangle R = ∫(100−Q)dt for three
+// recovery shapes at several depths and recovery times. Expected shape:
+// loss grows with both depth (resistance) and duration (recoverability);
+// exponential < linear < step for the same parameters.
+func E01(w io.Writer, cfg Config) error {
+	section(w, "e01", "Bruneau resilience triangle", "Fig 3, §4.1")
+	tb := newTable(w)
+	fmt.Fprintln(tb, "shape\tfloorQ\trecoverSteps\tloss\tnormalized")
+	shapes := []struct {
+		name  string
+		shape metrics.RecoveryShape
+	}{
+		{"step", metrics.StepRecovery},
+		{"linear", metrics.LinearRecovery},
+		{"exponential", metrics.ExponentialRecovery},
+	}
+	for _, s := range shapes {
+		for _, floor := range []float64{0, 50} {
+			for _, rec := range []int{10, 40} {
+				tr := metrics.SyntheticTrace(s.shape, floor, 5, rec, 5, 1)
+				loss, err := tr.Loss()
+				if err != nil {
+					return err
+				}
+				norm, err := tr.Normalized()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tb, "%s\t%.0f\t%d\t%.1f\t%.4f\n", s.name, floor, rec, loss, norm)
+			}
+		}
+	}
+	return tb.Flush()
+}
+
+// E02 measures k-recoverability (Fig 4, §4.2) on two environment
+// families: the AllOnes constraint and planted random 3-CNF. Rows report
+// the Monte-Carlo recovery rate within k = d steps at 1 and 2 flips per
+// step. Expected shape: recovery rate is 1 when the repair budget covers
+// the damage (k·flips ≥ d for AllOnes) and degrades when it does not.
+func E02(w io.Writer, cfg Config) error {
+	section(w, "e02", "k-recoverability vs damage and repair rate", "Fig 4, §4.2")
+	r := rng.New(cfg.Seed)
+	trials := 200
+	if cfg.Quick {
+		trials = 40
+	}
+	const n = 20
+	cnf, planted, err := dcsp.RandomPlantedCNF(n, 60, 3, r)
+	if err != nil {
+		return err
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "environment\tdamage d\tflips/step\tk\trecovered\tworstSteps")
+	for _, d := range []int{1, 2, 4, 6} {
+		for _, flips := range []int{1, 2} {
+			k := (d + flips - 1) / flips
+			repAll, err := dcsp.CheckKRecoverableMC(
+				dcsp.AllOnes{N: n}, dcsp.ExactFlips{K: d},
+				dcsp.GreedyRepairer{}, flips, k, trials, r)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tb, "all-ones\t%d\t%d\t%d\t%.2f\t%d\n",
+				d, flips, k, 1-repAll.FailureRate(), repAll.WorstSteps)
+			repCNF, err := dcsp.CheckKRecoverableMC(
+				cnf, dcsp.ExactFlips{K: d},
+				dcsp.GreedyRepairer{Noise: 0.1}, flips, k+2, trials, r, planted)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tb, "planted-3cnf\t%d\t%d\t%d\t%.2f\t%d\n",
+				d, flips, k+2, 1-repCNF.FailureRate(), repCNF.WorstSteps)
+		}
+	}
+	return tb.Flush()
+}
+
+// E03 verifies the paper's spacecraft example exhaustively: n components,
+// C = 1ⁿ, debris causing at most k failures, one repair per step ⇒
+// k-recoverable — and simulates a mission to show availability behaviour.
+func E03(w io.Writer, cfg Config) error {
+	section(w, "e03", "spacecraft exhaustive k-recoverability", "§4.2")
+	r := rng.New(cfg.Seed)
+	steps := 5000
+	if cfg.Quick {
+		steps = 500
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "n\tmaxHits k\trepairs/step\tkBound\trecoverable\tworstSteps")
+	for _, tc := range []struct{ n, hits, repairs int }{
+		{16, 3, 1}, {32, 5, 1}, {32, 6, 2}, {64, 8, 4},
+	} {
+		sc, err := dcsp.NewSpacecraft(tc.n, tc.hits, tc.repairs)
+		if err != nil {
+			return err
+		}
+		rep, err := sc.VerifyKRecoverable()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tb, "%d\t%d\t%d\t%d\t%v\t%d\n",
+			tc.n, tc.hits, tc.repairs, rep.K, rep.Recoverable, rep.WorstSteps)
+	}
+	if err := tb.Flush(); err != nil {
+		return err
+	}
+	// Exhaustive subset check on a small craft.
+	exh, err := dcsp.CheckKRecoverableExhaustive(dcsp.AllOnes{N: 10}, 3, 1, 3, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exhaustive n=10 d<=3: trials=%d failures=%d recoverable=%v\n",
+		exh.Trials, exh.Failures, exh.Recoverable)
+	sc, err := dcsp.NewSpacecraft(24, 4, 1)
+	if err != nil {
+		return err
+	}
+	mission, err := sc.SimulateMission(steps, 0.02, r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mission: steps=%d strikes=%d degradedSteps=%d availability=%.4f\n",
+		steps, mission.Strikes, mission.DegradedSteps,
+		1-float64(mission.DegradedSteps)/float64(steps))
+	return nil
+}
+
+// E04 demonstrates the polynomial-time Baral–Eiter construction (§4.3):
+// policy synthesis wall time and worst-case recovery distance on repair
+// chains and random nondeterministic systems of growing size. Expected
+// shape: near-linear runtime growth in transitions.
+func E04(w io.Writer, cfg Config) error {
+	section(w, "e04", "k-maintainable policy synthesis scaling", "§4.3")
+	sizes := []int{100, 400, 1600, 6400}
+	if cfg.Quick {
+		sizes = []int{50, 200}
+	}
+	tb := newTable(w)
+	fmt.Fprintln(tb, "states\tshape\tsynthesisTime\tworstDistance\tmaintainable(k=states)")
+	for _, n := range sizes {
+		sys, err := maintain.NewSystem(n)
+		if err != nil {
+			return err
+		}
+		if err := sys.MarkNormal(0); err != nil {
+			return err
+		}
+		repair := sys.AddAction("repair")
+		for i := 1; i < n; i++ {
+			if err := sys.AddTransition(maintain.StateID(i), repair, maintain.StateID(i-1)); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		rep, _, err := sys.CheckKMaintainable(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tb, "%d\tchain\t%v\t%d\t%v\n", n, time.Since(start).Round(time.Microsecond), rep.WorstDistance, rep.Maintainable)
+	}
+	// Random nondeterministic systems.
+	r := rng.New(cfg.Seed)
+	for _, n := range sizes {
+		sys, err := maintain.NewSystem(n)
+		if err != nil {
+			return err
+		}
+		if err := sys.MarkNormal(0); err != nil {
+			return err
+		}
+		acts := []maintain.ActionID{sys.AddAction("a"), sys.AddAction("b")}
+		for i := 1; i < n; i++ {
+			for _, a := range acts {
+				// Nondeterministic repairs: both outcomes land strictly
+				// below the current state, but how far is uncertain.
+				outs := []maintain.StateID{
+					maintain.StateID(r.Intn(i)),
+					maintain.StateID(r.Intn(i)),
+				}
+				if err := sys.AddTransition(maintain.StateID(i), a, outs...); err != nil {
+					return err
+				}
+			}
+		}
+		start := time.Now()
+		rep, _, err := sys.CheckKMaintainable(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tb, "%d\trandom-nd\t%v\t%d\t%v\n", n, time.Since(start).Round(time.Microsecond), rep.WorstDistance, rep.Maintainable)
+	}
+	return tb.Flush()
+}

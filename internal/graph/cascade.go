@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CascadeModel implements load-redistribution cascading failure — the
+// mechanism behind the paper's §4.5 reference to "cascading failures of
+// the system leading to a large disaster, such as Northeast blackout of
+// 2003" (Motter–Lai style). Each node carries a load (its degree, a
+// standard proxy for flow) and a capacity (1+Tolerance)×load. When a node
+// fails, its load is redistributed equally to its alive neighbors; any
+// neighbor pushed over capacity fails in turn, and the failure cascades.
+type CascadeModel struct {
+	g         *Graph
+	tolerance float64
+	baseLoad  []float64
+}
+
+// NewCascadeModel builds a cascade model over g with the given tolerance
+// margin α ≥ 0: capacity_v = (1+α)·load_v, with degree as the load proxy.
+func NewCascadeModel(g *Graph, tolerance float64) (*CascadeModel, error) {
+	if g == nil {
+		return nil, errors.New("graph: nil graph")
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("graph: negative tolerance %v", tolerance)
+	}
+	loads := make([]float64, g.N())
+	for v := range loads {
+		loads[v] = float64(g.Degree(v))
+	}
+	return &CascadeModel{g: g, tolerance: tolerance, baseLoad: loads}, nil
+}
+
+// NewBetweennessCascadeModel builds a cascade model whose loads are
+// betweenness centralities — Motter–Lai's original formulation, where a
+// node's load is the flow it actually carries. Nodes on no shortest path
+// get a small floor load so they still have positive capacity.
+func NewBetweennessCascadeModel(g *Graph, tolerance float64) (*CascadeModel, error) {
+	m, err := NewCascadeModel(g, tolerance)
+	if err != nil {
+		return nil, err
+	}
+	loads := g.Betweenness()
+	for v := range loads {
+		if !g.Removed(v) && loads[v] < 1 {
+			loads[v] = 1
+		}
+	}
+	m.baseLoad = loads
+	return m, nil
+}
+
+// CascadeResult summarizes one triggered cascade.
+type CascadeResult struct {
+	// Trigger is the initially failed node.
+	Trigger int
+	// Failed is the total number of failed nodes (including the
+	// trigger).
+	Failed int
+	// FailedFraction is Failed divided by the alive node count before
+	// the trigger.
+	FailedFraction float64
+	// ShedLoad is load that could not be redistributed (failed nodes
+	// with no alive neighbors).
+	ShedLoad float64
+	// GiantFractionAfter is the giant-component fraction of the
+	// post-cascade graph.
+	GiantFractionAfter float64
+}
+
+// Trigger fails node v and propagates the cascade on a private copy of
+// the graph; the model's graph is never mutated.
+func (m *CascadeModel) Trigger(v int) (CascadeResult, error) {
+	if v < 0 || v >= m.g.N() {
+		return CascadeResult{}, ErrNodeRange
+	}
+	if m.g.Removed(v) {
+		return CascadeResult{}, errors.New("graph: trigger node already removed")
+	}
+	work := m.g.Clone()
+	aliveBefore := work.Alive()
+	// Initial loads and capacities from the pre-cascade topology.
+	n := work.N()
+	load := make([]float64, n)
+	capacity := make([]float64, n)
+	for i := 0; i < n; i++ {
+		load[i] = m.baseLoad[i]
+		capacity[i] = (1 + m.tolerance) * load[i]
+	}
+	res := CascadeResult{Trigger: v}
+	failed := make([]bool, n)
+	queue := []int{v}
+	failed[v] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		res.Failed++
+		// Redistribute u's load among its alive (non-failed) neighbors.
+		var recipients []int
+		for _, w := range work.Neighbors(u) {
+			if !failed[w] {
+				recipients = append(recipients, w)
+			}
+		}
+		if err := work.RemoveNode(u); err != nil {
+			return CascadeResult{}, err
+		}
+		if len(recipients) == 0 {
+			res.ShedLoad += load[u]
+			continue
+		}
+		share := load[u] / float64(len(recipients))
+		for _, w := range recipients {
+			load[w] += share
+			if load[w] > capacity[w] && !failed[w] {
+				failed[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if aliveBefore > 0 {
+		res.FailedFraction = float64(res.Failed) / float64(aliveBefore)
+	}
+	res.GiantFractionAfter = work.GiantFraction()
+	return res, nil
+}
+
+// WorstTrigger fails, in turn, each of the k highest-degree nodes and
+// returns the largest cascade — the deliberate attack on the hubs.
+func (m *CascadeModel) WorstTrigger(k int) (CascadeResult, error) {
+	if k < 1 {
+		return CascadeResult{}, fmt.Errorf("graph: k %d must be >= 1", k)
+	}
+	type nd struct{ v, deg int }
+	var nodes []nd
+	for v := 0; v < m.g.N(); v++ {
+		if !m.g.Removed(v) {
+			nodes = append(nodes, nd{v, m.g.Degree(v)})
+		}
+	}
+	if len(nodes) == 0 {
+		return CascadeResult{}, errors.New("graph: no alive nodes")
+	}
+	// Partial selection of top-k by degree.
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j].deg > nodes[best].deg {
+				best = j
+			}
+		}
+		nodes[i], nodes[best] = nodes[best], nodes[i]
+	}
+	var worst CascadeResult
+	for i := 0; i < k; i++ {
+		res, err := m.Trigger(nodes[i].v)
+		if err != nil {
+			return CascadeResult{}, err
+		}
+		if res.Failed > worst.Failed {
+			worst = res
+		}
+	}
+	return worst, nil
+}
+
+// MeanRandomCascade triggers cascades at `trials` uniformly random alive
+// nodes and returns the mean failed fraction — the random-failure
+// baseline against which the hub-triggered cascade is compared.
+func (m *CascadeModel) MeanRandomCascade(trials int, intn func(int) int) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("graph: trials %d must be >= 1", trials)
+	}
+	if intn == nil {
+		return 0, errors.New("graph: nil sampler")
+	}
+	var alive []int
+	for v := 0; v < m.g.N(); v++ {
+		if !m.g.Removed(v) {
+			alive = append(alive, v)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, errors.New("graph: no alive nodes")
+	}
+	var sum float64
+	for i := 0; i < trials; i++ {
+		res, err := m.Trigger(alive[intn(len(alive))])
+		if err != nil {
+			return 0, err
+		}
+		sum += res.FailedFraction
+	}
+	return sum / float64(trials), nil
+}

@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func starGraph(t *testing.T, leaves int) *Graph {
+	t.Helper()
+	g := mustGraph(t, leaves+1)
+	for i := 1; i <= leaves; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewCascadeModelValidation(t *testing.T) {
+	g := mustGraph(t, 3)
+	if _, err := NewCascadeModel(nil, 0.1); err == nil {
+		t.Error("want error for nil graph")
+	}
+	if _, err := NewCascadeModel(g, -0.1); err == nil {
+		t.Error("want error for negative tolerance")
+	}
+}
+
+func TestTriggerValidation(t *testing.T) {
+	g := mustGraph(t, 3)
+	m, err := NewCascadeModel(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Trigger(-1); !errors.Is(err, ErrNodeRange) {
+		t.Error("want ErrNodeRange")
+	}
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewCascadeModel(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Trigger(1); err == nil {
+		t.Error("want error for removed trigger")
+	}
+}
+
+func TestHighToleranceNoCascade(t *testing.T) {
+	// A star's hub failing dumps load 10 onto 10 leaves (1 each);
+	// leaves have load 1, capacity (1+α)·1. α = 1.5 absorbs it.
+	g := starGraph(t, 10)
+	m, err := NewCascadeModel(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Trigger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("failed = %d, want only the trigger", res.Failed)
+	}
+	if res.FailedFraction <= 0 || res.FailedFraction > 1 {
+		t.Fatalf("failed fraction = %v", res.FailedFraction)
+	}
+}
+
+func TestLowToleranceFullCascade(t *testing.T) {
+	// With α = 0.5, each leaf (capacity 1.5) receives +1 → 2 > 1.5:
+	// everything fails.
+	g := starGraph(t, 10)
+	m, err := NewCascadeModel(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Trigger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 11 {
+		t.Fatalf("failed = %d, want total blackout", res.Failed)
+	}
+	if res.GiantFractionAfter != 0 {
+		t.Fatalf("post-cascade giant = %v", res.GiantFractionAfter)
+	}
+	// All leaf loads are shed (leaves have no alive neighbors when they
+	// fail).
+	if res.ShedLoad <= 0 {
+		t.Fatalf("shed load = %v, want positive", res.ShedLoad)
+	}
+}
+
+func TestModelDoesNotMutateGraph(t *testing.T) {
+	g := starGraph(t, 5)
+	m, err := NewCascadeModel(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Trigger(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Alive() != 6 || g.M() != 5 {
+		t.Fatal("Trigger mutated the source graph")
+	}
+}
+
+func TestLeafTriggerSmallCascade(t *testing.T) {
+	// Failing a leaf dumps load 1 onto the hub (load 10, capacity 15):
+	// no propagation even at modest tolerance.
+	g := starGraph(t, 10)
+	m, err := NewCascadeModel(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Trigger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("leaf trigger failed %d nodes", res.Failed)
+	}
+}
+
+func TestToleranceCurveOnScaleFree(t *testing.T) {
+	// The Motter–Lai shape: hub-triggered cascades on scale-free graphs
+	// shrink as tolerance grows.
+	r := rng.New(1)
+	g, err := BarabasiAlbert(500, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 2
+	for _, tol := range []float64{0.05, 0.3, 1.0} {
+		m, err := NewCascadeModel(g, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.WorstTrigger(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FailedFraction > prev {
+			t.Fatalf("cascade fraction rose with tolerance: %v after %v", res.FailedFraction, prev)
+		}
+		prev = res.FailedFraction
+	}
+}
+
+func TestHubTriggerWorseThanRandom(t *testing.T) {
+	// §4.5 / §5.1: the deliberate hub failure causes a far larger
+	// blackout than a random component failure.
+	r := rng.New(2)
+	g, err := BarabasiAlbert(500, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance 0.45 sits just below the deg-2 propagation threshold
+	// (tol = 0.5), the critical window where trigger choice matters.
+	m, err := NewCascadeModel(g, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := m.WorstTrigger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := m.MeanRandomCascade(100, r.Intn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.FailedFraction < 2.5*mean {
+		t.Fatalf("hub cascade %v should dwarf random mean %v", worst.FailedFraction, mean)
+	}
+}
+
+func TestWorstTriggerValidation(t *testing.T) {
+	g := starGraph(t, 3)
+	m, err := NewCascadeModel(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WorstTrigger(0); err == nil {
+		t.Error("want error for k=0")
+	}
+	// k larger than node count clamps.
+	if _, err := m.WorstTrigger(100); err != nil {
+		t.Errorf("clamped k errored: %v", err)
+	}
+	empty := mustGraph(t, 2)
+	if err := empty.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	mEmpty, err := NewCascadeModel(empty, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mEmpty.WorstTrigger(1); err == nil {
+		t.Error("want error for no alive nodes")
+	}
+}
+
+func TestMeanRandomCascadeValidation(t *testing.T) {
+	g := starGraph(t, 3)
+	m, err := NewCascadeModel(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	if _, err := m.MeanRandomCascade(0, r.Intn); err == nil {
+		t.Error("want error for zero trials")
+	}
+	if _, err := m.MeanRandomCascade(5, nil); err == nil {
+		t.Error("want error for nil sampler")
+	}
+	if v, err := m.MeanRandomCascade(10, r.Intn); err != nil || v <= 0 || v > 1 {
+		t.Errorf("mean cascade = %v err=%v", v, err)
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: betweenness of node 2 is 4 (pairs {0,1}x{3,4}
+	// plus... exactly the pairs whose shortest path passes through it:
+	// (0,3),(0,4),(1,3),(1,4) = 4; node 1: (0,2),(0,3),(0,4) = 3.
+	g := mustGraph(t, 5)
+	for i := 0; i < 4; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb := g.Betweenness()
+	want := []float64{0, 3, 4, 3, 0}
+	for i, w := range want {
+		if cb[i] != w {
+			t.Fatalf("betweenness = %v, want %v", cb, want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star hub carries every pair: C(5,2) = 10.
+	g := starGraph(t, 5)
+	cb := g.Betweenness()
+	if cb[0] != 10 {
+		t.Fatalf("hub betweenness = %v, want 10", cb[0])
+	}
+	for i := 1; i <= 5; i++ {
+		if cb[i] != 0 {
+			t.Fatalf("leaf %d betweenness = %v", i, cb[i])
+		}
+	}
+}
+
+func TestBetweennessIgnoresRemoved(t *testing.T) {
+	g := mustGraph(t, 4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	cb := g.Betweenness()
+	if cb[1] != 0 {
+		t.Fatalf("removed node betweenness = %v", cb[1])
+	}
+	// Remaining path 2-3 has no interior node.
+	if cb[2] != 0 || cb[3] != 0 {
+		t.Fatalf("betweenness = %v", cb)
+	}
+}
+
+func TestBetweennessCascadeModel(t *testing.T) {
+	r := rng.New(9)
+	g, err := BarabasiAlbert(300, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewBetweennessCascadeModel(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.WorstTrigger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed < 1 {
+		t.Fatal("cascade must at least fail the trigger")
+	}
+	// Betweenness loads span orders of magnitude, so "absorbing"
+	// tolerance must exceed the hub-to-floor load ratio.
+	m2, err := NewBetweennessCascadeModel(g, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.WorstTrigger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failed != 1 {
+		t.Fatalf("tolerant betweenness cascade failed %d nodes", res2.Failed)
+	}
+	if _, err := NewBetweennessCascadeModel(nil, 0.2); err == nil {
+		t.Fatal("want error for nil graph")
+	}
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/rng"
+)
+
+// SIRState is a node's epidemic compartment.
+type SIRState uint8
+
+// SIR compartments.
+const (
+	Susceptible SIRState = iota + 1
+	Infected
+	Recovered
+	// Vaccinated nodes can neither catch nor transmit — the hub
+	// vaccination countermeasure of §5.1.
+	Vaccinated
+)
+
+// SIRConfig parameterizes an epidemic run.
+type SIRConfig struct {
+	// Beta is the per-step per-edge transmission probability.
+	Beta float64
+	// Gamma is the per-step recovery probability.
+	Gamma float64
+	// InitialInfections seeds this many random susceptible nodes.
+	InitialInfections int
+	// MaxSteps caps the simulation (0 = run until extinction).
+	MaxSteps int
+}
+
+// SIRResult summarizes an epidemic.
+type SIRResult struct {
+	// AttackRate is the fraction of initially at-risk nodes that were
+	// ever infected.
+	AttackRate float64
+	// PeakInfected is the maximum simultaneous infections.
+	PeakInfected int
+	// Duration is the number of steps until no infections remained.
+	Duration int
+	// EverInfected is the absolute count of nodes that caught the
+	// disease.
+	EverInfected int
+}
+
+// Vaccinator selects nodes to vaccinate before the outbreak.
+type Vaccinator interface {
+	// Select returns the node indexes to vaccinate, at most budget of
+	// them.
+	Select(g *Graph, budget int, r *rng.Source) []int
+}
+
+// HubVaccinator vaccinates the highest-degree nodes — the paper's
+// countermeasure to a virus "deliberately designed to attack the hubs".
+type HubVaccinator struct{}
+
+var _ Vaccinator = HubVaccinator{}
+
+// Select implements Vaccinator.
+func (HubVaccinator) Select(g *Graph, budget int, _ *rng.Source) []int {
+	type nd struct{ v, deg int }
+	nodes := make([]nd, 0, g.Alive())
+	for v := 0; v < g.N(); v++ {
+		if !g.Removed(v) {
+			nodes = append(nodes, nd{v, g.Degree(v)})
+		}
+	}
+	// Partial selection sort is fine for the budgets used here.
+	if budget > len(nodes) {
+		budget = len(nodes)
+	}
+	out := make([]int, 0, budget)
+	for i := 0; i < budget; i++ {
+		best := i
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j].deg > nodes[best].deg {
+				best = j
+			}
+		}
+		nodes[i], nodes[best] = nodes[best], nodes[i]
+		out = append(out, nodes[i].v)
+	}
+	return out
+}
+
+// RandomVaccinator vaccinates uniformly random nodes — the baseline that
+// barely helps on scale-free graphs.
+type RandomVaccinator struct{}
+
+var _ Vaccinator = RandomVaccinator{}
+
+// Select implements Vaccinator.
+func (RandomVaccinator) Select(g *Graph, budget int, r *rng.Source) []int {
+	alive := make([]int, 0, g.Alive())
+	for v := 0; v < g.N(); v++ {
+		if !g.Removed(v) {
+			alive = append(alive, v)
+		}
+	}
+	r.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	if budget > len(alive) {
+		budget = len(alive)
+	}
+	return alive[:budget]
+}
+
+// RunSIR simulates a discrete-time SIR epidemic on g. vaccinated lists
+// nodes immunized before patient zero is seeded; pass nil for none.
+func RunSIR(g *Graph, cfg SIRConfig, vaccinated []int, r *rng.Source) (SIRResult, error) {
+	if cfg.Beta < 0 || cfg.Beta > 1 || cfg.Gamma < 0 || cfg.Gamma > 1 {
+		return SIRResult{}, fmt.Errorf("graph: rates beta=%v gamma=%v out of [0,1]", cfg.Beta, cfg.Gamma)
+	}
+	if cfg.InitialInfections < 1 {
+		return SIRResult{}, errors.New("graph: need at least one initial infection")
+	}
+	state := make([]SIRState, g.N())
+	atRisk := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Removed(v) {
+			state[v] = Recovered // inert
+			continue
+		}
+		state[v] = Susceptible
+		atRisk++
+	}
+	for _, v := range vaccinated {
+		if v >= 0 && v < g.N() && state[v] == Susceptible {
+			state[v] = Vaccinated
+			atRisk--
+		}
+	}
+	if atRisk < cfg.InitialInfections {
+		return SIRResult{}, errors.New("graph: not enough susceptible nodes to seed")
+	}
+	// Seed patient zeros uniformly among susceptibles.
+	var sus []int
+	for v, s := range state {
+		if s == Susceptible {
+			sus = append(sus, v)
+		}
+	}
+	r.Shuffle(len(sus), func(i, j int) { sus[i], sus[j] = sus[j], sus[i] })
+	var infected []int
+	for _, v := range sus[:cfg.InitialInfections] {
+		state[v] = Infected
+		infected = append(infected, v)
+	}
+	res := SIRResult{EverInfected: len(infected), PeakInfected: len(infected)}
+	for step := 0; len(infected) > 0 && (cfg.MaxSteps == 0 || step < cfg.MaxSteps); step++ {
+		var next []int
+		for _, v := range infected {
+			for _, w := range g.Neighbors(v) {
+				if state[w] == Susceptible && r.Bool(cfg.Beta) {
+					state[w] = Infected
+					next = append(next, w)
+					res.EverInfected++
+				}
+			}
+		}
+		for _, v := range infected {
+			if r.Bool(cfg.Gamma) {
+				state[v] = Recovered
+			} else {
+				next = append(next, v)
+			}
+		}
+		infected = next
+		if len(infected) > res.PeakInfected {
+			res.PeakInfected = len(infected)
+		}
+		res.Duration = step + 1
+	}
+	// Attack rate over nodes that could have been infected (alive and
+	// unvaccinated at the start, including seeds).
+	initialAtRisk := atRisk
+	if initialAtRisk > 0 {
+		res.AttackRate = float64(res.EverInfected) / float64(initialAtRisk)
+	}
+	return res, nil
+}

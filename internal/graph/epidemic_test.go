@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func baGraph(t *testing.T, n, m int, seed uint64) *Graph {
+	t.Helper()
+	g, err := BarabasiAlbert(n, m, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunSIRValidation(t *testing.T) {
+	r := rng.New(1)
+	g := baGraph(t, 50, 2, 1)
+	if _, err := RunSIR(g, SIRConfig{Beta: 1.5, Gamma: 0.1, InitialInfections: 1}, nil, r); err == nil {
+		t.Error("want error for beta > 1")
+	}
+	if _, err := RunSIR(g, SIRConfig{Beta: 0.5, Gamma: -0.1, InitialInfections: 1}, nil, r); err == nil {
+		t.Error("want error for negative gamma")
+	}
+	if _, err := RunSIR(g, SIRConfig{Beta: 0.5, Gamma: 0.1}, nil, r); err == nil {
+		t.Error("want error for zero initial infections")
+	}
+}
+
+func TestRunSIREpidemicSpreads(t *testing.T) {
+	r := rng.New(2)
+	g := baGraph(t, 500, 3, 2)
+	res, err := RunSIR(g, SIRConfig{Beta: 0.3, Gamma: 0.1, InitialInfections: 2}, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackRate < 0.5 {
+		t.Fatalf("attack rate = %v, want a large outbreak at beta/gamma=3", res.AttackRate)
+	}
+	if res.Duration == 0 || res.PeakInfected < 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunSIRDiesOutWithoutTransmission(t *testing.T) {
+	r := rng.New(3)
+	g := baGraph(t, 200, 2, 3)
+	res, err := RunSIR(g, SIRConfig{Beta: 0, Gamma: 0.5, InitialInfections: 3}, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EverInfected != 3 {
+		t.Fatalf("EverInfected = %d, want just the seeds", res.EverInfected)
+	}
+}
+
+func TestRunSIRMaxStepsCaps(t *testing.T) {
+	r := rng.New(4)
+	g := baGraph(t, 200, 2, 4)
+	res, err := RunSIR(g, SIRConfig{Beta: 0.1, Gamma: 0, InitialInfections: 1, MaxSteps: 5}, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration > 5 {
+		t.Fatalf("Duration = %d, want <= 5", res.Duration)
+	}
+}
+
+func TestHubVaccinationBeatsRandom(t *testing.T) {
+	// §5.1: immunizing hubs contains an epidemic on a scale-free network
+	// far better than immunizing the same number of random nodes.
+	const trials = 10
+	var hubTotal, randTotal float64
+	for seed := uint64(0); seed < trials; seed++ {
+		g := baGraph(t, 800, 2, 100+seed)
+		budget := 80 // 10%
+		cfg := SIRConfig{Beta: 0.25, Gamma: 0.1, InitialInfections: 2}
+
+		rh := rng.New(500 + seed)
+		hub := HubVaccinator{}.Select(g, budget, rh)
+		resH, err := RunSIR(g, cfg, hub, rh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hubTotal += resH.AttackRate
+
+		rr := rng.New(900 + seed)
+		random := RandomVaccinator{}.Select(g, budget, rr)
+		resR, err := RunSIR(g, cfg, random, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += resR.AttackRate
+	}
+	if hubTotal >= randTotal*0.7 {
+		t.Fatalf("hub vaccination mean attack %v should be well below random %v",
+			hubTotal/trials, randTotal/trials)
+	}
+}
+
+func TestHubVaccinatorSelectsHighDegree(t *testing.T) {
+	g := baGraph(t, 300, 2, 5)
+	r := rng.New(6)
+	sel := HubVaccinator{}.Select(g, 10, r)
+	if len(sel) != 10 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// The minimum selected degree must be >= the 90th percentile degree.
+	minSel := 1 << 30
+	for _, v := range sel {
+		if d := g.Degree(v); d < minSel {
+			minSel = d
+		}
+	}
+	higher := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > minSel {
+			higher++
+		}
+	}
+	if higher > 10 {
+		t.Fatalf("%d nodes have degree above the selected minimum %d", higher, minSel)
+	}
+}
+
+func TestVaccinatorBudgetClamp(t *testing.T) {
+	g := baGraph(t, 20, 2, 7)
+	r := rng.New(8)
+	if got := (HubVaccinator{}).Select(g, 100, r); len(got) != 20 {
+		t.Fatalf("hub clamp = %d", len(got))
+	}
+	if got := (RandomVaccinator{}).Select(g, 100, r); len(got) != 20 {
+		t.Fatalf("random clamp = %d", len(got))
+	}
+}
+
+func TestRunSIRNotEnoughSusceptibles(t *testing.T) {
+	g := baGraph(t, 10, 2, 9)
+	r := rng.New(10)
+	all := RandomVaccinator{}.Select(g, 10, r)
+	if _, err := RunSIR(g, SIRConfig{Beta: 0.5, Gamma: 0.5, InitialInfections: 1}, all, r); err == nil {
+		t.Fatal("want error when everyone is vaccinated")
+	}
+}

@@ -1,0 +1,361 @@
+// Package graph provides the network substrate for the paper's §5.1
+// discussion of scale-free robustness: "network-based systems that
+// possess the scale-free property are extremely robust against random
+// failures of system components. However, when we consider a containment
+// of a spreading virus that is deliberately designed to attack the hubs
+// of the network, such connectivity becomes a vulnerability."
+//
+// It implements undirected simple graphs, the Erdős–Rényi and
+// Barabási–Albert generators, node-removal attack machinery, giant
+// component tracking, and an SIR epidemic process (epidemic.go).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"resilience/internal/rng"
+)
+
+// ErrNodeRange is returned for out-of-range node indexes.
+var ErrNodeRange = errors.New("graph: node index out of range")
+
+// Graph is an undirected simple graph over nodes 0..N-1 with optional
+// node removal (removed nodes keep their index but lose all edges).
+type Graph struct {
+	adj     [][]int
+	removed []bool
+	edges   int
+}
+
+// New creates an empty graph with n nodes.
+func New(n int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	return &Graph{adj: make([][]int, n), removed: make([]bool, n)}, nil
+}
+
+// N returns the total node count, including removed nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the current edge count.
+func (g *Graph) M() int { return g.edges }
+
+// Alive returns the number of non-removed nodes.
+func (g *Graph) Alive() int {
+	n := 0
+	for _, r := range g.removed {
+		if !r {
+			n++
+		}
+	}
+	return n
+}
+
+// Removed reports whether node v has been removed.
+func (g *Graph) Removed(v int) bool {
+	return v >= 0 && v < len(g.removed) && g.removed[v]
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops, duplicate edges
+// and edges touching removed nodes are rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return ErrNodeRange
+	}
+	if u == v {
+		return errors.New("graph: self-loop")
+	}
+	if g.removed[u] || g.removed[v] {
+		return errors.New("graph: edge touches removed node")
+	}
+	if g.HasEdge(u, v) {
+		return errors.New("graph: duplicate edge")
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of v (0 for removed or out-of-range nodes).
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= len(g.adj) || g.removed[v] {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns a copy of v's adjacency list.
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= len(g.adj) || g.removed[v] {
+		return nil
+	}
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// RemoveNode deletes node v and all incident edges. Removing an already
+// removed node is a no-op.
+func (g *Graph) RemoveNode(v int) error {
+	if v < 0 || v >= len(g.adj) {
+		return ErrNodeRange
+	}
+	if g.removed[v] {
+		return nil
+	}
+	for _, w := range g.adj[v] {
+		g.adj[w] = deleteFirst(g.adj[w], v)
+		g.edges--
+	}
+	g.adj[v] = nil
+	g.removed[v] = true
+	return nil
+}
+
+func deleteFirst(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		adj:     make([][]int, len(g.adj)),
+		removed: make([]bool, len(g.removed)),
+		edges:   g.edges,
+	}
+	copy(out.removed, g.removed)
+	for i, nb := range g.adj {
+		if len(nb) > 0 {
+			out.adj[i] = make([]int, len(nb))
+			copy(out.adj[i], nb)
+		}
+	}
+	return out
+}
+
+// Components returns the connected components over alive nodes, largest
+// first.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for start := range g.adj {
+		if seen[start] || g.removed[start] {
+			continue
+		}
+		comp := []int{start}
+		seen[start] = true
+		for head := 0; head < len(comp); head++ {
+			for _, w := range g.adj[comp[head]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// GiantComponentSize returns the size of the largest connected component
+// (0 for a graph with no alive nodes).
+func (g *Graph) GiantComponentSize() int {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return 0
+	}
+	return len(comps[0])
+}
+
+// GiantFraction returns the giant component size divided by the ORIGINAL
+// node count — the standard robustness curve y-axis.
+func (g *Graph) GiantFraction() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return float64(g.GiantComponentSize()) / float64(len(g.adj))
+}
+
+// DegreeDistribution returns counts[d] = number of alive nodes of degree d.
+func (g *Graph) DegreeDistribution() []int {
+	maxDeg := 0
+	for v := range g.adj {
+		if !g.removed[v] && len(g.adj[v]) > maxDeg {
+			maxDeg = len(g.adj[v])
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := range g.adj {
+		if !g.removed[v] {
+			counts[len(g.adj[v])]++
+		}
+	}
+	return counts
+}
+
+// Degrees returns the degree of every alive node.
+func (g *Graph) Degrees() []float64 {
+	out := make([]float64, 0, len(g.adj))
+	for v := range g.adj {
+		if !g.removed[v] {
+			out = append(out, float64(len(g.adj[v])))
+		}
+	}
+	return out
+}
+
+// ErdosRenyi generates G(n, p): each pair is connected independently with
+// probability p.
+func ErdosRenyi(n int, p float64, r *rng.Source) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: probability %v out of range", p)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a scale-free graph by preferential attachment:
+// starting from a small clique of m+1 nodes, each new node attaches to m
+// existing nodes chosen with probability proportional to degree. The
+// resulting degree distribution follows a power law with exponent ≈ 3
+// (Barabási–Bonabeau, the paper's reference [3]).
+func BarabasiAlbert(n, m int, r *rng.Source) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("graph: barabasi-albert needs n > m >= 1, got n=%d m=%d", n, m)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	// Seed clique on m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Repeated-endpoint list: each node appears once per incident edge,
+	// so uniform sampling from it is degree-proportional sampling.
+	endpoints := make([]int, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int]struct{}, m)
+		for len(chosen) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			if err := g.AddEdge(v, t); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return g, nil
+}
+
+// AttackStrategy selects which alive node to remove next.
+type AttackStrategy int
+
+// Attack strategies.
+const (
+	// RandomAttack removes a uniformly random alive node — the "random
+	// failures" the scale-free topology is robust to.
+	RandomAttack AttackStrategy = iota + 1
+	// TargetedAttack removes the highest-degree alive node — the
+	// deliberate hub attack that turns connectivity into vulnerability.
+	TargetedAttack
+)
+
+// AttackCurve removes nodes one at a time under the strategy, recording
+// the giant-component fraction after each removal. The returned slice has
+// one entry per removal, plus the initial fraction at index 0.
+func AttackCurve(g *Graph, strategy AttackStrategy, removals int, r *rng.Source) ([]float64, error) {
+	if removals < 0 || removals > g.Alive() {
+		return nil, fmt.Errorf("graph: removals %d out of range", removals)
+	}
+	work := g.Clone()
+	curve := make([]float64, 0, removals+1)
+	curve = append(curve, work.GiantFraction())
+	for i := 0; i < removals; i++ {
+		v, err := pickTarget(work, strategy, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := work.RemoveNode(v); err != nil {
+			return nil, err
+		}
+		curve = append(curve, work.GiantFraction())
+	}
+	return curve, nil
+}
+
+func pickTarget(g *Graph, strategy AttackStrategy, r *rng.Source) (int, error) {
+	switch strategy {
+	case RandomAttack:
+		alive := make([]int, 0, g.Alive())
+		for v := range g.adj {
+			if !g.removed[v] {
+				alive = append(alive, v)
+			}
+		}
+		if len(alive) == 0 {
+			return 0, errors.New("graph: no nodes left to attack")
+		}
+		return alive[r.Intn(len(alive))], nil
+	case TargetedAttack:
+		best, bestDeg := -1, -1
+		for v := range g.adj {
+			if !g.removed[v] && len(g.adj[v]) > bestDeg {
+				best, bestDeg = v, len(g.adj[v])
+			}
+		}
+		if best < 0 {
+			return 0, errors.New("graph: no nodes left to attack")
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown attack strategy %d", strategy)
+	}
+}

@@ -1,0 +1,310 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+	"resilience/internal/stats"
+)
+
+func mustGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("want error for negative n")
+	}
+	g := mustGraph(t, 0)
+	if g.N() != 0 || g.GiantComponentSize() != 0 {
+		t.Error("empty graph accessors")
+	}
+}
+
+func TestAddEdgeRules(t *testing.T) {
+	g := mustGraph(t, 3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("want duplicate-edge error")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("want duplicate-edge error (reversed)")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("want self-loop error")
+	}
+	if err := g.AddEdge(0, 5); !errors.Is(err, ErrNodeRange) {
+		t.Error("want ErrNodeRange")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("edge must be undirected")
+	}
+}
+
+func TestDegreeSumEquals2M(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g, err := ErdosRenyi(30, 0.2, r)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := mustGraph(t, 4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M after removal = %d, want 2", g.M())
+	}
+	if g.Degree(1) != 0 || !g.Removed(1) {
+		t.Error("removed node should have degree 0")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 1 {
+		t.Error("neighbor degrees not updated")
+	}
+	if g.Alive() != 3 {
+		t.Fatalf("Alive = %d", g.Alive())
+	}
+	// Idempotent.
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(99); !errors.Is(err, ErrNodeRange) {
+		t.Error("want ErrNodeRange")
+	}
+	// Edges to removed nodes rejected.
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("want error adding edge to removed node")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustGraph(t, 6)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes = %d,%d,%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if g.GiantComponentSize() != 3 {
+		t.Fatalf("giant = %d", g.GiantComponentSize())
+	}
+	if g.GiantFraction() != 0.5 {
+		t.Fatalf("giant fraction = %v", g.GiantFraction())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := mustGraph(t, 3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 {
+		t.Fatal("clone removal leaked into original")
+	}
+}
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	r := rng.New(1)
+	g, err := ErdosRenyi(100, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * 100 * 99 / 2
+	if float64(g.M()) < want*0.7 || float64(g.M()) > want*1.3 {
+		t.Fatalf("M = %d, want ~%v", g.M(), want)
+	}
+	if _, err := ErdosRenyi(10, 1.5, r); err == nil {
+		t.Error("want error for p > 1")
+	}
+}
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	r := rng.New(2)
+	const n, m = 500, 3
+	g, err := BarabasiAlbert(n, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge count: seed clique C(m+1,2) + (n-m-1)*m.
+	want := m*(m+1)/2 + (n-m-1)*m
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	// BA graphs are connected by construction.
+	if g.GiantComponentSize() != n {
+		t.Fatalf("giant = %d, want %d (connected)", g.GiantComponentSize(), n)
+	}
+	// Minimum degree is m.
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < m {
+			t.Fatalf("degree(%d) = %d < m", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	// The BA degree distribution must be far more skewed than ER with
+	// the same mean degree: its maximum degree should be several times
+	// the mean.
+	r := rng.New(3)
+	g, err := BarabasiAlbert(2000, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := g.Degrees()
+	mean := stats.Mean(degs)
+	maxDeg := stats.Max(degs)
+	if maxDeg < 8*mean {
+		t.Fatalf("max degree %v vs mean %v: not heavy-tailed", maxDeg, mean)
+	}
+	// Tail exponent around 2.5-3.5 for BA.
+	alpha, err := stats.HillEstimator(degs, len(degs)/20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 1.5 || alpha > 5 {
+		t.Fatalf("degree tail index = %v, want roughly 2-4", alpha)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	r := rng.New(4)
+	if _, err := BarabasiAlbert(3, 3, r); err == nil {
+		t.Error("want error for n <= m")
+	}
+	if _, err := BarabasiAlbert(10, 0, r); err == nil {
+		t.Error("want error for m < 1")
+	}
+}
+
+func TestAttackCurveShapes(t *testing.T) {
+	// The paper's §5.1 claim: scale-free is robust to random failure,
+	// fragile to targeted attack. After removing 5% of nodes, the giant
+	// component under targeted attack must be clearly smaller than under
+	// random failure.
+	r := rng.New(5)
+	g, err := BarabasiAlbert(1000, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removals := 150
+	randomCurve, err := AttackCurve(g, RandomAttack, removals, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetCurve, err := AttackCurve(g, TargetedAttack, removals, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(randomCurve) != removals+1 || len(targetCurve) != removals+1 {
+		t.Fatalf("curve lengths %d/%d", len(randomCurve), len(targetCurve))
+	}
+	rEnd, tEnd := randomCurve[removals], targetCurve[removals]
+	if tEnd >= rEnd {
+		t.Fatalf("targeted end %v should be below random end %v", tEnd, rEnd)
+	}
+	if rEnd < 0.6 {
+		t.Fatalf("random-failure giant fraction %v: scale-free should stay robust", rEnd)
+	}
+	if tEnd > 0.6 {
+		t.Fatalf("targeted giant fraction %v: hub attack should fragment the graph", tEnd)
+	}
+}
+
+func TestAttackCurveDoesNotMutate(t *testing.T) {
+	r := rng.New(6)
+	g, err := BarabasiAlbert(50, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.M()
+	if _, err := AttackCurve(g, RandomAttack, 10, r); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != before || g.Alive() != 50 {
+		t.Fatal("AttackCurve mutated the input graph")
+	}
+}
+
+func TestAttackCurveValidation(t *testing.T) {
+	r := rng.New(7)
+	g := mustGraph(t, 5)
+	if _, err := AttackCurve(g, RandomAttack, 10, r); err == nil {
+		t.Error("want error for removals > alive")
+	}
+	if _, err := AttackCurve(g, AttackStrategy(99), 1, r); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := mustGraph(t, 4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	dist := g.DegreeDistribution()
+	// Degrees: node0=2, node1=1, node2=1, node3=0.
+	if dist[0] != 1 || dist[1] != 2 || dist[2] != 1 {
+		t.Fatalf("distribution = %v", dist)
+	}
+}
+
+func TestNeighborsCopy(t *testing.T) {
+	g := mustGraph(t, 3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	nb := g.Neighbors(0)
+	nb[0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Fatal("Neighbors exposed internal state")
+	}
+	if g.Neighbors(-1) != nil || g.Neighbors(7) != nil {
+		t.Fatal("out-of-range neighbors should be nil")
+	}
+}

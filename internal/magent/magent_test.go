@@ -1,0 +1,292 @@
+package magent
+
+import (
+	"testing"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/dcsp"
+	"resilience/internal/rng"
+)
+
+// easyEnv returns a Mask environment caring about the first k bits, all
+// required to be 1.
+func easyEnv(t *testing.T, genomeLen, k int) dcsp.Constraint {
+	t.Helper()
+	care := bitstring.New(genomeLen)
+	tmpl := bitstring.New(genomeLen)
+	for i := 0; i < k; i++ {
+		care.Set(i, true)
+		tmpl.Set(i, true)
+	}
+	env, err := dcsp.NewMask(tmpl, care)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"genome":    func(c *Config) { c.GenomeLen = 0 },
+		"agents":    func(c *Config) { c.InitialAgents = 0 },
+		"cap":       func(c *Config) { c.PopulationCap = 1 },
+		"resource":  func(c *Config) { c.InitialResource = 0 },
+		"founders":  func(c *Config) { c.FounderGenotypes = 0 },
+		"adapt":     func(c *Config) { c.AdaptBits = -1 },
+		"mutation":  func(c *Config) { c.MutationRate = 2 },
+		"upkeep":    func(c *Config) { c.UpkeepWhenUnfit = 0 },
+		"replicate": func(c *Config) { c.ReplicateAbove = 0 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	r := rng.New(1)
+	cfg := DefaultConfig()
+	if _, err := NewWorld(cfg, nil, r); err == nil {
+		t.Error("want error for nil environment")
+	}
+	if _, err := NewWorld(cfg, dcsp.AllOnes{N: 5}, r); err == nil {
+		t.Error("want error for mismatched environment length")
+	}
+	w, err := NewWorld(cfg, easyEnv(t, cfg.GenomeLen, 4), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Population() != cfg.InitialAgents {
+		t.Fatalf("population = %d", w.Population())
+	}
+}
+
+func TestPopulationGrowsWhenFit(t *testing.T) {
+	r := rng.New(2)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 20
+	cfg.PopulationCap = 100
+	env := easyEnv(t, cfg.GenomeLen, 2) // easy: 1/4 of random genomes fit
+	w, err := NewWorld(cfg, env, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.Step()
+	}
+	if w.Population() <= 20 {
+		t.Fatalf("population = %d, want growth", w.Population())
+	}
+	if w.Population() > cfg.PopulationCap {
+		t.Fatalf("population %d exceeds cap", w.Population())
+	}
+	if w.FitFraction() < 0.9 {
+		t.Fatalf("fit fraction = %v, want near 1 in an easy environment", w.FitFraction())
+	}
+}
+
+func TestAgentsDieWithoutResource(t *testing.T) {
+	r := rng.New(3)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 10
+	cfg.PopulationCap = 10
+	cfg.InitialResource = 4
+	cfg.UpkeepWhenUnfit = 2
+	cfg.AdaptBits = 0 // cannot adapt
+	// Impossible environment: nothing is ever fit.
+	env := dcsp.Predicate{N: cfg.GenomeLen, Fn: func(bitstring.String) bool { return false }}
+	w, err := NewWorld(cfg, env, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var died bool
+	for i := 0; i < 5; i++ {
+		st := w.Step()
+		if st.Alive == 0 {
+			died = true
+			break
+		}
+	}
+	if !died {
+		t.Fatal("agents with 4 resource paying 2/step should die by step 2-3")
+	}
+}
+
+func TestRedundancyExtendsSurvival(t *testing.T) {
+	// §4.4: "An agent can remain alive until it uses up its resources
+	// even if it does not satisfy a constraint." More reserve ⇒ longer
+	// survival under an impossible environment.
+	survivalSteps := func(resource float64) int {
+		r := rng.New(4)
+		cfg := DefaultConfig()
+		cfg.InitialAgents = 10
+		cfg.PopulationCap = 10
+		cfg.InitialResource = resource
+		cfg.AdaptBits = 0
+		env := dcsp.Predicate{N: cfg.GenomeLen, Fn: func(bitstring.String) bool { return false }}
+		w, err := NewWorld(cfg, env, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 1000; i++ {
+			if st := w.Step(); st.Alive == 0 {
+				return i
+			}
+		}
+		return 1001
+	}
+	small := survivalSteps(4)
+	large := survivalSteps(40)
+	if large <= small {
+		t.Fatalf("large reserve survived %d steps vs small %d: want longer", large, small)
+	}
+}
+
+func TestAdaptationRecoversFitness(t *testing.T) {
+	r := rng.New(5)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 50
+	cfg.PopulationCap = 200
+	cfg.InitialResource = 30
+	cfg.AdaptBits = 2
+	env := easyEnv(t, cfg.GenomeLen, 8)
+	w, err := NewWorld(cfg, env, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initially most random genomes are unfit (8 pinned bits: 1/256).
+	for i := 0; i < 30; i++ {
+		w.Step()
+	}
+	if w.Population() == 0 {
+		t.Fatal("population died despite adaptation")
+	}
+	if w.FitFraction() < 0.9 {
+		t.Fatalf("fit fraction = %v after adaptation window", w.FitFraction())
+	}
+}
+
+func TestZeroAdaptBitsCannotRecover(t *testing.T) {
+	r := rng.New(6)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 30
+	cfg.PopulationCap = 60
+	cfg.InitialResource = 6
+	cfg.AdaptBits = 0
+	cfg.FounderGenotypes = 1
+	env := easyEnv(t, cfg.GenomeLen, 12) // founder fit w.p. 2^-12
+	w, err := NewWorld(cfg, env, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Extinct {
+		// A single lucky founder genotype can save the clone army; with
+		// 2^-12 odds this effectively never happens at this seed.
+		t.Fatalf("non-adaptive single-genotype population should go extinct (alive=%d)", w.Population())
+	}
+}
+
+func TestEnvShiftScheduleAndRecovery(t *testing.T) {
+	r := rng.New(7)
+	cfg := DefaultConfig()
+	cfg.AdaptBits = 2
+	cfg.InitialResource = 20
+	env := easyEnv(t, cfg.GenomeLen, 6)
+	w, err := NewWorld(cfg, env, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift to a different mask at step 60.
+	care := bitstring.New(cfg.GenomeLen)
+	tmpl := bitstring.New(cfg.GenomeLen)
+	for i := 0; i < 6; i++ {
+		care.Set(i, true) // same positions, inverted template
+	}
+	shifted, err := dcsp.NewMask(tmpl, care)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(200, []EnvShift{{Step: 60, Env: shifted}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extinct {
+		t.Fatal("population should survive the shift")
+	}
+	if res.RecoverySteps < 0 {
+		t.Fatal("population should recover fitness after the shift")
+	}
+	if res.RecoverySteps > 100 {
+		t.Fatalf("recovery took %d steps", res.RecoverySteps)
+	}
+	if len(res.History) != 200 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := rng.New(8)
+	cfg := DefaultConfig()
+	w, err := NewWorld(cfg, easyEnv(t, cfg.GenomeLen, 2), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(-1, nil); err == nil {
+		t.Error("want error for negative steps")
+	}
+	if _, err := w.Run(10, []EnvShift{{Step: 2, Env: nil}}); err == nil {
+		t.Error("want error for nil shift env")
+	}
+	if err := w.SetEnvironment(dcsp.AllOnes{N: 3}); err == nil {
+		t.Error("want error for wrong-length environment")
+	}
+}
+
+func TestDiversitySnapshot(t *testing.T) {
+	r := rng.New(9)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 12
+	cfg.FounderGenotypes = 3
+	w, err := NewWorld(cfg, easyEnv(t, cfg.GenomeLen, 2), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, genotypes := w.DiversitySnapshot()
+	if genotypes > 3 || genotypes < 1 {
+		t.Fatalf("genotypes = %d, want <= 3 founders", genotypes)
+	}
+	if g <= 0 {
+		t.Fatalf("diversity G = %v", g)
+	}
+}
+
+func TestMutationIntroducesVariation(t *testing.T) {
+	r := rng.New(10)
+	cfg := DefaultConfig()
+	cfg.InitialAgents = 20
+	cfg.PopulationCap = 300
+	cfg.FounderGenotypes = 1
+	cfg.MutationRate = 0.05
+	w, err := NewWorld(cfg, easyEnv(t, cfg.GenomeLen, 1), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		w.Step()
+	}
+	_, genotypes := w.DiversitySnapshot()
+	if genotypes < 5 {
+		t.Fatalf("genotypes = %d, mutation should diversify a clonal population", genotypes)
+	}
+}

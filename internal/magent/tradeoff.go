@@ -1,0 +1,224 @@
+package magent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/bitstring"
+	"resilience/internal/dcsp"
+	"resilience/internal/rng"
+)
+
+// Allocation splits a resilience budget across the three passive
+// strategies — the question of §4.4: "Should we invest our resource on
+// redundancy, diversity, adaptability …? What combination of resilience
+// strategies is optimum under a given condition?"
+type Allocation struct {
+	Redundancy   float64
+	Diversity    float64
+	Adaptability float64
+}
+
+// Normalize validates and scales the allocation to sum to 1.
+func (a Allocation) Normalize() (Allocation, error) {
+	if a.Redundancy < 0 || a.Diversity < 0 || a.Adaptability < 0 {
+		return Allocation{}, errors.New("magent: negative allocation")
+	}
+	total := a.Redundancy + a.Diversity + a.Adaptability
+	if total <= 0 {
+		return Allocation{}, errors.New("magent: zero allocation")
+	}
+	return Allocation{
+		Redundancy:   a.Redundancy / total,
+		Diversity:    a.Diversity / total,
+		Adaptability: a.Adaptability / total,
+	}, nil
+}
+
+// TradeoffParams maps budget points to the three configuration knobs.
+type TradeoffParams struct {
+	// Budget is the total points to allocate.
+	Budget float64
+	// ResourcePerPoint converts redundancy points to initial resource.
+	ResourcePerPoint float64
+	// GenotypesPerPoint converts diversity points to founder genotypes.
+	GenotypesPerPoint float64
+	// BitsPerPoint converts adaptability points to adapt bits.
+	BitsPerPoint float64
+}
+
+// DefaultTradeoffParams returns the scaling used by experiment E18.
+func DefaultTradeoffParams() TradeoffParams {
+	return TradeoffParams{
+		Budget:            30,
+		ResourcePerPoint:  1.5,
+		GenotypesPerPoint: 0.8,
+		BitsPerPoint:      0.15,
+	}
+}
+
+// Apply produces a Config for the allocation: each strategy knob is a
+// base-1 floor plus its share of the budget.
+func (p TradeoffParams) Apply(base Config, alloc Allocation) (Config, error) {
+	norm, err := alloc.Normalize()
+	if err != nil {
+		return Config{}, err
+	}
+	if p.Budget <= 0 {
+		return Config{}, fmt.Errorf("magent: budget %v must be positive", p.Budget)
+	}
+	cfg := base
+	cfg.InitialResource = 1 + norm.Redundancy*p.Budget*p.ResourcePerPoint
+	cfg.FounderGenotypes = 1 + int(math.Round(norm.Diversity*p.Budget*p.GenotypesPerPoint))
+	cfg.AdaptBits = 1 + int(math.Round(norm.Adaptability*p.Budget*p.BitsPerPoint))
+	return cfg, nil
+}
+
+// Scenario generates, per trial, the initial environment and the
+// environment-shift schedule a world will face.
+type Scenario interface {
+	Generate(genomeLen int, r *rng.Source) (dcsp.Constraint, []EnvShift, error)
+}
+
+// MaskScenario produces Mask environments: CareBits positions are pinned
+// to a random template; every ShiftEvery steps the template moves by
+// ShiftDistance bit flips within the cared positions, Shifts times.
+type MaskScenario struct {
+	CareBits      int
+	ShiftDistance int
+	ShiftEvery    int
+	Shifts        int
+}
+
+var _ Scenario = MaskScenario{}
+
+// Generate implements Scenario.
+func (s MaskScenario) Generate(genomeLen int, r *rng.Source) (dcsp.Constraint, []EnvShift, error) {
+	if s.CareBits <= 0 || s.CareBits > genomeLen {
+		return nil, nil, fmt.Errorf("magent: care bits %d out of range", s.CareBits)
+	}
+	if s.ShiftDistance < 0 || s.ShiftDistance > s.CareBits {
+		return nil, nil, fmt.Errorf("magent: shift distance %d out of range", s.ShiftDistance)
+	}
+	if s.Shifts > 0 && s.ShiftEvery <= 0 {
+		return nil, nil, errors.New("magent: shift interval must be positive")
+	}
+	care := bitstring.New(genomeLen)
+	for _, i := range r.Perm(genomeLen)[:s.CareBits] {
+		care.Set(i, true)
+	}
+	template := bitstring.Random(genomeLen, r)
+	initial, err := dcsp.NewMask(template, care)
+	if err != nil {
+		return nil, nil, err
+	}
+	caredIdx := care.OneIndexes()
+	shifts := make([]EnvShift, 0, s.Shifts)
+	cur := template.Clone()
+	for k := 1; k <= s.Shifts; k++ {
+		next := cur.Clone()
+		r.Shuffle(len(caredIdx), func(i, j int) { caredIdx[i], caredIdx[j] = caredIdx[j], caredIdx[i] })
+		for _, i := range caredIdx[:s.ShiftDistance] {
+			next.Flip(i)
+		}
+		env, err := dcsp.NewMask(next, care)
+		if err != nil {
+			return nil, nil, err
+		}
+		shifts = append(shifts, EnvShift{Step: k * s.ShiftEvery, Env: env})
+		cur = next
+	}
+	return initial, shifts, nil
+}
+
+// TradeoffOutcome aggregates trial results for one allocation.
+type TradeoffOutcome struct {
+	Allocation   Allocation
+	Trials       int
+	SurvivalRate float64
+	// MeanRecovery is the mean recovery time (after the last shift)
+	// among surviving-and-recovered trials; NaN if none recovered.
+	MeanRecovery float64
+	// MeanFinalPop is the mean final population across trials (0 for
+	// extinct trials).
+	MeanFinalPop float64
+}
+
+// EvaluateAllocation runs `trials` independent worlds under the
+// allocation and scenario, for `steps` steps each.
+func EvaluateAllocation(base Config, params TradeoffParams, alloc Allocation, scenario Scenario, steps, trials int, seed uint64) (TradeoffOutcome, error) {
+	if trials <= 0 {
+		return TradeoffOutcome{}, errors.New("magent: trials must be positive")
+	}
+	cfg, err := params.Apply(base, alloc)
+	if err != nil {
+		return TradeoffOutcome{}, err
+	}
+	out := TradeoffOutcome{Allocation: alloc, Trials: trials}
+	var recSum float64
+	var recN int
+	var popSum float64
+	survived := 0
+	root := rng.New(seed)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split()
+		env, shifts, err := scenario.Generate(cfg.GenomeLen, r)
+		if err != nil {
+			return TradeoffOutcome{}, err
+		}
+		w, err := NewWorld(cfg, env, r)
+		if err != nil {
+			return TradeoffOutcome{}, err
+		}
+		res, err := w.Run(steps, shifts)
+		if err != nil {
+			return TradeoffOutcome{}, err
+		}
+		if !res.Extinct {
+			survived++
+			popSum += float64(w.Population())
+			if res.RecoverySteps >= 0 {
+				recSum += float64(res.RecoverySteps)
+				recN++
+			}
+		}
+	}
+	out.SurvivalRate = float64(survived) / float64(trials)
+	out.MeanFinalPop = popSum / float64(trials)
+	if recN > 0 {
+		out.MeanRecovery = recSum / float64(recN)
+	} else {
+		out.MeanRecovery = math.NaN()
+	}
+	return out, nil
+}
+
+// SweepAllocations evaluates allocations over a simplex grid with the
+// given resolution (allocations i/res, j/res, k/res with i+j+k = res) and
+// returns every outcome.
+func SweepAllocations(base Config, params TradeoffParams, scenario Scenario, resolution, steps, trials int, seed uint64) ([]TradeoffOutcome, error) {
+	if resolution < 1 {
+		return nil, fmt.Errorf("magent: resolution %d must be >= 1", resolution)
+	}
+	var outcomes []TradeoffOutcome
+	for i := 0; i <= resolution; i++ {
+		for j := 0; j+i <= resolution; j++ {
+			k := resolution - i - j
+			alloc := Allocation{
+				Redundancy:   float64(i) / float64(resolution),
+				Diversity:    float64(j) / float64(resolution),
+				Adaptability: float64(k) / float64(resolution),
+			}
+			if alloc.Redundancy+alloc.Diversity+alloc.Adaptability == 0 {
+				continue
+			}
+			out, err := EvaluateAllocation(base, params, alloc, scenario, steps, trials, seed+uint64(i*1000+j))
+			if err != nil {
+				return nil, err
+			}
+			outcomes = append(outcomes, out)
+		}
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,159 @@
+package magent
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestAllocationNormalize(t *testing.T) {
+	a, err := Allocation{Redundancy: 2, Diversity: 1, Adaptability: 1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Redundancy-0.5) > 1e-12 || math.Abs(a.Diversity-0.25) > 1e-12 {
+		t.Fatalf("normalized = %+v", a)
+	}
+	if _, err := (Allocation{Redundancy: -1, Diversity: 2, Adaptability: 0}).Normalize(); err == nil {
+		t.Error("want error for negative share")
+	}
+	if _, err := (Allocation{}).Normalize(); err == nil {
+		t.Error("want error for zero allocation")
+	}
+}
+
+func TestTradeoffParamsApply(t *testing.T) {
+	params := DefaultTradeoffParams()
+	base := DefaultConfig()
+	cfg, err := params.Apply(base, Allocation{Redundancy: 1, Diversity: 0, Adaptability: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.InitialResource <= base.InitialResource/2 {
+		t.Fatalf("all-redundancy resource = %v", cfg.InitialResource)
+	}
+	if cfg.FounderGenotypes != 1 || cfg.AdaptBits != 1 {
+		t.Fatalf("non-funded knobs should sit at their floor: %d founders, %d bits",
+			cfg.FounderGenotypes, cfg.AdaptBits)
+	}
+	cfg2, err := params.Apply(base, Allocation{Redundancy: 0, Diversity: 0, Adaptability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.AdaptBits <= 1 {
+		t.Fatalf("all-adaptability bits = %d", cfg2.AdaptBits)
+	}
+	bad := params
+	bad.Budget = 0
+	if _, err := bad.Apply(base, Allocation{Redundancy: 1}); err == nil {
+		t.Error("want error for zero budget")
+	}
+}
+
+func TestMaskScenarioGenerate(t *testing.T) {
+	r := rng.New(1)
+	s := MaskScenario{CareBits: 8, ShiftDistance: 2, ShiftEvery: 50, Shifts: 3}
+	env, shifts, err := s.Generate(24, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Len() != 24 {
+		t.Fatalf("env length = %d", env.Len())
+	}
+	if len(shifts) != 3 {
+		t.Fatalf("shifts = %d", len(shifts))
+	}
+	for i, sh := range shifts {
+		if sh.Step != (i+1)*50 {
+			t.Fatalf("shift %d at step %d", i, sh.Step)
+		}
+		if sh.Env.Len() != 24 {
+			t.Fatalf("shift env length = %d", sh.Env.Len())
+		}
+	}
+}
+
+func TestMaskScenarioValidation(t *testing.T) {
+	r := rng.New(2)
+	cases := []MaskScenario{
+		{CareBits: 0, ShiftDistance: 1, ShiftEvery: 10, Shifts: 1},
+		{CareBits: 30, ShiftDistance: 1, ShiftEvery: 10, Shifts: 1},
+		{CareBits: 8, ShiftDistance: 9, ShiftEvery: 10, Shifts: 1},
+		{CareBits: 8, ShiftDistance: 1, ShiftEvery: 0, Shifts: 1},
+	}
+	for i, s := range cases {
+		if _, _, err := s.Generate(24, r); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestEvaluateAllocation(t *testing.T) {
+	base := DefaultConfig()
+	base.InitialAgents = 40
+	base.PopulationCap = 120
+	params := DefaultTradeoffParams()
+	scenario := MaskScenario{CareBits: 6, ShiftDistance: 2, ShiftEvery: 40, Shifts: 2}
+	out, err := EvaluateAllocation(base, params,
+		Allocation{Redundancy: 1, Diversity: 1, Adaptability: 1},
+		scenario, 150, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 5 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+	if out.SurvivalRate < 0 || out.SurvivalRate > 1 {
+		t.Fatalf("survival = %v", out.SurvivalRate)
+	}
+	if _, err := EvaluateAllocation(base, params, Allocation{Redundancy: 1}, scenario, 10, 0, 1); err == nil {
+		t.Error("want error for zero trials")
+	}
+}
+
+func TestBalancedBeatsNoAdaptabilityUnderShifts(t *testing.T) {
+	// Under a shifting environment, an allocation with zero adaptability
+	// funding (floor 1 bit) and zero diversity should do no better than
+	// a balanced allocation. This is the qualitative §4.4 prediction.
+	base := DefaultConfig()
+	base.InitialAgents = 40
+	base.PopulationCap = 120
+	params := DefaultTradeoffParams()
+	scenario := MaskScenario{CareBits: 10, ShiftDistance: 4, ShiftEvery: 30, Shifts: 4}
+	balanced, err := EvaluateAllocation(base, params,
+		Allocation{Redundancy: 1, Diversity: 1, Adaptability: 1},
+		scenario, 200, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureRedundancy, err := EvaluateAllocation(base, params,
+		Allocation{Redundancy: 1},
+		scenario, 200, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.SurvivalRate < pureRedundancy.SurvivalRate {
+		t.Fatalf("balanced survival %v below pure-redundancy %v under shifting environment",
+			balanced.SurvivalRate, pureRedundancy.SurvivalRate)
+	}
+}
+
+func TestSweepAllocations(t *testing.T) {
+	base := DefaultConfig()
+	base.InitialAgents = 20
+	base.PopulationCap = 60
+	params := DefaultTradeoffParams()
+	scenario := MaskScenario{CareBits: 6, ShiftDistance: 2, ShiftEvery: 25, Shifts: 1}
+	outs, err := SweepAllocations(base, params, scenario, 2, 60, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simplex grid with resolution 2: C(2+2,2) = 6 points.
+	if len(outs) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(outs))
+	}
+	if _, err := SweepAllocations(base, params, scenario, 0, 10, 1, 1); err == nil {
+		t.Error("want error for zero resolution")
+	}
+}

@@ -1,0 +1,371 @@
+// Package maintain implements the K-maintainability notion the paper
+// adopts from Baral and Eiter (§4.3): "a system is K-maintainable if, for
+// any non-normal state of the system, there exists a sequence of actions
+// (i.e., events controllable by a system administrator) that move the
+// system back to one of the normal states within k steps."
+//
+// The model is a finite transition system with nondeterministic agent
+// actions (an action may have several possible outcomes) and exogenous
+// events (uncontrollable transitions that knock the system out of normal
+// states). Policy synthesis follows Baral–Eiter's polynomial-time
+// construction, realized here as value iteration on the AND–OR graph:
+//
+//	dist(s) = 0                                         if s is normal
+//	dist(s) = min over actions a applicable in s of
+//	          1 + max over outcomes s' of a in s of dist(s')
+//
+// A state is maintainable iff dist(s) is finite even under worst-case
+// outcome resolution, and the system is K-maintainable over a state set
+// iff max dist ≤ K. The computation is O(iterations × transitions) with
+// at most |S| iterations — polynomial, as Baral–Eiter prove.
+package maintain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Unreachable is the distance reported for states from which no policy can
+// guarantee reaching a normal state.
+const Unreachable = math.MaxInt
+
+// StateID identifies a state; valid IDs are 0..NumStates-1.
+type StateID int
+
+// ActionID identifies an agent action.
+type ActionID int
+
+// ErrUnknownState is returned for out-of-range state IDs.
+var ErrUnknownState = errors.New("maintain: unknown state")
+
+// ErrUnknownAction is returned for out-of-range action IDs.
+var ErrUnknownAction = errors.New("maintain: unknown action")
+
+// System is a finite transition system under construction or analysis.
+type System struct {
+	numStates int
+	normal    []bool
+	actions   []string
+	// trans[state][action] = possible outcome states (nondeterministic).
+	trans []map[ActionID][]StateID
+	// exo[state] = states reachable by one exogenous event.
+	exo [][]StateID
+}
+
+// NewSystem creates a system with n states, none of them normal.
+func NewSystem(n int) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("maintain: system needs at least one state, got %d", n)
+	}
+	s := &System{
+		numStates: n,
+		normal:    make([]bool, n),
+		trans:     make([]map[ActionID][]StateID, n),
+		exo:       make([][]StateID, n),
+	}
+	for i := range s.trans {
+		s.trans[i] = map[ActionID][]StateID{}
+	}
+	return s, nil
+}
+
+// NumStates returns the number of states.
+func (s *System) NumStates() int { return s.numStates }
+
+// MarkNormal declares the given states normal.
+func (s *System) MarkNormal(states ...StateID) error {
+	for _, st := range states {
+		if err := s.checkState(st); err != nil {
+			return err
+		}
+		s.normal[st] = true
+	}
+	return nil
+}
+
+// IsNormal reports whether st is a normal state.
+func (s *System) IsNormal(st StateID) bool {
+	return st >= 0 && int(st) < s.numStates && s.normal[st]
+}
+
+// AddAction registers a named agent action and returns its ID.
+func (s *System) AddAction(name string) ActionID {
+	s.actions = append(s.actions, name)
+	return ActionID(len(s.actions) - 1)
+}
+
+// ActionName returns the name of an action, or "" for invalid IDs.
+func (s *System) ActionName(a ActionID) string {
+	if a < 0 || int(a) >= len(s.actions) {
+		return ""
+	}
+	return s.actions[a]
+}
+
+// AddTransition declares that executing action a in state from may lead to
+// any of the given outcome states. Calling it again for the same (from, a)
+// adds more possible outcomes.
+func (s *System) AddTransition(from StateID, a ActionID, outcomes ...StateID) error {
+	if err := s.checkState(from); err != nil {
+		return err
+	}
+	if a < 0 || int(a) >= len(s.actions) {
+		return ErrUnknownAction
+	}
+	if len(outcomes) == 0 {
+		return errors.New("maintain: transition needs at least one outcome")
+	}
+	for _, o := range outcomes {
+		if err := s.checkState(o); err != nil {
+			return err
+		}
+	}
+	s.trans[from][a] = append(s.trans[from][a], outcomes...)
+	return nil
+}
+
+// AddExogenous declares an uncontrollable event from → to.
+func (s *System) AddExogenous(from, to StateID) error {
+	if err := s.checkState(from); err != nil {
+		return err
+	}
+	if err := s.checkState(to); err != nil {
+		return err
+	}
+	s.exo[from] = append(s.exo[from], to)
+	return nil
+}
+
+func (s *System) checkState(st StateID) error {
+	if st < 0 || int(st) >= s.numStates {
+		return fmt.Errorf("%w: %d", ErrUnknownState, st)
+	}
+	return nil
+}
+
+// Policy is a synthesized control policy: for every maintainable
+// non-normal state, the action to execute, plus the guaranteed worst-case
+// distance to a normal state.
+type Policy struct {
+	sys      *System
+	action   []ActionID // -1 = none (normal or unmaintainable)
+	distance []int
+}
+
+// SynthesizePolicy runs the Baral–Eiter construction and returns the
+// optimal (distance-minimizing) policy.
+func (s *System) SynthesizePolicy() (*Policy, error) {
+	if len(s.actions) == 0 {
+		// A system with no agent actions still has a trivial policy; only
+		// normal states are maintainable.
+		p := &Policy{sys: s, action: make([]ActionID, s.numStates), distance: make([]int, s.numStates)}
+		for i := range p.action {
+			p.action[i] = -1
+			if s.normal[i] {
+				p.distance[i] = 0
+			} else {
+				p.distance[i] = Unreachable
+			}
+		}
+		return p, nil
+	}
+	dist := make([]int, s.numStates)
+	act := make([]ActionID, s.numStates)
+	for i := range dist {
+		act[i] = -1
+		if s.normal[i] {
+			dist[i] = 0
+		} else {
+			dist[i] = Unreachable
+		}
+	}
+	// Value iteration: converges within numStates sweeps because optimal
+	// distances are bounded by numStates.
+	for iter := 0; iter < s.numStates; iter++ {
+		changed := false
+		for st := 0; st < s.numStates; st++ {
+			if s.normal[st] {
+				continue
+			}
+			bestDist, bestAct := dist[st], act[st]
+			for a, outcomes := range s.trans[st] {
+				worst := 0
+				feasible := true
+				for _, o := range outcomes {
+					d := dist[o]
+					if d == Unreachable {
+						feasible = false
+						break
+					}
+					if d > worst {
+						worst = d
+					}
+				}
+				if !feasible {
+					continue
+				}
+				if cand := worst + 1; cand < bestDist {
+					bestDist, bestAct = cand, a
+				}
+			}
+			if bestDist < dist[st] {
+				dist[st], act[st] = bestDist, bestAct
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Policy{sys: s, action: act, distance: dist}, nil
+}
+
+// Action returns the policy's action for st; ok is false for normal or
+// unmaintainable states (where no action is prescribed).
+func (p *Policy) Action(st StateID) (ActionID, bool) {
+	if st < 0 || int(st) >= len(p.action) || p.action[st] < 0 {
+		return 0, false
+	}
+	return p.action[st], true
+}
+
+// Distance returns the guaranteed worst-case number of agent steps from st
+// to a normal state under the policy (0 for normal states, Unreachable for
+// unmaintainable ones).
+func (p *Policy) Distance(st StateID) int {
+	if st < 0 || int(st) >= len(p.distance) {
+		return Unreachable
+	}
+	return p.distance[st]
+}
+
+// MaintainabilityReport summarizes a K-maintainability check.
+type MaintainabilityReport struct {
+	// K is the bound checked.
+	K int
+	// Maintainable is true iff every checked state has distance ≤ K.
+	Maintainable bool
+	// WorstDistance is the maximum finite distance among checked states.
+	WorstDistance int
+	// UnmaintainableStates lists checked states with no guaranteed
+	// recovery at all.
+	UnmaintainableStates []StateID
+	// Violations lists checked states whose distance exceeds K but is
+	// finite.
+	Violations []StateID
+}
+
+// CheckKMaintainable verifies K-maintainability over the given states (or
+// over every state if none are given), per the paper's definition.
+func (s *System) CheckKMaintainable(k int, states ...StateID) (MaintainabilityReport, *Policy, error) {
+	if k < 0 {
+		return MaintainabilityReport{}, nil, fmt.Errorf("maintain: negative k %d", k)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		return MaintainabilityReport{}, nil, err
+	}
+	if len(states) == 0 {
+		states = make([]StateID, s.numStates)
+		for i := range states {
+			states[i] = StateID(i)
+		}
+	}
+	rep := MaintainabilityReport{K: k, Maintainable: true}
+	for _, st := range states {
+		if err := s.checkState(st); err != nil {
+			return MaintainabilityReport{}, nil, err
+		}
+		d := pol.Distance(st)
+		switch {
+		case d == Unreachable:
+			rep.UnmaintainableStates = append(rep.UnmaintainableStates, st)
+			rep.Maintainable = false
+		case d > k:
+			rep.Violations = append(rep.Violations, st)
+			rep.Maintainable = false
+			if d > rep.WorstDistance {
+				rep.WorstDistance = d
+			}
+		default:
+			if d > rep.WorstDistance {
+				rep.WorstDistance = d
+			}
+		}
+	}
+	return rep, pol, nil
+}
+
+// ExogenousReachable returns all states reachable from the given start
+// states through any number of exogenous events — the damage envelope the
+// administrator must be able to recover from.
+func (s *System) ExogenousReachable(start ...StateID) ([]StateID, error) {
+	seen := make([]bool, s.numStates)
+	var queue []StateID
+	for _, st := range start {
+		if err := s.checkState(st); err != nil {
+			return nil, err
+		}
+		if !seen[st] {
+			seen[st] = true
+			queue = append(queue, st)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		for _, to := range s.exo[queue[head]] {
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	return queue, nil
+}
+
+// Execute runs the policy from st, resolving nondeterminism with choose
+// (which picks an outcome index given the candidate outcomes). It returns
+// the visited trajectory ending at the first normal state, or an error if
+// the policy gets stuck or the step bound maxSteps is exceeded.
+func (p *Policy) Execute(st StateID, maxSteps int, choose func(outcomes []StateID) int) ([]StateID, error) {
+	if choose == nil {
+		choose = func([]StateID) int { return 0 }
+	}
+	traj := []StateID{st}
+	for step := 0; step < maxSteps; step++ {
+		if p.sys.IsNormal(st) {
+			return traj, nil
+		}
+		a, ok := p.Action(st)
+		if !ok {
+			return traj, fmt.Errorf("maintain: no action prescribed in state %d", st)
+		}
+		outcomes := p.sys.trans[st][a]
+		if len(outcomes) == 0 {
+			return traj, fmt.Errorf("maintain: action %q has no outcomes in state %d", p.sys.ActionName(a), st)
+		}
+		i := choose(outcomes)
+		if i < 0 || i >= len(outcomes) {
+			i = 0
+		}
+		st = outcomes[i]
+		traj = append(traj, st)
+	}
+	if p.sys.IsNormal(st) {
+		return traj, nil
+	}
+	return traj, fmt.Errorf("maintain: not normal after %d steps", maxSteps)
+}
+
+// WorstCase resolves nondeterminism adversarially: it always picks the
+// outcome with the largest policy distance. Useful for verifying that the
+// synthesized bound is tight.
+func (p *Policy) WorstCase(outcomes []StateID) int {
+	worst, worstD := 0, -1
+	for i, o := range outcomes {
+		if d := p.Distance(o); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,447 @@
+package maintain
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+// buildChain makes states 0..n-1 with 0 normal and a "repair" action that
+// deterministically moves i -> i-1.
+func buildChain(t *testing.T, n int) *System {
+	t.Helper()
+	s, err := NewSystem(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	repair := s.AddAction("repair")
+	for i := 1; i < n; i++ {
+		if err := s.AddTransition(StateID(i), repair, StateID(i-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0); err == nil {
+		t.Error("want error for zero states")
+	}
+	if _, err := NewSystem(-2); err == nil {
+		t.Error("want error for negative states")
+	}
+}
+
+func TestChainDistances(t *testing.T) {
+	s := buildChain(t, 6)
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got := pol.Distance(StateID(i)); got != i {
+			t.Errorf("Distance(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestChainKMaintainable(t *testing.T) {
+	s := buildChain(t, 6)
+	rep, _, err := s.CheckKMaintainable(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Maintainable {
+		t.Fatalf("chain should be 5-maintainable: %+v", rep)
+	}
+	if rep.WorstDistance != 5 {
+		t.Fatalf("worst = %d, want 5", rep.WorstDistance)
+	}
+	rep, _, err = s.CheckKMaintainable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Maintainable {
+		t.Fatal("chain must not be 4-maintainable")
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0] != 5 {
+		t.Fatalf("violations = %v, want [5]", rep.Violations)
+	}
+}
+
+func TestUnmaintainableState(t *testing.T) {
+	s, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	a := s.AddAction("fix")
+	if err := s.AddTransition(1, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// State 2 has no applicable action.
+	rep, pol, err := s.CheckKMaintainable(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Maintainable {
+		t.Fatal("state 2 is stuck; system must not be maintainable")
+	}
+	if len(rep.UnmaintainableStates) != 1 || rep.UnmaintainableStates[0] != 2 {
+		t.Fatalf("unmaintainable = %v", rep.UnmaintainableStates)
+	}
+	if pol.Distance(2) != Unreachable {
+		t.Fatal("stuck state must have Unreachable distance")
+	}
+	if _, ok := pol.Action(2); ok {
+		t.Fatal("no action should be prescribed in a stuck state")
+	}
+}
+
+func TestNondeterministicWorstCase(t *testing.T) {
+	// Action "risky" from state 2 goes to 0 (normal) or 3; action "safe"
+	// goes to 1 which deterministically reaches 0. State 3 is stuck.
+	// The optimal policy must prefer "safe" (guaranteed 2) over "risky"
+	// (unbounded worst case).
+	s, err := NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	risky := s.AddAction("risky")
+	safe := s.AddAction("safe")
+	step := s.AddAction("step")
+	if err := s.AddTransition(2, risky, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(2, safe, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(1, step, 0); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := pol.Action(2)
+	if !ok {
+		t.Fatal("state 2 must have an action")
+	}
+	if a != safe {
+		t.Fatalf("policy chose %q, want safe", s.ActionName(a))
+	}
+	if pol.Distance(2) != 2 {
+		t.Fatalf("Distance(2) = %d, want 2", pol.Distance(2))
+	}
+}
+
+func TestNondeterministicMaxOverOutcomes(t *testing.T) {
+	// One action from 1 leads to {0, 2}; from 2 an action leads to 0.
+	// Worst-case distance of 1 is 1 + max(0, 1) = 2.
+	s, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	a := s.AddAction("act")
+	if err := s.AddTransition(1, a, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(2, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Distance(1) != 2 {
+		t.Fatalf("Distance(1) = %d, want 2 (worst case over outcomes)", pol.Distance(1))
+	}
+}
+
+func TestPolicyExecuteDeterministic(t *testing.T) {
+	s := buildChain(t, 5)
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := pol.Execute(4, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 5 || traj[len(traj)-1] != 0 {
+		t.Fatalf("trajectory = %v", traj)
+	}
+}
+
+func TestPolicyExecuteWorstCaseWithinBound(t *testing.T) {
+	// Verify the synthesized distance is honoured under adversarial
+	// outcome resolution.
+	s, err := NewSystem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	a := s.AddAction("go")
+	if err := s.AddTransition(4, a, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(3, a, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(2, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(1, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pol.Distance(4)
+	traj, err := pol.Execute(4, d+1, pol.WorstCase)
+	if err != nil {
+		t.Fatalf("worst-case execution exceeded bound %d: %v (traj %v)", d, err, traj)
+	}
+	if len(traj)-1 > d {
+		t.Fatalf("trajectory length %d exceeds guaranteed distance %d", len(traj)-1, d)
+	}
+}
+
+func TestPolicyExecuteStuck(t *testing.T) {
+	s, err := NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pol.Execute(1, 5, nil); err == nil {
+		t.Fatal("executing from a stuck state should error")
+	}
+	// From a normal state, Execute returns immediately.
+	traj, err := pol.Execute(0, 5, nil)
+	if err != nil || len(traj) != 1 {
+		t.Fatalf("traj = %v err = %v", traj, err)
+	}
+}
+
+func TestExogenousReachable(t *testing.T) {
+	s, err := NewSystem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExogenous(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExogenous(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExogenous(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	reach, err := s.ExogenousReachable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reach) != 3 {
+		t.Fatalf("reachable = %v, want {0,1,2}", reach)
+	}
+	if _, err := s.ExogenousReachable(99); !errors.Is(err, ErrUnknownState) {
+		t.Fatal("want ErrUnknownState")
+	}
+}
+
+func TestCheckOverExogenousEnvelopeOnly(t *testing.T) {
+	// State 3 is unmaintainable but unreachable by exogenous events;
+	// checking only the envelope must pass.
+	s, err := NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	fix := s.AddAction("fix")
+	if err := s.AddTransition(1, fix, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition(2, fix, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExogenous(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExogenous(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	envelope, err := s.ExogenousReachable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := s.CheckKMaintainable(2, envelope...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Maintainable {
+		t.Fatalf("envelope should be 2-maintainable: %+v", rep)
+	}
+	repAll, _, err := s.CheckKMaintainable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repAll.Maintainable {
+		t.Fatal("full-state check must fail because of state 3")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(7); !errors.Is(err, ErrUnknownState) {
+		t.Error("MarkNormal: want ErrUnknownState")
+	}
+	a := s.AddAction("a")
+	if err := s.AddTransition(9, a, 0); !errors.Is(err, ErrUnknownState) {
+		t.Error("AddTransition from: want ErrUnknownState")
+	}
+	if err := s.AddTransition(0, a, 9); !errors.Is(err, ErrUnknownState) {
+		t.Error("AddTransition to: want ErrUnknownState")
+	}
+	if err := s.AddTransition(0, ActionID(5), 1); !errors.Is(err, ErrUnknownAction) {
+		t.Error("want ErrUnknownAction")
+	}
+	if err := s.AddTransition(0, a); err == nil {
+		t.Error("want error for no outcomes")
+	}
+	if err := s.AddExogenous(9, 0); !errors.Is(err, ErrUnknownState) {
+		t.Error("AddExogenous: want ErrUnknownState")
+	}
+	if _, _, err := s.CheckKMaintainable(-1); err == nil {
+		t.Error("want error for negative k")
+	}
+	if _, _, err := s.CheckKMaintainable(1, StateID(99)); !errors.Is(err, ErrUnknownState) {
+		t.Error("CheckKMaintainable states: want ErrUnknownState")
+	}
+}
+
+func TestNoActionsSystem(t *testing.T) {
+	s, err := NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNormal(0); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Distance(0) != 0 || pol.Distance(1) != Unreachable {
+		t.Fatalf("distances = %d, %d", pol.Distance(0), pol.Distance(1))
+	}
+}
+
+func TestActionName(t *testing.T) {
+	s, err := NewSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.AddAction("reboot")
+	if s.ActionName(a) != "reboot" {
+		t.Fatal("ActionName mismatch")
+	}
+	if s.ActionName(ActionID(-1)) != "" || s.ActionName(ActionID(5)) != "" {
+		t.Fatal("invalid IDs should return empty name")
+	}
+}
+
+// TestRandomSystemPolicySound generates random systems and verifies that
+// every finite policy distance is achievable: executing the policy with
+// adversarial outcome choice reaches a normal state in at most
+// Distance(s) steps.
+func TestRandomSystemPolicySound(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(12)
+		s, err := NewSystem(n)
+		if err != nil {
+			return false
+		}
+		if err := s.MarkNormal(0); err != nil {
+			return false
+		}
+		nActions := 1 + r.Intn(3)
+		acts := make([]ActionID, nActions)
+		for i := range acts {
+			acts[i] = s.AddAction("a")
+		}
+		// Random sparse transitions.
+		for st := 1; st < n; st++ {
+			for _, a := range acts {
+				if !r.Bool(0.7) {
+					continue
+				}
+				outs := make([]StateID, 1+r.Intn(2))
+				for i := range outs {
+					outs[i] = StateID(r.Intn(n))
+				}
+				if err := s.AddTransition(StateID(st), a, outs...); err != nil {
+					return false
+				}
+			}
+		}
+		pol, err := s.SynthesizePolicy()
+		if err != nil {
+			return false
+		}
+		for st := 0; st < n; st++ {
+			d := pol.Distance(StateID(st))
+			if d == Unreachable {
+				continue
+			}
+			traj, err := pol.Execute(StateID(st), d, pol.WorstCase)
+			if err != nil {
+				return false
+			}
+			if len(traj)-1 > d {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceOutOfRange(t *testing.T) {
+	s := buildChain(t, 3)
+	pol, err := s.SynthesizePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Distance(StateID(-1)) != Unreachable || pol.Distance(StateID(10)) != Unreachable {
+		t.Fatal("out-of-range distances must be Unreachable")
+	}
+}

@@ -1,0 +1,357 @@
+// Package mape implements the Monitor–Analyze–Plan–Execute autonomic
+// control loop the paper cites as the engineering form of adaptability
+// (§3.3.2, IBM's Autonomic Computing): "it senses the changes and reacts
+// automatically to handle the situations."
+//
+// The loop runs over a sysmodel.System. Each Tick performs one MAPE-K
+// cycle: the Monitor samples system state into the Knowledge store, the
+// Analyzer decides whether the system is degraded, the Planner proposes
+// actions, and the Executor applies at most its per-cycle budget — the
+// budget is the paper's adaptability knob (actions per unit time).
+//
+// For real-time deployments, Loop drives Tick on a wall-clock ticker with
+// a managed goroutine (Stop blocks until exit); simulations call Tick
+// directly for determinism.
+package mape
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilience/internal/sysmodel"
+)
+
+// Observation is one monitoring sample.
+type Observation struct {
+	Time    int
+	Quality float64
+	Reserve float64
+	Down    []sysmodel.ComponentID
+	Supply  float64
+}
+
+// Knowledge is the shared K of MAPE-K: a bounded history of observations.
+type Knowledge struct {
+	mu      sync.Mutex
+	history []Observation
+	limit   int
+}
+
+// NewKnowledge creates a knowledge store keeping at most limit
+// observations (minimum 1).
+func NewKnowledge(limit int) *Knowledge {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Knowledge{limit: limit}
+}
+
+// Record appends an observation, evicting the oldest beyond the limit.
+func (k *Knowledge) Record(obs Observation) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.history = append(k.history, obs)
+	if len(k.history) > k.limit {
+		k.history = k.history[len(k.history)-k.limit:]
+	}
+}
+
+// Latest returns the most recent observation; ok is false when empty.
+func (k *Knowledge) Latest() (Observation, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.history) == 0 {
+		return Observation{}, false
+	}
+	return k.history[len(k.history)-1], true
+}
+
+// QualityHistory returns the recorded quality series, oldest first.
+func (k *Knowledge) QualityHistory() []float64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]float64, len(k.history))
+	for i, o := range k.history {
+		out[i] = o.Quality
+	}
+	return out
+}
+
+// Monitor samples the managed system.
+type Monitor interface {
+	Observe(sys *sysmodel.System) Observation
+}
+
+// Analyzer turns an observation into an assessment.
+type Analyzer interface {
+	Analyze(obs Observation, k *Knowledge) Assessment
+}
+
+// Assessment is the analyzer's verdict.
+type Assessment struct {
+	// Degraded reports whether corrective action is needed.
+	Degraded bool
+	// Severity is 0 (healthy) to 1 (total outage).
+	Severity float64
+	// Down lists the failed components the analysis identified.
+	Down []sysmodel.ComponentID
+}
+
+// Action is a planned adaptation.
+type Action interface {
+	Execute(sys *sysmodel.System) error
+	String() string
+}
+
+// Planner proposes actions for an assessment.
+type Planner interface {
+	Plan(a Assessment, k *Knowledge) []Action
+}
+
+// Executor applies planned actions under a per-cycle budget.
+type Executor struct {
+	// Budget is the maximum actions applied per cycle (the adaptability
+	// rate); 0 means unlimited.
+	Budget int
+}
+
+// Execute applies up to Budget actions, returning those applied.
+func (e Executor) Execute(sys *sysmodel.System, actions []Action) ([]Action, error) {
+	n := len(actions)
+	if e.Budget > 0 && n > e.Budget {
+		n = e.Budget
+	}
+	applied := make([]Action, 0, n)
+	for _, a := range actions[:n] {
+		if err := a.Execute(sys); err != nil {
+			return applied, fmt.Errorf("execute %s: %w", a, err)
+		}
+		applied = append(applied, a)
+	}
+	return applied, nil
+}
+
+// Controller wires the four phases around a Knowledge store.
+type Controller struct {
+	Monitor  Monitor
+	Analyzer Analyzer
+	Planner  Planner
+	Executor Executor
+	K        *Knowledge
+}
+
+// NewController assembles a controller with the default components:
+// quality monitor, threshold analyzer at the given baseline quality, and
+// a repair planner, with the given per-cycle action budget.
+func NewController(baseline float64, budget int) *Controller {
+	return &Controller{
+		Monitor:  QualityMonitor{},
+		Analyzer: ThresholdAnalyzer{Baseline: baseline},
+		Planner:  RepairPlanner{},
+		Executor: Executor{Budget: budget},
+		K:        NewKnowledge(1024),
+	}
+}
+
+// CycleReport summarizes one MAPE cycle.
+type CycleReport struct {
+	Observation Observation
+	Assessment  Assessment
+	Planned     int
+	Applied     []Action
+}
+
+// Tick runs one full MAPE-K cycle against the system.
+func (c *Controller) Tick(sys *sysmodel.System) (CycleReport, error) {
+	if sys == nil {
+		return CycleReport{}, errors.New("mape: nil system")
+	}
+	if c.Monitor == nil || c.Analyzer == nil || c.Planner == nil || c.K == nil {
+		return CycleReport{}, errors.New("mape: controller not fully assembled")
+	}
+	obs := c.Monitor.Observe(sys)
+	c.K.Record(obs)
+	assessment := c.Analyzer.Analyze(obs, c.K)
+	var planned []Action
+	if assessment.Degraded {
+		planned = c.Planner.Plan(assessment, c.K)
+	}
+	applied, err := c.Executor.Execute(sys, planned)
+	if err != nil {
+		return CycleReport{}, err
+	}
+	return CycleReport{
+		Observation: obs,
+		Assessment:  assessment,
+		Planned:     len(planned),
+		Applied:     applied,
+	}, nil
+}
+
+// QualityMonitor samples supply, reserve, quality and down components
+// without advancing time: it peeks via a zero-cost snapshot plus the
+// system's current demand.
+type QualityMonitor struct{}
+
+var _ Monitor = QualityMonitor{}
+
+// Observe implements Monitor.
+func (QualityMonitor) Observe(sys *sysmodel.System) Observation {
+	snap := sys.Snapshot()
+	var supply float64
+	var down []sysmodel.ComponentID
+	for _, c := range snap {
+		if c.Functional {
+			eff := c.Capacity
+			if c.Status == sysmodel.Degraded {
+				eff *= 0.5
+			}
+			supply += eff
+		}
+		if c.Status == sysmodel.Down {
+			down = append(down, c.ID)
+		}
+	}
+	demand := sys.Demand()
+	q := supply / demand * 100
+	if q > 100 {
+		q = 100
+	}
+	return Observation{
+		Time:    sys.Time(),
+		Quality: q,
+		Reserve: sys.Reserve(),
+		Down:    down,
+		Supply:  supply,
+	}
+}
+
+// ThresholdAnalyzer flags degradation when quality drops below Baseline.
+type ThresholdAnalyzer struct {
+	Baseline float64
+}
+
+var _ Analyzer = ThresholdAnalyzer{}
+
+// Analyze implements Analyzer.
+func (a ThresholdAnalyzer) Analyze(obs Observation, _ *Knowledge) Assessment {
+	degraded := obs.Quality < a.Baseline
+	sev := 0.0
+	if degraded {
+		sev = (a.Baseline - obs.Quality) / a.Baseline
+		if sev > 1 {
+			sev = 1
+		}
+	}
+	return Assessment{Degraded: degraded, Severity: sev, Down: obs.Down}
+}
+
+// RepairAction restores one component to Up.
+type RepairAction struct {
+	ID sysmodel.ComponentID
+}
+
+var _ Action = RepairAction{}
+
+// Execute implements Action.
+func (a RepairAction) Execute(sys *sysmodel.System) error {
+	return sys.SetStatus(a.ID, sysmodel.Up)
+}
+
+// String implements Action.
+func (a RepairAction) String() string { return fmt.Sprintf("repair(%d)", a.ID) }
+
+// ShedLoadAction lowers demand to the given level — emergency-mode load
+// shedding.
+type ShedLoadAction struct {
+	NewDemand float64
+}
+
+var _ Action = ShedLoadAction{}
+
+// Execute implements Action.
+func (a ShedLoadAction) Execute(sys *sysmodel.System) error {
+	return sys.SetDemand(a.NewDemand)
+}
+
+// String implements Action.
+func (a ShedLoadAction) String() string { return fmt.Sprintf("shed-load(%v)", a.NewDemand) }
+
+// RepairPlanner proposes repairing every down component, worst first
+// (stable order by ID).
+type RepairPlanner struct{}
+
+var _ Planner = RepairPlanner{}
+
+// Plan implements Planner.
+func (RepairPlanner) Plan(a Assessment, _ *Knowledge) []Action {
+	actions := make([]Action, 0, len(a.Down))
+	for _, id := range a.Down {
+		actions = append(actions, RepairAction{ID: id})
+	}
+	return actions
+}
+
+// Loop drives a Controller on a wall-clock ticker. Create with StartLoop;
+// Stop signals the goroutine and waits for it to exit.
+type Loop struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	cycles int
+	lastE  error
+}
+
+// StartLoop begins ticking the controller against sys every interval.
+func StartLoop(c *Controller, sys *sysmodel.System, interval time.Duration) (*Loop, error) {
+	if c == nil || sys == nil {
+		return nil, errors.New("mape: nil controller or system")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("mape: interval %v must be positive", interval)
+	}
+	l := &Loop{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, err := c.Tick(sys)
+				l.mu.Lock()
+				l.cycles++
+				if err != nil {
+					l.lastE = err
+				}
+				l.mu.Unlock()
+			case <-l.stop:
+				return
+			}
+		}
+	}()
+	return l, nil
+}
+
+// Stop signals the loop to exit and waits for the goroutine to finish.
+func (l *Loop) Stop() {
+	close(l.stop)
+	<-l.done
+}
+
+// Cycles returns how many cycles have run.
+func (l *Loop) Cycles() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cycles
+}
+
+// Err returns the most recent cycle error, if any.
+func (l *Loop) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastE
+}

@@ -1,0 +1,242 @@
+package mape
+
+import (
+	"testing"
+	"time"
+
+	"resilience/internal/sysmodel"
+)
+
+func buildFarm(t *testing.T, n int, demand, reserve float64) (*sysmodel.System, []sysmodel.ComponentID) {
+	t.Helper()
+	b := sysmodel.NewBuilder()
+	ids := make([]sysmodel.ComponentID, n)
+	for i := range ids {
+		ids[i] = b.Component("node", demand/float64(n))
+	}
+	sys, err := b.Build(demand, reserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ids
+}
+
+func TestKnowledgeBounded(t *testing.T) {
+	k := NewKnowledge(3)
+	for i := 0; i < 10; i++ {
+		k.Record(Observation{Time: i, Quality: float64(i)})
+	}
+	hist := k.QualityHistory()
+	if len(hist) != 3 {
+		t.Fatalf("history = %d, want 3", len(hist))
+	}
+	if hist[2] != 9 {
+		t.Fatalf("latest quality = %v", hist[2])
+	}
+	latest, ok := k.Latest()
+	if !ok || latest.Time != 9 {
+		t.Fatalf("latest = %+v ok=%v", latest, ok)
+	}
+	empty := NewKnowledge(0) // clamps to 1
+	if _, ok := empty.Latest(); ok {
+		t.Fatal("empty knowledge should report no latest")
+	}
+}
+
+func TestQualityMonitor(t *testing.T) {
+	sys, ids := buildFarm(t, 4, 100, 50)
+	if err := sys.SetStatus(ids[0], sysmodel.Down); err != nil {
+		t.Fatal(err)
+	}
+	obs := QualityMonitor{}.Observe(sys)
+	if obs.Quality != 75 {
+		t.Fatalf("quality = %v, want 75", obs.Quality)
+	}
+	if len(obs.Down) != 1 || obs.Down[0] != ids[0] {
+		t.Fatalf("down = %v", obs.Down)
+	}
+	if obs.Reserve != 50 {
+		t.Fatalf("reserve = %v", obs.Reserve)
+	}
+}
+
+func TestThresholdAnalyzer(t *testing.T) {
+	a := ThresholdAnalyzer{Baseline: 99}
+	healthy := a.Analyze(Observation{Quality: 100}, nil)
+	if healthy.Degraded || healthy.Severity != 0 {
+		t.Fatalf("healthy = %+v", healthy)
+	}
+	sick := a.Analyze(Observation{Quality: 49.5}, nil)
+	if !sick.Degraded {
+		t.Fatal("should be degraded")
+	}
+	if sick.Severity <= 0 || sick.Severity > 1 {
+		t.Fatalf("severity = %v", sick.Severity)
+	}
+	dead := a.Analyze(Observation{Quality: -50}, nil)
+	if dead.Severity != 1 {
+		t.Fatalf("severity clamp = %v", dead.Severity)
+	}
+}
+
+func TestControllerRepairsFailures(t *testing.T) {
+	sys, ids := buildFarm(t, 5, 100, 0)
+	for _, id := range ids[:3] {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewController(99, 0) // unlimited budget
+	rep, err := c.Tick(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Assessment.Degraded || rep.Planned != 3 || len(rep.Applied) != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(sys.DownComponents()) != 0 {
+		t.Fatal("controller should have repaired everything")
+	}
+}
+
+func TestExecutorBudgetLimitsAdaptationSpeed(t *testing.T) {
+	sys, ids := buildFarm(t, 6, 120, 0)
+	for _, id := range ids {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewController(99, 2)
+	// Cycle 1 repairs 2, leaving 4.
+	rep, err := c.Tick(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) != 2 {
+		t.Fatalf("applied = %d, want budget 2", len(rep.Applied))
+	}
+	if got := len(sys.DownComponents()); got != 4 {
+		t.Fatalf("down after cycle = %d, want 4", got)
+	}
+	// Three cycles in total clear the backlog.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Tick(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sys.DownComponents()) != 0 {
+		t.Fatal("backlog should be cleared after 3 cycles")
+	}
+}
+
+func TestControllerHealthyNoPlan(t *testing.T) {
+	sys, _ := buildFarm(t, 2, 20, 0)
+	c := NewController(99, 0)
+	rep, err := c.Tick(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assessment.Degraded || rep.Planned != 0 || len(rep.Applied) != 0 {
+		t.Fatalf("healthy tick = %+v", rep)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	c := NewController(99, 0)
+	if _, err := c.Tick(nil); err == nil {
+		t.Error("want error for nil system")
+	}
+	broken := &Controller{}
+	sys, _ := buildFarm(t, 1, 10, 0)
+	if _, err := broken.Tick(sys); err == nil {
+		t.Error("want error for unassembled controller")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	if (RepairAction{ID: 1}).String() == "" || (ShedLoadAction{NewDemand: 5}).String() == "" {
+		t.Fatal("action descriptions must be non-empty")
+	}
+}
+
+func TestShedLoadAction(t *testing.T) {
+	sys, _ := buildFarm(t, 2, 100, 0)
+	if err := (ShedLoadAction{NewDemand: 60}).Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Demand() != 60 {
+		t.Fatalf("demand = %v", sys.Demand())
+	}
+	if err := (ShedLoadAction{NewDemand: 0}).Execute(sys); err == nil {
+		t.Fatal("want error for zero demand")
+	}
+}
+
+func TestLoopLifecycle(t *testing.T) {
+	sys, ids := buildFarm(t, 3, 30, 0)
+	if err := sys.SetStatus(ids[0], sysmodel.Down); err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(99, 0)
+	l, err := StartLoop(c, sys, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Cycles() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	l.Stop()
+	if l.Cycles() < 3 {
+		t.Fatalf("cycles = %d, want >= 3", l.Cycles())
+	}
+	if l.Err() != nil {
+		t.Fatalf("loop error: %v", l.Err())
+	}
+	if len(sys.DownComponents()) != 0 {
+		t.Fatal("loop should have repaired the component")
+	}
+}
+
+func TestStartLoopValidation(t *testing.T) {
+	sys, _ := buildFarm(t, 1, 10, 0)
+	c := NewController(99, 0)
+	if _, err := StartLoop(nil, sys, time.Millisecond); err == nil {
+		t.Error("want error for nil controller")
+	}
+	if _, err := StartLoop(c, nil, time.Millisecond); err == nil {
+		t.Error("want error for nil system")
+	}
+	if _, err := StartLoop(c, sys, 0); err == nil {
+		t.Error("want error for zero interval")
+	}
+}
+
+func TestFasterControlSmallerLoss(t *testing.T) {
+	// The adaptability claim of §3.3: the same fault, controlled at
+	// different cadences — the faster (bigger-budget) loop yields a
+	// smaller Bruneau loss. Simulated synchronously for determinism.
+	runLoss := func(budget int) float64 {
+		sys, ids := buildFarm(t, 10, 100, 0)
+		c := NewController(99, budget)
+		for _, id := range ids[:8] {
+			if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var loss float64
+		for step := 0; step < 20; step++ {
+			rep := sys.Step()
+			loss += 100 - rep.Quality
+			if _, err := c.Tick(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return loss
+	}
+	fast := runLoss(4)
+	slow := runLoss(1)
+	if fast >= slow {
+		t.Fatalf("fast loss %v should be below slow loss %v", fast, slow)
+	}
+}

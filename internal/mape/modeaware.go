@@ -1,0 +1,76 @@
+package mape
+
+import (
+	"errors"
+
+	"resilience/internal/modeswitch"
+	"resilience/internal/sysmodel"
+)
+
+// ModePolicy is the "set of policies" a mode prescribes (§3.4.6): the
+// demand level the system commits to serving (emergency load shedding
+// lowers it) and the adaptation budget (emergency response mobilizes more
+// repair capacity per cycle).
+type ModePolicy struct {
+	Demand       float64
+	RepairBudget int
+}
+
+// ModeController wraps a MAPE controller with the paper's mode-switching
+// strategy: each cycle it feeds the observed quality to the Switcher and
+// applies the active mode's policy before the next cycle.
+type ModeController struct {
+	Inner    *Controller
+	Switcher *modeswitch.Switcher
+	Policies map[modeswitch.Mode]ModePolicy
+	// Hold, if non-nil and returning true, pins the mode to Emergency
+	// regardless of the observed quality — the hook for anticipation
+	// sentinels (§3.4.1) whose standing warnings outrank the current
+	// reading: quality looks perfect right up until the anticipated
+	// shock lands.
+	Hold func() bool
+
+	applied modeswitch.Mode
+}
+
+// NewModeController assembles a mode-aware controller. Policies must
+// contain entries for both Normal and Emergency.
+func NewModeController(inner *Controller, sw *modeswitch.Switcher, policies map[modeswitch.Mode]ModePolicy) (*ModeController, error) {
+	if inner == nil || sw == nil {
+		return nil, errors.New("mape: nil inner controller or switcher")
+	}
+	for _, m := range []modeswitch.Mode{modeswitch.Normal, modeswitch.Emergency} {
+		p, ok := policies[m]
+		if !ok {
+			return nil, errors.New("mape: policies must cover normal and emergency modes")
+		}
+		if p.Demand <= 0 {
+			return nil, errors.New("mape: mode policy demand must be positive")
+		}
+	}
+	return &ModeController{Inner: inner, Switcher: sw, Policies: policies}, nil
+}
+
+// Tick runs one MAPE cycle, updates the mode from the observed quality,
+// and applies the mode's policy. It returns the cycle report and the mode
+// in force after the cycle.
+func (mc *ModeController) Tick(sys *sysmodel.System) (CycleReport, modeswitch.Mode, error) {
+	rep, err := mc.Inner.Tick(sys)
+	if err != nil {
+		return CycleReport{}, mc.Switcher.Mode(), err
+	}
+	mode := mc.Switcher.Observe(rep.Observation.Quality)
+	if mc.Hold != nil && mc.Hold() && mode != modeswitch.Emergency {
+		mc.Switcher.Force(modeswitch.Emergency, rep.Observation.Quality)
+		mode = modeswitch.Emergency
+	}
+	if mode != mc.applied {
+		pol := mc.Policies[mode]
+		if err := sys.SetDemand(pol.Demand); err != nil {
+			return CycleReport{}, mode, err
+		}
+		mc.Inner.Executor.Budget = pol.RepairBudget
+		mc.applied = mode
+	}
+	return rep, mode, nil
+}

@@ -1,0 +1,146 @@
+package mape
+
+import (
+	"testing"
+
+	"resilience/internal/modeswitch"
+	"resilience/internal/sysmodel"
+)
+
+func modePolicies() map[modeswitch.Mode]ModePolicy {
+	return map[modeswitch.Mode]ModePolicy{
+		modeswitch.Normal:    {Demand: 100, RepairBudget: 1},
+		modeswitch.Emergency: {Demand: 50, RepairBudget: 4},
+	}
+}
+
+func newSwitcher(t *testing.T) *modeswitch.Switcher {
+	t.Helper()
+	sw, err := modeswitch.NewSwitcher(modeswitch.Config{EnterBelow: 60, ExitAbove: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestNewModeControllerValidation(t *testing.T) {
+	sw := newSwitcher(t)
+	inner := NewController(99, 1)
+	if _, err := NewModeController(nil, sw, modePolicies()); err == nil {
+		t.Error("want error for nil inner")
+	}
+	if _, err := NewModeController(inner, nil, modePolicies()); err == nil {
+		t.Error("want error for nil switcher")
+	}
+	missing := map[modeswitch.Mode]ModePolicy{modeswitch.Normal: {Demand: 100, RepairBudget: 1}}
+	if _, err := NewModeController(inner, sw, missing); err == nil {
+		t.Error("want error for missing emergency policy")
+	}
+	bad := modePolicies()
+	bad[modeswitch.Emergency] = ModePolicy{Demand: 0, RepairBudget: 1}
+	if _, err := NewModeController(inner, sw, bad); err == nil {
+		t.Error("want error for non-positive demand")
+	}
+}
+
+func TestModeControllerSwitchesAndSheds(t *testing.T) {
+	sys, ids := buildFarm(t, 10, 100, 0)
+	sw := newSwitcher(t)
+	inner := NewController(99, 1)
+	mc, err := NewModeController(inner, sw, modePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take 8 of 10 nodes down: quality 20.
+	for _, id := range ids[:8] {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, mode, err := mc.Tick(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != modeswitch.Emergency {
+		t.Fatalf("mode = %v, want emergency", mode)
+	}
+	if sys.Demand() != 50 {
+		t.Fatalf("demand = %v, want shed to 50", sys.Demand())
+	}
+	if inner.Executor.Budget != 4 {
+		t.Fatalf("budget = %d, want 4", inner.Executor.Budget)
+	}
+	// Emergency budget repairs quickly; after a few cycles quality
+	// recovers and the mode returns to normal with demand restored.
+	for i := 0; i < 6; i++ {
+		if _, mode, err = mc.Tick(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode != modeswitch.Normal {
+		t.Fatalf("mode = %v, want normal after recovery", mode)
+	}
+	if sys.Demand() != 100 {
+		t.Fatalf("demand = %v, want restored to 100", sys.Demand())
+	}
+	if inner.Executor.Budget != 1 {
+		t.Fatalf("budget = %d, want restored to 1", inner.Executor.Budget)
+	}
+}
+
+func TestModeControllerStableWhenHealthy(t *testing.T) {
+	sys, _ := buildFarm(t, 4, 100, 0)
+	sw := newSwitcher(t)
+	mc, err := NewModeController(NewController(99, 1), sw, modePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_, mode, err := mc.Tick(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != modeswitch.Emergency && sys.Demand() != 100 {
+			t.Fatalf("healthy system demand drifted to %v", sys.Demand())
+		}
+		if mode == modeswitch.Emergency {
+			t.Fatal("healthy system entered emergency")
+		}
+	}
+	if len(sw.Transitions()) != 0 {
+		t.Fatalf("transitions = %d, want 0", len(sw.Transitions()))
+	}
+}
+
+func TestModeControllerHoldPinsEmergency(t *testing.T) {
+	sys, _ := buildFarm(t, 4, 100, 0)
+	sw := newSwitcher(t)
+	mc, err := NewModeController(NewController(99, 1), sw, modePolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := true
+	mc.Hold = func() bool { return hold }
+	// Healthy system, but the hold pins emergency.
+	_, mode, err := mc.Tick(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != modeswitch.Emergency {
+		t.Fatalf("mode = %v, want pinned emergency", mode)
+	}
+	if sys.Demand() != 50 {
+		t.Fatalf("demand = %v, want emergency policy applied", sys.Demand())
+	}
+	// Release the hold: the healthy quality stands the system down.
+	hold = false
+	if _, mode, err = mc.Tick(sys); err != nil {
+		t.Fatal(err)
+	}
+	if mode != modeswitch.Normal {
+		t.Fatalf("mode = %v, want normal after release", mode)
+	}
+	if sys.Demand() != 100 {
+		t.Fatalf("demand = %v, want restored", sys.Demand())
+	}
+}

@@ -1,0 +1,67 @@
+package mape
+
+import (
+	"sort"
+
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// ImpactPlanner is the centralized coordinator of §4.5: it holds a global
+// view of the dependency graph (via the system's RepairImpact probe) and
+// schedules repairs highest-impact first, so scarce repair budget restores
+// the most supply per cycle.
+//
+// ImpactPlanner needs the live system to evaluate impact, so it is bound
+// to one system at construction.
+type ImpactPlanner struct {
+	Sys *sysmodel.System
+}
+
+var _ Planner = ImpactPlanner{}
+
+// Plan implements Planner: repairs ordered by descending supply impact.
+func (p ImpactPlanner) Plan(a Assessment, _ *Knowledge) []Action {
+	type scored struct {
+		id     sysmodel.ComponentID
+		impact float64
+	}
+	items := make([]scored, 0, len(a.Down))
+	for _, id := range a.Down {
+		impact, err := p.Sys.RepairImpact(id)
+		if err != nil {
+			continue
+		}
+		items = append(items, scored{id: id, impact: impact})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].impact > items[j].impact })
+	actions := make([]Action, 0, len(items))
+	for _, it := range items {
+		actions = append(actions, RepairAction{ID: it.id})
+	}
+	return actions
+}
+
+// LocalPlanner is the decentralized baseline of §4.5: each failed
+// component repairs itself with no coordination, so the repair order is
+// arbitrary — a random permutation of the failures. Same budget, no
+// global view.
+type LocalPlanner struct {
+	R *rng.Source
+}
+
+var _ Planner = LocalPlanner{}
+
+// Plan implements Planner: repairs in random order.
+func (p LocalPlanner) Plan(a Assessment, _ *Knowledge) []Action {
+	order := make([]sysmodel.ComponentID, len(a.Down))
+	copy(order, a.Down)
+	if p.R != nil {
+		p.R.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	actions := make([]Action, 0, len(order))
+	for _, id := range order {
+		actions = append(actions, RepairAction{ID: id})
+	}
+	return actions
+}

@@ -1,0 +1,164 @@
+package mape
+
+import (
+	"fmt"
+	"testing"
+
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// buildHubSystem creates a db hub that six services depend on plus one
+// independent cache.
+func buildHubSystem(t *testing.T) (*sysmodel.System, sysmodel.ComponentID, []sysmodel.ComponentID) {
+	t.Helper()
+	b := sysmodel.NewBuilder()
+	db := b.Component("db", 10)
+	svcs := make([]sysmodel.ComponentID, 6)
+	for i := range svcs {
+		svcs[i] = b.Component(fmt.Sprintf("svc-%d", i), 15, sysmodel.WithDependsOn(db))
+	}
+	sys, err := b.Build(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, db, svcs
+}
+
+func TestRepairImpactHubDominates(t *testing.T) {
+	sys, db, svcs := buildHubSystem(t)
+	// Everything down: fixing the db alone restores only its own 10
+	// (services are still down); but with services up and db down,
+	// fixing the db restores 10 + 6*15.
+	if err := sys.SetStatus(db, sysmodel.Down); err != nil {
+		t.Fatal(err)
+	}
+	impactDBAlone, err := sys.RepairImpact(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impactDBAlone != 100 {
+		t.Fatalf("db impact with services up = %v, want 100 (10 + 6x15)", impactDBAlone)
+	}
+	if err := sys.SetStatus(svcs[0], sysmodel.Down); err != nil {
+		t.Fatal(err)
+	}
+	impactSvc, err := sys.RepairImpact(svcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impactSvc != 0 {
+		t.Fatalf("service impact while db is down = %v, want 0", impactSvc)
+	}
+	if _, err := sys.RepairImpact(sysmodel.ComponentID(99)); err == nil {
+		t.Fatal("want error for unknown component")
+	}
+}
+
+func TestRepairImpactDoesNotMutate(t *testing.T) {
+	sys, db, _ := buildHubSystem(t)
+	if err := sys.SetStatus(db, sysmodel.Down); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RepairImpact(db); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Status(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != sysmodel.Down {
+		t.Fatal("RepairImpact mutated the component status")
+	}
+}
+
+func TestImpactPlannerOrdersHubFirst(t *testing.T) {
+	sys, db, svcs := buildHubSystem(t)
+	for _, id := range append([]sysmodel.ComponentID{db}, svcs...) {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := QualityMonitor{}.Observe(sys)
+	assessment := ThresholdAnalyzer{Baseline: 99}.Analyze(obs, nil)
+	plan := ImpactPlanner{Sys: sys}.Plan(assessment, nil)
+	if len(plan) != 7 {
+		t.Fatalf("plan size = %d", len(plan))
+	}
+	first, ok := plan[0].(RepairAction)
+	if !ok || first.ID != db {
+		t.Fatalf("first repair = %v, want the db hub", plan[0])
+	}
+}
+
+func TestLocalPlannerCoversAllFailures(t *testing.T) {
+	r := rng.New(1)
+	sys, db, svcs := buildHubSystem(t)
+	for _, id := range append([]sysmodel.ComponentID{db}, svcs...) {
+		if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := QualityMonitor{}.Observe(sys)
+	assessment := ThresholdAnalyzer{Baseline: 99}.Analyze(obs, nil)
+	plan := LocalPlanner{R: r}.Plan(assessment, nil)
+	if len(plan) != 7 {
+		t.Fatalf("plan size = %d", len(plan))
+	}
+	seen := map[sysmodel.ComponentID]bool{}
+	for _, a := range plan {
+		ra, ok := a.(RepairAction)
+		if !ok {
+			t.Fatalf("unexpected action %T", a)
+		}
+		if seen[ra.ID] {
+			t.Fatalf("duplicate repair of %d", ra.ID)
+		}
+		seen[ra.ID] = true
+	}
+	// Nil RNG degrades to assessment order, not a crash.
+	plan2 := LocalPlanner{}.Plan(assessment, nil)
+	if len(plan2) != 7 {
+		t.Fatalf("nil-rng plan size = %d", len(plan2))
+	}
+}
+
+func TestCentralizedBeatsDecentralized(t *testing.T) {
+	// §4.5: with one repair per cycle, the impact-aware coordinator
+	// restores quality faster than uncoordinated local repair, on a
+	// topology where order matters (hub + dependents).
+	runLoss := func(planner func(sys *sysmodel.System) Planner, seed uint64) float64 {
+		sys, db, svcs := buildHubSystem(t)
+		for _, id := range append([]sysmodel.ComponentID{db}, svcs...) {
+			if err := sys.SetStatus(id, sysmodel.Down); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := NewController(99, 1)
+		c.Planner = planner(sys)
+		var loss float64
+		for step := 0; step < 12; step++ {
+			rep := sys.Step()
+			loss += 100 - rep.Quality
+			if _, err := c.Tick(sys); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return loss
+	}
+	central := runLoss(func(sys *sysmodel.System) Planner {
+		return ImpactPlanner{Sys: sys}
+	}, 0)
+	// Average the decentralized baseline over several orderings.
+	var localSum float64
+	const trials = 10
+	for seed := uint64(0); seed < trials; seed++ {
+		localSum += runLoss(func(*sysmodel.System) Planner {
+			return LocalPlanner{R: rng.New(seed)}
+		}, seed)
+	}
+	local := localSum / trials
+	if central >= local {
+		t.Fatalf("centralized loss %v should be below decentralized mean %v", central, local)
+	}
+}

@@ -1,0 +1,318 @@
+// Package metrics implements the paper's quantitative definition of
+// resilience (§4.1, Fig 3), adopted from Bruneau's seismic-resilience
+// framework: a system's quality Q(t) ∈ [0, 100] degrades abruptly at time
+// t0 after a shock and recovers by time t1, and the resilience loss is the
+// area of the "resilience triangle"
+//
+//	R = ∫_{t0}^{t1} [100 − Q(t)] dt .
+//
+// The smaller the area, the more resilient the system. The package
+// decomposes the loss into the paper's two dimensions — resistance
+// (reduced service degradation at t0) and recoverability (reduced time to
+// recovery) — and aggregates losses over shock ensembles.
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// FullQuality is the nominal quality level of an undisturbed system.
+const FullQuality = 100.0
+
+// ErrEmptyTrace is returned when a metric is applied to a trace with no
+// samples.
+var ErrEmptyTrace = errors.New("metrics: empty trace")
+
+// Trace is a uniformly sampled quality time series: sample i is the quality
+// at time Start + i*Step. Quality values are clamped to [0, FullQuality]
+// on Append.
+type Trace struct {
+	Start float64
+	Step  float64
+	Q     []float64
+}
+
+// NewTrace creates an empty trace starting at time start with the given
+// sampling step. A non-positive step is coerced to 1.
+func NewTrace(start, step float64) *Trace {
+	if step <= 0 {
+		step = 1
+	}
+	return &Trace{Start: start, Step: step}
+}
+
+// Append records the next quality sample, clamped to [0, FullQuality].
+func (tr *Trace) Append(q float64) {
+	if q < 0 {
+		q = 0
+	}
+	if q > FullQuality {
+		q = FullQuality
+	}
+	tr.Q = append(tr.Q, q)
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.Q) }
+
+// End returns the time of the last sample; Start for an empty trace.
+func (tr *Trace) End() float64 {
+	if len(tr.Q) == 0 {
+		return tr.Start
+	}
+	return tr.Start + float64(len(tr.Q)-1)*tr.Step
+}
+
+// TimeAt returns the time of sample i.
+func (tr *Trace) TimeAt(i int) float64 { return tr.Start + float64(i)*tr.Step }
+
+// Loss returns the Bruneau resilience loss R = ∫ (100 − Q) dt over the
+// whole trace, by the trapezoid rule. Larger loss means less resilient.
+func (tr *Trace) Loss() (float64, error) {
+	if len(tr.Q) == 0 {
+		return 0, ErrEmptyTrace
+	}
+	if len(tr.Q) == 1 {
+		return 0, nil
+	}
+	var area float64
+	for i := 1; i < len(tr.Q); i++ {
+		d0 := FullQuality - tr.Q[i-1]
+		d1 := FullQuality - tr.Q[i]
+		area += (d0 + d1) / 2 * tr.Step
+	}
+	return area, nil
+}
+
+// LossBetween integrates the deficit only over samples with times in
+// [t0, t1].
+func (tr *Trace) LossBetween(t0, t1 float64) (float64, error) {
+	if len(tr.Q) == 0 {
+		return 0, ErrEmptyTrace
+	}
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	var area float64
+	for i := 1; i < len(tr.Q); i++ {
+		ta, tb := tr.TimeAt(i-1), tr.TimeAt(i)
+		if tb < t0 || ta > t1 {
+			continue
+		}
+		d0 := FullQuality - tr.Q[i-1]
+		d1 := FullQuality - tr.Q[i]
+		area += (d0 + d1) / 2 * tr.Step
+	}
+	return area, nil
+}
+
+// Normalized returns the loss divided by the worst possible loss over the
+// trace duration (total outage for the whole window), yielding a
+// dimensionless value in [0, 1]: 0 is perfectly resilient, 1 is total
+// sustained failure.
+func (tr *Trace) Normalized() (float64, error) {
+	loss, err := tr.Loss()
+	if err != nil {
+		return 0, err
+	}
+	duration := float64(len(tr.Q)-1) * tr.Step
+	if duration == 0 {
+		return 0, nil
+	}
+	return loss / (FullQuality * duration), nil
+}
+
+// Robustness returns the minimum quality reached — Bruneau's "strength"
+// dimension. FullQuality for an undisturbed trace.
+func (tr *Trace) Robustness() (float64, error) {
+	if len(tr.Q) == 0 {
+		return 0, ErrEmptyTrace
+	}
+	minQ := math.Inf(1)
+	for _, q := range tr.Q {
+		if q < minQ {
+			minQ = q
+		}
+	}
+	return minQ, nil
+}
+
+// Episode describes one contiguous degradation: quality drops below the
+// baseline at StartIndex and first returns to >= baseline at EndIndex
+// (EndIndex == -1 if the trace ends unrecovered).
+type Episode struct {
+	StartIndex int
+	EndIndex   int
+	StartTime  float64
+	// RecoveryTime is t1 − t0, the paper's recoverability dimension;
+	// +Inf if the trace ends before recovery.
+	RecoveryTime float64
+	// Depth is 100 − min Q during the episode, the resistance dimension.
+	Depth float64
+	// Loss is the triangle area of this episode alone.
+	Loss float64
+}
+
+// Recovered reports whether the episode ended within the trace.
+func (e Episode) Recovered() bool { return e.EndIndex >= 0 }
+
+// Episodes scans the trace for degradations below the given baseline
+// quality and returns one Episode per contiguous dip, in time order.
+func (tr *Trace) Episodes(baseline float64) []Episode {
+	var out []Episode
+	in := false
+	var cur Episode
+	var minQ float64
+	flush := func(end int) {
+		cur.EndIndex = end
+		cur.Depth = FullQuality - minQ
+		if end >= 0 {
+			cur.RecoveryTime = tr.TimeAt(end) - cur.StartTime
+			cur.Loss, _ = tr.LossBetween(cur.StartTime, tr.TimeAt(end))
+		} else {
+			cur.RecoveryTime = math.Inf(1)
+			cur.Loss, _ = tr.LossBetween(cur.StartTime, tr.End())
+		}
+		out = append(out, cur)
+	}
+	for i, q := range tr.Q {
+		if !in && q < baseline {
+			in = true
+			cur = Episode{StartIndex: i, StartTime: tr.TimeAt(i)}
+			minQ = q
+		} else if in {
+			if q < minQ {
+				minQ = q
+			}
+			if q >= baseline {
+				in = false
+				flush(i)
+			}
+		}
+	}
+	if in {
+		flush(-1)
+	}
+	return out
+}
+
+// Report is the full resilience assessment of a single trace.
+type Report struct {
+	Loss         float64
+	Normalized   float64
+	Robustness   float64
+	Episodes     []Episode
+	MeanRecovery float64 // mean recovery time over recovered episodes; NaN if none
+}
+
+// Assess produces a Report against the given baseline quality.
+func Assess(tr *Trace, baseline float64) (Report, error) {
+	loss, err := tr.Loss()
+	if err != nil {
+		return Report{}, err
+	}
+	norm, err := tr.Normalized()
+	if err != nil {
+		return Report{}, err
+	}
+	rob, err := tr.Robustness()
+	if err != nil {
+		return Report{}, err
+	}
+	eps := tr.Episodes(baseline)
+	var recSum float64
+	var recN int
+	for _, e := range eps {
+		if e.Recovered() {
+			recSum += e.RecoveryTime
+			recN++
+		}
+	}
+	mean := math.NaN()
+	if recN > 0 {
+		mean = recSum / float64(recN)
+	}
+	return Report{
+		Loss:         loss,
+		Normalized:   norm,
+		Robustness:   rob,
+		Episodes:     eps,
+		MeanRecovery: mean,
+	}, nil
+}
+
+// ScenarioLoss pairs one shock scenario's probability with its measured
+// resilience loss.
+type ScenarioLoss struct {
+	Probability float64
+	Loss        float64
+}
+
+// ExpectedLoss aggregates losses over a shock ensemble, as the paper notes
+// community resilience "must include probabilities of the occurrences of
+// various earthquakes". Probabilities need not sum to one; they are used
+// as weights.
+func ExpectedLoss(scenarios []ScenarioLoss) (float64, error) {
+	if len(scenarios) == 0 {
+		return 0, errors.New("metrics: no scenarios")
+	}
+	var wsum, acc float64
+	for _, s := range scenarios {
+		if s.Probability < 0 {
+			return 0, errors.New("metrics: negative probability")
+		}
+		wsum += s.Probability
+		acc += s.Probability * s.Loss
+	}
+	if wsum == 0 {
+		return 0, errors.New("metrics: zero total probability")
+	}
+	return acc / wsum, nil
+}
+
+// RecoveryProfile generates a canonical trace for analytical comparisons:
+// full quality for lead samples, an instantaneous drop to floor, then
+// recovery to full over recover samples along the given shape.
+type RecoveryShape int
+
+// Recovery shapes for synthetic traces.
+const (
+	// StepRecovery jumps straight back to full quality after the outage.
+	StepRecovery RecoveryShape = iota + 1
+	// LinearRecovery climbs back at constant rate.
+	LinearRecovery
+	// ExponentialRecovery recovers fast at first, slow near the end
+	// (time constant = recover/3).
+	ExponentialRecovery
+)
+
+// SyntheticTrace builds a trace of the given shape: lead samples at full
+// quality, a drop to floor, recover samples of recovery, then tail samples
+// at full quality.
+func SyntheticTrace(shape RecoveryShape, floor float64, lead, recover, tail int, step float64) *Trace {
+	tr := NewTrace(0, step)
+	for i := 0; i < lead; i++ {
+		tr.Append(FullQuality)
+	}
+	for i := 0; i < recover; i++ {
+		frac := float64(i) / float64(recover)
+		var q float64
+		switch shape {
+		case StepRecovery:
+			q = floor
+		case LinearRecovery:
+			q = floor + (FullQuality-floor)*frac
+		case ExponentialRecovery:
+			tau := float64(recover) / 3
+			q = FullQuality - (FullQuality-floor)*math.Exp(-float64(i)/tau)
+		default:
+			q = floor
+		}
+		tr.Append(q)
+	}
+	for i := 0; i < tail; i++ {
+		tr.Append(FullQuality)
+	}
+	return tr
+}

@@ -1,0 +1,408 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAppendClamps(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Append(-10)
+	tr.Append(150)
+	if tr.Q[0] != 0 || tr.Q[1] != FullQuality {
+		t.Fatalf("clamping failed: %v", tr.Q)
+	}
+}
+
+func TestNewTraceBadStep(t *testing.T) {
+	tr := NewTrace(0, -2)
+	if tr.Step != 1 {
+		t.Fatalf("Step = %v, want coerced 1", tr.Step)
+	}
+}
+
+func TestLossEmptyAndSingle(t *testing.T) {
+	tr := NewTrace(0, 1)
+	if _, err := tr.Loss(); !errors.Is(err, ErrEmptyTrace) {
+		t.Error("want ErrEmptyTrace")
+	}
+	tr.Append(50)
+	loss, err := tr.Loss()
+	if err != nil || loss != 0 {
+		t.Fatalf("single-sample loss = %v err=%v", loss, err)
+	}
+}
+
+func TestLossRectangle(t *testing.T) {
+	// Q = 60 for 10 steps of size 1 => deficit 40 * 10 intervals... the
+	// trapezoid over 11 samples spans 10 units: loss = 400.
+	tr := NewTrace(0, 1)
+	for i := 0; i < 11; i++ {
+		tr.Append(60)
+	}
+	loss, err := tr.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(loss, 400, 1e-9) {
+		t.Fatalf("loss = %v, want 400", loss)
+	}
+}
+
+func TestLossTriangle(t *testing.T) {
+	// Fig 3: abrupt drop to 0 at t0, linear recovery to 100 over 10 steps.
+	// Area of the triangle = 1/2 * base * height = 1/2 * 10 * 100 = 500.
+	tr := NewTrace(0, 1)
+	for i := 0; i <= 10; i++ {
+		tr.Append(float64(i) * 10)
+	}
+	loss, err := tr.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(loss, 500, 1e-9) {
+		t.Fatalf("triangle loss = %v, want 500", loss)
+	}
+}
+
+func TestPerfectTraceZeroLoss(t *testing.T) {
+	tr := NewTrace(0, 0.5)
+	for i := 0; i < 100; i++ {
+		tr.Append(FullQuality)
+	}
+	loss, err := tr.Loss()
+	if err != nil || loss != 0 {
+		t.Fatalf("loss = %v err=%v, want 0", loss, err)
+	}
+	n, err := tr.Normalized()
+	if err != nil || n != 0 {
+		t.Fatalf("normalized = %v, want 0", n)
+	}
+}
+
+func TestLossBetween(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for i := 0; i < 10; i++ {
+		if i >= 3 && i < 6 {
+			tr.Append(0)
+		} else {
+			tr.Append(100)
+		}
+	}
+	full, err := tr.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	window, err := tr.LossBetween(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(window, full, 1e-9) {
+		t.Fatalf("window loss %v should equal full loss %v (dip inside window)", window, full)
+	}
+	outside, err := tr.LossBetween(7.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outside != 0 {
+		t.Fatalf("loss outside dip = %v, want 0", outside)
+	}
+	// Reversed bounds are normalized.
+	rev, err := tr.LossBetween(7, 2)
+	if err != nil || !almostEqual(rev, window, 1e-9) {
+		t.Fatalf("reversed bounds loss = %v, want %v", rev, window)
+	}
+}
+
+func TestNormalizedRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		r := rng.New(seed)
+		tr := NewTrace(0, 1)
+		for i := 0; i < n; i++ {
+			tr.Append(r.Float64() * 100)
+		}
+		v, err := tr.Normalized()
+		return err == nil && v >= 0 && v <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for _, q := range []float64{100, 80, 30, 90, 100} {
+		tr.Append(q)
+	}
+	rob, err := tr.Robustness()
+	if err != nil || rob != 30 {
+		t.Fatalf("Robustness = %v err=%v, want 30", rob, err)
+	}
+}
+
+func TestEpisodesSingle(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for _, q := range []float64{100, 100, 50, 20, 60, 100, 100} {
+		tr.Append(q)
+	}
+	eps := tr.Episodes(99)
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(eps))
+	}
+	e := eps[0]
+	if e.StartIndex != 2 || e.EndIndex != 5 {
+		t.Fatalf("episode bounds = %d..%d", e.StartIndex, e.EndIndex)
+	}
+	if !e.Recovered() {
+		t.Error("episode should be recovered")
+	}
+	if e.RecoveryTime != 3 {
+		t.Fatalf("RecoveryTime = %v, want 3", e.RecoveryTime)
+	}
+	if e.Depth != 80 {
+		t.Fatalf("Depth = %v, want 80", e.Depth)
+	}
+	if e.Loss <= 0 {
+		t.Fatalf("Loss = %v, want > 0", e.Loss)
+	}
+}
+
+func TestEpisodesMultipleAndUnrecovered(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for _, q := range []float64{100, 40, 100, 100, 30, 30} {
+		tr.Append(q)
+	}
+	eps := tr.Episodes(99)
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	if !eps[0].Recovered() {
+		t.Error("first episode should be recovered")
+	}
+	if eps[1].Recovered() {
+		t.Error("second episode should be unrecovered")
+	}
+	if !math.IsInf(eps[1].RecoveryTime, 1) {
+		t.Fatalf("unrecovered RecoveryTime = %v, want +Inf", eps[1].RecoveryTime)
+	}
+}
+
+func TestEpisodesNone(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for i := 0; i < 5; i++ {
+		tr.Append(100)
+	}
+	if eps := tr.Episodes(99); len(eps) != 0 {
+		t.Fatalf("episodes = %d, want 0", len(eps))
+	}
+}
+
+func TestAssess(t *testing.T) {
+	tr := SyntheticTrace(LinearRecovery, 0, 2, 10, 2, 1)
+	rep, err := Assess(tr, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loss <= 0 {
+		t.Fatalf("Loss = %v", rep.Loss)
+	}
+	if rep.Robustness != 0 {
+		t.Fatalf("Robustness = %v, want 0", rep.Robustness)
+	}
+	if len(rep.Episodes) != 1 {
+		t.Fatalf("episodes = %d", len(rep.Episodes))
+	}
+	if math.IsNaN(rep.MeanRecovery) {
+		t.Fatal("MeanRecovery is NaN for a recovered trace")
+	}
+}
+
+func TestAssessEmpty(t *testing.T) {
+	if _, err := Assess(NewTrace(0, 1), 99); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatal("want ErrEmptyTrace")
+	}
+}
+
+func TestFasterRecoverySmallerLoss(t *testing.T) {
+	// The paper's core monotonicity: reduced time to recovery (t1−t0)
+	// shrinks the triangle.
+	fast := SyntheticTrace(LinearRecovery, 20, 1, 5, 1, 1)
+	slow := SyntheticTrace(LinearRecovery, 20, 1, 50, 1, 1)
+	lf, err := fast.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := slow.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf >= ls {
+		t.Fatalf("fast loss %v should be < slow loss %v", lf, ls)
+	}
+}
+
+func TestShallowerDropSmallerLoss(t *testing.T) {
+	// Resistance: reduced degradation at t0 shrinks the triangle.
+	shallow := SyntheticTrace(LinearRecovery, 80, 1, 10, 1, 1)
+	deep := SyntheticTrace(LinearRecovery, 10, 1, 10, 1, 1)
+	lsh, err := shallow.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := deep.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsh >= ld {
+		t.Fatalf("shallow loss %v should be < deep loss %v", lsh, ld)
+	}
+}
+
+func TestRecoveryShapeOrdering(t *testing.T) {
+	// For the same floor and duration: exponential recovers quality
+	// fastest (smallest loss), step holds the floor longest (largest).
+	step := SyntheticTrace(StepRecovery, 20, 1, 20, 1, 1)
+	lin := SyntheticTrace(LinearRecovery, 20, 1, 20, 1, 1)
+	exp := SyntheticTrace(ExponentialRecovery, 20, 1, 20, 1, 1)
+	ls, _ := step.Loss()
+	ll, _ := lin.Loss()
+	le, _ := exp.Loss()
+	if !(le < ll && ll < ls) {
+		t.Fatalf("loss ordering exp %v < lin %v < step %v violated", le, ll, ls)
+	}
+}
+
+func TestExpectedLoss(t *testing.T) {
+	el, err := ExpectedLoss([]ScenarioLoss{
+		{Probability: 0.9, Loss: 10},
+		{Probability: 0.1, Loss: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(el, 0.9*10+0.1*1000, 1e-9) {
+		t.Fatalf("expected loss = %v", el)
+	}
+}
+
+func TestExpectedLossErrors(t *testing.T) {
+	if _, err := ExpectedLoss(nil); err == nil {
+		t.Error("want error for empty ensemble")
+	}
+	if _, err := ExpectedLoss([]ScenarioLoss{{Probability: -1, Loss: 5}}); err == nil {
+		t.Error("want error for negative probability")
+	}
+	if _, err := ExpectedLoss([]ScenarioLoss{{Probability: 0, Loss: 5}}); err == nil {
+		t.Error("want error for zero total weight")
+	}
+}
+
+func TestExpectedLossUnnormalizedWeights(t *testing.T) {
+	a, err := ExpectedLoss([]ScenarioLoss{{2, 10}, {2, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 20, 1e-9) {
+		t.Fatalf("weighted mean = %v, want 20", a)
+	}
+}
+
+func TestLossMonotoneInDeficitProperty(t *testing.T) {
+	// Lowering any sample cannot decrease the loss.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := NewTrace(0, 1)
+		n := 20
+		for i := 0; i < n; i++ {
+			tr.Append(50 + r.Float64()*50)
+		}
+		l1, err := tr.Loss()
+		if err != nil {
+			return false
+		}
+		i := r.Intn(n)
+		tr.Q[i] = tr.Q[i] / 2
+		l2, err := tr.Loss()
+		if err != nil {
+			return false
+		}
+		return l2 >= l1-1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeAtAndEnd(t *testing.T) {
+	tr := NewTrace(10, 2)
+	tr.Append(100)
+	tr.Append(100)
+	tr.Append(100)
+	if tr.TimeAt(2) != 14 {
+		t.Fatalf("TimeAt(2) = %v", tr.TimeAt(2))
+	}
+	if tr.End() != 14 {
+		t.Fatalf("End = %v", tr.End())
+	}
+	empty := NewTrace(5, 1)
+	if empty.End() != 5 {
+		t.Fatalf("empty End = %v, want Start", empty.End())
+	}
+}
+
+func TestSparklineBasics(t *testing.T) {
+	tr := NewTrace(0, 1)
+	if tr.Sparkline(10) != "" {
+		t.Fatal("empty trace should render empty")
+	}
+	for _, q := range []float64{100, 100, 0, 100} {
+		tr.Append(q)
+	}
+	s := tr.Sparkline(4)
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline = %q, want 4 glyphs", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '█' || runes[2] != '▁' {
+		t.Fatalf("sparkline = %q: full should be block, outage should be floor", s)
+	}
+	if tr.Sparkline(0) != "" {
+		t.Fatal("width 0 should render empty")
+	}
+}
+
+func TestSparklineDownsamplePessimistic(t *testing.T) {
+	// A one-sample outage must survive downsampling to a narrow width.
+	tr := NewTrace(0, 1)
+	for i := 0; i < 100; i++ {
+		if i == 50 {
+			tr.Append(0)
+		} else {
+			tr.Append(100)
+		}
+	}
+	s := []rune(tr.Sparkline(10))
+	found := false
+	for _, r := range s {
+		if r == '▁' {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sparkline %q lost the outage in downsampling", string(s))
+	}
+}
+
+func TestSparklineWidthClamp(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Append(50)
+	tr.Append(50)
+	if got := len([]rune(tr.Sparkline(99))); got != 2 {
+		t.Fatalf("glyphs = %d, want clamped to sample count", got)
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs from lowest to highest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the trace's quality series as a fixed-width Unicode
+// sparkline scaled to [0, FullQuality] — a one-line Fig 3 for terminals.
+// Wider traces are downsampled by taking the minimum of each bucket (the
+// pessimistic view: a dip never disappears by resampling); narrower
+// traces render one glyph per sample. Width < 1 and empty traces return
+// "".
+func (tr *Trace) Sparkline(width int) string {
+	n := len(tr.Q)
+	if n == 0 || width < 1 {
+		return ""
+	}
+	if width > n {
+		width = n
+	}
+	var b strings.Builder
+	b.Grow(width * 3) // block glyphs are 3 bytes in UTF-8
+	for i := 0; i < width; i++ {
+		lo := i * n / width
+		hi := (i + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		minQ := tr.Q[lo]
+		for _, q := range tr.Q[lo+1 : hi] {
+			if q < minQ {
+				minQ = q
+			}
+		}
+		idx := int(minQ / FullQuality * float64(len(sparkLevels)))
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package modeswitch implements the paper's mode-switching concept
+// (§3.4.6): "In the normal mode, the system works within the designed
+// realm and the system follows the designed set of policy … If an extreme
+// event happens and the system can no longer function as designed, the
+// system switches its operational mode to the emergency mode, in which
+// the system and the people behave based on a different set of policies."
+//
+// A Switcher observes a scalar health signal (typically quality Q(t)) and
+// moves between Normal and Emergency with hysteresis: it enters Emergency
+// after the signal stays below the enter threshold for EnterAfter
+// consecutive observations, and returns to Normal only after the signal
+// stays above the exit threshold for ExitAfter observations.
+package modeswitch
+
+import (
+	"fmt"
+)
+
+// Mode is an operational mode.
+type Mode int
+
+// Operational modes.
+const (
+	Normal Mode = iota + 1
+	Emergency
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Normal:
+		return "normal"
+	case Emergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Transition records a mode change.
+type Transition struct {
+	Observation int
+	From, To    Mode
+	Signal      float64
+}
+
+// Config parameterizes a Switcher.
+type Config struct {
+	// EnterBelow: signal below this value counts toward entering
+	// Emergency.
+	EnterBelow float64
+	// ExitAbove: signal at or above this value counts toward returning
+	// to Normal. Must be >= EnterBelow for sane hysteresis.
+	ExitAbove float64
+	// EnterAfter consecutive qualifying observations trigger Emergency
+	// (minimum 1).
+	EnterAfter int
+	// ExitAfter consecutive qualifying observations restore Normal
+	// (minimum 1).
+	ExitAfter int
+}
+
+// Switcher tracks the current mode. It is not safe for concurrent use;
+// wrap it if multiple goroutines observe.
+type Switcher struct {
+	cfg          Config
+	mode         Mode
+	enterStreak  int
+	exitStreak   int
+	observations int
+	transitions  []Transition
+	// OnChange, if non-nil, is called after each transition.
+	OnChange func(Transition)
+}
+
+// NewSwitcher validates the config and returns a Switcher in Normal mode.
+func NewSwitcher(cfg Config) (*Switcher, error) {
+	if cfg.EnterAfter < 1 {
+		cfg.EnterAfter = 1
+	}
+	if cfg.ExitAfter < 1 {
+		cfg.ExitAfter = 1
+	}
+	if cfg.ExitAbove < cfg.EnterBelow {
+		return nil, fmt.Errorf("modeswitch: exit threshold %v below enter threshold %v breaks hysteresis",
+			cfg.ExitAbove, cfg.EnterBelow)
+	}
+	return &Switcher{cfg: cfg, mode: Normal}, nil
+}
+
+// Mode returns the current mode.
+func (s *Switcher) Mode() Mode { return s.mode }
+
+// Transitions returns a copy of the transition log.
+func (s *Switcher) Transitions() []Transition {
+	out := make([]Transition, len(s.transitions))
+	copy(out, s.transitions)
+	return out
+}
+
+// Observe feeds one signal sample and returns the (possibly new) mode.
+func (s *Switcher) Observe(signal float64) Mode {
+	s.observations++
+	switch s.mode {
+	case Normal:
+		if signal < s.cfg.EnterBelow {
+			s.enterStreak++
+			if s.enterStreak >= s.cfg.EnterAfter {
+				s.switchTo(Emergency, signal)
+			}
+		} else {
+			s.enterStreak = 0
+		}
+	case Emergency:
+		if signal >= s.cfg.ExitAbove {
+			s.exitStreak++
+			if s.exitStreak >= s.cfg.ExitAfter {
+				s.switchTo(Normal, signal)
+			}
+		} else {
+			s.exitStreak = 0
+		}
+	}
+	return s.mode
+}
+
+// Force switches the mode unconditionally — the human override of active
+// resilience (consensus building may decide the mode, §3.4.5).
+func (s *Switcher) Force(m Mode, signal float64) {
+	if m != s.mode && (m == Normal || m == Emergency) {
+		s.switchTo(m, signal)
+	}
+}
+
+func (s *Switcher) switchTo(m Mode, signal float64) {
+	tr := Transition{Observation: s.observations, From: s.mode, To: m, Signal: signal}
+	s.mode = m
+	s.enterStreak = 0
+	s.exitStreak = 0
+	s.transitions = append(s.transitions, tr)
+	if s.OnChange != nil {
+		s.OnChange(tr)
+	}
+}
+
+// TimeInMode summarizes how many observations were spent in each mode
+// given the transition log and the total observation count.
+func (s *Switcher) TimeInMode() (normal, emergency int) {
+	last := 0
+	mode := Normal
+	for _, tr := range s.transitions {
+		span := tr.Observation - last
+		if mode == Normal {
+			normal += span
+		} else {
+			emergency += span
+		}
+		mode = tr.To
+		last = tr.Observation
+	}
+	span := s.observations - last
+	if mode == Normal {
+		normal += span
+	} else {
+		emergency += span
+	}
+	return normal, emergency
+}

@@ -1,0 +1,142 @@
+package modeswitch
+
+import (
+	"testing"
+)
+
+func mustSwitcher(t *testing.T, cfg Config) *Switcher {
+	t.Helper()
+	s, err := NewSwitcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSwitcherValidation(t *testing.T) {
+	if _, err := NewSwitcher(Config{EnterBelow: 50, ExitAbove: 40}); err == nil {
+		t.Fatal("want error for inverted hysteresis thresholds")
+	}
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	if s.Mode() != Normal {
+		t.Fatal("new switcher should start Normal")
+	}
+}
+
+func TestEnterEmergencyAfterStreak(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80, EnterAfter: 3, ExitAfter: 2})
+	if m := s.Observe(40); m != Normal {
+		t.Fatal("one low sample must not switch with EnterAfter=3")
+	}
+	s.Observe(40)
+	if m := s.Observe(40); m != Emergency {
+		t.Fatal("three consecutive low samples should switch")
+	}
+	trs := s.Transitions()
+	if len(trs) != 1 || trs[0].From != Normal || trs[0].To != Emergency {
+		t.Fatalf("transitions = %+v", trs)
+	}
+}
+
+func TestStreakResetsOnRecovery(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80, EnterAfter: 3})
+	s.Observe(40)
+	s.Observe(40)
+	s.Observe(90) // reset
+	s.Observe(40)
+	if m := s.Observe(40); m != Normal {
+		t.Fatal("streak should have been reset by the healthy sample")
+	}
+}
+
+func TestHysteresisExit(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80, EnterAfter: 1, ExitAfter: 2})
+	s.Observe(10) // -> emergency
+	if s.Mode() != Emergency {
+		t.Fatal("should be in emergency")
+	}
+	// 60 is above EnterBelow but below ExitAbove: must stay Emergency.
+	if m := s.Observe(60); m != Emergency {
+		t.Fatal("hysteresis violated: exited below ExitAbove")
+	}
+	s.Observe(85)
+	if s.Mode() != Emergency {
+		t.Fatal("ExitAfter=2 requires two high samples")
+	}
+	if m := s.Observe(85); m != Normal {
+		t.Fatal("should have returned to normal")
+	}
+}
+
+func TestForce(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	s.Force(Emergency, 99)
+	if s.Mode() != Emergency {
+		t.Fatal("force failed")
+	}
+	// Forcing the same mode is a no-op (no duplicate transition).
+	s.Force(Emergency, 99)
+	if len(s.Transitions()) != 1 {
+		t.Fatalf("transitions = %d, want 1", len(s.Transitions()))
+	}
+	// Invalid mode ignored.
+	s.Force(Mode(42), 0)
+	if s.Mode() != Emergency {
+		t.Fatal("invalid mode should be ignored")
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80, EnterAfter: 1, ExitAfter: 1})
+	var fired []Transition
+	s.OnChange = func(tr Transition) { fired = append(fired, tr) }
+	s.Observe(10)
+	s.Observe(90)
+	if len(fired) != 2 {
+		t.Fatalf("callbacks = %d, want 2", len(fired))
+	}
+	if fired[0].To != Emergency || fired[1].To != Normal {
+		t.Fatalf("callback sequence = %+v", fired)
+	}
+}
+
+func TestTimeInMode(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80, EnterAfter: 1, ExitAfter: 1})
+	for i := 0; i < 5; i++ {
+		s.Observe(100)
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe(10)
+	}
+	for i := 0; i < 2; i++ {
+		s.Observe(90)
+	}
+	normal, emergency := s.TimeInMode()
+	if normal+emergency != 10 {
+		t.Fatalf("total = %d, want 10", normal+emergency)
+	}
+	// Entered emergency at observation 6, exited at observation 9:
+	// emergency spans observations 7-9 (3 samples).
+	if emergency != 3 {
+		t.Fatalf("emergency = %d, want 3", emergency)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Normal.String() != "normal" || Emergency.String() != "emergency" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestDefaultStreaksAreOne(t *testing.T) {
+	s := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	if m := s.Observe(10); m != Emergency {
+		t.Fatal("EnterAfter should default to 1")
+	}
+	if m := s.Observe(90); m != Normal {
+		t.Fatal("ExitAfter should default to 1")
+	}
+}

@@ -1,0 +1,85 @@
+package modeswitch
+
+import (
+	"errors"
+)
+
+// Sentinel adds the paper's anticipation strategy (§3.4.1) to mode
+// switching: instead of waiting for quality to collapse (the reactive
+// Switcher), it watches a *leading indicator* — e.g. the driver of a
+// system approaching a tipping point — and forces Emergency as soon as a
+// detector (typically Scheffer early-warning trends from the dynamics
+// package) fires. "If we can anticipate a large scale event, we can
+// prepare for it."
+type Sentinel struct {
+	// Switcher is the underlying mode holder.
+	Switcher *Switcher
+	// Detect inspects the buffered indicator series and reports whether
+	// an alarm should fire. It is called once per observation after
+	// MinSamples have accumulated, until it fires.
+	Detect func(series []float64) bool
+	// MinSamples is the minimum buffered samples before Detect runs.
+	MinSamples int
+	// MaxSamples bounds the buffer (oldest samples are dropped);
+	// 0 means unbounded.
+	MaxSamples int
+	// CheckEvery runs the detector only on every CheckEvery-th
+	// observation (after MinSamples), amortizing expensive detectors
+	// over high-rate indicator streams; 0 or 1 checks every sample.
+	CheckEvery int
+
+	buffer  []float64
+	seen    int
+	alarmed bool
+}
+
+// NewSentinel validates and builds a Sentinel.
+func NewSentinel(sw *Switcher, detect func([]float64) bool, minSamples, maxSamples int) (*Sentinel, error) {
+	if sw == nil {
+		return nil, errors.New("modeswitch: nil switcher")
+	}
+	if detect == nil {
+		return nil, errors.New("modeswitch: nil detector")
+	}
+	if minSamples < 1 {
+		return nil, errors.New("modeswitch: min samples must be >= 1")
+	}
+	if maxSamples != 0 && maxSamples < minSamples {
+		return nil, errors.New("modeswitch: max samples below min samples")
+	}
+	return &Sentinel{Switcher: sw, Detect: detect, MinSamples: minSamples, MaxSamples: maxSamples}, nil
+}
+
+// Alarmed reports whether the sentinel has fired.
+func (s *Sentinel) Alarmed() bool { return s.alarmed }
+
+// ObserveIndicator feeds one leading-indicator sample. When the detector
+// fires, the sentinel forces Emergency mode once. It returns the current
+// mode.
+func (s *Sentinel) ObserveIndicator(x float64) Mode {
+	s.buffer = append(s.buffer, x)
+	s.seen++
+	if s.MaxSamples > 0 && len(s.buffer) > s.MaxSamples {
+		s.buffer = s.buffer[len(s.buffer)-s.MaxSamples:]
+	}
+	due := s.CheckEvery <= 1 || s.seen%s.CheckEvery == 0
+	if !s.alarmed && due && len(s.buffer) >= s.MinSamples && s.Detect(s.buffer) {
+		s.alarmed = true
+	}
+	// A standing alarm HOLDS the emergency: the reactive switcher would
+	// otherwise stand down the moment quality looks fine — which, before
+	// the anticipated shock, it always does. The warning outranks the
+	// current reading until Reset.
+	if s.alarmed && s.Switcher.Mode() != Emergency {
+		s.Switcher.Force(Emergency, x)
+	}
+	return s.Switcher.Mode()
+}
+
+// Reset clears the alarm and buffer so the sentinel can watch for the
+// next threat (call after the emergency has been stood down).
+func (s *Sentinel) Reset() {
+	s.alarmed = false
+	s.buffer = s.buffer[:0]
+	s.seen = 0
+}

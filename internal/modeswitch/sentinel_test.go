@@ -1,0 +1,183 @@
+package modeswitch
+
+import (
+	"testing"
+
+	"resilience/internal/stats"
+)
+
+func risingTrendDetector(threshold float64) func([]float64) bool {
+	return func(series []float64) bool {
+		tau, err := stats.KendallTau(series)
+		return err == nil && tau >= threshold
+	}
+}
+
+func TestNewSentinelValidation(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	det := risingTrendDetector(0.5)
+	if _, err := NewSentinel(nil, det, 5, 0); err == nil {
+		t.Error("want error for nil switcher")
+	}
+	if _, err := NewSentinel(sw, nil, 5, 0); err == nil {
+		t.Error("want error for nil detector")
+	}
+	if _, err := NewSentinel(sw, det, 0, 0); err == nil {
+		t.Error("want error for zero min samples")
+	}
+	if _, err := NewSentinel(sw, det, 5, 3); err == nil {
+		t.Error("want error for max < min")
+	}
+}
+
+func TestSentinelFiresOnRisingTrend(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	s, err := NewSentinel(sw, risingTrendDetector(0.8), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat noise: no alarm.
+	for _, x := range []float64{1, 0.9, 1.1, 0.95, 1.05, 1.0} {
+		if mode := s.ObserveIndicator(x); mode != Normal {
+			t.Fatalf("alarm on flat series at %v", x)
+		}
+	}
+	// Steady climb: alarm.
+	fired := false
+	for _, x := range []float64{1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4} {
+		if s.ObserveIndicator(x) == Emergency {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("sentinel never fired on a monotone climb")
+	}
+	if !s.Alarmed() {
+		t.Fatal("Alarmed() should report the fired state")
+	}
+	if len(sw.Transitions()) != 1 {
+		t.Fatalf("transitions = %d, want 1 forced switch", len(sw.Transitions()))
+	}
+}
+
+func TestSentinelFiresOnlyOnce(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	s, err := NewSentinel(sw, func([]float64) bool { return true }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveIndicator(1)
+	s.ObserveIndicator(2)
+	s.ObserveIndicator(3)
+	if got := len(sw.Transitions()); got != 1 {
+		t.Fatalf("transitions = %d, want 1", got)
+	}
+}
+
+func TestSentinelMinSamplesGate(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	calls := 0
+	s, err := NewSentinel(sw, func([]float64) bool { calls++; return false }, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveIndicator(1)
+	s.ObserveIndicator(2)
+	s.ObserveIndicator(3)
+	if calls != 0 {
+		t.Fatalf("detector ran %d times before min samples", calls)
+	}
+	s.ObserveIndicator(4)
+	if calls != 1 {
+		t.Fatalf("detector calls = %d, want 1", calls)
+	}
+}
+
+func TestSentinelBufferBound(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	var lastLen int
+	s, err := NewSentinel(sw, func(series []float64) bool {
+		lastLen = len(series)
+		return false
+	}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.ObserveIndicator(float64(i))
+	}
+	if lastLen != 5 {
+		t.Fatalf("buffer length = %d, want capped at 5", lastLen)
+	}
+}
+
+func TestSentinelReset(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	s, err := NewSentinel(sw, func([]float64) bool { return true }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveIndicator(1)
+	if !s.Alarmed() {
+		t.Fatal("should have fired")
+	}
+	sw.Force(Normal, 100) // stand down
+	s.Reset()
+	if s.Alarmed() {
+		t.Fatal("Reset should clear the alarm")
+	}
+	s.ObserveIndicator(2)
+	if sw.Mode() != Emergency {
+		t.Fatal("sentinel should re-arm after Reset")
+	}
+}
+
+func TestSentinelHoldsEmergencyWhileAlarmed(t *testing.T) {
+	// A standing alarm must outrank the reactive switcher: even if
+	// quality observations stand the mode down, the next indicator
+	// sample re-forces Emergency until Reset.
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	s, err := NewSentinel(sw, func([]float64) bool { return true }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveIndicator(1)
+	if sw.Mode() != Emergency {
+		t.Fatal("alarm should force emergency")
+	}
+	// Reactive logic stands the system down (quality looks fine).
+	sw.Observe(100)
+	if sw.Mode() != Normal {
+		t.Fatal("setup: switcher should have exited")
+	}
+	s.ObserveIndicator(2)
+	if sw.Mode() != Emergency {
+		t.Fatal("standing alarm must re-force emergency")
+	}
+	// After Reset the hold is released.
+	sw.Force(Normal, 100)
+	s.Reset()
+	neverFire := func([]float64) bool { return false }
+	s.Detect = neverFire
+	s.ObserveIndicator(3)
+	if sw.Mode() != Normal {
+		t.Fatal("released sentinel must not re-force")
+	}
+}
+
+func TestSentinelCheckEveryThrottle(t *testing.T) {
+	sw := mustSwitcher(t, Config{EnterBelow: 50, ExitAbove: 80})
+	calls := 0
+	s, err := NewSentinel(sw, func([]float64) bool { calls++; return false }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CheckEvery = 5
+	for i := 0; i < 20; i++ {
+		s.ObserveIndicator(float64(i))
+	}
+	if calls != 4 {
+		t.Fatalf("detector calls = %d, want 4 (every 5th of 20)", calls)
+	}
+}

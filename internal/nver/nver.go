@@ -1,0 +1,162 @@
+// Package nver models N-version redundancy with and without design
+// diversity — the Boeing 777 example of §3.2.2: "These three computers
+// are based on different hardware and software developed by independent
+// vendors. If these three computers share the same design, a design flaw
+// would make all the computers fail at the same time."
+//
+// Each input may trigger two failure mechanisms per version: an
+// independent random fault (probability IndepFailProb, independent across
+// versions) and a design-flaw fault (probability DesignFlawProb per
+// design). With a shared design, one flaw event fails every version at
+// once; with diverse designs, each version carries its own independent
+// flaw event. The voter needs a strict majority of correct versions.
+package nver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/rng"
+)
+
+// Voting is an N-version majority-voting system.
+type Voting struct {
+	// Versions is the number of redundant channels (odd for a clean
+	// majority; 3 for the 777).
+	Versions int
+	// IndepFailProb is each version's independent per-input failure
+	// probability.
+	IndepFailProb float64
+	// DesignFlawProb is the per-input probability that a design's flaw
+	// is triggered.
+	DesignFlawProb float64
+	// SharedDesign selects common-mode (true) versus diverse designs
+	// (false).
+	SharedDesign bool
+}
+
+// Validate checks the parameters.
+func (v Voting) Validate() error {
+	if v.Versions < 1 {
+		return errors.New("nver: need at least one version")
+	}
+	if v.IndepFailProb < 0 || v.IndepFailProb > 1 {
+		return fmt.Errorf("nver: independent failure probability %v out of [0,1]", v.IndepFailProb)
+	}
+	if v.DesignFlawProb < 0 || v.DesignFlawProb > 1 {
+		return fmt.Errorf("nver: design flaw probability %v out of [0,1]", v.DesignFlawProb)
+	}
+	return nil
+}
+
+// majorityNeeded returns the number of failed versions that defeats the
+// voter: more than half.
+func (v Voting) majorityNeeded() int { return v.Versions/2 + 1 }
+
+// FailureProb returns the exact analytic probability that the voted
+// output is wrong for one input.
+func (v Voting) FailureProb() (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	if v.SharedDesign {
+		// One flaw event fails all versions; otherwise versions fail
+		// independently.
+		pMajIndep := v.tailBinomial(v.IndepFailProb)
+		return v.DesignFlawProb + (1-v.DesignFlawProb)*pMajIndep, nil
+	}
+	// Diverse designs: each version fails independently with combined
+	// probability p = 1 − (1−indep)(1−flaw).
+	p := 1 - (1-v.IndepFailProb)*(1-v.DesignFlawProb)
+	return v.tailBinomial(p), nil
+}
+
+// tailBinomial returns P(X >= majorityNeeded) for X ~ Binomial(Versions, p).
+func (v Voting) tailBinomial(p float64) float64 {
+	need := v.majorityNeeded()
+	var total float64
+	for k := need; k <= v.Versions; k++ {
+		total += binomialPMF(v.Versions, k, p)
+	}
+	return total
+}
+
+func binomialPMF(n, k int, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Compute C(n,k) p^k (1-p)^(n-k) in log space for stability.
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logC := 0.0
+	for i := 0; i < k; i++ {
+		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+	}
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// Simulate estimates the failure probability by Monte Carlo over the
+// given number of inputs.
+func (v Voting) Simulate(inputs int, r *rng.Source) (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	if inputs <= 0 {
+		return 0, fmt.Errorf("nver: inputs %d must be positive", inputs)
+	}
+	failures := 0
+	need := v.majorityNeeded()
+	for i := 0; i < inputs; i++ {
+		failed := 0
+		sharedFlaw := v.SharedDesign && r.Bool(v.DesignFlawProb)
+		for ver := 0; ver < v.Versions; ver++ {
+			bad := r.Bool(v.IndepFailProb)
+			if v.SharedDesign {
+				bad = bad || sharedFlaw
+			} else {
+				bad = bad || r.Bool(v.DesignFlawProb)
+			}
+			if bad {
+				failed++
+			}
+		}
+		if failed >= need {
+			failures++
+		}
+	}
+	return float64(failures) / float64(inputs), nil
+}
+
+// DiversityGain returns the ratio of shared-design failure probability to
+// diverse-design failure probability for the same parameters — how many
+// times safer design diversity makes the system.
+func DiversityGain(versions int, indep, flaw float64) (float64, error) {
+	shared := Voting{Versions: versions, IndepFailProb: indep, DesignFlawProb: flaw, SharedDesign: true}
+	diverse := Voting{Versions: versions, IndepFailProb: indep, DesignFlawProb: flaw, SharedDesign: false}
+	ps, err := shared.FailureProb()
+	if err != nil {
+		return 0, err
+	}
+	pd, err := diverse.FailureProb()
+	if err != nil {
+		return 0, err
+	}
+	if pd == 0 {
+		return math.Inf(1), nil
+	}
+	return ps / pd, nil
+}

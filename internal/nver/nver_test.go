@@ -1,0 +1,163 @@
+package nver
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	good := Voting{Versions: 3, IndepFailProb: 0.01, DesignFlawProb: 0.001}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Voting{
+		{Versions: 0, IndepFailProb: 0.1, DesignFlawProb: 0.1},
+		{Versions: 3, IndepFailProb: -0.1, DesignFlawProb: 0.1},
+		{Versions: 3, IndepFailProb: 0.1, DesignFlawProb: 1.5},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestFailureProbNoFlaws(t *testing.T) {
+	// Without design flaws, shared and diverse are identical: plain
+	// 2-of-3 majority failure = 3p²(1−p) + p³.
+	p := 0.1
+	want := 3*p*p*(1-p) + p*p*p
+	for _, shared := range []bool{true, false} {
+		v := Voting{Versions: 3, IndepFailProb: p, SharedDesign: shared}
+		got, err := v.FailureProb()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, want, 1e-12) {
+			t.Fatalf("shared=%v: prob = %v, want %v", shared, got, want)
+		}
+	}
+}
+
+func TestSharedDesignDominatedByFlaw(t *testing.T) {
+	// With a shared design, the flaw probability is a hard floor on
+	// system failure, no matter how many versions vote.
+	v := Voting{Versions: 9, IndepFailProb: 0.001, DesignFlawProb: 0.01, SharedDesign: true}
+	got, err := v.FailureProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.01 {
+		t.Fatalf("shared-design failure %v must be at least the flaw prob", got)
+	}
+}
+
+func TestDiversityGainLarge(t *testing.T) {
+	// §3.2.2: diverse designs turn the common-mode flaw into independent
+	// faults that the majority voter absorbs — orders of magnitude
+	// safer.
+	gain, err := DiversityGain(3, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 20 {
+		t.Fatalf("diversity gain = %v, want large", gain)
+	}
+}
+
+func TestDiverseMajorityFormula(t *testing.T) {
+	// Diverse: per-version p = 1-(1-i)(1-f); majority of 3.
+	i, f := 0.02, 0.03
+	p := 1 - (1-i)*(1-f)
+	want := 3*p*p*(1-p) + p*p*p
+	v := Voting{Versions: 3, IndepFailProb: i, DesignFlawProb: f, SharedDesign: false}
+	got, err := v.FailureProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("prob = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	r := rng.New(1)
+	for _, shared := range []bool{true, false} {
+		v := Voting{Versions: 3, IndepFailProb: 0.05, DesignFlawProb: 0.02, SharedDesign: shared}
+		analytic, err := v.FailureProb()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := v.Simulate(300000, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mc-analytic) > 0.003 {
+			t.Fatalf("shared=%v: MC %v vs analytic %v", shared, mc, analytic)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	r := rng.New(2)
+	v := Voting{Versions: 3, IndepFailProb: 0.1, DesignFlawProb: 0.1}
+	if _, err := v.Simulate(0, r); err == nil {
+		t.Error("want error for zero inputs")
+	}
+	bad := Voting{Versions: 0}
+	if _, err := bad.Simulate(10, r); err == nil {
+		t.Error("want validation error")
+	}
+	if _, err := bad.FailureProb(); err == nil {
+		t.Error("want validation error from FailureProb")
+	}
+}
+
+func TestSingleVersion(t *testing.T) {
+	// One version: majority = itself; failure = combined probability.
+	v := Voting{Versions: 1, IndepFailProb: 0.1, DesignFlawProb: 0.05, SharedDesign: false}
+	got, err := v.FailureProb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (1-0.1)*(1-0.05)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("prob = %v, want %v", got, want)
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if binomialPMF(3, 0, 0) != 1 || binomialPMF(3, 1, 0) != 0 {
+		t.Fatal("p=0 edge")
+	}
+	if binomialPMF(3, 3, 1) != 1 || binomialPMF(3, 2, 1) != 0 {
+		t.Fatal("p=1 edge")
+	}
+	var sum float64
+	for k := 0; k <= 5; k++ {
+		sum += binomialPMF(5, k, 0.37)
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+}
+
+func TestMoreVersionsHelpOnlyWithDiversity(t *testing.T) {
+	// Scaling from 3 to 5 diverse versions reduces failure; with a
+	// shared design the flaw floor does not move.
+	gain3, err := DiversityGain(3, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain5, err := DiversityGain(5, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain5 <= gain3 {
+		t.Fatalf("gain should grow with versions: %v vs %v", gain3, gain5)
+	}
+}

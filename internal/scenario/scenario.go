@@ -1,0 +1,357 @@
+// Package scenario loads declarative resilience scenarios from JSON: a
+// component system, a fault schedule, and an optional MAPE controller
+// with mode switching. It is the configuration surface that lets
+// downstream users run chaos experiments against their own topologies
+// without writing Go:
+//
+//	{
+//	  "name": "regional grid",
+//	  "demand": 300, "reserve": 150, "steps": 80, "baselineQuality": 99,
+//	  "components": [
+//	    {"name": "transmission", "capacity": 0, "group": "transmission"},
+//	    {"name": "nuclear-0", "capacity": 30, "group": "nuclear",
+//	     "requiresGroups": ["transmission"]}
+//	  ],
+//	  "faults": [{"step": 10, "type": "crash-group", "target": "nuclear"}],
+//	  "controller": {"repairBudget": 1},
+//	  "modeSwitch": {"enterBelow": 80, "exitAbove": 99,
+//	                 "emergencyDemand": 220, "emergencyRepairBudget": 3}
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"resilience/internal/chaos"
+	"resilience/internal/core"
+	"resilience/internal/mape"
+	"resilience/internal/metrics"
+	"resilience/internal/modeswitch"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// File is the top-level scenario document.
+type File struct {
+	Name    string  `json:"name"`
+	Demand  float64 `json:"demand"`
+	Reserve float64 `json:"reserve"`
+	// Steps is the simulation length.
+	Steps int `json:"steps"`
+	// BaselineQuality is the episode baseline for assessment (default
+	// 99).
+	BaselineQuality float64     `json:"baselineQuality"`
+	Components      []Component `json:"components"`
+	Faults          []Fault     `json:"faults"`
+	// Controller enables a MAPE repair loop.
+	Controller *Controller `json:"controller,omitempty"`
+	// ModeSwitch layers emergency-mode policies on the controller (it
+	// requires Controller).
+	ModeSwitch *ModeSwitch `json:"modeSwitch,omitempty"`
+}
+
+// Component declares one system component.
+type Component struct {
+	Name           string   `json:"name"`
+	Capacity       float64  `json:"capacity"`
+	Group          string   `json:"group,omitempty"`
+	DependsOn      []string `json:"dependsOn,omitempty"`
+	RequiresGroups []string `json:"requiresGroups,omitempty"`
+	DegradedFactor *float64 `json:"degradedFactor,omitempty"`
+}
+
+// Fault schedules one injection.
+type Fault struct {
+	Step int `json:"step"`
+	// Type is one of: crash, degrade, repair, crash-group,
+	// crash-random, xevent.
+	Type string `json:"type"`
+	// Target names a component (crash/degrade/repair) or a group
+	// (crash-group).
+	Target string `json:"target,omitempty"`
+	// N is the count for crash-random.
+	N int `json:"n,omitempty"`
+	// Scale and Alpha parameterize xevent.
+	Scale float64 `json:"scale,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Controller enables the MAPE loop.
+type Controller struct {
+	// RepairBudget is the per-cycle repair limit (0 = unlimited).
+	RepairBudget int `json:"repairBudget"`
+	// ImpactPlanner selects the centralized impact-aware planner
+	// instead of the default.
+	ImpactPlanner bool `json:"impactPlanner,omitempty"`
+}
+
+// ModeSwitch layers emergency policies on the controller.
+type ModeSwitch struct {
+	EnterBelow            float64 `json:"enterBelow"`
+	ExitAbove             float64 `json:"exitAbove"`
+	EmergencyDemand       float64 `json:"emergencyDemand"`
+	EmergencyRepairBudget int     `json:"emergencyRepairBudget"`
+}
+
+// Load parses and validates a scenario document.
+func Load(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks structural consistency without building the system.
+func (f *File) Validate() error {
+	if f.Steps <= 0 {
+		return fmt.Errorf("scenario: steps %d must be positive", f.Steps)
+	}
+	if f.Demand <= 0 {
+		return errors.New("scenario: demand must be positive")
+	}
+	if len(f.Components) == 0 {
+		return errors.New("scenario: no components")
+	}
+	names := make(map[string]bool, len(f.Components))
+	groups := map[string]bool{}
+	for _, c := range f.Components {
+		if c.Name == "" {
+			return errors.New("scenario: component with empty name")
+		}
+		if names[c.Name] {
+			return fmt.Errorf("scenario: duplicate component %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Group != "" {
+			groups[c.Group] = true
+		}
+	}
+	for _, c := range f.Components {
+		for _, d := range c.DependsOn {
+			if !names[d] {
+				return fmt.Errorf("scenario: component %q depends on unknown %q", c.Name, d)
+			}
+		}
+		for _, g := range c.RequiresGroups {
+			if !groups[g] {
+				return fmt.Errorf("scenario: component %q requires unknown group %q", c.Name, g)
+			}
+		}
+	}
+	for i, fault := range f.Faults {
+		if fault.Step < 0 || fault.Step >= f.Steps {
+			return fmt.Errorf("scenario: fault %d at step %d outside run of %d steps", i, fault.Step, f.Steps)
+		}
+		switch fault.Type {
+		case "crash", "degrade", "repair":
+			if !names[fault.Target] {
+				return fmt.Errorf("scenario: fault %d targets unknown component %q", i, fault.Target)
+			}
+		case "crash-group":
+			if !groups[fault.Target] {
+				return fmt.Errorf("scenario: fault %d targets unknown group %q", i, fault.Target)
+			}
+		case "crash-random":
+			if fault.N < 1 {
+				return fmt.Errorf("scenario: fault %d crash-random needs n >= 1", i)
+			}
+		case "xevent":
+			if fault.Scale <= 0 || fault.Alpha <= 0 {
+				return fmt.Errorf("scenario: fault %d xevent needs positive scale and alpha", i)
+			}
+		default:
+			return fmt.Errorf("scenario: fault %d has unknown type %q", i, fault.Type)
+		}
+	}
+	if f.ModeSwitch != nil {
+		if f.Controller == nil {
+			return errors.New("scenario: modeSwitch requires controller")
+		}
+		if f.ModeSwitch.ExitAbove < f.ModeSwitch.EnterBelow {
+			return errors.New("scenario: modeSwitch exitAbove below enterBelow")
+		}
+		if f.ModeSwitch.EmergencyDemand <= 0 {
+			return errors.New("scenario: modeSwitch emergency demand must be positive")
+		}
+	}
+	return nil
+}
+
+// Build constructs the system and the name→ID index.
+func (f *File) Build() (*sysmodel.System, map[string]sysmodel.ComponentID, error) {
+	b := sysmodel.NewBuilder()
+	ids := make(map[string]sysmodel.ComponentID, len(f.Components))
+	// Two passes: declare all components first so forward dependencies
+	// resolve.
+	pending := make([][]sysmodel.ComponentOption, len(f.Components))
+	for i, c := range f.Components {
+		opts := make([]sysmodel.ComponentOption, 0, 4)
+		if c.Group != "" {
+			opts = append(opts, sysmodel.WithGroup(c.Group))
+		}
+		if c.DegradedFactor != nil {
+			opts = append(opts, sysmodel.WithDegradedFactor(*c.DegradedFactor))
+		}
+		if len(c.RequiresGroups) > 0 {
+			opts = append(opts, sysmodel.WithRequiresGroup(c.RequiresGroups...))
+		}
+		pending[i] = opts
+	}
+	// sysmodel's builder fixes dependencies at creation, so order
+	// components topologically by declaration: dependencies must be
+	// declared first. We therefore require DependsOn targets to appear
+	// earlier in the file.
+	for i, c := range f.Components {
+		opts := pending[i]
+		if len(c.DependsOn) > 0 {
+			depIDs := make([]sysmodel.ComponentID, 0, len(c.DependsOn))
+			for _, d := range c.DependsOn {
+				id, ok := ids[d]
+				if !ok {
+					return nil, nil, fmt.Errorf("scenario: component %q depends on %q which is declared later; declare dependencies first", c.Name, d)
+				}
+				depIDs = append(depIDs, id)
+			}
+			opts = append(opts, sysmodel.WithDependsOn(depIDs...))
+		}
+		ids[c.Name] = b.Component(c.Name, c.Capacity, opts...)
+	}
+	sys, err := b.Build(f.Demand, f.Reserve)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, ids, nil
+}
+
+// faultFor translates a declared fault into a chaos.Fault.
+func faultFor(fault Fault, ids map[string]sysmodel.ComponentID) (chaos.Fault, error) {
+	switch fault.Type {
+	case "crash":
+		return chaos.Crash{ID: ids[fault.Target]}, nil
+	case "degrade":
+		return chaos.Degrade{ID: ids[fault.Target]}, nil
+	case "repair":
+		return chaos.Repair{ID: ids[fault.Target]}, nil
+	case "crash-group":
+		return chaos.CrashGroup{Group: fault.Target}, nil
+	case "crash-random":
+		return chaos.CrashRandom{N: fault.N}, nil
+	case "xevent":
+		return chaos.XEvent{Scale: fault.Scale, Alpha: fault.Alpha}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown fault type %q", fault.Type)
+	}
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Name    string
+	Trace   *metrics.Trace
+	Profile core.Profile
+	// Injections logs the faults that fired.
+	Injections []chaos.InjectionRecord
+	// EmergencySteps counts steps spent in emergency mode (0 without
+	// modeSwitch).
+	EmergencySteps int
+}
+
+// Run executes the scenario with the given seed.
+func (f *File) Run(seed uint64) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	sys, ids, err := f.Build()
+	if err != nil {
+		return nil, err
+	}
+	var ctrl *mape.Controller
+	var mc *mape.ModeController
+	if f.Controller != nil {
+		ctrl = mape.NewController(f.baseline(), f.Controller.RepairBudget)
+		if f.Controller.ImpactPlanner {
+			ctrl.Planner = mape.ImpactPlanner{Sys: sys}
+		}
+		if f.ModeSwitch != nil {
+			sw, err := modeswitch.NewSwitcher(modeswitch.Config{
+				EnterBelow: f.ModeSwitch.EnterBelow,
+				ExitAbove:  f.ModeSwitch.ExitAbove,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mc, err = mape.NewModeController(ctrl, sw, map[modeswitch.Mode]mape.ModePolicy{
+				modeswitch.Normal: {
+					Demand:       f.Demand,
+					RepairBudget: f.Controller.RepairBudget,
+				},
+				modeswitch.Emergency: {
+					Demand:       f.ModeSwitch.EmergencyDemand,
+					RepairBudget: f.ModeSwitch.EmergencyRepairBudget,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	schedule := make(map[int][]chaos.Fault, len(f.Faults))
+	for _, fd := range f.Faults {
+		cf, err := faultFor(fd, ids)
+		if err != nil {
+			return nil, err
+		}
+		schedule[fd.Step] = append(schedule[fd.Step], cf)
+	}
+	r := rng.New(seed)
+	res := &Result{Name: f.Name}
+	tr := metrics.NewTrace(0, 1)
+	for step := 0; step < f.Steps; step++ {
+		for _, cf := range schedule[step] {
+			if err := cf.Inject(sys, r); err != nil {
+				return nil, fmt.Errorf("fault at step %d: %w", step, err)
+			}
+			res.Injections = append(res.Injections, chaos.InjectionRecord{
+				Step: step, Description: cf.String(),
+			})
+		}
+		rep := sys.Step()
+		tr.Append(rep.Quality)
+		switch {
+		case mc != nil:
+			_, mode, err := mc.Tick(sys)
+			if err != nil {
+				return nil, err
+			}
+			if mode == modeswitch.Emergency {
+				res.EmergencySteps++
+			}
+		case ctrl != nil:
+			if _, err := ctrl.Tick(sys); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Trace = tr
+	profile, err := core.Assess(tr, f.baseline())
+	if err != nil {
+		return nil, err
+	}
+	res.Profile = profile
+	return res, nil
+}
+
+func (f *File) baseline() float64 {
+	if f.BaselineQuality > 0 {
+		return f.BaselineQuality
+	}
+	return 99
+}

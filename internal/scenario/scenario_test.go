@@ -1,0 +1,340 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const gridJSON = `{
+  "name": "regional grid",
+  "demand": 300, "reserve": 10, "steps": 80, "baselineQuality": 99,
+  "components": [
+    {"name": "transmission", "capacity": 0, "group": "transmission"},
+    {"name": "nuclear-0", "capacity": 120, "group": "nuclear", "requiresGroups": ["transmission"]},
+    {"name": "thermal-0", "capacity": 120, "group": "thermal", "requiresGroups": ["transmission"]},
+    {"name": "thermal-1", "capacity": 100, "group": "thermal", "requiresGroups": ["transmission"]}
+  ],
+  "faults": [{"step": 10, "type": "crash-group", "target": "nuclear"}],
+  "controller": {"repairBudget": 1},
+  "modeSwitch": {"enterBelow": 80, "exitAbove": 99,
+                 "emergencyDemand": 220, "emergencyRepairBudget": 3}
+}`
+
+func TestLoadValid(t *testing.T) {
+	f, err := Load(strings.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "regional grid" || len(f.Components) != 4 || len(f.Faults) != 1 {
+		t.Fatalf("loaded = %+v", f)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"steps": 5, "bogus": 1}`)); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{nope`)); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func mutateJSON(t *testing.T, replace, with string) string {
+	t.Helper()
+	if !strings.Contains(gridJSON, replace) {
+		t.Fatalf("test fixture missing %q", replace)
+	}
+	return strings.Replace(gridJSON, replace, with, 1)
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string][2]string{
+		"zero steps":        {`"steps": 80`, `"steps": 0`},
+		"zero demand":       {`"demand": 300`, `"demand": 0`},
+		"dup name":          {`"name": "thermal-1"`, `"name": "thermal-0"`},
+		"unknown dep group": {`"requiresGroups": ["transmission"]}` + "\n" + `  ],`, `"requiresGroups": ["nope"]}` + "\n" + `  ],`},
+		"fault step":        {`"step": 10`, `"step": 99`},
+		"fault type":        {`"type": "crash-group"`, `"type": "explode"`},
+		"fault target":      {`"target": "nuclear"`, `"target": "solar"`},
+		"hysteresis":        {`"exitAbove": 99`, `"exitAbove": 10`},
+	}
+	for name, rw := range cases {
+		doc := mutateJSON(t, rw[0], rw[1])
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestValidateModeSwitchNeedsController(t *testing.T) {
+	doc := strings.Replace(gridJSON, `"controller": {"repairBudget": 1},`, ``, 1)
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Fatal("want error for modeSwitch without controller")
+	}
+}
+
+func TestBuildForwardDependencyRejected(t *testing.T) {
+	doc := `{
+  "demand": 10, "steps": 5,
+  "components": [
+    {"name": "api", "capacity": 10, "dependsOn": ["db"]},
+    {"name": "db", "capacity": 0}
+  ]
+}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Build(); err == nil {
+		t.Fatal("want error for dependency declared later")
+	}
+}
+
+func TestBuildAndIndex(t *testing.T) {
+	f, err := Load(strings.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, ids, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumComponents() != 4 || len(ids) != 4 {
+		t.Fatalf("components = %d index = %d", sys.NumComponents(), len(ids))
+	}
+	if _, ok := ids["nuclear-0"]; !ok {
+		t.Fatal("index missing nuclear-0")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	f, err := Load(strings.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() != 80 {
+		t.Fatalf("trace length = %d", res.Trace.Len())
+	}
+	if len(res.Injections) != 1 || res.Injections[0].Step != 10 {
+		t.Fatalf("injections = %+v", res.Injections)
+	}
+	if !res.Profile.Recovered {
+		t.Fatal("grid should recover with the controller")
+	}
+	if res.EmergencySteps == 0 {
+		t.Fatal("losing 120 of 340 capacity should trip emergency mode")
+	}
+	// Quality must have dipped (the fault really fired).
+	if res.Profile.Report.Robustness >= 100 {
+		t.Fatal("no quality dip recorded")
+	}
+}
+
+func TestRunWithoutController(t *testing.T) {
+	doc := `{
+  "demand": 100, "steps": 20,
+  "components": [
+    {"name": "a", "capacity": 50},
+    {"name": "b", "capacity": 50}
+  ],
+  "faults": [{"step": 3, "type": "crash", "target": "a"}]
+}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Recovered {
+		t.Fatal("uncontrolled crash should not recover")
+	}
+	if res.EmergencySteps != 0 {
+		t.Fatal("no mode switch configured")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	doc := `{
+  "demand": 100, "steps": 30,
+  "components": [
+    {"name": "a", "capacity": 25}, {"name": "b", "capacity": 25},
+    {"name": "c", "capacity": 25}, {"name": "d", "capacity": 25}
+  ],
+  "faults": [{"step": 2, "type": "xevent", "scale": 1, "alpha": 1.5}],
+  "controller": {"repairBudget": 1}
+}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profile.Report.Loss != b.Profile.Report.Loss {
+		t.Fatal("same seed must reproduce the same loss")
+	}
+}
+
+func TestDegradedFactorAndRepairFaults(t *testing.T) {
+	doc := `{
+  "demand": 100, "steps": 20,
+  "components": [{"name": "a", "capacity": 100, "degradedFactor": 0.25}],
+  "faults": [
+    {"step": 2, "type": "degrade", "target": "a"},
+    {"step": 10, "type": "repair", "target": "a"}
+  ]
+}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Report.Robustness != 25 {
+		t.Fatalf("robustness = %v, want 25 (degraded factor)", res.Profile.Report.Robustness)
+	}
+	if !res.Profile.Recovered {
+		t.Fatal("scheduled repair should recover the run")
+	}
+}
+
+func TestImpactPlannerOption(t *testing.T) {
+	doc := `{
+  "demand": 100, "steps": 25,
+  "components": [
+    {"name": "db", "capacity": 10},
+    {"name": "svc", "capacity": 90, "dependsOn": ["db"]}
+  ],
+  "faults": [
+    {"step": 2, "type": "crash", "target": "svc"},
+    {"step": 2, "type": "crash", "target": "db"}
+  ],
+  "controller": {"repairBudget": 1, "impactPlanner": true}
+}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Profile.Recovered {
+		t.Fatal("should recover")
+	}
+}
+
+func TestValidateMoreErrors(t *testing.T) {
+	cases := []string{
+		// empty component name
+		`{"demand": 10, "steps": 5, "components": [{"name": "", "capacity": 1}]}`,
+		// no components
+		`{"demand": 10, "steps": 5, "components": []}`,
+		// unknown dependency
+		`{"demand": 10, "steps": 5, "components": [{"name": "a", "capacity": 1, "dependsOn": ["ghost"]}]}`,
+		// crash-random without n
+		`{"demand": 10, "steps": 5, "components": [{"name": "a", "capacity": 1}],
+		  "faults": [{"step": 1, "type": "crash-random"}]}`,
+		// xevent without scale
+		`{"demand": 10, "steps": 5, "components": [{"name": "a", "capacity": 1}],
+		  "faults": [{"step": 1, "type": "xevent", "alpha": 2}]}`,
+		// negative fault step
+		`{"demand": 10, "steps": 5, "components": [{"name": "a", "capacity": 1}],
+		  "faults": [{"step": -1, "type": "crash", "target": "a"}]}`,
+		// mode switch with zero emergency demand
+		`{"demand": 10, "steps": 5, "components": [{"name": "a", "capacity": 1}],
+		  "controller": {"repairBudget": 1},
+		  "modeSwitch": {"enterBelow": 50, "exitAbove": 80, "emergencyDemand": 0,
+		                 "emergencyRepairBudget": 1}}`,
+	}
+	for i, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunPropagatesBuildError(t *testing.T) {
+	// Valid per Validate but rejected at Build (negative capacity is a
+	// builder-level error).
+	doc := `{"demand": 10, "steps": 5,
+	  "components": [{"name": "a", "capacity": -1}]}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(1); err == nil {
+		t.Fatal("want build error propagated from Run")
+	}
+}
+
+func TestBaselineDefault(t *testing.T) {
+	doc := `{"demand": 10, "steps": 5,
+	  "components": [{"name": "a", "capacity": 10}]}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.baseline() != 99 {
+		t.Fatalf("default baseline = %v, want 99", f.baseline())
+	}
+	f.BaselineQuality = 95
+	if f.baseline() != 95 {
+		t.Fatalf("explicit baseline = %v", f.baseline())
+	}
+}
+
+func TestFaultForUnknownType(t *testing.T) {
+	if _, err := faultFor(Fault{Type: "meteor"}, nil); err == nil {
+		t.Fatal("want error for unknown fault type")
+	}
+}
+
+func TestRunCrashGroupScenario(t *testing.T) {
+	// Exercise every fault constructor through Run.
+	doc := `{
+	  "demand": 100, "steps": 30,
+	  "components": [
+	    {"name": "a", "capacity": 40, "group": "g"},
+	    {"name": "b", "capacity": 40, "group": "g"},
+	    {"name": "c", "capacity": 20}
+	  ],
+	  "faults": [
+	    {"step": 2, "type": "crash-group", "target": "g"},
+	    {"step": 5, "type": "repair", "target": "a"},
+	    {"step": 6, "type": "repair", "target": "b"},
+	    {"step": 10, "type": "degrade", "target": "c"},
+	    {"step": 15, "type": "repair", "target": "c"},
+	    {"step": 20, "type": "crash-random", "n": 1},
+	    {"step": 22, "type": "xevent", "scale": 0.5, "alpha": 2}
+	  ],
+	  "controller": {"repairBudget": 2}
+	}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) != 7 {
+		t.Fatalf("injections = %d, want 7", len(res.Injections))
+	}
+}

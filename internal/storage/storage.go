@@ -1,0 +1,205 @@
+// Package storage models redundant disk arrays — the engineering
+// redundancy example of §3.1.2: "mission-critical storage systems use
+// RAID (Redundant Arrays of Inexpensive Disks) so that the system can
+// continue to function even though one or more disks fail."
+//
+// An Array is a group of disks with independent per-step failure
+// probability and a repair time. Data is lost when the number of
+// simultaneously failed disks exceeds the scheme's fault tolerance.
+// Monte-Carlo simulation estimates the probability of data loss over a
+// mission, for the classic schemes (striping, mirroring, single parity,
+// double parity).
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"resilience/internal/rng"
+)
+
+// Scheme is a redundancy layout.
+type Scheme int
+
+// Redundancy schemes.
+const (
+	// Striping (RAID 0): no redundancy — any failure loses data.
+	Striping Scheme = iota + 1
+	// Mirroring (RAID 1): tolerance 1 within a mirror pair.
+	Mirroring
+	// SingleParity (RAID 5): tolerance 1 across the group.
+	SingleParity
+	// DoubleParity (RAID 6): tolerance 2 across the group.
+	DoubleParity
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case Striping:
+		return "striping"
+	case Mirroring:
+		return "mirroring"
+	case SingleParity:
+		return "single-parity"
+	case DoubleParity:
+		return "double-parity"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Tolerance returns how many simultaneous failures the scheme survives.
+func (s Scheme) Tolerance() (int, error) {
+	switch s {
+	case Striping:
+		return 0, nil
+	case Mirroring, SingleParity:
+		return 1, nil
+	case DoubleParity:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown scheme %d", s)
+	}
+}
+
+// Overhead returns the extra disks the scheme needs for dataDisks of
+// data.
+func (s Scheme) Overhead(dataDisks int) (int, error) {
+	switch s {
+	case Striping:
+		return 0, nil
+	case Mirroring:
+		return dataDisks, nil
+	case SingleParity:
+		return 1, nil
+	case DoubleParity:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown scheme %d", s)
+	}
+}
+
+// Array is a disk group under a redundancy scheme.
+type Array struct {
+	// DataDisks is the number of data-bearing disks.
+	DataDisks int
+	// Scheme is the redundancy layout.
+	Scheme Scheme
+	// FailProb is each disk's independent per-step failure probability.
+	FailProb float64
+	// RepairSteps is how many steps a failed disk takes to rebuild.
+	RepairSteps int
+}
+
+// Validate checks the array parameters.
+func (a Array) Validate() error {
+	if a.DataDisks <= 0 {
+		return errors.New("storage: need at least one data disk")
+	}
+	if a.FailProb < 0 || a.FailProb > 1 {
+		return fmt.Errorf("storage: failure probability %v out of [0,1]", a.FailProb)
+	}
+	if a.RepairSteps < 1 {
+		return errors.New("storage: repair must take at least one step")
+	}
+	if _, err := a.Scheme.Tolerance(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TotalDisks returns data plus redundancy disks.
+func (a Array) TotalDisks() (int, error) {
+	over, err := a.Scheme.Overhead(a.DataDisks)
+	if err != nil {
+		return 0, err
+	}
+	return a.DataDisks + over, nil
+}
+
+// MissionResult summarizes a durability simulation.
+type MissionResult struct {
+	// Trials is the number of simulated missions.
+	Trials int
+	// Losses is how many missions lost data.
+	Losses int
+	// MeanTimeToLoss is the mean step of data loss among lost missions
+	// (NaN-free: 0 when no losses).
+	MeanTimeToLoss float64
+}
+
+// LossProb returns Losses/Trials.
+func (m MissionResult) LossProb() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return float64(m.Losses) / float64(m.Trials)
+}
+
+// SimulateMission runs `trials` missions of `steps` steps each and counts
+// missions where simultaneous failures exceeded the scheme's tolerance.
+func (a Array) SimulateMission(steps, trials int, r *rng.Source) (MissionResult, error) {
+	if err := a.Validate(); err != nil {
+		return MissionResult{}, err
+	}
+	if steps <= 0 || trials <= 0 {
+		return MissionResult{}, fmt.Errorf("storage: steps %d and trials %d must be positive", steps, trials)
+	}
+	total, err := a.TotalDisks()
+	if err != nil {
+		return MissionResult{}, err
+	}
+	tol, err := a.Scheme.Tolerance()
+	if err != nil {
+		return MissionResult{}, err
+	}
+	res := MissionResult{Trials: trials}
+	var lossTimeSum float64
+	repairLeft := make([]int, total)
+	for trial := 0; trial < trials; trial++ {
+		for i := range repairLeft {
+			repairLeft[i] = 0
+		}
+		for t := 1; t <= steps; t++ {
+			down := 0
+			for i := range repairLeft {
+				if repairLeft[i] > 0 {
+					repairLeft[i]--
+					if repairLeft[i] > 0 {
+						down++
+					}
+					continue
+				}
+				if r.Bool(a.FailProb) {
+					repairLeft[i] = a.RepairSteps
+					down++
+				}
+			}
+			if down > tol {
+				res.Losses++
+				lossTimeSum += float64(t)
+				break
+			}
+		}
+	}
+	if res.Losses > 0 {
+		res.MeanTimeToLoss = lossTimeSum / float64(res.Losses)
+	}
+	return res, nil
+}
+
+// CompareSchemes simulates the same workload under each scheme and
+// returns loss probabilities keyed by scheme.
+func CompareSchemes(dataDisks int, failProb float64, repairSteps, steps, trials int, r *rng.Source) (map[Scheme]MissionResult, error) {
+	out := make(map[Scheme]MissionResult, 4)
+	for _, s := range []Scheme{Striping, Mirroring, SingleParity, DoubleParity} {
+		a := Array{DataDisks: dataDisks, Scheme: s, FailProb: failProb, RepairSteps: repairSteps}
+		res, err := a.SimulateMission(steps, trials, r)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", s, err)
+		}
+		out[s] = res
+	}
+	return out, nil
+}

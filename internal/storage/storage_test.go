@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestSchemeProperties(t *testing.T) {
+	cases := []struct {
+		scheme    Scheme
+		tolerance int
+		overhead  int // for 4 data disks
+	}{
+		{Striping, 0, 0},
+		{Mirroring, 1, 4},
+		{SingleParity, 1, 1},
+		{DoubleParity, 2, 2},
+	}
+	for _, c := range cases {
+		tol, err := c.scheme.Tolerance()
+		if err != nil || tol != c.tolerance {
+			t.Errorf("%s tolerance = %d err=%v, want %d", c.scheme, tol, err, c.tolerance)
+		}
+		over, err := c.scheme.Overhead(4)
+		if err != nil || over != c.overhead {
+			t.Errorf("%s overhead = %d err=%v, want %d", c.scheme, over, err, c.overhead)
+		}
+		if c.scheme.String() == "" {
+			t.Errorf("scheme %d has no name", c.scheme)
+		}
+	}
+	if _, err := Scheme(99).Tolerance(); err == nil {
+		t.Error("want error for unknown scheme")
+	}
+	if _, err := Scheme(99).Overhead(4); err == nil {
+		t.Error("want error for unknown scheme overhead")
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme should still render")
+	}
+}
+
+func TestArrayValidate(t *testing.T) {
+	good := Array{DataDisks: 4, Scheme: SingleParity, FailProb: 0.001, RepairSteps: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Array{
+		{DataDisks: 0, Scheme: SingleParity, FailProb: 0.01, RepairSteps: 1},
+		{DataDisks: 4, Scheme: SingleParity, FailProb: -0.1, RepairSteps: 1},
+		{DataDisks: 4, Scheme: SingleParity, FailProb: 1.1, RepairSteps: 1},
+		{DataDisks: 4, Scheme: SingleParity, FailProb: 0.1, RepairSteps: 0},
+		{DataDisks: 4, Scheme: Scheme(99), FailProb: 0.1, RepairSteps: 1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("array %d should be invalid", i)
+		}
+	}
+}
+
+func TestTotalDisks(t *testing.T) {
+	a := Array{DataDisks: 6, Scheme: DoubleParity, FailProb: 0.01, RepairSteps: 5}
+	total, err := a.TotalDisks()
+	if err != nil || total != 8 {
+		t.Fatalf("total = %d err=%v, want 8", total, err)
+	}
+}
+
+func TestStripingLosesOnAnyFailure(t *testing.T) {
+	r := rng.New(1)
+	a := Array{DataDisks: 8, Scheme: Striping, FailProb: 0.01, RepairSteps: 10}
+	res, err := a.SimulateMission(500, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(no failure over 500 steps on 8 disks) ≈ (1-0.01)^(8*500) ≈ 0 —
+	// essentially every mission loses data.
+	if res.LossProb() < 0.99 {
+		t.Fatalf("striping loss prob = %v, want ~1", res.LossProb())
+	}
+	if res.MeanTimeToLoss <= 0 {
+		t.Fatalf("mean time to loss = %v", res.MeanTimeToLoss)
+	}
+}
+
+func TestRedundancyOrdering(t *testing.T) {
+	// §3.1.2: more redundancy, fewer losses. With identical disk counts
+	// of data, loss probability must be ordered
+	// striping > single parity > double parity.
+	r := rng.New(2)
+	results, err := CompareSchemes(8, 0.002, 5, 500, 600, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := results[Striping].LossProb()
+	single := results[SingleParity].LossProb()
+	double := results[DoubleParity].LossProb()
+	if !(strip > single && single > double) {
+		t.Fatalf("ordering violated: striping %v, single %v, double %v", strip, single, double)
+	}
+	if strip < 0.9 {
+		t.Fatalf("striping loss = %v, want near certain at these rates", strip)
+	}
+}
+
+func TestZeroFailProbNeverLoses(t *testing.T) {
+	r := rng.New(3)
+	a := Array{DataDisks: 4, Scheme: Striping, FailProb: 0, RepairSteps: 5}
+	res, err := a.SimulateMission(1000, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Losses != 0 {
+		t.Fatalf("losses = %d with zero failure probability", res.Losses)
+	}
+	if res.LossProb() != 0 || res.MeanTimeToLoss != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFasterRepairImprovesDurability(t *testing.T) {
+	r := rng.New(4)
+	slow := Array{DataDisks: 6, Scheme: SingleParity, FailProb: 0.005, RepairSteps: 40}
+	fast := Array{DataDisks: 6, Scheme: SingleParity, FailProb: 0.005, RepairSteps: 2}
+	resSlow, err := slow.SimulateMission(300, 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFast, err := fast.SimulateMission(300, 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFast.LossProb() >= resSlow.LossProb() {
+		t.Fatalf("fast repair loss %v should be below slow repair %v",
+			resFast.LossProb(), resSlow.LossProb())
+	}
+}
+
+func TestSimulateMissionValidation(t *testing.T) {
+	r := rng.New(5)
+	a := Array{DataDisks: 4, Scheme: SingleParity, FailProb: 0.01, RepairSteps: 5}
+	if _, err := a.SimulateMission(0, 10, r); err == nil {
+		t.Error("want error for zero steps")
+	}
+	if _, err := a.SimulateMission(10, 0, r); err == nil {
+		t.Error("want error for zero trials")
+	}
+	bad := Array{DataDisks: 0, Scheme: SingleParity, FailProb: 0.01, RepairSteps: 5}
+	if _, err := bad.SimulateMission(10, 10, r); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestLossProbEmpty(t *testing.T) {
+	if (MissionResult{}).LossProb() != 0 {
+		t.Fatal("empty result loss prob should be 0")
+	}
+}

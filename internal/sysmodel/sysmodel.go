@@ -1,0 +1,483 @@
+// Package sysmodel simulates a component-based service system — the
+// engineering substrate for the paper's infrastructure examples: reserve
+// capacity and universal resources (§3.1.2–3.1.3, the Japanese grid and
+// the auto makers' monetary reserves), interoperability as redundancy
+// (§3.1.3, the 9/11 communication breakdown), and the quality traces Q(t)
+// that feed the Bruneau resilience metric (§4.1).
+//
+// A System is a set of components with capacities, AND-dependencies
+// (every listed component must be functional), and OR-dependencies (at
+// least one functional member of a named group — interoperability).
+// Supply is the summed effective capacity of functional components;
+// shortfall against demand is covered by draining a reserve of universal
+// resource; quality is the served fraction of demand.
+//
+// All methods are safe for concurrent use so that a MAPE loop can monitor
+// and actuate while the simulation advances.
+package sysmodel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Status is a component's health state.
+type Status int
+
+// Component health states.
+const (
+	Up Status = iota + 1
+	Degraded
+	Down
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrUnknownComponent is returned for invalid component IDs.
+var ErrUnknownComponent = errors.New("sysmodel: unknown component")
+
+// ComponentID identifies a component within its System.
+type ComponentID int
+
+type component struct {
+	name           string
+	capacity       float64
+	degradedFactor float64
+	status         Status
+	group          string
+	dependsOn      []ComponentID
+	requiresGroups []string
+}
+
+// Builder assembles a System.
+type Builder struct {
+	comps []component
+	err   error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// ComponentOption customizes a component at construction.
+type ComponentOption func(*component)
+
+// WithGroup places the component in a named substitution group, making it
+// eligible to satisfy RequiresGroup dependencies — interoperability as a
+// form of redundancy.
+func WithGroup(name string) ComponentOption {
+	return func(c *component) { c.group = name }
+}
+
+// WithDependsOn declares AND-dependencies: the component is only
+// functional if every listed component is functional.
+func WithDependsOn(ids ...ComponentID) ComponentOption {
+	return func(c *component) { c.dependsOn = append(c.dependsOn, ids...) }
+}
+
+// WithRequiresGroup declares OR-dependencies: the component needs at
+// least one functional member of each named group.
+func WithRequiresGroup(groups ...string) ComponentOption {
+	return func(c *component) { c.requiresGroups = append(c.requiresGroups, groups...) }
+}
+
+// WithDegradedFactor sets the capacity multiplier applied when the
+// component is Degraded (default 0.5).
+func WithDegradedFactor(f float64) ComponentOption {
+	return func(c *component) { c.degradedFactor = f }
+}
+
+// Component adds a component with the given nominal capacity and returns
+// its ID.
+func (b *Builder) Component(name string, capacity float64, opts ...ComponentOption) ComponentID {
+	c := component{name: name, capacity: capacity, degradedFactor: 0.5, status: Up}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if capacity < 0 {
+		b.err = fmt.Errorf("sysmodel: component %q has negative capacity", name)
+	}
+	if c.degradedFactor < 0 || c.degradedFactor > 1 {
+		b.err = fmt.Errorf("sysmodel: component %q degraded factor out of [0,1]", name)
+	}
+	b.comps = append(b.comps, c)
+	return ComponentID(len(b.comps) - 1)
+}
+
+// Build validates the graph (ID ranges, dependency cycles) and returns a
+// System with the given service demand and initial reserve of universal
+// resource.
+func (b *Builder) Build(demand, reserve float64) (*System, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if demand <= 0 {
+		return nil, fmt.Errorf("sysmodel: demand %v must be positive", demand)
+	}
+	if reserve < 0 {
+		return nil, fmt.Errorf("sysmodel: negative reserve %v", reserve)
+	}
+	if len(b.comps) == 0 {
+		return nil, errors.New("sysmodel: no components")
+	}
+	n := len(b.comps)
+	for i, c := range b.comps {
+		for _, d := range c.dependsOn {
+			if d < 0 || int(d) >= n {
+				return nil, fmt.Errorf("%w: component %q depends on %d", ErrUnknownComponent, c.name, d)
+			}
+		}
+		_ = i
+	}
+	if err := checkAcyclic(b.comps); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		comps:   make([]component, n),
+		demand:  demand,
+		reserve: reserve,
+	}
+	copy(sys.comps, b.comps)
+	return sys, nil
+}
+
+func checkAcyclic(comps []component) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(comps))
+	var visit func(i int) error
+	visit = func(i int) error {
+		color[i] = gray
+		for _, d := range comps[i].dependsOn {
+			switch color[d] {
+			case gray:
+				return fmt.Errorf("sysmodel: dependency cycle through %q", comps[i].name)
+			case white:
+				if err := visit(int(d)); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range comps {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// System is a running service system.
+type System struct {
+	mu      sync.Mutex
+	comps   []component
+	demand  float64
+	reserve float64
+	time    int
+}
+
+// NumComponents returns the component count.
+func (s *System) NumComponents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.comps)
+}
+
+// Demand returns the current service demand.
+func (s *System) Demand() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.demand
+}
+
+// SetDemand adjusts the service demand — emergency load shedding raises
+// quality by lowering what counts as full service.
+func (s *System) SetDemand(d float64) error {
+	if d <= 0 {
+		return fmt.Errorf("sysmodel: demand %v must be positive", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.demand = d
+	return nil
+}
+
+// Reserve returns the remaining universal resource.
+func (s *System) Reserve() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reserve
+}
+
+// AddReserve tops up the reserve (negative amounts are ignored).
+func (s *System) AddReserve(amount float64) {
+	if amount <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserve += amount
+}
+
+// Time returns the number of steps taken.
+func (s *System) Time() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.time
+}
+
+// SetStatus changes a component's health state.
+func (s *System) SetStatus(id ComponentID, st Status) error {
+	if st != Up && st != Degraded && st != Down {
+		return fmt.Errorf("sysmodel: invalid status %d", st)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.comps) {
+		return fmt.Errorf("%w: %d", ErrUnknownComponent, id)
+	}
+	s.comps[id].status = st
+	return nil
+}
+
+// Status returns a component's health state.
+func (s *System) Status(id ComponentID) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.comps) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownComponent, id)
+	}
+	return s.comps[id].status, nil
+}
+
+// functionalSet computes, under the lock, which components are functional:
+// not Down, all AND-dependencies functional, and at least one functional
+// member of each required group.
+func (s *System) functionalSet() []bool {
+	n := len(s.comps)
+	const (
+		unknown = 0
+		pending = 1
+		yes     = 2
+		no      = 3
+	)
+	state := make([]int, n)
+	// Group membership index.
+	groupMembers := map[string][]int{}
+	for i, c := range s.comps {
+		if c.group != "" {
+			groupMembers[c.group] = append(groupMembers[c.group], i)
+		}
+	}
+	var eval func(i int) bool
+	eval = func(i int) bool {
+		switch state[i] {
+		case yes:
+			return true
+		case no:
+			return false
+		case pending:
+			// Dependency cycle through a group requirement; treat as
+			// non-functional to stay safe. (AND-cycles are rejected at
+			// Build; OR-cycles can only arise via groups.)
+			return false
+		}
+		state[i] = pending
+		ok := s.comps[i].status != Down
+		if ok {
+			for _, d := range s.comps[i].dependsOn {
+				if !eval(int(d)) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			for _, g := range s.comps[i].requiresGroups {
+				found := false
+				for _, m := range groupMembers[g] {
+					if m == i {
+						continue
+					}
+					if eval(m) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			state[i] = yes
+		} else {
+			state[i] = no
+		}
+		return ok
+	}
+	out := make([]bool, n)
+	for i := range s.comps {
+		out[i] = eval(i)
+	}
+	return out
+}
+
+// Functional reports whether a component is currently functional,
+// accounting for its dependencies.
+func (s *System) Functional(id ComponentID) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.comps) {
+		return false, fmt.Errorf("%w: %d", ErrUnknownComponent, id)
+	}
+	return s.functionalSet()[id], nil
+}
+
+// StepReport is the outcome of one simulation step.
+type StepReport struct {
+	// Supply is the effective capacity delivered by functional
+	// components.
+	Supply float64
+	// Covered is the shortfall covered by draining the reserve.
+	Covered float64
+	// ReserveLeft is the reserve after the step.
+	ReserveLeft float64
+	// Quality is the served fraction of demand in [0, 100].
+	Quality float64
+	// Time is the step index (1-based after the first step).
+	Time int
+}
+
+// Step advances one time step: computes supply, drains reserve against
+// any shortfall, and returns the report.
+func (s *System) Step() StepReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.time++
+	supply := s.supplyLocked()
+	shortfall := s.demand - supply
+	var covered float64
+	if shortfall > 0 && s.reserve > 0 {
+		covered = shortfall
+		if covered > s.reserve {
+			covered = s.reserve
+		}
+		s.reserve -= covered
+	}
+	served := supply + covered
+	q := served / s.demand * 100
+	if q > 100 {
+		q = 100
+	}
+	if q < 0 {
+		q = 0
+	}
+	return StepReport{
+		Supply:      supply,
+		Covered:     covered,
+		ReserveLeft: s.reserve,
+		Quality:     q,
+		Time:        s.time,
+	}
+}
+
+// ComponentInfo is a read-only component snapshot.
+type ComponentInfo struct {
+	ID       ComponentID
+	Name     string
+	Capacity float64
+	Status   Status
+	Group    string
+	// Functional accounts for dependencies, not just own status.
+	Functional bool
+}
+
+// Snapshot returns the state of every component.
+func (s *System) Snapshot() []ComponentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn := s.functionalSet()
+	out := make([]ComponentInfo, len(s.comps))
+	for i, c := range s.comps {
+		out[i] = ComponentInfo{
+			ID:         ComponentID(i),
+			Name:       c.name,
+			Capacity:   c.capacity,
+			Status:     c.status,
+			Group:      c.group,
+			Functional: fn[i],
+		}
+	}
+	return out
+}
+
+// RepairImpact returns how much effective supply would be restored by
+// bringing component id Up right now, holding everything else fixed —
+// including capacity unlocked downstream when dependents become
+// functional again. This is the global, "centralized" view of repair
+// priority (§4.5): a coordinator with the whole dependency graph can see
+// that fixing a hub is worth more than fixing a leaf.
+func (s *System) RepairImpact(id ComponentID) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.comps) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownComponent, id)
+	}
+	before := s.supplyLocked()
+	saved := s.comps[id].status
+	s.comps[id].status = Up
+	after := s.supplyLocked()
+	s.comps[id].status = saved
+	return after - before, nil
+}
+
+// supplyLocked computes total effective supply; caller holds the lock.
+func (s *System) supplyLocked() float64 {
+	fn := s.functionalSet()
+	var supply float64
+	for i, c := range s.comps {
+		if !fn[i] {
+			continue
+		}
+		eff := c.capacity
+		if c.status == Degraded {
+			eff *= c.degradedFactor
+		}
+		supply += eff
+	}
+	return supply
+}
+
+// DownComponents returns the IDs of components currently Down.
+func (s *System) DownComponents() []ComponentID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ComponentID
+	for i, c := range s.comps {
+		if c.status == Down {
+			out = append(out, ComponentID(i))
+		}
+	}
+	return out
+}

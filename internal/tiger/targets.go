@@ -1,0 +1,75 @@
+package tiger
+
+import (
+	"errors"
+
+	"resilience/internal/mape"
+	"resilience/internal/metrics"
+	"resilience/internal/sysmodel"
+)
+
+// ServiceTarget exposes a sysmodel service system (optionally under MAPE
+// control) as an attackable Target: an attack crashes the chosen
+// components at StrikeStep.
+type ServiceTarget struct {
+	// Build constructs a fresh system (and optional controller) per
+	// strike, so attacks never contaminate each other.
+	Build func() (*sysmodel.System, *mape.Controller, error)
+	// Steps is the run length.
+	Steps int
+	// StrikeStep is when the attack lands.
+	StrikeStep int
+
+	elements int
+}
+
+var _ Target = (*ServiceTarget)(nil)
+
+// NewServiceTarget validates the factory and probes the element count.
+func NewServiceTarget(build func() (*sysmodel.System, *mape.Controller, error), steps, strikeStep int) (*ServiceTarget, error) {
+	if build == nil {
+		return nil, errors.New("tiger: nil build function")
+	}
+	if steps <= strikeStep || strikeStep < 0 {
+		return nil, errors.New("tiger: need 0 <= strikeStep < steps")
+	}
+	sys, _, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return &ServiceTarget{
+		Build:      build,
+		Steps:      steps,
+		StrikeStep: strikeStep,
+		elements:   sys.NumComponents(),
+	}, nil
+}
+
+// Elements implements Target.
+func (t *ServiceTarget) Elements() int { return t.elements }
+
+// Strike implements Target.
+func (t *ServiceTarget) Strike(elements []int) (*metrics.Trace, error) {
+	sys, ctrl, err := t.Build()
+	if err != nil {
+		return nil, err
+	}
+	tr := metrics.NewTrace(0, 1)
+	for step := 0; step < t.Steps; step++ {
+		if step == t.StrikeStep {
+			for _, e := range elements {
+				if err := sys.SetStatus(sysmodel.ComponentID(e), sysmodel.Down); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rep := sys.Step()
+		tr.Append(rep.Quality)
+		if ctrl != nil {
+			if _, err := ctrl.Tick(sys); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,174 @@
+// Package tiger implements the paper's §5.3 proposal for testing
+// resilience: "The other is black-box testing, or testing by a so-called
+// 'tiger team'. In this approach, a group of highly skilled people try to
+// attack the system."
+//
+// A tiger team here is an adversarial search over bounded shocks: given a
+// system factory and a shock space (which components / bits to hit, up to
+// a budget), the team searches for the perturbation that maximizes the
+// Bruneau resilience loss. Random probing measures the *average* shock;
+// the tiger team measures the *worst case* the same budget can buy — the
+// gap between the two is a direct measurement of how misleading
+// average-case resilience claims are.
+package tiger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+)
+
+// Target abstracts the attacked system: the team proposes an attack (a
+// set of element indexes to hit) and receives the quality trace that
+// results.
+type Target interface {
+	// Elements returns the number of attackable elements.
+	Elements() int
+	// Strike runs a fresh instance of the system with the given elements
+	// shocked and returns its quality trace.
+	Strike(elements []int) (*metrics.Trace, error)
+}
+
+// Attack is one evaluated perturbation.
+type Attack struct {
+	// Elements are the attacked element indexes, sorted.
+	Elements []int
+	// Loss is the Bruneau loss the attack caused.
+	Loss float64
+	// Recovered reports whether the system recovered within the run.
+	Recovered bool
+}
+
+// Report summarizes a tiger-team engagement.
+type Report struct {
+	// Budget is the number of elements the attacker may hit.
+	Budget int
+	// Evaluations is how many attacks were simulated.
+	Evaluations int
+	// Worst is the most damaging attack found.
+	Worst Attack
+	// RandomMean is the mean loss of random attacks with the same
+	// budget — the average-case baseline.
+	RandomMean float64
+	// Amplification is Worst.Loss / RandomMean (worst-case premium).
+	Amplification float64
+}
+
+// Config tunes the search.
+type Config struct {
+	// Budget is the number of elements each attack may hit.
+	Budget int
+	// RandomProbes is the number of random attacks for the baseline
+	// (and initial population).
+	RandomProbes int
+	// Climbs is the number of hill-climbing passes from the best probe.
+	Climbs int
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.Budget < 1 {
+		return errors.New("tiger: budget must be at least 1")
+	}
+	if c.RandomProbes < 1 {
+		return errors.New("tiger: need at least one random probe")
+	}
+	if c.Climbs < 0 {
+		return errors.New("tiger: negative climbs")
+	}
+	return nil
+}
+
+// Engage runs the engagement: random probing for the baseline, then
+// greedy hill climbing (swap one attacked element at a time, keep
+// improvements) from the most damaging probe.
+func Engage(t Target, cfg Config, r *rng.Source) (Report, error) {
+	if t == nil {
+		return Report{}, errors.New("tiger: nil target")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := t.Elements()
+	if cfg.Budget > n {
+		return Report{}, fmt.Errorf("tiger: budget %d exceeds %d attackable elements", cfg.Budget, n)
+	}
+	rep := Report{Budget: cfg.Budget}
+
+	evaluate := func(elements []int) (Attack, error) {
+		sorted := append([]int(nil), elements...)
+		sort.Ints(sorted)
+		tr, err := t.Strike(sorted)
+		if err != nil {
+			return Attack{}, err
+		}
+		loss, err := tr.Loss()
+		if err != nil {
+			return Attack{}, err
+		}
+		rep.Evaluations++
+		recovered := true
+		for _, e := range tr.Episodes(99) {
+			if !e.Recovered() {
+				recovered = false
+			}
+		}
+		return Attack{Elements: sorted, Loss: loss, Recovered: recovered}, nil
+	}
+
+	// Phase 1: random probing.
+	var lossSum float64
+	best := Attack{Loss: -1}
+	for i := 0; i < cfg.RandomProbes; i++ {
+		atk, err := evaluate(r.Perm(n)[:cfg.Budget])
+		if err != nil {
+			return Report{}, err
+		}
+		lossSum += atk.Loss
+		if atk.Loss > best.Loss {
+			best = atk
+		}
+	}
+	rep.RandomMean = lossSum / float64(cfg.RandomProbes)
+
+	// Phase 2: hill climbing — swap one attacked element for one
+	// unattacked element; keep strict improvements.
+	current := best
+	for climb := 0; climb < cfg.Climbs; climb++ {
+		improved := false
+		inAttack := make(map[int]bool, len(current.Elements))
+		for _, e := range current.Elements {
+			inAttack[e] = true
+		}
+		outOrder := r.Perm(n)
+		for slot := 0; slot < len(current.Elements) && !improved; slot++ {
+			for _, candidate := range outOrder {
+				if inAttack[candidate] {
+					continue
+				}
+				trial := append([]int(nil), current.Elements...)
+				trial[slot] = candidate
+				atk, err := evaluate(trial)
+				if err != nil {
+					return Report{}, err
+				}
+				if atk.Loss > current.Loss {
+					current = atk
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	rep.Worst = current
+	if rep.RandomMean > 0 {
+		rep.Amplification = rep.Worst.Loss / rep.RandomMean
+	}
+	return rep, nil
+}

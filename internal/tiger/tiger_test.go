@@ -1,0 +1,202 @@
+package tiger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"resilience/internal/mape"
+	"resilience/internal/metrics"
+	"resilience/internal/rng"
+	"resilience/internal/sysmodel"
+)
+
+// weightedTarget is a synthetic target where element i contributes loss
+// weight[i]; the worst attack is provably the top-budget weights.
+type weightedTarget struct {
+	weights []float64
+}
+
+func (t *weightedTarget) Elements() int { return len(t.weights) }
+
+func (t *weightedTarget) Strike(elements []int) (*metrics.Trace, error) {
+	var damage float64
+	for _, e := range elements {
+		if e < 0 || e >= len(t.weights) {
+			return nil, errors.New("element out of range")
+		}
+		damage += t.weights[e]
+	}
+	// A trace with a single dip of depth proportional to damage.
+	tr := metrics.NewTrace(0, 1)
+	tr.Append(100)
+	tr.Append(100 - damage)
+	tr.Append(100)
+	return tr, nil
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Budget: 1, RandomProbes: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Budget: 0, RandomProbes: 1},
+		{Budget: 1, RandomProbes: 0},
+		{Budget: 1, RandomProbes: 1, Climbs: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestEngageValidation(t *testing.T) {
+	r := rng.New(1)
+	tgt := &weightedTarget{weights: []float64{1, 2, 3}}
+	if _, err := Engage(nil, Config{Budget: 1, RandomProbes: 1}, r); err == nil {
+		t.Error("want error for nil target")
+	}
+	if _, err := Engage(tgt, Config{Budget: 5, RandomProbes: 1}, r); err == nil {
+		t.Error("want error for budget > elements")
+	}
+	if _, err := Engage(tgt, Config{Budget: 0, RandomProbes: 1}, r); err == nil {
+		t.Error("want config validation error")
+	}
+}
+
+func TestEngageFindsProvablyWorstAttack(t *testing.T) {
+	// Weights 1..10; budget 3; the worst attack is {7,8,9} (weights
+	// 8+9+10 = 27). Hill climbing from any start must find it.
+	weights := make([]float64, 10)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	tgt := &weightedTarget{weights: weights}
+	r := rng.New(2)
+	rep, err := Engage(tgt, Config{Budget: 3, RandomProbes: 5, Climbs: 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Worst.Elements) != 3 {
+		t.Fatalf("worst attack size = %d", len(rep.Worst.Elements))
+	}
+	want := []int{7, 8, 9}
+	for i, e := range rep.Worst.Elements {
+		if e != want[i] {
+			t.Fatalf("worst attack = %v, want %v", rep.Worst.Elements, want)
+		}
+	}
+	if rep.Worst.Loss != 27 {
+		t.Fatalf("worst loss = %v, want 27", rep.Worst.Loss)
+	}
+	if rep.Amplification <= 1 {
+		t.Fatalf("amplification = %v, want > 1", rep.Amplification)
+	}
+	if rep.Evaluations < 5 {
+		t.Fatalf("evaluations = %d", rep.Evaluations)
+	}
+}
+
+func TestEngageNoClimbsIsRandomBest(t *testing.T) {
+	tgt := &weightedTarget{weights: []float64{5, 1, 1, 1}}
+	r := rng.New(3)
+	rep, err := Engage(tgt, Config{Budget: 1, RandomProbes: 50, Climbs: 0}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 50 single-element probes over 4 elements, element 0 is
+	// certainly sampled.
+	if rep.Worst.Loss != 5 {
+		t.Fatalf("worst loss = %v, want 5", rep.Worst.Loss)
+	}
+	if rep.Evaluations != 50 {
+		t.Fatalf("evaluations = %d, want exactly the probes", rep.Evaluations)
+	}
+}
+
+func buildTieredSystem() (*sysmodel.System, *mape.Controller, error) {
+	// A system with one critical hub: the database every service needs.
+	b := sysmodel.NewBuilder()
+	db := b.Component("db", 10)
+	for i := 0; i < 7; i++ {
+		b.Component(fmt.Sprintf("svc-%d", i), 20, sysmodel.WithDependsOn(db))
+	}
+	sys, err := b.Build(150, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, mape.NewController(99, 1), nil
+}
+
+func TestNewServiceTargetValidation(t *testing.T) {
+	if _, err := NewServiceTarget(nil, 10, 2); err == nil {
+		t.Error("want error for nil build")
+	}
+	if _, err := NewServiceTarget(buildTieredSystem, 5, 5); err == nil {
+		t.Error("want error for strikeStep >= steps")
+	}
+	if _, err := NewServiceTarget(buildTieredSystem, 5, -1); err == nil {
+		t.Error("want error for negative strikeStep")
+	}
+	broken := func() (*sysmodel.System, *mape.Controller, error) {
+		return nil, nil, errors.New("boom")
+	}
+	if _, err := NewServiceTarget(broken, 10, 2); err == nil {
+		t.Error("want factory error propagated")
+	}
+}
+
+func TestTigerTeamFindsTheHub(t *testing.T) {
+	// §5.3: the tiger team should discover that hitting the database hub
+	// is far worse than a random component, because every service
+	// depends on it.
+	tgt, err := NewServiceTarget(buildTieredSystem, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Elements() != 8 {
+		t.Fatalf("elements = %d", tgt.Elements())
+	}
+	r := rng.New(4)
+	rep, err := Engage(tgt, Config{Budget: 1, RandomProbes: 8, Climbs: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Worst.Elements) != 1 || rep.Worst.Elements[0] != 0 {
+		t.Fatalf("worst attack = %v, want the db (element 0)", rep.Worst.Elements)
+	}
+	if rep.Amplification < 2 {
+		t.Fatalf("amplification = %v, want the hub to be much worse than average", rep.Amplification)
+	}
+}
+
+func TestStrikeIsolation(t *testing.T) {
+	// Consecutive strikes must not contaminate each other.
+	tgt, err := NewServiceTarget(buildTieredSystem, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := tgt.Strike([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := tgt.Strike(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := tr1.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := tr2.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 != 0 {
+		t.Fatalf("unshocked run has loss %v: state leaked between strikes", l2)
+	}
+	if l1 <= 0 {
+		t.Fatalf("hub strike loss = %v", l1)
+	}
+}

@@ -1,0 +1,254 @@
+// Package xevent implements the extreme-event statistics of §3.4.6: "common
+// statistics based on Gaussian distribution, mean values, and standard
+// deviations etc. do not work for extreme events … Many extreme events,
+// such as earthquakes, are known to follow a power-law distribution, and
+// depending on the parameter, a power-law distribution may not have a
+// finite average value or a finite standard deviation. This means that we
+// can not rely on insurance because insurance is based on the estimated
+// average loss of multiple incidents."
+//
+// The package provides shock ensembles (Gaussian vs Pareto), sample-mean
+// stability diagnostics, an insurance ruin model, and the sea-wall
+// decision problem (how high to build against power-law flood heights).
+package xevent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resilience/internal/rng"
+)
+
+// ShockDist generates shock magnitudes.
+type ShockDist interface {
+	// Sample draws one shock magnitude (non-negative).
+	Sample(r *rng.Source) float64
+	// String names the distribution.
+	String() string
+}
+
+// Gaussian is a truncated-at-zero normal shock distribution — the "thin
+// tailed" world where averages work.
+type Gaussian struct {
+	Mean, StdDev float64
+}
+
+var _ ShockDist = Gaussian{}
+
+// Sample implements ShockDist.
+func (g Gaussian) Sample(r *rng.Source) float64 {
+	v := r.Norm(g.Mean, g.StdDev)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// String implements ShockDist.
+func (g Gaussian) String() string { return fmt.Sprintf("gaussian(%v,%v)", g.Mean, g.StdDev) }
+
+// Pareto is a power-law shock distribution; Alpha <= 1 has infinite mean,
+// Alpha <= 2 infinite variance.
+type Pareto struct {
+	Scale, Alpha float64
+}
+
+var _ ShockDist = Pareto{}
+
+// Sample implements ShockDist.
+func (p Pareto) Sample(r *rng.Source) float64 { return r.Pareto(p.Scale, p.Alpha) }
+
+// String implements ShockDist.
+func (p Pareto) String() string { return fmt.Sprintf("pareto(%v,%v)", p.Scale, p.Alpha) }
+
+// MeanStability diagnoses whether the sample mean of a shock ensemble is
+// trustworthy: it draws n samples and reports the largest single-sample
+// share of the total (for heavy tails one event dominates) and the
+// relative drift of the running mean over the last half of the sample.
+type MeanStability struct {
+	N             int
+	Mean          float64
+	MaxShare      float64
+	HalfMeanDrift float64
+	LargestSample float64
+}
+
+// AssessMeanStability draws n samples and computes the diagnostics.
+func AssessMeanStability(d ShockDist, n int, r *rng.Source) (MeanStability, error) {
+	if d == nil {
+		return MeanStability{}, errors.New("xevent: nil distribution")
+	}
+	if n < 10 {
+		return MeanStability{}, fmt.Errorf("xevent: need at least 10 samples, got %d", n)
+	}
+	var total, largest float64
+	var halfMean float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		total += v
+		if v > largest {
+			largest = v
+		}
+		if i == n/2-1 {
+			halfMean = total / float64(n/2)
+		}
+	}
+	mean := total / float64(n)
+	out := MeanStability{N: n, Mean: mean, LargestSample: largest}
+	if total > 0 {
+		out.MaxShare = largest / total
+	}
+	if halfMean > 0 {
+		out.HalfMeanDrift = math.Abs(mean-halfMean) / halfMean
+	}
+	return out, nil
+}
+
+// Insurer models the paper's insurance argument: capital collects a
+// premium per period and pays the period's losses; ruin occurs when
+// capital goes negative.
+type Insurer struct {
+	// Capital is the starting reserve.
+	Capital float64
+	// Premium is the income per period.
+	Premium float64
+	// LossesPerPeriod is the expected number of claims per period
+	// (Poisson).
+	LossesPerPeriod float64
+}
+
+// Validate checks the insurer parameters.
+func (ins Insurer) Validate() error {
+	if ins.Capital <= 0 || ins.Premium < 0 || ins.LossesPerPeriod < 0 {
+		return fmt.Errorf("xevent: invalid insurer %+v", ins)
+	}
+	return nil
+}
+
+// RuinProbability simulates `trials` runs of `periods` periods with claim
+// sizes from the distribution and returns the fraction that went broke.
+func (ins Insurer) RuinProbability(d ShockDist, periods, trials int, r *rng.Source) (float64, error) {
+	if err := ins.Validate(); err != nil {
+		return 0, err
+	}
+	if d == nil {
+		return 0, errors.New("xevent: nil distribution")
+	}
+	if periods <= 0 || trials <= 0 {
+		return 0, fmt.Errorf("xevent: periods %d and trials %d must be positive", periods, trials)
+	}
+	ruined := 0
+	for trial := 0; trial < trials; trial++ {
+		capital := ins.Capital
+		for t := 0; t < periods; t++ {
+			capital += ins.Premium
+			claims := r.Poisson(ins.LossesPerPeriod)
+			for c := 0; c < claims; c++ {
+				capital -= d.Sample(r)
+			}
+			if capital < 0 {
+				ruined++
+				break
+			}
+		}
+	}
+	return float64(ruined) / float64(trials), nil
+}
+
+// WallProblem is the sea-wall decision of §3.4.6: flood heights follow a
+// power law (the 2011 tsunami was 14 m against a 5.7 m design; the Meiji
+// Sanriku tsunami reached 40 m); walls cost money per meter; each
+// overtopping event costs a fixed catastrophic damage.
+type WallProblem struct {
+	// Floods is the flood-height distribution (meters).
+	Floods Pareto
+	// EventsPerYear is the expected number of significant floods per
+	// year (Poisson).
+	EventsPerYear float64
+	// CostPerMeter is the construction cost of one meter of wall.
+	CostPerMeter float64
+	// DamagePerOvertop is the loss when a flood exceeds the wall.
+	DamagePerOvertop float64
+	// Years is the planning horizon.
+	Years int
+}
+
+// Validate checks the problem parameters.
+func (w WallProblem) Validate() error {
+	if w.Floods.Scale <= 0 || w.Floods.Alpha <= 0 {
+		return errors.New("xevent: flood distribution needs positive scale and alpha")
+	}
+	if w.EventsPerYear < 0 || w.CostPerMeter < 0 || w.DamagePerOvertop < 0 || w.Years <= 0 {
+		return fmt.Errorf("xevent: invalid wall problem %+v", w)
+	}
+	return nil
+}
+
+// OvertopProbability returns P(flood height > h) for one flood event.
+func (w WallProblem) OvertopProbability(h float64) float64 {
+	if h <= w.Floods.Scale {
+		return 1
+	}
+	return math.Pow(w.Floods.Scale/h, w.Floods.Alpha)
+}
+
+// ExpectedCost returns the analytic expected total cost of a wall of
+// height h over the horizon: construction plus expected overtopping
+// damage.
+func (w WallProblem) ExpectedCost(h float64) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if h < 0 {
+		return 0, fmt.Errorf("xevent: negative wall height %v", h)
+	}
+	expectedOvertops := w.EventsPerYear * float64(w.Years) * w.OvertopProbability(h)
+	return w.CostPerMeter*h + w.DamagePerOvertop*expectedOvertops, nil
+}
+
+// Optimize evaluates the candidate heights and returns the cheapest, its
+// cost, and all candidate costs in input order.
+func (w WallProblem) Optimize(heights []float64) (best float64, bestCost float64, costs []float64, err error) {
+	if len(heights) == 0 {
+		return 0, 0, nil, errors.New("xevent: no candidate heights")
+	}
+	costs = make([]float64, len(heights))
+	bestCost = math.Inf(1)
+	for i, h := range heights {
+		c, cerr := w.ExpectedCost(h)
+		if cerr != nil {
+			return 0, 0, nil, cerr
+		}
+		costs[i] = c
+		if c < bestCost {
+			best, bestCost = h, c
+		}
+	}
+	return best, bestCost, costs, nil
+}
+
+// SimulateDamage Monte-Carlo checks the analytic expectation: it returns
+// the mean total cost of a wall of height h over `trials` horizons.
+func (w WallProblem) SimulateDamage(h float64, trials int, r *rng.Source) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if h < 0 || trials <= 0 {
+		return 0, fmt.Errorf("xevent: invalid h=%v trials=%d", h, trials)
+	}
+	var total float64
+	for trial := 0; trial < trials; trial++ {
+		cost := w.CostPerMeter * h
+		for y := 0; y < w.Years; y++ {
+			events := r.Poisson(w.EventsPerYear)
+			for e := 0; e < events; e++ {
+				if w.Floods.Sample(r) > h {
+					cost += w.DamagePerOvertop
+				}
+			}
+		}
+		total += cost
+	}
+	return total / float64(trials), nil
+}

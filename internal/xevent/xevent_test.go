@@ -1,0 +1,237 @@
+package xevent
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+func TestShockDistStrings(t *testing.T) {
+	if (Gaussian{Mean: 1, StdDev: 2}).String() == "" || (Pareto{Scale: 1, Alpha: 2}).String() == "" {
+		t.Fatal("distributions must name themselves")
+	}
+}
+
+func TestGaussianTruncation(t *testing.T) {
+	r := rng.New(1)
+	g := Gaussian{Mean: 0.5, StdDev: 2}
+	for i := 0; i < 10000; i++ {
+		if g.Sample(r) < 0 {
+			t.Fatal("gaussian shock went negative")
+		}
+	}
+}
+
+func TestAssessMeanStabilityValidation(t *testing.T) {
+	r := rng.New(2)
+	if _, err := AssessMeanStability(nil, 100, r); err == nil {
+		t.Error("want error for nil distribution")
+	}
+	if _, err := AssessMeanStability(Gaussian{Mean: 1, StdDev: 1}, 5, r); err == nil {
+		t.Error("want error for tiny n")
+	}
+}
+
+func TestGaussianMeansStable(t *testing.T) {
+	r := rng.New(3)
+	ms, err := AssessMeanStability(Gaussian{Mean: 10, StdDev: 2}, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MaxShare > 0.01 {
+		t.Fatalf("gaussian max share = %v, want tiny", ms.MaxShare)
+	}
+	if ms.HalfMeanDrift > 0.02 {
+		t.Fatalf("gaussian mean drift = %v, want tiny", ms.HalfMeanDrift)
+	}
+	if math.Abs(ms.Mean-10) > 0.1 {
+		t.Fatalf("mean = %v", ms.Mean)
+	}
+}
+
+func TestParetoHeavyTailUnstable(t *testing.T) {
+	// §3.4.6: for alpha near 1 the mean is dominated by single events.
+	// Compare the heavy tail against the Gaussian on the same metric and
+	// require an order-of-magnitude difference.
+	r := rng.New(4)
+	heavy, err := AssessMeanStability(Pareto{Scale: 1, Alpha: 1.1}, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := AssessMeanStability(Gaussian{Mean: 10, StdDev: 2}, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MaxShare < 50*light.MaxShare {
+		t.Fatalf("heavy-tail max share %v should dwarf gaussian %v", heavy.MaxShare, light.MaxShare)
+	}
+	if heavy.LargestSample < 1000 {
+		t.Fatalf("largest pareto(1.1) sample = %v over 1e5 draws, suspiciously small", heavy.LargestSample)
+	}
+}
+
+func TestInsurerValidate(t *testing.T) {
+	if err := (Insurer{Capital: 100, Premium: 1, LossesPerPeriod: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Insurer{
+		{Capital: 0, Premium: 1, LossesPerPeriod: 1},
+		{Capital: 10, Premium: -1, LossesPerPeriod: 1},
+		{Capital: 10, Premium: 1, LossesPerPeriod: -1},
+	}
+	for i, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("insurer %d should be invalid", i)
+		}
+	}
+}
+
+func TestInsuranceWorksForThinTails(t *testing.T) {
+	// Premium priced 30% above expected Gaussian losses: the insurer
+	// should essentially never go broke.
+	r := rng.New(5)
+	ins := Insurer{Capital: 200, Premium: 13, LossesPerPeriod: 1}
+	ruin, err := ins.RuinProbability(Gaussian{Mean: 10, StdDev: 3}, 500, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruin > 0.02 {
+		t.Fatalf("gaussian ruin = %v, want ~0", ruin)
+	}
+}
+
+func TestInsuranceFailsForHeavyTails(t *testing.T) {
+	// Same premium margin against Pareto(alpha=1.1) claims whose
+	// empirical "mean" looks similar early on: ruin becomes common —
+	// "we can not rely on insurance".
+	r := rng.New(6)
+	// Pareto(1, 1.1) has mean 11 — same nominal expected claim as the
+	// Gaussian case above — but infinite variance.
+	ins := Insurer{Capital: 200, Premium: 13, LossesPerPeriod: 1}
+	ruin, err := ins.RuinProbability(Pareto{Scale: 1, Alpha: 1.1}, 500, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruin < 0.1 {
+		t.Fatalf("heavy-tail ruin = %v, want substantial (thin-tail case is ~0)", ruin)
+	}
+}
+
+func TestRuinProbabilityValidation(t *testing.T) {
+	r := rng.New(7)
+	ins := Insurer{Capital: 10, Premium: 1, LossesPerPeriod: 1}
+	if _, err := ins.RuinProbability(nil, 10, 10, r); err == nil {
+		t.Error("want error for nil distribution")
+	}
+	if _, err := ins.RuinProbability(Gaussian{Mean: 1, StdDev: 1}, 0, 10, r); err == nil {
+		t.Error("want error for zero periods")
+	}
+	if _, err := (Insurer{}).RuinProbability(Gaussian{Mean: 1, StdDev: 1}, 10, 10, r); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func defaultWall() WallProblem {
+	return WallProblem{
+		Floods:           Pareto{Scale: 1, Alpha: 1.8},
+		EventsPerYear:    0.5,
+		CostPerMeter:     10,
+		DamagePerOvertop: 500,
+		Years:            100,
+	}
+}
+
+func TestWallValidate(t *testing.T) {
+	if err := defaultWall().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := defaultWall()
+	bad.Floods.Alpha = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for zero alpha")
+	}
+	bad2 := defaultWall()
+	bad2.Years = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("want error for zero years")
+	}
+}
+
+func TestOvertopProbability(t *testing.T) {
+	w := defaultWall()
+	if p := w.OvertopProbability(0.5); p != 1 {
+		t.Fatalf("below scale p = %v, want 1", p)
+	}
+	p2 := w.OvertopProbability(2)
+	want := math.Pow(0.5, 1.8)
+	if math.Abs(p2-want) > 1e-12 {
+		t.Fatalf("p(2) = %v, want %v", p2, want)
+	}
+	if w.OvertopProbability(40) >= w.OvertopProbability(15) {
+		t.Fatal("overtop probability must decrease with height")
+	}
+}
+
+func TestExpectedCostShape(t *testing.T) {
+	// Very low walls pay in damage; very high walls pay in concrete.
+	// The optimum is interior and far below the 40 m historical maximum
+	// — the paper's point that "it is not practical to build such a
+	// high sea wall".
+	w := defaultWall()
+	heights := []float64{0.5, 2, 5.7, 10, 15, 25, 40}
+	best, bestCost, costs, err := w.Optimize(heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != len(heights) {
+		t.Fatalf("costs = %d", len(costs))
+	}
+	if best <= 0.5 {
+		t.Fatalf("optimal wall %v: zero protection should not win", best)
+	}
+	if best >= 40 {
+		t.Fatalf("optimal wall %v: historical-max wall should not win", best)
+	}
+	cost40, err := w.ExpectedCost(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestCost >= cost40 {
+		t.Fatalf("best cost %v should beat the 40m wall %v", bestCost, cost40)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	w := defaultWall()
+	if _, _, _, err := w.Optimize(nil); err == nil {
+		t.Error("want error for no candidates")
+	}
+	if _, _, _, err := w.Optimize([]float64{-1}); err == nil {
+		t.Error("want error for negative height")
+	}
+	if _, err := w.ExpectedCost(-5); err == nil {
+		t.Error("want error for negative height")
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	r := rng.New(8)
+	w := defaultWall()
+	for _, h := range []float64{2, 5.7, 15} {
+		analytic, err := w.ExpectedCost(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := w.SimulateDamage(h, 4000, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mc-analytic)/analytic > 0.1 {
+			t.Fatalf("h=%v: MC %v vs analytic %v", h, mc, analytic)
+		}
+	}
+	if _, err := w.SimulateDamage(5, 0, r); err == nil {
+		t.Error("want error for zero trials")
+	}
+}

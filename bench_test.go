@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -13,12 +14,14 @@ import (
 	"resilience/internal/magent"
 	"resilience/internal/maintain"
 	"resilience/internal/rng"
+	"resilience/internal/runner"
 )
 
-// benchExperiment runs one registered experiment workload per iteration.
-// Quick mode keeps the full sweep of `go test -bench=.` tractable while
-// exercising exactly the code paths that regenerate each table; run the
-// cmd/resilience CLI for full-size tables.
+// benchExperiment runs one registered experiment workload per iteration,
+// including text rendering. Quick mode keeps the full sweep of
+// `go test -bench=.` tractable while exercising exactly the code paths
+// that regenerate each table; run the cmd/resilience CLI for full-size
+// tables.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := experiments.Find(id)
@@ -29,9 +32,33 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, cfg); err != nil {
+		res, err := e.Record(cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		if err := experiments.RenderText(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllParallel measures the wall time of the full -quick suite on
+// the bounded worker pool, serial vs one worker per CPU. On multi-core
+// hardware jobs=NumCPU should come in well below jobs=1; on a single-core
+// machine the two coincide.
+func BenchmarkAllParallel(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		b.Run("jobs="+strconv.Itoa(jobs), func(b *testing.B) {
+			exps := experiments.All()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum := runner.Run(exps, runner.Options{Jobs: jobs, Seed: 42, Quick: true}, nil)
+				if sum.Failed != 0 {
+					b.Fatalf("suite failed: %+v", sum)
+				}
+			}
+		})
 	}
 }
 

@@ -9,100 +9,229 @@
 //	resilience bok                  # print the resilience strategy catalogue
 //	resilience scenario FILE.json   # run a declarative chaos scenario
 //
-// Flags:
+// Flags (accepted before or after positional arguments):
 //
-//	-seed N    random seed (default 42)
-//	-quick     shrink workloads for a fast smoke run
+//	-seed N       root random seed (default 42); each experiment runs with
+//	              a seed derived from it, so single runs reproduce suite rows
+//	-quick        shrink workloads for a fast smoke run
+//	-jobs N       run up to N experiments concurrently (default GOMAXPROCS)
+//	-format F     output format: text (default) or json
+//	-out DIR      also write one JSON result file per experiment to DIR
+//
+// Rendered results go to stdout and are byte-identical for a given seed
+// whatever -jobs is; per-experiment timing and the suite summary go to
+// stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"resilience/internal/core"
 	"resilience/internal/experiments"
+	"resilience/internal/runner"
 	"resilience/internal/scenario"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "resilience:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
-	if len(args) == 0 {
-		usage(w)
-		return fmt.Errorf("missing command")
-	}
-	cmd := args[0]
-	rest := args[1:]
-	// Allow the scenario path before or after flags: hoist the first
-	// non-flag token so `scenario file.json -seed 7` also parses.
+// options are the flags shared by every subcommand.
+type options struct {
+	seed   uint64
+	quick  bool
+	jobs   int
+	format string
+	outDir string
+}
+
+// parseInterleaved parses args with fs, allowing flags and positional
+// arguments in any order (the stdlib stops at the first positional).
+// It returns the positional arguments in their original order.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
 	var positional []string
-	var flagArgs []string
-	for i := 0; i < len(rest); i++ {
-		a := rest[i]
-		if len(a) > 0 && a[0] != '-' && len(positional) == 0 && len(flagArgs) == 0 {
-			positional = append(positional, a)
-			continue
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
 		}
-		flagArgs = append(flagArgs, rest[i:]...)
-		break
-	}
-	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-	fs.SetOutput(w)
-	seed := fs.Uint64("seed", 42, "random seed")
-	quick := fs.Bool("quick", false, "shrink workloads for a fast run")
-	if err := fs.Parse(flagArgs); err != nil {
-		return err
-	}
-	positional = append(positional, fs.Args()...)
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	switch cmd {
-	case "help", "-h", "--help":
-		usage(w)
-		return nil
-	case "list":
-		return list(w)
-	case "bok":
-		return bok(w)
-	case "scenario":
-		if len(positional) != 1 {
-			return fmt.Errorf("usage: resilience scenario <file.json> [-seed N]")
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return positional, nil
 		}
-		return runScenario(w, positional[0], *seed)
-	case "all":
-		for _, e := range experiments.All() {
-			start := time.Now()
-			if err := e.Run(w, cfg); err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			fmt.Fprintf(w, "[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
-		return nil
-	default:
-		e, ok := experiments.Find(cmd)
-		if !ok {
-			usage(w)
-			return fmt.Errorf("unknown command %q", cmd)
-		}
-		return e.Run(w, cfg)
+		positional = append(positional, rest[0])
+		args = rest[1:]
 	}
 }
 
-func list(w io.Writer) error {
-	for _, e := range experiments.All() {
-		fmt.Fprintf(w, "%s  %-55s %s\n", e.ID, e.Title, e.Source)
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stdout)
+		return fmt.Errorf("missing command")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opt options
+	fs.Uint64Var(&opt.seed, "seed", 42, "root random seed")
+	fs.BoolVar(&opt.quick, "quick", false, "shrink workloads for a fast run")
+	fs.IntVar(&opt.jobs, "jobs", runtime.GOMAXPROCS(0), "max experiments running concurrently")
+	fs.StringVar(&opt.format, "format", "text", "output format: text or json")
+	fs.StringVar(&opt.outDir, "out", "", "directory for per-experiment JSON result files")
+	positional, err := parseInterleaved(fs, args[1:])
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "help", "-h", "--help":
+		usage(stdout)
+		return nil
+	case "list":
+		return list(stdout, opt)
+	case "bok":
+		return bok(stdout, opt)
+	case "scenario":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: resilience scenario <file.json> [-seed N] [-format text|json]")
+		}
+		return runScenario(stdout, positional[0], opt)
+	case "all":
+		return runSuite(stdout, stderr, experiments.All(), opt)
+	default:
+		e, ok := experiments.Find(cmd)
+		if !ok {
+			usage(stdout)
+			return fmt.Errorf("unknown command %q", cmd)
+		}
+		return runSuite(stdout, stderr, []experiments.Experiment{e}, opt)
+	}
+}
+
+// runSuite executes the experiments on the parallel runner, renders the
+// results to stdout in ID order, and reports progress and the final
+// summary on stderr. Failures are isolated: every experiment runs, and
+// the command exits non-zero at the end if any failed.
+func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt options) error {
+	render, err := experiments.NewRenderer(opt.format)
+	if err != nil {
+		return err
+	}
+	if opt.outDir != "" {
+		if err := os.MkdirAll(opt.outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	suite := len(exps) > 1
+	var renderErr, firstErr error
+	var emitted int
+	emit := func(o runner.Outcome) {
+		if o.Err != nil && firstErr == nil {
+			firstErr = o.Err
+		}
+		if emitted > 0 && opt.format != "json" {
+			fmt.Fprintln(stdout)
+		}
+		emitted++
+		if err := render.Render(stdout, o.Result); err != nil && renderErr == nil {
+			renderErr = err
+		}
+		if opt.outDir != "" {
+			if err := writeArtifact(opt.outDir, o.Result); err != nil && renderErr == nil {
+				renderErr = err
+			}
+		}
+		status := "ok"
+		if o.Err != nil {
+			status = "FAILED: " + o.Err.Error()
+		}
+		fmt.Fprintf(stderr, "[%s %s in %v, ~%s alloc]\n",
+			o.Experiment.ID, status, o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
+	}
+	sum := runner.Run(exps, runner.Options{Jobs: opt.jobs, Seed: opt.seed, Quick: opt.quick}, emit)
+	if suite {
+		fmt.Fprintf(stderr, "%d passed / %d failed in %v (seed %d, jobs %d)\n",
+			sum.Passed, sum.Failed, sum.Elapsed.Round(time.Millisecond), opt.seed, opt.jobs)
+	}
+	if renderErr != nil {
+		return renderErr
+	}
+	if sum.Failed > 0 {
+		if !suite {
+			return firstErr
+		}
+		return fmt.Errorf("%d of %d experiments failed: %s",
+			sum.Failed, sum.Total, strings.Join(sum.FailedIDs, ", "))
 	}
 	return nil
 }
 
-func bok(w io.Writer) error {
+// writeArtifact writes one JSON result document to dir/<id>.json.
+func writeArtifact(dir string, res *experiments.Result) error {
+	f, err := os.Create(filepath.Join(dir, res.ID+".json"))
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderJSON(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fmtBytes renders a byte count compactly for progress lines.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func list(w io.Writer, opt options) error {
+	if opt.format == "json" {
+		type entry struct {
+			ID            string   `json:"id"`
+			Title         string   `json:"title"`
+			Source        string   `json:"source"`
+			Modules       []string `json:"modules"`
+			SupportsQuick bool     `json:"supportsQuick"`
+		}
+		var entries []entry
+		for _, e := range experiments.All() {
+			entries = append(entries, entry{e.ID, e.Title, e.Source, e.Modules, e.SupportsQuick})
+		}
+		return writeJSON(w, entries)
+	}
+	for _, e := range experiments.All() {
+		quick := "quick"
+		if !e.SupportsQuick {
+			quick = "full "
+		}
+		fmt.Fprintf(w, "%s  %-55s %-14s %s  [%s]\n",
+			e.ID, e.Title, e.Source, quick, strings.Join(e.Modules, " "))
+	}
+	return nil
+}
+
+func bok(w io.Writer, opt options) error {
+	if opt.format == "json" {
+		return writeJSON(w, core.Catalogue())
+	}
 	for _, entry := range core.Catalogue() {
 		kind := "active"
 		if entry.Kind.Passive() {
@@ -122,7 +251,7 @@ func bok(w io.Writer) error {
 	return nil
 }
 
-func runScenario(w io.Writer, path string, seed uint64) error {
+func runScenario(w io.Writer, path string, opt options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -132,16 +261,43 @@ func runScenario(w io.Writer, path string, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	res, err := doc.Run(seed)
+	res, err := doc.Run(opt.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "scenario: %s (%d steps, seed %d)\n", res.Name, res.Trace.Len(), seed)
+	rep := res.Profile.Report
+	if opt.format == "json" {
+		type injection struct {
+			Step        int    `json:"step"`
+			Description string `json:"description"`
+		}
+		doc := struct {
+			Name           string      `json:"name"`
+			Seed           uint64      `json:"seed"`
+			Steps          int         `json:"steps"`
+			Injections     []injection `json:"injections"`
+			Loss           float64     `json:"loss"`
+			Normalized     float64     `json:"normalized"`
+			Robustness     float64     `json:"robustness"`
+			Recovered      bool        `json:"recovered"`
+			Grade          string      `json:"grade"`
+			EmergencySteps int         `json:"emergencySteps"`
+		}{
+			Name: res.Name, Seed: opt.seed, Steps: res.Trace.Len(),
+			Loss: rep.Loss, Normalized: rep.Normalized, Robustness: rep.Robustness,
+			Recovered: res.Profile.Recovered, Grade: fmt.Sprintf("%v", res.Profile.Grade),
+			EmergencySteps: res.EmergencySteps,
+		}
+		for _, inj := range res.Injections {
+			doc.Injections = append(doc.Injections, injection{inj.Step, inj.Description})
+		}
+		return writeJSON(w, doc)
+	}
+	fmt.Fprintf(w, "scenario: %s (%d steps, seed %d)\n", res.Name, res.Trace.Len(), opt.seed)
 	for _, inj := range res.Injections {
 		fmt.Fprintf(w, "  step %3d: %s\n", inj.Step, inj.Description)
 	}
 	fmt.Fprintf(w, "quality  %s\n", res.Trace.Sparkline(64))
-	rep := res.Profile.Report
 	fmt.Fprintf(w, "loss=%.1f normalized=%.4f robustness=%.1f recovered=%v grade=%s\n",
 		rep.Loss, rep.Normalized, rep.Robustness, res.Profile.Recovered, res.Profile.Grade)
 	if res.EmergencySteps > 0 {
@@ -158,13 +314,28 @@ func runScenario(w io.Writer, path string, seed uint64) error {
 	return nil
 }
 
+// writeJSON renders v as an indented JSON document.
+func writeJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick]
+	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR]
 
 commands:
-  list                    list all experiments
-  all                     run every experiment
+  list                    list all experiments (id, title, source, quick support, modules)
+  all                     run every experiment on a bounded worker pool
   bok                     print the resilience strategy catalogue
   e01..e31                run one experiment
-  scenario <file.json>    run a declarative chaos scenario`)
+  scenario <file.json>    run a declarative chaos scenario
+
+Each experiment's seed is derived from -seed and its ID, so a single run
+reproduces the corresponding rows of a full-suite run with the same seed.
+Results go to stdout (deterministic for a seed, independent of -jobs);
+timing, allocation and the pass/fail summary go to stderr.`)
 }

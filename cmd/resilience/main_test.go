@@ -2,108 +2,298 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"resilience/internal/experiments"
 )
 
+// runCLI invokes run with separate stdout/stderr buffers.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
 func TestRunList(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"list"}, &buf); err != nil {
+	out, _, err := runCLI(t, "list")
+	if err != nil {
 		t.Fatal(err)
 	}
-	out := buf.String()
-	for _, id := range []string{"e01", "e10", "e22"} {
+	for _, id := range []string{"e01", "e10", "e22", "e31"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("list output missing %s", id)
 		}
 	}
+	// The listing carries the registry metadata: modules and quick support.
+	if !strings.Contains(out, "[metrics]") || !strings.Contains(out, "quick") {
+		t.Errorf("list output missing modules/quick columns:\n%s", out)
+	}
+}
+
+func TestRunListJSON(t *testing.T) {
+	out, _, err := runCLI(t, "list", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		ID      string   `json:"id"`
+		Modules []string `json:"modules"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("list -format json is not valid JSON: %v", err)
+	}
+	if len(entries) != 31 || entries[0].ID != "e01" || len(entries[0].Modules) == 0 {
+		t.Fatalf("unexpected list JSON: %d entries, first %+v", len(entries), entries[0])
+	}
 }
 
 func TestRunBok(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"bok"}, &buf); err != nil {
+	out, _, err := runCLI(t, "bok")
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"redundancy", "diversity", "adaptability", "mode-switching"} {
-		if !strings.Contains(buf.String(), want) {
+		if !strings.Contains(out, want) {
 			t.Errorf("bok output missing %q", want)
 		}
+	}
+	jsonOut, _, err := runCLI(t, "bok", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(jsonOut)) {
+		t.Fatal("bok -format json is not valid JSON")
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"e01", "-quick"}, &buf); err != nil {
+	out, _, err := runCLI(t, "e01", "-quick")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "e01") {
+	if !strings.Contains(out, "e01") {
 		t.Fatal("experiment output missing header")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run(nil, &buf); err == nil {
+	if _, _, err := runCLI(t); err == nil {
 		t.Error("want error for no command")
 	}
-	if err := run([]string{"e99"}, &buf); err == nil {
+	if _, _, err := runCLI(t, "e99"); err == nil {
 		t.Error("want error for unknown experiment")
 	}
-	if err := run([]string{"e01", "-bogusflag"}, &buf); err == nil {
+	if _, _, err := runCLI(t, "e01", "-bogusflag"); err == nil {
 		t.Error("want flag parse error")
+	}
+	if _, _, err := runCLI(t, "e01", "-quick", "-format", "xml"); err == nil {
+		t.Error("want error for unknown format")
 	}
 }
 
 func TestRunHelp(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"help"}, &buf); err != nil {
+	out, _, err := runCLI(t, "help")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "usage:") {
+	if !strings.Contains(out, "usage:") {
 		t.Fatal("help output missing usage")
 	}
 }
 
 func TestRunSeedFlag(t *testing.T) {
-	var a, b bytes.Buffer
-	if err := run([]string{"e08", "-quick", "-seed", "7"}, &a); err != nil {
+	a, _, err := runCLI(t, "e08", "-quick", "-seed", "7")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"e08", "-quick", "-seed", "7"}, &b); err != nil {
+	b, _, err := runCLI(t, "e08", "-quick", "-seed", "7")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if a.String() != b.String() {
+	if a != b {
 		t.Fatal("same seed should reproduce identical output")
 	}
 }
 
-func TestRunScenarioCommand(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"scenario", "../../examples/scenario/grid.json", "-seed", "42"}, &buf); err != nil {
+func TestParseInterleaved(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		seed uint64
+		pos  []string
+	}{
+		{[]string{"file.json", "-seed", "7"}, 7, []string{"file.json"}},
+		{[]string{"-seed", "7", "file.json"}, 7, []string{"file.json"}},
+		{[]string{"a", "-seed", "7", "b"}, 7, []string{"a", "b"}},
+		{[]string{"-seed", "7"}, 7, nil},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		seed := fs.Uint64("seed", 42, "")
+		pos, err := parseInterleaved(fs, tc.args)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if *seed != tc.seed || !reflect.DeepEqual(pos, tc.pos) {
+			t.Errorf("%v: seed=%d pos=%v, want seed=%d pos=%v", tc.args, *seed, pos, tc.seed, tc.pos)
+		}
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	if _, err := parseInterleaved(fs, []string{"x", "-nope"}); err == nil {
+		t.Error("want error for unknown flag after positional")
+	}
+}
+
+// TestRunAllDeterministicAcrossJobs is the golden determinism check: the
+// full quick suite rendered at -jobs 1 and -jobs 8 must be byte-identical.
+func TestRunAllDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	j1, err1, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "1")
+	if err != nil {
+		t.Fatalf("jobs=1: %v\n%s", err, err1)
+	}
+	j8, err8, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "8")
+	if err != nil {
+		t.Fatalf("jobs=8: %v\n%s", err, err8)
+	}
+	if j1 != j8 {
+		t.Fatal("suite stdout differs between -jobs 1 and -jobs 8")
+	}
+	if !strings.Contains(err8, "31 passed / 0 failed") {
+		t.Fatalf("summary missing from stderr:\n%s", err8)
+	}
+}
+
+// TestRunAllFlagOrderings checks the satellite requirement that flags
+// parse wherever they appear relative to positionals.
+func TestRunAllFlagOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	a, _, err := runCLI(t, "all", "-quick", "-seed", "7")
+	if err != nil {
 		t.Fatal(err)
 	}
-	out := buf.String()
+	b, _, err := runCLI(t, "all", "-seed", "7", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("flag order changed the suite output")
+	}
+}
+
+// TestRunSingleMatchesSuite checks the derived-seed contract: a single
+// experiment run reproduces its section of an `all` run byte for byte.
+func TestRunSingleMatchesSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	suite, _, err := runCLI(t, "all", "-quick", "-seed", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := runCLI(t, "e08", "-quick", "-seed", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(suite, single) {
+		t.Fatal("single e08 run does not reproduce its suite section")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out, _, err := runCLI(t, "e17", "-quick", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res experiments.Result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-format json output is not one valid JSON document: %v", err)
+	}
+	if res.ID != "e17" || len(res.Tables) == 0 {
+		t.Fatalf("JSON result incomplete: %+v", res)
+	}
+	for _, tb := range res.Tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %q has no rows", tb.Name)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Errorf("table %q: ragged row", tb.Name)
+			}
+		}
+	}
+	if len(res.Scalars) == 0 {
+		t.Error("e17 should export scalars")
+	}
+}
+
+func TestRunOutArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runCLI(t, "e08", "-quick", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e08.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res experiments.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if res.ID != "e08" || len(res.Tables) == 0 {
+		t.Fatalf("artifact incomplete: %+v", res)
+	}
+}
+
+func TestRunScenarioCommand(t *testing.T) {
+	out, _, err := runCLI(t, "scenario", "../../examples/scenario/grid.json", "-seed", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"regional grid", "crash-group(nuclear)", "grade="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("scenario output missing %q:\n%s", want, out)
 		}
 	}
 	// Flags-before-path order also parses.
-	var buf2 bytes.Buffer
-	if err := run([]string{"scenario", "-seed", "42", "../../examples/scenario/grid.json"}, &buf2); err != nil {
+	out2, _, err := runCLI(t, "scenario", "-seed", "42", "../../examples/scenario/grid.json")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if buf.String() != buf2.String() {
+	if out != out2 {
 		t.Error("flag order changed the result")
+	}
+	jsonOut, _, err := runCLI(t, "scenario", "../../examples/scenario/grid.json", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name  string `json:"name"`
+		Grade string `json:"grade"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &doc); err != nil {
+		t.Fatalf("scenario -format json invalid: %v", err)
+	}
+	if doc.Name == "" || doc.Grade == "" {
+		t.Fatalf("scenario JSON incomplete: %+v", doc)
 	}
 }
 
 func TestRunScenarioErrors(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"scenario"}, &buf); err == nil {
+	if _, _, err := runCLI(t, "scenario"); err == nil {
 		t.Error("want usage error for missing path")
 	}
-	if err := run([]string{"scenario", "/nonexistent.json"}, &buf); err == nil {
+	if _, _, err := runCLI(t, "scenario", "/nonexistent.json"); err == nil {
 		t.Error("want error for missing file")
 	}
 }

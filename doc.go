@@ -17,7 +17,11 @@
 //
 //   - internal/core — the public façade: strategy catalogue (BoK),
 //     scenario runner, resilience profiles and grades, budget optimizer;
-//   - cmd/resilience — the experiment CLI (e01..e22, all, bok, list);
+//   - internal/experiments + internal/runner — the experiment registry,
+//     structured Recorder/Result layer with text and JSON renderers, and
+//     the bounded-parallel suite runner;
+//   - cmd/resilience — the experiment CLI (e01..e31, all, bok, list,
+//     scenario; -seed, -quick, -jobs, -format, -out);
 //   - examples/ — runnable walkthroughs (quickstart, spacecraft,
 //     ecosystem, gridops, portfolio);
 //   - DESIGN.md / EXPERIMENTS.md — the system inventory and the

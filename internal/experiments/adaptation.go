@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"resilience/internal/ca"
 	"resilience/internal/chaos"
@@ -14,6 +13,19 @@ import (
 	"resilience/internal/sysmodel"
 	"resilience/internal/xevent"
 )
+
+func init() {
+	Register(Experiment{ID: "e13", Title: "MAPE adaptation budget vs resilience loss",
+		Source: "§3.3.2", Modules: []string{"mape", "sysmodel", "metrics"}, Run: E13})
+	Register(Experiment{ID: "e14", Title: "Early-warning signals before a fold bifurcation",
+		Source: "§3.4.1", Modules: []string{"dynamics", "rng"}, SupportsQuick: true, Run: E14})
+	Register(Experiment{ID: "e15", Title: "Gaussian vs power-law shocks and insurance ruin",
+		Source: "§3.4.6", Modules: []string{"xevent", "rng"}, SupportsQuick: true, Run: E15})
+	Register(Experiment{ID: "e16", Title: "Sea-wall height optimization under Pareto floods",
+		Source: "§3.4.6", Modules: []string{"xevent", "rng"}, SupportsQuick: true, Run: E16})
+	Register(Experiment{ID: "e17", Title: "Mode switching on/off under an X-event",
+		Source: "§3.4.6", Modules: []string{"mape", "modeswitch", "chaos", "sysmodel", "metrics", "rng"}, Run: E17})
+}
 
 // caForest is a small indirection so experiment files stay import-tidy.
 func caForest(side, suppress int) (*ca.Forest, error) {
@@ -43,10 +55,8 @@ func buildFarm(n int, demand, reserve float64) (*sysmodel.System, []sysmodel.Com
 // same mass failure, recovered under different per-cycle repair budgets.
 // Expected shape: Bruneau loss falls monotonically as the adaptation
 // budget grows.
-func E13(w io.Writer, cfg Config) error {
-	section(w, "e13", "MAPE adaptation budget vs resilience loss", "§3.3.2")
-	tb := newTable(w)
-	fmt.Fprintln(tb, "repairBudget/cycle\tloss\trecoverySteps")
+func E13(rec *Recorder, cfg Config) error {
+	tb := rec.Table("repair-budget", "repairBudget/cycle", "loss", "recoverySteps")
 	for _, budget := range []int{1, 2, 4, 8} {
 		sys, ids, err := buildFarm(16, 160, 0)
 		if err != nil {
@@ -77,24 +87,22 @@ func E13(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%.1f\t%d\n", budget, loss, recovery)
+		tb.Row(D(budget), F("%.1f", loss), D(recovery))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E14 reproduces §3.4.1 (Scheffer): ramping the driver of a fold
 // bifurcation produces rising lag-1 autocorrelation and variance before
 // the tip; the detector fires with positive lead time.
-func E14(w io.Writer, cfg Config) error {
-	section(w, "e14", "early-warning signals before a tipping point", "§3.4.1")
+func E14(rec *Recorder, cfg Config) error {
 	steps := 40000
 	window := 1000
 	if cfg.Quick {
 		steps = 12000
 		window = 400
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "run\ttipped\ttipStep\tAR1trend\tvarTrend\talarmStep\tleadTime")
+	tb := rec.Table("early-warning", "run", "tipped", "tipStep", "AR1trend", "varTrend", "alarmStep", "leadTime")
 	for run := 0; run < 3; run++ {
 		r := rng.New(cfg.Seed + uint64(run))
 		m := dynamics.DefaultFoldModel()
@@ -103,31 +111,30 @@ func E14(w io.Writer, cfg Config) error {
 			return err
 		}
 		if res.TipIndex < 0 {
-			fmt.Fprintf(tb, "%d\tfalse\t-\t-\t-\t-\t-\n", run)
+			tb.Row(D(run), B(false), S("-"), S("-"), S("-"), S("-"), S("-"))
 			continue
 		}
 		det, err := dynamics.DetectBeforeTip(res, window, 0.3)
 		if err != nil {
 			return err
 		}
-		alarm := "-"
-		lead := "-"
+		alarm := S("-")
+		lead := S("-")
 		if det.Alarmed {
-			alarm = fmt.Sprintf("%d", det.AlarmIndex)
-			lead = fmt.Sprintf("%d", det.LeadTime)
+			alarm = D(det.AlarmIndex)
+			lead = D(det.LeadTime)
 		}
-		fmt.Fprintf(tb, "%d\ttrue\t%d\t%.2f\t%.2f\t%s\t%s\n",
-			run, res.TipIndex, det.Signals.AR1Trend, det.Signals.VarianceTrend, alarm, lead)
+		tb.Row(D(run), B(true), D(res.TipIndex),
+			F("%.2f", det.Signals.AR1Trend), F("%.2f", det.Signals.VarianceTrend), alarm, lead)
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E15 reproduces §3.4.6 (Taleb): Gaussian sample means stabilize; Pareto
 // means with alpha near 1 are dominated by single events; an insurer
 // priced above the Gaussian mean survives thin tails but is ruined by
 // heavy tails with the same nominal expected claim.
-func E15(w io.Writer, cfg Config) error {
-	section(w, "e15", "Gaussian vs power-law shocks; insurance ruin", "§3.4.6")
+func E15(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	n := 100000
 	trials := 400
@@ -135,8 +142,7 @@ func E15(w io.Writer, cfg Config) error {
 		n = 10000
 		trials = 80
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "distribution\tsampleMean\tmaxShareOfTotal\thalfMeanDrift\tlargestSample")
+	tb := rec.Table("mean-stability", "distribution", "sampleMean", "maxShareOfTotal", "halfMeanDrift", "largestSample")
 	dists := []xevent.ShockDist{
 		xevent.Gaussian{Mean: 10, StdDev: 2},
 		xevent.Pareto{Scale: 1, Alpha: 2.5},
@@ -148,15 +154,11 @@ func E15(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%s\t%.2f\t%.4f\t%.4f\t%.1f\n",
-			d, ms.Mean, ms.MaxShare, ms.HalfMeanDrift, ms.LargestSample)
-	}
-	if err := tb.Flush(); err != nil {
-		return err
+		tb.Row(C("%s", d), F("%.2f", ms.Mean), F("%.4f", ms.MaxShare),
+			F("%.4f", ms.HalfMeanDrift), F("%.1f", ms.LargestSample))
 	}
 	ins := xevent.Insurer{Capital: 200, Premium: 13, LossesPerPeriod: 1}
-	tb2 := newTable(w)
-	fmt.Fprintln(tb2, "claimDistribution\truinProbability")
+	tb2 := rec.Table("insurance-ruin", "claimDistribution", "ruinProbability")
 	for _, d := range []xevent.ShockDist{
 		xevent.Gaussian{Mean: 10, StdDev: 3},
 		xevent.Pareto{Scale: 1, Alpha: 1.1}, // same nominal mean 11
@@ -165,17 +167,16 @@ func E15(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb2, "%s\t%.3f\n", d, ruin)
+		tb2.Row(C("%s", d), F("%.3f", ruin))
 	}
-	return tb2.Flush()
+	return nil
 }
 
 // E16 reproduces the sea-wall debate of §3.4.6 with the paper's anchor
 // heights (5.7 m design, 15 m needed in 2011, 40 m Meiji Sanriku):
 // expected total cost over a century is minimized far below the
 // historical maximum.
-func E16(w io.Writer, cfg Config) error {
-	section(w, "e16", "sea-wall height optimization", "§3.4.6")
+func E16(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	trials := 4000
 	if cfg.Quick {
@@ -193,20 +194,18 @@ func E16(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "wallHeight(m)\tP(overtop|flood)\texpectedCost(analytic)\texpectedCost(MC)")
+	tb := rec.Table("wall-costs", "wallHeight(m)", "P(overtop|flood)", "expectedCost(analytic)", "expectedCost(MC)")
 	for i, h := range heights {
 		mc, err := w1.SimulateDamage(h, trials, r)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%.1f\t%.4f\t%.0f\t%.0f\n", h, w1.OvertopProbability(h), costs[i], mc)
+		tb.Row(F("%.1f", h), F("%.4f", w1.OvertopProbability(h)), F("%.0f", costs[i]), F("%.0f", mc))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "optimal height %.1f m at expected cost %.0f (40 m wall costs %.0f)\n",
+	rec.Notef("optimal height %.1f m at expected cost %.0f (40 m wall costs %.0f)",
 		best, bestCost, costs[len(costs)-1])
+	rec.Scalar("optimal-height-m", best)
+	rec.Scalar("optimal-expected-cost", bestCost)
 	return nil
 }
 
@@ -214,8 +213,7 @@ func E16(w io.Writer, cfg Config) error {
 // X-event, a system that switches to an emergency policy (shed load,
 // mobilize repairs) suffers a much smaller loss integral than one that
 // keeps its normal policy.
-func E17(w io.Writer, cfg Config) error {
-	section(w, "e17", "mode switching on/off under an X-event", "§3.4.6")
+func E17(rec *Recorder, cfg Config) error {
 	steps := 60
 	run := func(withSwitch bool) (loss float64, emergencySteps int, err error) {
 		sys, _, err := buildFarm(20, 200, 0)
@@ -272,14 +270,11 @@ func E17(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "policy\tlossIntegral\tstepsInEmergencyMode")
-	fmt.Fprintf(tb, "normal-only\t%.1f\t0\n", lossOff)
-	fmt.Fprintf(tb, "mode-switching\t%.1f\t%d\n", lossOn, emergency)
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "mode switching reduced the loss integral by %.0f%%\n",
-		100*(lossOff-lossOn)/lossOff)
+	tb := rec.Table("mode-switching", "policy", "lossIntegral", "stepsInEmergencyMode")
+	tb.Row(S("normal-only"), F("%.1f", lossOff), D(0))
+	tb.Row(S("mode-switching"), F("%.1f", lossOn), D(emergency))
+	reduction := 100 * (lossOff - lossOn) / lossOff
+	rec.Notef("mode switching reduced the loss integral by %.0f%%", reduction)
+	rec.Scalar("loss-reduction-pct", reduction)
 	return nil
 }

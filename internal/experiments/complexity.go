@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
 	"math"
 	"sort"
 
@@ -15,13 +13,25 @@ import (
 	"resilience/internal/sysmodel"
 )
 
+func init() {
+	Register(Experiment{ID: "e18", Title: "Redundancy/diversity/adaptability budget sweep",
+		Source: "§4.4", Modules: []string{"magent"}, SupportsQuick: true, Run: E18})
+	Register(Experiment{ID: "e19", Title: "Sandpile criticality and small interventions",
+		Source: "§4.5", Modules: []string{"ca", "stats", "rng"}, SupportsQuick: true, Run: E19})
+	Register(Experiment{ID: "e20", Title: "Scale-free robustness: random vs targeted attack",
+		Source: "§5.1", Modules: []string{"graph", "rng"}, SupportsQuick: true, Run: E20})
+	Register(Experiment{ID: "e21", Title: "Universal-resource reserve vs shock survival",
+		Source: "§3.1.3", Modules: []string{"sysmodel", "chaos", "metrics", "rng"}, Run: E21})
+	Register(Experiment{ID: "e22", Title: "Interoperability as redundancy (siloed vs shared)",
+		Source: "§3.1.3", Modules: []string{"sysmodel"}, Run: E22})
+}
+
 // E18 answers the §4.4 question on the multi-agent testbed: sweep the
 // redundancy/diversity/adaptability budget simplex and rank allocations
 // by survival under a shifting environment. Expected shape: corner
 // allocations underperform; the optimum funds adaptability and diversity
 // when the environment keeps moving.
-func E18(w io.Writer, cfg Config) error {
-	section(w, "e18", "resilience budget sweep (redundancy/diversity/adaptability)", "§4.4")
+func E18(rec *Recorder, cfg Config) error {
 	resolution := 4
 	steps := 200
 	trials := 8
@@ -42,27 +52,22 @@ func E18(w io.Writer, cfg Config) error {
 	sort.SliceStable(outcomes, func(i, j int) bool {
 		return outcomes[i].SurvivalRate > outcomes[j].SurvivalRate
 	})
-	tb := newTable(w)
-	fmt.Fprintln(tb, "rank\tredundancy\tdiversity\tadaptability\tsurvival\tmeanRecovery\tmeanFinalPop")
+	tb := rec.Table("budget-sweep", "rank", "redundancy", "diversity", "adaptability", "survival", "meanRecovery", "meanFinalPop")
 	show := len(outcomes)
 	if show > 8 {
 		show = 8
 	}
 	for i := 0; i < show; i++ {
 		o := outcomes[i]
-		rec := "-"
+		recCell := S("-")
 		if !math.IsNaN(o.MeanRecovery) {
-			rec = fmt.Sprintf("%.1f", o.MeanRecovery)
+			recCell = F("%.1f", o.MeanRecovery)
 		}
-		fmt.Fprintf(tb, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%s\t%.0f\n",
-			i+1, o.Allocation.Redundancy, o.Allocation.Diversity, o.Allocation.Adaptability,
-			o.SurvivalRate, rec, o.MeanFinalPop)
-	}
-	if err := tb.Flush(); err != nil {
-		return err
+		tb.Row(D(i+1), F("%.2f", o.Allocation.Redundancy), F("%.2f", o.Allocation.Diversity),
+			F("%.2f", o.Allocation.Adaptability), F("%.2f", o.SurvivalRate), recCell, F("%.0f", o.MeanFinalPop))
 	}
 	worst := outcomes[len(outcomes)-1]
-	fmt.Fprintf(w, "worst allocation: R=%.2f D=%.2f A=%.2f survival=%.2f\n",
+	rec.Notef("worst allocation: R=%.2f D=%.2f A=%.2f survival=%.2f",
 		worst.Allocation.Redundancy, worst.Allocation.Diversity,
 		worst.Allocation.Adaptability, worst.SurvivalRate)
 	return nil
@@ -72,8 +77,7 @@ func E18(w io.Writer, cfg Config) error {
 // critical state with power-law avalanches; small controlled removals
 // ("small destructions to the environment") truncate the largest
 // cascades.
-func E19(w io.Writer, cfg Config) error {
-	section(w, "e19", "sandpile criticality and small interventions", "§4.5")
+func E19(rec *Recorder, cfg Config) error {
 	side := 32
 	warmup, drops := 20000, 20000
 	if cfg.Quick {
@@ -106,19 +110,17 @@ func E19(w io.Writer, cfg Config) error {
 	if fitAlpha, fitR2, err := stats.FitPowerLawCCDF(positive, 1); err == nil {
 		alpha, r2 = fitAlpha, fitR2
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "policy\tmedian\tp99\tmaxAvalanche\tfinalGrains")
-	fmt.Fprintf(tb, "no-intervention\t%.0f\t%.0f\t%d\t%d\n",
-		stats.Quantile(base.Avalanches, 0.5), stats.Quantile(base.Avalanches, 0.99),
-		base.MaxAvalanche, base.FinalGrains)
-	fmt.Fprintf(tb, "remove-8-every-5\t%.0f\t%.0f\t%d\t%d\n",
-		stats.Quantile(intervened.Avalanches, 0.5), stats.Quantile(intervened.Avalanches, 0.99),
-		intervened.MaxAvalanche, intervened.FinalGrains)
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "avalanche CCDF power-law fit: alpha=%.2f R2=%.3f over %d avalanches\n",
+	tb := rec.Table("avalanches", "policy", "median", "p99", "maxAvalanche", "finalGrains")
+	tb.Row(S("no-intervention"),
+		F("%.0f", stats.Quantile(base.Avalanches, 0.5)), F("%.0f", stats.Quantile(base.Avalanches, 0.99)),
+		D(base.MaxAvalanche), D(base.FinalGrains))
+	tb.Row(S("remove-8-every-5"),
+		F("%.0f", stats.Quantile(intervened.Avalanches, 0.5)), F("%.0f", stats.Quantile(intervened.Avalanches, 0.99)),
+		D(intervened.MaxAvalanche), D(intervened.FinalGrains))
+	rec.Notef("avalanche CCDF power-law fit: alpha=%.2f R2=%.3f over %d avalanches",
 		alpha, r2, len(positive))
+	rec.Scalar("powerlaw-alpha", alpha)
+	rec.Scalar("powerlaw-r2", r2)
 	return nil
 }
 
@@ -127,8 +129,7 @@ func E19(w io.Writer, cfg Config) error {
 // attack, plus SIR epidemics with hub vs random vaccination. Expected
 // shape: scale-free survives random failure but collapses under hub
 // attack; hub vaccination contains the epidemic.
-func E20(w io.Writer, cfg Config) error {
-	section(w, "e20", "scale-free robustness and hub attacks", "§5.1")
+func E20(rec *Recorder, cfg Config) error {
 	n := 2000
 	if cfg.Quick {
 		n = 500
@@ -144,8 +145,7 @@ func E20(w io.Writer, cfg Config) error {
 		return err
 	}
 	removals := n / 4
-	tb := newTable(w)
-	fmt.Fprintln(tb, "graph\tattack\tgiantFraction@5%\t@15%\t@25%")
+	tb := rec.Table("attack-curves", "graph", "attack", "giantFraction@5%", "@15%", "@25%")
 	for _, g := range []struct {
 		name string
 		g    *graph.Graph
@@ -165,18 +165,13 @@ func E20(w io.Writer, cfg Config) error {
 				}
 				return curve[i]
 			}
-			fmt.Fprintf(tb, "%s\t%s\t%.3f\t%.3f\t%.3f\n",
-				g.name, atk.name, at(0.05), at(0.15), at(0.25))
+			tb.Row(S(g.name), S(atk.name), F("%.3f", at(0.05)), F("%.3f", at(0.15)), F("%.3f", at(0.25)))
 		}
-	}
-	if err := tb.Flush(); err != nil {
-		return err
 	}
 	// Epidemic containment.
 	sirCfg := graph.SIRConfig{Beta: 0.25, Gamma: 0.1, InitialInfections: 2}
 	budget := n / 10
-	tb2 := newTable(w)
-	fmt.Fprintln(tb2, "vaccination\tattackRate\tpeakInfected")
+	tb2 := rec.Table("vaccination", "vaccination", "attackRate", "peakInfected")
 	for _, v := range []struct {
 		name string
 		vac  graph.Vaccinator
@@ -189,9 +184,9 @@ func E20(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb2, "%s\t%.3f\t%d\n", v.name, res.AttackRate, res.PeakInfected)
+		tb2.Row(S(v.name), F("%.3f", res.AttackRate), D(res.PeakInfected))
 	}
-	return tb2.Flush()
+	return nil
 }
 
 // E21 reproduces §3.1.3: a reserve of universal resource (money, stored
@@ -199,11 +194,9 @@ func E20(w io.Writer, cfg Config) error {
 // grows linearly with the reserve. Expected shape: quality holds at 100
 // until the reserve drains, then collapses — bigger reserves buy
 // proportionally more time for external recovery.
-func E21(w io.Writer, cfg Config) error {
-	section(w, "e21", "universal-resource reserve vs shock survival", "§3.1.3")
+func E21(rec *Recorder, cfg Config) error {
 	steps := 100
-	tb := newTable(w)
-	fmt.Fprintln(tb, "reserve\tstepsAtFullQuality\tloss\trecoveredByRepair")
+	tb := rec.Table("reserves", "reserve", "stepsAtFullQuality", "loss", "recoveredByRepair")
 	for _, reserve := range []float64{0, 100, 300, 600} {
 		sys, ids, err := buildFarm(10, 100, reserve)
 		if err != nil {
@@ -232,17 +225,16 @@ func E21(w io.Writer, cfg Config) error {
 			return err
 		}
 		recovered := len(sys.DownComponents()) == 0
-		fmt.Fprintf(tb, "%.0f\t%d\t%.1f\t%v\n", reserve, full, loss, recovered)
+		tb.Row(F("%.0f", reserve), D(full), F("%.1f", loss), B(recovered))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E22 reproduces the 9/11 interoperability lesson of §3.1.3: agencies
 // whose communication systems can substitute for one another survive an
 // agency-wide radio outage; siloed agencies do not. Interoperability is
 // redundancy.
-func E22(w io.Writer, cfg Config) error {
-	section(w, "e22", "interoperability as redundancy", "§3.1.3")
+func E22(rec *Recorder, cfg Config) error {
 	build := func(interoperable bool) (*sysmodel.System, error) {
 		b := sysmodel.NewBuilder()
 		agencies := []string{"police", "fire", "ems"}
@@ -256,8 +248,7 @@ func E22(w io.Writer, cfg Config) error {
 		}
 		return b.Build(100, 0)
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "architecture\toutage\tquality")
+	tb := rec.Table("interoperability", "architecture", "outage", "quality")
 	for _, interop := range []bool{false, true} {
 		name := "siloed"
 		if interop {
@@ -269,7 +260,7 @@ func E22(w io.Writer, cfg Config) error {
 			return err
 		}
 		rep := sys.Step()
-		fmt.Fprintf(tb, "%s\tnone\t%.1f\n", name, rep.Quality)
+		tb.Row(S(name), S("none"), F("%.1f", rep.Quality))
 		// Police radio destroyed.
 		sys, err = build(interop)
 		if err != nil {
@@ -279,11 +270,8 @@ func E22(w io.Writer, cfg Config) error {
 			return err
 		}
 		rep = sys.Step()
-		fmt.Fprintf(tb, "%s\tpolice radio down\t%.1f\n", name, rep.Quality)
+		tb.Row(S(name), S("police radio down"), F("%.1f", rep.Quality))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "with interoperable radios any surviving agency's radio keeps all dispatchers functional")
+	rec.Notef("with interoperable radios any surviving agency's radio keeps all dispatchers functional")
 	return nil
 }

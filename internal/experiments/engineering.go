@@ -1,21 +1,28 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
-
 	"resilience/internal/nver"
 	"resilience/internal/portfolio"
 	"resilience/internal/rng"
 	"resilience/internal/storage"
 )
 
+func init() {
+	Register(Experiment{ID: "e09", Title: "Storage durability vs redundancy scheme",
+		Source: "§3.1.2", Modules: []string{"storage", "rng"}, SupportsQuick: true, Run: E09})
+	Register(Experiment{ID: "e10", Title: "N-version voting: shared vs diverse designs",
+		Source: "§3.2.2", Modules: []string{"nver", "rng"}, SupportsQuick: true, Run: E10})
+	Register(Experiment{ID: "e11", Title: "Forest-fire suppression policy vs large fires",
+		Source: "§3.2.3", Modules: []string{"ca", "rng"}, SupportsQuick: true, Run: E11})
+	Register(Experiment{ID: "e12", Title: "Portfolio diversification vs ruin probability",
+		Source: "§3.2.3", Modules: []string{"portfolio", "rng"}, SupportsQuick: true, Run: E12})
+}
+
 // E09 reproduces the RAID claim of §3.1.2: data-loss probability over a
 // mission falls steeply with redundancy, at the cost of extra disks.
 // Expected shape: striping ≈ certain loss; double parity ≪ single
 // parity ≪ striping.
-func E09(w io.Writer, cfg Config) error {
-	section(w, "e09", "storage durability vs redundancy scheme", "§3.1.2")
+func E09(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	trials := 2000
 	steps := 500
@@ -27,8 +34,7 @@ func E09(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "scheme\ttotalDisks\tlossProb\tmeanTimeToLoss")
+	tb := rec.Table("durability", "scheme", "totalDisks", "lossProb", "meanTimeToLoss")
 	for _, s := range []storage.Scheme{storage.Striping, storage.Mirroring, storage.SingleParity, storage.DoubleParity} {
 		a := storage.Array{DataDisks: 8, Scheme: s, FailProb: 0.002, RepairSteps: 5}
 		total, err := a.TotalDisks()
@@ -36,24 +42,22 @@ func E09(w io.Writer, cfg Config) error {
 			return err
 		}
 		res := results[s]
-		fmt.Fprintf(tb, "%s\t%d\t%.4f\t%.0f\n", s, total, res.LossProb(), res.MeanTimeToLoss)
+		tb.Row(C("%s", s), D(total), F("%.4f", res.LossProb()), F("%.0f", res.MeanTimeToLoss))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E10 reproduces the Boeing 777 claim of §3.2.2: with a shared design the
 // voter's failure probability is floored by the design-flaw probability;
 // independent designs absorb flaws as ordinary minority faults. Expected
 // shape: diversity gain of 1-3 orders of magnitude.
-func E10(w io.Writer, cfg Config) error {
-	section(w, "e10", "N-version voting: shared vs diverse designs", "§3.2.2")
+func E10(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	inputs := 200000
 	if cfg.Quick {
 		inputs = 20000
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "versions\tindepFail\tflawProb\tsharedP(analytic)\tdiverseP(analytic)\tdiverseP(MC)\tgain")
+	tb := rec.Table("voting", "versions", "indepFail", "flawProb", "sharedP(analytic)", "diverseP(analytic)", "diverseP(MC)", "gain")
 	for _, tc := range []struct {
 		versions    int
 		indep, flaw float64
@@ -81,17 +85,16 @@ func E10(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%.3f\t%.3f\t%.2e\t%.2e\t%.2e\t%.0fx\n",
-			tc.versions, tc.indep, tc.flaw, ps, pd, mc, gain)
+		tb.Row(D(tc.versions), F("%.3f", tc.indep), F("%.3f", tc.flaw),
+			F("%.2e", ps), F("%.2e", pd), F("%.2e", mc), F("%.0fx", gain))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E11 reproduces the forest-management claim of §3.2.3: suppressing small
 // fires raises stand density and mean age, and makes large fires more
 // frequent among the fires that do burn.
-func E11(w io.Writer, cfg Config) error {
-	section(w, "e11", "forest-fire suppression policy", "§3.2.3")
+func E11(rec *Recorder, cfg Config) error {
 	steps := 3000
 	side := 40
 	if cfg.Quick {
@@ -99,8 +102,7 @@ func E11(w io.Writer, cfg Config) error {
 		side = 25
 	}
 	largeFire := side * side / 10
-	tb := newTable(w)
-	fmt.Fprintln(tb, "suppressBelow\tfires\tsuppressed\tdensity\tmeanAge\tlargeFireFraction")
+	tb := rec.Table("suppression", "suppressBelow", "fires", "suppressed", "density", "meanAge", "largeFireFraction")
 	for i, suppress := range []int{0, 20, 50} {
 		r := rng.New(cfg.Seed + uint64(i))
 		f, err := caForest(side, suppress)
@@ -110,18 +112,16 @@ func E11(w io.Writer, cfg Config) error {
 		if err := f.Run(steps, r); err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%d\t%d\t%.3f\t%.1f\t%.3f\n",
-			suppress, len(f.Fires), f.Suppressed, f.Density(), f.MeanAge(),
-			f.LargeFireFraction(largeFire))
+		tb.Row(D(suppress), D(len(f.Fires)), D(f.Suppressed),
+			F("%.3f", f.Density()), F("%.1f", f.MeanAge()), F("%.3f", f.LargeFireFraction(largeFire)))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E12 reproduces the diversification claim of §3.2.3: ruin probability
 // falls rapidly with portfolio breadth while expected wealth changes only
 // modestly.
-func E12(w io.Writer, cfg Config) error {
-	section(w, "e12", "portfolio diversification vs ruin", "§3.2.3")
+func E12(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	trials := 4000
 	if cfg.Quick {
@@ -132,19 +132,16 @@ func E12(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "assets\tmeanFinalWealth\tmedianFinal\truinProb\tworst")
+	tb := rec.Table("diversification", "assets", "meanFinalWealth", "medianFinal", "ruinProb", "worst")
 	for i, res := range curve {
 		if i+1 > 5 && (i+1)%2 == 1 {
 			continue // thin the table
 		}
-		fmt.Fprintf(tb, "%d\t%.2f\t%.2f\t%.4f\t%.3f\n",
-			i+1, res.MeanFinal, res.MedianFinal, res.RuinProb, res.WorstFinal)
+		tb.Row(D(i+1), F("%.2f", res.MeanFinal), F("%.2f", res.MedianFinal),
+			F("%.4f", res.RuinProb), F("%.3f", res.WorstFinal))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "expected-growth penalty of pool vs best single asset (10%% vs 8%%, 30 periods): %.1f%%\n",
-		100*portfolio.ExpectedGrowthPenalty(0.10, 0.08, 30))
+	penalty := 100 * portfolio.ExpectedGrowthPenalty(0.10, 0.08, 30)
+	rec.Notef("expected-growth penalty of pool vs best single asset (10%% vs 8%%, 30 periods): %.1f%%", penalty)
+	rec.Scalar("growth-penalty-pct", penalty)
 	return nil
 }

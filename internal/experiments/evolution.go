@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
-
 	"resilience/internal/biosim"
 	"resilience/internal/dynamics"
 	"resilience/internal/magent"
@@ -11,13 +8,23 @@ import (
 	"resilience/internal/stats"
 )
 
+func init() {
+	Register(Experiment{ID: "e05", Title: "Replicator dynamics: linear vs concave fitness",
+		Source: "Fig 2, §3.2.4", Modules: []string{"dynamics"}, SupportsQuick: true, Run: E05})
+	Register(Experiment{ID: "e06", Title: "Diversity index vs survival under environment shifts",
+		Source: "§3.2.4", Modules: []string{"magent", "stats", "rng"}, SupportsQuick: true, Run: E06})
+	Register(Experiment{ID: "e07", Title: "Synthetic E. coli genome single-knockout screen",
+		Source: "§3.1.1", Modules: []string{"biosim", "rng"}, SupportsQuick: true, Run: E07})
+	Register(Experiment{ID: "e08", Title: "Stickleback dormant armor allele reactivation",
+		Source: "Fig 1, §3.1.1", Modules: []string{"biosim", "rng"}, SupportsQuick: true, Run: E08})
+}
+
 // E05 reproduces Fig 2 / §3.2.4: replicator dynamics under linear versus
 // concave (diminishing-return) fitness, plus density-dependent fitness.
 // Expected shape: linear fitness collapses to domination quickly; the
 // concave curve's weak selection slows domination by an order of
 // magnitude; density dependence preserves coexistence indefinitely.
-func E05(w io.Writer, cfg Config) error {
-	section(w, "e05", "replicator dynamics: linear vs concave fitness", "Fig 2, §3.2.4")
+func E05(rec *Recorder, cfg Config) error {
 	maxSteps := 5000
 	if cfg.Quick {
 		maxSteps = 1000
@@ -49,8 +56,7 @@ func E05(w io.Writer, cfg Config) error {
 		}
 		return stepsToDom, e.Survivors(), g, nil
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "fitness\tstepsTo90%Dominance\tsurvivors\tdiversityG")
+	tb := rec.Table("dominance", "fitness", "stepsTo90%Dominance", "survivors", "diversityG")
 	for _, tc := range []struct {
 		name string
 		f    dynamics.Fitness
@@ -63,20 +69,19 @@ func E05(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		stepsStr := fmt.Sprintf("%d", steps)
+		stepsCell := V(steps, "%d", steps)
 		if steps < 0 {
-			stepsStr = fmt.Sprintf(">%d (never)", maxSteps)
+			stepsCell = V(steps, ">%d (never)", maxSteps)
 		}
-		fmt.Fprintf(tb, "%s\t%s\t%d\t%.5f\n", tc.name, stepsStr, surv, g)
+		tb.Row(S(tc.name), stepsCell, D(surv), F("%.5f", g))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E06 relates the paper's diversity index to survival probability: worlds
 // founded with 1..16 distinct genotypes face the same environment shift
 // schedule. Expected shape: survival rises with founder diversity.
-func E06(w io.Writer, cfg Config) error {
-	section(w, "e06", "diversity vs survival under environment shifts", "§3.2.4")
+func E06(rec *Recorder, cfg Config) error {
 	trials := 40
 	steps := 100
 	if cfg.Quick {
@@ -96,8 +101,7 @@ func E06(w io.Writer, cfg Config) error {
 	base.ReplicateAbove = 15
 	base.MutationRate = 0.002
 	scenario := magent.MaskScenario{CareBits: 4, ShiftDistance: 2, ShiftEvery: 25, Shifts: 1}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "founderGenotypes\tsurvivalRate\t95%CI\tmeanDiversityG(t0)")
+	tb := rec.Table("diversity-survival", "founderGenotypes", "survivalRate", "95%CI", "meanDiversityG(t0)")
 	for _, founders := range []int{1, 2, 4, 8, 16} {
 		cfgW := base
 		cfgW.FounderGenotypes = founders
@@ -130,18 +134,17 @@ func E06(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%.2f\t[%.2f, %.2f]\t%.5f\n",
-			founders, stats.Mean(outcomes), lo, hi, gSum/float64(trials))
+		tb.Row(D(founders), F("%.2f", stats.Mean(outcomes)),
+			V([]float64{lo, hi}, "[%.2f, %.2f]", lo, hi), F("%.5f", gSum/float64(trials)))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E07 reproduces the E. coli claim of §3.1.1 on a synthetic genome: a
 // single-gene knockout screen plus multi-knockout degradation. Expected
 // shape: ~93% of single knockouts viable (only essential singletons are
 // lethal); viability decays with simultaneous knockouts.
-func E07(w io.Writer, cfg Config) error {
-	section(w, "e07", "synthetic genome knockout screen", "§3.1.1")
+func E07(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	spec := biosim.EColiSpec()
 	if cfg.Quick {
@@ -152,11 +155,11 @@ func E07(w io.Writer, cfg Config) error {
 		return err
 	}
 	viable := g.KnockoutScreen()
-	fmt.Fprintf(w, "genes=%d pathways=%d single-knockout viable=%d (%.1f%%), lethal=%d\n",
+	rec.Notef("genes=%d pathways=%d single-knockout viable=%d (%.1f%%), lethal=%d",
 		g.NumGenes(), g.NumPathways(), viable,
 		100*float64(viable)/float64(g.NumGenes()), g.NumGenes()-viable)
-	tb := newTable(w)
-	fmt.Fprintln(tb, "simultaneousKnockouts\tviabilityRate")
+	rec.Scalar("single-knockout-viable-fraction", float64(viable)/float64(g.NumGenes()))
+	tb := rec.Table("multi-knockout", "simultaneousKnockouts", "viabilityRate")
 	trials := 200
 	if cfg.Quick {
 		trials = 50
@@ -168,16 +171,15 @@ func E07(w io.Writer, cfg Config) error {
 				ok++
 			}
 		}
-		fmt.Fprintf(tb, "%d\t%.3f\n", k, float64(ok)/float64(trials))
+		tb.Row(D(k), F("%.3f", float64(ok)/float64(trials)))
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E08 reproduces Fig 1: the armor allele declines under cost without
 // predators, persists at mutation–selection balance (dormant
 // redundancy), and sweeps back when predation returns.
-func E08(w io.Writer, cfg Config) error {
-	section(w, "e08", "dormant armor allele reactivation", "Fig 1, §3.1.1")
+func E08(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	gens := 400
 	if cfg.Quick {
@@ -187,15 +189,14 @@ func E08(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "phase\tgeneration\tarmorFrequency")
-	fmt.Fprintf(tb, "founding\t0\t%.3f\n", d.Frequency())
+	tb := rec.Table("armor-frequency", "phase", "generation", "armorFrequency")
+	tb.Row(S("founding"), D(0), F("%.3f", d.Frequency()))
 	d.Run(gens, r)
-	fmt.Fprintf(tb, "no-predation (1957 regime)\t%d\t%.3f\n", gens, d.Frequency())
+	tb.Row(S("no-predation (1957 regime)"), D(gens), F("%.3f", d.Frequency()))
 	d.Predation = true
 	d.Run(gens/2, r)
-	fmt.Fprintf(tb, "predation returns (trout)\t%d\t%.3f\n", gens+gens/2, d.Frequency())
+	tb.Row(S("predation returns (trout)"), D(gens+gens/2), F("%.3f", d.Frequency()))
 	d.Run(gens/2, r)
-	fmt.Fprintf(tb, "post-sweep (2006 regime)\t%d\t%.3f\n", 2*gens, d.Frequency())
-	return tb.Flush()
+	tb.Row(S("post-sweep (2006 regime)"), D(2*gens), F("%.3f", d.Frequency()))
+	return nil
 }

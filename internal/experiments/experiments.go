@@ -1,30 +1,37 @@
 // Package experiments implements the paper-reproduction experiments
-// E01–E22 indexed in DESIGN.md: one function per figure or quantitative
-// claim of the paper. Each experiment writes a human-readable table to
-// its writer and returns a machine-checkable result for tests and
-// benchmarks. The cmd/resilience CLI and the repository-level benchmarks
-// are thin wrappers over this package.
+// E01–E31 indexed in DESIGN.md: one function per figure or quantitative
+// claim of the paper. Experiments record named tables, scalars, and
+// prose notes through a Recorder; pluggable renderers (render.go) turn
+// the structured Result into the classic text report or JSON documents.
+// Each experiment registers itself (with ID, title, paper source,
+// modules exercised, and quick-support) in an init function next to its
+// implementation, so the CLI listing and the docs are generated from
+// one source of truth. The cmd/resilience CLI runs experiments through
+// internal/runner's worker pool; the repository-level benchmarks are
+// thin wrappers over this package.
 package experiments
 
 import (
 	"fmt"
-	"io"
+	"runtime/debug"
 	"sort"
-	"text/tabwriter"
 )
 
 // Config controls an experiment run.
 type Config struct {
-	// Seed drives every random source in the experiment.
+	// Seed drives every random source in the experiment. Suite runs
+	// derive it per experiment from the root seed (see internal/runner),
+	// so it is the experiment's own seed, not the CLI -seed value.
 	Seed uint64
 	// Quick shrinks workloads (for tests and smoke runs).
 	Quick bool
 }
 
-// Runner executes one experiment, writing its report to w.
-type Runner func(w io.Writer, cfg Config) error
+// Runner executes one experiment, recording its output.
+type Runner func(rec *Recorder, cfg Config) error
 
-// Experiment is a registry entry.
+// Experiment is a registry entry: the metadata that identifies one
+// experiment plus the function that runs it.
 type Experiment struct {
 	// ID is the experiment identifier, e.g. "e05".
 	ID string
@@ -32,45 +39,35 @@ type Experiment struct {
 	Title string
 	// Source is the paper figure/section reproduced.
 	Source string
+	// Modules lists the internal packages the experiment exercises.
+	Modules []string
+	// SupportsQuick reports whether Config.Quick shrinks this
+	// experiment's workload (some workloads are already small).
+	SupportsQuick bool
 	// Run executes the experiment.
 	Run Runner
 }
 
-// All returns every experiment in ID order.
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry. It panics on duplicate
+// or incomplete registrations — both are programmer errors caught at
+// init time by any test or run.
+func Register(e Experiment) {
+	if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
+		panic(fmt.Sprintf("experiments: incomplete registration %+v", e))
+	}
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate registration of " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment in ID order.
 func All() []Experiment {
-	list := []Experiment{
-		{"e01", "Bruneau resilience triangle across recovery shapes", "Fig 3, §4.1", E01},
-		{"e02", "k-recoverability vs damage size and repair rate", "Fig 4, §4.2", E02},
-		{"e03", "Spacecraft worked example: exhaustive k-recoverability", "§4.2", E03},
-		{"e04", "Baral–Eiter k-maintainable policy synthesis scaling", "§4.3", E04},
-		{"e05", "Replicator dynamics: linear vs concave fitness", "Fig 2, §3.2.4", E05},
-		{"e06", "Diversity index vs survival under environment shifts", "§3.2.4", E06},
-		{"e07", "Synthetic E. coli genome single-knockout screen", "§3.1.1", E07},
-		{"e08", "Stickleback dormant armor allele reactivation", "Fig 1, §3.1.1", E08},
-		{"e09", "Storage durability vs redundancy scheme", "§3.1.2", E09},
-		{"e10", "N-version voting: shared vs diverse designs", "§3.2.2", E10},
-		{"e11", "Forest-fire suppression policy vs large fires", "§3.2.3", E11},
-		{"e12", "Portfolio diversification vs ruin probability", "§3.2.3", E12},
-		{"e13", "MAPE adaptation budget vs resilience loss", "§3.3.2", E13},
-		{"e14", "Early-warning signals before a fold bifurcation", "§3.4.1", E14},
-		{"e15", "Gaussian vs power-law shocks and insurance ruin", "§3.4.6", E15},
-		{"e16", "Sea-wall height optimization under Pareto floods", "§3.4.6", E16},
-		{"e17", "Mode switching on/off under an X-event", "§3.4.6", E17},
-		{"e18", "Redundancy/diversity/adaptability budget sweep", "§4.4", E18},
-		{"e19", "Sandpile criticality and small interventions", "§4.5", E19},
-		{"e20", "Scale-free robustness: random vs targeted attack", "§5.1", E20},
-		{"e21", "Universal-resource reserve vs shock survival", "§3.1.3", E21},
-		{"e22", "Interoperability as redundancy (siloed vs shared)", "§3.1.3", E22},
-		// Extensions: the open problems §4–5 leave for future work.
-		{"e23", "Tiger-team adversarial resilience testing", "§5.3", E23},
-		{"e24", "Centralized vs decentralized recovery", "§4.5", E24},
-		{"e25", "Shock-class inference and adaptive coverage", "§4.3", E25},
-		{"e26", "Resilience across system granularity", "§5.2", E26},
-		{"e27", "Load-cascade blackouts on a scale-free grid", "§4.5", E27},
-		{"e28", "Mutual aid under mild vs overwhelming shocks", "§3.4.6, §5.2", E28},
-		{"e29", "Anticipatory vs reactive mode switching", "§3.4.1+§3.4.6", E29},
-		{"e30", "Statute vs self-regulation vs co-regulation", "§3.3.3", E30},
-		{"e31", "Complexity vs dynamical stability (May)", "§6", E31},
+	list := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		list = append(list, e)
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
 	return list
@@ -78,20 +75,40 @@ func All() []Experiment {
 
 // Find returns the experiment with the given ID.
 func Find(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+	e, ok := registry[id]
+	return e, ok
+}
+
+// PanicError wraps a panic recovered from an experiment so the suite
+// can keep running while callers retain the panic value and stack.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// Record runs the experiment and returns its structured Result. A
+// returned error (including a recovered panic, reported as *PanicError)
+// is also reflected in Result.Error, and the partial Result recorded up
+// to the failure is returned alongside it, so renderers can still show
+// what the experiment produced.
+func (e Experiment) Record(cfg Config) (res *Result, err error) {
+	rec := NewRecorder(e, cfg)
+	defer func() {
+		if v := recover(); v != nil {
+			perr := &PanicError{Value: v, Stack: debug.Stack()}
+			rec.res.Error = perr.Error()
+			res, err = rec.Result(), perr
 		}
+	}()
+	if rerr := e.Run(rec, cfg); rerr != nil {
+		rec.res.Error = rerr.Error()
+		return rec.Result(), rerr
 	}
-	return Experiment{}, false
-}
-
-// newTable returns a tabwriter for aligned experiment output.
-func newTable(w io.Writer) *tabwriter.Writer {
-	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
-}
-
-// section prints an experiment header.
-func section(w io.Writer, id, title, source string) {
-	fmt.Fprintf(w, "== %s: %s (%s) ==\n", id, title, source)
+	if rec.err != nil {
+		rec.res.Error = rec.err.Error()
+		return rec.Result(), rec.err
+	}
+	return rec.Result(), nil
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -15,6 +17,9 @@ func TestRegistryComplete(t *testing.T) {
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if len(e.Modules) == 0 {
+			t.Errorf("experiment %q lists no modules", e.ID)
 		}
 		if seen[e.ID] {
 			t.Errorf("duplicate id %q", e.ID)
@@ -37,17 +42,41 @@ func TestFind(t *testing.T) {
 	}
 }
 
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	for _, e := range []Experiment{
+		{},
+		{ID: "eXX", Title: "t", Source: "s"}, // no Run
+		{ID: "e05", Title: "t", Source: "s", Run: func(*Recorder, Config) error { return nil }}, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", e)
+				}
+			}()
+			Register(e)
+		}()
+	}
+}
+
 // TestAllExperimentsRunQuick smoke-runs every experiment in Quick mode
-// and sanity-checks the output contains its header and at least one
-// table row.
+// and sanity-checks the rendered report contains its header and at least
+// one table row.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			var buf bytes.Buffer
-			if err := e.Run(&buf, Config{Seed: 42, Quick: true}); err != nil {
+			res, err := e.Record(Config{Seed: 42, Quick: true})
+			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s recorded no tables", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := RenderText(&buf, res); err != nil {
+				t.Fatal(err)
 			}
 			out := buf.String()
 			if !strings.Contains(out, "== "+e.ID+":") {
@@ -56,6 +85,117 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 			if len(strings.Split(out, "\n")) < 4 {
 				t.Fatalf("%s output too short:\n%s", e.ID, out)
 			}
+			// Every experiment must round-trip through the JSON renderer.
+			buf.Reset()
+			if err := RenderJSON(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			var back Result
+			if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+				t.Fatalf("%s JSON does not parse: %v", e.ID, err)
+			}
+			if back.ID != e.ID || len(back.Tables) != len(res.Tables) {
+				t.Fatalf("%s JSON round-trip lost data", e.ID)
+			}
 		})
+	}
+}
+
+func testExp(id string, run Runner) Experiment {
+	return Experiment{ID: id, Title: "test " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true, Run: run}
+}
+
+func TestRecorderRowMismatch(t *testing.T) {
+	e := testExp("tmismatch", func(rec *Recorder, cfg Config) error {
+		rec.Table("bad", "a", "b").Row(S("only-one"))
+		return nil
+	})
+	res, err := e.Record(Config{})
+	if err == nil {
+		t.Fatal("row/column mismatch not reported")
+	}
+	if !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if res == nil || res.Error == "" {
+		t.Fatal("partial result missing the error")
+	}
+}
+
+func TestRecordIsolatesPanics(t *testing.T) {
+	e := testExp("tpanic", func(rec *Recorder, cfg Config) error {
+		rec.Notef("before the bang")
+		panic("bang")
+	})
+	res, err := e.Record(Config{})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "bang" {
+		t.Fatalf("err = %v, want PanicError(bang)", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	if res == nil || len(res.Notes) != 1 {
+		t.Fatal("partial result lost")
+	}
+	var buf bytes.Buffer
+	if err := RenderText(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ERROR: panic: bang") {
+		t.Fatalf("rendered report hides the failure:\n%s", buf.String())
+	}
+}
+
+func TestRenderTextInterleavesNotesAndTables(t *testing.T) {
+	e := testExp("torder", func(rec *Recorder, cfg Config) error {
+		rec.Notef("first")
+		rec.Table("t1", "col").Row(D(1))
+		rec.Notef("second")
+		rec.Table("t2", "col").Row(D(2))
+		return nil
+	})
+	res, err := e.Record(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderText(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want := "== torder: test torder (test) ==\nfirst\ncol\n1\nsecond\ncol\n2\n"
+	if buf.String() != want {
+		t.Fatalf("rendered order wrong:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestNewRenderer(t *testing.T) {
+	for _, format := range []string{"", "text", "json"} {
+		if _, err := NewRenderer(format); err != nil {
+			t.Errorf("NewRenderer(%q): %v", format, err)
+		}
+	}
+	if _, err := NewRenderer("xml"); err == nil {
+		t.Fatal("NewRenderer(xml) should fail")
+	}
+}
+
+func TestCellHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		cell Cell
+		text string
+	}{
+		{S("x"), "x"},
+		{D(42), "42"},
+		{B(true), "true"},
+		{F("%.2f", 1.5), "1.50"},
+		{F("%.0fx", 3.0), "3x"},
+		{C("%v", []int{1, 2}), "[1 2]"},
+		{V([]float64{1, 2}, "[%.0f, %.0f]", 1.0, 2.0), "[1, 2]"},
+	} {
+		if tc.cell.Text != tc.text {
+			t.Errorf("cell text %q, want %q", tc.cell.Text, tc.text)
+		}
 	}
 }

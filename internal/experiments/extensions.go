@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"resilience/internal/belief"
 	"resilience/internal/magent"
@@ -12,13 +11,24 @@ import (
 	"resilience/internal/tiger"
 )
 
+func init() {
+	// Extensions: the open problems §4–5 leave for future work.
+	Register(Experiment{ID: "e23", Title: "Tiger-team adversarial resilience testing",
+		Source: "§5.3", Modules: []string{"tiger", "sysmodel", "mape", "rng"}, SupportsQuick: true, Run: E23})
+	Register(Experiment{ID: "e24", Title: "Centralized vs decentralized recovery",
+		Source: "§4.5", Modules: []string{"sysmodel", "mape", "rng"}, SupportsQuick: true, Run: E24})
+	Register(Experiment{ID: "e25", Title: "Shock-class inference and adaptive coverage",
+		Source: "§4.3", Modules: []string{"belief", "rng"}, SupportsQuick: true, Run: E25})
+	Register(Experiment{ID: "e26", Title: "Resilience across system granularity",
+		Source: "§5.2", Modules: []string{"magent", "rng"}, SupportsQuick: true, Run: E26})
+}
+
 // E23 implements the §5.3 proposal: resilience testing by a tiger team.
 // A random prober measures average-case loss; the adversarial search
 // measures what the same shock budget can do in the worst case. Expected
 // shape: on a dependency-structured system the tiger team finds the hub
 // and the worst case is several times the random mean.
-func E23(w io.Writer, cfg Config) error {
-	section(w, "e23", "tiger-team adversarial resilience testing", "§5.3")
+func E23(rec *Recorder, cfg Config) error {
 	probes := 12
 	climbs := 6
 	if cfg.Quick {
@@ -46,8 +56,7 @@ func E23(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "budget\trandomMeanLoss\tworstLoss\tamplification\tworstAttack")
+	tb := rec.Table("adversarial-testing", "budget", "randomMeanLoss", "worstLoss", "amplification", "worstAttack")
 	for _, budget := range []int{1, 2, 3} {
 		r := rng.New(cfg.Seed + uint64(budget))
 		rep, err := tiger.Engage(tgt, tiger.Config{
@@ -56,13 +65,10 @@ func E23(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%.1f\t%.1f\t%.1fx\t%v\n",
-			budget, rep.RandomMean, rep.Worst.Loss, rep.Amplification, rep.Worst.Elements)
+		tb.Row(D(budget), F("%.1f", rep.RandomMean), F("%.1f", rep.Worst.Loss),
+			F("%.1fx", rep.Amplification), C("%v", rep.Worst.Elements))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "elements 0/1 are the db and cache hubs every service depends on")
+	rec.Notef("elements 0/1 are the db and cache hubs every service depends on")
 	return nil
 }
 
@@ -72,8 +78,7 @@ func E23(w io.Writer, cfg Config) error {
 // versus uncoordinated local repair in random order. Expected shape:
 // centralized repair restores quality strictly faster on dependency-
 // structured systems; on flat systems the two coincide.
-func E24(w io.Writer, cfg Config) error {
-	section(w, "e24", "centralized vs decentralized recovery", "§4.5")
+func E24(rec *Recorder, cfg Config) error {
 	trials := 20
 	if cfg.Quick {
 		trials = 5
@@ -123,8 +128,7 @@ func E24(w io.Writer, cfg Config) error {
 		}
 		return loss, nil
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "topology\tcoordination\tmeanLoss")
+	tb := rec.Table("coordination", "topology", "coordination", "meanLoss")
 	for _, topo := range []struct {
 		name  string
 		build func() (*sysmodel.System, []sysmodel.ComponentID, error)
@@ -141,10 +145,10 @@ func E24(w io.Writer, cfg Config) error {
 				}
 				sum += loss
 			}
-			fmt.Fprintf(tb, "%s\t%s\t%.1f\n", topo.name, coord.name, sum/float64(trials))
+			tb.Row(S(topo.name), S(coord.name), F("%.1f", sum/float64(trials)))
 		}
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E25 implements the §4.3 extension: when the event class is uncertain,
@@ -153,8 +157,7 @@ func E24(w io.Writer, cfg Config) error {
 // concentrates on the true class within tens of observations and the
 // 99%-coverage level converges from the conservative prior mixture to
 // the true class's requirement.
-func E25(w io.Writer, cfg Config) error {
-	section(w, "e25", "shock-class inference and adaptive coverage", "§4.3")
+func E25(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	const trueAlpha = 1.5
 	post, err := belief.NewPosterior([]belief.Hypothesis{
@@ -168,8 +171,7 @@ func E25(w io.Writer, cfg Config) error {
 		return err
 	}
 	candidates := []float64{5, 10, 15, 22, 30, 50, 100, 200, 500, 1000, 5000}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "observations\tMAPhypothesis\tP(MAP)\tcoverage(eps=1%)\tpredictiveTail@20")
+	tb := rec.Table("posterior", "observations", "MAPhypothesis", "P(MAP)", "coverage(eps=1%)", "predictiveTail@20")
 	checkpoints := []int{0, 5, 20, 100, 500}
 	if cfg.Quick {
 		checkpoints = []int{0, 5, 50}
@@ -182,20 +184,16 @@ func E25(w io.Writer, cfg Config) error {
 		}
 		hyp, prob := post.MAP()
 		level, lerr := post.CoverageLevel(0.01, candidates)
-		levelStr := "unachievable"
+		levelCell := S("unachievable")
 		if lerr == nil {
-			levelStr = fmt.Sprintf("%.0f", level)
+			levelCell = F("%.0f", level)
 		}
-		fmt.Fprintf(tb, "%d\t%s\t%.2f\t%s\t%.4f\n",
-			cp, hyp.Name, prob, levelStr, post.PredictiveTail(20))
+		tb.Row(D(cp), S(hyp.Name), F("%.2f", prob), levelCell, F("%.4f", post.PredictiveTail(20)))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "true class pareto(%.1f) requires coverage %.1f for eps=1%%\n",
+	rec.Notef("true class pareto(%.1f) requires coverage %.1f for eps=1%%",
 		trueAlpha, 21.5) // (1/eps)^(1/alpha) = 100^(2/3)
-	fmt.Fprintln(w, "note the small-sample dip: with ~20 observations the posterior can briefly")
-	fmt.Fprintln(w, "favor a thinner tail and under-protect — Taleb's warning in Bayesian form")
+	rec.Notef("note the small-sample dip: with ~20 observations the posterior can briefly")
+	rec.Notef("favor a thinner tail and under-protect — Taleb's warning in Bayesian form")
 	return nil
 }
 
@@ -212,8 +210,7 @@ func E25(w io.Writer, cfg Config) error {
 // Expected shape: individual < species < ecosystem — "Species can survive
 // even if it loses some of its members during a perturbation … if at
 // least one species survives, the [ecosystem] is considered resilient."
-func E26(w io.Writer, cfg Config) error {
-	section(w, "e26", "resilience across system granularity", "§5.2")
+func E26(rec *Recorder, cfg Config) error {
 	trials := 40
 	steps := 150
 	if cfg.Quick {
@@ -266,15 +263,11 @@ func E26(w io.Writer, cfg Config) error {
 		spSum += float64(len(aliveLineages)) / float64(base.FounderGenotypes)
 	}
 	n := float64(trials)
-	tb := newTable(w)
-	fmt.Fprintln(tb, "granularity\tunit\tsurvivalProbability")
-	fmt.Fprintf(tb, "individual\ta specific founding agent\t%.2f\n", indSum/n)
-	fmt.Fprintf(tb, "species\ta founding lineage\t%.2f\n", spSum/n)
-	fmt.Fprintf(tb, "ecosystem\tthe whole population\t%.2f\n", popSum/n)
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "coarser units survive more easily: members die, lineages persist through")
-	fmt.Fprintln(w, "their descendants, the ecosystem outlives both — the paper's hierarchy")
+	tb := rec.Table("granularity", "granularity", "unit", "survivalProbability")
+	tb.Row(S("individual"), S("a specific founding agent"), F("%.2f", indSum/n))
+	tb.Row(S("species"), S("a founding lineage"), F("%.2f", spSum/n))
+	tb.Row(S("ecosystem"), S("the whole population"), F("%.2f", popSum/n))
+	rec.Notef("coarser units survive more easily: members die, lineages persist through")
+	rec.Notef("their descendants, the ecosystem outlives both — the paper's hierarchy")
 	return nil
 }

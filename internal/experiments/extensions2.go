@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"resilience/internal/chaos"
@@ -16,14 +15,26 @@ import (
 	"resilience/internal/rng"
 )
 
+func init() {
+	Register(Experiment{ID: "e27", Title: "Load-cascade blackouts on a scale-free grid",
+		Source: "§4.5", Modules: []string{"graph", "rng"}, SupportsQuick: true, Run: E27})
+	Register(Experiment{ID: "e28", Title: "Mutual aid under mild vs overwhelming shocks",
+		Source: "§3.4.6, §5.2", Modules: []string{"magent", "rng"}, SupportsQuick: true, Run: E28})
+	Register(Experiment{ID: "e29", Title: "Anticipatory vs reactive mode switching",
+		Source: "§3.4.1+§3.4.6", Modules: []string{"dynamics", "modeswitch", "mape", "chaos", "sysmodel", "metrics", "rng"}, SupportsQuick: true, Run: E29})
+	Register(Experiment{ID: "e30", Title: "Statute vs self-regulation vs co-regulation",
+		Source: "§3.3.3", Modules: []string{"regulate", "rng"}, SupportsQuick: true, Run: E30})
+	Register(Experiment{ID: "e31", Title: "Complexity vs dynamical stability (May)",
+		Source: "§6", Modules: []string{"dynamics", "rng"}, SupportsQuick: true, Run: E31})
+}
+
 // E27 reproduces the §4.5 blackout mechanism (Bak / Northeast blackout
 // 2003) with a Motter–Lai load-redistribution cascade on a scale-free
 // grid: a single node failure redistributes its load and can black out
 // the network. Expected shape: cascades shrink as the capacity tolerance
 // grows, and near the critical tolerance a hub trigger blacks out the
 // grid while random triggers mostly fizzle.
-func E27(w io.Writer, cfg Config) error {
-	section(w, "e27", "load-cascade blackouts on a scale-free grid", "§4.5")
+func E27(rec *Recorder, cfg Config) error {
 	n := 1000
 	trials := 100
 	if cfg.Quick {
@@ -35,8 +46,7 @@ func E27(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "tolerance\thubCascade(fractionFailed)\trandomMeanCascade\tgiantAfterHubCascade")
+	tb := rec.Table("degree-cascade", "tolerance", "hubCascade(fractionFailed)", "randomMeanCascade", "giantAfterHubCascade")
 	for _, tol := range []float64{0.1, 0.3, 0.45, 0.55, 1.0} {
 		m, err := graph.NewCascadeModel(g, tol)
 		if err != nil {
@@ -50,18 +60,13 @@ func E27(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%.2f\t%.3f\t%.4f\t%.3f\n",
-			tol, worst.FailedFraction, mean, worst.GiantFractionAfter)
+		tb.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean), F("%.3f", worst.GiantFractionAfter))
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "the knife-edge at tolerance ~0.5 is the critical state Bak describes:")
-	fmt.Fprintln(w, "below it one hub failure is a system-wide blackout")
+	rec.Notef("the knife-edge at tolerance ~0.5 is the critical state Bak describes:")
+	rec.Notef("below it one hub failure is a system-wide blackout")
 	// Motter–Lai's original load model: betweenness centrality, where
 	// the spread of loads is continuous and the transition smoother.
-	tb2 := newTable(w)
-	fmt.Fprintln(tb2, "tolerance(betweenness)\thubCascade\trandomMeanCascade")
+	tb2 := rec.Table("betweenness-cascade", "tolerance(betweenness)", "hubCascade", "randomMeanCascade")
 	for _, tol := range []float64{0.1, 0.5, 2.0} {
 		m, err := graph.NewBetweennessCascadeModel(g, tol)
 		if err != nil {
@@ -75,9 +80,9 @@ func E27(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb2, "%.2f\t%.3f\t%.4f\n", tol, worst.FailedFraction, mean)
+		tb2.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean))
 	}
-	return tb2.Flush()
+	return nil
 }
 
 // E28 measures the mutual-aid policy of §3.4.6 ("helping others") on the
@@ -85,8 +90,7 @@ func E27(w io.Writer, cfg Config) error {
 // (mild) shocks, sharing reduces deaths; under overwhelming shocks the
 // same sharing synchronizes ruin — a quantitative answer to the §5.2
 // question of sacrificing individuals for the community.
-func E28(w io.Writer, cfg Config) error {
-	section(w, "e28", "mutual aid under mild vs overwhelming shocks", "§3.4.6, §5.2")
+func E28(rec *Recorder, cfg Config) error {
 	trials := 30
 	if cfg.Quick {
 		trials = 8
@@ -129,8 +133,7 @@ func E28(w io.Writer, cfg Config) error {
 		}
 		return okN / float64(trials), popSum / float64(trials), deathSum / float64(trials), nil
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "shock\taidShare\tsurvival\tmeanFinalPop\tmeanDeaths")
+	tb := rec.Table("mutual-aid", "shock", "aidShare", "survival", "meanFinalPop", "meanDeaths")
 	for _, regime := range []struct {
 		name string
 		dist int
@@ -140,14 +143,11 @@ func E28(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tb, "%s\t%.1f\t%.2f\t%.0f\t%.0f\n", regime.name, aid, surv, pop, deaths)
+			tb.Row(S(regime.name), F("%.1f", aid), F("%.2f", surv), F("%.0f", pop), F("%.0f", deaths))
 		}
 	}
-	if err := tb.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "helping others saves lives when the lineage's total reserve covers the shock;")
-	fmt.Fprintln(w, "when it cannot, equal sharing removes the variance that lets anyone survive")
+	rec.Notef("helping others saves lives when the lineage's total reserve covers the shock;")
+	rec.Notef("when it cannot, equal sharing removes the variance that lets anyone survive")
 	return nil
 }
 
@@ -157,8 +157,7 @@ func E28(w io.Writer, cfg Config) error {
 // stockpiles reserve BEFORE the shock; the reactive operator switches
 // only after quality collapses. Expected shape: the anticipatory
 // operator's Bruneau loss is a fraction of the reactive one's.
-func E29(w io.Writer, cfg Config) error {
-	section(w, "e29", "anticipatory vs reactive mode switching", "§3.4.1 + §3.4.6")
+func E29(rec *Recorder, cfg Config) error {
 	foldSteps := 30000
 	if cfg.Quick {
 		foldSteps = 10000
@@ -265,21 +264,19 @@ func E29(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "operator\talarmStep\tshockStep\tloss\temergencySteps")
-	fmt.Fprintf(tb, "reactive\t-\t%d\t%.1f\t%d\n", shockStep, lossReactive, emReactive)
-	alarmStr := "-"
+	tb := rec.Table("anticipation", "operator", "alarmStep", "shockStep", "loss", "emergencySteps")
+	tb.Row(S("reactive"), S("-"), D(shockStep), F("%.1f", lossReactive), D(emReactive))
+	alarmCell := S("-")
 	if alarm >= 0 {
-		alarmStr = fmt.Sprintf("%d", alarm)
+		alarmCell = D(alarm)
 	}
-	fmt.Fprintf(tb, "anticipatory\t%s\t%d\t%.1f\t%d\n", alarmStr, shockStep, lossAnticipatory, emAnticipatory)
-	if err := tb.Flush(); err != nil {
-		return err
-	}
+	tb.Row(S("anticipatory"), alarmCell, D(shockStep), F("%.1f", lossAnticipatory), D(emAnticipatory))
 	if lossReactive > 0 {
-		fmt.Fprintf(w, "anticipation cut the loss by %.0f%%; its price is %d extra steps of\n",
-			100*(lossReactive-lossAnticipatory)/lossReactive, emAnticipatory-emReactive)
-		fmt.Fprintln(w, "emergency operation (30% of demand shed while stockpiling) before the shock")
+		reduction := 100 * (lossReactive - lossAnticipatory) / lossReactive
+		rec.Notef("anticipation cut the loss by %.0f%%; its price is %d extra steps of",
+			reduction, emAnticipatory-emReactive)
+		rec.Notef("emergency operation (30%% of demand shed while stockpiling) before the shock")
+		rec.Scalar("loss-reduction-pct", reduction)
 	}
 	return nil
 }
@@ -289,8 +286,7 @@ func E29(w io.Writer, cfg Config) error {
 // faster than statute and bounds the defector tail that pure
 // self-regulation leaves open. Expected shape: co-regulation has both
 // the lowest mean harm and a bounded maximum.
-func E30(w io.Writer, cfg Config) error {
-	section(w, "e30", "statute vs self-regulation vs co-regulation", "§3.3.3")
+func E30(rec *Recorder, cfg Config) error {
 	steps := 3000
 	if cfg.Quick {
 		steps = 600
@@ -300,19 +296,14 @@ func E30(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "regime\tmeanHarm\tp95Harm\tmaxHarm\tstatuteRevisions")
+	tb := rec.Table("regimes", "regime", "meanHarm", "p95Harm", "maxHarm", "statuteRevisions")
 	for _, regime := range []regulate.Regime{regulate.Statute, regulate.SelfRegulation, regulate.CoRegulation} {
 		res := results[regime]
-		fmt.Fprintf(tb, "%s\t%.4f\t%.4f\t%.4f\t%d\n",
-			regime, res.MeanHarm, res.P95Harm, res.MaxHarm, res.Revisions)
-	}
-	if err := tb.Flush(); err != nil {
-		return err
+		tb.Row(C("%s", regime), F("%.4f", res.MeanHarm), F("%.4f", res.P95Harm),
+			F("%.4f", res.MaxHarm), D(res.Revisions))
 	}
 	// Lag sweep for the statute: rigidity is the problem.
-	tb2 := newTable(w)
-	fmt.Fprintln(tb2, "legislativeLag\tstatuteMeanHarm")
+	tb2 := rec.Table("statute-lag", "legislativeLag", "statuteMeanHarm")
 	for _, lag := range []int{5, 25, 100, 400} {
 		c := rcfg
 		c.LegislativeLag = lag
@@ -320,12 +311,9 @@ func E30(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb2, "%d\t%.4f\n", lag, res.MeanHarm)
+		tb2.Row(D(lag), F("%.4f", res.MeanHarm))
 	}
-	if err := tb2.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "co-regulation adapts at the entities' speed while the statute band caps defectors")
+	rec.Notef("co-regulation adapts at the entities' speed while the statute band caps defectors")
 	return nil
 }
 
@@ -338,8 +326,7 @@ func E30(w io.Writer, cfg Config) error {
 // (E06) but costs dynamical stability — a simple, weakly-connected
 // community like the Antarctic food web sits on the stable side of May's
 // bound. Expected shape: a sharp stability transition at σ√(nc) ≈ d.
-func E31(w io.Writer, cfg Config) error {
-	section(w, "e31", "complexity vs dynamical stability (May)", "§6")
+func E31(rec *Recorder, cfg Config) error {
 	trials := 60
 	horizon := 60.0
 	if cfg.Quick {
@@ -348,22 +335,18 @@ func E31(w io.Writer, cfg Config) error {
 	}
 	r := rng.New(cfg.Seed)
 	const conn, sigma, selfReg = 0.3, 0.45, 1.0
-	tb := newTable(w)
-	fmt.Fprintln(tb, "species n\tMayComplexity σ√(nc)\tP(stable)")
+	tb := rec.Table("may-stability", "species n", "MayComplexity σ√(nc)", "P(stable)")
 	for _, n := range []int{4, 8, 16, 22, 32, 64} {
 		p, err := dynamics.StabilityProbability(n, conn, sigma, selfReg, trials, horizon, 0.02, r)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%.2f\t%.2f\n", n, dynamics.MayThreshold(n, conn, sigma), p)
-	}
-	if err := tb.Flush(); err != nil {
-		return err
+		tb.Row(D(n), F("%.2f", dynamics.MayThreshold(n, conn, sigma)), F("%.2f", p))
 	}
 	nCritical := int(math.Floor(selfReg * selfReg / (sigma * sigma * conn)))
-	fmt.Fprintf(w, "May's bound predicts the transition at σ√(nc) = %v (n ≈ %d here)\n",
+	rec.Notef("May's bound predicts the transition at σ√(nc) = %v (n ≈ %d here)",
 		selfReg, nCritical)
-	fmt.Fprintln(w, "the Antarctic answer: simple + weakly coupled sits on the stable side;")
-	fmt.Fprintln(w, "the diversity that survives change (E06) is bought at dynamical risk")
+	rec.Notef("the Antarctic answer: simple + weakly coupled sits on the stable side;")
+	rec.Notef("the diversity that survives change (E06) is bought at dynamical risk")
 	return nil
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"time"
 
 	"resilience/internal/dcsp"
@@ -11,14 +10,23 @@ import (
 	"resilience/internal/rng"
 )
 
+func init() {
+	Register(Experiment{ID: "e01", Title: "Bruneau resilience triangle across recovery shapes",
+		Source: "Fig 3, §4.1", Modules: []string{"metrics"}, Run: E01})
+	Register(Experiment{ID: "e02", Title: "k-recoverability vs damage size and repair rate",
+		Source: "Fig 4, §4.2", Modules: []string{"dcsp", "rng"}, SupportsQuick: true, Run: E02})
+	Register(Experiment{ID: "e03", Title: "Spacecraft worked example: exhaustive k-recoverability",
+		Source: "§4.2", Modules: []string{"dcsp", "rng"}, SupportsQuick: true, Run: E03})
+	Register(Experiment{ID: "e04", Title: "Baral–Eiter k-maintainable policy synthesis scaling",
+		Source: "§4.3", Modules: []string{"maintain", "rng"}, SupportsQuick: true, Run: E04})
+}
+
 // E01 reproduces Fig 3: the resilience triangle R = ∫(100−Q)dt for three
 // recovery shapes at several depths and recovery times. Expected shape:
 // loss grows with both depth (resistance) and duration (recoverability);
 // exponential < linear < step for the same parameters.
-func E01(w io.Writer, cfg Config) error {
-	section(w, "e01", "Bruneau resilience triangle", "Fig 3, §4.1")
-	tb := newTable(w)
-	fmt.Fprintln(tb, "shape\tfloorQ\trecoverSteps\tloss\tnormalized")
+func E01(rec *Recorder, cfg Config) error {
+	tb := rec.Table("loss-by-shape", "shape", "floorQ", "recoverSteps", "loss", "normalized")
 	shapes := []struct {
 		name  string
 		shape metrics.RecoveryShape
@@ -29,8 +37,8 @@ func E01(w io.Writer, cfg Config) error {
 	}
 	for _, s := range shapes {
 		for _, floor := range []float64{0, 50} {
-			for _, rec := range []int{10, 40} {
-				tr := metrics.SyntheticTrace(s.shape, floor, 5, rec, 5, 1)
+			for _, recSteps := range []int{10, 40} {
+				tr := metrics.SyntheticTrace(s.shape, floor, 5, recSteps, 5, 1)
 				loss, err := tr.Loss()
 				if err != nil {
 					return err
@@ -39,11 +47,11 @@ func E01(w io.Writer, cfg Config) error {
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(tb, "%s\t%.0f\t%d\t%.1f\t%.4f\n", s.name, floor, rec, loss, norm)
+				tb.Row(S(s.name), F("%.0f", floor), D(recSteps), F("%.1f", loss), F("%.4f", norm))
 			}
 		}
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E02 measures k-recoverability (Fig 4, §4.2) on two environment
@@ -51,8 +59,7 @@ func E01(w io.Writer, cfg Config) error {
 // the Monte-Carlo recovery rate within k = d steps at 1 and 2 flips per
 // step. Expected shape: recovery rate is 1 when the repair budget covers
 // the damage (k·flips ≥ d for AllOnes) and degrades when it does not.
-func E02(w io.Writer, cfg Config) error {
-	section(w, "e02", "k-recoverability vs damage and repair rate", "Fig 4, §4.2")
+func E02(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	trials := 200
 	if cfg.Quick {
@@ -63,8 +70,7 @@ func E02(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "environment\tdamage d\tflips/step\tk\trecovered\tworstSteps")
+	tb := rec.Table("recovery-rate", "environment", "damage d", "flips/step", "k", "recovered", "worstSteps")
 	for _, d := range []int{1, 2, 4, 6} {
 		for _, flips := range []int{1, 2} {
 			k := (d + flips - 1) / flips
@@ -74,33 +80,31 @@ func E02(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tb, "all-ones\t%d\t%d\t%d\t%.2f\t%d\n",
-				d, flips, k, 1-repAll.FailureRate(), repAll.WorstSteps)
+			tb.Row(S("all-ones"), D(d), D(flips), D(k),
+				F("%.2f", 1-repAll.FailureRate()), D(repAll.WorstSteps))
 			repCNF, err := dcsp.CheckKRecoverableMC(
 				cnf, dcsp.ExactFlips{K: d},
 				dcsp.GreedyRepairer{Noise: 0.1}, flips, k+2, trials, r, planted)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tb, "planted-3cnf\t%d\t%d\t%d\t%.2f\t%d\n",
-				d, flips, k+2, 1-repCNF.FailureRate(), repCNF.WorstSteps)
+			tb.Row(S("planted-3cnf"), D(d), D(flips), D(k+2),
+				F("%.2f", 1-repCNF.FailureRate()), D(repCNF.WorstSteps))
 		}
 	}
-	return tb.Flush()
+	return nil
 }
 
 // E03 verifies the paper's spacecraft example exhaustively: n components,
 // C = 1ⁿ, debris causing at most k failures, one repair per step ⇒
 // k-recoverable — and simulates a mission to show availability behaviour.
-func E03(w io.Writer, cfg Config) error {
-	section(w, "e03", "spacecraft exhaustive k-recoverability", "§4.2")
+func E03(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	steps := 5000
 	if cfg.Quick {
 		steps = 500
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "n\tmaxHits k\trepairs/step\tkBound\trecoverable\tworstSteps")
+	tb := rec.Table("spacecraft", "n", "maxHits k", "repairs/step", "kBound", "recoverable", "worstSteps")
 	for _, tc := range []struct{ n, hits, repairs int }{
 		{16, 3, 1}, {32, 5, 1}, {32, 6, 2}, {64, 8, 4},
 	} {
@@ -112,18 +116,14 @@ func E03(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\t%d\t%d\t%d\t%v\t%d\n",
-			tc.n, tc.hits, tc.repairs, rep.K, rep.Recoverable, rep.WorstSteps)
-	}
-	if err := tb.Flush(); err != nil {
-		return err
+		tb.Row(D(tc.n), D(tc.hits), D(tc.repairs), D(rep.K), B(rep.Recoverable), D(rep.WorstSteps))
 	}
 	// Exhaustive subset check on a small craft.
 	exh, err := dcsp.CheckKRecoverableExhaustive(dcsp.AllOnes{N: 10}, 3, 1, 3, 0)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "exhaustive n=10 d<=3: trials=%d failures=%d recoverable=%v\n",
+	rec.Notef("exhaustive n=10 d<=3: trials=%d failures=%d recoverable=%v",
 		exh.Trials, exh.Failures, exh.Recoverable)
 	sc, err := dcsp.NewSpacecraft(24, 4, 1)
 	if err != nil {
@@ -133,9 +133,10 @@ func E03(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "mission: steps=%d strikes=%d degradedSteps=%d availability=%.4f\n",
-		steps, mission.Strikes, mission.DegradedSteps,
-		1-float64(mission.DegradedSteps)/float64(steps))
+	availability := 1 - float64(mission.DegradedSteps)/float64(steps)
+	rec.Notef("mission: steps=%d strikes=%d degradedSteps=%d availability=%.4f",
+		steps, mission.Strikes, mission.DegradedSteps, availability)
+	rec.Scalar("availability", availability)
 	return nil
 }
 
@@ -143,14 +144,15 @@ func E03(w io.Writer, cfg Config) error {
 // policy synthesis wall time and worst-case recovery distance on repair
 // chains and random nondeterministic systems of growing size. Expected
 // shape: near-linear runtime growth in transitions.
-func E04(w io.Writer, cfg Config) error {
-	section(w, "e04", "k-maintainable policy synthesis scaling", "§4.3")
+func E04(rec *Recorder, cfg Config) error {
 	sizes := []int{100, 400, 1600, 6400}
 	if cfg.Quick {
 		sizes = []int{50, 200}
 	}
-	tb := newTable(w)
-	fmt.Fprintln(tb, "states\tshape\tsynthesisTime\tworstDistance\tmaintainable(k=states)")
+	// The table reports the deterministic problem size (transitions);
+	// the measured synthesis wall time is recorded as scalars so the
+	// rendered text stays byte-identical across runs and -jobs values.
+	tb := rec.Table("synthesis-scaling", "states", "shape", "transitions", "worstDistance", "maintainable(k=states)")
 	for _, n := range sizes {
 		sys, err := maintain.NewSystem(n)
 		if err != nil {
@@ -170,7 +172,8 @@ func E04(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\tchain\t%v\t%d\t%v\n", n, time.Since(start).Round(time.Microsecond), rep.WorstDistance, rep.Maintainable)
+		rec.Scalar(fmt.Sprintf("synthesisTime/chain/%d", n), time.Since(start).String())
+		tb.Row(D(n), S("chain"), D(n-1), D(rep.WorstDistance), B(rep.Maintainable))
 	}
 	// Random nondeterministic systems.
 	r := rng.New(cfg.Seed)
@@ -201,7 +204,8 @@ func E04(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tb, "%d\trandom-nd\t%v\t%d\t%v\n", n, time.Since(start).Round(time.Microsecond), rep.WorstDistance, rep.Maintainable)
+		rec.Scalar(fmt.Sprintf("synthesisTime/random-nd/%d", n), time.Since(start).String())
+		tb.Row(D(n), S("random-nd"), D(2*2*(n-1)), D(rep.WorstDistance), B(rep.Maintainable))
 	}
-	return tb.Flush()
+	return nil
 }

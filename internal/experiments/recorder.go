@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Cell is a single table value: a typed Value for machine consumers
+// (JSON, artifact files, tests) and the exact Text the text renderer
+// prints. Experiments keep full control of the printed representation
+// while every renderer sees the underlying datum.
+type Cell struct {
+	Value any    `json:"value"`
+	Text  string `json:"text"`
+}
+
+// S returns a string cell.
+func S(s string) Cell { return Cell{Value: s, Text: s} }
+
+// D returns an integer cell rendered in decimal.
+func D(v int) Cell { return Cell{Value: v, Text: strconv.Itoa(v)} }
+
+// B returns a boolean cell rendered as true/false.
+func B(v bool) Cell { return Cell{Value: v, Text: strconv.FormatBool(v)} }
+
+// F returns a float cell rendered with the given fmt verb, e.g.
+// F("%.2f", x). The verb may carry a suffix, as in F("%.0fx", gain).
+func F(format string, v float64) Cell {
+	return Cell{Value: v, Text: fmt.Sprintf(format, v)}
+}
+
+// C returns a cell of any type rendered with the given fmt verb.
+func C(format string, v any) Cell {
+	return Cell{Value: v, Text: fmt.Sprintf(format, v)}
+}
+
+// V returns a cell whose typed value and rendered text are given
+// independently, for composite cells like confidence intervals:
+// V([]float64{lo, hi}, "[%.2f, %.2f]", lo, hi).
+func V(value any, format string, args ...any) Cell {
+	return Cell{Value: value, Text: fmt.Sprintf(format, args...)}
+}
+
+// Table is a named table of typed rows. Rows are appended via Row and
+// must match the column count declared at creation.
+type Table struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+
+	rec *Recorder
+}
+
+// Row appends one row. len(cells) must equal len(t.Columns); a mismatch
+// is recorded as a recorder error and surfaces when the experiment
+// finishes, so experiments can chain Row calls without error plumbing.
+func (t *Table) Row(cells ...Cell) *Table {
+	if len(cells) != len(t.Columns) {
+		t.rec.failf("table %q: row has %d cells, want %d columns", t.Name, len(cells), len(t.Columns))
+		return t
+	}
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// Scalar is a single named machine-readable value, e.g. a headline
+// number whose prose form already appears in a note.
+type Scalar struct {
+	Name  string `json:"name"`
+	Value any    `json:"value"`
+}
+
+// Result is the structured outcome of one experiment run: the ordered
+// tables, scalars, and notes the experiment recorded, plus the metadata
+// needed to render or reproduce it. Renderers (render.go) turn a Result
+// into the classic text report or a JSON document.
+type Result struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Source  string   `json:"source"`
+	Modules []string `json:"modules,omitempty"`
+	Seed    uint64   `json:"seed"`
+	Quick   bool     `json:"quick"`
+	Tables  []*Table `json:"tables"`
+	Scalars []Scalar `json:"scalars,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+	Error   string   `json:"error,omitempty"`
+
+	// order preserves the interleaving of tables and notes so the text
+	// renderer can reproduce the historical report layout.
+	order []renderItem
+}
+
+// renderItem points at either a table or a note (by index into Notes).
+type renderItem struct {
+	table *Table
+	note  int
+}
+
+// Recorder collects an experiment's output. Experiments emit named
+// tables, scalars, and notes through it instead of writing text to an
+// io.Writer, so one run can be rendered as text, JSON, or artifacts.
+type Recorder struct {
+	res Result
+	err error
+}
+
+// NewRecorder returns a Recorder pre-stamped with the experiment's
+// registry metadata and the config it runs under.
+func NewRecorder(e Experiment, cfg Config) *Recorder {
+	return &Recorder{res: Result{
+		ID:      e.ID,
+		Title:   e.Title,
+		Source:  e.Source,
+		Modules: e.Modules,
+		Seed:    cfg.Seed,
+		Quick:   cfg.Quick,
+	}}
+}
+
+// Table starts a new named table with the given columns and returns it
+// for Row appends.
+func (r *Recorder) Table(name string, columns ...string) *Table {
+	if name == "" || len(columns) == 0 {
+		r.failf("table %q: needs a name and at least one column", name)
+	}
+	t := &Table{Name: name, Columns: columns, rec: r}
+	r.res.Tables = append(r.res.Tables, t)
+	r.res.order = append(r.res.order, renderItem{table: t})
+	return t
+}
+
+// Notef records one line of prose commentary (no trailing newline).
+func (r *Recorder) Notef(format string, args ...any) {
+	r.res.Notes = append(r.res.Notes, fmt.Sprintf(format, args...))
+	r.res.order = append(r.res.order, renderItem{table: nil, note: len(r.res.Notes) - 1})
+}
+
+// Scalar records one named machine-readable value. Scalars are not
+// rendered in the text report (their prose form belongs in a note);
+// they exist for JSON consumers.
+func (r *Recorder) Scalar(name string, value any) {
+	r.res.Scalars = append(r.res.Scalars, Scalar{Name: name, Value: value})
+}
+
+// failf records the first misuse of the recording API.
+func (r *Recorder) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err reports the first recording mistake (e.g. a row/column mismatch),
+// or nil.
+func (r *Recorder) Err() error { return r.err }
+
+// Result returns the accumulated structured result.
+func (r *Recorder) Result() *Result { return &r.res }

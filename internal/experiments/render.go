@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Renderer writes a Result to a stream in one output format.
+type Renderer interface {
+	Render(w io.Writer, res *Result) error
+}
+
+// NewRenderer returns the renderer for format: "text" (or "") for the
+// classic human-readable report, "json" for one JSON document per
+// result.
+func NewRenderer(format string) (Renderer, error) {
+	switch format {
+	case "", "text":
+		return textRenderer{}, nil
+	case "json":
+		return jsonRenderer{}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want text or json)", format)
+	}
+}
+
+type textRenderer struct{}
+
+func (textRenderer) Render(w io.Writer, res *Result) error { return RenderText(w, res) }
+
+// RenderText writes the classic report: a section header, each table
+// tab-aligned, and the prose notes, in recording order. Scalars are
+// machine-readable duplicates of values already present in tables or
+// notes and are not rendered. The output depends only on the Result, so
+// it is byte-identical however the experiment was scheduled.
+func RenderText(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s (%s) ==\n", res.ID, res.Title, res.Source); err != nil {
+		return err
+	}
+	for _, it := range res.order {
+		if it.table != nil {
+			tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, strings.Join(it.table.Columns, "\t"))
+			texts := make([]string, 0, 8)
+			for _, row := range it.table.Rows {
+				texts = texts[:0]
+				for _, c := range row {
+					texts = append(texts, c.Text)
+				}
+				fmt.Fprintln(tw, strings.Join(texts, "\t"))
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, res.Notes[it.note]); err != nil {
+			return err
+		}
+	}
+	if res.Error != "" {
+		if _, err := fmt.Fprintf(w, "ERROR: %s\n", res.Error); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type jsonRenderer struct{}
+
+func (jsonRenderer) Render(w io.Writer, res *Result) error { return RenderJSON(w, res) }
+
+// RenderJSON writes the Result as one indented JSON document followed by
+// a newline. The document carries every table (with typed values and
+// rendered text per cell), every scalar, and every note the text
+// renderer shows, and contains no timing, so it too is deterministic
+// for a given seed.
+func RenderJSON(w io.Writer, res *Result) error {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

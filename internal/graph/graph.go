@@ -279,13 +279,25 @@ func BarabasiAlbert(n, m int, r *rng.Source) (*Graph, error) {
 			endpoints = append(endpoints, u, v)
 		}
 	}
+	chosen := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
-		chosen := make(map[int]struct{}, m)
+		// Distinct targets in draw order; iterating a set here would make
+		// the edge order (and every downstream stream) nondeterministic.
+		chosen = chosen[:0]
 		for len(chosen) < m {
 			t := endpoints[r.Intn(len(endpoints))]
-			chosen[t] = struct{}{}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			if err := g.AddEdge(v, t); err != nil {
 				return nil, err
 			}

@@ -60,6 +60,24 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// Derive maps a root seed and a label to a child seed, deterministically
+// and independently of any other label. It lets a suite of named tasks
+// (e.g. experiments) each get a stable seed from one root seed without
+// threading a shared Source through them, so the per-task streams do not
+// depend on execution order or on which other tasks run.
+func Derive(root uint64, label string) uint64 {
+	state := root
+	var out uint64
+	state, out = splitMix64(state)
+	seed := out
+	for _, b := range []byte(label) {
+		state, out = splitMix64(state ^ uint64(b))
+		seed = seed*0x100000001b3 ^ out
+	}
+	_, out = splitMix64(seed)
+	return out
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))

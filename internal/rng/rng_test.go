@@ -47,6 +47,37 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestDerive(t *testing.T) {
+	// Stable: same root + label always yields the same seed.
+	if Derive(42, "e07") != Derive(42, "e07") {
+		t.Fatal("Derive is not deterministic")
+	}
+	// Sensitive to both root and label.
+	if Derive(42, "e07") == Derive(43, "e07") {
+		t.Fatal("Derive ignores the root seed")
+	}
+	seen := map[uint64]string{}
+	for _, label := range []string{"", "e01", "e02", "e10", "e01x", "x01e", "10e"} {
+		s := Derive(42, label)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Derive collision: %q and %q -> %d", prev, label, s)
+		}
+		seen[s] = label
+	}
+	// Derived streams should look independent.
+	a := New(Derive(1, "a"))
+	b := New(Derive(1, "b"))
+	match := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("derived streams correlated: %d/64 matches", match)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {

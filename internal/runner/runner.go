@@ -1,0 +1,133 @@
+// Package runner executes suites of experiments on a bounded worker
+// pool. Results are delivered in input order regardless of the number of
+// workers, each experiment's random stream is derived independently from
+// the root seed, and a failing experiment is isolated: it is reported and
+// the rest of the suite still runs. Together these make the rendered
+// output of a suite byte-identical for a given seed whatever -jobs is.
+package runner
+
+import (
+	"runtime"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rng"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Jobs is the maximum number of experiments running concurrently.
+	// Values below 1 mean GOMAXPROCS.
+	Jobs int
+	// Seed is the root seed. Each experiment runs with the derived seed
+	// rng.Derive(Seed, id), so its stream does not depend on which other
+	// experiments run or in what order.
+	Seed uint64
+	// Quick shrinks workloads.
+	Quick bool
+}
+
+// Outcome is the report for one experiment.
+type Outcome struct {
+	// Experiment is the registry entry that ran.
+	Experiment experiments.Experiment
+	// Result holds the recorded tables, scalars and notes. It is non-nil
+	// even on failure (partial results plus the error).
+	Result *experiments.Result
+	// Err is the experiment's failure, nil on success. Panics surface as
+	// *experiments.PanicError.
+	Err error
+	// Elapsed is the experiment's wall time.
+	Elapsed time.Duration
+	// AllocBytes is the heap allocated while the experiment ran. It is
+	// exact at Jobs=1 and an attribution-free approximation otherwise
+	// (concurrent experiments' allocations mix).
+	AllocBytes uint64
+}
+
+// Summary aggregates a suite run.
+type Summary struct {
+	Total     int
+	Passed    int
+	Failed    int
+	FailedIDs []string
+	// Elapsed is the suite wall time.
+	Elapsed time.Duration
+}
+
+// Config returns the experiment config a suite run uses for e: the
+// per-experiment seed derived from the root seed. Single-experiment runs
+// use the same derivation, so they reproduce the rows of a full run.
+func Config(opts Options, e experiments.Experiment) experiments.Config {
+	return experiments.Config{Seed: rng.Derive(opts.Seed, e.ID), Quick: opts.Quick}
+}
+
+// Run executes every experiment with at most opts.Jobs in flight, calling
+// emit (if non-nil) once per experiment in input order as results become
+// available. It never aborts early: failures are recorded in the summary
+// and the remaining experiments still run.
+func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summary {
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	start := time.Now()
+
+	outcomes := make([]Outcome, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	sem := make(chan struct{}, jobs)
+	for i := range exps {
+		i := i
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			outcomes[i] = runOne(exps[i], opts)
+			close(done[i])
+		}()
+	}
+
+	var sum Summary
+	sum.Total = len(exps)
+	for i := range exps {
+		<-done[i]
+		o := outcomes[i]
+		if o.Err != nil {
+			sum.Failed++
+			sum.FailedIDs = append(sum.FailedIDs, o.Experiment.ID)
+		} else {
+			sum.Passed++
+		}
+		if emit != nil {
+			emit(o)
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	return sum
+}
+
+// runOne executes a single experiment and measures its wall time and
+// allocation.
+func runOne(e experiments.Experiment, opts Options) Outcome {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := e.Record(Config(opts, e))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Outcome{
+		Experiment: e,
+		Result:     res,
+		Err:        err,
+		Elapsed:    elapsed,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+}

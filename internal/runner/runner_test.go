@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rng"
+)
+
+// fakeExp builds an unregistered experiment for runner tests.
+func fakeExp(id string, run experiments.Runner) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true, Run: run,
+	}
+}
+
+func noop(rec *experiments.Recorder, cfg experiments.Config) error {
+	rec.Notef("ok")
+	return nil
+}
+
+func TestRunEmitsInInputOrder(t *testing.T) {
+	var exps []experiments.Experiment
+	for i := 0; i < 12; i++ {
+		exps = append(exps, fakeExp(fmt.Sprintf("t%02d", i), noop))
+	}
+	for _, jobs := range []int{1, 4, 16} {
+		var got []string
+		sum := Run(exps, Options{Jobs: jobs, Seed: 1}, func(o Outcome) {
+			got = append(got, o.Experiment.ID)
+		})
+		var want []string
+		for _, e := range exps {
+			want = append(want, e.ID)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("jobs=%d: emit order %v, want %v", jobs, got, want)
+		}
+		if sum.Total != 12 || sum.Passed != 12 || sum.Failed != 0 {
+			t.Fatalf("jobs=%d: summary %+v", jobs, sum)
+		}
+	}
+}
+
+func TestRunIsolatesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []experiments.Experiment{
+		fakeExp("t00", noop),
+		fakeExp("t01", func(rec *experiments.Recorder, cfg experiments.Config) error { return boom }),
+		fakeExp("t02", func(rec *experiments.Recorder, cfg experiments.Config) error { panic("kaboom") }),
+		fakeExp("t03", noop),
+	}
+	var outs []Outcome
+	sum := Run(exps, Options{Jobs: 2, Seed: 1}, func(o Outcome) { outs = append(outs, o) })
+	if sum.Passed != 2 || sum.Failed != 2 {
+		t.Fatalf("summary %+v, want 2 passed / 2 failed", sum)
+	}
+	if !reflect.DeepEqual(sum.FailedIDs, []string{"t01", "t02"}) {
+		t.Fatalf("FailedIDs %v", sum.FailedIDs)
+	}
+	if !errors.Is(outs[1].Err, boom) {
+		t.Fatalf("t01 err = %v", outs[1].Err)
+	}
+	var pe *experiments.PanicError
+	if !errors.As(outs[2].Err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("t02 err = %v, want PanicError(kaboom)", outs[2].Err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	// The failures still produced (partial) results for rendering.
+	for i, o := range outs {
+		if o.Result == nil {
+			t.Fatalf("outcome %d has nil Result", i)
+		}
+	}
+}
+
+func TestRunDerivesIndependentSeeds(t *testing.T) {
+	// Each experiment must see rng.Derive(root, id), independent of
+	// which other experiments run.
+	seen := map[string]uint64{}
+	record := func(rec *experiments.Recorder, cfg experiments.Config) error {
+		return nil
+	}
+	exps := []experiments.Experiment{fakeExp("t00", record), fakeExp("t01", record)}
+	Run(exps, Options{Jobs: 1, Seed: 42}, func(o Outcome) {
+		seen[o.Experiment.ID] = o.Result.Seed
+	})
+	for id, seed := range seen {
+		if want := rng.Derive(42, id); seed != want {
+			t.Errorf("%s ran with seed %d, want Derive(42,%q)=%d", id, seed, id, want)
+		}
+	}
+	if seen["t00"] == seen["t01"] {
+		t.Fatal("distinct experiments share a seed")
+	}
+	// Running a subset must not change the seed an experiment sees.
+	var solo uint64
+	Run(exps[1:], Options{Jobs: 1, Seed: 42}, func(o Outcome) { solo = o.Result.Seed })
+	if solo != seen["t01"] {
+		t.Fatalf("subset run changed t01's seed: %d vs %d", solo, seen["t01"])
+	}
+}
+
+func TestRunDeterministicAcrossJobs(t *testing.T) {
+	// Rendered text must not depend on the worker count.
+	render := func(jobs int) []string {
+		var texts []string
+		exps := experiments.All()[:6]
+		Run(exps, Options{Jobs: jobs, Seed: 42, Quick: true}, func(o Outcome) {
+			if o.Err != nil {
+				t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+			}
+			var b bytes.Buffer
+			if err := experiments.RenderText(&b, o.Result); err != nil {
+				t.Fatal(err)
+			}
+			texts = append(texts, b.String())
+		})
+		return texts
+	}
+	a := render(1)
+	b := render(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("rendered output differs between jobs=1 and jobs=8")
+	}
+}
+
+func TestRunNilEmitAndStats(t *testing.T) {
+	exps := []experiments.Experiment{fakeExp("t00", noop)}
+	sum := Run(exps, Options{Seed: 1}, nil)
+	if sum.Passed != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	var out Outcome
+	Run(exps, Options{Jobs: 1, Seed: 1}, func(o Outcome) { out = o })
+	if out.Elapsed < 0 {
+		t.Fatalf("negative elapsed %v", out.Elapsed)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePlan drops a fault-plan document into a temp file.
+func writePlan(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFaultedSuiteByteIdenticalAcrossJobs is the acceptance check on the
+// committed canonical plan: same seed + same plan ⇒ byte-identical
+// stdout at -jobs 1 and -jobs 8, with the injected faults recovered and
+// annotated.
+func TestFaultedSuiteByteIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	plan := "../../testdata/plan.json"
+	j1, _, err := runCLI(t, "all", "-quick", "-seed", "7", "-faults", plan, "-jobs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err8, err := runCLI(t, "all", "-quick", "-seed", "7", "-faults", plan, "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j8 {
+		t.Fatal("faulted suite stdout differs between -jobs 1 and -jobs 8")
+	}
+	if got := strings.Count(j1, "degraded: recovered"); got != 2 {
+		t.Fatalf("want 2 degraded annotations (e02, e05), got %d", got)
+	}
+	if !strings.Contains(err8, "31 passed / 0 failed") {
+		t.Fatalf("recovered suite should pass:\n%s", err8)
+	}
+	if !strings.Contains(err8, "recovery: 2 degraded, 2 retries") {
+		t.Fatalf("stderr missing recovery scalars:\n%s", err8)
+	}
+}
+
+// TestPanicPlanRendersRestNonZeroExit: an unrecoverable panic in one
+// experiment still yields a rendered report for the other 30 plus a
+// non-zero exit and recovery scalars.
+func TestPanicPlanRendersRestNonZeroExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	out, errOut, err := runCLI(t, "all", "-quick", "-seed", "7", "-faults", "../../testdata/panic-plan.json")
+	if err == nil || !strings.Contains(err.Error(), "e05") {
+		t.Fatalf("want failure naming e05, got %v", err)
+	}
+	if got := strings.Count(out, "== e"); got != 31 {
+		t.Fatalf("want all 31 sections rendered, got %d", got)
+	}
+	if !strings.Contains(out, "ERROR: panic: faultinject: hard crash on every attempt") {
+		t.Fatal("faulted section missing its ERROR line")
+	}
+	if !strings.Contains(errOut, "30 passed / 1 failed") {
+		t.Fatalf("summary wrong:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "recovery: 0 degraded, 1 retries") {
+		t.Fatalf("stderr missing recovery scalars:\n%s", errOut)
+	}
+}
+
+// TestChaosSubcommand: `resilience chaos PLAN` is the suite under the
+// plan, equivalent to `all -faults PLAN`.
+func TestChaosSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	viaChaos, _, err := runCLI(t, "chaos", "../../testdata/plan.json", "-quick", "-seed", "7", "-jobs", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFlag, _, err := runCLI(t, "all", "-quick", "-seed", "7", "-faults", "../../testdata/plan.json", "-jobs", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaChaos != viaFlag {
+		t.Fatal("chaos subcommand and all -faults disagree")
+	}
+}
+
+func TestChaosUsageErrors(t *testing.T) {
+	if _, _, err := runCLI(t, "chaos"); err == nil {
+		t.Error("want usage error for missing plan path")
+	}
+	if _, _, err := runCLI(t, "chaos", "/nonexistent-plan.json"); err == nil {
+		t.Error("want error for missing plan file")
+	}
+	bad := writePlan(t, `{"faults":[{"experiment":"e01","kind":"explode"}]}`)
+	if _, _, err := runCLI(t, "chaos", bad); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("want plan validation error, got %v", err)
+	}
+}
+
+// TestSingleExperimentWithFaults: -faults composes with single-ID runs,
+// and a timeout plan degrades rather than fails when the retry lands.
+func TestSingleExperimentWithFaults(t *testing.T) {
+	plan := writePlan(t, `{"retries":1,"timeoutMs":5000,"faults":[
+		{"experiment":"e01","kind":"error","attempt":1,"message":"single-run fault"}]}`)
+	out, errOut, err := runCLI(t, "e01", "-quick", "-seed", "3", "-faults", plan)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, errOut)
+	}
+	if !strings.Contains(out, "degraded: recovered on attempt 2 (1 retry)") {
+		t.Fatalf("missing degraded annotation:\n%s", out)
+	}
+	if !strings.Contains(errOut, "ok (degraded, 2 attempts)") {
+		t.Fatalf("stderr missing degraded status:\n%s", errOut)
+	}
+	// And the degraded scalars ride along in JSON output.
+	jsonOut, _, err := runCLI(t, "e01", "-quick", "-seed", "3", "-faults", plan, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut, `"name": "degraded"`) || !strings.Contains(jsonOut, `"name": "retries"`) {
+		t.Fatalf("JSON output missing degraded/retries scalars:\n%s", jsonOut)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestQuickSuiteGolden pins the full quick-suite text output at the
+// default seed to a committed golden file, so any output drift is an
+// explicit decision: regenerate with
+//
+//	go test ./cmd/resilience -run QuickSuiteGolden -update
+func TestQuickSuiteGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	out, _, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "quick_suite_seed42.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(out))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == string(want) {
+		return
+	}
+	// Point at the first differing line so drift is easy to review.
+	gotLines, wantLines := strings.Split(out, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("quick-suite output drifted from %s at line %d:\n got: %q\nwant: %q\n"+
+				"If the change is intentional, rerun with -update.", path, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("quick-suite output drifted from %s: got %d lines, want %d. "+
+		"If the change is intentional, rerun with -update.", path, len(gotLines), len(wantLines))
+}

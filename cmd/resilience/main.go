@@ -8,6 +8,7 @@
 //	resilience all [flags]          # run every experiment
 //	resilience bok                  # print the resilience strategy catalogue
 //	resilience scenario FILE.json   # run a declarative chaos scenario
+//	resilience chaos PLAN.json      # run the suite under a fault-injection plan
 //
 // Flags (accepted before or after positional arguments):
 //
@@ -17,10 +18,13 @@
 //	-jobs N       run up to N experiments concurrently (default GOMAXPROCS)
 //	-format F     output format: text (default) or json
 //	-out DIR      also write one JSON result file per experiment to DIR
+//	-faults FILE  inject faults from a JSON plan (see internal/faultinject);
+//	              the plan also enables per-attempt timeouts and retries
 //
 // Rendered results go to stdout and are byte-identical for a given seed
-// whatever -jobs is; per-experiment timing and the suite summary go to
-// stderr.
+// whatever -jobs is — including under a fault plan, whose injections are
+// seed- and plan-deterministic; per-experiment timing, the suite summary
+// and recovery scalars go to stderr.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 
 	"resilience/internal/core"
 	"resilience/internal/experiments"
+	"resilience/internal/faultinject"
 	"resilience/internal/runner"
 	"resilience/internal/scenario"
 )
@@ -54,6 +59,7 @@ type options struct {
 	jobs   int
 	format string
 	outDir string
+	faults string
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
@@ -88,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&opt.jobs, "jobs", runtime.GOMAXPROCS(0), "max experiments running concurrently")
 	fs.StringVar(&opt.format, "format", "text", "output format: text or json")
 	fs.StringVar(&opt.outDir, "out", "", "directory for per-experiment JSON result files")
+	fs.StringVar(&opt.faults, "faults", "", "fault-injection plan (JSON file)")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -106,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return runScenario(stdout, positional[0], opt)
 	case "all":
+		return runSuite(stdout, stderr, experiments.All(), opt)
+	case "chaos":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: resilience chaos <plan.json> [-seed N] [-quick] [-jobs N]")
+		}
+		opt.faults = positional[0]
 		return runSuite(stdout, stderr, experiments.All(), opt)
 	default:
 		e, ok := experiments.Find(cmd)
@@ -131,6 +144,20 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			return err
 		}
 	}
+	ropts := runner.Options{Jobs: opt.jobs, Seed: opt.seed, Quick: opt.quick}
+	var plan *faultinject.Plan
+	if opt.faults != "" {
+		plan, err = faultinject.LoadFile(opt.faults)
+		if err != nil {
+			return err
+		}
+		ropts.Hooks = plan.HookFor
+		ropts.Retries = plan.Retries
+		ropts.Backoff = plan.Backoff()
+		ropts.Timeout = plan.Timeout()
+		fmt.Fprintf(stderr, "fault plan %q: %d faults, retries=%d, backoff=%v, timeout=%v\n",
+			plan.Name, len(plan.Faults), plan.Retries, plan.Backoff(), plan.Timeout())
+	}
 	suite := len(exps) > 1
 	var renderErr, firstErr error
 	var emitted int
@@ -151,16 +178,26 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			}
 		}
 		status := "ok"
-		if o.Err != nil {
+		switch {
+		case o.Err != nil:
 			status = "FAILED: " + o.Err.Error()
+		case o.Degraded:
+			status = fmt.Sprintf("ok (degraded, %d attempts)", o.Attempts)
 		}
 		fmt.Fprintf(stderr, "[%s %s in %v, ~%s alloc]\n",
 			o.Experiment.ID, status, o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
 	}
-	sum := runner.Run(exps, runner.Options{Jobs: opt.jobs, Seed: opt.seed, Quick: opt.quick}, emit)
+	sum := runner.Run(exps, ropts, emit)
 	if suite {
 		fmt.Fprintf(stderr, "%d passed / %d failed in %v (seed %d, jobs %d)\n",
 			sum.Passed, sum.Failed, sum.Elapsed.Round(time.Millisecond), opt.seed, opt.jobs)
+	}
+	if plan != nil {
+		// Bruneau-style suite recovery scalars: how many experiments
+		// degraded, how much retrying it took, and the recovery triangle
+		// (time-to-recover base, quality-loss area) summed over them.
+		fmt.Fprintf(stderr, "recovery: %d degraded, %d retries, time-to-recover %v, loss %.1f (quality%%·s)\n",
+			sum.Degraded, sum.Retries, sum.RecoveryTime.Round(time.Millisecond), sum.RecoveryLoss)
 	}
 	if renderErr != nil {
 		return renderErr
@@ -325,7 +362,7 @@ func writeJSON(w io.Writer, v any) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR]
+	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR] [-faults PLAN]
 
 commands:
   list                    list all experiments (id, title, source, quick support, modules)
@@ -333,9 +370,13 @@ commands:
   bok                     print the resilience strategy catalogue
   e01..e31                run one experiment
   scenario <file.json>    run a declarative chaos scenario
+  chaos <plan.json>       run every experiment under a fault-injection plan
 
 Each experiment's seed is derived from -seed and its ID, so a single run
 reproduces the corresponding rows of a full-suite run with the same seed.
 Results go to stdout (deterministic for a seed, independent of -jobs);
-timing, allocation and the pass/fail summary go to stderr.`)
+timing, allocation and the pass/fail summary go to stderr. With -faults
+(or chaos) the plan's injections, retries and timeouts apply; recovered
+experiments render with a degraded annotation and the suite reports
+Bruneau-style recovery scalars on stderr.`)
 }

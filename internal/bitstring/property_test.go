@@ -1,0 +1,168 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+// randomPair draws two independent random strings of the same length.
+func randomPair(n int, r *rng.Source) (String, String) {
+	return Random(n, r), Random(n, r)
+}
+
+// TestHammingProperties checks the metric axioms of Hamming distance on
+// randomly generated strings: identity, symmetry, triangle inequality,
+// and the XOR/popcount identity d(s,t) = |s⊕t|.
+func TestHammingProperties(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(300)
+		s, u := randomPair(n, r)
+		v := Random(n, r)
+		dss, err := s.Hamming(s)
+		if err != nil || dss != 0 {
+			t.Fatalf("d(s,s) = %d, %v", dss, err)
+		}
+		dsu, _ := s.Hamming(u)
+		dus, _ := u.Hamming(s)
+		if dsu != dus {
+			t.Fatalf("n=%d: d(s,u)=%d but d(u,s)=%d", n, dsu, dus)
+		}
+		if dsu < 0 || dsu > n {
+			t.Fatalf("n=%d: d(s,u)=%d out of [0,%d]", n, dsu, n)
+		}
+		duv, _ := u.Hamming(v)
+		dsv, _ := s.Hamming(v)
+		if dsv > dsu+duv {
+			t.Fatalf("n=%d: triangle violated: %d > %d+%d", n, dsv, dsu, duv)
+		}
+		x, err := s.Xor(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Count() != dsu {
+			t.Fatalf("n=%d: |s xor u| = %d, d(s,u) = %d", n, x.Count(), dsu)
+		}
+	}
+}
+
+// TestHammingQuick drives the same symmetry/identity invariants through
+// testing/quick over single-word strings.
+func TestHammingQuick(t *testing.T) {
+	prop := func(av, bv uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		a, b := FromUint64(av, n), FromUint64(bv, n)
+		ab, err1 := a.Hamming(b)
+		ba, err2 := b.Hamming(a)
+		aa, err3 := a.Hamming(a)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return ab == ba && aa == 0 && ab >= 0 && ab <= n && a.Equal(b) == (ab == 0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComplementAndCountQuick: |¬s| = n − |s|, and De Morgan-ish count
+// identities |s∧t| + |s∨t| = |s| + |t|.
+func TestComplementAndCountQuick(t *testing.T) {
+	prop := func(av, bv uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		a, b := FromUint64(av, n), FromUint64(bv, n)
+		if a.Not().Count() != n-a.Count() {
+			return false
+		}
+		and, err1 := a.And(b)
+		or, err2 := a.Or(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return and.Count()+or.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseStringRoundTripQuick: String() inverts Parse on every valid
+// bit text derived from an integer.
+func TestParseStringRoundTripQuick(t *testing.T) {
+	prop := func(v uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s := FromUint64(v, n)
+		parsed, err := Parse(s.String())
+		if err != nil || !parsed.Equal(s) {
+			return false
+		}
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = uint64(1)<<n - 1
+		}
+		return s.Uint64() == v&mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlipRandomMovesExactlyK: flipping k distinct random positions
+// moves the string exactly Hamming distance k, and flipping them again
+// restores it.
+func TestFlipRandomMovesExactlyK(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(200)
+		k := r.Intn(n + 10) // sometimes k > n: clamps to n
+		s := Random(n, r)
+		before := s.Clone()
+		flipped := s.FlipRandom(k, r)
+		wantK := k
+		if wantK > n {
+			wantK = n
+		}
+		if n == 0 {
+			wantK = 0
+		}
+		if len(flipped) != wantK {
+			t.Fatalf("n=%d k=%d: flipped %d positions", n, k, len(flipped))
+		}
+		d, err := s.Hamming(before)
+		if err != nil || d != wantK {
+			t.Fatalf("n=%d k=%d: moved distance %d (%v)", n, k, d, err)
+		}
+		for _, i := range flipped {
+			s.Flip(i)
+		}
+		if !s.Equal(before) {
+			t.Fatalf("n=%d k=%d: double flip did not restore", n, k)
+		}
+	}
+}
+
+// TestOneZeroIndexesPartition: OneIndexes and ZeroIndexes partition
+// [0, n) and agree with Get.
+func TestOneZeroIndexesPartition(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(300)
+		s := Random(n, r)
+		ones, zeros := s.OneIndexes(), s.ZeroIndexes()
+		if len(ones)+len(zeros) != n || len(ones) != s.Count() {
+			t.Fatalf("n=%d: %d ones + %d zeros", n, len(ones), len(zeros))
+		}
+		for _, i := range ones {
+			if !s.Get(i) {
+				t.Fatalf("OneIndexes reported clear bit %d", i)
+			}
+		}
+		for _, i := range zeros {
+			if s.Get(i) {
+				t.Fatalf("ZeroIndexes reported set bit %d", i)
+			}
+		}
+	}
+}

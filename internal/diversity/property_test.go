@@ -1,0 +1,187 @@
+package diversity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/rng"
+)
+
+// randomPops draws a population vector of length 1..24 with at least one
+// strictly positive entry (sprinkling zeros to exercise empty species).
+func randomPops(r *rng.Source) []float64 {
+	n := r.Intn(24) + 1
+	pops := make([]float64, n)
+	for i := range pops {
+		if r.Bool(0.2) {
+			continue // zero species
+		}
+		pops[i] = r.Float64() * 100
+	}
+	pops[r.Intn(n)] = r.Float64()*100 + 1e-6 // guarantee a survivor
+	return pops
+}
+
+const eps = 1e-9
+
+// TestMeasureRanges pins every measure inside its theoretical range on
+// random populations: the paper's G bounds, inverse-Simpson ∈ [1, N],
+// Gini–Simpson ∈ [0, 1−1/N], Shannon ∈ [0, ln N], effective species and
+// dominance within their Hill/share bounds.
+func TestMeasureRanges(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 1000; trial++ {
+		pops := randomPops(r)
+		n := float64(len(pops))
+
+		inv, err := InverseSimpson(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv < 1-eps || inv > n+eps {
+			t.Fatalf("InverseSimpson %v out of [1, %v] for %v", inv, n, pops)
+		}
+		gini, err := GiniSimpson(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gini < -eps || gini > 1-1/n+eps {
+			t.Fatalf("GiniSimpson %v out of [0, %v] for %v", gini, 1-1/n, pops)
+		}
+		h, err := Shannon(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < -eps || h > math.Log(n)+eps {
+			t.Fatalf("Shannon %v out of [0, ln %v] for %v", h, n, pops)
+		}
+		eff, err := EffectiveSpecies(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff < 1-eps || eff > n+eps {
+			t.Fatalf("EffectiveSpecies %v out of [1, %v]", eff, n)
+		}
+		dom, err := Dominance(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dom < 1/n-eps || dom > 1+eps {
+			t.Fatalf("Dominance %v out of [1/%v, 1]", dom, n)
+		}
+		// Hill-number ordering: richness ≥ exp(H) ≥ inverse-Simpson.
+		if rich := float64(Richness(pops)); rich+eps < eff || eff+1e-6 < inv-eps {
+			t.Fatalf("Hill ordering violated: richness %v, effective %v, invSimpson %v", rich, eff, inv)
+		}
+	}
+}
+
+// TestSharesProperties: shares sum to 1, preserve proportions, and are
+// scale invariant — so every share-based measure is too.
+func TestSharesProperties(t *testing.T) {
+	r := rng.New(19)
+	for trial := 0; trial < 500; trial++ {
+		pops := randomPops(r)
+		shares, err := Shares(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, f := range shares {
+			if f < 0 || f > 1 {
+				t.Fatalf("share %v out of [0,1]", f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v", sum)
+		}
+		// Scale invariance of the normalized measures.
+		c := r.Float64()*9 + 0.5
+		scaled := make([]float64, len(pops))
+		for i, p := range pops {
+			scaled[i] = c * p
+		}
+		g1, _ := GiniSimpson(pops)
+		g2, _ := GiniSimpson(scaled)
+		if math.Abs(g1-g2) > 1e-9 {
+			t.Fatalf("GiniSimpson not scale invariant: %v vs %v (c=%v)", g1, g2, c)
+		}
+		h1, _ := Shannon(pops)
+		h2, _ := Shannon(scaled)
+		if math.Abs(h1-h2) > 1e-9 {
+			t.Fatalf("Shannon not scale invariant: %v vs %v", h1, h2)
+		}
+	}
+}
+
+// TestIndexGMaximalAtEvenness reproduces the paper's claim about G:
+// among vectors with a fixed total, the uniform population maximizes
+// the Diversity Index (it equals 1/p² there).
+func TestIndexGMaximalAtEvenness(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 500; trial++ {
+		pops := randomPops(r)
+		n := len(pops)
+		var total float64
+		for _, p := range pops {
+			total += p
+		}
+		g, err := IndexG(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := total / float64(n)
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = p
+		}
+		gU, err := IndexG(uniform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > gU+eps {
+			t.Fatalf("G(%v)=%v exceeds uniform G=%v", pops, g, gU)
+		}
+		if math.Abs(gU-1/(p*p)) > 1e-6*gU {
+			t.Fatalf("uniform G = %v, want 1/p² = %v", gU, 1/(p*p))
+		}
+	}
+}
+
+// TestErrorCasesQuick: negative and all-zero vectors are rejected by
+// every entry point, never returning NaN or panicking.
+func TestErrorCasesQuick(t *testing.T) {
+	prop := func(raw []float64) bool {
+		// Force the vector invalid: either empty, a negative entry, or
+		// all zeros.
+		pops := raw
+		if len(pops) > 0 {
+			pops[0] = -math.Abs(pops[0]) - 1
+		}
+		for _, fn := range []func([]float64) (float64, error){
+			IndexG, InverseSimpson, GiniSimpson, Shannon, EffectiveSpecies, Dominance,
+		} {
+			v, err := fn(pops)
+			if err == nil || v != 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		_, err := Shares(pops)
+		return err != nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountsToPopsRichness: converting counts preserves the number of
+// positive species.
+func TestCountsToPopsRichness(t *testing.T) {
+	counts := map[string]int{"a": 3, "b": 0, "c": 7, "d": 1}
+	pops := CountsToPops(counts)
+	if len(pops) != 4 || Richness(pops) != 3 {
+		t.Fatalf("pops %v, richness %d", pops, Richness(pops))
+	}
+}

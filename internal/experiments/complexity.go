@@ -139,6 +139,9 @@ func E20(rec *Recorder, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if err := cfg.Strike("graph/generate", r); err != nil {
+		return err
+	}
 	meanDeg := 2.0 * float64(ba.M()) / float64(n)
 	er, err := graph.ErdosRenyi(n, meanDeg/float64(n-1), r)
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+
+	"resilience/internal/rng"
 )
 
 // Config controls an experiment run.
@@ -25,6 +27,27 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks workloads (for tests and smoke runs).
 	Quick bool
+	// Hook, when non-nil, is fired at named seams so a fault-injection
+	// harness (internal/faultinject) can simulate component failure
+	// inside the experiment. Production runs leave it nil.
+	Hook Hook
+}
+
+// Hook receives fault-injection strikes at named seams. Implementations
+// may return an error, panic, sleep, or perturb the seam's random
+// stream; all four simulate a different component-failure mode. Seams
+// that have no random source in scope pass r == nil.
+type Hook interface {
+	Strike(seam string, r *rng.Source) error
+}
+
+// Strike fires the config's hook at a named seam. With no hook attached
+// it is free, so experiments sprinkle seams unconditionally.
+func (c Config) Strike(seam string, r *rng.Source) error {
+	if c.Hook == nil {
+		return nil
+	}
+	return c.Hook.Strike(seam, r)
 }
 
 // Runner executes one experiment, recording its output.
@@ -102,6 +125,10 @@ func (e Experiment) Record(cfg Config) (res *Result, err error) {
 			res, err = rec.Result(), perr
 		}
 	}()
+	if serr := cfg.Strike("body", nil); serr != nil {
+		rec.res.Error = serr.Error()
+		return rec.Result(), serr
+	}
 	if rerr := e.Run(rec, cfg); rerr != nil {
 		rec.res.Error = rerr.Error()
 		return rec.Result(), rerr

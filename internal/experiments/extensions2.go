@@ -46,6 +46,9 @@ func E27(rec *Recorder, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if err := cfg.Strike("graph/generate", r); err != nil {
+		return err
+	}
 	tb := rec.Table("degree-cascade", "tolerance", "hubCascade(fractionFailed)", "randomMeanCascade", "giantAfterHubCascade")
 	for _, tol := range []float64{0.1, 0.3, 0.45, 0.55, 1.0} {
 		m, err := graph.NewCascadeModel(g, tol)

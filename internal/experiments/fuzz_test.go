@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildResult constructs a Result through the Recorder API from fuzzed
+// inputs, interleaving tables, notes and scalars the way experiments do.
+// The shape bytes drive the interleaving; the strings become cell and
+// note content.
+func buildResult(shape []byte, text string, num int64) *Result {
+	rec := NewRecorder(Experiment{ID: "fz", Title: "fuzz", Source: "fuzz"},
+		Config{Seed: uint64(num), Quick: len(shape)%2 == 0})
+	var tb *Table
+	for i, b := range shape {
+		if i >= 24 {
+			break // keep iterations fast
+		}
+		switch b % 4 {
+		case 0:
+			tb = rec.Table(fmt.Sprintf("t%d-%s", i, sanitizeName(text)), "a", "b")
+		case 1:
+			if tb != nil {
+				tb.Row(S(text), D(int(b)))
+			}
+		case 2:
+			rec.Notef("note %d: %s", i, text)
+		case 3:
+			rec.Scalar(fmt.Sprintf("s%d", i), num)
+		}
+	}
+	return rec.Result()
+}
+
+// sanitizeName keeps fuzzed table names non-empty (a Recorder misuse the
+// API reports as an error; the round trip under test needs valid use).
+func sanitizeName(s string) string {
+	if s == "" {
+		return "t"
+	}
+	return s
+}
+
+// FuzzResultJSONRoundTrip is the Recorder→JSON→render round trip: a
+// Result built through the Recorder, rendered as JSON, decoded back, and
+// rendered as text must match the direct text rendering byte for byte —
+// including the table/note interleaving the layout field preserves.
+func FuzzResultJSONRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, "hello", int64(42))
+	f.Add([]byte{2, 2, 0, 1, 1, 2, 0, 3}, "tab\tand\nnewline", int64(-1))
+	f.Add([]byte{}, "", int64(0))
+	f.Add([]byte{0, 1, 1, 1, 2, 3, 0, 2, 1}, "ünïcødé 🎲", int64(1<<40))
+	f.Fuzz(func(t *testing.T, shape []byte, text string, num int64) {
+		// JSON cannot represent invalid UTF-8 (encoding/json substitutes
+		// U+FFFD), and experiments only record valid text, so the round
+		// trip is specified over valid UTF-8 inputs.
+		text = strings.ToValidUTF8(text, "�")
+		res := buildResult(shape, text, num)
+		var direct bytes.Buffer
+		if err := RenderText(&direct, res); err != nil {
+			t.Fatalf("direct render: %v", err)
+		}
+		var doc bytes.Buffer
+		if err := RenderJSON(&doc, res); err != nil {
+			t.Fatalf("render JSON: %v", err)
+		}
+		var back Result
+		if err := json.Unmarshal(doc.Bytes(), &back); err != nil {
+			t.Fatalf("decode rendered JSON: %v", err)
+		}
+		var rendered bytes.Buffer
+		if err := RenderText(&rendered, &back); err != nil {
+			t.Fatalf("render decoded result: %v", err)
+		}
+		if direct.String() != rendered.String() {
+			t.Fatalf("JSON round trip changed the text rendering:\n--- direct ---\n%s\n--- round-tripped ---\n%s",
+				direct.String(), rendered.String())
+		}
+		// Scalars and metadata survive too.
+		if back.ID != res.ID || back.Seed != res.Seed || back.Quick != res.Quick ||
+			len(back.Scalars) != len(res.Scalars) || len(back.Notes) != len(res.Notes) {
+			t.Fatalf("metadata drift: %+v vs %+v", back, res)
+		}
+	})
+}
+
+// FuzzRenderTextRobust feeds adversarial cell text straight through the
+// renderer: tabs, newlines and control bytes must never error or panic.
+func FuzzRenderTextRobust(f *testing.F) {
+	f.Add("a\tb", "c\nd")
+	f.Add("", "\x00\x1b[31m")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		rec := NewRecorder(Experiment{ID: "fz", Title: a, Source: b}, Config{})
+		rec.Table("t", "col").Row(S(a)).Row(S(b))
+		rec.Notef("%s", b)
+		var buf bytes.Buffer
+		if err := RenderText(&buf, rec.Result()); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+	})
+}

@@ -70,6 +70,9 @@ func E02(rec *Recorder, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if err := cfg.Strike("dcsp/generate", r); err != nil {
+		return err
+	}
 	tb := rec.Table("recovery-rate", "environment", "damage d", "flips/step", "k", "recovered", "worstSteps")
 	for _, d := range []int{1, 2, 4, 6} {
 		for _, flips := range []int{1, 2} {
@@ -100,6 +103,9 @@ func E02(rec *Recorder, cfg Config) error {
 // k-recoverable — and simulates a mission to show availability behaviour.
 func E03(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
+	if err := cfg.Strike("dcsp/generate", r); err != nil {
+		return err
+	}
 	steps := 5000
 	if cfg.Quick {
 		steps = 500

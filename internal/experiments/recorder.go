@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 )
@@ -95,6 +96,94 @@ type Result struct {
 type renderItem struct {
 	table *Table
 	note  int
+}
+
+// Annotate appends a note to an already-recorded Result. The runner uses
+// it to stamp degradation/retry annotations on results that recovered
+// from injected faults, so the annotation renders like any other note.
+func (r *Result) Annotate(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+	r.order = append(r.order, renderItem{note: len(r.Notes) - 1})
+}
+
+// AddScalar appends a named machine-readable value to an
+// already-recorded Result (the post-run counterpart of Recorder.Scalar).
+func (r *Result) AddScalar(name string, value any) {
+	r.Scalars = append(r.Scalars, Scalar{Name: name, Value: value})
+}
+
+// resultDoc is the JSON shape of a Result: the exported fields plus the
+// table/note interleaving, so a document round-trips through JSON with
+// its text rendering intact.
+type resultDoc struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Source  string   `json:"source"`
+	Modules []string `json:"modules,omitempty"`
+	Seed    uint64   `json:"seed"`
+	Quick   bool     `json:"quick"`
+	Tables  []*Table `json:"tables"`
+	Scalars []Scalar `json:"scalars,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	// Layout lists "table"/"note" tokens in recording order; each token
+	// consumes the next entry of Tables or Notes respectively.
+	Layout []string `json:"layout,omitempty"`
+}
+
+// MarshalJSON encodes the Result with its layout, so the note/table
+// interleaving survives a JSON round trip.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	doc := resultDoc{
+		ID: r.ID, Title: r.Title, Source: r.Source, Modules: r.Modules,
+		Seed: r.Seed, Quick: r.Quick, Tables: r.Tables,
+		Scalars: r.Scalars, Notes: r.Notes, Error: r.Error,
+	}
+	for _, it := range r.order {
+		if it.table != nil {
+			doc.Layout = append(doc.Layout, "table")
+		} else {
+			doc.Layout = append(doc.Layout, "note")
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a Result and rebuilds the rendering order from
+// the layout field. Documents without a layout (or with a truncated one)
+// fall back to all tables followed by all notes.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var doc resultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	*r = Result{
+		ID: doc.ID, Title: doc.Title, Source: doc.Source, Modules: doc.Modules,
+		Seed: doc.Seed, Quick: doc.Quick, Tables: doc.Tables,
+		Scalars: doc.Scalars, Notes: doc.Notes, Error: doc.Error,
+	}
+	ti, ni := 0, 0
+	for _, kind := range doc.Layout {
+		switch kind {
+		case "table":
+			if ti < len(r.Tables) {
+				r.order = append(r.order, renderItem{table: r.Tables[ti]})
+				ti++
+			}
+		case "note":
+			if ni < len(r.Notes) {
+				r.order = append(r.order, renderItem{note: ni})
+				ni++
+			}
+		}
+	}
+	for ; ti < len(r.Tables); ti++ {
+		r.order = append(r.order, renderItem{table: r.Tables[ti]})
+	}
+	for ; ni < len(r.Notes); ni++ {
+		r.order = append(r.order, renderItem{note: ni})
+	}
+	return nil
 }
 
 // Recorder collects an experiment's output. Experiments emit named

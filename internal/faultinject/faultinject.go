@@ -1,0 +1,234 @@
+// Package faultinject turns a declarative JSON fault plan into
+// deterministic fault injection at named seams of the experiment suite.
+// The paper argues that resilience must be demonstrated under component
+// failure, not assumed (§3, §5); this package is the mechanism that
+// exercises the runner's redundancy (retries), adaptability (timeouts
+// and degradation), and measurement (recovery triangles) on demand.
+//
+// A plan names faults by experiment ID, seam, and attempt number, so a
+// given (plan, seed) pair perturbs a suite run identically however the
+// run is scheduled: same seed + same plan ⇒ byte-identical stdout at
+// any -jobs value. Four fault kinds cover the failure modes of the
+// paper's shock taxonomy:
+//
+//   - "panic":  the component dies abruptly (process-crash analogue)
+//   - "error":  the component fails cleanly with an error
+//   - "delay":  the component stalls (latency fault, trips timeouts)
+//   - "rng":    the component's random stream is perturbed by skipping
+//     draws — a silent-corruption analogue that deterministically
+//     changes downstream results
+//
+// Seams currently exposed: "worker" (fired by the runner before the
+// experiment body starts), "body" (fired as every experiment body
+// begins), "dcsp/generate" and "graph/generate" (fired inside
+// experiments after their DCSP/graph substrates are built, with the
+// experiment's random source in scope for "rng" faults).
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rng"
+)
+
+// Kind is a fault variety.
+type Kind string
+
+// The supported fault kinds.
+const (
+	KindPanic Kind = "panic"
+	KindError Kind = "error"
+	KindDelay Kind = "delay"
+	KindRNG   Kind = "rng"
+)
+
+// Fault is one injection rule: where it attaches and what it does.
+type Fault struct {
+	// Experiment is the target experiment ID, or "*" for every
+	// experiment.
+	Experiment string `json:"experiment"`
+	// Seam names where the fault fires: "worker", "body",
+	// "dcsp/generate", "graph/generate", or "*" for any seam. Empty
+	// means "body".
+	Seam string `json:"seam,omitempty"`
+	// Kind selects the failure mode.
+	Kind Kind `json:"kind"`
+	// Attempt is the 1-based attempt the fault fires on; 0 fires on
+	// every attempt (so retries cannot mask it).
+	Attempt int `json:"attempt,omitempty"`
+	// Message is the error/panic text; empty uses a default.
+	Message string `json:"message,omitempty"`
+	// DelayMs is the stall length for "delay" faults.
+	DelayMs int `json:"delayMs,omitempty"`
+	// Skips is the number of random draws a "rng" fault discards from
+	// the seam's stream.
+	Skips int `json:"skips,omitempty"`
+}
+
+// Plan is a fault-injection campaign plus the resilience knobs the
+// runner should exercise against it.
+type Plan struct {
+	// Name labels the plan in logs and summaries.
+	Name string `json:"name,omitempty"`
+	// Retries is how many times the runner re-runs a failed experiment.
+	Retries int `json:"retries,omitempty"`
+	// BackoffMs is the base sleep before each retry; the runner adds
+	// deterministic seed-derived jitter on top.
+	BackoffMs int `json:"backoffMs,omitempty"`
+	// TimeoutMs bounds one experiment attempt; 0 means unbounded.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Faults are the injection rules.
+	Faults []Fault `json:"faults"`
+}
+
+// Parse decodes and validates a plan document. Unknown fields are
+// rejected so typos in hand-written plans fail loudly.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faultinject: parse plan: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("faultinject: trailing data after plan document")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a plan from r.
+func Load(r io.Reader) (*Plan, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// LoadFile reads and parses the plan at path.
+func LoadFile(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Validate checks every rule for coherent targets and parameters.
+func (p *Plan) Validate() error {
+	if p.Retries < 0 {
+		return fmt.Errorf("faultinject: negative retries %d", p.Retries)
+	}
+	if p.BackoffMs < 0 || p.TimeoutMs < 0 {
+		return fmt.Errorf("faultinject: negative backoffMs/timeoutMs")
+	}
+	for i, f := range p.Faults {
+		if f.Experiment == "" {
+			return fmt.Errorf("faultinject: fault %d: missing experiment (use an ID or \"*\")", i)
+		}
+		if f.Attempt < 0 {
+			return fmt.Errorf("faultinject: fault %d: negative attempt", i)
+		}
+		switch f.Kind {
+		case KindPanic, KindError:
+		case KindDelay:
+			if f.DelayMs <= 0 {
+				return fmt.Errorf("faultinject: fault %d: delay fault needs delayMs > 0", i)
+			}
+		case KindRNG:
+			if f.Skips <= 0 {
+				return fmt.Errorf("faultinject: fault %d: rng fault needs skips > 0", i)
+			}
+		default:
+			return fmt.Errorf("faultinject: fault %d: unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// Timeout returns the per-attempt bound as a duration (0 = none).
+func (p *Plan) Timeout() time.Duration { return time.Duration(p.TimeoutMs) * time.Millisecond }
+
+// Backoff returns the base retry sleep as a duration.
+func (p *Plan) Backoff() time.Duration { return time.Duration(p.BackoffMs) * time.Millisecond }
+
+// Marshal renders the plan back to its canonical JSON document.
+func (p *Plan) Marshal() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// HookFor returns the hook to attach to one attempt of one experiment,
+// or nil when no rule matches (so unfaulted experiments pay nothing).
+// It has the signature runner.Options.Hooks expects.
+func (p *Plan) HookFor(expID string, attempt int) experiments.Hook {
+	if p == nil {
+		return nil
+	}
+	var matched []Fault
+	for _, f := range p.Faults {
+		if f.Experiment != "*" && f.Experiment != expID {
+			continue
+		}
+		if f.Attempt != 0 && f.Attempt != attempt {
+			continue
+		}
+		matched = append(matched, f)
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	return hook{faults: matched}
+}
+
+// hook fires an attempt's matched faults as seams are struck.
+type hook struct {
+	faults []Fault
+}
+
+// Strike implements experiments.Hook. Delay and rng faults perturb and
+// let execution continue; error and panic faults abort the seam. Faults
+// fire in plan order, so a delay listed before an error stalls first
+// and then fails.
+func (h hook) Strike(seam string, r *rng.Source) error {
+	for _, f := range h.faults {
+		fseam := f.Seam
+		if fseam == "" {
+			fseam = "body"
+		}
+		if fseam != "*" && fseam != seam {
+			continue
+		}
+		switch f.Kind {
+		case KindDelay:
+			time.Sleep(time.Duration(f.DelayMs) * time.Millisecond)
+		case KindRNG:
+			if r != nil {
+				for i := 0; i < f.Skips; i++ {
+					r.Uint64()
+				}
+			}
+		case KindError:
+			return fmt.Errorf("faultinject: %s", f.message())
+		case KindPanic:
+			panic("faultinject: " + f.message())
+		}
+	}
+	return nil
+}
+
+func (f Fault) message() string {
+	if f.Message != "" {
+		return f.Message
+	}
+	return fmt.Sprintf("injected %s at %s", f.Kind, f.Experiment)
+}

@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/rng"
+)
+
+func mustParse(t *testing.T, doc string) *Plan {
+	t.Helper()
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", doc, err)
+	}
+	return p
+}
+
+func TestParseValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		doc  string
+		want string // substring of the expected error, "" = valid
+	}{
+		{"minimal", `{"faults":[]}`, ""},
+		{"full", `{"name":"p","retries":2,"backoffMs":5,"timeoutMs":100,
+			"faults":[{"experiment":"e01","kind":"error"}]}`, ""},
+		{"wildcards", `{"faults":[{"experiment":"*","seam":"*","kind":"panic"}]}`, ""},
+		{"bad json", `{`, "parse plan"},
+		{"unknown field", `{"fautls":[]}`, "unknown field"},
+		{"trailing data", `{"faults":[]} {"faults":[]}`, "trailing data"},
+		{"unknown kind", `{"faults":[{"experiment":"e01","kind":"explode"}]}`, "unknown kind"},
+		{"missing experiment", `{"faults":[{"kind":"error"}]}`, "missing experiment"},
+		{"negative retries", `{"retries":-1,"faults":[]}`, "negative retries"},
+		{"negative timeout", `{"timeoutMs":-5,"faults":[]}`, "negative backoffMs/timeoutMs"},
+		{"negative attempt", `{"faults":[{"experiment":"e01","kind":"error","attempt":-1}]}`, "negative attempt"},
+		{"delay without ms", `{"faults":[{"experiment":"e01","kind":"delay"}]}`, "delayMs > 0"},
+		{"rng without skips", `{"faults":[{"experiment":"e01","kind":"rng"}]}`, "skips > 0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	doc := `{
+	  "name": "rt",
+	  "retries": 3,
+	  "backoffMs": 7,
+	  "timeoutMs": 250,
+	  "faults": [
+	    {"experiment": "e02", "seam": "body", "kind": "error", "attempt": 1, "message": "m"},
+	    {"experiment": "*", "seam": "graph/generate", "kind": "rng", "skips": 9},
+	    {"experiment": "e05", "kind": "delay", "delayMs": 3}
+	  ]
+	}`
+	p1 := mustParse(t, doc)
+	data, err := p1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse marshalled plan: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("round trip changed the plan:\n%+v\n%+v", p1, p2)
+	}
+}
+
+func TestPlanDurations(t *testing.T) {
+	p := mustParse(t, `{"backoffMs":7,"timeoutMs":250,"faults":[]}`)
+	if p.Backoff() != 7*time.Millisecond || p.Timeout() != 250*time.Millisecond {
+		t.Fatalf("Backoff=%v Timeout=%v", p.Backoff(), p.Timeout())
+	}
+}
+
+func TestHookForMatching(t *testing.T) {
+	p := mustParse(t, `{"faults":[
+	  {"experiment":"e02","kind":"error","attempt":1,"message":"first only"},
+	  {"experiment":"*","seam":"graph/generate","kind":"rng","skips":4}
+	]}`)
+	// e02 attempt 1: both the error rule and the wildcard rule match.
+	h := p.HookFor("e02", 1)
+	if h == nil {
+		t.Fatal("no hook for e02 attempt 1")
+	}
+	if err := h.Strike("body", nil); err == nil || !strings.Contains(err.Error(), "first only") {
+		t.Fatalf("body strike: %v", err)
+	}
+	// e02 attempt 2: the attempt-1 error no longer fires; the wildcard
+	// rng rule still does (and only at its seam).
+	h = p.HookFor("e02", 2)
+	if h == nil {
+		t.Fatal("no hook for e02 attempt 2")
+	}
+	if err := h.Strike("body", nil); err != nil {
+		t.Fatalf("attempt 2 body strike should pass: %v", err)
+	}
+	r1, r2 := rng.New(1), rng.New(1)
+	if err := h.Strike("graph/generate", r1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r2.Uint64()
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("rng fault did not skip exactly 4 draws")
+	}
+	// Unmatched experiments get a nil hook, so they pay nothing.
+	if h := p.HookFor("e09", 1); h != nil {
+		if err := h.Strike("body", nil); err != nil {
+			t.Fatalf("e09 matched only the wildcard rng rule, strike must pass: %v", err)
+		}
+	}
+	if h := mustParse(t, `{"faults":[{"experiment":"e02","kind":"error"}]}`).HookFor("e09", 1); h != nil {
+		t.Fatal("non-matching experiment should yield a nil hook")
+	}
+}
+
+func TestHookPanicAndDefaults(t *testing.T) {
+	p := mustParse(t, `{"faults":[{"experiment":"e05","kind":"panic"}]}`)
+	h := p.HookFor("e05", 1)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "injected panic at e05") {
+			t.Fatalf("panic value %v, want default message", v)
+		}
+	}()
+	h.Strike("body", nil) // seam defaults to "body"
+}
+
+func TestHookDelay(t *testing.T) {
+	p := mustParse(t, `{"faults":[{"experiment":"e01","kind":"delay","delayMs":30}]}`)
+	h := p.HookFor("e01", 1)
+	start := time.Now()
+	if err := h.Strike("body", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+}
+
+func TestNilPlanHookFor(t *testing.T) {
+	var p *Plan
+	if h := p.HookFor("e01", 1); h != nil {
+		t.Fatal("nil plan must yield nil hooks")
+	}
+}

@@ -1,0 +1,48 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary plan documents never panic the parser,
+// and that every accepted plan survives a Marshal/Parse round trip and
+// yields hooks that can be exercised without blowing up (panic faults
+// excepted — those panic by design, so they are skipped here).
+func FuzzParse(f *testing.F) {
+	f.Add(`{"faults":[]}`)
+	f.Add(`{"name":"p","retries":2,"backoffMs":5,"timeoutMs":100,
+		"faults":[{"experiment":"e01","kind":"error","attempt":1,"message":"m"}]}`)
+	f.Add(`{"faults":[{"experiment":"*","seam":"*","kind":"rng","skips":3}]}`)
+	f.Add(`{"faults":[{"experiment":"e05","seam":"worker","kind":"panic"}]}`)
+	f.Add(`{"faults":[{"experiment":"e07","kind":"delay","delayMs":1}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"retries":-1}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := Parse([]byte(doc))
+		if err != nil {
+			return // rejected input: the invariant is "no panic"
+		}
+		data, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted plan does not marshal: %v", err)
+		}
+		p2, err := Parse(data)
+		if err != nil {
+			t.Fatalf("marshalled plan does not re-parse: %v\n%s", err, data)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the plan:\n%+v\n%+v", p, p2)
+		}
+		for _, f := range p.Faults {
+			if f.Kind == KindPanic || f.Kind == KindDelay {
+				continue // panics by design / sleeps for real
+			}
+			if h := p.HookFor(f.Experiment, 1); h != nil {
+				h.Strike("body", nil)
+				h.Strike(f.Seam, nil)
+			}
+		}
+	})
+}

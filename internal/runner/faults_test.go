@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/faultinject"
+)
+
+// planHooks parses a fault-plan document and returns runner options
+// pre-wired to it.
+func planHooks(t *testing.T, doc string) Options {
+	t.Helper()
+	p, err := faultinject.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Jobs: 1, Seed: 1,
+		Hooks:   p.HookFor,
+		Retries: p.Retries,
+		Backoff: p.Backoff(),
+		Timeout: p.Timeout(),
+	}
+}
+
+// TestRetryDegradationPaths walks the retry/timeout/degradation matrix:
+// which faults recover, how many attempts they take, and what the
+// rendered annotation says.
+func TestRetryDegradationPaths(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		plan         string
+		wantErr      bool
+		wantAttempts int
+		wantDegraded bool
+		wantNote     string // substring of the rendered text, "" = no degraded note
+	}{
+		{
+			name: "error on attempt 1, success on attempt 2",
+			plan: `{"retries":2,"faults":[
+				{"experiment":"t00","kind":"error","attempt":1,"message":"flaky"}]}`,
+			wantAttempts: 2, wantDegraded: true,
+			wantNote: "degraded: recovered on attempt 2 (1 retry)",
+		},
+		{
+			name: "worker panic on attempts 1-2, success on attempt 3",
+			plan: `{"retries":2,"backoffMs":1,"faults":[
+				{"experiment":"t00","seam":"worker","kind":"panic","attempt":1},
+				{"experiment":"t00","seam":"worker","kind":"panic","attempt":2}]}`,
+			wantAttempts: 3, wantDegraded: true,
+			wantNote: "degraded: recovered on attempt 3 (2 retries)",
+		},
+		{
+			name: "timeout on attempt 1, success on attempt 2",
+			plan: `{"retries":1,"timeoutMs":40,"faults":[
+				{"experiment":"t00","kind":"delay","delayMs":400,"attempt":1}]}`,
+			wantAttempts: 2, wantDegraded: true,
+			wantNote: "degraded: recovered on attempt 2 (1 retry after timeout)",
+		},
+		{
+			name: "error on every attempt exhausts retries",
+			plan: `{"retries":2,"faults":[
+				{"experiment":"t00","kind":"error","message":"hard down"}]}`,
+			wantErr: true, wantAttempts: 3,
+		},
+		{
+			name: "no retries preserves single-attempt failure",
+			plan: `{"faults":[
+				{"experiment":"t00","kind":"error","message":"one shot"}]}`,
+			wantErr: true, wantAttempts: 1,
+		},
+		{
+			name:         "unmatched experiment runs clean",
+			plan:         `{"retries":2,"faults":[{"experiment":"zzz","kind":"panic"}]}`,
+			wantAttempts: 1,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := planHooks(t, tc.plan)
+			var out Outcome
+			sum := Run([]experiments.Experiment{fakeExp("t00", noop)}, opts, func(o Outcome) { out = o })
+			if (out.Err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", out.Err, tc.wantErr)
+			}
+			if out.Attempts != tc.wantAttempts {
+				t.Fatalf("attempts = %d, want %d", out.Attempts, tc.wantAttempts)
+			}
+			if out.Degraded != tc.wantDegraded {
+				t.Fatalf("degraded = %v, want %v", out.Degraded, tc.wantDegraded)
+			}
+			var b bytes.Buffer
+			if err := experiments.RenderText(&b, out.Result); err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantNote != "" && !strings.Contains(b.String(), tc.wantNote) {
+				t.Fatalf("rendered text missing %q:\n%s", tc.wantNote, b.String())
+			}
+			if tc.wantNote == "" && strings.Contains(b.String(), "degraded:") {
+				t.Fatalf("unexpected degraded annotation:\n%s", b.String())
+			}
+			// Summary bookkeeping matches the outcome.
+			if tc.wantDegraded && (sum.Degraded != 1 || sum.Passed != 1) {
+				t.Fatalf("summary %+v, want 1 degraded pass", sum)
+			}
+			if tc.wantErr && sum.Failed != 1 {
+				t.Fatalf("summary %+v, want 1 failure", sum)
+			}
+			if want := tc.wantAttempts - 1; sum.Retries != want {
+				t.Fatalf("summary retries = %d, want %d", sum.Retries, want)
+			}
+		})
+	}
+}
+
+func TestTimeoutProducesDeterministicError(t *testing.T) {
+	opts := planHooks(t, `{"timeoutMs":30,"faults":[
+		{"experiment":"t00","kind":"delay","delayMs":500}]}`)
+	var out Outcome
+	Run([]experiments.Experiment{fakeExp("t00", noop)}, opts, func(o Outcome) { out = o })
+	var te *TimeoutError
+	if !errors.As(out.Err, &te) || te.Limit != 30*time.Millisecond {
+		t.Fatalf("err = %v, want TimeoutError(30ms)", out.Err)
+	}
+	if !out.TimedOut {
+		t.Fatal("outcome not marked TimedOut")
+	}
+	// The rendered error depends only on the configured limit, never on
+	// measured wall time, so faulted output stays reproducible.
+	if want := "timeout: attempt exceeded 30ms"; out.Result.Error != want {
+		t.Fatalf("result error %q, want %q", out.Result.Error, want)
+	}
+}
+
+func TestRecoveryTriangle(t *testing.T) {
+	opts := planHooks(t, `{"retries":1,"faults":[
+		{"experiment":"t00","kind":"delay","delayMs":25,"attempt":1},
+		{"experiment":"t00","kind":"error","attempt":1}]}`)
+	var out Outcome
+	sum := Run([]experiments.Experiment{fakeExp("t00", noop)}, opts, func(o Outcome) { out = o })
+	rec := out.Recovery
+	if rec == nil || !rec.Recovered || rec.FailedAttempts != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The failed attempt was delayed ~25ms with quality 0, so the
+	// triangle area is at least 100 · 0.025 quality-percent-seconds and
+	// the base covers the whole episode.
+	if rec.Loss < 100*0.025 {
+		t.Fatalf("loss %.3f, want >= 2.5", rec.Loss)
+	}
+	if rec.TimeToRecover < 25*time.Millisecond {
+		t.Fatalf("time-to-recover %v too short", rec.TimeToRecover)
+	}
+	if sum.RecoveryLoss != rec.Loss || sum.RecoveryTime != rec.TimeToRecover {
+		t.Fatalf("summary recovery (%v, %.3f) does not aggregate the outcome (%v, %.3f)",
+			sum.RecoveryTime, sum.RecoveryLoss, rec.TimeToRecover, rec.Loss)
+	}
+}
+
+// TestPanicUnderParallelismRendersRest is the satellite scenario: one
+// experiment panics on every attempt at -jobs 8 and the suite still
+// renders the other N-1 results.
+func TestPanicUnderParallelismRendersRest(t *testing.T) {
+	p, err := faultinject.Parse([]byte(`{"retries":1,"faults":[
+		{"experiment":"t03","kind":"panic","message":"unrecoverable"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []experiments.Experiment
+	for _, id := range []string{"t00", "t01", "t02", "t03", "t04", "t05", "t06", "t07"} {
+		exps = append(exps, fakeExp(id, noop))
+	}
+	var rendered []string
+	sum := Run(exps, Options{Jobs: 8, Seed: 1, Hooks: p.HookFor, Retries: p.Retries}, func(o Outcome) {
+		var b bytes.Buffer
+		if err := experiments.RenderText(&b, o.Result); err != nil {
+			t.Fatal(err)
+		}
+		rendered = append(rendered, b.String())
+	})
+	if sum.Passed != 7 || sum.Failed != 1 || len(sum.FailedIDs) != 1 || sum.FailedIDs[0] != "t03" {
+		t.Fatalf("summary %+v", sum)
+	}
+	if len(rendered) != 8 {
+		t.Fatalf("rendered %d results, want 8", len(rendered))
+	}
+	if !strings.Contains(rendered[3], "ERROR: panic: faultinject: unrecoverable") {
+		t.Fatalf("t03 rendering missing the panic error:\n%s", rendered[3])
+	}
+	for i, text := range rendered {
+		if i != 3 && !strings.Contains(text, "ok") {
+			t.Fatalf("experiment %d did not render its note:\n%s", i, text)
+		}
+	}
+}
+
+// TestRetryBackoffIsSeedDerived checks the backoff schedule reproduces:
+// same seed ⇒ same jitter, different seed ⇒ (almost surely) different.
+func TestRetryBackoffIsSeedDerived(t *testing.T) {
+	var calls atomic.Int32
+	flaky := func(rec *experiments.Recorder, cfg experiments.Config) error {
+		if calls.Add(1)%2 == 1 {
+			return errors.New("first attempt fails")
+		}
+		rec.Notef("ok")
+		return nil
+	}
+	run := func(seed uint64) time.Duration {
+		var out Outcome
+		Run([]experiments.Experiment{fakeExp("t00", flaky)},
+			Options{Jobs: 1, Seed: seed, Retries: 1, Backoff: 10 * time.Millisecond},
+			func(o Outcome) { out = o })
+		if out.Err != nil || out.Attempts != 2 {
+			t.Fatalf("outcome err=%v attempts=%d", out.Err, out.Attempts)
+		}
+		return out.Elapsed
+	}
+	// The sleep is Backoff + jitter·Backoff with jitter ∈ [0,1) drawn
+	// from Derive(seed, id+"/retry"): bounded below by the base and
+	// above by twice the base (plus scheduling noise).
+	if e := run(1); e < 10*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than the base backoff", e)
+	}
+}
+
+func TestFaultedSuiteStillDeterministicAcrossJobs(t *testing.T) {
+	// The flagship guarantee: a faulted run of real experiments renders
+	// byte-identically at any worker count.
+	p, err := faultinject.Parse([]byte(`{"retries":1,"faults":[
+		{"experiment":"e01","kind":"error","attempt":1},
+		{"experiment":"e02","seam":"dcsp/generate","kind":"rng","skips":13}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(jobs int) string {
+		var b bytes.Buffer
+		exps := experiments.All()[:6]
+		Run(exps, Options{Jobs: jobs, Seed: 42, Quick: true, Hooks: p.HookFor, Retries: p.Retries},
+			func(o Outcome) {
+				if o.Err != nil {
+					t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+				}
+				if err := experiments.RenderText(&b, o.Result); err != nil {
+					t.Fatal(err)
+				}
+			})
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("faulted output differs between jobs=1 and jobs=8")
+	}
+}

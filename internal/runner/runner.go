@@ -4,10 +4,20 @@
 // the root seed, and a failing experiment is isolated: it is reported and
 // the rest of the suite still runs. Together these make the rendered
 // output of a suite byte-identical for a given seed whatever -jobs is.
+//
+// The runner also demonstrates the paper's resilience strategies on
+// itself: under a fault-injection hook (internal/faultinject) it retries
+// failed attempts with seed-derived backoff, bounds each attempt with a
+// timeout, and degrades gracefully — a faulted-then-recovered experiment
+// renders with a degraded/retries annotation instead of failing the
+// suite, and the recovery is measured as a Bruneau-style triangle
+// (time-to-recover plus quality loss over the failed attempts).
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"resilience/internal/experiments"
@@ -25,6 +35,37 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks workloads.
 	Quick bool
+	// Hooks supplies the fault-injection hook for one attempt of one
+	// experiment; nil (or nil returns) means no faults.
+	// faultinject.(*Plan).HookFor has this signature.
+	Hooks func(expID string, attempt int) experiments.Hook
+	// Retries is how many times a failed experiment is re-run before it
+	// counts as failed. 0 preserves the single-attempt behaviour.
+	Retries int
+	// Backoff is the base sleep before each retry. The actual sleep is
+	// Backoff plus jitter in [0, Backoff) drawn from a stream derived
+	// from (Seed, id), so retry schedules reproduce run to run.
+	Backoff time.Duration
+	// Timeout bounds one attempt's wall time; 0 means unbounded. A
+	// timed-out attempt is abandoned (its goroutine finishes in the
+	// background) and counts as a failure for retry purposes.
+	Timeout time.Duration
+}
+
+// Recovery is the Bruneau-style recovery triangle of one experiment that
+// failed at least one attempt: how long the component was down and how
+// much quality was lost before it came back.
+type Recovery struct {
+	// FailedAttempts is how many attempts failed before the outcome.
+	FailedAttempts int
+	// Recovered reports whether a later attempt succeeded.
+	Recovered bool
+	// TimeToRecover is the wall time from the first attempt's start to
+	// the final outcome — the triangle's base (t1 − t0 of §4.1).
+	TimeToRecover time.Duration
+	// Loss is the triangle's area ∫(100−Q)dt with Q = 0 while attempts
+	// were failing, in units of quality-percent × seconds.
+	Loss float64
 }
 
 // Outcome is the report for one experiment.
@@ -35,14 +76,25 @@ type Outcome struct {
 	// even on failure (partial results plus the error).
 	Result *experiments.Result
 	// Err is the experiment's failure, nil on success. Panics surface as
-	// *experiments.PanicError.
+	// *experiments.PanicError; timeouts as *TimeoutError.
 	Err error
-	// Elapsed is the experiment's wall time.
+	// Elapsed is the experiment's wall time across all attempts.
 	Elapsed time.Duration
 	// AllocBytes is the heap allocated while the experiment ran. It is
 	// exact at Jobs=1 and an attribution-free approximation otherwise
 	// (concurrent experiments' allocations mix).
 	AllocBytes uint64
+	// Attempts is how many attempts ran (1 = no retries needed).
+	Attempts int
+	// Degraded reports a faulted-then-recovered experiment: at least one
+	// attempt failed but a later one succeeded, so the suite renders the
+	// result with an annotation instead of failing.
+	Degraded bool
+	// TimedOut reports that the final attempt hit Options.Timeout.
+	TimedOut bool
+	// Recovery measures the recovery triangle; nil when the first
+	// attempt succeeded.
+	Recovery *Recovery
 }
 
 // Summary aggregates a suite run.
@@ -51,9 +103,30 @@ type Summary struct {
 	Passed    int
 	Failed    int
 	FailedIDs []string
+	// Degraded counts experiments that failed at least one attempt but
+	// recovered; they are included in Passed.
+	Degraded    int
+	DegradedIDs []string
+	// Retries is the total number of re-run attempts across the suite.
+	Retries int
+	// RecoveryTime sums TimeToRecover over experiments that needed
+	// recovery (degraded or failed).
+	RecoveryTime time.Duration
+	// RecoveryLoss sums the Bruneau triangle areas over those
+	// experiments, in quality-percent × seconds.
+	RecoveryLoss float64
 	// Elapsed is the suite wall time.
 	Elapsed time.Duration
 }
+
+// TimeoutError reports an attempt that exceeded the per-attempt bound.
+// Its message depends only on the configured limit, so rendered output
+// stays deterministic.
+type TimeoutError struct {
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string { return fmt.Sprintf("timeout: attempt exceeded %v", e.Limit) }
 
 // Config returns the experiment config a suite run uses for e: the
 // per-experiment seed derived from the root seed. Single-experiment runs
@@ -106,6 +179,17 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 		} else {
 			sum.Passed++
 		}
+		if o.Degraded {
+			sum.Degraded++
+			sum.DegradedIDs = append(sum.DegradedIDs, o.Experiment.ID)
+		}
+		if o.Attempts > 1 {
+			sum.Retries += o.Attempts - 1
+		}
+		if o.Recovery != nil {
+			sum.RecoveryTime += o.Recovery.TimeToRecover
+			sum.RecoveryLoss += o.Recovery.Loss
+		}
 		if emit != nil {
 			emit(o)
 		}
@@ -114,20 +198,134 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 	return sum
 }
 
-// runOne executes a single experiment and measures its wall time and
-// allocation.
+// runOne executes a single experiment through the retry loop and
+// measures its total wall time and allocation.
 func runOne(e experiments.Experiment, opts Options) Outcome {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := e.Record(Config(opts, e))
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return Outcome{
-		Experiment: e,
-		Result:     res,
-		Err:        err,
-		Elapsed:    elapsed,
-		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+
+	attempts := opts.Retries + 1
+	if attempts < 1 {
+		attempts = 1
 	}
+	var backoff *rng.Source
+	var out Outcome
+	var failedLoss float64
+	sawTimeout := false
+	for a := 1; a <= attempts; a++ {
+		if a > 1 && opts.Backoff > 0 {
+			if backoff == nil {
+				backoff = rng.New(rng.Derive(opts.Seed, e.ID+"/retry"))
+			}
+			// Full base plus deterministic jitter in [0, base).
+			time.Sleep(opts.Backoff + time.Duration(backoff.Float64()*float64(opts.Backoff)))
+		}
+		attemptStart := time.Now()
+		res, err, timedOut := runAttempt(e, opts, a)
+		out.Result, out.Err, out.TimedOut = res, err, timedOut
+		out.Attempts = a
+		sawTimeout = sawTimeout || timedOut
+		if err == nil {
+			if a > 1 {
+				out.Degraded = true
+				out.Recovery = &Recovery{
+					FailedAttempts: a - 1,
+					Recovered:      true,
+					TimeToRecover:  time.Since(start),
+					Loss:           failedLoss,
+				}
+				annotate(&out, sawTimeout)
+			}
+			break
+		}
+		failedLoss += 100 * time.Since(attemptStart).Seconds()
+	}
+	if out.Err != nil {
+		out.Recovery = &Recovery{
+			FailedAttempts: out.Attempts,
+			Recovered:      false,
+			TimeToRecover:  time.Since(start),
+			Loss:           failedLoss,
+		}
+	}
+	out.Experiment = e
+	out.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	out.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	return out
+}
+
+// annotate stamps a recovered result with its degradation record. The
+// annotation depends only on attempt counts (plan-deterministic), never
+// on wall time, so rendered output stays byte-identical across runs.
+func annotate(out *Outcome, sawTimeout bool) {
+	if out.Result == nil {
+		return
+	}
+	retries := out.Attempts - 1
+	noun := "retries"
+	if retries == 1 {
+		noun = "retry"
+	}
+	cause := ""
+	if sawTimeout {
+		cause = " after timeout"
+	}
+	out.Result.Annotate("degraded: recovered on attempt %d (%d %s%s)", out.Attempts, retries, noun, cause)
+	out.Result.AddScalar("degraded", true)
+	out.Result.AddScalar("retries", retries)
+}
+
+// runAttempt executes one attempt: the worker-seam strike, then the
+// experiment body, bounded by Options.Timeout when set.
+func runAttempt(e experiments.Experiment, opts Options, attempt int) (*experiments.Result, error, bool) {
+	cfg := Config(opts, e)
+	if opts.Hooks != nil {
+		cfg.Hook = opts.Hooks(e.ID, attempt)
+	}
+	// The worker seam fires outside Record's recovery, so guard it here:
+	// a worker-seam panic must not kill the pool goroutine.
+	if cfg.Hook != nil {
+		if err := strikeWorker(cfg); err != nil {
+			res := experiments.NewRecorder(e, cfg).Result()
+			res.Error = err.Error()
+			return res, err, false
+		}
+	}
+	if opts.Timeout <= 0 {
+		res, err := e.Record(cfg)
+		return res, err, false
+	}
+	type recorded struct {
+		res *experiments.Result
+		err error
+	}
+	ch := make(chan recorded, 1)
+	go func() {
+		res, err := e.Record(cfg)
+		ch <- recorded{res, err}
+	}()
+	timer := time.NewTimer(opts.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.res, r.err, false
+	case <-timer.C:
+		err := &TimeoutError{Limit: opts.Timeout}
+		res := experiments.NewRecorder(e, cfg).Result()
+		res.Error = err.Error()
+		return res, err, true
+	}
+}
+
+// strikeWorker fires the worker seam, converting a panic into the same
+// *experiments.PanicError a body panic produces.
+func strikeWorker(cfg experiments.Config) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &experiments.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return cfg.Strike("worker", nil)
 }

@@ -20,11 +20,17 @@
 //	-out DIR      also write one JSON result file per experiment to DIR
 //	-faults FILE  inject faults from a JSON plan (see internal/faultinject);
 //	              the plan also enables per-attempt timeouts and retries
+//	-metrics F    write a JSON metrics document (internal/obs) to F and
+//	              print a deterministic-counter metrics line on stderr
+//	-cpuprofile F write a pprof CPU profile of the run to F
+//	-memprofile F write a pprof heap profile after the run to F
 //
 // Rendered results go to stdout and are byte-identical for a given seed
 // whatever -jobs is — including under a fault plan, whose injections are
-// seed- and plan-deterministic; per-experiment timing, the suite summary
-// and recovery scalars go to stderr.
+// seed- and plan-deterministic, and with -metrics enabled; per-experiment
+// timing, the suite summary, recovery scalars, and the metrics section go
+// to stderr. A literal "--" ends flag parsing; later arguments are
+// positional even if they begin with "-".
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"resilience/internal/core"
 	"resilience/internal/experiments"
 	"resilience/internal/faultinject"
+	"resilience/internal/obs"
 	"resilience/internal/runner"
 	"resilience/internal/scenario"
 )
@@ -54,18 +61,31 @@ func main() {
 
 // options are the flags shared by every subcommand.
 type options struct {
-	seed   uint64
-	quick  bool
-	jobs   int
-	format string
-	outDir string
-	faults string
+	seed       uint64
+	quick      bool
+	jobs       int
+	format     string
+	outDir     string
+	faults     string
+	metrics    string
+	cpuprofile string
+	memprofile string
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
 // arguments in any order (the stdlib stops at the first positional).
-// It returns the positional arguments in their original order.
+// The first "--" terminates flag parsing: everything after it is
+// positional even if it starts with "-". It returns the positional
+// arguments in their original order.
 func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var tail []string
+	for i, a := range args {
+		if a == "--" {
+			tail = args[i+1:]
+			args = args[:i]
+			break
+		}
+	}
 	var positional []string
 	for {
 		if err := fs.Parse(args); err != nil {
@@ -73,11 +93,12 @@ func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
 		}
 		rest := fs.Args()
 		if len(rest) == 0 {
-			return positional, nil
+			break
 		}
 		positional = append(positional, rest[0])
 		args = rest[1:]
 	}
+	return append(positional, tail...), nil
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -95,6 +116,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.format, "format", "text", "output format: text or json")
 	fs.StringVar(&opt.outDir, "out", "", "directory for per-experiment JSON result files")
 	fs.StringVar(&opt.faults, "faults", "", "fault-injection plan (JSON file)")
+	fs.StringVar(&opt.metrics, "metrics", "", "write a JSON metrics document (counters, histograms, spans) to this file")
+	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile after the run to this file")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -145,12 +169,18 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		}
 	}
 	ropts := runner.Options{Jobs: opt.jobs, Seed: opt.seed, Quick: opt.quick}
+	var observer *obs.Observer
+	if opt.metrics != "" {
+		observer = obs.New()
+		ropts.Obs = observer
+	}
 	var plan *faultinject.Plan
 	if opt.faults != "" {
 		plan, err = faultinject.LoadFile(opt.faults)
 		if err != nil {
 			return err
 		}
+		plan.SetObserver(observer)
 		ropts.Hooks = plan.HookFor
 		ropts.Retries = plan.Retries
 		ropts.Backoff = plan.Backoff()
@@ -187,7 +217,24 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		fmt.Fprintf(stderr, "[%s %s in %v, ~%s alloc]\n",
 			o.Experiment.ID, status, o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
 	}
+	var stopCPU func() error
+	if opt.cpuprofile != "" {
+		stopCPU, err = obs.StartCPUProfile(opt.cpuprofile)
+		if err != nil {
+			return err
+		}
+	}
 	sum := runner.Run(exps, ropts, emit)
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			return err
+		}
+	}
+	if opt.memprofile != "" {
+		if err := obs.WriteHeapProfile(opt.memprofile); err != nil {
+			return err
+		}
+	}
 	if suite {
 		fmt.Fprintf(stderr, "%d passed / %d failed in %v (seed %d, jobs %d)\n",
 			sum.Passed, sum.Failed, sum.Elapsed.Round(time.Millisecond), opt.seed, opt.jobs)
@@ -198,6 +245,11 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		// (time-to-recover base, quality-loss area) summed over them.
 		fmt.Fprintf(stderr, "recovery: %d degraded, %d retries, time-to-recover %v, loss %.1f (quality%%·s)\n",
 			sum.Degraded, sum.Retries, sum.RecoveryTime.Round(time.Millisecond), sum.RecoveryLoss)
+	}
+	if observer != nil {
+		if err := writeMetrics(stderr, observer, opt.metrics); err != nil {
+			return err
+		}
 	}
 	if renderErr != nil {
 		return renderErr
@@ -210,6 +262,31 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			sum.Failed, sum.Total, strings.Join(sum.FailedIDs, ", "))
 	}
 	return nil
+}
+
+// writeMetrics prints the deterministic-counter metrics section on
+// stderr and writes the full metrics document (counters plus the
+// timing-bearing gauges, histograms, and spans) to path. The stderr
+// line holds only seed/plan-deterministic counters, so it is as
+// golden-stable as stdout.
+func writeMetrics(stderr io.Writer, observer *obs.Observer, path string) error {
+	m := observer.Metrics
+	fmt.Fprintf(stderr, "metrics: %d attempts, %d retries, %d timeouts, %d strikes, %d degraded, %d leaked goroutines\n",
+		m.Counter("runner.attempts").Value(),
+		m.Counter("runner.retries").Value(),
+		m.Counter("runner.timeouts").Value(),
+		m.Counter("faultinject.strikes").Value(),
+		m.Counter("runner.degraded").Value(),
+		int64(m.Gauge("runner.goroutines.leaked").Value()))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := observer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeArtifact writes one JSON result document to dir/<id>.json.
@@ -363,6 +440,7 @@ func writeJSON(w io.Writer, v any) error {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR] [-faults PLAN]
+                  [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE]
 
 commands:
   list                    list all experiments (id, title, source, quick support, modules)
@@ -378,5 +456,8 @@ Results go to stdout (deterministic for a seed, independent of -jobs);
 timing, allocation and the pass/fail summary go to stderr. With -faults
 (or chaos) the plan's injections, retries and timeouts apply; recovered
 experiments render with a degraded annotation and the suite reports
-Bruneau-style recovery scalars on stderr.`)
+Bruneau-style recovery scalars on stderr. -metrics writes a JSON metrics
+document (deterministic counters plus timing-bearing histograms and
+attempt spans) and -cpuprofile/-memprofile write pprof profiles; none of
+them touch stdout. A literal "--" ends flag parsing.`)
 }

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"resilience/internal/obs"
+)
+
+// TestParseInterleavedDoubleDash is the regression for the "--"
+// terminator: positional arguments after "--" must not be re-parsed as
+// flags, wherever the terminator sits.
+func TestParseInterleavedDoubleDash(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		seed uint64
+		pos  []string
+	}{
+		{[]string{"--", "-starts-with-dash"}, 42, []string{"-starts-with-dash"}},
+		{[]string{"-seed", "7", "--", "-x"}, 7, []string{"-x"}},
+		{[]string{"-seed", "7", "--", "-x", "-y"}, 7, []string{"-x", "-y"}},
+		{[]string{"a", "--", "-seed", "9"}, 42, []string{"a", "-seed", "9"}},
+		{[]string{"--", "-seed", "9"}, 42, []string{"-seed", "9"}},
+		{[]string{"-seed", "7", "--"}, 7, nil},
+		{[]string{"--"}, 42, nil},
+		// Only the first "--" terminates; later ones are positional.
+		{[]string{"--", "a", "--", "b"}, 42, []string{"a", "--", "b"}},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		seed := fs.Uint64("seed", 42, "")
+		pos, err := parseInterleaved(fs, tc.args)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if *seed != tc.seed || !reflect.DeepEqual(pos, tc.pos) {
+			t.Errorf("%v: seed=%d pos=%v, want seed=%d pos=%v", tc.args, *seed, pos, tc.seed, tc.pos)
+		}
+	}
+}
+
+// TestFmtBytesBoundaries pins fmtBytes at the unit boundaries.
+func TestFmtBytesBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0B"},
+		{1023, "1023B"},
+		{1 << 10, "1.0KiB"},
+		{(1 << 20) - 1, "1024.0KiB"},
+		{1 << 20, "1.0MiB"},
+		{(1 << 30) - 1, "1024.0MiB"},
+		{1 << 30, "1.0GiB"},
+		{3 << 30, "3.0GiB"},
+	} {
+		if got := fmtBytes(tc.n); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+// readMetrics parses a -metrics document from disk.
+func readMetrics(t *testing.T, path string) obs.Document {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics document is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestMetricsSuiteDeterministic is the acceptance check for the
+// observability layer: with -metrics enabled, stdout stays
+// byte-identical across -jobs AND identical to a run without -metrics,
+// and the deterministic counter section of the document matches across
+// worker counts.
+func TestMetricsSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	dir := t.TempDir()
+	m1, m8 := filepath.Join(dir, "m1.json"), filepath.Join(dir, "m8.json")
+	j1, _, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "1", "-metrics", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err8, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "8", "-metrics", m8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j8 {
+		t.Fatal("suite stdout differs between -jobs 1 and -jobs 8 with -metrics enabled")
+	}
+	plain, _, err := runCLI(t, "all", "-quick", "-seed", "42", "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j8 != plain {
+		t.Fatal("-metrics changed stdout")
+	}
+	d1, d8 := readMetrics(t, m1), readMetrics(t, m8)
+	if d1.Schema != obs.SchemaVersion {
+		t.Fatalf("schema %q, want %q", d1.Schema, obs.SchemaVersion)
+	}
+	if !reflect.DeepEqual(d1.Counters, d8.Counters) {
+		t.Fatalf("deterministic counters differ between -jobs 1 and -jobs 8:\n%v\n%v", d1.Counters, d8.Counters)
+	}
+	for name, want := range map[string]int64{
+		"runner.experiments": 31,
+		"runner.attempts":    31,
+		"runner.passed":      31,
+		"runner.failed":      0,
+		"runner.retries":     0,
+		"runner.degraded":    0,
+		"runner.seam.worker": 31,
+		"runner.seam.body":   31,
+	} {
+		if d1.Counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, d1.Counters[name], want)
+		}
+	}
+	if len(d1.Histograms) == 0 || len(d1.Spans) == 0 {
+		t.Fatal("metrics document missing timing-bearing sections (histograms/spans)")
+	}
+	// 1 suite + 31 experiments + 31 attempts.
+	if got := len(d8.Spans); got != 63 {
+		t.Fatalf("%d spans, want 63", got)
+	}
+	if !strings.Contains(err8, "metrics: 31 attempts, 0 retries, 0 timeouts, 0 strikes, 0 degraded, 0 leaked goroutines") {
+		t.Fatalf("stderr missing the deterministic metrics section:\n%s", err8)
+	}
+}
+
+// TestMetricsUnderFaultPlan: the canonical plan's injections show up as
+// seed-deterministic counters.
+func TestMetricsUnderFaultPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	_, errOut, err := runCLI(t, "chaos", "../../testdata/plan.json",
+		"-quick", "-seed", "7", "-jobs", "8", "-metrics", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := readMetrics(t, path)
+	for name, want := range map[string]int64{
+		"runner.attempts":                          33,
+		"runner.retries":                           2,
+		"runner.degraded":                          2,
+		"runner.passed":                            31,
+		"faultinject.strikes":                      4,
+		"faultinject.strikes.body.error":           1,
+		"faultinject.strikes.worker.panic":         1,
+		"faultinject.strikes.dcsp/generate.rng":    1,
+		"faultinject.strikes.graph/generate.delay": 1,
+	} {
+		if doc.Counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, doc.Counters[name], want)
+		}
+	}
+	if !strings.Contains(errOut, "metrics: 33 attempts, 2 retries, 0 timeouts, 4 strikes, 2 degraded, 0 leaked goroutines") {
+		t.Fatalf("stderr metrics section wrong:\n%s", errOut)
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files without touching stdout.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof")
+	out, _, err := runCLI(t, "e08", "-quick", "-seed", "42", "-cpuprofile", cpu, "-memprofile", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := runCLI(t, "e08", "-quick", "-seed", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != plain {
+		t.Fatal("profiling changed stdout")
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty: %v", p, err)
+		}
+	}
+	if _, _, err := runCLI(t, "e08", "-quick", "-cpuprofile", filepath.Join(dir, "no", "cpu.pprof")); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+	if _, _, err := runCLI(t, "e08", "-quick", "-metrics", filepath.Join(dir, "no", "m.json")); err == nil {
+		t.Fatal("want error for uncreatable metrics path")
+	}
+}

@@ -238,6 +238,9 @@ func E17(rec *Recorder, cfg Config) error {
 		r := rng.New(cfg.Seed)
 		tr := metrics.NewTrace(0, 1)
 		for step := 0; step < steps; step++ {
+			if cfg.Canceled() {
+				return 0, 0, ErrCanceled
+			}
 			if step == 5 {
 				if err := (chaos.CrashRandom{N: 16}).Inject(sys, r); err != nil {
 					return 0, 0, err

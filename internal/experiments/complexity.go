@@ -157,6 +157,9 @@ func E20(rec *Recorder, cfg Config) error {
 			name     string
 			strategy graph.AttackStrategy
 		}{{"random", graph.RandomAttack}, {"targeted", graph.TargetedAttack}} {
+			if cfg.Canceled() {
+				return ErrCanceled
+			}
 			curve, err := graph.AttackCurve(g.g, atk.strategy, removals, r)
 			if err != nil {
 				return err

@@ -103,6 +103,9 @@ func E06(rec *Recorder, cfg Config) error {
 	scenario := magent.MaskScenario{CareBits: 4, ShiftDistance: 2, ShiftEvery: 25, Shifts: 1}
 	tb := rec.Table("diversity-survival", "founderGenotypes", "survivalRate", "95%CI", "meanDiversityG(t0)")
 	for _, founders := range []int{1, 2, 4, 8, 16} {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		cfgW := base
 		cfgW.FounderGenotypes = founders
 		root := rng.New(cfg.Seed + uint64(founders))
@@ -165,6 +168,9 @@ func E07(rec *Recorder, cfg Config) error {
 		trials = 50
 	}
 	for _, k := range []int{1, 5, 20, 100, 400} {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		ok := 0
 		for i := 0; i < trials; i++ {
 			if g.RandomKnockouts(k, r) {

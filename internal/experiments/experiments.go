@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -31,6 +32,31 @@ type Config struct {
 	// harness (internal/faultinject) can simulate component failure
 	// inside the experiment. Production runs leave it nil.
 	Hook Hook
+	// Cancel, when non-nil, is closed by the runner when this attempt
+	// has been abandoned (it hit the per-attempt timeout). Long-running
+	// experiments poll Canceled at iteration boundaries — and every
+	// Strike checks it — so an abandoned attempt drains promptly
+	// instead of leaking its goroutine and burning CPU alongside the
+	// retry.
+	Cancel <-chan struct{}
+}
+
+// ErrCanceled is returned from an attempt that observed its cancel
+// signal: the runner abandoned it and its result will be discarded.
+var ErrCanceled = errors.New("experiments: attempt canceled")
+
+// Canceled reports whether the runner has abandoned this attempt. It is
+// a non-blocking poll, free when no cancel signal is attached.
+func (c Config) Canceled() bool {
+	if c.Cancel == nil {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Hook receives fault-injection strikes at named seams. Implementations
@@ -41,9 +67,14 @@ type Hook interface {
 	Strike(seam string, r *rng.Source) error
 }
 
-// Strike fires the config's hook at a named seam. With no hook attached
-// it is free, so experiments sprinkle seams unconditionally.
+// Strike fires the config's hook at a named seam, after checking the
+// cancel signal — a canceled attempt fails fast with ErrCanceled at its
+// next seam. With no hook or cancel signal attached it is free, so
+// experiments sprinkle seams unconditionally.
 func (c Config) Strike(seam string, r *rng.Source) error {
+	if c.Canceled() {
+		return ErrCanceled
+	}
 	if c.Hook == nil {
 		return nil
 	}

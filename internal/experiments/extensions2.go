@@ -102,6 +102,9 @@ func E28(rec *Recorder, cfg Config) error {
 		root := rng.New(seed)
 		var okN, popSum, deathSum float64
 		for trial := 0; trial < trials; trial++ {
+			if cfg.Canceled() {
+				return 0, 0, 0, ErrCanceled
+			}
 			r := root.Split()
 			base := magent.DefaultConfig()
 			base.InitialAgents = 40
@@ -340,6 +343,9 @@ func E31(rec *Recorder, cfg Config) error {
 	const conn, sigma, selfReg = 0.3, 0.45, 1.0
 	tb := rec.Table("may-stability", "species n", "MayComplexity σ√(nc)", "P(stable)")
 	for _, n := range []int{4, 8, 16, 22, 32, 64} {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		p, err := dynamics.StabilityProbability(n, conn, sigma, selfReg, trials, horizon, 0.02, r)
 		if err != nil {
 			return err

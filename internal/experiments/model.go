@@ -75,6 +75,9 @@ func E02(rec *Recorder, cfg Config) error {
 	}
 	tb := rec.Table("recovery-rate", "environment", "damage d", "flips/step", "k", "recovered", "worstSteps")
 	for _, d := range []int{1, 2, 4, 6} {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		for _, flips := range []int{1, 2} {
 			k := (d + flips - 1) / flips
 			repAll, err := dcsp.CheckKRecoverableMC(
@@ -160,6 +163,9 @@ func E04(rec *Recorder, cfg Config) error {
 	// rendered text stays byte-identical across runs and -jobs values.
 	tb := rec.Table("synthesis-scaling", "states", "shape", "transitions", "worstDistance", "maintainable(k=states)")
 	for _, n := range sizes {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		sys, err := maintain.NewSystem(n)
 		if err != nil {
 			return err
@@ -184,6 +190,9 @@ func E04(rec *Recorder, cfg Config) error {
 	// Random nondeterministic systems.
 	r := rng.New(cfg.Seed)
 	for _, n := range sizes {
+		if cfg.Canceled() {
+			return ErrCanceled
+		}
 		sys, err := maintain.NewSystem(n)
 		if err != nil {
 			return err

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"resilience/internal/experiments"
+	"resilience/internal/obs"
 	"resilience/internal/rng"
 )
 
@@ -85,6 +86,21 @@ type Plan struct {
 	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// Faults are the injection rules.
 	Faults []Fault `json:"faults"`
+
+	// observer, when attached via SetObserver, counts every injected
+	// strike: faultinject.strikes in total plus one
+	// faultinject.strikes.<seam>.<kind> counter per rule fired. Strike
+	// counts are plan- and seed-deterministic, so they live in the
+	// deterministic section of the metrics document.
+	observer *obs.Observer
+}
+
+// SetObserver attaches an observability sink; injected strikes are
+// counted through it. A nil observer (the default) disables counting.
+func (p *Plan) SetObserver(o *obs.Observer) {
+	if p != nil {
+		p.observer = o
+	}
 }
 
 // Parse decodes and validates a plan document. Unknown fields are
@@ -187,12 +203,13 @@ func (p *Plan) HookFor(expID string, attempt int) experiments.Hook {
 	if len(matched) == 0 {
 		return nil
 	}
-	return hook{faults: matched}
+	return hook{faults: matched, obs: p.observer}
 }
 
 // hook fires an attempt's matched faults as seams are struck.
 type hook struct {
 	faults []Fault
+	obs    *obs.Observer
 }
 
 // Strike implements experiments.Hook. Delay and rng faults perturb and
@@ -208,6 +225,9 @@ func (h hook) Strike(seam string, r *rng.Source) error {
 		if fseam != "*" && fseam != seam {
 			continue
 		}
+		// Count before executing: a panic fault must still be counted.
+		h.obs.Counter("faultinject.strikes").Inc()
+		h.obs.Counter("faultinject.strikes." + seam + "." + string(f.Kind)).Inc()
 		switch f.Kind {
 		case KindDelay:
 			time.Sleep(time.Duration(f.DelayMs) * time.Millisecond)

@@ -1,0 +1,124 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, histograms), span-style tracing
+// for the runner's suite → experiment → attempt → seam hierarchy, and
+// pprof file wiring. The paper's active-resilience loop (§5) presumes a
+// system that can measure itself; this package supplies the indicators
+// that make the runner's resilience behaviour (retries, timeouts,
+// degradation, recovery triangles) explicit and queryable.
+//
+// # Determinism contract
+//
+// The exported metrics document (see Document) is split along the
+// repository's reproducibility guarantee:
+//
+//   - Counters are deterministic by contract: for a given seed and
+//     fault plan they hold the same values at any -jobs setting —
+//     attempts, retries, seam crossings, injected strikes, pass/fail
+//     and degraded totals. They are safe to golden-test. (Counters
+//     that only move when a per-attempt timeout fires, such as
+//     runner.timeouts, are as deterministic as the plan's timing
+//     margins allow.)
+//   - Gauges, histograms, and spans are timing-bearing: wall times,
+//     recovery-triangle areas, and goroutine drain accounting vary run
+//     to run. They go only to stderr and artifact files, never to
+//     stdout, so the same-seed ⇒ byte-identical-stdout guarantee is
+//     preserved with observability enabled.
+//
+// Every type is nil-safe: methods on a nil *Observer, *Registry,
+// *Tracer, *Counter, *Gauge, *Histogram, or *Span are no-ops, so
+// instrumented code paths need no guards and pay (almost) nothing when
+// observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaVersion identifies the metrics document layout.
+const SchemaVersion = "resilience-metrics/1"
+
+// Observer bundles the run's metric registry and tracer. A nil
+// *Observer disables instrumentation; construct with New.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Counter returns the named counter (no-op when o is nil).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge (no-op when o is nil).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram (no-op when o is nil).
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Span starts a root span (no-op when o is nil).
+func (o *Observer) Span(name, kind string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Start(name, kind)
+}
+
+// Document is the JSON metrics document `resilience -metrics` emits.
+// Counters are the deterministic section; gauges, histograms and spans
+// are timing-bearing (see the package comment for the contract).
+type Document struct {
+	Schema     string                       `json:"schema"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanDoc                    `json:"spans,omitempty"`
+}
+
+// Document snapshots the observer into an exportable metrics document.
+func (o *Observer) Document() *Document {
+	doc := &Document{Schema: SchemaVersion, Counters: map[string]int64{}}
+	if o == nil {
+		return doc
+	}
+	if o.Metrics != nil {
+		snap := o.Metrics.Snapshot()
+		doc.Counters = snap.Counters
+		doc.Gauges = snap.Gauges
+		doc.Histograms = snap.Histograms
+	}
+	if o.Trace != nil {
+		doc.Spans = o.Trace.Snapshot()
+	}
+	return doc
+}
+
+// WriteJSON writes the metrics document to w as indented JSON. Map keys
+// marshal sorted, so the deterministic sections are byte-stable.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(o.Document(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

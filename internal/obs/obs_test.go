@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runner.attempts")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // counters never go down
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("runner.attempts") != c {
+		t.Fatal("Counter does not return the same instrument for the same name")
+	}
+	g := r.Gauge("leaked")
+	g.Add(2)
+	g.Add(-1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	h := r.Histogram("attempt.seconds")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 5e6} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 4 || snap.Min != 0.0005 || snap.Max != 5e6 {
+		t.Fatalf("histogram snapshot %+v", snap)
+	}
+	var total int64
+	for _, b := range snap.Buckets {
+		total += b.N
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.LE != "+Inf" || last.N != 1 {
+		t.Fatalf("overflow bucket %+v, want +Inf with 1", last)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every receiver in the package must tolerate nil, so instrumented
+	// code needs no guards when observability is off.
+	var o *Observer
+	o.Counter("x").Inc()
+	o.Gauge("x").Set(1)
+	o.Histogram("x").Observe(1)
+	span := o.Span("suite", "suite")
+	span.Event("e")
+	span.SetAttr("k", "v")
+	child := span.Child("c", "attempt")
+	child.End()
+	span.End()
+	var r *Registry
+	r.Counter("x").Add(1)
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot %+v", got)
+	}
+	var tr *Tracer
+	tr.Start("x", "y").End()
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot should be nil")
+	}
+	doc := o.Document()
+	if doc.Schema != SchemaVersion || len(doc.Counters) != 0 {
+		t.Fatalf("nil observer document %+v", doc)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil observer document is not valid JSON")
+	}
+}
+
+func TestTraceHierarchy(t *testing.T) {
+	tr := NewTracer()
+	suite := tr.Start("suite", "suite")
+	exp := suite.Child("experiment:e01", "experiment")
+	att := exp.Child("attempt 1", "attempt")
+	att.Event("seam:worker")
+	att.SetAttr("id", "e01")
+	att.End()
+	exp.End()
+	suite.End()
+	docs := tr.Snapshot()
+	if len(docs) != 3 {
+		t.Fatalf("%d spans, want 3", len(docs))
+	}
+	if docs[0].Parent != 0 || docs[1].Parent != docs[0].ID || docs[2].Parent != docs[1].ID {
+		t.Fatalf("parent chain broken: %+v", docs)
+	}
+	if docs[2].DurationUs < 0 {
+		t.Fatalf("ended span has duration %d", docs[2].DurationUs)
+	}
+	if len(docs[2].Events) != 1 || docs[2].Events[0].Name != "seam:worker" {
+		t.Fatalf("events %+v", docs[2].Events)
+	}
+	if docs[2].Attrs["id"] != "e01" {
+		t.Fatalf("attrs %+v", docs[2].Attrs)
+	}
+	// An un-ended span exports duration -1 (abandoned attempt).
+	open := tr.Start("abandoned", "attempt")
+	_ = open
+	for _, d := range tr.Snapshot() {
+		if d.Name == "abandoned" && d.DurationUs != -1 {
+			t.Fatalf("open span duration %d, want -1", d.DurationUs)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	// The registry and spans are written from the runner's worker pool;
+	// exercise them from many goroutines (meaningful under -race).
+	o := New()
+	suite := o.Span("suite", "suite")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				o.Counter("n").Inc()
+				o.Gauge("g").Add(1)
+				o.Histogram("h").Observe(float64(j))
+				s := suite.Child("c", "attempt")
+				s.Event("e")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	suite.End()
+	if got := o.Counter("n").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := len(o.Trace.Snapshot()); got != 1601 {
+		t.Fatalf("%d spans, want 1601", got)
+	}
+}
+
+func TestDocumentJSONStable(t *testing.T) {
+	o := New()
+	o.Counter("b").Add(2)
+	o.Counter("a").Inc()
+	o.Gauge("g").Set(1.5)
+	o.Histogram("h").Observe(0.25)
+	var one, two bytes.Buffer
+	if err := o.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("document rendering is not stable across writes")
+	}
+	var doc Document
+	if err := json.Unmarshal(one.Bytes(), &doc); err != nil {
+		t.Fatalf("document is not valid JSON: %v", err)
+	}
+	if doc.Schema != SchemaVersion || doc.Counters["a"] != 1 || doc.Counters["b"] != 2 {
+		t.Fatalf("document %+v", doc)
+	}
+}
+
+func TestPProfFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty: %v", err)
+	}
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if _, err := StartCPUProfile(filepath.Join(dir, "missing-dir", "cpu.pprof")); err == nil {
+		t.Fatal("want error for uncreatable profile path")
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. Instruments are created on first
+// use and live for the registry's lifetime; all methods are safe for
+// concurrent use and nil-safe.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if snap.Gauges == nil {
+			snap.Gauges = map[string]float64{}
+		}
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		if snap.Histograms == nil {
+			snap.Histograms = map[string]HistogramSnapshot{}
+		}
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// Counter is a monotonically non-decreasing event count. Counters hold
+// the deterministic indicators of the metrics document (see the package
+// comment), so only count plan- and seed-determined events with them.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n < 0 is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can move both ways — used for timing-bearing
+// state such as abandoned/drained goroutine accounting.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// histBounds are the histogram bucket upper bounds, decade-spaced from
+// a microsecond to ~3 hours when observations are seconds; the same
+// bounds serve loss areas (quality-percent·seconds). Values above the
+// last bound land in the implicit +Inf bucket.
+var histBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4,
+}
+
+// Histogram accumulates a distribution of float64 observations into
+// fixed decade buckets plus count/sum/min/max. Histograms carry
+// timing-bearing data; they never feed stdout.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [12]int64 // len(histBounds) + 1 for +Inf
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, le := range histBounds {
+		if v <= le {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(histBounds)]++
+}
+
+// Bucket is one non-empty histogram bucket; LE is the upper bound
+// rendered as a string ("+Inf" for the overflow bucket) so the snapshot
+// marshals to JSON without infinities.
+type Bucket struct {
+	LE string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// HistogramSnapshot is the exportable state of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state, listing only non-empty
+// buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(histBounds) {
+			le = strconv.FormatFloat(histBounds[i], 'g', -1, 64)
+		}
+		snap.Buckets = append(snap.Buckets, Bucket{LE: le, N: n})
+	}
+	return snap
+}

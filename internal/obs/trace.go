@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans. Span timestamps are offsets from the tracer's
+// creation, so a trace is self-contained and diffable without wall-clock
+// noise in the document itself. All methods are nil-safe and safe for
+// concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	spans  []*Span
+	nextID int
+}
+
+// NewTracer returns a tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name, kind string) *Span {
+	return t.newSpan(name, kind, 0)
+}
+
+func (t *Tracer) newSpan(name, kind string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{t: t, id: t.nextID, parent: parent, name: name, kind: kind, start: time.Since(t.epoch)}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Span is one timed operation in the suite → experiment → attempt →
+// seam hierarchy. End it exactly once; events and attributes may be
+// added from any goroutine until the trace is snapshotted.
+type Span struct {
+	t      *Tracer
+	id     int
+	parent int
+	name   string
+	kind   string
+	start  time.Duration
+
+	mu     sync.Mutex
+	end    time.Duration
+	ended  bool
+	attrs  map[string]string
+	events []event
+}
+
+type event struct {
+	name string
+	at   time.Duration
+}
+
+// Child begins a sub-span of s.
+func (s *Span) Child(name, kind string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, kind, s.id)
+}
+
+// End closes the span. Later calls are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	at := time.Since(s.t.epoch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.end = at
+		s.ended = true
+	}
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+}
+
+// Event records a point-in-time occurrence on the span (a retry, a
+// backoff sleep, a timeout, a fault-seam crossing).
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	at := time.Since(s.t.epoch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, event{name: name, at: at})
+}
+
+// Eventf records a formatted event.
+func (s *Span) Eventf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Event(fmt.Sprintf(format, args...))
+}
+
+// SpanDoc is the exportable form of one span. Times are microseconds
+// since the tracer epoch; DurationUs is -1 for a span never ended (an
+// abandoned attempt still draining when the document was written).
+type SpanDoc struct {
+	ID         int               `json:"id"`
+	Parent     int               `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Kind       string            `json:"kind"`
+	StartUs    int64             `json:"startUs"`
+	DurationUs int64             `json:"durationUs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []EventDoc        `json:"events,omitempty"`
+}
+
+// EventDoc is one span event.
+type EventDoc struct {
+	Name string `json:"name"`
+	AtUs int64  `json:"atUs"`
+}
+
+// Snapshot exports every span in start order.
+func (t *Tracer) Snapshot() []SpanDoc {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	docs := make([]SpanDoc, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		doc := SpanDoc{
+			ID: s.id, Parent: s.parent, Name: s.name, Kind: s.kind,
+			StartUs: s.start.Microseconds(), DurationUs: -1,
+		}
+		if s.ended {
+			doc.DurationUs = (s.end - s.start).Microseconds()
+		}
+		if len(s.attrs) > 0 {
+			doc.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				doc.Attrs[k] = v
+			}
+		}
+		for _, e := range s.events {
+			doc.Events = append(doc.Events, EventDoc{Name: e.name, AtUs: e.at.Microseconds()})
+		}
+		s.mu.Unlock()
+		docs = append(docs, doc)
+	}
+	return docs
+}

@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+)
+
+// TestTimeoutAttemptDrains is the leak regression: a timed-out attempt
+// must observe its cancel signal and exit instead of running forever
+// alongside the retry. On the pre-cancellation runner the spinning body
+// below never returns (Strike never fails), so this test hangs at the
+// drain wait and fails by deadline.
+func TestTimeoutAttemptDrains(t *testing.T) {
+	var exited atomic.Bool
+	spin := func(rec *experiments.Recorder, cfg experiments.Config) error {
+		for {
+			if err := cfg.Strike("tick", nil); err != nil {
+				exited.Store(true)
+				return err
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	o := obs.New()
+	var out Outcome
+	Run([]experiments.Experiment{fakeExp("t00", spin)},
+		Options{Jobs: 1, Seed: 1, Timeout: 20 * time.Millisecond, Obs: o},
+		func(oc Outcome) { out = oc })
+	var te *TimeoutError
+	if !errors.As(out.Err, &te) || !out.TimedOut {
+		t.Fatalf("outcome err=%v timedOut=%v, want timeout", out.Err, out.TimedOut)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !exited.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned attempt never observed its cancel signal (goroutine leak)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The obs layer accounts for the drain: leaked returns to zero.
+	for {
+		abandoned := o.Gauge("runner.goroutines.abandoned").Value()
+		drained := o.Gauge("runner.goroutines.drained").Value()
+		leaked := o.Gauge("runner.goroutines.leaked").Value()
+		if abandoned == 1 && drained == 1 && leaked == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine accounting never settled: abandoned=%v drained=%v leaked=%v",
+				abandoned, drained, leaked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := o.Counter("runner.timeouts").Value(); got != 1 {
+		t.Fatalf("runner.timeouts = %d, want 1", got)
+	}
+}
+
+// TestBackoffReleasesWorkerSlot: a retrying experiment must not hold a
+// worker slot while it sleeps its backoff. With one slot, one flaky
+// experiment (long backoff) and three healthy ones, the healthy bodies
+// must all complete during the flaky experiment's sleep — on the old
+// runner they could only start after it, failing the bound below.
+func TestBackoffReleasesWorkerSlot(t *testing.T) {
+	const backoff = 300 * time.Millisecond
+	start := time.Now()
+	var flakyCalls atomic.Int32
+	flaky := fakeExp("t00", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		if flakyCalls.Add(1) == 1 {
+			return errors.New("first attempt fails")
+		}
+		rec.Notef("ok")
+		return nil
+	})
+	healthyDone := make(chan time.Duration, 3)
+	healthy := func(rec *experiments.Recorder, cfg experiments.Config) error {
+		healthyDone <- time.Since(start)
+		rec.Notef("ok")
+		return nil
+	}
+	exps := []experiments.Experiment{flaky}
+	for i := 1; i <= 3; i++ {
+		exps = append(exps, fakeExp(fmt.Sprintf("t%02d", i), healthy))
+	}
+	sum := Run(exps, Options{Jobs: 1, Seed: 1, Retries: 1, Backoff: backoff}, nil)
+	if sum.Passed != 4 || sum.Degraded != 1 {
+		t.Fatalf("summary %+v, want 4 passed with 1 degraded", sum)
+	}
+	close(healthyDone)
+	var done []time.Duration
+	for d := range healthyDone {
+		done = append(done, d)
+	}
+	if len(done) != 3 {
+		t.Fatalf("%d healthy experiments ran, want 3", len(done))
+	}
+	for _, d := range done {
+		if d >= backoff {
+			t.Fatalf("healthy experiment finished at %v, after the flaky backoff (%v): "+
+				"the sleep held the worker slot", d, backoff)
+		}
+	}
+}
+
+// TestRunZeroExperiments: the empty suite neither emits nor panics and
+// reports an all-zero summary.
+func TestRunZeroExperiments(t *testing.T) {
+	emitted := 0
+	sum := Run(nil, Options{Jobs: 4, Seed: 1}, func(Outcome) { emitted++ })
+	if emitted != 0 {
+		t.Fatalf("emit called %d times for an empty suite", emitted)
+	}
+	if sum.Total != 0 || sum.Passed != 0 || sum.Failed != 0 || sum.Degraded != 0 || sum.Retries != 0 {
+		t.Fatalf("summary %+v, want zeros", sum)
+	}
+	if sum.FailedIDs != nil || sum.DegradedIDs != nil {
+		t.Fatalf("summary carries IDs for an empty suite: %+v", sum)
+	}
+}
+
+// TestRunAllFailedSuite: every experiment failing is accounted exactly,
+// with no pass/degraded leakage.
+func TestRunAllFailedSuite(t *testing.T) {
+	boom := errors.New("down")
+	var exps []experiments.Experiment
+	var want []string
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		want = append(want, id)
+		exps = append(exps, fakeExp(id, func(rec *experiments.Recorder, cfg experiments.Config) error {
+			return boom
+		}))
+	}
+	sum := Run(exps, Options{Jobs: 2, Seed: 1}, nil)
+	if sum.Total != 5 || sum.Passed != 0 || sum.Failed != 5 || sum.Degraded != 0 {
+		t.Fatalf("summary %+v, want 5 failures", sum)
+	}
+	if !reflect.DeepEqual(sum.FailedIDs, want) {
+		t.Fatalf("FailedIDs %v, want %v", sum.FailedIDs, want)
+	}
+}
+
+// TestTimeoutOnFinalAttempt: when the last attempt times out, the
+// outcome keeps TimedOut, the recovery triangle reports no recovery,
+// and the rendered result carries the deterministic timeout error.
+func TestTimeoutOnFinalAttempt(t *testing.T) {
+	opts := planHooks(t, `{"retries":1,"timeoutMs":30,"faults":[
+		{"experiment":"t00","kind":"delay","delayMs":400}]}`)
+	var out Outcome
+	sum := Run([]experiments.Experiment{fakeExp("t00", noop)}, opts, func(o Outcome) { out = o })
+	if !out.TimedOut || out.Attempts != 2 {
+		t.Fatalf("timedOut=%v attempts=%d, want timeout on attempt 2", out.TimedOut, out.Attempts)
+	}
+	if out.Recovery == nil || out.Recovery.Recovered || out.Recovery.FailedAttempts != 2 {
+		t.Fatalf("recovery %+v, want unrecovered after 2 failed attempts", out.Recovery)
+	}
+	if want := "timeout: attempt exceeded 30ms"; out.Result.Error != want {
+		t.Fatalf("result error %q, want %q", out.Result.Error, want)
+	}
+	if sum.Failed != 1 || sum.Degraded != 0 || sum.Retries != 1 {
+		t.Fatalf("summary %+v, want 1 failed with 1 retry", sum)
+	}
+	if sum.RecoveryTime != out.Recovery.TimeToRecover || sum.RecoveryLoss != out.Recovery.Loss {
+		t.Fatalf("summary recovery (%v, %v) does not match outcome (%v, %v)",
+			sum.RecoveryTime, sum.RecoveryLoss, out.Recovery.TimeToRecover, out.Recovery.Loss)
+	}
+}
+
+// TestRunCountersDeterministic: the deterministic counter section must
+// not depend on the worker count.
+func TestRunCountersDeterministic(t *testing.T) {
+	counters := func(jobs int) map[string]int64 {
+		o := obs.New()
+		opts := planHooks(t, `{"retries":1,"faults":[
+			{"experiment":"t01","kind":"error","attempt":1}]}`)
+		opts.Jobs = jobs
+		opts.Obs = o
+		var exps []experiments.Experiment
+		for i := 0; i < 6; i++ {
+			exps = append(exps, fakeExp(fmt.Sprintf("t%02d", i), noop))
+		}
+		Run(exps, opts, nil)
+		return o.Metrics.Snapshot().Counters
+	}
+	a, b := counters(1), counters(6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("counters differ between jobs=1 and jobs=6:\n%v\n%v", a, b)
+	}
+	for name, want := range map[string]int64{
+		"runner.experiments":  6,
+		"runner.attempts":     7,
+		"runner.retries":      1,
+		"runner.degraded":     1,
+		"runner.passed":       6,
+		"runner.failed":       0,
+		"runner.seam.worker":  7,
+		"faultinject.strikes": 0, // plan not wired through SetObserver here
+	} {
+		if a[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, a[name], want)
+		}
+	}
+	if _, ok := a["runner.timeouts"]; !ok {
+		t.Error("runner.timeouts missing from the counter schema")
+	}
+}
+
+// TestRunSpansCoverHierarchy: the trace holds suite → experiment →
+// attempt spans with seam events.
+func TestRunSpansCoverHierarchy(t *testing.T) {
+	o := obs.New()
+	exps := []experiments.Experiment{fakeExp("t00", noop), fakeExp("t01", noop)}
+	Run(exps, Options{Jobs: 2, Seed: 1, Obs: o}, nil)
+	spans := o.Trace.Snapshot()
+	kinds := map[string]int{}
+	for _, s := range spans {
+		kinds[s.Kind]++
+		if s.DurationUs < 0 {
+			t.Errorf("span %q never ended", s.Name)
+		}
+	}
+	if kinds["suite"] != 1 || kinds["experiment"] != 2 || kinds["attempt"] != 2 {
+		t.Fatalf("span kinds %v, want 1 suite / 2 experiments / 2 attempts", kinds)
+	}
+	var sawSeam bool
+	for _, s := range spans {
+		for _, e := range s.Events {
+			if strings.HasPrefix(e.Name, "seam:") {
+				sawSeam = true
+			}
+		}
+	}
+	if !sawSeam {
+		t.Fatal("no seam events recorded on attempt spans")
+	}
+}

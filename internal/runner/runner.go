@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"resilience/internal/experiments"
+	"resilience/internal/obs"
 	"resilience/internal/rng"
 )
 
@@ -47,9 +48,16 @@ type Options struct {
 	// from (Seed, id), so retry schedules reproduce run to run.
 	Backoff time.Duration
 	// Timeout bounds one attempt's wall time; 0 means unbounded. A
-	// timed-out attempt is abandoned (its goroutine finishes in the
-	// background) and counts as a failure for retry purposes.
+	// timed-out attempt is canceled (experiments.Config.Cancel closes,
+	// so a cooperative body drains at its next seam or iteration
+	// boundary) and counts as a failure for retry purposes.
 	Timeout time.Duration
+	// Obs receives metrics and spans for the run; nil disables
+	// instrumentation. Counters it accumulates (attempts, retries, seam
+	// crossings, pass/fail/degraded totals) are seed- and
+	// plan-deterministic; gauges, histograms, and spans carry
+	// timing-bearing data and never feed stdout.
+	Obs *obs.Observer
 }
 
 // Recovery is the Bruneau-style recovery triangle of one experiment that
@@ -148,6 +156,8 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 		jobs = len(exps)
 	}
 	start := time.Now()
+	suiteSpan := opts.Obs.Span("suite", "suite")
+	opts.Obs.Counter("runner.experiments").Add(int64(len(exps)))
 
 	outcomes := make([]Outcome, len(exps))
 	done := make([]chan struct{}, len(exps))
@@ -163,7 +173,7 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem }()
-			outcomes[i] = runOne(exps[i], opts)
+			outcomes[i] = runOne(exps[i], opts, sem, suiteSpan)
 			close(done[i])
 		}()
 	}
@@ -189,21 +199,40 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 		if o.Recovery != nil {
 			sum.RecoveryTime += o.Recovery.TimeToRecover
 			sum.RecoveryLoss += o.Recovery.Loss
+			// Recovery-triangle samples: base and area per recovery
+			// episode, §4.1's two axes as distributions.
+			opts.Obs.Histogram("runner.recovery.seconds").Observe(o.Recovery.TimeToRecover.Seconds())
+			opts.Obs.Histogram("runner.recovery.loss").Observe(o.Recovery.Loss)
 		}
 		if emit != nil {
 			emit(o)
 		}
 	}
+	// Touch every deterministic suite counter, even at zero, so the
+	// metrics document has a stable schema run to run.
+	opts.Obs.Counter("runner.passed").Add(int64(sum.Passed))
+	opts.Obs.Counter("runner.failed").Add(int64(sum.Failed))
+	opts.Obs.Counter("runner.degraded").Add(int64(sum.Degraded))
+	opts.Obs.Counter("runner.retries").Add(int64(sum.Retries))
+	opts.Obs.Counter("runner.timeouts").Add(0)
 	sum.Elapsed = time.Since(start)
+	opts.Obs.Histogram("runner.suite.seconds").Observe(sum.Elapsed.Seconds())
+	suiteSpan.End()
 	return sum
 }
 
 // runOne executes a single experiment through the retry loop and
-// measures its total wall time and allocation.
-func runOne(e experiments.Experiment, opts Options) Outcome {
+// measures its total wall time and allocation. sem is the worker-pool
+// semaphore (nil outside a pool): the slot is released for the length
+// of each backoff sleep so one flaky experiment does not stall a
+// healthy one waiting for a worker.
+func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *obs.Span) Outcome {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
+	span := parent.Child("experiment:"+e.ID, "experiment")
+	span.SetAttr("id", e.ID)
+	defer span.End()
 
 	attempts := opts.Retries + 1
 	if attempts < 1 {
@@ -218,11 +247,22 @@ func runOne(e experiments.Experiment, opts Options) Outcome {
 			if backoff == nil {
 				backoff = rng.New(rng.Derive(opts.Seed, e.ID+"/retry"))
 			}
-			// Full base plus deterministic jitter in [0, base).
-			time.Sleep(opts.Backoff + time.Duration(backoff.Float64()*float64(opts.Backoff)))
+			// Full base plus deterministic jitter in [0, base). Sleep
+			// with the worker slot released: the schedule is part of
+			// the experiment's recovery story, not work the pool
+			// should serialize behind.
+			sleep := opts.Backoff + time.Duration(backoff.Float64()*float64(opts.Backoff))
+			span.Eventf("backoff %v before attempt %d", sleep.Round(time.Millisecond), a)
+			if sem != nil {
+				<-sem
+			}
+			time.Sleep(sleep)
+			if sem != nil {
+				sem <- struct{}{}
+			}
 		}
 		attemptStart := time.Now()
-		res, err, timedOut := runAttempt(e, opts, a)
+		res, err, timedOut := runAttempt(e, opts, a, span)
 		out.Result, out.Err, out.TimedOut = res, err, timedOut
 		out.Attempts = a
 		sawTimeout = sawTimeout || timedOut
@@ -253,6 +293,7 @@ func runOne(e experiments.Experiment, opts Options) Outcome {
 	out.Elapsed = time.Since(start)
 	runtime.ReadMemStats(&after)
 	out.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	opts.Obs.Histogram("runner.experiment.seconds").Observe(out.Elapsed.Seconds())
 	return out
 }
 
@@ -278,11 +319,27 @@ func annotate(out *Outcome, sawTimeout bool) {
 }
 
 // runAttempt executes one attempt: the worker-seam strike, then the
-// experiment body, bounded by Options.Timeout when set.
-func runAttempt(e experiments.Experiment, opts Options, attempt int) (*experiments.Result, error, bool) {
+// experiment body, bounded by Options.Timeout when set. A timed-out
+// attempt is canceled via experiments.Config.Cancel; the abandoned
+// goroutine is tracked through the observer (runner.goroutines.*
+// gauges) until it drains.
+func runAttempt(e experiments.Experiment, opts Options, attempt int, parent *obs.Span) (*experiments.Result, error, bool) {
+	span := parent.Child(fmt.Sprintf("attempt %d", attempt), "attempt")
+	defer span.End()
+	opts.Obs.Counter("runner.attempts").Inc()
+	attemptStart := time.Now()
+	defer func() {
+		opts.Obs.Histogram("runner.attempt.seconds").Observe(time.Since(attemptStart).Seconds())
+	}()
 	cfg := Config(opts, e)
 	if opts.Hooks != nil {
 		cfg.Hook = opts.Hooks(e.ID, attempt)
+	}
+	if opts.Obs != nil {
+		// Observe every seam crossing (injected or clean) on the
+		// attempt span; the wrapper delegates to the plan's hook, so
+		// behaviour is unchanged.
+		cfg.Hook = seamObserver{inner: cfg.Hook, obs: opts.Obs, span: span}
 	}
 	// The worker seam fires outside Record's recovery, so guard it here:
 	// a worker-seam panic must not kill the pool goroutine.
@@ -297,6 +354,8 @@ func runAttempt(e experiments.Experiment, opts Options, attempt int) (*experimen
 		res, err := e.Record(cfg)
 		return res, err, false
 	}
+	cancel := make(chan struct{})
+	cfg.Cancel = cancel
 	type recorded struct {
 		res *experiments.Result
 		err error
@@ -312,11 +371,51 @@ func runAttempt(e experiments.Experiment, opts Options, attempt int) (*experimen
 	case r := <-ch:
 		return r.res, r.err, false
 	case <-timer.C:
+		// Cancel the attempt: the body observes the closed channel at
+		// its next seam or iteration boundary and returns ErrCanceled,
+		// so the goroutine drains instead of leaking — it no longer
+		// burns CPU alongside the retry or pollutes other experiments'
+		// AllocBytes. The drain is tracked asynchronously: leaked =
+		// abandoned − drained, and a body that never checks its cancel
+		// signal shows up as a permanently non-zero leak gauge.
+		close(cancel)
+		span.Event("timeout")
+		opts.Obs.Counter("runner.timeouts").Inc()
+		opts.Obs.Gauge("runner.goroutines.abandoned").Add(1)
+		opts.Obs.Gauge("runner.goroutines.leaked").Add(1)
+		go func() {
+			<-ch
+			opts.Obs.Gauge("runner.goroutines.drained").Add(1)
+			opts.Obs.Gauge("runner.goroutines.leaked").Add(-1)
+			span.Event("drained")
+		}()
 		err := &TimeoutError{Limit: opts.Timeout}
 		res := experiments.NewRecorder(e, cfg).Result()
 		res.Error = err.Error()
 		return res, err, true
 	}
+}
+
+// seamObserver wraps an attempt's fault hook: it counts every seam
+// crossing and stamps it on the attempt span, then delegates to the
+// wrapped hook (nil inner = clean run). Seam-crossing counts depend
+// only on seed and plan, so they belong to the deterministic section of
+// the metrics document — except crossings an abandoned attempt makes
+// while draining, which are timing-bearing like everything else about
+// timeouts.
+type seamObserver struct {
+	inner experiments.Hook
+	obs   *obs.Observer
+	span  *obs.Span
+}
+
+func (s seamObserver) Strike(seam string, r *rng.Source) error {
+	s.obs.Counter("runner.seam." + seam).Inc()
+	s.span.Event("seam:" + seam)
+	if s.inner == nil {
+		return nil
+	}
+	return s.inner.Strike(seam, r)
 }
 
 // strikeWorker fires the worker seam, converting a panic into the same

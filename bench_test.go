@@ -13,6 +13,7 @@ import (
 	"resilience/internal/graph"
 	"resilience/internal/magent"
 	"resilience/internal/maintain"
+	"resilience/internal/rescache"
 	"resilience/internal/rng"
 	"resilience/internal/runner"
 )
@@ -207,3 +208,46 @@ func BenchmarkE29Anticipation(b *testing.B) { benchExperiment(b, "e29") }
 func BenchmarkE30CoRegulation(b *testing.B) { benchExperiment(b, "e30") }
 
 func BenchmarkE31MayStability(b *testing.B) { benchExperiment(b, "e31") }
+
+// BenchmarkSuiteWarmVsCold measures what the result cache buys: "cold"
+// populates a fresh cache directory every iteration (compute + store),
+// "warm" replays the same suite out of an already-populated one. The
+// warm/cold ratio is the fraction of suite cost the cache cannot skip
+// (key hashing, JSON decode, rendering); see BENCH_warm_cache.json for
+// recorded data points.
+func BenchmarkSuiteWarmVsCold(b *testing.B) {
+	exps := experiments.All()
+	run := func(b *testing.B, cache *rescache.Cache) {
+		sum := runner.Run(exps, runner.Options{Jobs: 1, Seed: 42, Quick: true, Cache: cache}, nil)
+		if sum.Failed != 0 {
+			b.Fatalf("suite failed: %+v", sum)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := rescache.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run(b, cache)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := rescache.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cache) // populate
+		if cache.Stores() != int64(len(exps)) {
+			b.Fatalf("populated %d entries, want %d", cache.Stores(), len(exps))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+	})
+}

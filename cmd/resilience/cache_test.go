@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// metricsCounters reads the deterministic counters out of a -metrics
+// document written by one run.
+func metricsCounters(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Counters
+}
+
+// TestCacheWarmSuiteByteIdentical is the ISSUE's acceptance test: a
+// warm quick-suite run must hit the cache for all 31 experiments and
+// render stdout byte-for-byte identical to the cold run, at -jobs 1 and
+// -jobs 8 alike.
+func TestCacheWarmSuiteByteIdentical(t *testing.T) {
+	cacheDir := t.TempDir()
+	metricsDir := t.TempDir()
+
+	cold, coldErr, err := runCLI(t, "all", "-quick", "-seed", "7", "-jobs", "4",
+		"-cache-dir", cacheDir, "-metrics", filepath.Join(metricsDir, "cold.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldErr, "cache: 0 hits, 31 misses, 31 stores") {
+		t.Fatalf("cold stderr missing cache line:\n%s", coldErr)
+	}
+	c := metricsCounters(t, filepath.Join(metricsDir, "cold.json"))
+	if c["rescache.hits"] != 0 || c["rescache.misses"] != 31 || c["rescache.stores"] != 31 {
+		t.Fatalf("cold counters hits=%d misses=%d stores=%d, want 0/31/31",
+			c["rescache.hits"], c["rescache.misses"], c["rescache.stores"])
+	}
+
+	for _, jobs := range []string{"1", "8"} {
+		warm, warmErr, err := runCLI(t, "all", "-quick", "-seed", "7", "-jobs", jobs,
+			"-cache-dir", cacheDir, "-metrics", filepath.Join(metricsDir, "warm.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm != cold {
+			t.Fatalf("warm stdout (jobs=%s) differs from cold run", jobs)
+		}
+		if !strings.Contains(warmErr, "cache: 31 hits, 0 misses, 0 stores") {
+			t.Fatalf("warm stderr (jobs=%s) missing all-hits cache line:\n%s", jobs, warmErr)
+		}
+		if !strings.Contains(warmErr, "ok (cached)") {
+			t.Fatalf("warm stderr (jobs=%s) missing cached status:\n%s", jobs, warmErr)
+		}
+		c := metricsCounters(t, filepath.Join(metricsDir, "warm.json"))
+		if c["rescache.hits"] != 31 || c["rescache.misses"] != 0 {
+			t.Fatalf("warm counters (jobs=%s) hits=%d misses=%d, want 31/0",
+				jobs, c["rescache.hits"], c["rescache.misses"])
+		}
+		if c["runner.attempts"] != 0 {
+			t.Fatalf("warm run (jobs=%s) still ran %d attempts", jobs, c["runner.attempts"])
+		}
+	}
+}
+
+// TestCacheSeedChangeRecomputes: a different -seed must miss every
+// entry stored under the old one.
+func TestCacheSeedChangeRecomputes(t *testing.T) {
+	cacheDir := t.TempDir()
+	if _, _, err := runCLI(t, "e05", "-quick", "-seed", "7", "-cache-dir", cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	_, errb, err := runCLI(t, "e05", "-quick", "-seed", "8", "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb, "cache: 0 hits, 1 misses, 1 stores") {
+		t.Fatalf("seed change did not recompute:\n%s", errb)
+	}
+}
+
+// TestCacheCorruptionRecovers: truncated or garbage cache files slow
+// the run down to a recompute but never fail it or change its output.
+func TestCacheCorruptionRecovers(t *testing.T) {
+	cacheDir := t.TempDir()
+	out1, _, err := runCLI(t, "e05", "-quick", "-seed", "7", "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err=%v)", err)
+	}
+	for _, path := range entries {
+		if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out2, errb, err := runCLI(t, "e05", "-quick", "-seed", "7", "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatalf("corrupted cache failed the run: %v\n%s", err, errb)
+	}
+	if out2 != out1 {
+		t.Fatal("corrupted cache changed the output")
+	}
+	if !strings.Contains(errb, "cache: 0 hits, 1 misses, 1 stores") {
+		t.Fatalf("corrupted entry not recomputed and healed:\n%s", errb)
+	}
+	out3, errb, err := runCLI(t, "e05", "-quick", "-seed", "7", "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3 != out1 || !strings.Contains(errb, "cache: 1 hits, 0 misses, 0 stores") {
+		t.Fatalf("healed entry did not hit:\n%s", errb)
+	}
+}
+
+// TestNoCacheFlagDisables: -no-cache runs print no cache line and
+// leave the cache directory untouched.
+func TestNoCacheFlagDisables(t *testing.T) {
+	_, errb, err := runCLI(t, "e05", "-quick", "-no-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errb, "cache:") {
+		t.Fatalf("-no-cache still printed a cache line:\n%s", errb)
+	}
+}

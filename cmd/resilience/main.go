@@ -24,6 +24,14 @@
 //	              print a deterministic-counter metrics line on stderr
 //	-cpuprofile F write a pprof CPU profile of the run to F
 //	-memprofile F write a pprof heap profile after the run to F
+//	-cache-dir D  store results in D instead of the default
+//	              <user cache dir>/resilience
+//	-no-cache     disable the result cache (always recompute)
+//
+// Results are cached content-addressed (internal/rescache) under a key
+// of experiment ID, derived seed, -quick, the fault plan's hash, and
+// the engine schema version; a warm run renders byte-identical output
+// while skipping the cached experiments' compute.
 //
 // Rendered results go to stdout and are byte-identical for a given seed
 // whatever -jobs is — including under a fault plan, whose injections are
@@ -48,6 +56,7 @@ import (
 	"resilience/internal/experiments"
 	"resilience/internal/faultinject"
 	"resilience/internal/obs"
+	"resilience/internal/rescache"
 	"resilience/internal/runner"
 	"resilience/internal/scenario"
 )
@@ -70,6 +79,8 @@ type options struct {
 	metrics    string
 	cpuprofile string
 	memprofile string
+	cacheDir   string
+	noCache    bool
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
@@ -119,6 +130,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.metrics, "metrics", "", "write a JSON metrics document (counters, histograms, spans) to this file")
 	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile after the run to this file")
+	fs.StringVar(&opt.cacheDir, "cache-dir", "", "result cache directory (default <user cache dir>/resilience)")
+	fs.BoolVar(&opt.noCache, "no-cache", false, "disable the result cache")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -188,6 +201,28 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		fmt.Fprintf(stderr, "fault plan %q: %d faults, retries=%d, backoff=%v, timeout=%v\n",
 			plan.Name, len(plan.Faults), plan.Retries, plan.Backoff(), plan.Timeout())
 	}
+	// The result cache is on by default; any problem opening it degrades
+	// to a cacheless (slower, never incorrect) run.
+	var cache *rescache.Cache
+	if !opt.noCache {
+		dir := opt.cacheDir
+		if dir == "" {
+			var derr error
+			if dir, derr = rescache.DefaultDir(); derr != nil {
+				fmt.Fprintf(stderr, "result cache disabled: %v\n", derr)
+			}
+		}
+		if dir != "" {
+			var oerr error
+			if cache, oerr = rescache.Open(dir); oerr != nil {
+				fmt.Fprintf(stderr, "result cache disabled: %v\n", oerr)
+				cache = nil
+			}
+		}
+		cache.SetObserver(observer)
+		ropts.Cache = cache
+		ropts.PlanHash = plan.Hash()
+	}
 	suite := len(exps) > 1
 	var renderErr, firstErr error
 	var emitted int
@@ -213,6 +248,8 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			status = "FAILED: " + o.Err.Error()
 		case o.Degraded:
 			status = fmt.Sprintf("ok (degraded, %d attempts)", o.Attempts)
+		case o.CacheHit:
+			status = "ok (cached)"
 		}
 		fmt.Fprintf(stderr, "[%s %s in %v, ~%s alloc]\n",
 			o.Experiment.ID, status, o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
@@ -245,6 +282,10 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		// (time-to-recover base, quality-loss area) summed over them.
 		fmt.Fprintf(stderr, "recovery: %d degraded, %d retries, time-to-recover %v, loss %.1f (quality%%·s)\n",
 			sum.Degraded, sum.Retries, sum.RecoveryTime.Round(time.Millisecond), sum.RecoveryLoss)
+	}
+	if cache != nil {
+		fmt.Fprintf(stderr, "cache: %d hits, %d misses, %d stores\n",
+			cache.Hits(), cache.Misses(), cache.Stores())
 	}
 	if observer != nil {
 		if err := writeMetrics(stderr, observer, opt.metrics); err != nil {
@@ -440,7 +481,7 @@ func writeJSON(w io.Writer, v any) error {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR] [-faults PLAN]
-                  [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE]
+                  [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] [-cache-dir DIR] [-no-cache]
 
 commands:
   list                    list all experiments (id, title, source, quick support, modules)
@@ -459,5 +500,9 @@ experiments render with a degraded annotation and the suite reports
 Bruneau-style recovery scalars on stderr. -metrics writes a JSON metrics
 document (deterministic counters plus timing-bearing histograms and
 attempt spans) and -cpuprofile/-memprofile write pprof profiles; none of
-them touch stdout. A literal "--" ends flag parsing.`)
+them touch stdout. Results are cached content-addressed (keyed on ID,
+derived seed, -quick, fault-plan hash, and engine schema version) in
+-cache-dir, defaulting to <user cache dir>/resilience; a warm run skips
+cached experiments and renders byte-identical output. -no-cache always
+recomputes. A literal "--" ends flag parsing.`)
 }

@@ -13,9 +13,21 @@ import (
 	"resilience/internal/experiments"
 )
 
-// runCLI invokes run with separate stdout/stderr buffers.
+// runCLI invokes run with separate stdout/stderr buffers. Unless the
+// test opts into caching with -cache-dir or -no-cache of its own, the
+// result cache is disabled so tests never read or write the real user
+// cache directory (and counter-pinning tests see every attempt run).
 func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
 	t.Helper()
+	cacheFlag := false
+	for _, a := range args {
+		if strings.HasPrefix(a, "-cache-dir") || a == "-no-cache" {
+			cacheFlag = true
+		}
+	}
+	if !cacheFlag && len(args) > 0 {
+		args = append([]string{args[0], "-no-cache"}, args[1:]...)
+	}
 	var out, errb bytes.Buffer
 	err = run(args, &out, &errb)
 	return out.String(), errb.String(), err

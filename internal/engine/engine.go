@@ -1,0 +1,113 @@
+// Package engine executes an experiment as an ordered list of named
+// stages instead of one monolithic body. The paper's active-resilience
+// loop (§4: anticipate → model → respond → switch modes) presumes a
+// system whose execution decomposes into observable, restartable units;
+// the engine is that decomposition applied to the experiment suite
+// itself. Each stage boundary is, in one mechanism:
+//
+//   - a cancellation point: the runner's per-attempt timeout is observed
+//     at the next stage, so abandoned attempts drain without the
+//     hand-written Canceled() polls PR 2/3 copy-pasted into experiments;
+//   - a fault seam: the stage name is the seam name, so fault-injection
+//     plans (internal/faultinject) target stages without per-experiment
+//     boilerplate, and the runner's seam observer counts the crossing
+//     and stamps it on the attempt span;
+//   - an RNG hand-off: every stage can ask for an independent random
+//     source derived from (seed, experiment ID, stage index, stage
+//     name), so future stage-level re-execution or sharding does not
+//     perturb sibling stages.
+//
+// The package deliberately imports only internal/rng: callers (the
+// experiments package) adapt their own hook/cancel plumbing into a
+// Context of plain closures, which keeps the dependency arrow pointing
+// one way. SchemaVersion feeds the result cache key (internal/rescache):
+// bumping it invalidates every cached result produced under the old
+// execution semantics.
+package engine
+
+import (
+	"resilience/internal/rng"
+)
+
+// SchemaVersion identifies the engine's execution semantics. It is part
+// of the content-addressed result-cache key: any change to how stages
+// run (ordering, seam firing, RNG derivation) must bump it so stale
+// cached results are invalidated rather than replayed.
+const SchemaVersion = 1
+
+// Stage is one named unit of an experiment.
+type Stage struct {
+	// Name is the stage's seam name. The engine fires the context's
+	// Strike at it before Fn runs, which doubles as the cancellation
+	// check. An empty name skips both — used by Single so unmigrated
+	// monolithic bodies keep their exact pre-engine behaviour.
+	Name string
+	// RNG, when non-nil, is the random source in scope at this stage's
+	// seam: an "rng" fault at the seam perturbs this stream, exactly as
+	// the hand-placed Strike calls did before the engine existed.
+	RNG *rng.Source
+	// Fn does the stage's work. It receives a per-stage source derived
+	// from the context (see Context.StageRNG); stages that thread their
+	// own legacy streams may ignore it. A nil Fn is a pure seam stage —
+	// a named cancellation/fault point with no work of its own.
+	Fn func(r *rng.Source) error
+}
+
+// Context carries the per-attempt state a stage list runs under. It is
+// built by the experiments package from its Config, as plain closures so
+// this package needs no knowledge of hooks or recorders.
+type Context struct {
+	// ID is the experiment ID, e.g. "e02". It salts per-stage RNG
+	// derivation.
+	ID string
+	// Seed is the experiment's derived seed (not the CLI root seed).
+	Seed uint64
+	// Strike fires the fault/cancellation seam with the given name and
+	// in-scope source; nil disables seam firing (unit tests).
+	Strike func(seam string, r *rng.Source) error
+	// OnStage, when non-nil, observes every stage start (for obs
+	// counters); it must not fail.
+	OnStage func(index int, name string)
+}
+
+// StageRNG derives the independent random source handed to stage index
+// with the given name: rng.DeriveStage over (seed, "id/name", index).
+// The derivation depends only on the experiment's seed and the stage's
+// identity, never on execution order or sibling stages.
+func (ctx Context) StageRNG(index int, name string) *rng.Source {
+	return rng.New(rng.DeriveStage(ctx.Seed, ctx.ID+"/"+name, index))
+}
+
+// Run executes the stages in order. Before each named stage it reports
+// the stage to OnStage and fires Strike at the stage's name — so a
+// canceled attempt fails fast at its next stage boundary and fault
+// plans can target the stage as a seam. Errors are returned exactly as
+// the stage (or strike) produced them, unwrapped, so rendered error
+// text is identical to the pre-engine monolithic form.
+func Run(ctx Context, stages []Stage) error {
+	for i, st := range stages {
+		if ctx.OnStage != nil {
+			ctx.OnStage(i, st.Name)
+		}
+		if st.Name != "" && ctx.Strike != nil {
+			if err := ctx.Strike(st.Name, st.RNG); err != nil {
+				return err
+			}
+		}
+		if st.Fn == nil {
+			continue
+		}
+		if err := st.Fn(ctx.StageRNG(i, st.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Single wraps a monolithic experiment body as a one-stage list: the
+// compatibility shim for unmigrated experiments. The stage is unnamed,
+// so no extra seam fires and no extra cancellation check runs — the
+// body behaves byte-identically to its pre-engine form.
+func Single(fn func() error) []Stage {
+	return []Stage{{Fn: func(*rng.Source) error { return fn() }}}
+}

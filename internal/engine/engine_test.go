@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+// TestRunOrderAndSeams: stages run in declaration order, and every
+// named stage fires its seam (with its declared RNG) before its Fn.
+func TestRunOrderAndSeams(t *testing.T) {
+	r := rng.New(7)
+	var trace []string
+	ctx := Context{
+		ID: "t01", Seed: 42,
+		Strike: func(seam string, src *rng.Source) error {
+			if seam == "generate" && src != r {
+				t.Errorf("seam %q fired with wrong RNG", seam)
+			}
+			trace = append(trace, "strike:"+seam)
+			return nil
+		},
+		OnStage: func(i int, name string) {
+			trace = append(trace, fmt.Sprintf("stage%d:%s", i, name))
+		},
+	}
+	err := Run(ctx, []Stage{
+		{Name: "generate", RNG: r, Fn: func(*rng.Source) error {
+			trace = append(trace, "fn:generate")
+			return nil
+		}},
+		{Fn: func(*rng.Source) error { trace = append(trace, "fn:anon"); return nil }},
+		{Name: "seam-only"}, // nil Fn: pure cancellation/fault point
+		{Name: "report", Fn: func(*rng.Source) error { trace = append(trace, "fn:report"); return nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"stage0:generate", "strike:generate", "fn:generate",
+		"stage1:", "fn:anon",
+		"stage2:seam-only", "strike:seam-only",
+		"stage3:report", "strike:report", "fn:report",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace\n got %v\nwant %v", trace, want)
+	}
+}
+
+// TestRunStrikeErrorStopsLaterStages: a failing seam aborts the run
+// with the strike's error verbatim; later stages never start.
+func TestRunStrikeErrorStopsLaterStages(t *testing.T) {
+	boom := errors.New("injected outage")
+	ran := false
+	err := Run(Context{
+		Strike: func(seam string, _ *rng.Source) error {
+			if seam == "fail-here" {
+				return boom
+			}
+			return nil
+		},
+	}, []Stage{
+		{Name: "ok", Fn: func(*rng.Source) error { return nil }},
+		{Name: "fail-here", Fn: func(*rng.Source) error { ran = true; return nil }},
+		{Name: "never", Fn: func(*rng.Source) error { ran = true; return nil }},
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the strike error unwrapped", err)
+	}
+	if ran {
+		t.Fatal("stages after the failing seam still ran")
+	}
+}
+
+// TestRunFnErrorUnwrapped: stage errors surface exactly as returned —
+// no wrapping, so rendered error text matches the monolithic form.
+func TestRunFnErrorUnwrapped(t *testing.T) {
+	boom := errors.New("stage work failed")
+	err := Run(Context{}, []Stage{
+		{Name: "a", Fn: func(*rng.Source) error { return boom }},
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want stage error unwrapped", err)
+	}
+}
+
+// TestSingleParity: the compatibility shim runs the body once, fires no
+// seam, and passes the body's error through.
+func TestSingleParity(t *testing.T) {
+	var strikes int
+	calls := 0
+	boom := errors.New("body error")
+	err := Run(Context{
+		Strike: func(string, *rng.Source) error { strikes++; return nil },
+	}, Single(func() error { calls++; return boom }))
+	if err != boom || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the body error after one call", err, calls)
+	}
+	if strikes != 0 {
+		t.Fatalf("Single fired %d seams, want 0 (shim must not add seams)", strikes)
+	}
+}
+
+// TestStageRNGDeterministic: the per-stage hand-off depends only on
+// (seed, id, index, name) — stable across calls, distinct across
+// stages and seeds.
+func TestStageRNGDeterministic(t *testing.T) {
+	ctx := Context{ID: "e99", Seed: 1234}
+	a1 := ctx.StageRNG(0, "generate").Uint64()
+	a2 := ctx.StageRNG(0, "generate").Uint64()
+	if a1 != a2 {
+		t.Fatal("StageRNG is not deterministic for identical stage identity")
+	}
+	b := ctx.StageRNG(1, "generate").Uint64()
+	c := ctx.StageRNG(0, "report").Uint64()
+	d := Context{ID: "e99", Seed: 1235}.StageRNG(0, "generate").Uint64()
+	if a1 == b || a1 == c || a1 == d {
+		t.Fatalf("StageRNG streams collide across index/name/seed: %d %d %d %d", a1, b, c, d)
+	}
+}
+
+// TestRunNilCallbacks: a context with no Strike/OnStage still runs
+// every stage (unit-test ergonomics; Record always installs Strike).
+func TestRunNilCallbacks(t *testing.T) {
+	n := 0
+	err := Run(Context{}, []Stage{
+		{Name: "a", Fn: func(*rng.Source) error { n++; return nil }},
+		{Name: "b", Fn: func(*rng.Source) error { n++; return nil }},
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("err=%v n=%d, want both stages to run", err, n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"resilience/internal/ca"
 	"resilience/internal/chaos"
 	"resilience/internal/dynamics"
+	"resilience/internal/engine"
 	"resilience/internal/mape"
 	"resilience/internal/metrics"
 	"resilience/internal/modeswitch"
@@ -24,7 +25,7 @@ func init() {
 	Register(Experiment{ID: "e16", Title: "Sea-wall height optimization under Pareto floods",
 		Source: "§3.4.6", Modules: []string{"xevent", "rng"}, SupportsQuick: true, Run: E16})
 	Register(Experiment{ID: "e17", Title: "Mode switching on/off under an X-event",
-		Source: "§3.4.6", Modules: []string{"mape", "modeswitch", "chaos", "sysmodel", "metrics", "rng"}, Run: E17})
+		Source: "§3.4.6", Modules: []string{"mape", "modeswitch", "chaos", "sysmodel", "metrics", "rng"}, Stages: E17Stages})
 }
 
 // caForest is a small indirection so experiment files stay import-tidy.
@@ -209,11 +210,16 @@ func E16(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E17 reproduces the mode-switching claim of §3.4.6: under an identical
-// X-event, a system that switches to an emergency policy (shed load,
-// mobilize repairs) suffers a much smaller loss integral than one that
-// keeps its normal policy.
-func E17(rec *Recorder, cfg Config) error {
+// E17Stages reproduces the mode-switching claim of §3.4.6: under an
+// identical X-event, a system that switches to an emergency policy
+// (shed load, mobilize repairs) suffers a much smaller loss integral
+// than one that keeps its normal policy.
+//
+// Stages: "run/normal-only" and "run/mode-switching" simulate the two
+// policies; "report" renders the comparison. The per-step cancellation
+// polls of the pre-engine body are replaced by the engine's per-stage
+// checks.
+func E17Stages(rec *Recorder, cfg Config) []engine.Stage {
 	steps := 60
 	run := func(withSwitch bool) (loss float64, emergencySteps int, err error) {
 		sys, _, err := buildFarm(20, 200, 0)
@@ -238,9 +244,6 @@ func E17(rec *Recorder, cfg Config) error {
 		r := rng.New(cfg.Seed)
 		tr := metrics.NewTrace(0, 1)
 		for step := 0; step < steps; step++ {
-			if cfg.Canceled() {
-				return 0, 0, ErrCanceled
-			}
 			if step == 5 {
 				if err := (chaos.CrashRandom{N: 16}).Inject(sys, r); err != nil {
 					return 0, 0, err
@@ -265,19 +268,27 @@ func E17(rec *Recorder, cfg Config) error {
 		loss, err = tr.Loss()
 		return loss, emergencySteps, err
 	}
-	lossOff, _, err := run(false)
-	if err != nil {
-		return err
+	var lossOff, lossOn float64
+	var emergency int
+	return []engine.Stage{
+		{Name: "run/normal-only", Fn: func(*rng.Source) error {
+			var err error
+			lossOff, _, err = run(false)
+			return err
+		}},
+		{Name: "run/mode-switching", Fn: func(*rng.Source) error {
+			var err error
+			lossOn, emergency, err = run(true)
+			return err
+		}},
+		{Name: "report", Fn: func(*rng.Source) error {
+			tb := rec.Table("mode-switching", "policy", "lossIntegral", "stepsInEmergencyMode")
+			tb.Row(S("normal-only"), F("%.1f", lossOff), D(0))
+			tb.Row(S("mode-switching"), F("%.1f", lossOn), D(emergency))
+			reduction := 100 * (lossOff - lossOn) / lossOff
+			rec.Notef("mode switching reduced the loss integral by %.0f%%", reduction)
+			rec.Scalar("loss-reduction-pct", reduction)
+			return nil
+		}},
 	}
-	lossOn, emergency, err := run(true)
-	if err != nil {
-		return err
-	}
-	tb := rec.Table("mode-switching", "policy", "lossIntegral", "stepsInEmergencyMode")
-	tb.Row(S("normal-only"), F("%.1f", lossOff), D(0))
-	tb.Row(S("mode-switching"), F("%.1f", lossOn), D(emergency))
-	reduction := 100 * (lossOff - lossOn) / lossOff
-	rec.Notef("mode switching reduced the loss integral by %.0f%%", reduction)
-	rec.Scalar("loss-reduction-pct", reduction)
-	return nil
 }

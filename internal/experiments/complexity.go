@@ -6,6 +6,7 @@ import (
 
 	"resilience/internal/ca"
 	"resilience/internal/chaos"
+	"resilience/internal/engine"
 	"resilience/internal/graph"
 	"resilience/internal/magent"
 	"resilience/internal/rng"
@@ -15,23 +16,26 @@ import (
 
 func init() {
 	Register(Experiment{ID: "e18", Title: "Redundancy/diversity/adaptability budget sweep",
-		Source: "§4.4", Modules: []string{"magent"}, SupportsQuick: true, Run: E18})
+		Source: "§4.4", Modules: []string{"magent"}, SupportsQuick: true, Stages: E18Stages})
 	Register(Experiment{ID: "e19", Title: "Sandpile criticality and small interventions",
 		Source: "§4.5", Modules: []string{"ca", "stats", "rng"}, SupportsQuick: true, Run: E19})
 	Register(Experiment{ID: "e20", Title: "Scale-free robustness: random vs targeted attack",
-		Source: "§5.1", Modules: []string{"graph", "rng"}, SupportsQuick: true, Run: E20})
+		Source: "§5.1", Modules: []string{"graph", "rng"}, SupportsQuick: true, Stages: E20Stages})
 	Register(Experiment{ID: "e21", Title: "Universal-resource reserve vs shock survival",
 		Source: "§3.1.3", Modules: []string{"sysmodel", "chaos", "metrics", "rng"}, Run: E21})
 	Register(Experiment{ID: "e22", Title: "Interoperability as redundancy (siloed vs shared)",
 		Source: "§3.1.3", Modules: []string{"sysmodel"}, Run: E22})
 }
 
-// E18 answers the §4.4 question on the multi-agent testbed: sweep the
-// redundancy/diversity/adaptability budget simplex and rank allocations
-// by survival under a shifting environment. Expected shape: corner
-// allocations underperform; the optimum funds adaptability and diversity
-// when the environment keeps moving.
-func E18(rec *Recorder, cfg Config) error {
+// E18Stages answers the §4.4 question on the multi-agent testbed: sweep
+// the redundancy/diversity/adaptability budget simplex and rank
+// allocations by survival under a shifting environment. Expected shape:
+// corner allocations underperform; the optimum funds adaptability and
+// diversity when the environment keeps moving.
+//
+// Stages: "sweep" runs the allocation-simplex Monte-Carlo sweep (the
+// heavy part); "report" ranks the outcomes and renders the table.
+func E18Stages(rec *Recorder, cfg Config) []engine.Stage {
 	resolution := 4
 	steps := 200
 	trials := 8
@@ -45,32 +49,38 @@ func E18(rec *Recorder, cfg Config) error {
 	base.PopulationCap = 150
 	params := magent.DefaultTradeoffParams()
 	scenario := magent.MaskScenario{CareBits: 12, ShiftDistance: 5, ShiftEvery: 35, Shifts: 4}
-	outcomes, err := magent.SweepAllocations(base, params, scenario, resolution, steps, trials, cfg.Seed)
-	if err != nil {
-		return err
+	var outcomes []magent.TradeoffOutcome
+	return []engine.Stage{
+		{Name: "sweep", Fn: func(*rng.Source) error {
+			var err error
+			outcomes, err = magent.SweepAllocations(base, params, scenario, resolution, steps, trials, cfg.Seed)
+			return err
+		}},
+		{Name: "report", Fn: func(*rng.Source) error {
+			sort.SliceStable(outcomes, func(i, j int) bool {
+				return outcomes[i].SurvivalRate > outcomes[j].SurvivalRate
+			})
+			tb := rec.Table("budget-sweep", "rank", "redundancy", "diversity", "adaptability", "survival", "meanRecovery", "meanFinalPop")
+			show := len(outcomes)
+			if show > 8 {
+				show = 8
+			}
+			for i := 0; i < show; i++ {
+				o := outcomes[i]
+				recCell := S("-")
+				if !math.IsNaN(o.MeanRecovery) {
+					recCell = F("%.1f", o.MeanRecovery)
+				}
+				tb.Row(D(i+1), F("%.2f", o.Allocation.Redundancy), F("%.2f", o.Allocation.Diversity),
+					F("%.2f", o.Allocation.Adaptability), F("%.2f", o.SurvivalRate), recCell, F("%.0f", o.MeanFinalPop))
+			}
+			worst := outcomes[len(outcomes)-1]
+			rec.Notef("worst allocation: R=%.2f D=%.2f A=%.2f survival=%.2f",
+				worst.Allocation.Redundancy, worst.Allocation.Diversity,
+				worst.Allocation.Adaptability, worst.SurvivalRate)
+			return nil
+		}},
 	}
-	sort.SliceStable(outcomes, func(i, j int) bool {
-		return outcomes[i].SurvivalRate > outcomes[j].SurvivalRate
-	})
-	tb := rec.Table("budget-sweep", "rank", "redundancy", "diversity", "adaptability", "survival", "meanRecovery", "meanFinalPop")
-	show := len(outcomes)
-	if show > 8 {
-		show = 8
-	}
-	for i := 0; i < show; i++ {
-		o := outcomes[i]
-		recCell := S("-")
-		if !math.IsNaN(o.MeanRecovery) {
-			recCell = F("%.1f", o.MeanRecovery)
-		}
-		tb.Row(D(i+1), F("%.2f", o.Allocation.Redundancy), F("%.2f", o.Allocation.Diversity),
-			F("%.2f", o.Allocation.Adaptability), F("%.2f", o.SurvivalRate), recCell, F("%.0f", o.MeanFinalPop))
-	}
-	worst := outcomes[len(outcomes)-1]
-	rec.Notef("worst allocation: R=%.2f D=%.2f A=%.2f survival=%.2f",
-		worst.Allocation.Redundancy, worst.Allocation.Diversity,
-		worst.Allocation.Adaptability, worst.SurvivalRate)
-	return nil
 }
 
 // E19 reproduces §4.5 (Bak): the driven sandpile self-organizes to a
@@ -124,75 +134,94 @@ func E19(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E20 reproduces §5.1 (Barabási): giant-component robustness curves of
-// scale-free vs random graphs under random failure and targeted hub
-// attack, plus SIR epidemics with hub vs random vaccination. Expected
-// shape: scale-free survives random failure but collapses under hub
-// attack; hub vaccination contains the epidemic.
-func E20(rec *Recorder, cfg Config) error {
+// E20Stages reproduces §5.1 (Barabási): giant-component robustness
+// curves of scale-free vs random graphs under random failure and
+// targeted hub attack, plus SIR epidemics with hub vs random
+// vaccination. Expected shape: scale-free survives random failure but
+// collapses under hub attack; hub vaccination contains the epidemic.
+//
+// Stages: "generate" builds the BA graph; "graph/generate" is the
+// historical post-generation seam (experiment stream in scope) and
+// builds the ER twin plus the attack table; one
+// "attack/<graph>/<strategy>" stage per combination; "sir" runs the
+// vaccination comparison.
+func E20Stages(rec *Recorder, cfg Config) []engine.Stage {
 	n := 2000
 	if cfg.Quick {
 		n = 500
 	}
 	r := rng.New(cfg.Seed)
-	ba, err := graph.BarabasiAlbert(n, 2, r)
-	if err != nil {
-		return err
+	var (
+		ba, er   *graph.Graph
+		removals int
+		tb       *Table
+	)
+	stages := []engine.Stage{
+		{Name: "generate", RNG: r, Fn: func(*rng.Source) error {
+			var err error
+			ba, err = graph.BarabasiAlbert(n, 2, r)
+			return err
+		}},
+		{Name: "graph/generate", RNG: r, Fn: func(*rng.Source) error {
+			meanDeg := 2.0 * float64(ba.M()) / float64(n)
+			var err error
+			er, err = graph.ErdosRenyi(n, meanDeg/float64(n-1), r)
+			if err != nil {
+				return err
+			}
+			removals = n / 4
+			tb = rec.Table("attack-curves", "graph", "attack", "giantFraction@5%", "@15%", "@25%")
+			return nil
+		}},
 	}
-	if err := cfg.Strike("graph/generate", r); err != nil {
-		return err
-	}
-	meanDeg := 2.0 * float64(ba.M()) / float64(n)
-	er, err := graph.ErdosRenyi(n, meanDeg/float64(n-1), r)
-	if err != nil {
-		return err
-	}
-	removals := n / 4
-	tb := rec.Table("attack-curves", "graph", "attack", "giantFraction@5%", "@15%", "@25%")
 	for _, g := range []struct {
 		name string
-		g    *graph.Graph
-	}{{"scale-free(BA)", ba}, {"random(ER)", er}} {
+		g    **graph.Graph
+	}{{"scale-free(BA)", &ba}, {"random(ER)", &er}} {
 		for _, atk := range []struct {
 			name     string
 			strategy graph.AttackStrategy
 		}{{"random", graph.RandomAttack}, {"targeted", graph.TargetedAttack}} {
-			if cfg.Canceled() {
-				return ErrCanceled
-			}
-			curve, err := graph.AttackCurve(g.g, atk.strategy, removals, r)
-			if err != nil {
-				return err
-			}
-			at := func(frac float64) float64 {
-				i := int(frac * float64(n))
-				if i >= len(curve) {
-					i = len(curve) - 1
+			g, atk := g, atk
+			stages = append(stages, engine.Stage{Name: "attack/" + g.name + "/" + atk.name, RNG: r, Fn: func(*rng.Source) error {
+				curve, err := graph.AttackCurve(*g.g, atk.strategy, removals, r)
+				if err != nil {
+					return err
 				}
-				return curve[i]
-			}
-			tb.Row(S(g.name), S(atk.name), F("%.3f", at(0.05)), F("%.3f", at(0.15)), F("%.3f", at(0.25)))
+				at := func(frac float64) float64 {
+					i := int(frac * float64(n))
+					if i >= len(curve) {
+						i = len(curve) - 1
+					}
+					return curve[i]
+				}
+				tb.Row(S(g.name), S(atk.name), F("%.3f", at(0.05)), F("%.3f", at(0.15)), F("%.3f", at(0.25)))
+				return nil
+			}})
 		}
 	}
 	// Epidemic containment.
-	sirCfg := graph.SIRConfig{Beta: 0.25, Gamma: 0.1, InitialInfections: 2}
-	budget := n / 10
-	tb2 := rec.Table("vaccination", "vaccination", "attackRate", "peakInfected")
-	for _, v := range []struct {
-		name string
-		vac  graph.Vaccinator
-	}{{"none", nil}, {"random-10%", graph.RandomVaccinator{}}, {"hubs-10%", graph.HubVaccinator{}}} {
-		var chosen []int
-		if v.vac != nil {
-			chosen = v.vac.Select(ba, budget, r)
+	stages = append(stages, engine.Stage{Name: "sir", RNG: r, Fn: func(*rng.Source) error {
+		sirCfg := graph.SIRConfig{Beta: 0.25, Gamma: 0.1, InitialInfections: 2}
+		budget := n / 10
+		tb2 := rec.Table("vaccination", "vaccination", "attackRate", "peakInfected")
+		for _, v := range []struct {
+			name string
+			vac  graph.Vaccinator
+		}{{"none", nil}, {"random-10%", graph.RandomVaccinator{}}, {"hubs-10%", graph.HubVaccinator{}}} {
+			var chosen []int
+			if v.vac != nil {
+				chosen = v.vac.Select(ba, budget, r)
+			}
+			res, err := graph.RunSIR(ba, sirCfg, chosen, r)
+			if err != nil {
+				return err
+			}
+			tb2.Row(S(v.name), F("%.3f", res.AttackRate), D(res.PeakInfected))
 		}
-		res, err := graph.RunSIR(ba, sirCfg, chosen, r)
-		if err != nil {
-			return err
-		}
-		tb2.Row(S(v.name), F("%.3f", res.AttackRate), D(res.PeakInfected))
-	}
-	return nil
+		return nil
+	}})
+	return stages
 }
 
 // E21 reproduces §3.1.3: a reserve of universal resource (money, stored

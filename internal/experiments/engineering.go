@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"resilience/internal/engine"
 	"resilience/internal/nver"
 	"resilience/internal/portfolio"
 	"resilience/internal/rng"
@@ -9,7 +10,7 @@ import (
 
 func init() {
 	Register(Experiment{ID: "e09", Title: "Storage durability vs redundancy scheme",
-		Source: "§3.1.2", Modules: []string{"storage", "rng"}, SupportsQuick: true, Run: E09})
+		Source: "§3.1.2", Modules: []string{"storage", "rng"}, SupportsQuick: true, Stages: E09Stages})
 	Register(Experiment{ID: "e10", Title: "N-version voting: shared vs diverse designs",
 		Source: "§3.2.2", Modules: []string{"nver", "rng"}, SupportsQuick: true, Run: E10})
 	Register(Experiment{ID: "e11", Title: "Forest-fire suppression policy vs large fires",
@@ -18,11 +19,14 @@ func init() {
 		Source: "§3.2.3", Modules: []string{"portfolio", "rng"}, SupportsQuick: true, Run: E12})
 }
 
-// E09 reproduces the RAID claim of §3.1.2: data-loss probability over a
-// mission falls steeply with redundancy, at the cost of extra disks.
-// Expected shape: striping ≈ certain loss; double parity ≪ single
-// parity ≪ striping.
-func E09(rec *Recorder, cfg Config) error {
+// E09Stages reproduces the RAID claim of §3.1.2: data-loss probability
+// over a mission falls steeply with redundancy, at the cost of extra
+// disks. Expected shape: striping ≈ certain loss; double parity ≪
+// single parity ≪ striping.
+//
+// Stages: "simulate" runs the Monte-Carlo scheme comparison (the heavy
+// part); "report" renders the durability table from its results.
+func E09Stages(rec *Recorder, cfg Config) []engine.Stage {
 	r := rng.New(cfg.Seed)
 	trials := 2000
 	steps := 500
@@ -30,21 +34,27 @@ func E09(rec *Recorder, cfg Config) error {
 		trials = 200
 		steps = 200
 	}
-	results, err := storage.CompareSchemes(8, 0.002, 5, steps, trials, r)
-	if err != nil {
-		return err
-	}
-	tb := rec.Table("durability", "scheme", "totalDisks", "lossProb", "meanTimeToLoss")
-	for _, s := range []storage.Scheme{storage.Striping, storage.Mirroring, storage.SingleParity, storage.DoubleParity} {
-		a := storage.Array{DataDisks: 8, Scheme: s, FailProb: 0.002, RepairSteps: 5}
-		total, err := a.TotalDisks()
-		if err != nil {
+	var results map[storage.Scheme]storage.MissionResult
+	return []engine.Stage{
+		{Name: "simulate", RNG: r, Fn: func(*rng.Source) error {
+			var err error
+			results, err = storage.CompareSchemes(8, 0.002, 5, steps, trials, r)
 			return err
-		}
-		res := results[s]
-		tb.Row(C("%s", s), D(total), F("%.4f", res.LossProb()), F("%.0f", res.MeanTimeToLoss))
+		}},
+		{Name: "report", Fn: func(*rng.Source) error {
+			tb := rec.Table("durability", "scheme", "totalDisks", "lossProb", "meanTimeToLoss")
+			for _, s := range []storage.Scheme{storage.Striping, storage.Mirroring, storage.SingleParity, storage.DoubleParity} {
+				a := storage.Array{DataDisks: 8, Scheme: s, FailProb: 0.002, RepairSteps: 5}
+				total, err := a.TotalDisks()
+				if err != nil {
+					return err
+				}
+				res := results[s]
+				tb.Row(C("%s", s), D(total), F("%.4f", res.LossProb()), F("%.0f", res.MeanTimeToLoss))
+			}
+			return nil
+		}},
 	}
-	return nil
 }
 
 // E10 reproduces the Boeing 777 claim of §3.2.2: with a shared design the

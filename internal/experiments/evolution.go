@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"resilience/internal/biosim"
 	"resilience/internal/dynamics"
+	"resilience/internal/engine"
 	"resilience/internal/magent"
 	"resilience/internal/rng"
 	"resilience/internal/stats"
@@ -12,9 +15,9 @@ func init() {
 	Register(Experiment{ID: "e05", Title: "Replicator dynamics: linear vs concave fitness",
 		Source: "Fig 2, §3.2.4", Modules: []string{"dynamics"}, SupportsQuick: true, Run: E05})
 	Register(Experiment{ID: "e06", Title: "Diversity index vs survival under environment shifts",
-		Source: "§3.2.4", Modules: []string{"magent", "stats", "rng"}, SupportsQuick: true, Run: E06})
+		Source: "§3.2.4", Modules: []string{"magent", "stats", "rng"}, SupportsQuick: true, Stages: E06Stages})
 	Register(Experiment{ID: "e07", Title: "Synthetic E. coli genome single-knockout screen",
-		Source: "§3.1.1", Modules: []string{"biosim", "rng"}, SupportsQuick: true, Run: E07})
+		Source: "§3.1.1", Modules: []string{"biosim", "rng"}, SupportsQuick: true, Stages: E07Stages})
 	Register(Experiment{ID: "e08", Title: "Stickleback dormant armor allele reactivation",
 		Source: "Fig 1, §3.1.1", Modules: []string{"biosim", "rng"}, SupportsQuick: true, Run: E08})
 }
@@ -78,10 +81,14 @@ func E05(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E06 relates the paper's diversity index to survival probability: worlds
-// founded with 1..16 distinct genotypes face the same environment shift
-// schedule. Expected shape: survival rises with founder diversity.
-func E06(rec *Recorder, cfg Config) error {
+// E06Stages relates the paper's diversity index to survival probability:
+// worlds founded with 1..16 distinct genotypes face the same environment
+// shift schedule. Expected shape: survival rises with founder diversity.
+//
+// Stages: one "founders/<k>" stage per founder count; each runs its own
+// trial batch on a stream seeded independently (cfg.Seed + k), as the
+// pre-engine body did.
+func E06Stages(rec *Recorder, cfg Config) []engine.Stage {
 	trials := 40
 	steps := 100
 	if cfg.Quick {
@@ -102,84 +109,102 @@ func E06(rec *Recorder, cfg Config) error {
 	base.MutationRate = 0.002
 	scenario := magent.MaskScenario{CareBits: 4, ShiftDistance: 2, ShiftEvery: 25, Shifts: 1}
 	tb := rec.Table("diversity-survival", "founderGenotypes", "survivalRate", "95%CI", "meanDiversityG(t0)")
+	var stages []engine.Stage
 	for _, founders := range []int{1, 2, 4, 8, 16} {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		cfgW := base
-		cfgW.FounderGenotypes = founders
-		root := rng.New(cfg.Seed + uint64(founders))
-		outcomes := make([]float64, 0, trials)
-		var gSum float64
-		for trial := 0; trial < trials; trial++ {
-			r := root.Split()
-			env, shifts, err := scenario.Generate(cfgW.GenomeLen, r)
+		founders := founders
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("founders/%d", founders), Fn: func(*rng.Source) error {
+			cfgW := base
+			cfgW.FounderGenotypes = founders
+			root := rng.New(cfg.Seed + uint64(founders))
+			outcomes := make([]float64, 0, trials)
+			var gSum float64
+			for trial := 0; trial < trials; trial++ {
+				r := root.Split()
+				env, shifts, err := scenario.Generate(cfgW.GenomeLen, r)
+				if err != nil {
+					return err
+				}
+				world, err := magent.NewWorld(cfgW, env, r)
+				if err != nil {
+					return err
+				}
+				g, _ := world.DiversitySnapshot()
+				gSum += g
+				res, err := world.Run(steps, shifts)
+				if err != nil {
+					return err
+				}
+				if res.Extinct {
+					outcomes = append(outcomes, 0)
+				} else {
+					outcomes = append(outcomes, 1)
+				}
+			}
+			lo, hi, err := stats.BootstrapCI(outcomes, 0.95, 1000, root.Intn)
 			if err != nil {
 				return err
 			}
-			world, err := magent.NewWorld(cfgW, env, r)
-			if err != nil {
-				return err
-			}
-			g, _ := world.DiversitySnapshot()
-			gSum += g
-			res, err := world.Run(steps, shifts)
-			if err != nil {
-				return err
-			}
-			if res.Extinct {
-				outcomes = append(outcomes, 0)
-			} else {
-				outcomes = append(outcomes, 1)
-			}
-		}
-		lo, hi, err := stats.BootstrapCI(outcomes, 0.95, 1000, root.Intn)
-		if err != nil {
-			return err
-		}
-		tb.Row(D(founders), F("%.2f", stats.Mean(outcomes)),
-			V([]float64{lo, hi}, "[%.2f, %.2f]", lo, hi), F("%.5f", gSum/float64(trials)))
+			tb.Row(D(founders), F("%.2f", stats.Mean(outcomes)),
+				V([]float64{lo, hi}, "[%.2f, %.2f]", lo, hi), F("%.5f", gSum/float64(trials)))
+			return nil
+		}})
 	}
-	return nil
+	return stages
 }
 
-// E07 reproduces the E. coli claim of §3.1.1 on a synthetic genome: a
-// single-gene knockout screen plus multi-knockout degradation. Expected
-// shape: ~93% of single knockouts viable (only essential singletons are
-// lethal); viability decays with simultaneous knockouts.
-func E07(rec *Recorder, cfg Config) error {
+// E07Stages reproduces the E. coli claim of §3.1.1 on a synthetic
+// genome: a single-gene knockout screen plus multi-knockout degradation.
+// Expected shape: ~93% of single knockouts viable (only essential
+// singletons are lethal); viability decays with simultaneous knockouts.
+//
+// Stages: "generate" builds the genome, runs the single-knockout screen
+// and records the note/table (they must follow the note, so the table is
+// created in-stage, not in the builder); one "knockout/k<N>" stage per
+// simultaneous-knockout count.
+func E07Stages(rec *Recorder, cfg Config) []engine.Stage {
 	r := rng.New(cfg.Seed)
 	spec := biosim.EColiSpec()
 	if cfg.Quick {
 		spec = biosim.GenomeSpec{Genes: 430, EssentialSingletons: 30, RedundantPathways: 160, MaxRedundancy: 4}
 	}
-	g, err := biosim.GenerateGenome(spec, r)
-	if err != nil {
-		return err
-	}
-	viable := g.KnockoutScreen()
-	rec.Notef("genes=%d pathways=%d single-knockout viable=%d (%.1f%%), lethal=%d",
-		g.NumGenes(), g.NumPathways(), viable,
-		100*float64(viable)/float64(g.NumGenes()), g.NumGenes()-viable)
-	rec.Scalar("single-knockout-viable-fraction", float64(viable)/float64(g.NumGenes()))
-	tb := rec.Table("multi-knockout", "simultaneousKnockouts", "viabilityRate")
 	trials := 200
 	if cfg.Quick {
 		trials = 50
 	}
-	for _, k := range []int{1, 5, 20, 100, 400} {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		ok := 0
-		for i := 0; i < trials; i++ {
-			if g.RandomKnockouts(k, r) {
-				ok++
+	var (
+		g  *biosim.Genome
+		tb *Table
+	)
+	stages := []engine.Stage{
+		{Name: "generate", RNG: r, Fn: func(*rng.Source) error {
+			var err error
+			g, err = biosim.GenerateGenome(spec, r)
+			if err != nil {
+				return err
 			}
-		}
-		tb.Row(D(k), F("%.3f", float64(ok)/float64(trials)))
+			viable := g.KnockoutScreen()
+			rec.Notef("genes=%d pathways=%d single-knockout viable=%d (%.1f%%), lethal=%d",
+				g.NumGenes(), g.NumPathways(), viable,
+				100*float64(viable)/float64(g.NumGenes()), g.NumGenes()-viable)
+			rec.Scalar("single-knockout-viable-fraction", float64(viable)/float64(g.NumGenes()))
+			tb = rec.Table("multi-knockout", "simultaneousKnockouts", "viabilityRate")
+			return nil
+		}},
 	}
-	return nil
+	for _, k := range []int{1, 5, 20, 100, 400} {
+		k := k
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("knockout/k%d", k), RNG: r, Fn: func(*rng.Source) error {
+			ok := 0
+			for i := 0; i < trials; i++ {
+				if g.RandomKnockouts(k, r) {
+					ok++
+				}
+			}
+			tb.Row(D(k), F("%.3f", float64(ok)/float64(trials)))
+			return nil
+		}})
+	}
+	return stages
 }
 
 // E08 reproduces Fig 1: the armor allele declines under cost without

@@ -17,6 +17,8 @@ import (
 	"runtime/debug"
 	"sort"
 
+	"resilience/internal/engine"
+	"resilience/internal/obs"
 	"resilience/internal/rng"
 )
 
@@ -33,12 +35,17 @@ type Config struct {
 	// inside the experiment. Production runs leave it nil.
 	Hook Hook
 	// Cancel, when non-nil, is closed by the runner when this attempt
-	// has been abandoned (it hit the per-attempt timeout). Long-running
-	// experiments poll Canceled at iteration boundaries — and every
-	// Strike checks it — so an abandoned attempt drains promptly
-	// instead of leaking its goroutine and burning CPU alongside the
-	// retry.
+	// has been abandoned (it hit the per-attempt timeout). Staged
+	// experiments observe it automatically at every stage boundary
+	// (each named stage fires Strike, which checks it); monolithic
+	// bodies poll Canceled at iteration boundaries. Either way an
+	// abandoned attempt drains promptly instead of leaking its
+	// goroutine and burning CPU alongside the retry.
 	Cancel <-chan struct{}
+	// Obs, when non-nil, receives engine-level counters (stage starts).
+	// The runner threads its observer through here; direct Record
+	// callers may leave it nil.
+	Obs *obs.Observer
 }
 
 // ErrCanceled is returned from an attempt that observed its cancel
@@ -84,6 +91,12 @@ func (c Config) Strike(seam string, r *rng.Source) error {
 // Runner executes one experiment, recording its output.
 type Runner func(rec *Recorder, cfg Config) error
 
+// StageBuilder declares an experiment's ordered stage list for one run.
+// It is called after the body seam fires, before any stage runs; it may
+// create tables/notes eagerly only when the pre-engine code did so
+// before its first seam or poll, so faulted runs render identically.
+type StageBuilder func(rec *Recorder, cfg Config) []engine.Stage
+
 // Experiment is a registry entry: the metadata that identifies one
 // experiment plus the function that runs it.
 type Experiment struct {
@@ -98,8 +111,14 @@ type Experiment struct {
 	// SupportsQuick reports whether Config.Quick shrinks this
 	// experiment's workload (some workloads are already small).
 	SupportsQuick bool
-	// Run executes the experiment.
+	// Run executes the experiment as one monolithic body. Exactly one of
+	// Run and Stages must be set; Run is the legacy form, executed
+	// through the engine.Single compatibility shim.
 	Run Runner
+	// Stages declares the experiment as an ordered list of named stages
+	// (see internal/engine): each stage boundary is a cancellation
+	// point and a fault seam named after the stage.
+	Stages StageBuilder
 }
 
 var registry = map[string]Experiment{}
@@ -108,8 +127,11 @@ var registry = map[string]Experiment{}
 // or incomplete registrations — both are programmer errors caught at
 // init time by any test or run.
 func Register(e Experiment) {
-	if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
+	if e.ID == "" || e.Title == "" || e.Source == "" || (e.Run == nil && e.Stages == nil) {
 		panic(fmt.Sprintf("experiments: incomplete registration %+v", e))
+	}
+	if e.Run != nil && e.Stages != nil {
+		panic("experiments: " + e.ID + " registers both Run and Stages; set exactly one")
 	}
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate registration of " + e.ID)
@@ -160,7 +182,16 @@ func (e Experiment) Record(cfg Config) (res *Result, err error) {
 		rec.res.Error = serr.Error()
 		return rec.Result(), serr
 	}
-	if rerr := e.Run(rec, cfg); rerr != nil {
+	stages := e.stages(rec, cfg)
+	ctx := engine.Context{
+		ID:     e.ID,
+		Seed:   cfg.Seed,
+		Strike: cfg.Strike,
+		OnStage: func(int, string) {
+			cfg.Obs.Counter("engine.stages").Inc()
+		},
+	}
+	if rerr := engine.Run(ctx, stages); rerr != nil {
 		rec.res.Error = rerr.Error()
 		return rec.Result(), rerr
 	}
@@ -169,4 +200,14 @@ func (e Experiment) Record(cfg Config) (res *Result, err error) {
 		return rec.Result(), rec.err
 	}
 	return rec.Result(), nil
+}
+
+// stages resolves the experiment's stage list: the declared builder, or
+// the legacy monolithic body wrapped in the engine.Single shim (one
+// unnamed stage — no extra seams, byte-identical behaviour).
+func (e Experiment) stages(rec *Recorder, cfg Config) []engine.Stage {
+	if e.Stages != nil {
+		return e.Stages(rec, cfg)
+	}
+	return engine.Single(func() error { return e.Run(rec, cfg) })
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"resilience/internal/engine"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -15,8 +17,11 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
-		if e.ID == "" || e.Title == "" || e.Source == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Source == "" || (e.Run == nil && e.Stages == nil) {
 			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if e.Run != nil && e.Stages != nil {
+			t.Errorf("experiment %q sets both Run and Stages", e.ID)
 		}
 		if len(e.Modules) == 0 {
 			t.Errorf("experiment %q lists no modules", e.ID)
@@ -45,7 +50,10 @@ func TestFind(t *testing.T) {
 func TestRegisterRejectsBadEntries(t *testing.T) {
 	for _, e := range []Experiment{
 		{},
-		{ID: "eXX", Title: "t", Source: "s"}, // no Run
+		{ID: "eXX", Title: "t", Source: "s"}, // neither Run nor Stages
+		{ID: "eYY", Title: "t", Source: "s", // both Run and Stages
+			Run:    func(*Recorder, Config) error { return nil },
+			Stages: func(*Recorder, Config) []engine.Stage { return nil }},
 		{ID: "e05", Title: "t", Source: "s", Run: func(*Recorder, Config) error { return nil }}, // duplicate
 	} {
 		func() {

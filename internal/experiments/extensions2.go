@@ -6,6 +6,7 @@ import (
 
 	"resilience/internal/chaos"
 	"resilience/internal/dynamics"
+	"resilience/internal/engine"
 	"resilience/internal/graph"
 	"resilience/internal/magent"
 	"resilience/internal/mape"
@@ -17,24 +18,31 @@ import (
 
 func init() {
 	Register(Experiment{ID: "e27", Title: "Load-cascade blackouts on a scale-free grid",
-		Source: "§4.5", Modules: []string{"graph", "rng"}, SupportsQuick: true, Run: E27})
+		Source: "§4.5", Modules: []string{"graph", "rng"}, SupportsQuick: true, Stages: E27Stages})
 	Register(Experiment{ID: "e28", Title: "Mutual aid under mild vs overwhelming shocks",
-		Source: "§3.4.6, §5.2", Modules: []string{"magent", "rng"}, SupportsQuick: true, Run: E28})
+		Source: "§3.4.6, §5.2", Modules: []string{"magent", "rng"}, SupportsQuick: true, Stages: E28Stages})
 	Register(Experiment{ID: "e29", Title: "Anticipatory vs reactive mode switching",
 		Source: "§3.4.1+§3.4.6", Modules: []string{"dynamics", "modeswitch", "mape", "chaos", "sysmodel", "metrics", "rng"}, SupportsQuick: true, Run: E29})
 	Register(Experiment{ID: "e30", Title: "Statute vs self-regulation vs co-regulation",
 		Source: "§3.3.3", Modules: []string{"regulate", "rng"}, SupportsQuick: true, Run: E30})
 	Register(Experiment{ID: "e31", Title: "Complexity vs dynamical stability (May)",
-		Source: "§6", Modules: []string{"dynamics", "rng"}, SupportsQuick: true, Run: E31})
+		Source: "§6", Modules: []string{"dynamics", "rng"}, SupportsQuick: true, Stages: E31Stages})
 }
 
-// E27 reproduces the §4.5 blackout mechanism (Bak / Northeast blackout
+// E27Stages reproduces the §4.5 blackout mechanism (Bak / Northeast blackout
 // 2003) with a Motter–Lai load-redistribution cascade on a scale-free
 // grid: a single node failure redistributes its load and can black out
 // the network. Expected shape: cascades shrink as the capacity tolerance
 // grows, and near the critical tolerance a hub trigger blacks out the
 // grid while random triggers mostly fizzle.
-func E27(rec *Recorder, cfg Config) error {
+//
+// Stages: "generate" builds the BA grid; "graph/generate" is the
+// historical post-generation seam (experiment stream in scope) and
+// creates the degree-cascade table; one "degree-cascade/tol<T>" stage
+// per tolerance; "report" records the knife-edge notes and the
+// betweenness table; one "betweenness-cascade/tol<T>" stage per
+// betweenness tolerance.
+func E27Stages(rec *Recorder, cfg Config) []engine.Stage {
 	n := 1000
 	trials := 100
 	if cfg.Quick {
@@ -42,58 +50,82 @@ func E27(rec *Recorder, cfg Config) error {
 		trials = 30
 	}
 	r := rng.New(cfg.Seed)
-	g, err := graph.BarabasiAlbert(n, 2, r)
-	if err != nil {
-		return err
+	var (
+		g       *graph.Graph
+		tb, tb2 *Table
+	)
+	stages := []engine.Stage{
+		{Name: "generate", RNG: r, Fn: func(*rng.Source) error {
+			var err error
+			g, err = graph.BarabasiAlbert(n, 2, r)
+			return err
+		}},
+		{Name: "graph/generate", RNG: r, Fn: func(*rng.Source) error {
+			tb = rec.Table("degree-cascade", "tolerance", "hubCascade(fractionFailed)", "randomMeanCascade", "giantAfterHubCascade")
+			return nil
+		}},
 	}
-	if err := cfg.Strike("graph/generate", r); err != nil {
-		return err
-	}
-	tb := rec.Table("degree-cascade", "tolerance", "hubCascade(fractionFailed)", "randomMeanCascade", "giantAfterHubCascade")
 	for _, tol := range []float64{0.1, 0.3, 0.45, 0.55, 1.0} {
-		m, err := graph.NewCascadeModel(g, tol)
-		if err != nil {
-			return err
-		}
-		worst, err := m.WorstTrigger(3)
-		if err != nil {
-			return err
-		}
-		mean, err := m.MeanRandomCascade(trials, r.Intn)
-		if err != nil {
-			return err
-		}
-		tb.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean), F("%.3f", worst.GiantFractionAfter))
+		tol := tol
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("degree-cascade/tol%.2f", tol), RNG: r, Fn: func(*rng.Source) error {
+			m, err := graph.NewCascadeModel(g, tol)
+			if err != nil {
+				return err
+			}
+			worst, err := m.WorstTrigger(3)
+			if err != nil {
+				return err
+			}
+			mean, err := m.MeanRandomCascade(trials, r.Intn)
+			if err != nil {
+				return err
+			}
+			tb.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean), F("%.3f", worst.GiantFractionAfter))
+			return nil
+		}})
 	}
-	rec.Notef("the knife-edge at tolerance ~0.5 is the critical state Bak describes:")
-	rec.Notef("below it one hub failure is a system-wide blackout")
-	// Motter–Lai's original load model: betweenness centrality, where
-	// the spread of loads is continuous and the transition smoother.
-	tb2 := rec.Table("betweenness-cascade", "tolerance(betweenness)", "hubCascade", "randomMeanCascade")
+	stages = append(stages, engine.Stage{Name: "report", Fn: func(*rng.Source) error {
+		rec.Notef("the knife-edge at tolerance ~0.5 is the critical state Bak describes:")
+		rec.Notef("below it one hub failure is a system-wide blackout")
+		// Motter–Lai's original load model: betweenness centrality, where
+		// the spread of loads is continuous and the transition smoother.
+		tb2 = rec.Table("betweenness-cascade", "tolerance(betweenness)", "hubCascade", "randomMeanCascade")
+		return nil
+	}})
 	for _, tol := range []float64{0.1, 0.5, 2.0} {
-		m, err := graph.NewBetweennessCascadeModel(g, tol)
-		if err != nil {
-			return err
-		}
-		worst, err := m.WorstTrigger(3)
-		if err != nil {
-			return err
-		}
-		mean, err := m.MeanRandomCascade(trials/2, r.Intn)
-		if err != nil {
-			return err
-		}
-		tb2.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean))
+		tol := tol
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("betweenness-cascade/tol%.2f", tol), RNG: r, Fn: func(*rng.Source) error {
+			m, err := graph.NewBetweennessCascadeModel(g, tol)
+			if err != nil {
+				return err
+			}
+			worst, err := m.WorstTrigger(3)
+			if err != nil {
+				return err
+			}
+			mean, err := m.MeanRandomCascade(trials/2, r.Intn)
+			if err != nil {
+				return err
+			}
+			tb2.Row(F("%.2f", tol), F("%.3f", worst.FailedFraction), F("%.4f", mean))
+			return nil
+		}})
 	}
-	return nil
+	return stages
 }
 
-// E28 measures the mutual-aid policy of §3.4.6 ("helping others") on the
+// E28Stages measures the mutual-aid policy of §3.4.6 ("helping others") on the
 // multi-agent testbed, in two regimes. Expected shape: under survivable
 // (mild) shocks, sharing reduces deaths; under overwhelming shocks the
 // same sharing synchronizes ruin — a quantitative answer to the §5.2
 // question of sacrificing individuals for the community.
-func E28(rec *Recorder, cfg Config) error {
+//
+// Stages: one "aid/<regime>/<share>" stage per (shock regime, aid
+// share) cell — each a full trial batch on its own stream — then a
+// "report" stage for the closing notes. The per-trial cancellation
+// polls of the pre-engine body are replaced by the engine's per-stage
+// checks.
+func E28Stages(rec *Recorder, cfg Config) []engine.Stage {
 	trials := 30
 	if cfg.Quick {
 		trials = 8
@@ -102,9 +134,6 @@ func E28(rec *Recorder, cfg Config) error {
 		root := rng.New(seed)
 		var okN, popSum, deathSum float64
 		for trial := 0; trial < trials; trial++ {
-			if cfg.Canceled() {
-				return 0, 0, 0, ErrCanceled
-			}
 			r := root.Split()
 			base := magent.DefaultConfig()
 			base.InitialAgents = 40
@@ -140,21 +169,29 @@ func E28(rec *Recorder, cfg Config) error {
 		return okN / float64(trials), popSum / float64(trials), deathSum / float64(trials), nil
 	}
 	tb := rec.Table("mutual-aid", "shock", "aidShare", "survival", "meanFinalPop", "meanDeaths")
+	var stages []engine.Stage
 	for _, regime := range []struct {
-		name string
-		dist int
-	}{{"mild (3-bit shift)", 3}, {"overwhelming (7-bit shift)", 7}} {
+		name, key string
+		dist      int
+	}{{"mild (3-bit shift)", "mild", 3}, {"overwhelming (7-bit shift)", "overwhelming", 7}} {
 		for _, aid := range []float64{0, 0.3, 0.6} {
-			surv, pop, deaths, err := run(aid, regime.dist, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			tb.Row(S(regime.name), F("%.1f", aid), F("%.2f", surv), F("%.0f", pop), F("%.0f", deaths))
+			regime, aid := regime, aid
+			stages = append(stages, engine.Stage{Name: fmt.Sprintf("aid/%s/%.1f", regime.key, aid), Fn: func(*rng.Source) error {
+				surv, pop, deaths, err := run(aid, regime.dist, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				tb.Row(S(regime.name), F("%.1f", aid), F("%.2f", surv), F("%.0f", pop), F("%.0f", deaths))
+				return nil
+			}})
 		}
 	}
-	rec.Notef("helping others saves lives when the lineage's total reserve covers the shock;")
-	rec.Notef("when it cannot, equal sharing removes the variance that lets anyone survive")
-	return nil
+	stages = append(stages, engine.Stage{Name: "report", Fn: func(*rng.Source) error {
+		rec.Notef("helping others saves lives when the lineage's total reserve covers the shock;")
+		rec.Notef("when it cannot, equal sharing removes the variance that lets anyone survive")
+		return nil
+	}})
+	return stages
 }
 
 // E29 combines anticipation (§3.4.1) with mode switching (§3.4.6): an
@@ -323,7 +360,7 @@ func E30(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E31 tackles the open question the paper ends on (§6): "why the
+// E31Stages tackles the open question the paper ends on (§6): "why the
 // ecosystem in the Antarctic Ocean is stable despite the fact that it is
 // very simple (and less diverse)". May's complexity–stability theorem
 // gives the shape: at fixed interaction strength, the probability that a
@@ -332,7 +369,10 @@ func E30(rec *Recorder, cfg Config) error {
 // (E06) but costs dynamical stability — a simple, weakly-connected
 // community like the Antarctic food web sits on the stable side of May's
 // bound. Expected shape: a sharp stability transition at σ√(nc) ≈ d.
-func E31(rec *Recorder, cfg Config) error {
+//
+// Stages: one "may/n<N>" stage per community size sharing the
+// experiment's stream, then a "report" stage for the closing notes.
+func E31Stages(rec *Recorder, cfg Config) []engine.Stage {
 	trials := 60
 	horizon := 60.0
 	if cfg.Quick {
@@ -342,20 +382,25 @@ func E31(rec *Recorder, cfg Config) error {
 	r := rng.New(cfg.Seed)
 	const conn, sigma, selfReg = 0.3, 0.45, 1.0
 	tb := rec.Table("may-stability", "species n", "MayComplexity σ√(nc)", "P(stable)")
+	var stages []engine.Stage
 	for _, n := range []int{4, 8, 16, 22, 32, 64} {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		p, err := dynamics.StabilityProbability(n, conn, sigma, selfReg, trials, horizon, 0.02, r)
-		if err != nil {
-			return err
-		}
-		tb.Row(D(n), F("%.2f", dynamics.MayThreshold(n, conn, sigma)), F("%.2f", p))
+		n := n
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("may/n%d", n), RNG: r, Fn: func(*rng.Source) error {
+			p, err := dynamics.StabilityProbability(n, conn, sigma, selfReg, trials, horizon, 0.02, r)
+			if err != nil {
+				return err
+			}
+			tb.Row(D(n), F("%.2f", dynamics.MayThreshold(n, conn, sigma)), F("%.2f", p))
+			return nil
+		}})
 	}
-	nCritical := int(math.Floor(selfReg * selfReg / (sigma * sigma * conn)))
-	rec.Notef("May's bound predicts the transition at σ√(nc) = %v (n ≈ %d here)",
-		selfReg, nCritical)
-	rec.Notef("the Antarctic answer: simple + weakly coupled sits on the stable side;")
-	rec.Notef("the diversity that survives change (E06) is bought at dynamical risk")
-	return nil
+	stages = append(stages, engine.Stage{Name: "report", Fn: func(*rng.Source) error {
+		nCritical := int(math.Floor(selfReg * selfReg / (sigma * sigma * conn)))
+		rec.Notef("May's bound predicts the transition at σ√(nc) = %v (n ≈ %d here)",
+			selfReg, nCritical)
+		rec.Notef("the Antarctic answer: simple + weakly coupled sits on the stable side;")
+		rec.Notef("the diversity that survives change (E06) is bought at dynamical risk")
+		return nil
+	}})
+	return stages
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"resilience/internal/bitstring"
 	"resilience/internal/dcsp"
+	"resilience/internal/engine"
 	"resilience/internal/maintain"
 	"resilience/internal/metrics"
 	"resilience/internal/rng"
@@ -14,11 +16,11 @@ func init() {
 	Register(Experiment{ID: "e01", Title: "Bruneau resilience triangle across recovery shapes",
 		Source: "Fig 3, §4.1", Modules: []string{"metrics"}, Run: E01})
 	Register(Experiment{ID: "e02", Title: "k-recoverability vs damage size and repair rate",
-		Source: "Fig 4, §4.2", Modules: []string{"dcsp", "rng"}, SupportsQuick: true, Run: E02})
+		Source: "Fig 4, §4.2", Modules: []string{"dcsp", "rng"}, SupportsQuick: true, Stages: E02Stages})
 	Register(Experiment{ID: "e03", Title: "Spacecraft worked example: exhaustive k-recoverability",
 		Source: "§4.2", Modules: []string{"dcsp", "rng"}, SupportsQuick: true, Run: E03})
 	Register(Experiment{ID: "e04", Title: "Baral–Eiter k-maintainable policy synthesis scaling",
-		Source: "§4.3", Modules: []string{"maintain", "rng"}, SupportsQuick: true, Run: E04})
+		Source: "§4.3", Modules: []string{"maintain", "rng"}, SupportsQuick: true, Stages: E04Stages})
 }
 
 // E01 reproduces Fig 3: the resilience triangle R = ∫(100−Q)dt for three
@@ -54,51 +56,67 @@ func E01(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E02 measures k-recoverability (Fig 4, §4.2) on two environment
+// E02Stages measures k-recoverability (Fig 4, §4.2) on two environment
 // families: the AllOnes constraint and planted random 3-CNF. Rows report
 // the Monte-Carlo recovery rate within k = d steps at 1 and 2 flips per
 // step. Expected shape: recovery rate is 1 when the repair budget covers
 // the damage (k·flips ≥ d for AllOnes) and degrades when it does not.
-func E02(rec *Recorder, cfg Config) error {
+//
+// Stages: "generate" builds the planted CNF; "dcsp/generate" is the
+// historical post-generation seam (the experiment's stream in scope, so
+// rng faults perturb the same draws as before the engine); one
+// "mc/d<N>" stage per damage size runs that size's Monte-Carlo sweep.
+func E02Stages(rec *Recorder, cfg Config) []engine.Stage {
 	r := rng.New(cfg.Seed)
 	trials := 200
 	if cfg.Quick {
 		trials = 40
 	}
 	const n = 20
-	cnf, planted, err := dcsp.RandomPlantedCNF(n, 60, 3, r)
-	if err != nil {
-		return err
+	var (
+		cnf     dcsp.CNF
+		planted bitstring.String
+		tb      *Table
+	)
+	stages := []engine.Stage{
+		{Name: "generate", RNG: r, Fn: func(*rng.Source) error {
+			var err error
+			cnf, planted, err = dcsp.RandomPlantedCNF(n, 60, 3, r)
+			return err
+		}},
+		// The table is created lazily here so a fault at this seam still
+		// renders the same (table-less) partial result as pre-engine code.
+		{Name: "dcsp/generate", RNG: r, Fn: func(*rng.Source) error {
+			tb = rec.Table("recovery-rate", "environment", "damage d", "flips/step", "k", "recovered", "worstSteps")
+			return nil
+		}},
 	}
-	if err := cfg.Strike("dcsp/generate", r); err != nil {
-		return err
-	}
-	tb := rec.Table("recovery-rate", "environment", "damage d", "flips/step", "k", "recovered", "worstSteps")
 	for _, d := range []int{1, 2, 4, 6} {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		for _, flips := range []int{1, 2} {
-			k := (d + flips - 1) / flips
-			repAll, err := dcsp.CheckKRecoverableMC(
-				dcsp.AllOnes{N: n}, dcsp.ExactFlips{K: d},
-				dcsp.GreedyRepairer{}, flips, k, trials, r)
-			if err != nil {
-				return err
+		d := d
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("mc/d%d", d), Fn: func(*rng.Source) error {
+			for _, flips := range []int{1, 2} {
+				k := (d + flips - 1) / flips
+				repAll, err := dcsp.CheckKRecoverableMC(
+					dcsp.AllOnes{N: n}, dcsp.ExactFlips{K: d},
+					dcsp.GreedyRepairer{}, flips, k, trials, r)
+				if err != nil {
+					return err
+				}
+				tb.Row(S("all-ones"), D(d), D(flips), D(k),
+					F("%.2f", 1-repAll.FailureRate()), D(repAll.WorstSteps))
+				repCNF, err := dcsp.CheckKRecoverableMC(
+					cnf, dcsp.ExactFlips{K: d},
+					dcsp.GreedyRepairer{Noise: 0.1}, flips, k+2, trials, r, planted)
+				if err != nil {
+					return err
+				}
+				tb.Row(S("planted-3cnf"), D(d), D(flips), D(k+2),
+					F("%.2f", 1-repCNF.FailureRate()), D(repCNF.WorstSteps))
 			}
-			tb.Row(S("all-ones"), D(d), D(flips), D(k),
-				F("%.2f", 1-repAll.FailureRate()), D(repAll.WorstSteps))
-			repCNF, err := dcsp.CheckKRecoverableMC(
-				cnf, dcsp.ExactFlips{K: d},
-				dcsp.GreedyRepairer{Noise: 0.1}, flips, k+2, trials, r, planted)
-			if err != nil {
-				return err
-			}
-			tb.Row(S("planted-3cnf"), D(d), D(flips), D(k+2),
-				F("%.2f", 1-repCNF.FailureRate()), D(repCNF.WorstSteps))
-		}
+			return nil
+		}})
 	}
-	return nil
+	return stages
 }
 
 // E03 verifies the paper's spacecraft example exhaustively: n components,
@@ -149,11 +167,14 @@ func E03(rec *Recorder, cfg Config) error {
 	return nil
 }
 
-// E04 demonstrates the polynomial-time Baral–Eiter construction (§4.3):
-// policy synthesis wall time and worst-case recovery distance on repair
-// chains and random nondeterministic systems of growing size. Expected
-// shape: near-linear runtime growth in transitions.
-func E04(rec *Recorder, cfg Config) error {
+// E04Stages demonstrates the polynomial-time Baral–Eiter construction
+// (§4.3): policy synthesis wall time and worst-case recovery distance on
+// repair chains and random nondeterministic systems of growing size.
+// Expected shape: near-linear runtime growth in transitions.
+//
+// Stages: one "chain/n<N>" stage per chain size, then one
+// "random-nd/n<N>" stage per random-system size.
+func E04Stages(rec *Recorder, cfg Config) []engine.Stage {
 	sizes := []int{100, 400, 1600, 6400}
 	if cfg.Quick {
 		sizes = []int{50, 200}
@@ -162,65 +183,69 @@ func E04(rec *Recorder, cfg Config) error {
 	// the measured synthesis wall time is recorded as scalars so the
 	// rendered text stays byte-identical across runs and -jobs values.
 	tb := rec.Table("synthesis-scaling", "states", "shape", "transitions", "worstDistance", "maintainable(k=states)")
+	var stages []engine.Stage
 	for _, n := range sizes {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		sys, err := maintain.NewSystem(n)
-		if err != nil {
-			return err
-		}
-		if err := sys.MarkNormal(0); err != nil {
-			return err
-		}
-		repair := sys.AddAction("repair")
-		for i := 1; i < n; i++ {
-			if err := sys.AddTransition(maintain.StateID(i), repair, maintain.StateID(i-1)); err != nil {
+		n := n
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("chain/n%d", n), Fn: func(*rng.Source) error {
+			sys, err := maintain.NewSystem(n)
+			if err != nil {
 				return err
 			}
-		}
-		start := time.Now()
-		rep, _, err := sys.CheckKMaintainable(n)
-		if err != nil {
-			return err
-		}
-		rec.Scalar(fmt.Sprintf("synthesisTime/chain/%d", n), time.Since(start).String())
-		tb.Row(D(n), S("chain"), D(n-1), D(rep.WorstDistance), B(rep.Maintainable))
-	}
-	// Random nondeterministic systems.
-	r := rng.New(cfg.Seed)
-	for _, n := range sizes {
-		if cfg.Canceled() {
-			return ErrCanceled
-		}
-		sys, err := maintain.NewSystem(n)
-		if err != nil {
-			return err
-		}
-		if err := sys.MarkNormal(0); err != nil {
-			return err
-		}
-		acts := []maintain.ActionID{sys.AddAction("a"), sys.AddAction("b")}
-		for i := 1; i < n; i++ {
-			for _, a := range acts {
-				// Nondeterministic repairs: both outcomes land strictly
-				// below the current state, but how far is uncertain.
-				outs := []maintain.StateID{
-					maintain.StateID(r.Intn(i)),
-					maintain.StateID(r.Intn(i)),
-				}
-				if err := sys.AddTransition(maintain.StateID(i), a, outs...); err != nil {
+			if err := sys.MarkNormal(0); err != nil {
+				return err
+			}
+			repair := sys.AddAction("repair")
+			for i := 1; i < n; i++ {
+				if err := sys.AddTransition(maintain.StateID(i), repair, maintain.StateID(i-1)); err != nil {
 					return err
 				}
 			}
-		}
-		start := time.Now()
-		rep, _, err := sys.CheckKMaintainable(n)
-		if err != nil {
-			return err
-		}
-		rec.Scalar(fmt.Sprintf("synthesisTime/random-nd/%d", n), time.Since(start).String())
-		tb.Row(D(n), S("random-nd"), D(2*2*(n-1)), D(rep.WorstDistance), B(rep.Maintainable))
+			start := time.Now()
+			rep, _, err := sys.CheckKMaintainable(n)
+			if err != nil {
+				return err
+			}
+			rec.Scalar(fmt.Sprintf("synthesisTime/chain/%d", n), time.Since(start).String())
+			tb.Row(D(n), S("chain"), D(n-1), D(rep.WorstDistance), B(rep.Maintainable))
+			return nil
+		}})
 	}
-	return nil
+	// Random nondeterministic systems share one stream across sizes, as
+	// the pre-engine body did.
+	r := rng.New(cfg.Seed)
+	for _, n := range sizes {
+		n := n
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("random-nd/n%d", n), RNG: r, Fn: func(*rng.Source) error {
+			sys, err := maintain.NewSystem(n)
+			if err != nil {
+				return err
+			}
+			if err := sys.MarkNormal(0); err != nil {
+				return err
+			}
+			acts := []maintain.ActionID{sys.AddAction("a"), sys.AddAction("b")}
+			for i := 1; i < n; i++ {
+				for _, a := range acts {
+					// Nondeterministic repairs: both outcomes land strictly
+					// below the current state, but how far is uncertain.
+					outs := []maintain.StateID{
+						maintain.StateID(r.Intn(i)),
+						maintain.StateID(r.Intn(i)),
+					}
+					if err := sys.AddTransition(maintain.StateID(i), a, outs...); err != nil {
+						return err
+					}
+				}
+			}
+			start := time.Now()
+			rep, _, err := sys.CheckKMaintainable(n)
+			if err != nil {
+				return err
+			}
+			rec.Scalar(fmt.Sprintf("synthesisTime/random-nd/%d", n), time.Since(start).String())
+			tb.Row(D(n), S("random-nd"), D(2*2*(n-1)), D(rep.WorstDistance), B(rep.Maintainable))
+			return nil
+		}})
+	}
+	return stages
 }

@@ -20,13 +20,18 @@
 //
 // Seams currently exposed: "worker" (fired by the runner before the
 // experiment body starts), "body" (fired as every experiment body
-// begins), "dcsp/generate" and "graph/generate" (fired inside
-// experiments after their DCSP/graph substrates are built, with the
-// experiment's random source in scope for "rng" faults).
+// begins), and every named stage of a staged experiment
+// (internal/engine fires the seam carrying the stage's name before the
+// stage runs, with the stage's declared random stream in scope for
+// "rng" faults). "dcsp/generate" and "graph/generate" are the
+// canonical stage seams, firing after their DCSP/graph substrates are
+// built; finer-grained ones like "mc/d4" or "attack/BA/targeted" fire
+// per sweep step.
 package faultinject
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -181,6 +186,23 @@ func (p *Plan) Backoff() time.Duration { return time.Duration(p.BackoffMs) * tim
 // Marshal renders the plan back to its canonical JSON document.
 func (p *Plan) Marshal() ([]byte, error) {
 	return json.MarshalIndent(p, "", "  ")
+}
+
+// Hash returns a stable content hash of the plan, covering every field
+// that can change an experiment's outcome (faults, retries, backoff,
+// timeout). A nil plan hashes to "" so "no plan" is its own cache key.
+// Result caches use this to invalidate entries when the plan is edited.
+func (p *Plan) Hash() string {
+	if p == nil {
+		return ""
+	}
+	data, err := p.Marshal()
+	if err != nil {
+		// Marshal of a plain struct cannot fail in practice; degrade to
+		// an impossible hash so such a plan never matches a cache entry.
+		return "unhashable"
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
 }
 
 // HookFor returns the hook to attach to one attempt of one experiment,

@@ -163,3 +163,45 @@ func TestNilPlanHookFor(t *testing.T) {
 		t.Fatal("nil plan must yield nil hooks")
 	}
 }
+
+func TestPlanHash(t *testing.T) {
+	var nilPlan *Plan
+	if h := nilPlan.Hash(); h != "" {
+		t.Fatalf("nil plan hash = %q, want empty", h)
+	}
+	base := `{"name":"p","retries":2,"backoffMs":5,"timeoutMs":100,
+		"faults":[{"experiment":"e01","kind":"error"}]}`
+	p1, err := Parse([]byte(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse([]byte(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hash() != p2.Hash() {
+		t.Fatal("identical plans must hash equal")
+	}
+	if len(p1.Hash()) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", p1.Hash())
+	}
+	// Any outcome-relevant field change must change the hash.
+	for name, doc := range map[string]string{
+		"retries": `{"name":"p","retries":3,"backoffMs":5,"timeoutMs":100,
+			"faults":[{"experiment":"e01","kind":"error"}]}`,
+		"timeout": `{"name":"p","retries":2,"backoffMs":5,"timeoutMs":200,
+			"faults":[{"experiment":"e01","kind":"error"}]}`,
+		"fault kind": `{"name":"p","retries":2,"backoffMs":5,"timeoutMs":100,
+			"faults":[{"experiment":"e01","kind":"panic"}]}`,
+		"fault target": `{"name":"p","retries":2,"backoffMs":5,"timeoutMs":100,
+			"faults":[{"experiment":"e02","kind":"error"}]}`,
+	} {
+		q, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if q.Hash() == p1.Hash() {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}

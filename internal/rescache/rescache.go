@@ -1,0 +1,184 @@
+// Package rescache is a content-addressed store for experiment results.
+//
+// A cache entry is the experiments.Result JSON of one experiment run,
+// filed under a digest of everything that determines that result: the
+// experiment ID, its derived seed, the quick flag, the fault-plan hash,
+// and the engine schema version. When all five match, the stored result
+// is the result the runner would recompute, so a warm run can skip the
+// experiment body entirely and still render byte-identical output.
+//
+// Any failure to read or parse an entry is treated as a miss — the
+// runner recomputes and overwrites — so a corrupted cache directory can
+// slow a run down but never break it.
+package rescache
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+)
+
+// Key identifies one cacheable experiment run. Two runs with equal keys
+// are guaranteed (by the determinism contract) to produce equal results.
+type Key struct {
+	// ID is the experiment ID ("e01".."e31").
+	ID string
+	// Seed is the per-experiment seed, i.e. rng.Derive(suiteSeed, ID),
+	// not the raw suite seed — so cache entries survive suite
+	// recomposition but invalidate when the suite seed changes.
+	Seed uint64
+	// Quick is the reduced-size mode flag.
+	Quick bool
+	// PlanHash is faultinject.(*Plan).Hash(): "" when no plan is loaded,
+	// so editing or removing a plan always changes the key.
+	PlanHash string
+	// Schema is engine.SchemaVersion; bumping it invalidates every
+	// entry written by older binaries.
+	Schema int
+}
+
+// Digest returns the key's content address: a sha256 hex digest of its
+// canonical encoding. It doubles as the cache file basename.
+func (k Key) Digest() string {
+	canon := fmt.Sprintf("id=%s\nseed=%d\nquick=%t\nplan=%s\nschema=%d\n",
+		k.ID, k.Seed, k.Quick, k.PlanHash, k.Schema)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(canon)))
+}
+
+// Cache is a directory of result files, safe for concurrent use. A nil
+// *Cache is a valid no-op cache: Get always misses, Put does nothing.
+type Cache struct {
+	dir                  string
+	observer             *obs.Observer
+	hits, misses, stores atomic.Int64
+}
+
+// DefaultDir is the cache location used when the user does not override
+// it: <user cache dir>/resilience.
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("resolve cache dir: %w", err)
+	}
+	return filepath.Join(base, "resilience"), nil
+}
+
+// Open returns a Cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open result cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache root ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// SetObserver attaches hit/miss/store counters to o. All three are
+// registered immediately so they appear (as zeros) in every metrics
+// document of a cache-enabled run.
+func (c *Cache) SetObserver(o *obs.Observer) {
+	if c == nil || o == nil {
+		return
+	}
+	c.observer = o
+	o.Counter("rescache.hits")
+	o.Counter("rescache.misses")
+	o.Counter("rescache.stores")
+}
+
+func (c *Cache) count(name string, n *atomic.Int64) {
+	n.Add(1)
+	c.observer.Counter("rescache." + name).Inc()
+}
+
+// Get returns the stored result for k, or (nil, false) on a miss. A
+// missing, unreadable, corrupt, or mismatched entry is a miss, never an
+// error: the caller recomputes and Put overwrites the bad file.
+func (c *Cache) Get(k Key) (*experiments.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		c.count("misses", &c.misses)
+		return nil, false
+	}
+	var res experiments.Result
+	if err := json.Unmarshal(data, &res); err != nil || res.ID != k.ID {
+		c.count("misses", &c.misses)
+		return nil, false
+	}
+	c.count("hits", &c.hits)
+	return &res, true
+}
+
+// Put stores res under k, atomically (temp file + rename) so concurrent
+// runners and interrupted runs never leave a torn entry behind.
+func (c *Cache) Put(k Key, res *experiments.Result) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("encode cache entry %s: %w", k.ID, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, k.Digest()+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
+	}
+	c.count("stores", &c.stores)
+	return nil
+}
+
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.Digest()+".json")
+}
+
+// Hits reports cache hits since Open (0 for a nil cache).
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses reports cache misses since Open (0 for a nil cache).
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Stores reports entries written since Open (0 for a nil cache).
+func (c *Cache) Stores() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stores.Load()
+}

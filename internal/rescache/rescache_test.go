@@ -1,0 +1,180 @@
+package rescache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+)
+
+func record(t *testing.T, id string, seed uint64) *experiments.Result {
+	t.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	res, err := e.Record(experiments.Config{Seed: seed, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDigestDeterministicAndDistinct(t *testing.T) {
+	base := Key{ID: "e05", Seed: 42, Quick: true, PlanHash: "abc", Schema: 1}
+	if base.Digest() != base.Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	if len(base.Digest()) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", base.Digest())
+	}
+	variants := map[string]Key{
+		"seed":   {ID: "e05", Seed: 43, Quick: true, PlanHash: "abc", Schema: 1},
+		"quick":  {ID: "e05", Seed: 42, Quick: false, PlanHash: "abc", Schema: 1},
+		"plan":   {ID: "e05", Seed: 42, Quick: true, PlanHash: "abd", Schema: 1},
+		"schema": {ID: "e05", Seed: 42, Quick: true, PlanHash: "abc", Schema: 2},
+		"id":     {ID: "e06", Seed: 42, Quick: true, PlanHash: "abc", Schema: 1},
+	}
+	for name, k := range variants {
+		if k.Digest() == base.Digest() {
+			t.Errorf("changing %s did not change the digest", name)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache must miss")
+	}
+	res := record(t, "e05", 42)
+	if err := c.Put(k, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("stored entry must hit")
+	}
+	// The fetched result must render identically to the computed one:
+	// compare canonical JSON, which preserves note/table interleaving.
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, have) {
+		t.Fatalf("round-trip changed the result:\n%s\nwant\n%s", have, want)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Stores() != 1 {
+		t.Fatalf("counters hits=%d misses=%d stores=%d, want 1/1/1",
+			c.Hits(), c.Misses(), c.Stores())
+	}
+}
+
+// TestInvalidation is the cache-correctness table: every key component
+// that can change a result forces a miss against an entry stored under
+// the base key.
+func TestInvalidation(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Key{ID: "e05", Seed: 42, Quick: true, PlanHash: "", Schema: 1}
+	if err := c.Put(base, record(t, "e05", 42)); err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range map[string]Key{
+		"seed change":  {ID: "e05", Seed: 7, Quick: true, PlanHash: "", Schema: 1},
+		"quick flip":   {ID: "e05", Seed: 42, Quick: false, PlanHash: "", Schema: 1},
+		"plan edit":    {ID: "e05", Seed: 42, Quick: true, PlanHash: "deadbeef", Schema: 1},
+		"schema bump":  {ID: "e05", Seed: 42, Quick: true, PlanHash: "", Schema: 2},
+		"different id": {ID: "e06", Seed: 42, Quick: true, PlanHash: "", Schema: 1},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s must force a miss", name)
+		}
+	}
+	if _, ok := c.Get(base); !ok {
+		t.Fatal("base key must still hit")
+	}
+}
+
+// TestCorruptedEntryRecovers: garbage in a cache file is a miss, and the
+// next Put heals it. The suite must never fail because of a bad cache.
+func TestCorruptedEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	res := record(t, "e05", 42)
+	for _, garbage := range []string{"", "not json", `{"id":"e99"}`} {
+		path := filepath.Join(dir, k.Digest()+".json")
+		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("corrupt entry %q must miss", garbage)
+		}
+		if err := c.Put(k, res); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("Put after corruption %q must heal the entry", garbage)
+		}
+	}
+}
+
+func TestNilCacheIsNoOp(t *testing.T) {
+	var c *Cache
+	k := Key{ID: "e05"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("nil cache must miss")
+	}
+	if err := c.Put(k, &experiments.Result{ID: "e05"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetObserver(obs.New())
+	if c.Hits() != 0 || c.Misses() != 0 || c.Stores() != 0 || c.Dir() != "" {
+		t.Fatal("nil cache must report zeros")
+	}
+}
+
+func TestObserverCounters(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	c.SetObserver(o)
+	doc := o.Document()
+	for _, name := range []string{"rescache.hits", "rescache.misses", "rescache.stores"} {
+		if v, ok := doc.Counters[name]; !ok || v != 0 {
+			t.Fatalf("counter %s not pre-registered at 0 (doc=%v)", name, doc.Counters)
+		}
+	}
+	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	c.Get(k)                       // miss
+	c.Put(k, record(t, "e05", 42)) // store
+	c.Get(k)                       // hit
+	doc = o.Document()
+	for name, want := range map[string]int64{
+		"rescache.hits": 1, "rescache.misses": 1, "rescache.stores": 1,
+	} {
+		if doc.Counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, doc.Counters[name], want)
+		}
+	}
+}

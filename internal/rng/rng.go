@@ -12,6 +12,7 @@ package rng
 import (
 	"math"
 	"math/bits"
+	"strconv"
 )
 
 // Source is a deterministic pseudo-random number generator.
@@ -76,6 +77,15 @@ func Derive(root uint64, label string) uint64 {
 	}
 	_, out = splitMix64(seed)
 	return out
+}
+
+// DeriveStage maps (root, label, index) to a child seed: Derive applied
+// to the label and then to the decimal index. The execution engine
+// (internal/engine) uses it to hand each stage of an experiment an
+// independent stream keyed by experiment ID, stage name, and stage
+// index, with the same order-independence guarantees as Derive.
+func DeriveStage(root uint64, label string, index int) uint64 {
+	return Derive(Derive(root, label), strconv.Itoa(index))
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rescache"
+)
+
+// countingExp returns an experiment that counts how many times its body
+// actually runs, so tests can distinguish cache hits from recomputes.
+func countingExp(id string, calls *atomic.Int64) experiments.Experiment {
+	return fakeExp(id, func(rec *experiments.Recorder, cfg experiments.Config) error {
+		calls.Add(1)
+		rec.Table("t", "col").Row(experiments.D(1))
+		return nil
+	})
+}
+
+func TestCacheShortCircuitsSecondRun(t *testing.T) {
+	cache, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	exps := []experiments.Experiment{countingExp("t01", &calls), countingExp("t02", &calls)}
+	opts := Options{Jobs: 1, Seed: 42, Cache: cache}
+
+	var cold []Outcome
+	Run(exps, opts, func(o Outcome) { cold = append(cold, o) })
+	if calls.Load() != 2 {
+		t.Fatalf("cold run executed %d bodies, want 2", calls.Load())
+	}
+	if cache.Stores() != 2 {
+		t.Fatalf("cold run stored %d entries, want 2", cache.Stores())
+	}
+	for _, o := range cold {
+		if o.CacheHit {
+			t.Fatalf("%s: cold run must not hit", o.Experiment.ID)
+		}
+	}
+
+	var warm []Outcome
+	Run(exps, opts, func(o Outcome) { warm = append(warm, o) })
+	if calls.Load() != 2 {
+		t.Fatalf("warm run re-executed bodies (%d total calls)", calls.Load())
+	}
+	for i, o := range warm {
+		if !o.CacheHit || o.Attempts != 0 || o.Err != nil {
+			t.Fatalf("%s: want clean cache hit, got %+v", o.Experiment.ID, o)
+		}
+		if o.Result.ID != cold[i].Result.ID || len(o.Result.Tables) != len(cold[i].Result.Tables) {
+			t.Fatalf("%s: cached result differs from computed one", o.Experiment.ID)
+		}
+	}
+}
+
+func TestCacheKeyComponentsForceRecompute(t *testing.T) {
+	cache, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	exps := []experiments.Experiment{countingExp("t01", &calls)}
+	base := Options{Jobs: 1, Seed: 42, Cache: cache}
+	Run(exps, base, nil)
+	for name, opts := range map[string]Options{
+		"seed change": {Jobs: 1, Seed: 43, Cache: cache},
+		"quick flip":  {Jobs: 1, Seed: 42, Quick: true, Cache: cache},
+		"plan edit":   {Jobs: 1, Seed: 42, Cache: cache, PlanHash: "deadbeef"},
+	} {
+		before := calls.Load()
+		Run(exps, opts, nil)
+		if calls.Load() != before+1 {
+			t.Errorf("%s must force a recompute", name)
+		}
+	}
+	before := calls.Load()
+	Run(exps, base, nil)
+	if calls.Load() != before {
+		t.Error("unchanged options must hit the cache")
+	}
+}
+
+func TestFailedAndRetriedOutcomesNotCached(t *testing.T) {
+	cache, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	failing := fakeExp("tfail", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		calls.Add(1)
+		return errors.New("boom")
+	})
+	// Fails once, then succeeds: a degraded outcome, which must also be
+	// recomputed (its annotation depends on the retry schedule).
+	var flaky atomic.Int64
+	flakyExp := fakeExp("tflaky", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		if flaky.Add(1) == 1 {
+			return errors.New("first attempt fails")
+		}
+		rec.Table("t", "col").Row(experiments.D(1))
+		return nil
+	})
+	opts := Options{Jobs: 1, Seed: 42, Cache: cache, Retries: 1, Backoff: time.Millisecond}
+	Run([]experiments.Experiment{failing, flakyExp}, opts, nil)
+	if cache.Stores() != 0 {
+		t.Fatalf("failed/degraded outcomes stored %d entries, want 0", cache.Stores())
+	}
+}
+
+func TestNilCacheUnchangedBehaviour(t *testing.T) {
+	var calls atomic.Int64
+	exps := []experiments.Experiment{countingExp("t01", &calls)}
+	Run(exps, Options{Jobs: 1, Seed: 42}, nil)
+	Run(exps, Options{Jobs: 1, Seed: 42}, nil)
+	if calls.Load() != 2 {
+		t.Fatalf("cacheless runs executed %d bodies, want 2", calls.Load())
+	}
+}
+
+func TestAllocBytesPerAttempt(t *testing.T) {
+	// An experiment that allocates ~8 MiB per attempt: AllocBytes must
+	// reflect the attempts' allocations, not wall-clock bystanders.
+	exp := fakeExp("talloc", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		buf := make([]byte, 8<<20)
+		buf[0] = 1
+		rec.Table("t", "col").Row(experiments.D(int(buf[0])))
+		return nil
+	})
+	var got Outcome
+	Run([]experiments.Experiment{exp}, Options{Jobs: 1, Seed: 42}, func(o Outcome) { got = o })
+	if got.AllocBytes < 8<<20 {
+		t.Fatalf("AllocBytes = %d, want at least the attempt's 8 MiB", got.AllocBytes)
+	}
+}

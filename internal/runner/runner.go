@@ -20,8 +20,10 @@ import (
 	"runtime/debug"
 	"time"
 
+	"resilience/internal/engine"
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
+	"resilience/internal/rescache"
 	"resilience/internal/rng"
 )
 
@@ -58,6 +60,16 @@ type Options struct {
 	// plan-deterministic; gauges, histograms, and spans carry
 	// timing-bearing data and never feed stdout.
 	Obs *obs.Observer
+	// Cache short-circuits experiments whose result is already stored
+	// under the current (seed, quick, plan, schema) key; nil disables
+	// caching. Only clean first-attempt results are stored: retried or
+	// timed-out outcomes can depend on wall time, so they are always
+	// recomputed.
+	Cache *rescache.Cache
+	// PlanHash is the fault plan's content hash ("" when no plan is
+	// loaded); it is part of the cache key so editing a plan invalidates
+	// every entry recorded under the old one.
+	PlanHash string
 }
 
 // Recovery is the Bruneau-style recovery triangle of one experiment that
@@ -88,12 +100,17 @@ type Outcome struct {
 	Err error
 	// Elapsed is the experiment's wall time across all attempts.
 	Elapsed time.Duration
-	// AllocBytes is the heap allocated while the experiment ran. It is
-	// exact at Jobs=1 and an attribution-free approximation otherwise
-	// (concurrent experiments' allocations mix).
+	// AllocBytes is the heap allocated while the experiment's attempts
+	// ran: the sum of per-attempt runtime.MemStats.TotalAlloc deltas, so
+	// backoff sleeps between attempts are excluded. It is exact at
+	// Jobs=1 and an attribution-free approximation otherwise (TotalAlloc
+	// is process-wide, so concurrent experiments' allocations mix).
 	AllocBytes uint64
-	// Attempts is how many attempts ran (1 = no retries needed).
+	// Attempts is how many attempts ran (1 = no retries needed, 0 = the
+	// result came from the cache and no attempt ran at all).
 	Attempts int
+	// CacheHit reports that Result was served from Options.Cache.
+	CacheHit bool
 	// Degraded reports a faulted-then-recovered experiment: at least one
 	// attempt failed but a later one succeeded, so the suite renders the
 	// result with an annotation instead of failing.
@@ -227,12 +244,15 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 // of each backoff sleep so one flaky experiment does not stall a
 // healthy one waiting for a worker.
 func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *obs.Span) Outcome {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
 	start := time.Now()
 	span := parent.Child("experiment:"+e.ID, "experiment")
 	span.SetAttr("id", e.ID)
 	defer span.End()
+
+	if res, ok := opts.Cache.Get(cacheKey(opts, e)); ok {
+		span.Event("cache hit")
+		return Outcome{Experiment: e, Result: res, CacheHit: true, Elapsed: time.Since(start)}
+	}
 
 	attempts := opts.Retries + 1
 	if attempts < 1 {
@@ -262,7 +282,12 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 			}
 		}
 		attemptStart := time.Now()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		allocBefore := mem.TotalAlloc
 		res, err, timedOut := runAttempt(e, opts, a, span)
+		runtime.ReadMemStats(&mem)
+		out.AllocBytes += mem.TotalAlloc - allocBefore
 		out.Result, out.Err, out.TimedOut = res, err, timedOut
 		out.Attempts = a
 		sawTimeout = sawTimeout || timedOut
@@ -291,10 +316,28 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	}
 	out.Experiment = e
 	out.Elapsed = time.Since(start)
-	runtime.ReadMemStats(&after)
-	out.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	if out.Err == nil && out.Attempts == 1 && !out.TimedOut {
+		if perr := opts.Cache.Put(cacheKey(opts, e), out.Result); perr != nil {
+			// A full or read-only cache slows the next run down; it must
+			// not fail this one.
+			span.Eventf("cache store failed: %v", perr)
+		}
+	}
 	opts.Obs.Histogram("runner.experiment.seconds").Observe(out.Elapsed.Seconds())
 	return out
+}
+
+// cacheKey addresses e's result for this run: per-experiment derived
+// seed (the same one Config hands the body), quick flag, fault-plan
+// hash, and the engine schema version.
+func cacheKey(opts Options, e experiments.Experiment) rescache.Key {
+	return rescache.Key{
+		ID:       e.ID,
+		Seed:     rng.Derive(opts.Seed, e.ID),
+		Quick:    opts.Quick,
+		PlanHash: opts.PlanHash,
+		Schema:   engine.SchemaVersion,
+	}
 }
 
 // annotate stamps a recovered result with its degradation record. The

@@ -9,6 +9,7 @@
 //	resilience bok                  # print the resilience strategy catalogue
 //	resilience scenario FILE.json   # run a declarative chaos scenario
 //	resilience chaos PLAN.json      # run the suite under a fault-injection plan
+//	resilience serve [flags]        # long-running HTTP experiment service
 //
 // Flags (accepted before or after positional arguments):
 //
@@ -28,6 +29,12 @@
 //	              <user cache dir>/resilience
 //	-no-cache     disable the result cache (always recompute)
 //
+// Serve-only flags:
+//
+//	-addr A             listen address (default 127.0.0.1:8080)
+//	-request-timeout D  end-to-end bound on one request (default 60s)
+//	-max-inflight N     max runs computing concurrently (default GOMAXPROCS)
+//
 // Results are cached content-addressed (internal/rescache) under a key
 // of experiment ID, derived seed, -quick, the fault plan's hash, and
 // the engine schema version; a warm run renders byte-identical output
@@ -42,14 +49,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"resilience/internal/core"
@@ -59,6 +70,7 @@ import (
 	"resilience/internal/rescache"
 	"resilience/internal/runner"
 	"resilience/internal/scenario"
+	"resilience/internal/server"
 )
 
 func main() {
@@ -81,6 +93,11 @@ type options struct {
 	memprofile string
 	cacheDir   string
 	noCache    bool
+
+	// serve-only flags.
+	addr           string
+	requestTimeout time.Duration
+	maxInflight    int
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
@@ -132,6 +149,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile after the run to this file")
 	fs.StringVar(&opt.cacheDir, "cache-dir", "", "result cache directory (default <user cache dir>/resilience)")
 	fs.BoolVar(&opt.noCache, "no-cache", false, "disable the result cache")
+	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8080", "serve: listen address")
+	fs.DurationVar(&opt.requestTimeout, "request-timeout", server.DefaultRequestTimeout, "serve: end-to-end bound on one request")
+	fs.IntVar(&opt.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "serve: max experiment runs computing concurrently")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -151,6 +171,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runScenario(stdout, positional[0], opt)
 	case "all":
 		return runSuite(stdout, stderr, experiments.All(), opt)
+	case "serve":
+		return serve(stderr, opt)
 	case "chaos":
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: resilience chaos <plan.json> [-seed N] [-quick] [-jobs N]")
@@ -201,24 +223,8 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 		fmt.Fprintf(stderr, "fault plan %q: %d faults, retries=%d, backoff=%v, timeout=%v\n",
 			plan.Name, len(plan.Faults), plan.Retries, plan.Backoff(), plan.Timeout())
 	}
-	// The result cache is on by default; any problem opening it degrades
-	// to a cacheless (slower, never incorrect) run.
-	var cache *rescache.Cache
-	if !opt.noCache {
-		dir := opt.cacheDir
-		if dir == "" {
-			var derr error
-			if dir, derr = rescache.DefaultDir(); derr != nil {
-				fmt.Fprintf(stderr, "result cache disabled: %v\n", derr)
-			}
-		}
-		if dir != "" {
-			var oerr error
-			if cache, oerr = rescache.Open(dir); oerr != nil {
-				fmt.Fprintf(stderr, "result cache disabled: %v\n", oerr)
-				cache = nil
-			}
-		}
+	cache := openCache(stderr, opt)
+	if cache != nil {
 		cache.SetObserver(observer)
 		ropts.Cache = cache
 		ropts.PlanHash = plan.Hash()
@@ -242,17 +248,8 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 				renderErr = err
 			}
 		}
-		status := "ok"
-		switch {
-		case o.Err != nil:
-			status = "FAILED: " + o.Err.Error()
-		case o.Degraded:
-			status = fmt.Sprintf("ok (degraded, %d attempts)", o.Attempts)
-		case o.CacheHit:
-			status = "ok (cached)"
-		}
 		fmt.Fprintf(stderr, "[%s %s in %v, ~%s alloc]\n",
-			o.Experiment.ID, status, o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
+			o.Experiment.ID, o.Status(), o.Elapsed.Round(time.Millisecond), fmtBytes(o.AllocBytes))
 	}
 	var stopCPU func() error
 	if opt.cpuprofile != "" {
@@ -284,8 +281,12 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			sum.Degraded, sum.Retries, sum.RecoveryTime.Round(time.Millisecond), sum.RecoveryLoss)
 	}
 	if cache != nil {
-		fmt.Fprintf(stderr, "cache: %d hits, %d misses, %d stores\n",
-			cache.Hits(), cache.Misses(), cache.Stores())
+		// Hits and coalesced are reported distinctly: a hit replayed a
+		// stored result, a coalesced outcome shared a concurrent
+		// identical computation without touching the store.
+		st := cache.Stats()
+		fmt.Fprintf(stderr, "cache: %d hits, %d misses, %d stores, %d coalesced\n",
+			st.Hits, st.Misses, st.Stores, sum.Coalesced)
 	}
 	if observer != nil {
 		if err := writeMetrics(stderr, observer, opt.metrics); err != nil {
@@ -304,6 +305,90 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 	}
 	return nil
 }
+
+// openCache opens the result cache per the -cache-dir/-no-cache flags.
+// Any problem degrades to nil — a cacheless (slower, never incorrect)
+// run — with a warning on stderr.
+func openCache(stderr io.Writer, opt options) *rescache.Cache {
+	if opt.noCache {
+		return nil
+	}
+	dir := opt.cacheDir
+	if dir == "" {
+		var err error
+		if dir, err = rescache.DefaultDir(); err != nil {
+			fmt.Fprintf(stderr, "result cache disabled: %v\n", err)
+			return nil
+		}
+	}
+	cache, err := rescache.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "result cache disabled: %v\n", err)
+		return nil
+	}
+	return cache
+}
+
+// serve runs the long-running HTTP experiment service until SIGINT or
+// SIGTERM, then drains in-flight runs before exiting. Observability is
+// always on in serve mode — /metrics is part of the service surface —
+// with the span buffer bounded so a long-lived process cannot grow its
+// trace without limit.
+func serve(stderr io.Writer, opt options) error {
+	observer := obs.New()
+	observer.Trace.SetLimit(serveSpanLimit)
+	cache := openCache(stderr, opt)
+	cache.SetObserver(observer)
+	cacheDesc := "off"
+	if cache != nil {
+		cacheDesc = cache.Dir()
+	}
+	srv := server.New(server.Config{
+		Cache:          cache,
+		Obs:            observer,
+		MaxInflight:    opt.maxInflight,
+		RequestTimeout: opt.requestTimeout,
+	})
+	l, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "serve: listening on %s (max-inflight %d, request-timeout %v, cache %s)\n",
+		l.Addr(), opt.maxInflight, opt.requestTimeout, cacheDesc)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+	}
+	fmt.Fprintln(stderr, "serve: draining in-flight runs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	st := cache.Stats()
+	fmt.Fprintf(stderr, "serve: drained (%d requests, %d coalesced; cache %d hits, %d misses, %d stores)\n",
+		observer.Metrics.Counter("server.requests").Value(),
+		observer.Metrics.Counter("server.coalesced").Value(),
+		st.Hits, st.Misses, st.Stores)
+	return nil
+}
+
+const (
+	// serveSpanLimit bounds the serve-mode trace buffer: enough recent
+	// request/experiment/attempt spans to debug with, without unbounded
+	// growth over a long-lived process.
+	serveSpanLimit = 4096
+	// drainTimeout is how long shutdown waits for in-flight runs.
+	drainTimeout = 30 * time.Second
+)
 
 // writeMetrics prints the deterministic-counter metrics section on
 // stderr and writes the full metrics document (counters plus the
@@ -490,6 +575,10 @@ commands:
   e01..e31                run one experiment
   scenario <file.json>    run a declarative chaos scenario
   chaos <plan.json>       run every experiment under a fault-injection plan
+  serve                   long-running HTTP service: POST /v1/run/{id} and
+                          /v1/suite run experiments (request-coalesced, cache-
+                          backed); GET /v1/experiments, /healthz, /readyz,
+                          /metrics; flags -addr, -request-timeout, -max-inflight
 
 Each experiment's seed is derived from -seed and its ID, so a single run
 reproduces the corresponding rows of a full-suite run with the same seed.

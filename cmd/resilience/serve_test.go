@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+	"resilience/internal/server"
+)
+
+// newServeTest boots the HTTP service exactly as `resilience serve`
+// wires it — full registry, observer, fresh cache — on an httptest
+// listener, and returns the base URL plus the observer for counter
+// assertions.
+func newServeTest(t *testing.T) (string, *obs.Observer) {
+	t.Helper()
+	o := obs.New()
+	cache, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetObserver(o)
+	s := server.New(server.Config{Cache: cache, Obs: o})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, o
+}
+
+func httpGet(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+func httpPost(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(out)
+}
+
+// checkGolden compares got against the committed golden file, honoring
+// the package-wide -update flag (golden_test.go).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "http", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("HTTP response drifted from %s at line %d:\n got: %q\nwant: %q\n"+
+				"If the change is intentional, rerun with -update.", path, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("HTTP response drifted from %s: got %d lines, want %d. "+
+		"If the change is intentional, rerun with -update.", path, len(gotLines), len(wantLines))
+}
+
+// TestServeExperimentsGolden pins GET /v1/experiments to a golden file
+// and asserts it is byte-identical to the CLI catalogue
+// (`resilience list -format json`): one schema, two transports.
+func TestServeExperimentsGolden(t *testing.T) {
+	url, _ := newServeTest(t)
+	code, _, body := httpGet(t, url+"/v1/experiments")
+	if code != 200 {
+		t.Fatalf("GET /v1/experiments status %d", code)
+	}
+	checkGolden(t, "experiments.golden", body)
+
+	cli, _, err := runCLI(t, "list", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != cli {
+		t.Fatal("GET /v1/experiments differs from `resilience list -format json`")
+	}
+}
+
+// TestServeRunGolden pins POST /v1/run/{id} bodies for a representative
+// experiment set — staged and unstaged, with and without a fault plan —
+// to committed golden files, and asserts each body is byte-identical to
+// the CLI's `-format json` output for the same seed and plan. The run
+// metadata (cache/degradation status, attempt count) lives in
+// X-Resilience-* headers precisely so these bodies stay deterministic.
+func TestServeRunGolden(t *testing.T) {
+	plan, err := os.ReadFile(filepath.Join("..", "..", "testdata", "plan.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		id      string
+		body    string
+		golden  string
+		status  string
+		cliArgs []string
+	}{
+		{
+			// e08 runs as a plain single-stage experiment.
+			name:    "unstaged",
+			id:      "e08",
+			body:    `{"seed":42,"quick":true}`,
+			golden:  "run_e08_seed42.golden",
+			status:  "ok",
+			cliArgs: []string{"e08", "-quick", "-seed", "42", "-format", "json"},
+		},
+		{
+			// e02 goes through the staged engine.
+			name:    "staged",
+			id:      "e02",
+			body:    `{"seed":42,"quick":true}`,
+			golden:  "run_e02_seed42.golden",
+			status:  "ok",
+			cliArgs: []string{"e02", "-quick", "-seed", "42", "-format", "json"},
+		},
+		{
+			// The canonical smoke plan injects a body fault on e02's first
+			// attempt; the run recovers on attempt 2 and reports degraded.
+			name:   "fault-plan-degraded",
+			id:     "e02",
+			body:   fmt.Sprintf(`{"seed":7,"quick":true,"plan":%s}`, plan),
+			golden: "run_e02_seed7_fault.golden",
+			status: "ok (degraded, 2 attempts)",
+			cliArgs: []string{"e02", "-quick", "-seed", "7",
+				"-faults", filepath.Join("..", "..", "testdata", "plan.json"),
+				"-format", "json"},
+		},
+	}
+	url, _ := newServeTest(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, hdr, body := httpPost(t, url+"/v1/run/"+tc.id, tc.body)
+			if code != 200 {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			if got := hdr.Get("X-Resilience-Status"); got != tc.status {
+				t.Fatalf("X-Resilience-Status %q, want %q", got, tc.status)
+			}
+			checkGolden(t, tc.golden, body)
+
+			cli, _, err := runCLI(t, tc.cliArgs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if body != cli {
+				t.Fatalf("HTTP body differs from CLI %v output", tc.cliArgs)
+			}
+		})
+	}
+}
+
+// TestServeSuiteGolden pins a POST /v1/suite subset run: an NDJSON
+// stream with one compact Result document per requested experiment, in
+// request order, plus the warm-repeat byte-identity the acceptance
+// criteria demand.
+func TestServeSuiteGolden(t *testing.T) {
+	url, o := newServeTest(t)
+	req := `{"seed":42,"quick":true,"ids":["e08","e02","e01"]}`
+	code, hdr, cold := httpPost(t, url+"/v1/suite", req)
+	if code != 200 {
+		t.Fatalf("POST /v1/suite status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("suite Content-Type %q", ct)
+	}
+	checkGolden(t, "suite_subset.golden", cold)
+
+	_, _, warm := httpPost(t, url+"/v1/suite", req)
+	if warm != cold {
+		t.Fatal("warm suite body differs from cold run")
+	}
+	if hits := o.Metrics.Counter("rescache.hits").Value(); hits != 3 {
+		t.Fatalf("rescache.hits = %d, want 3 (warm subset fully cached)", hits)
+	}
+}

@@ -186,6 +186,28 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Canonical returns the result as it would appear after one JSON round
+// trip: cell values recorded as Go structs become generic maps that
+// marshal with sorted keys, numbers become float64, and so on. The
+// runner canonicalizes every computed result so a fresh run and a
+// cache replay (which stores the round-tripped form) render
+// byte-identical JSON — without this, a struct-valued cell marshals in
+// field order when fresh but key order when replayed. Text rendering
+// is unaffected either way: it reads only the Text strings, which
+// round-trip exactly. On a marshalling error the result is returned
+// unchanged.
+func (r *Result) Canonical() *Result {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return r
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return r
+	}
+	return &out
+}
+
 // Recorder collects an experiment's output. Experiments emit named
 // tables, scalars, and notes through it instead of writing text to an
 // io.Writer, so one run can be rendered as text, JSON, or artifacts.

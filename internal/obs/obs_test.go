@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -207,4 +208,36 @@ func TestPProfFiles(t *testing.T) {
 	if _, err := StartCPUProfile(filepath.Join(dir, "missing-dir", "cpu.pprof")); err == nil {
 		t.Fatal("want error for uncreatable profile path")
 	}
+}
+
+func TestTracerSetLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("span%02d", i), "test").End()
+	}
+	docs := tr.Snapshot()
+	if len(docs) != 3 {
+		t.Fatalf("%d spans retained, want 3", len(docs))
+	}
+	// Retention keeps the newest spans, in start order.
+	for i, want := range []string{"span07", "span08", "span09"} {
+		if docs[i].Name != want {
+			t.Fatalf("span %d is %q, want %q", i, docs[i].Name, want)
+		}
+	}
+	// Lowering the limit on an already-full tracer trims immediately.
+	tr.SetLimit(1)
+	if docs := tr.Snapshot(); len(docs) != 1 || docs[0].Name != "span09" {
+		t.Fatalf("after SetLimit(1): %+v", docs)
+	}
+	// n <= 0 disables the limit; existing spans stay, new ones accumulate.
+	tr.SetLimit(0)
+	tr.Start("extra", "test").End()
+	if docs := tr.Snapshot(); len(docs) != 2 {
+		t.Fatalf("unlimited tracer has %d spans, want 2", len(docs))
+	}
+	// Nil tracer: no panic.
+	var nilTr *Tracer
+	nilTr.SetLimit(5)
 }

@@ -15,11 +15,40 @@ type Tracer struct {
 	epoch  time.Time
 	spans  []*Span
 	nextID int
+	limit  int
 }
 
 // NewTracer returns a tracer whose epoch is now.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetLimit bounds how many spans the tracer retains: once more than n
+// have been started, the oldest are dropped from future Snapshots. A
+// one-shot CLI run keeps the default (n <= 0, unlimited) so its trace
+// is complete; a long-running server sets a limit so per-request spans
+// cannot grow memory without bound. Children can outlive a dropped
+// ancestor — their parent id then names a span absent from the
+// document, which consumers should treat as a root.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = n
+	t.trim()
+}
+
+// trim enforces the retention limit; callers hold t.mu.
+func (t *Tracer) trim() {
+	if t.limit <= 0 || len(t.spans) <= t.limit {
+		return
+	}
+	drop := len(t.spans) - t.limit
+	// Re-slice into a fresh array so dropped spans become collectable
+	// instead of pinned by the backing array.
+	t.spans = append(make([]*Span, 0, t.limit), t.spans[drop:]...)
 }
 
 // Start begins a root span.
@@ -36,6 +65,7 @@ func (t *Tracer) newSpan(name, kind string, parent int) *Span {
 	t.nextID++
 	s := &Span{t: t, id: t.nextID, parent: parent, name: name, kind: kind, start: time.Since(t.epoch)}
 	t.spans = append(t.spans, s)
+	t.trim()
 	return s
 }
 

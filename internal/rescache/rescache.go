@@ -159,6 +159,21 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, k.Digest()+".json")
 }
 
+// Stats is a point-in-time snapshot of cache traffic since Open.
+type Stats struct {
+	Hits, Misses, Stores int64
+}
+
+// Stats returns the cache's traffic counters in one consistent-enough
+// snapshot (each counter is read atomically; zero for a nil cache).
+// Long-running consumers like the HTTP server report it at drain time.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Stores: c.stores.Load()}
+}
+
 // Hits reports cache hits since Open (0 for a nil cache).
 func (c *Cache) Hits() int64 {
 	if c == nil {

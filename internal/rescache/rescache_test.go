@@ -178,3 +178,25 @@ func TestObserverCounters(t *testing.T) {
 		}
 	}
 }
+
+func TestStats(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	c.Get(k) // miss
+	if err := c.Put(k, record(t, "e05", 42)); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(k) // hit
+	c.Get(k) // hit
+	if st := c.Stats(); st != (Stats{Hits: 2, Misses: 1, Stores: 1}) {
+		t.Fatalf("Stats() = %+v, want {Hits:2 Misses:1 Stores:1}", st)
+	}
+	// Nil cache: zero stats, no panic — mirrors the other nil no-ops.
+	var nilCache *Cache
+	if st := nilCache.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache Stats() = %+v, want zero", st)
+	}
+}

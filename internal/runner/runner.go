@@ -107,10 +107,18 @@ type Outcome struct {
 	// is process-wide, so concurrent experiments' allocations mix).
 	AllocBytes uint64
 	// Attempts is how many attempts ran (1 = no retries needed, 0 = the
-	// result came from the cache and no attempt ran at all).
+	// result came from the cache, or from a coalesced concurrent run,
+	// and no attempt ran at all).
 	Attempts int
 	// CacheHit reports that Result was served from Options.Cache.
 	CacheHit bool
+	// Coalesced reports that Result was shared from an identical run
+	// already in flight (same cache key) instead of being computed or
+	// read from the cache. The runner itself never coalesces — each
+	// experiment appears once per suite — but the HTTP server
+	// (internal/server) folds a thundering herd of identical requests
+	// onto one computation and stamps the waiters' outcomes with it.
+	Coalesced bool
 	// Degraded reports a faulted-then-recovered experiment: at least one
 	// attempt failed but a later one succeeded, so the suite renders the
 	// result with an annotation instead of failing.
@@ -120,6 +128,28 @@ type Outcome struct {
 	// Recovery measures the recovery triangle; nil when the first
 	// attempt succeeded.
 	Recovery *Recovery
+}
+
+// Status renders the outcome's one-word(ish) status: "ok" possibly
+// refined to "ok (coalesced)", "ok (cached)", or "ok (degraded, N
+// attempts)", or "FAILED: <err>". It is the single source for the CLI's
+// stderr progress lines and the HTTP server's X-Resilience-Status
+// header, so the two surfaces never disagree about what happened.
+// Coalesced outranks the leader's flags: the waiter's request did no
+// work of its own, whatever the shared computation went through.
+func (o Outcome) Status() string {
+	switch {
+	case o.Err != nil:
+		return "FAILED: " + o.Err.Error()
+	case o.Coalesced:
+		return "ok (coalesced)"
+	case o.CacheHit:
+		return "ok (cached)"
+	case o.Degraded:
+		return fmt.Sprintf("ok (degraded, %d attempts)", o.Attempts)
+	default:
+		return "ok"
+	}
 }
 
 // Summary aggregates a suite run.
@@ -134,6 +164,14 @@ type Summary struct {
 	DegradedIDs []string
 	// Retries is the total number of re-run attempts across the suite.
 	Retries int
+	// CacheHits counts experiments whose result was served from the
+	// result cache (Outcome.CacheHit).
+	CacheHits int
+	// Coalesced counts experiments whose result was shared from an
+	// identical in-flight run (Outcome.Coalesced) — distinct from
+	// CacheHits so operators can tell a warm cache from a thundering
+	// herd folded onto one computation.
+	Coalesced int
 	// RecoveryTime sums TimeToRecover over experiments that needed
 	// recovery (degraded or failed).
 	RecoveryTime time.Duration
@@ -209,6 +247,12 @@ func Run(exps []experiments.Experiment, opts Options, emit func(Outcome)) Summar
 		if o.Degraded {
 			sum.Degraded++
 			sum.DegradedIDs = append(sum.DegradedIDs, o.Experiment.ID)
+		}
+		if o.CacheHit {
+			sum.CacheHits++
+		}
+		if o.Coalesced {
+			sum.Coalesced++
 		}
 		if o.Attempts > 1 {
 			sum.Retries += o.Attempts - 1
@@ -316,6 +360,13 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	}
 	out.Experiment = e
 	out.Elapsed = time.Since(start)
+	if out.Result != nil {
+		// Canonicalize before storing or returning, so a fresh result
+		// and its future cache replay marshal to identical JSON (struct-
+		// valued cells would otherwise flip from field order to sorted
+		// key order across the round trip).
+		out.Result = out.Result.Canonical()
+	}
 	if out.Err == nil && out.Attempts == 1 && !out.TimedOut {
 		if perr := opts.Cache.Put(cacheKey(opts, e), out.Result); perr != nil {
 			// A full or read-only cache slows the next run down; it must
@@ -325,6 +376,14 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	}
 	opts.Obs.Histogram("runner.experiment.seconds").Observe(out.Elapsed.Seconds())
 	return out
+}
+
+// CacheKey returns the rescache key a run with opts uses for e. The
+// HTTP server coalesces concurrent identical requests on this key's
+// digest, so two requests fold onto one computation exactly when the
+// cache would consider them the same run.
+func CacheKey(opts Options, e experiments.Experiment) rescache.Key {
+	return cacheKey(opts, e)
 }
 
 // cacheKey addresses e's result for this run: per-experiment derived

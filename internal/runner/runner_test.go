@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"resilience/internal/experiments"
+	"resilience/internal/rescache"
 	"resilience/internal/rng"
 )
 
@@ -142,5 +143,64 @@ func TestRunNilEmitAndStats(t *testing.T) {
 	Run(exps, Options{Jobs: 1, Seed: 1}, func(o Outcome) { out = o })
 	if out.Elapsed < 0 {
 		t.Fatalf("negative elapsed %v", out.Elapsed)
+	}
+}
+
+// TestOutcomeStatus pins the one-word status vocabulary shared by the
+// CLI stats line and the server's X-Resilience-Status header: cached,
+// coalesced, degraded, and failed runs must all be distinguishable.
+func TestOutcomeStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		out  Outcome
+		want string
+	}{
+		{"fresh", Outcome{Attempts: 1}, "ok"},
+		{"cached", Outcome{CacheHit: true}, "ok (cached)"},
+		{"coalesced", Outcome{Coalesced: true}, "ok (coalesced)"},
+		{"degraded", Outcome{Degraded: true, Attempts: 2}, "ok (degraded, 2 attempts)"},
+		{"failed", Outcome{Err: errors.New("boom"), Attempts: 3}, "FAILED: boom"},
+		// Precedence: an error outranks every ok-flavor; coalesced
+		// outranks cached (a waiter never read the cache itself).
+		{"failed-degraded", Outcome{Err: errors.New("boom"), Degraded: true}, "FAILED: boom"},
+		{"coalesced-beats-cached", Outcome{Coalesced: true, CacheHit: true}, "ok (coalesced)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.out.Status(); got != tc.want {
+				t.Fatalf("Status() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSummaryCountsCacheHits: a second Run over the same cache serves
+// every experiment from it, and the summary tallies each hit so the
+// stats line can report a warm suite.
+func TestSummaryCountsCacheHits(t *testing.T) {
+	cache, err := rescache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []experiments.Experiment{fakeExp("t00", noop), fakeExp("t01", noop)}
+	opts := Options{Jobs: 1, Seed: 42, Quick: true, Cache: cache}
+	cold := Run(exps, opts, nil)
+	if cold.CacheHits != 0 || cold.Coalesced != 0 {
+		t.Fatalf("cold run CacheHits=%d Coalesced=%d, want 0/0", cold.CacheHits, cold.Coalesced)
+	}
+	var statuses []string
+	warm := Run(exps, opts, func(o Outcome) { statuses = append(statuses, o.Status()) })
+	if warm.CacheHits != len(exps) {
+		t.Fatalf("warm run CacheHits=%d, want %d", warm.CacheHits, len(exps))
+	}
+	// The runner itself never coalesces (that is internal/server's job),
+	// so a warm run reports cached, not coalesced.
+	if warm.Coalesced != 0 {
+		t.Fatalf("warm run Coalesced=%d, want 0", warm.Coalesced)
+	}
+	for _, s := range statuses {
+		if s != "ok (cached)" {
+			t.Fatalf("warm status %q, want ok (cached)", s)
+		}
 	}
 }

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"resilience/internal/runner"
+)
+
+// flightGroup is a singleflight for experiment runs: concurrent do
+// calls with the same key share the first caller's computation. Keys
+// are rescache digests (runner.CacheKey(...).Digest()), so two requests
+// coalesce exactly when the result cache would consider them the same
+// run — a thundering herd of identical requests computes once, stores
+// once, and the other N−1 callers share the outcome.
+//
+// Unlike x/sync/singleflight (not vendored; the container has no
+// network), waiters are cancellable: a waiter whose context expires
+// walks away with ctx.Err() while the leader keeps computing for the
+// rest.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	out     runner.Outcome
+	err     error
+	waiters atomic.Int64
+}
+
+// do returns fn's outcome for key, either by calling fn (leader,
+// coalesced=false) or by waiting for an in-flight leader with the same
+// key (coalesced=true). The leader's result — including its error — is
+// shared with every waiter; a waiter's own ctx expiring unblocks just
+// that waiter.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (runner.Outcome, error)) (out runner.Outcome, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.out, true, f.err
+		case <-ctx.Done():
+			return runner.Outcome{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out, f.err = fn()
+	// Unregister before signalling completion: a request arriving after
+	// the results are ready must start (or join) a fresh flight — it is
+	// the cache's job, not the coalescer's, to serve finished runs.
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false, f.err
+}
+
+// waiterCount reports how many callers are blocked on key's in-flight
+// leader (0 when no flight is active). Tests use it to hold a herd in
+// place before releasing the leader.
+func (g *flightGroup) waiterCount(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}

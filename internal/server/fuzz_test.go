@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+)
+
+// FuzzDecodeRunRequest fuzzes the run-request decoder and the /v1/run
+// handler behind it, the HTTP sibling of the faultinject plan fuzzers:
+// whatever bytes arrive, the handler must not panic, and every non-200
+// response must be a well-formed error envelope. Seeded from the
+// canonical plan document (testdata/plan.json) wrapped in a request
+// body, plus the interesting hand-written corners.
+func FuzzDecodeRunRequest(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"seed":7,"quick":true}`))
+	f.Add([]byte(`{"seed":18446744073709551615}`))
+	f.Add([]byte(`{"seed":-1}`))
+	f.Add([]byte(`{"ids":["t01","t01"]}`))
+	f.Add([]byte(`{"plan":null}`))
+	f.Add([]byte(`{"plan":{"faults":[]}}`))
+	f.Add([]byte(`{"plan":{"retries":1,"faults":[{"experiment":"*","kind":"error"}]}}`))
+	f.Add([]byte(`{"sede":7}`))
+	f.Add([]byte(`{} {}`))
+	if plan, err := os.ReadFile("../../testdata/plan.json"); err == nil {
+		var body bytes.Buffer
+		body.WriteString(`{"seed":7,"quick":true,"plan":`)
+		body.Write(plan)
+		body.WriteString(`}`)
+		f.Add(body.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The decoder itself must be total: no panic, and on success a
+		// plan that passed validation.
+		p, err := decodeRunRequest(bytes.NewReader(data))
+		if err == nil && p.Plan != nil {
+			if verr := p.Plan.Validate(); verr != nil {
+				t.Fatalf("decoder accepted an invalid plan: %v", verr)
+			}
+		}
+
+		// Drive the full handler only for inputs whose plan cannot make
+		// the run arbitrarily slow (huge retry counts or delay faults);
+		// the property under test is decoder/envelope robustness, not
+		// runner throughput.
+		if err == nil && p.Plan != nil {
+			if p.Plan.Retries > 2 {
+				return
+			}
+			for _, fault := range p.Plan.Faults {
+				if fault.DelayMs > 10 || fault.Skips > 1000 {
+					return
+				}
+			}
+			if p.Plan.TimeoutMs > 0 && p.Plan.TimeoutMs < 10000 {
+				// A short plan timeout can abandon the attempt and leave
+				// its goroutine draining across fuzz iterations.
+				return
+			}
+		}
+		s := New(Config{
+			Registry: []experiments.Experiment{fakeExp("t01", noop)},
+			Obs:      obs.New(),
+		})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/run/t01", bytes.NewReader(data))
+		s.Handler().ServeHTTP(rec, req)
+		switch {
+		case rec.Code == 200:
+			var res experiments.Result
+			if jerr := json.Unmarshal(rec.Body.Bytes(), &res); jerr != nil {
+				t.Fatalf("200 body is not a Result document: %v", jerr)
+			}
+			if res.ID != "t01" {
+				t.Fatalf("200 body for wrong experiment: %q", res.ID)
+			}
+		case rec.Code == 400 || rec.Code == 500:
+			var eb errorBody
+			if jerr := json.Unmarshal(rec.Body.Bytes(), &eb); jerr != nil {
+				t.Fatalf("status %d body is not an error envelope: %v\n%s", rec.Code, jerr, rec.Body.String())
+			}
+			if eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("status %d envelope missing code/message: %s", rec.Code, rec.Body.String())
+			}
+			if !strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+				t.Fatalf("error response Content-Type %q", rec.Header().Get("Content-Type"))
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, data)
+		}
+	})
+}

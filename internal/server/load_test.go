@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/runner"
+)
+
+// herdSize is the thundering-herd width of the coalescing test: the
+// acceptance criterion's 32 concurrent identical requests.
+const herdSize = 32
+
+// TestCoalescedHerdComputesOnce is the load test of the tentpole's
+// coalescing contract: herdSize concurrent identical /v1/run requests
+// produce exactly one computation, one cache store, and herdSize−1
+// coalesced waiters sharing the leader's result byte for byte.
+//
+// The experiment body blocks until released, and the test releases it
+// only once every follower is registered on the flight, so the herd is
+// provably concurrent — no follower can slip in after the leader
+// finished and be served by the cache instead.
+func TestCoalescedHerdComputesOnce(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var runs int // guarded by the flight group: only the leader runs
+	gate := fakeExp("tgate", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		runs++
+		rec.Notef("gated run, seed %d", cfg.Seed)
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	s, ts, o := newTestServer(t, Config{
+		Registry:    []experiments.Experiment{gate},
+		MaxInflight: 4,
+	})
+
+	type reply struct {
+		status string
+		body   string
+		code   int
+	}
+	replies := make(chan reply, herdSize)
+	var wg sync.WaitGroup
+	for i := 0; i < herdSize; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run/tgate", "application/json",
+				strings.NewReader(`{"seed":7,"quick":true}`))
+			if err != nil {
+				replies <- reply{status: "transport error: " + err.Error()}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			replies <- reply{status: resp.Header.Get(statusHeader), body: string(body), code: resp.StatusCode}
+		}()
+	}
+
+	// Wait for the leader to be computing, then for all herdSize−1
+	// followers to be parked on its flight, then release the leader.
+	<-started
+	key := runner.CacheKey(s.options(runParams{Seed: 7, Quick: true}), gate).Digest()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.waiterCount(key) != herdSize-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers joined the flight", s.flights.waiterCount(key), herdSize-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(replies)
+
+	var okCount, coalescedCount int
+	var firstBody string
+	for r := range replies {
+		if r.code != 200 {
+			t.Fatalf("herd member got %d %q", r.code, r.status)
+		}
+		if firstBody == "" {
+			firstBody = r.body
+		} else if r.body != firstBody {
+			t.Fatal("herd members received different bodies")
+		}
+		switch r.status {
+		case "ok":
+			okCount++
+		case "ok (coalesced)":
+			coalescedCount++
+		default:
+			t.Fatalf("unexpected status %q", r.status)
+		}
+	}
+	if okCount != 1 || coalescedCount != herdSize-1 {
+		t.Fatalf("got %d ok / %d coalesced, want 1 / %d", okCount, coalescedCount, herdSize-1)
+	}
+	if runs != 1 {
+		t.Fatalf("experiment body ran %d times, want 1", runs)
+	}
+	if stores := o.Metrics.Counter("rescache.stores").Value(); stores != 1 {
+		t.Fatalf("rescache.stores = %d, want exactly 1", stores)
+	}
+	if co := o.Metrics.Counter("server.coalesced").Value(); co != herdSize-1 {
+		t.Fatalf("server.coalesced = %d, want %d", co, herdSize-1)
+	}
+	// A straggler arriving after the herd dispersed is a cache hit, not
+	// a coalesced waiter: the flight must be unregistered by now.
+	_, hdr, _ := post(t, ts.URL+"/v1/run/tgate", `{"seed":7,"quick":true}`)
+	if got := hdr.Get(statusHeader); got != "ok (cached)" {
+		t.Fatalf("straggler status %q, want ok (cached)", got)
+	}
+}
+
+// TestWarmSuiteByteIdentical is the acceptance criterion's suite half:
+// a second identical POST /v1/suite over the full registry streams a
+// byte-identical NDJSON body, with every experiment served from the
+// cache (rescache.hits covers the registry).
+func TestWarmSuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	_, ts, o := newTestServer(t, Config{Registry: experiments.All()})
+	n := len(experiments.All())
+	req := `{"seed":42,"quick":true}`
+	code, _, cold := post(t, ts.URL+"/v1/suite", req)
+	if code != 200 {
+		t.Fatalf("cold suite status %d", code)
+	}
+	code, _, warm := post(t, ts.URL+"/v1/suite", req)
+	if code != 200 {
+		t.Fatalf("warm suite status %d", code)
+	}
+	if cold != warm {
+		t.Fatal("warm suite body differs from cold run")
+	}
+	if got := strings.Count(cold, "\n"); got != n {
+		t.Fatalf("suite streamed %d lines, want %d", got, n)
+	}
+	if hits := o.Metrics.Counter("rescache.hits").Value(); hits != int64(n) {
+		t.Fatalf("rescache.hits = %d, want %d (warm run fully cached)", hits, n)
+	}
+	if stores := o.Metrics.Counter("rescache.stores").Value(); stores != int64(n) {
+		t.Fatalf("rescache.stores = %d, want %d (cold run stores once each)", stores, n)
+	}
+}
+
+// TestShutdownDrainsInflight proves graceful shutdown: a run in flight
+// when Shutdown begins completes with a 200, Shutdown waits for it, and
+// afterwards nothing is left running — the inflight gauge is back to
+// zero and the goroutine count settles to its pre-server level (the
+// PR 3 leak-test pattern).
+func TestShutdownDrainsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	started := make(chan struct{}, 1)
+	slow := fakeExp("tslow", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		started <- struct{}{}
+		time.Sleep(200 * time.Millisecond)
+		rec.Notef("slow done")
+		return nil
+	})
+	o := obs.New()
+	s := New(Config{Registry: []experiments.Experiment{slow}, Obs: o, RequestTimeout: 10 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	url := fmt.Sprintf("http://%s/v1/run/tslow", l.Addr())
+
+	type result struct {
+		code int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got <- result{code: resp.StatusCode}
+	}()
+
+	<-started // the run is in flight; begin the drain
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.code != 200 {
+		t.Fatalf("in-flight request during drain: code %d err %v, want 200", r.code, r.err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+
+	// Everything must have drained: inflight back to zero, goroutines
+	// back to (roughly) the pre-server count. Poll with a deadline, as
+	// the PR 3 leak tests do, since conn teardown is asynchronous.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		inflight := o.Gauge("server.inflight").Value()
+		if inflight == 0 && runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never drained: inflight=%v goroutines=%d (was %d)",
+				inflight, runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRequestTimeoutWhileQueued: with the single worker slot held by a
+// gated run, a second *different* request (no coalescing possible)
+// times out in the queue with a structured 504 instead of waiting
+// forever. The gated run carries a plan with a long per-attempt
+// timeout, so the slot stays held past the queued request's deadline —
+// without it the leader's attempt would time out at the same instant
+// and release the slot, racing the assertion.
+func TestRequestTimeoutWhileQueued(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	gate := fakeExp("tgate", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	_, ts, _ := newTestServer(t, Config{
+		Registry:       []experiments.Experiment{gate, fakeExp("t01", noop)},
+		MaxInflight:    1,
+		RequestTimeout: 150 * time.Millisecond,
+	})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		resp, err := http.Post(ts.URL+"/v1/run/tgate", "application/json",
+			strings.NewReader(`{"plan":{"timeoutMs":60000,"faults":[]}}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	code, _, body := post(t, ts.URL+"/v1/run/t01", `{}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued request status %d, want 504: %s", code, body)
+	}
+	if eb := decodeErrorBody(t, body); eb.Error.Code != "timeout" {
+		t.Fatalf("error code %q, want timeout", eb.Error.Code)
+	}
+	close(release)
+	<-leaderDone
+}

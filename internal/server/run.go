@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"resilience/internal/engine"
+	"resilience/internal/experiments"
+	"resilience/internal/faultinject"
+	"resilience/internal/runner"
+)
+
+// Response headers carrying run metadata. Anything that can legally
+// differ between two identical requests (a warm repeat is cached, a
+// herd member is coalesced) lives here so response *bodies* stay
+// deterministic and golden-testable.
+const (
+	statusHeader   = "X-Resilience-Status"
+	attemptsHeader = "X-Resilience-Attempts"
+	schemaHeader   = "X-Resilience-Schema"
+)
+
+// DefaultSeed is the root seed used when a request document omits one —
+// the same default as the CLI's -seed flag.
+const DefaultSeed = 42
+
+// maxBodyBytes bounds a request document; a fault plan is a few KiB at
+// most, so 1 MiB is generous without letting a client balloon memory.
+const maxBodyBytes = 1 << 20
+
+// runRequest is the wire shape of a /v1/run and /v1/suite request body.
+// All fields are optional; an empty (or absent) body means "seed 42,
+// full size, no faults, whole registry".
+type runRequest struct {
+	// Seed is the root seed; each experiment still runs with its
+	// derived per-experiment seed, exactly like the CLI.
+	Seed *uint64 `json:"seed"`
+	// Quick shrinks workloads.
+	Quick bool `json:"quick"`
+	// Plan is an inline fault-injection plan document
+	// (internal/faultinject); it also enables the plan's retries,
+	// backoff, and per-attempt timeout.
+	Plan json.RawMessage `json:"plan"`
+	// IDs restricts a /v1/suite run to the listed experiments, in the
+	// given order. Invalid on /v1/run (the id is in the path).
+	IDs []string `json:"ids"`
+}
+
+// runParams is a decoded, validated request.
+type runParams struct {
+	Seed  uint64
+	Quick bool
+	Plan  *faultinject.Plan
+	IDs   []string
+}
+
+// decodeRunRequest parses a request body into runParams. It is strict —
+// unknown fields, trailing data, and invalid plans are errors — so
+// typos in hand-written requests fail loudly instead of silently
+// running the wrong experiment. An empty body yields the defaults.
+func decodeRunRequest(body io.Reader) (runParams, error) {
+	p := runParams{Seed: DefaultSeed}
+	data, err := io.ReadAll(io.LimitReader(body, maxBodyBytes+1))
+	if err != nil {
+		return p, fmt.Errorf("read request body: %w", err)
+	}
+	if len(data) > maxBodyBytes {
+		return p, fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return p, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var raw runRequest
+	if err := dec.Decode(&raw); err != nil {
+		return p, fmt.Errorf("parse request body: %w", err)
+	}
+	if dec.More() {
+		return p, errors.New("trailing data after request document")
+	}
+	if raw.Seed != nil {
+		p.Seed = *raw.Seed
+	}
+	p.Quick = raw.Quick
+	p.IDs = raw.IDs
+	if len(raw.Plan) > 0 && !bytes.Equal(bytes.TrimSpace(raw.Plan), []byte("null")) {
+		plan, err := faultinject.Parse(raw.Plan)
+		if err != nil {
+			return p, fmt.Errorf("invalid fault plan: %w", err)
+		}
+		p.Plan = plan
+	}
+	return p, nil
+}
+
+// options builds the runner options one request's runs execute under.
+// The per-attempt timeout is the plan's when set, else the request
+// budget, so a run that ignores its cancel signal cannot outlive the
+// request that asked for it.
+func (s *Server) options(p runParams) runner.Options {
+	opts := runner.Options{
+		Jobs:  1,
+		Seed:  p.Seed,
+		Quick: p.Quick,
+		Obs:   s.obs,
+		Cache: s.cache,
+	}
+	if p.Plan != nil {
+		p.Plan.SetObserver(s.obs)
+		opts.Hooks = p.Plan.HookFor
+		opts.Retries = p.Plan.Retries
+		opts.Backoff = p.Plan.Backoff()
+		opts.Timeout = p.Plan.Timeout()
+		opts.PlanHash = p.Plan.Hash()
+	}
+	if opts.Timeout <= 0 && s.timeout > 0 {
+		opts.Timeout = s.timeout
+	}
+	return opts
+}
+
+// execute runs one experiment for one request, coalescing onto an
+// identical in-flight run when there is one. Only the flight leader
+// takes a worker-pool slot; waiters block on the leader's completion
+// (or their own deadline). The returned error is a transport-level
+// failure (timeout while queued or waiting); an experiment failure
+// travels inside the Outcome.
+func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runParams) (runner.Outcome, error) {
+	opts := s.options(p)
+	key := runner.CacheKey(opts, e).Digest()
+	out, coalesced, err := s.flights.do(ctx, key, func() (runner.Outcome, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return runner.Outcome{}, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		var got runner.Outcome
+		runner.Run([]experiments.Experiment{e}, opts, func(o runner.Outcome) { got = o })
+		return got, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	if coalesced {
+		// The waiter shares the leader's Result; its own request did no
+		// work, whatever the leader went through to produce it.
+		out.Coalesced = true
+		out.CacheHit = false
+		out.Attempts = 0
+		s.obs.Counter("server.coalesced").Inc()
+	}
+	return out, nil
+}
+
+// handleRun executes one experiment and responds with the Result JSON
+// document — byte-identical to `resilience <id> -format json` for the
+// same seed/quick/plan. Degraded-but-recovered runs are 200 with the
+// degradation annotation in the body; only a run whose final attempt
+// failed is a 500 (with the partial result attached to the error
+// envelope, mirroring the CLI, which still renders it).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.byID[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_experiment", fmt.Sprintf("unknown experiment %q", id))
+		return
+	}
+	p, err := decodeRunRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if len(p.IDs) > 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", `"ids" is only valid for /v1/suite; the run target is in the path`)
+		return
+	}
+	out, err := s.execute(r.Context(), e, p)
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	w.Header().Set(statusHeader, out.Status())
+	w.Header().Set(attemptsHeader, strconv.Itoa(out.Attempts))
+	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
+	if out.Err != nil {
+		writeErrorResult(w, http.StatusInternalServerError, "experiment_failed", out.Err.Error(), id, out.Result)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	experiments.RenderJSON(w, out.Result)
+}
+
+// handleSuite runs a set of experiments (the whole registry, or the
+// request's "ids" subset) and streams one compact Result JSON document
+// per line — NDJSON — in input order as results become available, the
+// same order-preserving emit contract internal/runner gives the CLI.
+// Every line is deterministic for the request document, so a warm
+// repeat of the same request streams a byte-identical body; a failed
+// experiment's line is its (partial) Result carrying the error field,
+// and never aborts the stream.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	p, err := decodeRunRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	exps := s.reg
+	if len(p.IDs) > 0 {
+		exps = make([]experiments.Experiment, 0, len(p.IDs))
+		for _, id := range p.IDs {
+			e, ok := s.byID[id]
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown_experiment", fmt.Sprintf("unknown experiment %q", id))
+				return
+			}
+			exps = append(exps, e)
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
+
+	// Fan every experiment out immediately; the worker pool inside
+	// execute bounds actual compute, and identical concurrent suite
+	// requests coalesce per experiment.
+	ctx := r.Context()
+	outs := make([]runner.Outcome, len(exps))
+	errs := make([]error, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range exps {
+		i := i
+		done[i] = make(chan struct{})
+		go func() {
+			defer close(done[i])
+			outs[i], errs[i] = s.execute(ctx, exps[i], p)
+		}()
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range exps {
+		<-done[i]
+		if errs[i] != nil {
+			// Headers are gone; report the transport failure as an
+			// in-stream error line and keep going.
+			enc.Encode(errorBody{Error: errObj{
+				Code: transportCode(errs[i]), Message: errs[i].Error(), ID: exps[i].ID,
+			}})
+		} else {
+			enc.Encode(outs[i].Result)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// errObj is the machine-readable error payload.
+type errObj struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	ID      string `json:"id,omitempty"`
+}
+
+// errorBody is the envelope of every non-2xx response (and of in-stream
+// suite error lines): always {"error":{...}}, optionally with the
+// partial result a failed experiment still recorded.
+type errorBody struct {
+	Error  errObj              `json:"error"`
+	Result *experiments.Result `json:"result,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorResult(w, status, code, msg, "", nil)
+}
+
+func writeErrorResult(w http.ResponseWriter, status int, code, msg, id string, res *experiments.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeIndentedJSON(w, errorBody{Error: errObj{Code: code, Message: msg, ID: id}, Result: res})
+}
+
+// writeTransportError maps a queueing/coalescing failure to a status:
+// a request that ran out of budget is a 504, anything else (client
+// disconnect, drain) a 503.
+func writeTransportError(w http.ResponseWriter, err error) {
+	status := http.StatusServiceUnavailable
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, transportCode(err), err.Error())
+}
+
+func transportCode(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	return "unavailable"
+}
+
+// writeIndentedJSON renders v exactly like the CLI's writeJSON helper:
+// two-space indent plus a trailing newline, so shared documents (the
+// experiments listing) are byte-identical across both surfaces.
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Marshalling our own response types cannot fail in practice;
+		// degrade to a bare 500 rather than panicking the handler.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

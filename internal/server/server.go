@@ -1,0 +1,235 @@
+// Package server exposes the experiment suite as a long-running HTTP
+// service: the network surface the ROADMAP's "serves heavy traffic"
+// north star asks for, wrapped around the same registry, staged engine,
+// result cache, and observability layer the CLI uses. The paper's
+// resilience machinery only matters once the system is operated as a
+// service under sustained load, so the server is production-shaped:
+//
+//   - bounded concurrency — computing requests take a slot on a worker
+//     pool (internal/runner semantics); excess requests queue and are
+//     bounded by the per-request timeout rather than melting the host;
+//   - request coalescing — concurrent requests for the same
+//     (experiment, seed, quick, plan) tuple fold onto one computation,
+//     keyed by the same rescache digest the result cache uses, so a
+//     thundering herd computes once and N−1 callers share the result;
+//   - graceful shutdown — Shutdown marks the server draining (readyz
+//     flips to 503, new /v1 requests are refused) and waits for
+//     in-flight runs to finish;
+//   - observability — server.requests / server.coalesced counters and a
+//     server.inflight gauge join the runner/rescache metrics in the
+//     resilience-metrics/1 document served at /metrics, and each
+//     request runs under a span (the tracer is expected to be
+//     limit-bounded by the caller; see obs.Tracer.SetLimit).
+//
+// Endpoints:
+//
+//	GET  /v1/experiments   registry listing (same JSON as `list -format json`)
+//	POST /v1/run/{id}      run one experiment; body {seed, quick, plan}
+//	POST /v1/suite         run many; streams one compact Result per line (NDJSON)
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /metrics          obs metrics document (resilience-metrics/1)
+//
+// Response bodies for /v1/run are byte-identical to the CLI's `-format
+// json` output for the same seed/quick/plan, and /v1/suite lines are
+// deterministic for a given request document, so both are golden-
+// testable and a warm repeat is byte-identical to the cold run. Run
+// metadata that may differ between identical requests (cached,
+// coalesced, attempts) travels in X-Resilience-* headers, never in the
+// body. A degraded-but-recovered run is HTTP 200 with the degradation
+// annotation in the body, exactly as the CLI renders it; only a run
+// whose final attempt failed maps to a 5xx.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/engine"
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+)
+
+// DefaultRequestTimeout bounds one request end to end (queueing,
+// coalesced waiting, and the run itself) when Config leaves it unset.
+const DefaultRequestTimeout = 60 * time.Second
+
+// Config assembles a Server.
+type Config struct {
+	// Registry is the experiment set to serve; nil means
+	// experiments.All().
+	Registry []experiments.Experiment
+	// Cache is the shared result cache; nil disables caching (requests
+	// still coalesce, but nothing persists between them).
+	Cache *rescache.Cache
+	// Obs receives the server's counters, gauges, and request spans and
+	// backs /metrics; nil means a fresh private observer.
+	Obs *obs.Observer
+	// MaxInflight bounds how many runs compute concurrently (the worker
+	// pool size); values below 1 mean GOMAXPROCS. Coalesced waiters do
+	// not hold slots.
+	MaxInflight int
+	// RequestTimeout bounds one request end to end; 0 means
+	// DefaultRequestTimeout, negative means unbounded.
+	RequestTimeout time.Duration
+}
+
+// Server is the HTTP experiment service. Construct with New; serve with
+// Serve (or mount Handler on an existing http.Server); stop with
+// Shutdown.
+type Server struct {
+	reg      []experiments.Experiment
+	byID     map[string]experiments.Experiment
+	cache    *rescache.Cache
+	obs      *obs.Observer
+	sem      chan struct{}
+	flights  flightGroup
+	timeout  time.Duration
+	handler  http.Handler
+	httpSrv  *http.Server
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg. The returned server is immediately
+// ready: Handler can be mounted without calling Serve.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = experiments.All()
+	}
+	inflight := cfg.MaxInflight
+	if inflight < 1 {
+		inflight = runtime.GOMAXPROCS(0)
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	s := &Server{
+		reg:     reg,
+		byID:    make(map[string]experiments.Experiment, len(reg)),
+		cache:   cfg.Cache,
+		obs:     o,
+		sem:     make(chan struct{}, inflight),
+		timeout: timeout,
+	}
+	for _, e := range reg {
+		s.byID[e.ID] = e
+	}
+	// Register the server's deterministic counters up front so they
+	// appear (as zeros) in every /metrics document.
+	o.Counter("server.requests")
+	o.Counter("server.coalesced")
+	o.Gauge("server.inflight")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/run/{id}", s.handleRun)
+	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	s.handler = s.instrument(mux)
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's root handler, for tests and callers that
+// manage their own http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown or a listener error.
+// Like http.Server.Serve it always returns a non-nil error;
+// http.ErrServerClosed after a clean Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// Shutdown drains the server: readiness flips to 503, new /v1 requests
+// are refused with a structured "draining" error, and in-flight runs
+// are given until ctx expires to finish. It returns ctx.Err() if the
+// drain did not complete in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// instrument wraps the mux with the request-scoped observability and
+// lifecycle concerns shared by every endpoint: the draining gate, the
+// server.requests counter, the server.inflight gauge, a per-request
+// span, and the end-to-end request timeout.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
+			writeError(w, http.StatusServiceUnavailable, "draining",
+				"server is draining; retry against another instance")
+			return
+		}
+		s.obs.Counter("server.requests").Inc()
+		s.obs.Gauge("server.inflight").Add(1)
+		defer s.obs.Gauge("server.inflight").Add(-1)
+		span := s.obs.Span(r.Method+" "+r.URL.Path, "request")
+		defer span.End()
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.obs.WriteJSON(w)
+}
+
+// handleExperiments serves the registry listing with the same document
+// shape (and bytes) as `resilience list -format json`.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID            string   `json:"id"`
+		Title         string   `json:"title"`
+		Source        string   `json:"source"`
+		Modules       []string `json:"modules"`
+		SupportsQuick bool     `json:"supportsQuick"`
+	}
+	entries := make([]entry, 0, len(s.reg))
+	for _, e := range s.reg {
+		entries = append(entries, entry{e.ID, e.Title, e.Source, e.Modules, e.SupportsQuick})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
+	writeIndentedJSON(w, entries)
+}

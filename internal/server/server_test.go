@@ -1,0 +1,414 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+)
+
+// fakeExp builds an unregistered experiment for server tests, so the
+// handler suite does not depend on (or pay for) the real registry.
+func fakeExp(id string, run experiments.Runner) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true, Run: run,
+	}
+}
+
+func noop(rec *experiments.Recorder, cfg experiments.Config) error {
+	rec.Notef("seed %d quick %t", cfg.Seed, cfg.Quick)
+	return nil
+}
+
+// newTestServer builds a Server over fake experiments with a private
+// observer and a temp-dir cache, plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Observer) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = []experiments.Experiment{
+			fakeExp("t01", noop),
+			fakeExp("t02", noop),
+		}
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	if cfg.Cache == nil {
+		cache, err := rescache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.SetObserver(cfg.Obs)
+		cfg.Cache = cache
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, cfg.Obs
+}
+
+func get(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+func post(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(data)
+}
+
+// decodeErrorBody asserts a response is a well-formed error envelope.
+func decodeErrorBody(t *testing.T, body string) errorBody {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("error response is not a JSON envelope: %v\n%s", err, body)
+	}
+	if eb.Error.Code == "" || eb.Error.Message == "" {
+		t.Fatalf("error envelope missing code/message: %s", body)
+	}
+	return eb
+}
+
+func TestHealthAndReady(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	if code, _, body := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, _, body := get(t, ts.URL+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+}
+
+func TestExperimentsListing(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	code, hdr, body := get(t, ts.URL+"/v1/experiments")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var entries []struct {
+		ID            string   `json:"id"`
+		Title         string   `json:"title"`
+		Modules       []string `json:"modules"`
+		SupportsQuick bool     `json:"supportsQuick"`
+	}
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("listing is not JSON: %v", err)
+	}
+	if len(entries) != 2 || entries[0].ID != "t01" || !entries[0].SupportsQuick {
+		t.Fatalf("unexpected listing: %+v", entries)
+	}
+}
+
+func TestRunReturnsResultDocument(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	code, hdr, body := post(t, ts.URL+"/v1/run/t01", `{"seed":7,"quick":true}`)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := hdr.Get(statusHeader); got != "ok" {
+		t.Fatalf("%s = %q, want ok", statusHeader, got)
+	}
+	if got := hdr.Get(attemptsHeader); got != "1" {
+		t.Fatalf("%s = %q, want 1", attemptsHeader, got)
+	}
+	var res experiments.Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("body is not a Result document: %v", err)
+	}
+	if res.ID != "t01" || !res.Quick || len(res.Notes) == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+// TestRunWarmRepeatIsCachedAndByteIdentical pins the cache contract on
+// the HTTP surface: the second identical request replays the stored
+// result byte for byte and says so in the status header, not the body.
+func TestRunWarmRepeatIsCachedAndByteIdentical(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+	_, hdr1, body1 := post(t, ts.URL+"/v1/run/t01", `{"seed":7}`)
+	_, hdr2, body2 := post(t, ts.URL+"/v1/run/t01", `{"seed":7}`)
+	if body1 != body2 {
+		t.Fatal("warm repeat body differs from cold run")
+	}
+	if got := hdr1.Get(statusHeader); got != "ok" {
+		t.Fatalf("cold status %q", got)
+	}
+	if got := hdr2.Get(statusHeader); got != "ok (cached)" {
+		t.Fatalf("warm status %q, want ok (cached)", got)
+	}
+	if got := hdr2.Get(attemptsHeader); got != "0" {
+		t.Fatalf("warm attempts %q, want 0", got)
+	}
+	if hits := o.Metrics.Counter("rescache.hits").Value(); hits != 1 {
+		t.Fatalf("rescache.hits = %d, want 1", hits)
+	}
+}
+
+// TestRunSeedChangesKey: a different seed must recompute, not hit.
+func TestRunSeedChangesKey(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/run/t01", `{"seed":7}`)
+	_, hdr, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":8}`)
+	if got := hdr.Get(statusHeader); got != "ok" {
+		t.Fatalf("different-seed status %q, want ok (a fresh compute)", got)
+	}
+	if stores := o.Metrics.Counter("rescache.stores").Value(); stores != 2 {
+		t.Fatalf("rescache.stores = %d, want 2", stores)
+	}
+}
+
+func TestRunErrorEnvelopes(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, path, body string
+		wantCode         int
+		wantErrCode      string
+	}{
+		{"unknown id", "/v1/run/e99", `{}`, 404, "unknown_experiment"},
+		{"bad json", "/v1/run/t01", `{nope`, 400, "bad_request"},
+		{"unknown field", "/v1/run/t01", `{"sede":7}`, 400, "bad_request"},
+		{"trailing data", "/v1/run/t01", `{} {}`, 400, "bad_request"},
+		{"bad plan", "/v1/run/t01", `{"plan":{"faults":[{"experiment":"t01","kind":"zap"}]}}`, 400, "bad_request"},
+		{"ids on run", "/v1/run/t01", `{"ids":["t01"]}`, 400, "bad_request"},
+		{"unknown suite id", "/v1/suite", `{"ids":["nope"]}`, 404, "unknown_experiment"},
+	} {
+		code, _, body := post(t, ts.URL+tc.path, tc.body)
+		if code != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.wantCode, body)
+			continue
+		}
+		if eb := decodeErrorBody(t, body); eb.Error.Code != tc.wantErrCode {
+			t.Errorf("%s: error code %q, want %q", tc.name, eb.Error.Code, tc.wantErrCode)
+		}
+	}
+}
+
+// TestRunFailedExperimentIs500 maps a run whose final attempt failed to
+// a structured 500 that still carries the partial result, mirroring the
+// CLI (which renders the partial result and exits non-zero).
+func TestRunFailedExperimentIs500(t *testing.T) {
+	boom := fakeExp("tboom", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		rec.Notef("about to fail")
+		return io.ErrUnexpectedEOF
+	})
+	_, ts, _ := newTestServer(t, Config{Registry: []experiments.Experiment{boom}})
+	code, hdr, body := post(t, ts.URL+"/v1/run/tboom", `{}`)
+	if code != 500 {
+		t.Fatalf("status %d, want 500: %s", code, body)
+	}
+	if got := hdr.Get(statusHeader); !strings.HasPrefix(got, "FAILED: ") {
+		t.Fatalf("%s = %q, want FAILED: ...", statusHeader, got)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.Error.Code != "experiment_failed" || eb.Error.ID != "tboom" {
+		t.Fatalf("envelope %+v", eb.Error)
+	}
+	if eb.Result == nil || len(eb.Result.Notes) == 0 {
+		t.Fatal("envelope should carry the partial result")
+	}
+}
+
+// TestRunDegradedIs200 pins the tentpole's error-mapping rule: a run
+// that failed an attempt but recovered under the plan's retries is a
+// success with an annotation, never a 5xx.
+func TestRunDegradedIs200(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body := `{
+		"seed": 7,
+		"plan": {"retries": 1, "faults": [
+			{"experiment": "t01", "seam": "body", "kind": "error", "attempt": 1}
+		]}
+	}`
+	code, hdr, respBody := post(t, ts.URL+"/v1/run/t01", body)
+	if code != 200 {
+		t.Fatalf("degraded run status %d, want 200: %s", code, respBody)
+	}
+	if got := hdr.Get(statusHeader); got != "ok (degraded, 2 attempts)" {
+		t.Fatalf("%s = %q", statusHeader, got)
+	}
+	var res experiments.Result
+	if err := json.Unmarshal([]byte(respBody), &res); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "degraded: recovered on attempt 2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degradation annotation missing from notes: %v", res.Notes)
+	}
+}
+
+// TestSuiteStreamsNDJSONInOrder checks the stream contract: one compact
+// Result document per line, in request order, regardless of completion
+// order.
+func TestSuiteStreamsNDJSONInOrder(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	code, hdr, body := post(t, ts.URL+"/v1/suite", `{"seed":7,"ids":["t02","t01"]}`)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2:\n%s", len(lines), body)
+	}
+	var ids []string
+	for _, line := range lines {
+		var res experiments.Result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line is not a Result document: %v\n%s", err, line)
+		}
+		ids = append(ids, res.ID)
+	}
+	if ids[0] != "t02" || ids[1] != "t01" {
+		t.Fatalf("stream order %v, want [t02 t01] (request order)", ids)
+	}
+}
+
+// TestSuiteFailedExperimentKeepsStreaming: one failing experiment's
+// line carries its error inside the Result; the rest still stream.
+func TestSuiteFailedExperimentKeepsStreaming(t *testing.T) {
+	reg := []experiments.Experiment{
+		fakeExp("t01", noop),
+		fakeExp("tboom", func(rec *experiments.Recorder, cfg experiments.Config) error {
+			return io.ErrUnexpectedEOF
+		}),
+		fakeExp("t03", noop),
+	}
+	_, ts, _ := newTestServer(t, Config{Registry: reg})
+	code, _, body := post(t, ts.URL+"/v1/suite", `{}`)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	var mid experiments.Result
+	if err := json.Unmarshal([]byte(lines[1]), &mid); err != nil {
+		t.Fatal(err)
+	}
+	if mid.ID != "tboom" || mid.Error == "" {
+		t.Fatalf("failed experiment's line should carry its error: %+v", mid)
+	}
+}
+
+// TestDrainingRefusesNewWork: after Shutdown begins, readiness flips to
+// 503 and new /v1 requests get a structured "draining" error, while
+// liveness stays 200 (the process is healthy, just leaving rotation).
+func TestDrainingRefusesNewWork(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The httptest transport is closed by Shutdown; exercise the
+	// handler directly, which is what a still-open keep-alive
+	// connection would reach.
+	_ = ts
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/run/t01", strings.NewReader("{}")))
+	if rec.Code != 503 {
+		t.Fatalf("draining /v1/run status %d, want 503", rec.Code)
+	}
+	if eb := decodeErrorBody(t, rec.Body.String()); eb.Error.Code != "draining" {
+		t.Fatalf("error code %q, want draining", eb.Error.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("draining readyz status %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("draining healthz status %d, want 200", rec.Code)
+	}
+}
+
+// TestMetricsDocument: /metrics serves the resilience-metrics/1
+// document with the server's own counters registered even at zero.
+func TestMetricsDocument(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/run/t01", `{}`)
+	code, _, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]float64
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("metrics is not JSON: %v", err)
+	}
+	if doc.Schema != obs.SchemaVersion {
+		t.Fatalf("schema %q, want %q", doc.Schema, obs.SchemaVersion)
+	}
+	for _, name := range []string{"server.requests", "server.coalesced", "rescache.stores", "runner.attempts"} {
+		if _, ok := doc.Counters[name]; !ok {
+			t.Errorf("metrics document missing counter %q", name)
+		}
+	}
+	if doc.Counters["server.requests"] < 1 {
+		t.Fatalf("server.requests = %d, want >= 1", doc.Counters["server.requests"])
+	}
+	if doc.Counters["server.coalesced"] != 0 {
+		t.Fatalf("server.coalesced = %d, want 0 (sequential requests)", doc.Counters["server.coalesced"])
+	}
+}
+
+// TestMethodAndRouteErrors: wrong method or path are plain mux errors,
+// not panics.
+func TestMethodAndRouteErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/run/t01") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run status %d, want 405", resp.StatusCode)
+	}
+	if code, _, _ := get(t, ts.URL+"/v1/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown route status %d, want 404", code)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"resilience/internal/magent"
 	"resilience/internal/maintain"
 	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
+	"resilience/internal/rescache/memstore"
 	"resilience/internal/rng"
 	"resilience/internal/runner"
 )
@@ -211,10 +213,13 @@ func BenchmarkE31MayStability(b *testing.B) { benchExperiment(b, "e31") }
 
 // BenchmarkSuiteWarmVsCold measures what the result cache buys: "cold"
 // populates a fresh cache directory every iteration (compute + store),
-// "warm" replays the same suite out of an already-populated one. The
-// warm/cold ratio is the fraction of suite cost the cache cannot skip
-// (key hashing, JSON decode, rendering); see BENCH_warm_cache.json for
-// recorded data points.
+// "warm" replays the same suite out of an already-populated filesystem
+// tier, and "warm-mem" replays it out of the in-memory tier — counter-
+// asserted to touch the disk zero times. The warm/cold ratio is the
+// fraction of suite cost the cache cannot skip (key hashing, JSON
+// decode, rendering); warm-mem vs warm is what the memory tier saves on
+// top (the disk read). See BENCH_warm_cache.json for recorded data
+// points.
 func BenchmarkSuiteWarmVsCold(b *testing.B) {
 	exps := experiments.All()
 	run := func(b *testing.B, cache *rescache.Cache) {
@@ -223,23 +228,24 @@ func BenchmarkSuiteWarmVsCold(b *testing.B) {
 			b.Fatalf("suite failed: %+v", sum)
 		}
 	}
+	openFS := func(b *testing.B) *fsstore.Store {
+		st, err := fsstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
 	b.Run("cold", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			cache, err := rescache.Open(b.TempDir())
-			if err != nil {
-				b.Fatal(err)
-			}
+			cache := rescache.New(openFS(b))
 			b.StartTimer()
 			run(b, cache)
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		cache, err := rescache.Open(b.TempDir())
-		if err != nil {
-			b.Fatal(err)
-		}
+		cache := rescache.New(openFS(b))
 		run(b, cache) // populate
 		if cache.Stores() != int64(len(exps)) {
 			b.Fatalf("populated %d entries, want %d", cache.Stores(), len(exps))
@@ -248,6 +254,25 @@ func BenchmarkSuiteWarmVsCold(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			run(b, cache)
+		}
+	})
+	b.Run("warm-mem", func(b *testing.B) {
+		fs := openFS(b)
+		mem, err := memstore.New(len(exps)+1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := rescache.New(rescache.Tiered(mem, fs))
+		run(b, cache) // populate both tiers (Put writes through)
+		diskReads := fs.Stats()[0].Gets
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+		b.StopTimer()
+		if got := fs.Stats()[0].Gets; got != diskReads {
+			b.Fatalf("memory-warm run read the disk tier %d times, want 0", got-diskReads)
 		}
 	})
 }

@@ -28,17 +28,30 @@
 //	-cache-dir D  store results in D instead of the default
 //	              <user cache dir>/resilience
 //	-no-cache     disable the result cache (always recompute)
+//	-cache-mem-entries N
+//	              size of the in-memory cache tier in entries
+//	              (default 1024; 0 disables the tier)
+//	-peers URLS   comma-separated base URLs of peer cache nodes; adds a
+//	              read-through tier over the fleet's caches, routed by
+//	              consistent hash
 //
 // Serve-only flags:
 //
 //	-addr A             listen address (default 127.0.0.1:8080)
 //	-request-timeout D  end-to-end bound on one request (default 60s)
 //	-max-inflight N     max runs computing concurrently (default GOMAXPROCS)
+//	-advertise URL      this node's base URL on the peer ring
+//	                    (default http://<addr>)
 //
 // Results are cached content-addressed (internal/rescache) under a key
 // of experiment ID, derived seed, -quick, the fault plan's hash, and
 // the engine schema version; a warm run renders byte-identical output
-// while skipping the cached experiments' compute.
+// while skipping the cached experiments' compute. Storage is tiered:
+// a bounded in-memory LRU over the cache directory, plus — with -peers
+// — the fleet's nodes over HTTP. In serve mode -peers makes the node a
+// ring coordinator: each request's cache digest is consistent-hashed
+// across the fleet and proxied to its owner, so an identical-request
+// herd computes once fleet-wide.
 //
 // Rendered results go to stdout and are byte-identical for a given seed
 // whatever -jobs is — including under a fault plan, whose injections are
@@ -63,11 +76,15 @@ import (
 	"syscall"
 	"time"
 
+	"resilience/internal/cluster"
 	"resilience/internal/core"
 	"resilience/internal/experiments"
 	"resilience/internal/faultinject"
 	"resilience/internal/obs"
 	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
+	"resilience/internal/rescache/memstore"
+	"resilience/internal/rescache/peerstore"
 	"resilience/internal/runner"
 	"resilience/internal/scenario"
 	"resilience/internal/server"
@@ -93,11 +110,14 @@ type options struct {
 	memprofile string
 	cacheDir   string
 	noCache    bool
+	memEntries int
+	peers      string
 
 	// serve-only flags.
 	addr           string
 	requestTimeout time.Duration
 	maxInflight    int
+	advertise      string
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
@@ -149,9 +169,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile after the run to this file")
 	fs.StringVar(&opt.cacheDir, "cache-dir", "", "result cache directory (default <user cache dir>/resilience)")
 	fs.BoolVar(&opt.noCache, "no-cache", false, "disable the result cache")
+	fs.IntVar(&opt.memEntries, "cache-mem-entries", 1024, "in-memory cache tier size in entries (0 disables the tier)")
+	fs.StringVar(&opt.peers, "peers", "", "comma-separated base URLs of peer cache nodes (e.g. http://host:8080)")
 	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8080", "serve: listen address")
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", server.DefaultRequestTimeout, "serve: end-to-end bound on one request")
 	fs.IntVar(&opt.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "serve: max experiment runs computing concurrently")
+	fs.StringVar(&opt.advertise, "advertise", "", "serve: this node's base URL on the peer ring (default http://<addr>)")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -283,10 +306,23 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 	if cache != nil {
 		// Hits and coalesced are reported distinctly: a hit replayed a
 		// stored result, a coalesced outcome shared a concurrent
-		// identical computation without touching the store.
+		// identical computation without touching the store. The bracketed
+		// suffix breaks the hits down by storage tier (hits/gets per
+		// tier), and backend errors are appended only when there are any.
 		st := cache.Stats()
-		fmt.Fprintf(stderr, "cache: %d hits, %d misses, %d stores, %d coalesced\n",
+		line := fmt.Sprintf("cache: %d hits, %d misses, %d stores, %d coalesced",
 			st.Hits, st.Misses, st.Stores, sum.Coalesced)
+		if st.Errors > 0 {
+			line += fmt.Sprintf(", %d errors", st.Errors)
+		}
+		var tiers []string
+		for _, ts := range cache.TierStats() {
+			tiers = append(tiers, fmt.Sprintf("%s %d/%d", ts.Tier, ts.Hits, ts.Gets))
+		}
+		if len(tiers) > 0 {
+			line += " [" + strings.Join(tiers, ", ") + "]"
+		}
+		fmt.Fprintln(stderr, line)
 	}
 	if observer != nil {
 		if err := writeMetrics(stderr, observer, opt.metrics); err != nil {
@@ -306,27 +342,69 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 	return nil
 }
 
-// openCache opens the result cache per the -cache-dir/-no-cache flags.
-// Any problem degrades to nil — a cacheless (slower, never incorrect)
-// run — with a warning on stderr.
-func openCache(stderr io.Writer, opt options) *rescache.Cache {
+// splitPeers parses the -peers flag: comma-separated base URLs,
+// whitespace-tolerant, trailing slashes dropped so ring members compare
+// equal however the operator typed them.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildTiers constructs the storage tiers the -cache-* flags describe:
+// an in-memory LRU hot tier (unless -cache-mem-entries 0) over the
+// filesystem tier. Any problem degrades to fewer tiers — a smaller
+// (slower, never incorrect) cache — with a warning on stderr. Both
+// returns may be nil (e.g. -no-cache).
+func buildTiers(stderr io.Writer, opt options) (mem, fs rescache.Store) {
 	if opt.noCache {
-		return nil
+		return nil, nil
+	}
+	if opt.memEntries > 0 {
+		m, err := memstore.New(opt.memEntries, 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "memory cache tier disabled: %v\n", err)
+		} else {
+			mem = m
+		}
 	}
 	dir := opt.cacheDir
 	if dir == "" {
 		var err error
 		if dir, err = rescache.DefaultDir(); err != nil {
-			fmt.Fprintf(stderr, "result cache disabled: %v\n", err)
-			return nil
+			fmt.Fprintf(stderr, "filesystem cache tier disabled: %v\n", err)
+			return mem, nil
 		}
 	}
-	cache, err := rescache.Open(dir)
+	f, err := fsstore.Open(dir)
 	if err != nil {
-		fmt.Fprintf(stderr, "result cache disabled: %v\n", err)
-		return nil
+		fmt.Fprintf(stderr, "filesystem cache tier disabled: %v\n", err)
+		return mem, nil
 	}
-	return cache
+	return mem, f
+}
+
+// openCache assembles the result cache a one-shot run uses: the local
+// tiers, plus — with -peers — a read-through tier over the fleet's
+// cache nodes, routed by the same consistent hash the serve ring uses.
+// The CLI is a pure client here (it is not a ring member), so every
+// digest's owner is remote.
+func openCache(stderr io.Writer, opt options) *rescache.Cache {
+	mem, fs := buildTiers(stderr, opt)
+	var peer rescache.Store
+	if peers := splitPeers(opt.peers); len(peers) > 0 {
+		ring := cluster.New(peers, 0)
+		peer = peerstore.New(func(digest string) (string, bool) {
+			o := ring.Owner(digest)
+			return o, o != ""
+		}, nil)
+	}
+	return rescache.New(rescache.Tiered(mem, fs, peer))
 }
 
 // serve runs the long-running HTTP experiment service until SIGINT or
@@ -337,14 +415,34 @@ func openCache(stderr io.Writer, opt options) *rescache.Cache {
 func serve(stderr io.Writer, opt options) error {
 	observer := obs.New()
 	observer.Trace.SetLimit(serveSpanLimit)
-	cache := openCache(stderr, opt)
-	cache.SetObserver(observer)
-	cacheDesc := "off"
-	if cache != nil {
-		cacheDesc = cache.Dir()
+	// The node's own tiers (mem over fs) are what it serves to the fleet
+	// at /v1/cache; the peer tier joins only the read path of its own
+	// cache, so the cache protocol cannot loop through this node.
+	mem, fsTier := buildTiers(stderr, opt)
+	local := rescache.Tiered(mem, fsTier)
+	self := strings.TrimRight(opt.advertise, "/")
+	if self == "" {
+		self = "http://" + opt.addr
 	}
+	var ring *cluster.Ring
+	var peer rescache.Store
+	if peers := splitPeers(opt.peers); len(peers) > 0 {
+		ring = cluster.New(append(peers, self), 0)
+		if !opt.noCache {
+			r := ring
+			peer = peerstore.New(func(digest string) (string, bool) {
+				o := r.Owner(digest)
+				return o, o != "" && o != self
+			}, nil)
+		}
+	}
+	cache := rescache.New(rescache.Tiered(mem, fsTier, peer))
+	cache.SetObserver(observer)
 	srv := server.New(server.Config{
 		Cache:          cache,
+		Local:          local,
+		Ring:           ring,
+		Self:           self,
 		Obs:            observer,
 		MaxInflight:    opt.maxInflight,
 		RequestTimeout: opt.requestTimeout,
@@ -354,7 +452,10 @@ func serve(stderr io.Writer, opt options) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "serve: listening on %s (max-inflight %d, request-timeout %v, cache %s)\n",
-		l.Addr(), opt.maxInflight, opt.requestTimeout, cacheDesc)
+		l.Addr(), opt.maxInflight, opt.requestTimeout, cache.Desc())
+	if ring != nil {
+		fmt.Fprintf(stderr, "serve: ring of %d nodes (self %s)\n", ring.Size(), self)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -374,10 +475,11 @@ func serve(stderr io.Writer, opt options) error {
 	}
 	<-errc // Serve has returned http.ErrServerClosed
 	st := cache.Stats()
-	fmt.Fprintf(stderr, "serve: drained (%d requests, %d coalesced; cache %d hits, %d misses, %d stores)\n",
+	fmt.Fprintf(stderr, "serve: drained (%d requests, %d coalesced, %d proxied; cache %d hits, %d misses, %d stores, %d errors)\n",
 		observer.Metrics.Counter("server.requests").Value(),
 		observer.Metrics.Counter("server.coalesced").Value(),
-		st.Hits, st.Misses, st.Stores)
+		observer.Metrics.Counter("server.proxied").Value(),
+		st.Hits, st.Misses, st.Stores, st.Errors)
 	return nil
 }
 
@@ -567,6 +669,7 @@ func writeJSON(w io.Writer, v any) error {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: resilience <command> [-seed N] [-quick] [-jobs N] [-format text|json] [-out DIR] [-faults PLAN]
                   [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE] [-cache-dir DIR] [-no-cache]
+                  [-cache-mem-entries N] [-peers URLS]
 
 commands:
   list                    list all experiments (id, title, source, quick support, modules)
@@ -577,8 +680,11 @@ commands:
   chaos <plan.json>       run every experiment under a fault-injection plan
   serve                   long-running HTTP service: POST /v1/run/{id} and
                           /v1/suite run experiments (request-coalesced, cache-
-                          backed); GET /v1/experiments, /healthz, /readyz,
-                          /metrics; flags -addr, -request-timeout, -max-inflight
+                          backed); GET /v1/experiments, /v1/cluster, /healthz,
+                          /readyz, /metrics; flags -addr, -request-timeout,
+                          -max-inflight, -advertise; with -peers the node
+                          joins a consistent-hash ring and proxies each run
+                          to its cache digest's owner
 
 Each experiment's seed is derived from -seed and its ID, so a single run
 reproduces the corresponding rows of a full-suite run with the same seed.
@@ -590,8 +696,10 @@ Bruneau-style recovery scalars on stderr. -metrics writes a JSON metrics
 document (deterministic counters plus timing-bearing histograms and
 attempt spans) and -cpuprofile/-memprofile write pprof profiles; none of
 them touch stdout. Results are cached content-addressed (keyed on ID,
-derived seed, -quick, fault-plan hash, and engine schema version) in
--cache-dir, defaulting to <user cache dir>/resilience; a warm run skips
-cached experiments and renders byte-identical output. -no-cache always
-recomputes. A literal "--" ends flag parsing.`)
+derived seed, -quick, fault-plan hash, and engine schema version) in a
+tiered store: an in-memory LRU (-cache-mem-entries) over -cache-dir,
+defaulting to <user cache dir>/resilience, optionally over the fleet's
+cache nodes (-peers). A warm run skips cached experiments and renders
+byte-identical output. -no-cache always recomputes. A literal "--" ends
+flag parsing.`)
 }

@@ -12,6 +12,7 @@ import (
 
 	"resilience/internal/obs"
 	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
 	"resilience/internal/server"
 )
 
@@ -22,10 +23,11 @@ import (
 func newServeTest(t *testing.T) (string, *obs.Observer) {
 	t.Helper()
 	o := obs.New()
-	cache, err := rescache.Open(t.TempDir())
+	st, err := fsstore.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	cache := rescache.New(st)
 	cache.SetObserver(o)
 	s := server.New(server.Config{Cache: cache, Obs: o})
 	ts := httptest.NewServer(s.Handler())

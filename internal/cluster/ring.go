@@ -1,0 +1,112 @@
+// Package cluster implements the consistent-hash ring the sharded serve
+// fleet coordinates on. Every node builds the ring from the same member
+// list (its own advertised URL plus its peers'), so all nodes agree —
+// with no coordination traffic — on the single owner of every cache
+// digest. Requests for a digest funnel to its owner, where the
+// singleflight coalescer collapses the fleet-wide thundering herd onto
+// one computation; the owner's store is the digest's durable home.
+//
+// Virtual nodes (replicas of each member on the ring) smooth the
+// distribution, and consistent hashing keeps reassignment minimal: when
+// a member leaves, only the digests it owned move, everything else
+// stays put — the paper's redundancy strategy (§3.1) applied to the
+// serving fleet itself.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member used when the
+// caller does not choose. 64 points per member keeps the expected
+// imbalance across a handful of nodes within a few percent.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring. Construct with New; a nil
+// or empty ring owns nothing.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New builds a ring from members (deduplicated; order does not matter —
+// two nodes given the same set in any order build identical rings).
+// replicas <= 0 means DefaultReplicas.
+func New(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]point, 0, len(uniq)*replicas)}
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{hash: hash(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly unlikely) tie-break on member so
+		// every node still agrees on the ordering.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Owner returns the member that owns key (the first ring point at or
+// after the key's hash, wrapping), or "" for an empty ring. Keys are
+// typically rescache digests, but any string shards consistently.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the ring's member list, sorted and deduplicated.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}
+
+// hash maps a string onto the ring: the first 8 bytes of its sha256,
+// big-endian. sha256 keeps placement uniform and platform-independent.
+func hash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,126 @@
+package cluster_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resilience/internal/cluster"
+)
+
+var members = []string{
+	"http://node-a:8080",
+	"http://node-b:8080",
+	"http://node-c:8080",
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := cluster.New(members, 0)
+	// Same set, reversed, with a duplicate and an empty string thrown in:
+	// every node must build the identical ring from its own view.
+	b := cluster.New([]string{members[2], "", members[1], members[0], members[1]}, 0)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("Members differ: %v vs %v", a.Members(), b.Members())
+	}
+	for _, k := range keys(500) {
+		ao, bo := a.Owner(k), b.Owner(k)
+		if ao != bo {
+			t.Fatalf("Owner(%q) disagrees across construction orders: %q vs %q", k, ao, bo)
+		}
+		if ao != a.Owner(k) {
+			t.Fatalf("Owner(%q) not deterministic", k)
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	r := cluster.New(members, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d members own keys: %v", len(counts), len(members), counts)
+	}
+	// With 64 virtual nodes per member, no member should stray wildly
+	// from the n/3 ideal; a factor-of-2 band is a loose but meaningful
+	// check that virtual nodes are smoothing the split.
+	ideal := n / len(members)
+	for m, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Errorf("%s owns %d keys, outside [%d, %d]", m, c, ideal/2, ideal*2)
+		}
+	}
+}
+
+func TestMemberRemovalMovesOnlyItsKeys(t *testing.T) {
+	full := cluster.New(members, 0)
+	reduced := cluster.New(members[:2], 0)
+	moved := 0
+	for _, k := range keys(2000) {
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before == members[2] {
+			if after == members[2] {
+				t.Fatalf("departed member still owns %q", k)
+			}
+			moved++
+			continue
+		}
+		// Consistent hashing's whole point: keys not owned by the
+		// departed member must not move.
+		if after != before {
+			t.Fatalf("Owner(%q) moved %q -> %q though %q left", k, before, after, members[2])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("departed member owned no keys; distribution test should have caught this")
+	}
+}
+
+func TestEmptyAndNilRings(t *testing.T) {
+	var nilRing *cluster.Ring
+	if got := nilRing.Owner("x"); got != "" {
+		t.Fatalf("nil ring Owner = %q, want empty", got)
+	}
+	if nilRing.Size() != 0 || nilRing.Members() != nil {
+		t.Fatal("nil ring must be empty")
+	}
+	empty := cluster.New(nil, 0)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+	if empty.Size() != 0 {
+		t.Fatalf("empty ring Size = %d", empty.Size())
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := cluster.New([]string{"http://solo:8080"}, 0)
+	for _, k := range keys(50) {
+		if got := r.Owner(k); got != "http://solo:8080" {
+			t.Fatalf("Owner(%q) = %q", k, got)
+		}
+	}
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+}
+
+func TestMembersReturnsCopy(t *testing.T) {
+	r := cluster.New(members, 0)
+	got := r.Members()
+	got[0] = "scribbled"
+	if r.Members()[0] == "scribbled" {
+		t.Fatal("Members leaked the internal slice")
+	}
+}

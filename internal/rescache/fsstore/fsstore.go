@@ -1,0 +1,199 @@
+// Package fsstore is the filesystem tier of the result cache: one file
+// per entry, named <digest>.json, written atomically via temp file +
+// rename so concurrent runners and interrupted runs never leave a torn
+// entry behind. It holds the directory logic that used to live inside
+// rescache itself, now behind the rescache.Store interface so memory
+// and peer tiers can stack on top of it.
+//
+// Error discipline (the fix for the silent-degradation and ignored-
+// write-failure paths this refactor audited): a missing file is
+// rescache.ErrNotFound (a clean miss); every other failure — unreadable
+// file, unwritable directory, failed temp create/write/close/rename —
+// is counted, recorded as the store's last error, and returned to the
+// caller. The temp file is removed on every failure path. Check probes
+// the directory with a real write so a cache dir that breaks after
+// startup (removed, remounted read-only, disk full) is detected and
+// reportable, not just a stream of per-read misses.
+package fsstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+)
+
+// Store is a directory of digest-named entry files, safe for concurrent
+// use (including by concurrent processes sharing the directory).
+type Store struct {
+	dir      string
+	observer *obs.Observer
+
+	gets, hits, puts, errcnt atomic.Int64
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open result cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetObserver registers the tier's counters on o so they appear (as
+// zeros) in every metrics document.
+func (s *Store) SetObserver(o *obs.Observer) {
+	if s == nil || o == nil {
+		return
+	}
+	s.observer = o
+	o.Counter("store.fs.gets")
+	o.Counter("store.fs.hits")
+	o.Counter("store.fs.puts")
+	o.Counter("store.fs.errors")
+}
+
+func (s *Store) count(name string, n *atomic.Int64) {
+	n.Add(1)
+	s.observer.Counter("store.fs." + name).Inc()
+}
+
+// fail records err as the tier's most recent failure and counts it.
+func (s *Store) fail(err error) error {
+	s.count("errors", &s.errcnt)
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+	return err
+}
+
+// Get returns the entry bytes for digest; a missing file is
+// rescache.ErrNotFound, anything else a counted backend failure.
+func (s *Store) Get(digest string) ([]byte, string, error) {
+	s.count("gets", &s.gets)
+	if !rescache.ValidDigest(digest) {
+		return nil, "", s.fail(fmt.Errorf("fsstore: malformed digest %q", digest))
+	}
+	data, err := os.ReadFile(s.path(digest))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, "", rescache.ErrNotFound
+		}
+		return nil, "", s.fail(fmt.Errorf("fsstore: read %s: %w", digest, err))
+	}
+	s.count("hits", &s.hits)
+	return data, "fs", nil
+}
+
+// Put stores data under digest atomically: the bytes land in a temp
+// file in the same directory and are renamed into place, so readers see
+// either the old entry or the complete new one, never a prefix. Every
+// failure (create, write, close, rename) removes the temp file, is
+// counted, and is returned.
+func (s *Store) Put(digest string, data []byte) error {
+	if !rescache.ValidDigest(digest) {
+		return s.fail(fmt.Errorf("fsstore: malformed digest %q", digest))
+	}
+	tmp, err := os.CreateTemp(s.dir, digest+".tmp*")
+	if err != nil {
+		return s.fail(fmt.Errorf("fsstore: store %s: %w", digest, err))
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return s.fail(fmt.Errorf("fsstore: store %s: %w", digest, err))
+	}
+	// Close can surface deferred write errors (full disk, quota): treat
+	// it exactly like a failed write, not a formality.
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return s.fail(fmt.Errorf("fsstore: store %s: %w", digest, err))
+	}
+	if err := os.Rename(tmp.Name(), s.path(digest)); err != nil {
+		os.Remove(tmp.Name())
+		return s.fail(fmt.Errorf("fsstore: store %s: %w", digest, err))
+	}
+	s.count("puts", &s.puts)
+	return nil
+}
+
+// Stats snapshots traffic and walks the directory for occupancy
+// (entries/bytes are -1 if the directory is unreadable). The walk makes
+// Stats O(entries); it backs the cluster status endpoint and drain
+// summaries, not any hot path.
+func (s *Store) Stats() []rescache.TierStats {
+	ts := rescache.TierStats{
+		Tier:   "fs",
+		Gets:   s.gets.Load(),
+		Hits:   s.hits.Load(),
+		Puts:   s.puts.Load(),
+		Errors: s.errcnt.Load(),
+	}
+	ts.Entries, ts.Bytes = s.usage()
+	return []rescache.TierStats{ts}
+}
+
+func (s *Store) usage() (entries, bytes int64) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return -1, -1
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		entries++
+		if info, err := de.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	return entries, bytes
+}
+
+// Check probes the directory with a real write + remove, so read-only
+// remounts and deleted directories are caught, and reports the result
+// (falling back to the last recorded I/O failure is deliberately NOT
+// done: a probe that succeeds means the tier has healed).
+func (s *Store) Check() error {
+	probe, err := os.CreateTemp(s.dir, ".probe*")
+	if err != nil {
+		return fmt.Errorf("fsstore: cache dir %s unwritable: %w", s.dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("fsstore: cache dir %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// LastErr reports the most recent backend failure (nil if none), for
+// health surfaces that want the cause alongside the counter.
+func (s *Store) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Close is a no-op; the directory needs no teardown.
+func (s *Store) Close() error { return nil }
+
+// String renders the tier for log lines.
+func (s *Store) String() string { return "fs(" + s.dir + ")" }
+
+func (s *Store) path(digest string) string {
+	return filepath.Join(s.dir, digest+".json")
+}

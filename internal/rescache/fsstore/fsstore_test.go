@@ -1,0 +1,226 @@
+package fsstore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
+)
+
+func digest(i int) string {
+	return (rescache.Key{ID: fmt.Sprintf("t%02d", i)}).Digest()
+}
+
+func TestRoundTripAndMiss(t *testing.T) {
+	st, err := fsstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digest(1)
+	if _, _, err := st.Get(d); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("empty store Get = %v, want ErrNotFound", err)
+	}
+	if err := st.Put(d, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, tier, err := st.Get(d)
+	if err != nil || string(data) != "payload" || tier != "fs" {
+		t.Fatalf("Get = (%q, %q, %v)", data, tier, err)
+	}
+	// No temp-file residue after a clean Put.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if !strings.HasSuffix(de.Name(), ".json") {
+			t.Fatalf("stray file %q left in cache dir", de.Name())
+		}
+	}
+}
+
+func TestMalformedDigestRejected(t *testing.T) {
+	st, err := fsstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", "../../evil", strings.Repeat("Z", 64)} {
+		if _, _, err := st.Get(bad); err == nil || errors.Is(err, rescache.ErrNotFound) {
+			t.Errorf("Get(%q) = %v, want a backend error", bad, err)
+		}
+		if err := st.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) must refuse a malformed digest", bad)
+		}
+	}
+	if st.LastErr() == nil {
+		t.Fatal("rejections must be recorded as the last error")
+	}
+}
+
+// TestPutFailureSurfacesAndHeals is the Put error-handling audit: with
+// the directory deleted out from under the store, Put returns an error
+// (and records it) instead of silently dropping the entry; Check fails;
+// recreating the directory heals both.
+func TestPutFailureSurfacesAndHeals(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	st, err := fsstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(digest(1), []byte("x")); err == nil {
+		t.Fatal("Put into a deleted directory must fail")
+	}
+	if st.LastErr() == nil {
+		t.Fatal("failed Put must be recorded")
+	}
+	if err := st.Check(); err == nil {
+		t.Fatal("Check must fail while the directory is gone")
+	}
+	if st.Stats()[0].Errors == 0 {
+		t.Fatal("failed Put must be counted")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Check(); err != nil {
+		t.Fatalf("Check after the directory healed: %v", err)
+	}
+	if err := st.Put(digest(1), []byte("x")); err != nil {
+		t.Fatalf("Put after the directory healed: %v", err)
+	}
+}
+
+// TestCorruptionIsAlwaysAMiss drives the cache layer over real files:
+// truncated, garbage, and digest-mismatched entries must read as misses
+// (recompute + overwrite), never as errors or wrong results.
+func TestCorruptionIsAlwaysAMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := fsstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := rescache.New(st)
+	k := rescache.Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	for _, garbage := range []string{"", "{truncated", `{"id":"e99"}`, "\x00\x01\x02"} {
+		path := filepath.Join(dir, k.Digest()+".json")
+		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := cache.Get(k); ok {
+			t.Fatalf("corrupt entry %q must miss", garbage)
+		}
+	}
+}
+
+// TestConcurrentGetPutCorrupt hammers one store from writers, readers,
+// and a corruptor under -race: every read must see ErrNotFound or a
+// complete value some writer stored (atomic tmp+rename), and nothing
+// may panic or deadlock.
+func TestConcurrentGetPutCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := fsstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, rounds = 8, 50
+	valid := make(map[string]bool)
+	for v := 0; v < rounds; v++ {
+		valid[fmt.Sprintf("value-%d", v)] = true
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		d := digest(i)
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for v := 0; v < rounds; v++ {
+				if err := st.Put(d, []byte(fmt.Sprintf("value-%d", v))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for v := 0; v < rounds; v++ {
+				data, _, err := st.Get(d)
+				if errors.Is(err, rescache.ErrNotFound) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if !valid[string(data)] && string(data) != "garbage" {
+					t.Errorf("torn read %q", data)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for v := 0; v < rounds/10; v++ {
+				// Swap garbage in behind the store's back, as bit rot or a
+				// foreign process would. Rename keeps the swap atomic — the
+				// injected fault is a wrong entry, not a torn writer.
+				tmp := filepath.Join(dir, fmt.Sprintf(".garbage-%s-%d", d[:8], v))
+				if os.WriteFile(tmp, []byte("garbage"), 0o644) == nil {
+					os.Rename(tmp, filepath.Join(dir, d+".json"))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStatsCountsOnlyEntries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := fsstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(digest(1), []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	// Non-entry files (probes, strays) must not count as occupancy.
+	if err := os.WriteFile(filepath.Join(dir, "stray.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := st.Stats()[0]
+	if ts.Tier != "fs" || ts.Entries != 1 || ts.Bytes != 4 {
+		t.Fatalf("Stats = %+v, want 1 entry / 4 bytes", ts)
+	}
+	if ts.Puts != 1 {
+		t.Fatalf("Stats.Puts = %d, want 1", ts.Puts)
+	}
+}
+
+func TestObserverCounters(t *testing.T) {
+	st, err := fsstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	st.SetObserver(o)
+	st.Put(digest(1), []byte("x"))
+	st.Get(digest(1))
+	st.Get(digest(2)) // miss
+	doc := o.Document()
+	for name, want := range map[string]int64{
+		"store.fs.gets": 2, "store.fs.hits": 1, "store.fs.puts": 1, "store.fs.errors": 0,
+	} {
+		if doc.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, doc.Counters[name], want)
+		}
+	}
+}

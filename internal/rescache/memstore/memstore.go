@@ -1,0 +1,175 @@
+// Package memstore is the in-memory hot tier of the result cache: an
+// LRU of digest-addressed entries bounded by both entry count and total
+// payload bytes. BENCH_warm_cache.json shows even a warm filesystem hit
+// pays a disk read plus JSON work per entry; the memory tier serves the
+// hottest keys with neither, which is what lets a busy serve node answer
+// repeat traffic without touching its cache directory at all.
+//
+// The store is safe for concurrent use. Put copies the payload, and Get
+// returns the stored slice without copying — entries are treated as
+// immutable by contract (the cache layer only ever unmarshals them), so
+// an entry evicted mid-read stays valid for the reader holding it.
+package memstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+)
+
+// DefaultMaxBytes bounds the tier's payload memory when the caller does
+// not choose: enough for thousands of quick-suite results without
+// letting full-size entries balloon a daemon.
+const DefaultMaxBytes = 256 << 20
+
+// Store is a bounded in-memory LRU, safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+
+	gets, hits, puts, evictions int64
+
+	observer *obs.Observer
+}
+
+type entry struct {
+	digest string
+	data   []byte
+}
+
+// New returns a Store holding at most maxEntries entries and maxBytes
+// payload bytes. maxEntries must be positive (a zero-entry hot tier is
+// a configuration the caller should express by not building one);
+// maxBytes <= 0 means DefaultMaxBytes.
+func New(maxEntries int, maxBytes int64) (*Store, error) {
+	if maxEntries <= 0 {
+		return nil, fmt.Errorf("memstore: max entries must be positive, got %d", maxEntries)
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}, nil
+}
+
+// SetObserver registers the tier's counters and occupancy gauges on o.
+func (s *Store) SetObserver(o *obs.Observer) {
+	if s == nil || o == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observer = o
+	s.mu.Unlock()
+	o.Counter("store.mem.gets")
+	o.Counter("store.mem.hits")
+	o.Counter("store.mem.puts")
+	o.Counter("store.mem.evictions")
+	o.Gauge("store.mem.entries")
+	o.Gauge("store.mem.bytes")
+}
+
+// Get returns the entry for digest, promoting it to most recently used.
+func (s *Store) Get(digest string) ([]byte, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	s.observer.Counter("store.mem.gets").Inc()
+	el, ok := s.items[digest]
+	if !ok {
+		return nil, "", rescache.ErrNotFound
+	}
+	s.ll.MoveToFront(el)
+	s.hits++
+	s.observer.Counter("store.mem.hits").Inc()
+	return el.Value.(*entry).data, "mem", nil
+}
+
+// Put stores a copy of data under digest (overwriting any previous
+// entry) and evicts from the cold end until both bounds hold. An entry
+// larger than the byte bound is refused outright — storing it would
+// evict the whole tier to hold one key.
+func (s *Store) Put(digest string, data []byte) error {
+	if int64(len(data)) > s.maxBytes {
+		return fmt.Errorf("memstore: entry %s (%d bytes) exceeds tier bound %d", digest, len(data), s.maxBytes)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[digest]; ok {
+		e := el.Value.(*entry)
+		s.bytes += int64(len(cp)) - int64(len(e.data))
+		e.data = cp
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[digest] = s.ll.PushFront(&entry{digest: digest, data: cp})
+		s.bytes += int64(len(cp))
+	}
+	for s.ll.Len() > s.maxEntries || s.bytes > s.maxBytes {
+		s.evictOldest()
+	}
+	s.puts++
+	s.observer.Counter("store.mem.puts").Inc()
+	s.observer.Gauge("store.mem.entries").Set(float64(s.ll.Len()))
+	s.observer.Gauge("store.mem.bytes").Set(float64(s.bytes))
+	return nil
+}
+
+// evictOldest drops the least recently used entry. Caller holds mu.
+func (s *Store) evictOldest() {
+	el := s.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.digest)
+	s.bytes -= int64(len(e.data))
+	s.evictions++
+	s.observer.Counter("store.mem.evictions").Inc()
+}
+
+// Stats snapshots traffic and occupancy.
+func (s *Store) Stats() []rescache.TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []rescache.TierStats{{
+		Tier:    "mem",
+		Gets:    s.gets,
+		Hits:    s.hits,
+		Puts:    s.puts,
+		Entries: int64(s.ll.Len()),
+		Bytes:   s.bytes,
+	}}
+}
+
+// Evictions reports how many entries the bounds have pushed out.
+func (s *Store) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Close drops every entry so a closed tier does not pin payload memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ll.Init()
+	s.items = make(map[string]*list.Element)
+	s.bytes = 0
+	return nil
+}
+
+// String renders the tier for log lines.
+func (s *Store) String() string { return fmt.Sprintf("mem(%d)", s.maxEntries) }

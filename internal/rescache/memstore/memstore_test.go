@@ -1,0 +1,209 @@
+package memstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/memstore"
+)
+
+func digest(i int) string {
+	return (rescache.Key{ID: fmt.Sprintf("t%02d", i)}).Digest()
+}
+
+func mustNew(t *testing.T, maxEntries int, maxBytes int64) *memstore.Store {
+	t.Helper()
+	st, err := memstore.New(maxEntries, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewRejectsNonPositiveEntries(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := memstore.New(n, 0); err == nil {
+			t.Errorf("New(%d, 0) must fail", n)
+		}
+	}
+}
+
+func TestRoundTripAndMiss(t *testing.T) {
+	st := mustNew(t, 4, 0)
+	if _, _, err := st.Get(digest(1)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("empty store Get = %v, want ErrNotFound", err)
+	}
+	if err := st.Put(digest(1), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, tier, err := st.Get(digest(1))
+	if err != nil || string(data) != "payload" || tier != "mem" {
+		t.Fatalf("Get = (%q, %q, %v)", data, tier, err)
+	}
+}
+
+func TestPutCopiesCallerSlice(t *testing.T) {
+	st := mustNew(t, 4, 0)
+	buf := []byte("original")
+	if err := st.Put(digest(1), buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "SCRIBBLE")
+	data, _, err := st.Get(digest(1))
+	if err != nil || string(data) != "original" {
+		t.Fatalf("caller mutation leaked into the store: %q", data)
+	}
+}
+
+func TestEntryCountEviction(t *testing.T) {
+	st := mustNew(t, 2, 0)
+	for i := 0; i < 3; i++ {
+		if err := st.Put(digest(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.Get(digest(0)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("oldest entry survived entry-count eviction: %v", err)
+	}
+	for i := 1; i < 3; i++ {
+		if _, _, err := st.Get(digest(i)); err != nil {
+			t.Fatalf("entry %d evicted early: %v", i, err)
+		}
+	}
+	if st.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions())
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	st := mustNew(t, 100, 10)
+	st.Put(digest(0), []byte("aaaa")) // 4 bytes
+	st.Put(digest(1), []byte("bbbb")) // 8 total
+	st.Put(digest(2), []byte("cccc")) // 12 > 10: evict digest(0)
+	if _, _, err := st.Get(digest(0)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatal("oldest entry survived byte-bound eviction")
+	}
+	ts := st.Stats()[0]
+	if ts.Entries != 2 || ts.Bytes != 8 {
+		t.Fatalf("Stats = %+v, want 2 entries / 8 bytes", ts)
+	}
+}
+
+func TestGetPromotesAgainstEviction(t *testing.T) {
+	st := mustNew(t, 2, 0)
+	st.Put(digest(0), []byte("a"))
+	st.Put(digest(1), []byte("b"))
+	st.Get(digest(0)) // promote: digest(1) is now coldest
+	st.Put(digest(2), []byte("c"))
+	if _, _, err := st.Get(digest(0)); err != nil {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, _, err := st.Get(digest(1)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatal("cold entry survived over the promoted one")
+	}
+}
+
+func TestOverwriteAdjustsBytes(t *testing.T) {
+	st := mustNew(t, 4, 0)
+	st.Put(digest(1), []byte("aa"))
+	st.Put(digest(1), []byte("bbbbbb"))
+	ts := st.Stats()[0]
+	if ts.Entries != 1 || ts.Bytes != 6 {
+		t.Fatalf("Stats after overwrite = %+v, want 1 entry / 6 bytes", ts)
+	}
+	data, _, err := st.Get(digest(1))
+	if err != nil || string(data) != "bbbbbb" {
+		t.Fatalf("overwrite not visible: %q, %v", data, err)
+	}
+}
+
+func TestOversizedEntryRefused(t *testing.T) {
+	st := mustNew(t, 4, 8)
+	if err := st.Put(digest(1), make([]byte, 9)); err == nil {
+		t.Fatal("entry larger than the byte bound must be refused")
+	}
+	ts := st.Stats()[0]
+	if ts.Entries != 0 || ts.Bytes != 0 {
+		t.Fatalf("refused entry changed occupancy: %+v", ts)
+	}
+}
+
+func TestCloseDropsEverything(t *testing.T) {
+	st := mustNew(t, 4, 0)
+	st.Put(digest(1), []byte("x"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(digest(1)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatal("entry survived Close")
+	}
+	ts := st.Stats()[0]
+	if ts.Entries != 0 || ts.Bytes != 0 {
+		t.Fatalf("occupancy after Close: %+v", ts)
+	}
+}
+
+// TestEvictedMidReadStaysValid pins the immutability contract the tiered
+// cache relies on: a slice handed out by Get must stay intact even after
+// churn evicts and overwrites the entry, because Put always copies and
+// eviction never scribbles on old payloads.
+func TestEvictedMidReadStaysValid(t *testing.T) {
+	st := mustNew(t, 2, 0)
+	want := []byte("held-across-eviction")
+	st.Put(digest(0), want)
+	held, _, err := st.Get(digest(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ { // churn far past the entry bound
+		st.Put(digest(i), bytes.Repeat([]byte{byte(i)}, 32))
+	}
+	if _, _, err := st.Get(digest(0)); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatal("churn should have evicted the held entry")
+	}
+	if !bytes.Equal(held, want) {
+		t.Fatalf("held slice mutated after eviction: %q", held)
+	}
+}
+
+// TestConcurrentChurn hammers a small LRU from many goroutines under
+// -race: hits must return exactly what some writer stored for that key,
+// and the bounds must hold at every observation.
+func TestConcurrentChurn(t *testing.T) {
+	const maxEntries, workers, rounds = 4, 8, 200
+	st := mustNew(t, maxEntries, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				d := digest(i % (2 * maxEntries))
+				if i%2 == 0 {
+					if err := st.Put(d, []byte(d[:8])); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else {
+					data, _, err := st.Get(d)
+					if errors.Is(err, rescache.ErrNotFound) {
+						continue
+					}
+					if err != nil || string(data) != d[:8] {
+						t.Errorf("Get(%s) = (%q, %v)", d[:8], data, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ts := st.Stats()[0]
+	if ts.Entries > maxEntries {
+		t.Fatalf("entry bound violated: %d > %d", ts.Entries, maxEntries)
+	}
+}

@@ -1,0 +1,154 @@
+// Package peerstore is the fleet tier of the result cache: it reads and
+// writes entries in another node's cache over the tiny HTTP protocol
+// internal/server exposes at /v1/cache/{digest} (GET returns the entry
+// bytes or 404, PUT stores them). Which node to ask is the routing
+// function's business — the serve coordinator passes a consistent-hash
+// ring lookup, so every node in the fleet agrees on the single owner of
+// each digest and the tier reads through (and replicates into) that
+// owner's store.
+//
+// The tier is strictly best-effort: a routing function that declines
+// (self-owned digest, empty ring) is a clean miss, and every transport
+// or protocol failure is a counted backend error that the cache above
+// treats as a miss — a dead peer degrades the fleet to local compute,
+// it never breaks a request.
+package peerstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+)
+
+// DefaultTimeout bounds one peer round trip. Peers are ring neighbours
+// on the same network; a peer slower than this is treated as down.
+const DefaultTimeout = 2 * time.Second
+
+// MaxEntryBytes bounds one fetched entry; full-size suite results are
+// hundreds of KiB, so 32 MiB is generous without letting a confused
+// peer balloon memory.
+const MaxEntryBytes = 32 << 20
+
+// Store reads and writes a remote node's cache tier.
+type Store struct {
+	owner    func(digest string) (baseURL string, ok bool)
+	client   *http.Client
+	observer *obs.Observer
+
+	gets, hits, puts, errcnt atomic.Int64
+}
+
+// New returns a Store that routes each digest with owner: the returned
+// base URL ("http://host:port") is asked for the entry; ok=false means
+// no remote holds it (the local node owns the digest, or the ring is
+// empty) and the lookup is a clean miss. A nil client gets
+// DefaultTimeout.
+func New(owner func(digest string) (string, bool), client *http.Client) *Store {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultTimeout}
+	}
+	return &Store{owner: owner, client: client}
+}
+
+// SetObserver registers the tier's counters on o.
+func (s *Store) SetObserver(o *obs.Observer) {
+	if s == nil || o == nil {
+		return
+	}
+	s.observer = o
+	o.Counter("store.peer.gets")
+	o.Counter("store.peer.hits")
+	o.Counter("store.peer.puts")
+	o.Counter("store.peer.errors")
+}
+
+func (s *Store) count(name string, n *atomic.Int64) {
+	n.Add(1)
+	s.observer.Counter("store.peer." + name).Inc()
+}
+
+func (s *Store) fail(err error) error {
+	s.count("errors", &s.errcnt)
+	return err
+}
+
+// Get fetches the entry from the digest's owner. 404 is a clean miss;
+// any transport failure or unexpected status is a backend error.
+func (s *Store) Get(digest string) ([]byte, string, error) {
+	s.count("gets", &s.gets)
+	base, ok := s.owner(digest)
+	if !ok {
+		return nil, "", rescache.ErrNotFound
+	}
+	resp, err := s.client.Get(base + "/v1/cache/" + digest)
+	if err != nil {
+		return nil, "", s.fail(fmt.Errorf("peerstore: get %s from %s: %w", digest, base, err))
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, MaxEntryBytes+1))
+		if err != nil {
+			return nil, "", s.fail(fmt.Errorf("peerstore: read %s from %s: %w", digest, base, err))
+		}
+		if len(data) > MaxEntryBytes {
+			return nil, "", s.fail(fmt.Errorf("peerstore: entry %s from %s exceeds %d bytes", digest, base, MaxEntryBytes))
+		}
+		s.count("hits", &s.hits)
+		return data, "peer", nil
+	case http.StatusNotFound:
+		return nil, "", rescache.ErrNotFound
+	default:
+		return nil, "", s.fail(fmt.Errorf("peerstore: get %s from %s: status %d", digest, base, resp.StatusCode))
+	}
+}
+
+// Put replicates the entry to the digest's owner; a declined route is a
+// no-op (the local tiers already hold it).
+func (s *Store) Put(digest string, data []byte) error {
+	base, ok := s.owner(digest)
+	if !ok {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/cache/"+digest, bytes.NewReader(data))
+	if err != nil {
+		return s.fail(fmt.Errorf("peerstore: put %s to %s: %w", digest, base, err))
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return s.fail(fmt.Errorf("peerstore: put %s to %s: %w", digest, base, err))
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return s.fail(fmt.Errorf("peerstore: put %s to %s: status %d", digest, base, resp.StatusCode))
+	}
+	s.count("puts", &s.puts)
+	return nil
+}
+
+// Stats snapshots traffic; occupancy is the owner's business (-1).
+func (s *Store) Stats() []rescache.TierStats {
+	return []rescache.TierStats{{
+		Tier:    "peer",
+		Gets:    s.gets.Load(),
+		Hits:    s.hits.Load(),
+		Puts:    s.puts.Load(),
+		Errors:  s.errcnt.Load(),
+		Entries: -1,
+		Bytes:   -1,
+	}}
+}
+
+// Close is a no-op; connections are the client's to pool.
+func (s *Store) Close() error { return nil }
+
+// String renders the tier for log lines.
+func (s *Store) String() string { return "peer" }

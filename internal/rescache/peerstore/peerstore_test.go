@@ -1,0 +1,142 @@
+package peerstore_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/peerstore"
+)
+
+func digest(id string) string {
+	return (rescache.Key{ID: id}).Digest()
+}
+
+// fakePeer serves the /v1/cache protocol out of a map, counting puts.
+type fakePeer struct {
+	srv     *httptest.Server
+	entries map[string]string
+	puts    atomic.Int64
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{entries: map[string]string{}}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+		switch r.Method {
+		case http.MethodGet:
+			data, ok := p.entries[d]
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Write([]byte(data))
+		case http.MethodPut:
+			data, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			p.entries[d] = string(data)
+			p.puts.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// routeAllTo returns a routing function that sends every digest to base.
+func routeAllTo(base string) func(string) (string, bool) {
+	return func(string) (string, bool) { return base, true }
+}
+
+func TestGetHitMissAndPut(t *testing.T) {
+	peer := newFakePeer(t)
+	st := peerstore.New(routeAllTo(peer.srv.URL), nil)
+	d := digest("e01")
+
+	if _, _, err := st.Get(d); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("peer 404 must be a clean miss, got %v", err)
+	}
+	if err := st.Put(d, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, tier, err := st.Get(d)
+	if err != nil || string(data) != "payload" || tier != "peer" {
+		t.Fatalf("Get = (%q, %q, %v)", data, tier, err)
+	}
+	if peer.puts.Load() != 1 {
+		t.Fatalf("peer saw %d puts, want 1", peer.puts.Load())
+	}
+	ts := st.Stats()[0]
+	if ts.Tier != "peer" || ts.Gets != 2 || ts.Hits != 1 || ts.Puts != 1 || ts.Errors != 0 {
+		t.Fatalf("Stats = %+v", ts)
+	}
+	if ts.Entries != -1 || ts.Bytes != -1 {
+		t.Fatalf("occupancy must be unknown (-1), got %+v", ts)
+	}
+}
+
+func TestDeclinedRouteIsCleanMiss(t *testing.T) {
+	st := peerstore.New(func(string) (string, bool) { return "", false }, nil)
+	if _, _, err := st.Get(digest("e01")); !errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("declined route must be ErrNotFound, got %v", err)
+	}
+	if err := st.Put(digest("e01"), []byte("x")); err != nil {
+		t.Fatalf("declined Put must be a no-op, got %v", err)
+	}
+	ts := st.Stats()[0]
+	if ts.Errors != 0 || ts.Puts != 0 {
+		t.Fatalf("declined route counted traffic: %+v", ts)
+	}
+}
+
+func TestServerErrorIsCountedBackendError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	st := peerstore.New(routeAllTo(srv.URL), nil)
+	if _, _, err := st.Get(digest("e01")); err == nil || errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("500 must be a backend error, got %v", err)
+	}
+	if err := st.Put(digest("e01"), []byte("x")); err == nil {
+		t.Fatal("500 on Put must surface")
+	}
+	if st.Stats()[0].Errors != 2 {
+		t.Fatalf("Errors = %d, want 2", st.Stats()[0].Errors)
+	}
+}
+
+func TestDeadPeerIsCountedBackendError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // dead: connection refused
+	st := peerstore.New(routeAllTo(srv.URL), nil)
+	if _, _, err := st.Get(digest("e01")); err == nil || errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("dead peer must be a backend error, got %v", err)
+	}
+	if st.Stats()[0].Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Stats()[0].Errors)
+	}
+}
+
+func TestOversizedEntryRefused(t *testing.T) {
+	big := strings.Repeat("x", peerstore.MaxEntryBytes+1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(big))
+	}))
+	defer srv.Close()
+	st := peerstore.New(routeAllTo(srv.URL), nil)
+	if _, _, err := st.Get(digest("e01")); err == nil || errors.Is(err, rescache.ErrNotFound) {
+		t.Fatalf("oversized entry must be a backend error, got %v", err)
+	}
+}

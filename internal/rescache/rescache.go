@@ -1,4 +1,5 @@
-// Package rescache is a content-addressed store for experiment results.
+// Package rescache is a content-addressed cache for experiment results,
+// layered over pluggable digest-addressed byte storage.
 //
 // A cache entry is the experiments.Result JSON of one experiment run,
 // filed under a digest of everything that determines that result: the
@@ -7,14 +8,25 @@
 // is the result the runner would recompute, so a warm run can skip the
 // experiment body entirely and still render byte-identical output.
 //
+// The Cache itself owns only keying and (de)serialization; where the
+// bytes live is the Store interface's business. The repository ships
+// three backends — fsstore (a directory, today's default), memstore (a
+// bounded in-process LRU hot tier), and peerstore (another node's cache
+// over HTTP) — plus the Tiered composite in this package, which probes
+// tiers in order (mem → disk → peer) and backfills upward on a hit.
+//
 // Any failure to read or parse an entry is treated as a miss — the
-// runner recomputes and overwrites — so a corrupted cache directory can
-// slow a run down but never break it.
+// runner recomputes and overwrites — so a corrupted cache directory or a
+// dead peer can slow a run down but never break it. Backend failures
+// are still counted (rescache.errors and per-tier TierStats) and
+// surfaced through Check, so a cache that breaks after startup degrades
+// loudly instead of silently.
 package rescache
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,6 +35,79 @@ import (
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
 )
+
+// ErrNotFound is the miss sentinel for Store.Get: the backend is
+// healthy, it just does not hold the digest. Any other error from Get
+// is a backend failure — still a miss for the caller, but counted and
+// surfaced separately.
+var ErrNotFound = errors.New("rescache: entry not found")
+
+// Store is the storage layer under Cache: digest-addressed byte blobs.
+// Implementations must be safe for concurrent use. The repository's
+// backends live in the fsstore, memstore, and peerstore subpackages;
+// Tiered composes them.
+type Store interface {
+	// Get returns the bytes stored under digest and the name of the
+	// tier that served them ("mem", "fs", "peer"). A miss is
+	// (nil, "", ErrNotFound); any other error is a backend failure.
+	Get(digest string) (data []byte, tier string, err error)
+	// Put stores data under digest, overwriting any existing entry.
+	Put(digest string, data []byte) error
+	// Stats snapshots per-tier traffic and occupancy, one entry per
+	// physical tier (a composite store concatenates its children's).
+	Stats() []TierStats
+	// Close releases the store's resources. A closed store may fail
+	// subsequent calls; Close is idempotent.
+	Close() error
+}
+
+// TierStats is a point-in-time traffic/occupancy snapshot of one
+// storage tier.
+type TierStats struct {
+	// Tier names the backend ("mem", "fs", "peer").
+	Tier string `json:"tier"`
+	// Gets counts lookups; Hits the subset served.
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	// Puts counts successful writes (including tier backfills).
+	Puts int64 `json:"puts"`
+	// Errors counts backend failures on either path.
+	Errors int64 `json:"errors"`
+	// Entries and Bytes report occupancy; -1 when the backend cannot
+	// know cheaply (e.g. a remote peer).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Checker is the optional health probe a Store can implement; the
+// server's /readyz reports it so a cache directory that breaks after
+// startup is surfaced instead of degrading silently per-read.
+type Checker interface {
+	Check() error
+}
+
+// Observable is the optional observer hook a Store can implement to
+// register and feed per-tier obs counters (store.<tier>.gets and
+// friends).
+type Observable interface {
+	SetObserver(o *obs.Observer)
+}
+
+// ValidDigest reports whether s is a well-formed content address: 64
+// lowercase hex characters (a sha256). Stores use digests as file
+// names and URL path segments, so both ends validate before use.
+func ValidDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // Key identifies one cacheable experiment run. Two runs with equal keys
 // are guaranteed (by the determinism contract) to produce equal results.
@@ -44,23 +129,25 @@ type Key struct {
 }
 
 // Digest returns the key's content address: a sha256 hex digest of its
-// canonical encoding. It doubles as the cache file basename.
+// canonical encoding. It doubles as the cache file basename and the
+// consistent-hash point that assigns the entry a fleet owner.
 func (k Key) Digest() string {
 	canon := fmt.Sprintf("id=%s\nseed=%d\nquick=%t\nplan=%s\nschema=%d\n",
 		k.ID, k.Seed, k.Quick, k.PlanHash, k.Schema)
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(canon)))
 }
 
-// Cache is a directory of result files, safe for concurrent use. A nil
-// *Cache is a valid no-op cache: Get always misses, Put does nothing.
+// Cache serializes Results in and out of a Store and keeps the
+// aggregate traffic counters. A nil *Cache is a valid no-op cache: Get
+// always misses, Put does nothing.
 type Cache struct {
-	dir                  string
-	observer             *obs.Observer
-	hits, misses, stores atomic.Int64
+	store                        Store
+	observer                     *obs.Observer
+	hits, misses, stores, errcnt atomic.Int64
 }
 
-// DefaultDir is the cache location used when the user does not override
-// it: <user cache dir>/resilience.
+// DefaultDir is the filesystem-tier location used when the user does
+// not override it: <user cache dir>/resilience.
 func DefaultDir() (string, error) {
 	base, err := os.UserCacheDir()
 	if err != nil {
@@ -69,24 +156,38 @@ func DefaultDir() (string, error) {
 	return filepath.Join(base, "resilience"), nil
 }
 
-// Open returns a Cache rooted at dir, creating the directory if needed.
-func Open(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("open result cache: %w", err)
+// New returns a Cache over store. A nil store yields a no-op cache.
+func New(store Store) *Cache {
+	if store == nil {
+		return nil
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{store: store}
 }
 
-// Dir reports the cache root ("" for a nil cache).
-func (c *Cache) Dir() string {
+// Store exposes the underlying storage (nil for a nil cache), for
+// callers that need tier-level stats or to serve the peer protocol.
+func (c *Cache) Store() Store {
 	if c == nil {
-		return ""
+		return nil
 	}
-	return c.dir
+	return c.store
 }
 
-// SetObserver attaches hit/miss/store counters to o. All three are
-// registered immediately so they appear (as zeros) in every metrics
+// Desc describes the storage stack for log lines ("mem(1024) → fs(/x)"
+// when the backends implement fmt.Stringer).
+func (c *Cache) Desc() string {
+	if c == nil || c.store == nil {
+		return "off"
+	}
+	if s, ok := c.store.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return "on"
+}
+
+// SetObserver attaches the cache's aggregate counters to o and
+// propagates o to every tier that can register its own. All counters
+// are registered immediately so they appear (as zeros) in every metrics
 // document of a cache-enabled run.
 func (c *Cache) SetObserver(o *obs.Observer) {
 	if c == nil || o == nil {
@@ -96,6 +197,15 @@ func (c *Cache) SetObserver(o *obs.Observer) {
 	o.Counter("rescache.hits")
 	o.Counter("rescache.misses")
 	o.Counter("rescache.stores")
+	o.Counter("rescache.errors")
+	// Pre-register per-tier hit counters so the metrics schema is
+	// stable from the first document on.
+	for _, ts := range c.store.Stats() {
+		o.Counter("rescache.hits." + ts.Tier)
+	}
+	if ob, ok := c.store.(Observable); ok {
+		ob.SetObserver(o)
+	}
 }
 
 func (c *Cache) count(name string, n *atomic.Int64) {
@@ -103,29 +213,39 @@ func (c *Cache) count(name string, n *atomic.Int64) {
 	c.observer.Counter("rescache." + name).Inc()
 }
 
-// Get returns the stored result for k, or (nil, false) on a miss. A
-// missing, unreadable, corrupt, or mismatched entry is a miss, never an
-// error: the caller recomputes and Put overwrites the bad file.
-func (c *Cache) Get(k Key) (*experiments.Result, bool) {
+// Get returns the stored result for k plus the tier that served it, or
+// (nil, "", false) on a miss. A missing, unreadable, corrupt, or
+// ID-mismatched entry is a miss, never an error: the caller recomputes
+// and Put overwrites the bad entry. Backend failures additionally count
+// as rescache.errors.
+func (c *Cache) Get(k Key) (*experiments.Result, string, bool) {
 	if c == nil {
-		return nil, false
+		return nil, "", false
 	}
-	data, err := os.ReadFile(c.path(k))
+	data, tier, err := c.store.Get(k.Digest())
 	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			c.count("errors", &c.errcnt)
+		}
 		c.count("misses", &c.misses)
-		return nil, false
+		return nil, "", false
 	}
 	var res experiments.Result
+	// A digest collision or torn write surfaces as an entry whose
+	// payload does not decode, or decodes to a different experiment:
+	// always a miss.
 	if err := json.Unmarshal(data, &res); err != nil || res.ID != k.ID {
 		c.count("misses", &c.misses)
-		return nil, false
+		return nil, "", false
 	}
 	c.count("hits", &c.hits)
-	return &res, true
+	c.observer.Counter("rescache.hits." + tier).Inc()
+	return &res, tier, true
 }
 
-// Put stores res under k, atomically (temp file + rename) so concurrent
-// runners and interrupted runs never leave a torn entry behind.
+// Put stores res under k. Write failures are counted (rescache.errors)
+// and returned; callers treat them as non-fatal — a full disk or dead
+// peer slows the next run down, it must not fail this one.
 func (c *Cache) Put(k Key, res *experiments.Result) error {
 	if c == nil {
 		return nil
@@ -134,34 +254,39 @@ func (c *Cache) Put(k Key, res *experiments.Result) error {
 	if err != nil {
 		return fmt.Errorf("encode cache entry %s: %w", k.ID, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, k.Digest()+".tmp*")
-	if err != nil {
-		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.store.Put(k.Digest(), data); err != nil {
+		c.count("errors", &c.errcnt)
 		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
 	}
 	c.count("stores", &c.stores)
 	return nil
 }
 
-func (c *Cache) path(k Key) string {
-	return filepath.Join(c.dir, k.Digest()+".json")
+// Check probes the storage stack's health (tiers implementing Checker);
+// nil means every probed tier is serviceable. A nil cache is healthy by
+// definition — there is nothing to break.
+func (c *Cache) Check() error {
+	if c == nil {
+		return nil
+	}
+	if ch, ok := c.store.(Checker); ok {
+		return ch.Check()
+	}
+	return nil
 }
 
-// Stats is a point-in-time snapshot of cache traffic since Open.
+// Close releases the underlying store.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	return c.store.Close()
+}
+
+// Stats is a point-in-time snapshot of aggregate cache traffic since
+// construction.
 type Stats struct {
-	Hits, Misses, Stores int64
+	Hits, Misses, Stores, Errors int64
 }
 
 // Stats returns the cache's traffic counters in one consistent-enough
@@ -171,10 +296,23 @@ func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Stores: c.stores.Load()}
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+		Errors: c.errcnt.Load(),
+	}
 }
 
-// Hits reports cache hits since Open (0 for a nil cache).
+// TierStats snapshots the underlying tiers (nil for a nil cache).
+func (c *Cache) TierStats() []TierStats {
+	if c == nil {
+		return nil
+	}
+	return c.store.Stats()
+}
+
+// Hits reports cache hits since construction (0 for a nil cache).
 func (c *Cache) Hits() int64 {
 	if c == nil {
 		return 0
@@ -182,7 +320,7 @@ func (c *Cache) Hits() int64 {
 	return c.hits.Load()
 }
 
-// Misses reports cache misses since Open (0 for a nil cache).
+// Misses reports cache misses since construction (0 for a nil cache).
 func (c *Cache) Misses() int64 {
 	if c == nil {
 		return 0
@@ -190,10 +328,19 @@ func (c *Cache) Misses() int64 {
 	return c.misses.Load()
 }
 
-// Stores reports entries written since Open (0 for a nil cache).
+// Stores reports entries written since construction (0 for a nil cache).
 func (c *Cache) Stores() int64 {
 	if c == nil {
 		return 0
 	}
 	return c.stores.Load()
+}
+
+// Errors reports backend failures since construction (0 for a nil
+// cache).
+func (c *Cache) Errors() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.errcnt.Load()
 }

@@ -3,13 +3,79 @@ package rescache
 import (
 	"bytes"
 	"encoding/json"
-	"os"
-	"path/filepath"
+	"errors"
+	"sync"
 	"testing"
 
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
 )
+
+// mapStore is the in-package Store double: a map with injectable
+// failures, so Cache's keying/serialization logic is tested without
+// dragging a real backend (the backends live in subpackages that import
+// this one).
+type mapStore struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	tier   string
+	getErr error
+	putErr error
+
+	gets, hits, puts int64
+}
+
+func newMapStore(tier string) *mapStore {
+	return &mapStore{m: make(map[string][]byte), tier: tier}
+}
+
+func (s *mapStore) Get(digest string) ([]byte, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	if s.getErr != nil {
+		return nil, "", s.getErr
+	}
+	data, ok := s.m[digest]
+	if !ok {
+		return nil, "", ErrNotFound
+	}
+	s.hits++
+	return data, s.tier, nil
+}
+
+func (s *mapStore) Put(digest string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.putErr != nil {
+		return s.putErr
+	}
+	s.puts++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[digest] = cp
+	return nil
+}
+
+func (s *mapStore) Stats() []TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []TierStats{{
+		Tier: s.tier, Gets: s.gets, Hits: s.hits, Puts: s.puts,
+		Entries: int64(len(s.m)), Bytes: -1,
+	}}
+}
+
+func (s *mapStore) Close() error { return nil }
+
+func (s *mapStore) String() string { return s.tier }
+
+// corrupt overwrites the stored entry behind the cache's back.
+func (s *mapStore) corrupt(digest string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[digest] = data
+}
 
 func record(t *testing.T, id string, seed uint64) *experiments.Result {
 	t.Helper()
@@ -29,7 +95,7 @@ func TestDigestDeterministicAndDistinct(t *testing.T) {
 	if base.Digest() != base.Digest() {
 		t.Fatal("digest not deterministic")
 	}
-	if len(base.Digest()) != 64 {
+	if !ValidDigest(base.Digest()) {
 		t.Fatalf("digest %q is not sha256 hex", base.Digest())
 	}
 	variants := map[string]Key{
@@ -46,22 +112,37 @@ func TestDigestDeterministicAndDistinct(t *testing.T) {
 	}
 }
 
-func TestGetPutRoundTrip(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
+func TestValidDigest(t *testing.T) {
+	for s, want := range map[string]bool{
+		(Key{ID: "e05"}).Digest(): true,
+		"":                        false,
+		"abc":                     false,
+		"ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789":  false, // uppercase
+		"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz":  false, // not hex
+		"../../../../../../../../etc/passwd0000000000000000000000000000000": false,
+	} {
+		if got := ValidDigest(s); got != want {
+			t.Errorf("ValidDigest(%q) = %v, want %v", s, got, want)
+		}
 	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(newMapStore("map"))
 	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
-	if _, ok := c.Get(k); ok {
+	if _, _, ok := c.Get(k); ok {
 		t.Fatal("empty cache must miss")
 	}
 	res := record(t, "e05", 42)
 	if err := c.Put(k, res); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get(k)
+	got, tier, ok := c.Get(k)
 	if !ok {
 		t.Fatal("stored entry must hit")
+	}
+	if tier != "map" {
+		t.Fatalf("hit tier = %q, want the serving store's name", tier)
 	}
 	// The fetched result must render identically to the computed one:
 	// compare canonical JSON, which preserves note/table interleaving.
@@ -86,10 +167,7 @@ func TestGetPutRoundTrip(t *testing.T) {
 // that can change a result forces a miss against an entry stored under
 // the base key.
 func TestInvalidation(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := New(newMapStore("map"))
 	base := Key{ID: "e05", Seed: 42, Quick: true, PlanHash: "", Schema: 1}
 	if err := c.Put(base, record(t, "e05", 42)); err != nil {
 		t.Fatal(err)
@@ -101,66 +179,104 @@ func TestInvalidation(t *testing.T) {
 		"schema bump":  {ID: "e05", Seed: 42, Quick: true, PlanHash: "", Schema: 2},
 		"different id": {ID: "e06", Seed: 42, Quick: true, PlanHash: "", Schema: 1},
 	} {
-		if _, ok := c.Get(k); ok {
+		if _, _, ok := c.Get(k); ok {
 			t.Errorf("%s must force a miss", name)
 		}
 	}
-	if _, ok := c.Get(base); !ok {
+	if _, _, ok := c.Get(base); !ok {
 		t.Fatal("base key must still hit")
 	}
 }
 
-// TestCorruptedEntryRecovers: garbage in a cache file is a miss, and the
-// next Put heals it. The suite must never fail because of a bad cache.
+// TestCorruptedEntryRecovers: garbage in a stored entry is a miss, and
+// the next Put heals it. The suite must never fail because of a bad
+// cache.
 func TestCorruptedEntryRecovers(t *testing.T) {
-	dir := t.TempDir()
-	c, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := newMapStore("map")
+	c := New(st)
 	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
 	res := record(t, "e05", 42)
 	for _, garbage := range []string{"", "not json", `{"id":"e99"}`} {
-		path := filepath.Join(dir, k.Digest()+".json")
-		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if _, ok := c.Get(k); ok {
+		st.corrupt(k.Digest(), []byte(garbage))
+		if _, _, ok := c.Get(k); ok {
 			t.Fatalf("corrupt entry %q must miss", garbage)
 		}
 		if err := c.Put(k, res); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := c.Get(k); !ok {
+		if _, _, ok := c.Get(k); !ok {
 			t.Fatalf("Put after corruption %q must heal the entry", garbage)
 		}
+	}
+}
+
+// TestBackendErrorIsCountedMiss: a store failure (as opposed to
+// ErrNotFound) is still a miss for the caller, but lands in the errors
+// counter so a broken backend degrades loudly.
+func TestBackendErrorIsCountedMiss(t *testing.T) {
+	st := newMapStore("map")
+	c := New(st)
+	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
+	st.getErr = errors.New("disk on fire")
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("backend failure must read as a miss")
+	}
+	if c.Errors() != 1 || c.Misses() != 1 {
+		t.Fatalf("errors=%d misses=%d, want 1/1", c.Errors(), c.Misses())
+	}
+	st.getErr = nil
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("recovered backend with no entry must still miss")
+	}
+	if c.Errors() != 1 {
+		t.Fatalf("clean miss must not count as an error (errors=%d)", c.Errors())
+	}
+	st.putErr = errors.New("disk still on fire")
+	if err := c.Put(k, record(t, "e05", 42)); err == nil {
+		t.Fatal("failed Put must return the error")
+	}
+	if c.Errors() != 2 || c.Stores() != 0 {
+		t.Fatalf("errors=%d stores=%d after failed Put, want 2/0", c.Errors(), c.Stores())
 	}
 }
 
 func TestNilCacheIsNoOp(t *testing.T) {
 	var c *Cache
 	k := Key{ID: "e05"}
-	if _, ok := c.Get(k); ok {
+	if _, _, ok := c.Get(k); ok {
 		t.Fatal("nil cache must miss")
 	}
 	if err := c.Put(k, &experiments.Result{ID: "e05"}); err != nil {
 		t.Fatal(err)
 	}
 	c.SetObserver(obs.New())
-	if c.Hits() != 0 || c.Misses() != 0 || c.Stores() != 0 || c.Dir() != "" {
+	if c.Hits() != 0 || c.Misses() != 0 || c.Stores() != 0 || c.Errors() != 0 {
 		t.Fatal("nil cache must report zeros")
+	}
+	if c.Desc() != "off" || c.Store() != nil || c.TierStats() != nil {
+		t.Fatal("nil cache must describe itself as off")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal("nil cache is healthy by definition")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// New over a nil store is the same no-op cache.
+	if New(nil) != nil {
+		t.Fatal("New(nil) must yield the nil no-op cache")
 	}
 }
 
 func TestObserverCounters(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := New(newMapStore("map"))
 	o := obs.New()
 	c.SetObserver(o)
 	doc := o.Document()
-	for _, name := range []string{"rescache.hits", "rescache.misses", "rescache.stores"} {
+	for _, name := range []string{
+		"rescache.hits", "rescache.misses", "rescache.stores",
+		"rescache.errors", "rescache.hits.map",
+	} {
 		if v, ok := doc.Counters[name]; !ok || v != 0 {
 			t.Fatalf("counter %s not pre-registered at 0 (doc=%v)", name, doc.Counters)
 		}
@@ -172,6 +288,7 @@ func TestObserverCounters(t *testing.T) {
 	doc = o.Document()
 	for name, want := range map[string]int64{
 		"rescache.hits": 1, "rescache.misses": 1, "rescache.stores": 1,
+		"rescache.hits.map": 1,
 	} {
 		if doc.Counters[name] != want {
 			t.Errorf("counter %s = %d, want %d", name, doc.Counters[name], want)
@@ -180,10 +297,7 @@ func TestObserverCounters(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := New(newMapStore("map"))
 	k := Key{ID: "e05", Seed: 42, Quick: true, Schema: 1}
 	c.Get(k) // miss
 	if err := c.Put(k, record(t, "e05", 42)); err != nil {
@@ -193,6 +307,10 @@ func TestStats(t *testing.T) {
 	c.Get(k) // hit
 	if st := c.Stats(); st != (Stats{Hits: 2, Misses: 1, Stores: 1}) {
 		t.Fatalf("Stats() = %+v, want {Hits:2 Misses:1 Stores:1}", st)
+	}
+	ts := c.TierStats()
+	if len(ts) != 1 || ts[0].Tier != "map" || ts[0].Gets != 3 || ts[0].Hits != 2 {
+		t.Fatalf("TierStats() = %+v, want one map tier with 3 gets / 2 hits", ts)
 	}
 	// Nil cache: zero stats, no panic — mirrors the other nil no-ops.
 	var nilCache *Cache

@@ -1,0 +1,129 @@
+package rescache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"resilience/internal/obs"
+)
+
+// Tiered composes stores into one: Get probes tiers in order (the
+// intended stack is mem → fs → peer) and backfills every faster tier
+// above the one that hit, so a hot key migrates toward memory; Put
+// writes through to every tier. A tier that errors is skipped — its
+// failure is recorded, the probe moves on — so a dead peer or a broken
+// disk degrades the stack to its healthy tiers, never breaks it.
+//
+// Nil tiers are dropped; a single surviving tier is returned unwrapped
+// (there is nothing to compose); zero tiers yield nil, which
+// rescache.New turns into a no-op cache.
+func Tiered(tiers ...Store) Store {
+	kept := make([]Store, 0, len(tiers))
+	for _, t := range tiers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &tiered{tiers: kept}
+}
+
+type tiered struct {
+	tiers []Store
+}
+
+// Get probes each tier in order. On a hit at tier i the bytes are
+// backfilled into tiers 0..i-1 (errors recorded by the failing tier and
+// ignored here — backfill is an optimization, not a contract). If no
+// tier hits, the joined backend errors are returned when any tier
+// failed, ErrNotFound when every tier missed cleanly.
+func (t *tiered) Get(digest string) ([]byte, string, error) {
+	var backendErr error
+	for i, tier := range t.tiers {
+		data, name, err := tier.Get(digest)
+		if err == nil {
+			for j := i - 1; j >= 0; j-- {
+				// Ignore backfill failures: the hit stands on its own.
+				_ = t.tiers[j].Put(digest, data)
+			}
+			return data, name, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			backendErr = errors.Join(backendErr, err)
+		}
+	}
+	if backendErr != nil {
+		return nil, "", backendErr
+	}
+	return nil, "", ErrNotFound
+}
+
+// Put writes through to every tier and joins the failures. A partial
+// write (some tiers failed) still returns an error so callers surface
+// it, but the entry remains servable from the tiers that succeeded.
+func (t *tiered) Put(digest string, data []byte) error {
+	var err error
+	for _, tier := range t.tiers {
+		err = errors.Join(err, tier.Put(digest, data))
+	}
+	return err
+}
+
+// Stats concatenates the tiers' snapshots in probe order.
+func (t *tiered) Stats() []TierStats {
+	var out []TierStats
+	for _, tier := range t.tiers {
+		out = append(out, tier.Stats()...)
+	}
+	return out
+}
+
+// Close closes every tier and joins the failures.
+func (t *tiered) Close() error {
+	var err error
+	for _, tier := range t.tiers {
+		err = errors.Join(err, tier.Close())
+	}
+	return err
+}
+
+// Check probes every tier that is checkable and joins the failures.
+// Tiers without a Check (e.g. a remote peer, whose death is tolerated
+// by design) do not affect the verdict.
+func (t *tiered) Check() error {
+	var err error
+	for _, tier := range t.tiers {
+		if ch, ok := tier.(Checker); ok {
+			err = errors.Join(err, ch.Check())
+		}
+	}
+	return err
+}
+
+// SetObserver propagates o to every tier that can use it.
+func (t *tiered) SetObserver(o *obs.Observer) {
+	for _, tier := range t.tiers {
+		if ob, ok := tier.(Observable); ok {
+			ob.SetObserver(o)
+		}
+	}
+}
+
+// String renders the stack in probe order for log lines.
+func (t *tiered) String() string {
+	parts := make([]string, 0, len(t.tiers))
+	for _, tier := range t.tiers {
+		if s, ok := tier.(fmt.Stringer); ok {
+			parts = append(parts, s.String())
+		} else {
+			parts = append(parts, "store")
+		}
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,106 @@
+package rescache
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTieredProbesInOrderAndBackfills(t *testing.T) {
+	hot, cold := newMapStore("hot"), newMapStore("cold")
+	st := Tiered(hot, cold)
+	if err := cold.Put("d1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, tier, err := st.Get("d1")
+	if err != nil || string(data) != "payload" || tier != "cold" {
+		t.Fatalf("Get = (%q, %q, %v), want cold tier hit", data, tier, err)
+	}
+	// The hit must have backfilled the hotter tier, which now serves.
+	if _, _, err := hot.Get("d1"); err != nil {
+		t.Fatalf("hit did not backfill the hot tier: %v", err)
+	}
+	if _, tier, _ := st.Get("d1"); tier != "hot" {
+		t.Fatalf("second Get served from %q, want backfilled hot tier", tier)
+	}
+}
+
+func TestTieredPutWritesThrough(t *testing.T) {
+	hot, cold := newMapStore("hot"), newMapStore("cold")
+	st := Tiered(hot, cold)
+	if err := st.Put("d1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*mapStore{hot, cold} {
+		if _, _, err := s.Get("d1"); err != nil {
+			t.Errorf("Put did not reach tier %s: %v", s.tier, err)
+		}
+	}
+}
+
+// TestTieredBackendErrorDegradesToNextTier: a broken tier is skipped,
+// not fatal — the probe continues downward and the error is joined into
+// the final result only if every tier misses.
+func TestTieredBackendErrorDegradesToNextTier(t *testing.T) {
+	broken, good := newMapStore("broken"), newMapStore("good")
+	broken.getErr = errors.New("tier on fire")
+	st := Tiered(broken, good)
+	if err := good.Put("d1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, tier, err := st.Get("d1")
+	if err != nil || string(data) != "payload" || tier != "good" {
+		t.Fatalf("Get = (%q, %q, %v), want good-tier hit despite broken tier", data, tier, err)
+	}
+	// A full miss carries the backend error (not bare ErrNotFound), so
+	// the cache above can count it.
+	if _, _, err := st.Get("d2"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss over a broken tier must surface the backend error, got %v", err)
+	}
+}
+
+func TestTieredCleanMissIsErrNotFound(t *testing.T) {
+	st := Tiered(newMapStore("a"), newMapStore("b"))
+	if _, _, err := st.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("clean miss = %v, want ErrNotFound", err)
+	}
+}
+
+func TestTieredPutErrorJoined(t *testing.T) {
+	broken, good := newMapStore("broken"), newMapStore("good")
+	broken.putErr = errors.New("write failed")
+	st := Tiered(broken, good)
+	if err := st.Put("d1", []byte("x")); err == nil {
+		t.Fatal("a failed tier write must surface")
+	}
+	// The healthy tier must still have been written.
+	if _, _, err := good.Get("d1"); err != nil {
+		t.Fatalf("healthy tier skipped on sibling failure: %v", err)
+	}
+}
+
+func TestTieredDegenerateShapes(t *testing.T) {
+	if Tiered() != nil {
+		t.Fatal("zero tiers must compose to nil")
+	}
+	if Tiered(nil, nil) != nil {
+		t.Fatal("all-nil tiers must compose to nil")
+	}
+	solo := newMapStore("solo")
+	if got := Tiered(nil, solo, nil); got != Store(solo) {
+		t.Fatal("a single live tier must be returned unwrapped")
+	}
+}
+
+func TestTieredStatsConcatenated(t *testing.T) {
+	a, b := newMapStore("a"), newMapStore("b")
+	st := Tiered(a, b)
+	st.Put("d1", []byte("x"))
+	st.Get("d1")
+	ts := st.Stats()
+	if len(ts) != 2 || ts[0].Tier != "a" || ts[1].Tier != "b" {
+		t.Fatalf("Stats() = %+v, want tiers a then b", ts)
+	}
+	if ts[0].Hits != 1 || ts[1].Gets != 0 {
+		t.Fatalf("Stats() = %+v: hit must stop at tier a", ts)
+	}
+}

@@ -8,7 +8,19 @@ import (
 
 	"resilience/internal/experiments"
 	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
 )
+
+// testCache builds a filesystem-backed cache in a temp dir, the
+// construction rescache.New(store) callers use since the Store split.
+func testCache(t *testing.T) *rescache.Cache {
+	t.Helper()
+	st, err := fsstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rescache.New(st)
+}
 
 // countingExp returns an experiment that counts how many times its body
 // actually runs, so tests can distinguish cache hits from recomputes.
@@ -21,10 +33,7 @@ func countingExp(id string, calls *atomic.Int64) experiments.Experiment {
 }
 
 func TestCacheShortCircuitsSecondRun(t *testing.T) {
-	cache, err := rescache.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	cache := testCache(t)
 	var calls atomic.Int64
 	exps := []experiments.Experiment{countingExp("t01", &calls), countingExp("t02", &calls)}
 	opts := Options{Jobs: 1, Seed: 42, Cache: cache}
@@ -59,10 +68,7 @@ func TestCacheShortCircuitsSecondRun(t *testing.T) {
 }
 
 func TestCacheKeyComponentsForceRecompute(t *testing.T) {
-	cache, err := rescache.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	cache := testCache(t)
 	var calls atomic.Int64
 	exps := []experiments.Experiment{countingExp("t01", &calls)}
 	base := Options{Jobs: 1, Seed: 42, Cache: cache}
@@ -86,10 +92,7 @@ func TestCacheKeyComponentsForceRecompute(t *testing.T) {
 }
 
 func TestFailedAndRetriedOutcomesNotCached(t *testing.T) {
-	cache, err := rescache.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	cache := testCache(t)
 	var calls atomic.Int64
 	failing := fakeExp("tfail", func(rec *experiments.Recorder, cfg experiments.Config) error {
 		calls.Add(1)

@@ -112,6 +112,21 @@ type Outcome struct {
 	Attempts int
 	// CacheHit reports that Result was served from Options.Cache.
 	CacheHit bool
+	// CacheTier names the storage tier that served a CacheHit ("mem",
+	// "fs", "peer"); "" when unknown. It flows into Status() so the
+	// stderr progress lines and the HTTP status header show where a hit
+	// actually came from — a mem hit and a peer round trip are very
+	// different latencies wearing the same CacheHit flag.
+	CacheTier string
+	// Remote reports that Result was produced by another node in the
+	// serve fleet (the digest's consistent-hash owner) and fetched over
+	// HTTP. The runner itself never sets it; the coordinator in
+	// internal/server stamps proxied outcomes with the owner's rendered
+	// status (RemoteStatus, passed through verbatim so the two nodes
+	// never disagree about what happened) and base URL (RemoteNode).
+	Remote       bool
+	RemoteStatus string
+	RemoteNode   string
 	// Coalesced reports that Result was shared from an identical run
 	// already in flight (same cache key) instead of being computed or
 	// read from the cache. The runner itself never coalesces — each
@@ -131,18 +146,26 @@ type Outcome struct {
 }
 
 // Status renders the outcome's one-word(ish) status: "ok" possibly
-// refined to "ok (coalesced)", "ok (cached)", or "ok (degraded, N
-// attempts)", or "FAILED: <err>". It is the single source for the CLI's
-// stderr progress lines and the HTTP server's X-Resilience-Status
+// refined to "ok (coalesced)", "ok (cached <tier>)", or "ok (degraded,
+// N attempts)", or "FAILED: <err>". It is the single source for the
+// CLI's stderr progress lines and the HTTP server's X-Resilience-Status
 // header, so the two surfaces never disagree about what happened.
 // Coalesced outranks the leader's flags: the waiter's request did no
-// work of its own, whatever the shared computation went through.
+// work of its own, whatever the shared computation went through. A
+// Remote outcome relays the owning node's status verbatim for the same
+// reason — the proxying node did no work either.
 func (o Outcome) Status() string {
 	switch {
 	case o.Err != nil:
 		return "FAILED: " + o.Err.Error()
 	case o.Coalesced:
 		return "ok (coalesced)"
+	case o.Remote && o.RemoteStatus != "":
+		return o.RemoteStatus
+	case o.Remote:
+		return "ok (proxied)"
+	case o.CacheHit && o.CacheTier != "":
+		return "ok (cached " + o.CacheTier + ")"
 	case o.CacheHit:
 		return "ok (cached)"
 	case o.Degraded:
@@ -293,9 +316,9 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	span.SetAttr("id", e.ID)
 	defer span.End()
 
-	if res, ok := opts.Cache.Get(cacheKey(opts, e)); ok {
-		span.Event("cache hit")
-		return Outcome{Experiment: e, Result: res, CacheHit: true, Elapsed: time.Since(start)}
+	if res, tier, ok := opts.Cache.Get(cacheKey(opts, e)); ok {
+		span.Event("cache hit (" + tier + ")")
+		return Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier, Elapsed: time.Since(start)}
 	}
 
 	attempts := opts.Retries + 1

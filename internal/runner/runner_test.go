@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"resilience/internal/experiments"
-	"resilience/internal/rescache"
 	"resilience/internal/rng"
 )
 
@@ -157,6 +156,11 @@ func TestOutcomeStatus(t *testing.T) {
 	}{
 		{"fresh", Outcome{Attempts: 1}, "ok"},
 		{"cached", Outcome{CacheHit: true}, "ok (cached)"},
+		{"cached-mem", Outcome{CacheHit: true, CacheTier: "mem"}, "ok (cached mem)"},
+		{"cached-fs", Outcome{CacheHit: true, CacheTier: "fs"}, "ok (cached fs)"},
+		{"cached-peer", Outcome{CacheHit: true, CacheTier: "peer"}, "ok (cached peer)"},
+		{"remote", Outcome{Remote: true}, "ok (proxied)"},
+		{"remote-relays-owner", Outcome{Remote: true, RemoteStatus: "ok (degraded, 2 attempts)"}, "ok (degraded, 2 attempts)"},
 		{"coalesced", Outcome{Coalesced: true}, "ok (coalesced)"},
 		{"degraded", Outcome{Degraded: true, Attempts: 2}, "ok (degraded, 2 attempts)"},
 		{"failed", Outcome{Err: errors.New("boom"), Attempts: 3}, "FAILED: boom"},
@@ -164,6 +168,8 @@ func TestOutcomeStatus(t *testing.T) {
 		// outranks cached (a waiter never read the cache itself).
 		{"failed-degraded", Outcome{Err: errors.New("boom"), Degraded: true}, "FAILED: boom"},
 		{"coalesced-beats-cached", Outcome{Coalesced: true, CacheHit: true}, "ok (coalesced)"},
+		{"coalesced-beats-remote", Outcome{Coalesced: true, Remote: true, RemoteStatus: "ok"}, "ok (coalesced)"},
+		{"failed-remote", Outcome{Err: errors.New("boom"), Remote: true, RemoteStatus: "FAILED: boom"}, "FAILED: boom"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -178,10 +184,7 @@ func TestOutcomeStatus(t *testing.T) {
 // every experiment from it, and the summary tallies each hit so the
 // stats line can report a warm suite.
 func TestSummaryCountsCacheHits(t *testing.T) {
-	cache, err := rescache.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	cache := testCache(t)
 	exps := []experiments.Experiment{fakeExp("t00", noop), fakeExp("t01", noop)}
 	opts := Options{Jobs: 1, Seed: 42, Quick: true, Cache: cache}
 	cold := Run(exps, opts, nil)
@@ -199,8 +202,8 @@ func TestSummaryCountsCacheHits(t *testing.T) {
 		t.Fatalf("warm run Coalesced=%d, want 0", warm.Coalesced)
 	}
 	for _, s := range statuses {
-		if s != "ok (cached)" {
-			t.Fatalf("warm status %q, want ok (cached)", s)
+		if s != "ok (cached fs)" {
+			t.Fatalf("warm status %q, want ok (cached fs)", s)
 		}
 	}
 }

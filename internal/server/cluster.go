@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rescache"
+	"resilience/internal/runner"
+)
+
+// Cluster-mode headers. forwardedHeader marks a run request that was
+// already proxied once: the owner must answer it itself even if its
+// view of the ring disagrees (a member list typo or a mid-kill ring
+// would otherwise bounce the request around forever). proxiedHeader
+// tells the client which node actually computed its response.
+const (
+	forwardedHeader = "X-Resilience-Forwarded"
+	proxiedHeader   = "X-Resilience-Proxied"
+	tierHeader      = "X-Resilience-Tier"
+)
+
+// maxCacheEntryBytes bounds one PUT /v1/cache body. Matches
+// peerstore.MaxEntryBytes: full-size results are hundreds of KiB, so
+// 32 MiB is generous without letting a confused peer balloon memory.
+const maxCacheEntryBytes = 32 << 20
+
+// owner resolves the fleet member that owns digest, with ok reporting
+// that the owner is a *remote* node this server should defer to. A
+// single-node server (no ring) owns everything.
+func (s *Server) owner(digest string) (string, bool) {
+	if s.ring == nil {
+		return s.self, false
+	}
+	o := s.ring.Owner(digest)
+	return o, o != "" && o != s.self
+}
+
+// handleCacheGet serves one local cache entry to a peer: the stored
+// bytes, or 404 when this node does not hold the digest. Only the
+// node's own tiers (Config.Local) are consulted — never the peer tier —
+// so the cache protocol cannot loop.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !rescache.ValidDigest(digest) {
+		writeError(w, http.StatusBadRequest, "bad_digest", "digest must be 64 lowercase hex characters")
+		return
+	}
+	if s.local == nil {
+		writeError(w, http.StatusNotFound, "not_found", "this node has no cache storage")
+		return
+	}
+	data, tier, err := s.local.Get(digest)
+	switch {
+	case errors.Is(err, rescache.ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", "entry not stored on this node")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "store_error", err.Error())
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(tierHeader, tier)
+		w.Write(data)
+	}
+}
+
+// handleCachePut stores one entry into the node's local tiers on a
+// peer's behalf (replication from the computing node to the digest's
+// owner). The body is the opaque entry bytes; the digest is trusted —
+// peers are the fleet, not the public internet — but bounded.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !rescache.ValidDigest(digest) {
+		writeError(w, http.StatusBadRequest, "bad_digest", "digest must be 64 lowercase hex characters")
+		return
+	}
+	if s.local == nil {
+		writeError(w, http.StatusNotFound, "not_found", "this node has no cache storage")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCacheEntryBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("read entry body: %v", err))
+		return
+	}
+	if len(data) > maxCacheEntryBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("entry exceeds %d bytes", maxCacheEntryBytes))
+		return
+	}
+	if err := s.local.Put(digest, data); err != nil {
+		writeError(w, http.StatusInternalServerError, "store_error", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// clusterStatus is the GET /v1/cluster document: one node's view of the
+// fleet and its cache stack.
+type clusterStatus struct {
+	Self     string               `json:"self"`
+	Members  []string             `json:"members"`
+	Draining bool                 `json:"draining"`
+	Cache    rescache.Stats       `json:"cache"`
+	Tiers    []rescache.TierStats `json:"tiers"`
+	Health   string               `json:"health"`
+	// Owner is the member owning ?digest=, when asked; handy for
+	// debugging ring placement from the outside.
+	Owner string `json:"owner,omitempty"`
+}
+
+// handleCluster reports this node's fleet view: ring membership, cache
+// traffic and tier occupancy, and cache health. With ?digest=<hex> it
+// also answers which member owns that digest.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := clusterStatus{
+		Self:     s.self,
+		Members:  s.ring.Members(),
+		Draining: s.draining.Load(),
+		Cache:    s.cache.Stats(),
+		Tiers:    s.cache.TierStats(),
+		Health:   "ok",
+	}
+	if s.cache == nil {
+		st.Health = "off"
+	} else if err := s.cache.Check(); err != nil {
+		st.Health = "degraded: " + err.Error()
+	}
+	if d := r.URL.Query().Get("digest"); d != "" {
+		if !rescache.ValidDigest(d) {
+			writeError(w, http.StatusBadRequest, "bad_digest", "digest must be 64 lowercase hex characters")
+			return
+		}
+		st.Owner, _ = s.owner(d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeIndentedJSON(w, st)
+}
+
+// proxyBody rebuilds the request document forwarded to a digest's
+// owner. It is built from the decoded params, not the original body:
+// a suite request's "ids" field must not reach /v1/run, and the owner
+// re-validates the plan it is handed.
+type proxyBody struct {
+	Seed  uint64          `json:"seed"`
+	Quick bool            `json:"quick,omitempty"`
+	Plan  json.RawMessage `json:"plan,omitempty"`
+}
+
+// proxyRun forwards one experiment run to the digest's owner and
+// decodes the response into an Outcome. The returned error means the
+// owner is unreachable or answered nonsense — the caller falls back to
+// local compute. A well-formed 200 or 500 from the owner is the run's
+// real outcome (the experiment succeeded or failed over there), never
+// a transport error.
+func (s *Server) proxyRun(ctx context.Context, owner string, e experiments.Experiment, p runParams) (runner.Outcome, error) {
+	body, err := json.Marshal(proxyBody{Seed: p.Seed, Quick: p.Quick, Plan: p.PlanRaw})
+	if err != nil {
+		return runner.Outcome{}, fmt.Errorf("encode proxy body: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/run/"+e.ID, bytes.NewReader(body))
+	if err != nil {
+		return runner.Outcome{}, fmt.Errorf("build proxy request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, s.self)
+	resp, err := s.proxy.Do(req)
+	if err != nil {
+		return runner.Outcome{}, fmt.Errorf("proxy to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes+1))
+	if err != nil {
+		return runner.Outcome{}, fmt.Errorf("read proxy response from %s: %w", owner, err)
+	}
+	out := runner.Outcome{
+		Experiment:   e,
+		Remote:       true,
+		RemoteStatus: resp.Header.Get(statusHeader),
+		RemoteNode:   owner,
+	}
+	if a := resp.Header.Get(attemptsHeader); a != "" {
+		out.Attempts, _ = strconv.Atoi(a)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res experiments.Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			return runner.Outcome{}, fmt.Errorf("decode proxy result from %s: %w", owner, err)
+		}
+		out.Result = &res
+		return out, nil
+	case http.StatusInternalServerError:
+		// The owner ran the experiment and it genuinely failed; relay
+		// the failure (and any partial result) as this request's real
+		// outcome instead of recomputing a run that would fail the same
+		// way here.
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Message == "" {
+			return runner.Outcome{}, fmt.Errorf("undecodable %d from %s", resp.StatusCode, owner)
+		}
+		out.Err = errors.New(eb.Error.Message)
+		out.Result = eb.Result
+		return out, nil
+	default:
+		// 503 (draining), 504 (owner out of budget), or anything
+		// unexpected: treat the owner as unavailable and compute here.
+		return runner.Outcome{}, fmt.Errorf("proxy to %s: status %d", owner, resp.StatusCode)
+	}
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilience/internal/cluster"
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
+	"resilience/internal/runner"
+)
+
+// lateHandler lets a httptest server start (and pick its URL) before the
+// Server that will answer on it exists — the ring needs every member's
+// URL up front, but each member's URL is only known after its listener
+// starts.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// newClusterNode builds one fleet member: its own observer, its own
+// filesystem cache tier, and the shared ring.
+func newClusterNode(t *testing.T, reg []experiments.Experiment, self string, ring *cluster.Ring) (*Server, *obs.Observer) {
+	t.Helper()
+	o := obs.New()
+	st, err := fsstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := rescache.New(st)
+	cache.SetObserver(o)
+	s := New(Config{Registry: reg, Obs: o, Cache: cache, Ring: ring, Self: self})
+	return s, o
+}
+
+func put(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(data)
+}
+
+// TestCachePeerProtocol pins the /v1/cache wire contract the peerstore
+// tier speaks: GET misses are 404, PUT stores into the node's local
+// tiers, and a stored entry reads back byte-identical with its tier
+// named in the response header.
+func TestCachePeerProtocol(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	d := (rescache.Key{ID: "e01", Seed: 7}).Digest()
+
+	if code, _, body := get(t, ts.URL+"/v1/cache/"+d); code != 404 {
+		t.Fatalf("missing entry GET = %d %s, want 404", code, body)
+	} else if eb := decodeErrorBody(t, body); eb.Error.Code != "not_found" {
+		t.Fatalf("missing entry error code %q", eb.Error.Code)
+	}
+	if code, _, body := put(t, ts.URL+"/v1/cache/"+d, "opaque entry bytes"); code != 204 {
+		t.Fatalf("PUT = %d %s, want 204", code, body)
+	}
+	code, hdr, body := get(t, ts.URL+"/v1/cache/"+d)
+	if code != 200 || body != "opaque entry bytes" {
+		t.Fatalf("GET after PUT = %d %q", code, body)
+	}
+	if got := hdr.Get(tierHeader); got != "fs" {
+		t.Fatalf("%s = %q, want fs", tierHeader, got)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}
+
+func TestCachePeerProtocolRejectsBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, bad := range []string{"short", strings.Repeat("Z", 64)} {
+		if code, _, body := get(t, ts.URL+"/v1/cache/"+bad); code != 400 {
+			t.Errorf("GET bad digest %q = %d, want 400", bad, code)
+		} else if eb := decodeErrorBody(t, body); eb.Error.Code != "bad_digest" {
+			t.Errorf("GET bad digest error code %q", eb.Error.Code)
+		}
+		if code, _, _ := put(t, ts.URL+"/v1/cache/"+bad, "x"); code != 400 {
+			t.Errorf("PUT bad digest %q = %d, want 400", bad, code)
+		}
+	}
+	d := (rescache.Key{ID: "e01"}).Digest()
+	big := strings.Repeat("x", maxCacheEntryBytes+1)
+	if code, _, body := put(t, ts.URL+"/v1/cache/"+d, big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d %s, want 413", code, body)
+	} else if eb := decodeErrorBody(t, body); eb.Error.Code != "too_large" {
+		t.Fatalf("oversized PUT error code %q", eb.Error.Code)
+	}
+}
+
+// TestClusterStatusDocument checks one node's fleet view: membership,
+// health, and digest-ownership debugging.
+func TestClusterStatusDocument(t *testing.T) {
+	lh := &lateHandler{}
+	ts := httptest.NewServer(lh)
+	t.Cleanup(ts.Close)
+	ring := cluster.New([]string{ts.URL, "http://peer.invalid:9"}, 0)
+	reg := []experiments.Experiment{fakeExp("t01", noop)}
+	s, _ := newClusterNode(t, reg, ts.URL, ring)
+	lh.set(s.Handler())
+
+	code, _, body := get(t, ts.URL+"/v1/cluster")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var st clusterStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("cluster document is not JSON: %v\n%s", err, body)
+	}
+	if st.Self != ts.URL {
+		t.Fatalf("self = %q, want %q", st.Self, ts.URL)
+	}
+	if len(st.Members) != 2 {
+		t.Fatalf("members = %v, want both ring members", st.Members)
+	}
+	if st.Health != "ok" || st.Draining {
+		t.Fatalf("health %q draining %t", st.Health, st.Draining)
+	}
+	if st.Owner != "" {
+		t.Fatalf("owner %q without ?digest", st.Owner)
+	}
+
+	d := (rescache.Key{ID: "e01"}).Digest()
+	_, _, body = get(t, ts.URL+"/v1/cluster?digest="+d)
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Owner != ring.Owner(d) {
+		t.Fatalf("owner = %q, want ring's %q", st.Owner, ring.Owner(d))
+	}
+	if code, _, _ := get(t, ts.URL+"/v1/cluster?digest=nope"); code != 400 {
+		t.Fatalf("bad ?digest status %d, want 400", code)
+	}
+}
+
+// TestTwoNodeHerdComputesOnceFleetWide is the coordinator's core
+// promise: an identical herd split across both nodes of a ring produces
+// exactly one computation and one cache store in the whole fleet, with
+// every response byte-identical and the non-owner's answered by proxy.
+func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
+	var calls atomic.Int64
+	exp := fakeExp("t01", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		calls.Add(1)
+		time.Sleep(30 * time.Millisecond) // hold the flight open so herds pile up
+		rec.Notef("computed once")
+		return nil
+	})
+	reg := []experiments.Experiment{exp}
+
+	lhA, lhB := &lateHandler{}, &lateHandler{}
+	tsA, tsB := httptest.NewServer(lhA), httptest.NewServer(lhB)
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	ring := cluster.New([]string{tsA.URL, tsB.URL}, 0)
+	sA, oA := newClusterNode(t, reg, tsA.URL, ring)
+	sB, oB := newClusterNode(t, reg, tsB.URL, ring)
+	lhA.set(sA.Handler())
+	lhB.set(sB.Handler())
+
+	p := runParams{Seed: 7}
+	digest := runner.CacheKey(sA.options(p), exp).Digest()
+	owner := ring.Owner(digest)
+	if owner != tsA.URL && owner != tsB.URL {
+		t.Fatalf("ring owner %q is not a member", owner)
+	}
+
+	const per = 8
+	type reply struct {
+		code       int
+		body       string
+		proxiedVia string
+	}
+	replies := make(chan reply, 2*per)
+	var wg sync.WaitGroup
+	for _, u := range []string{tsA.URL, tsB.URL} {
+		for i := 0; i < per; i++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				resp, err := http.Post(u+"/v1/run/t01", "application/json", strings.NewReader(`{"seed":7}`))
+				if err != nil {
+					t.Errorf("post %s: %v", u, err)
+					return
+				}
+				defer resp.Body.Close()
+				body, _ := io.ReadAll(resp.Body)
+				replies <- reply{resp.StatusCode, string(body), resp.Header.Get(proxiedHeader)}
+			}(u)
+		}
+	}
+	wg.Wait()
+	close(replies)
+
+	if calls.Load() != 1 {
+		t.Fatalf("fleet computed %d times, want exactly 1", calls.Load())
+	}
+	storesA := oA.Metrics.Counter("rescache.stores").Value()
+	storesB := oB.Metrics.Counter("rescache.stores").Value()
+	if storesA+storesB != 1 {
+		t.Fatalf("fleet stored %d entries (%d + %d), want exactly 1", storesA+storesB, storesA, storesB)
+	}
+
+	var first string
+	proxied := 0
+	for r := range replies {
+		if r.code != 200 {
+			t.Fatalf("herd member got %d: %s", r.code, r.body)
+		}
+		if first == "" {
+			first = r.body
+		} else if r.body != first {
+			t.Fatal("herd responses are not byte-identical")
+		}
+		if r.proxiedVia != "" {
+			proxied++
+			if r.proxiedVia != owner {
+				t.Fatalf("proxied via %q, want the owner %q", r.proxiedVia, owner)
+			}
+		}
+	}
+	if proxied == 0 {
+		t.Fatal("no response reports being proxied to the owner")
+	}
+}
+
+// TestDeadOwnerFallsBackToLocalCompute: when a digest's owner is
+// unreachable, the non-owner computes locally — a degraded fleet slows
+// down, it never turns membership changes into 5xxs.
+func TestDeadOwnerFallsBackToLocalCompute(t *testing.T) {
+	reg := []experiments.Experiment{fakeExp("t01", noop)}
+	lh := &lateHandler{}
+	ts := httptest.NewServer(lh)
+	t.Cleanup(ts.Close)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // the peer is in the ring but refuses connections
+
+	ring := cluster.New([]string{ts.URL, dead.URL}, 0)
+	s, o := newClusterNode(t, reg, ts.URL, ring)
+	lh.set(s.Handler())
+
+	// Find a seed whose digest the dead peer owns, so the request must
+	// try (and fail) to proxy.
+	var seed uint64
+	for seed = 1; ; seed++ {
+		d := runner.CacheKey(s.options(runParams{Seed: seed}), reg[0]).Digest()
+		if _, remote := s.owner(d); remote {
+			break
+		}
+	}
+	code, hdr, body := post(t, ts.URL+"/v1/run/t01", `{"seed":`+strconv.FormatUint(seed, 10)+`}`)
+	if code != 200 {
+		t.Fatalf("dead-owner run = %d, want 200: %s", code, body)
+	}
+	if got := hdr.Get(statusHeader); got != "ok" {
+		t.Fatalf("status %q, want ok (a local compute)", got)
+	}
+	if got := hdr.Get(proxiedHeader); got != "" {
+		t.Fatalf("%s = %q, want unset", proxiedHeader, got)
+	}
+	if n := o.Metrics.Counter("server.proxy.errors").Value(); n < 1 {
+		t.Fatalf("server.proxy.errors = %d, want >= 1", n)
+	}
+	if n := o.Metrics.Counter("server.proxied").Value(); n != 0 {
+		t.Fatalf("server.proxied = %d, want 0", n)
+	}
+}

@@ -119,8 +119,8 @@ func TestCoalescedHerdComputesOnce(t *testing.T) {
 	// A straggler arriving after the herd dispersed is a cache hit, not
 	// a coalesced waiter: the flight must be unregistered by now.
 	_, hdr, _ := post(t, ts.URL+"/v1/run/tgate", `{"seed":7,"quick":true}`)
-	if got := hdr.Get(statusHeader); got != "ok (cached)" {
-		t.Fatalf("straggler status %q, want ok (cached)", got)
+	if got := hdr.Get(statusHeader); got != "ok (cached fs)" {
+		t.Fatalf("straggler status %q, want ok (cached fs)", got)
 	}
 }
 

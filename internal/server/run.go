@@ -57,7 +57,11 @@ type runParams struct {
 	Seed  uint64
 	Quick bool
 	Plan  *faultinject.Plan
-	IDs   []string
+	// PlanRaw is the plan document exactly as the client sent it, kept
+	// so a coordinator can rebuild a faithful request body when proxying
+	// the run to the digest's owner (who re-parses and re-validates it).
+	PlanRaw json.RawMessage
+	IDs     []string
 }
 
 // decodeRunRequest parses a request body into runParams. It is strict —
@@ -96,6 +100,7 @@ func decodeRunRequest(body io.Reader) (runParams, error) {
 			return p, fmt.Errorf("invalid fault plan: %w", err)
 		}
 		p.Plan = plan
+		p.PlanRaw = raw.Plan
 	}
 	return p, nil
 }
@@ -132,10 +137,36 @@ func (s *Server) options(p runParams) runner.Options {
 // (or their own deadline). The returned error is a transport-level
 // failure (timeout while queued or waiting); an experiment failure
 // travels inside the Outcome.
-func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runParams) (runner.Outcome, error) {
+//
+// With a ring configured, the flight leader on a node that does not
+// own the run's cache digest first reads through the tiered cache
+// (whose peer tier asks the owner's store directly) and otherwise
+// proxies the run to the owner — where the owner's own flight group
+// coalesces the whole fleet's herd onto one computation. Because the
+// proxy happens *inside* this node's flight, a local herd collapses to
+// a single proxied request first. forwarded marks a request another
+// node already routed here: the loop guard — answer it locally no
+// matter what this node's ring says. An unreachable or draining owner
+// degrades to local compute (counted in server.proxy.errors), never to
+// a 5xx.
+func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runParams, forwarded bool) (runner.Outcome, error) {
 	opts := s.options(p)
-	key := runner.CacheKey(opts, e).Digest()
+	cacheKey := runner.CacheKey(opts, e)
+	key := cacheKey.Digest()
 	out, coalesced, err := s.flights.do(ctx, key, func() (runner.Outcome, error) {
+		if owner, remote := s.owner(key); remote && !forwarded {
+			if res, tier, ok := s.cache.Get(cacheKey); ok {
+				return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+			}
+			got, err := s.proxyRun(ctx, owner, e, p)
+			if err == nil {
+				s.obs.Counter("server.proxied").Inc()
+				return got, nil
+			}
+			s.obs.Counter("server.proxy.errors").Inc()
+			// Fall through: the owner is unreachable, so this node
+			// computes (and stores) the result itself.
+		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
@@ -182,7 +213,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", `"ids" is only valid for /v1/suite; the run target is in the path`)
 		return
 	}
-	out, err := s.execute(r.Context(), e, p)
+	out, err := s.execute(r.Context(), e, p, r.Header.Get(forwardedHeader) != "")
 	if err != nil {
 		writeTransportError(w, err)
 		return
@@ -190,6 +221,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(statusHeader, out.Status())
 	w.Header().Set(attemptsHeader, strconv.Itoa(out.Attempts))
 	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
+	if out.Remote && out.RemoteNode != "" {
+		w.Header().Set(proxiedHeader, out.RemoteNode)
+	}
 	if out.Err != nil {
 		writeErrorResult(w, http.StatusInternalServerError, "experiment_failed", out.Err.Error(), id, out.Result)
 		return
@@ -231,6 +265,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	// execute bounds actual compute, and identical concurrent suite
 	// requests coalesce per experiment.
 	ctx := r.Context()
+	forwarded := r.Header.Get(forwardedHeader) != ""
 	outs := make([]runner.Outcome, len(exps))
 	errs := make([]error, len(exps))
 	done := make([]chan struct{}, len(exps))
@@ -239,7 +274,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		done[i] = make(chan struct{})
 		go func() {
 			defer close(done[i])
-			outs[i], errs[i] = s.execute(ctx, exps[i], p)
+			outs[i], errs[i] = s.execute(ctx, exps[i], p, forwarded)
 		}()
 	}
 	flusher, _ := w.(http.Flusher)

@@ -26,9 +26,22 @@
 //	GET  /v1/experiments   registry listing (same JSON as `list -format json`)
 //	POST /v1/run/{id}      run one experiment; body {seed, quick, plan}
 //	POST /v1/suite         run many; streams one compact Result per line (NDJSON)
+//	GET  /v1/cache/{digest} peer cache protocol: local entry bytes or 404
+//	PUT  /v1/cache/{digest} peer cache protocol: store entry bytes
+//	GET  /v1/cluster       fleet status: ring, tier stats, cache health
 //	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining)
+//	GET  /readyz           readiness (503 while draining) + cache health
 //	GET  /metrics          obs metrics document (resilience-metrics/1)
+//
+// With a ring configured (Config.Self + Config.Peers) the server is a
+// fleet coordinator: each run request's cache digest is consistent-
+// hashed across the ring, and a node that does not own the digest
+// first reads through its tiered cache (memory, disk, then the owner's
+// store over the peer protocol) and otherwise proxies the run to the
+// owner — so coalescing collapses an identical-request herd to one
+// computation fleet-wide, not just per process. A dead owner degrades
+// the request to local compute (counted in server.proxy.errors), never
+// to a 5xx.
 //
 // Response bodies for /v1/run are byte-identical to the CLI's `-format
 // json` output for the same seed/quick/plan, and /v1/suite lines are
@@ -43,6 +56,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"runtime"
@@ -51,6 +65,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resilience/internal/cluster"
 	"resilience/internal/engine"
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
@@ -79,6 +94,19 @@ type Config struct {
 	// RequestTimeout bounds one request end to end; 0 means
 	// DefaultRequestTimeout, negative means unbounded.
 	RequestTimeout time.Duration
+	// Local is the node's own storage (typically the mem+fs tiers,
+	// without the peer tier) served to the fleet at /v1/cache; nil
+	// falls back to Cache's store, and the endpoint 404s when neither
+	// exists. Keeping the peer tier out of Local is what prevents
+	// cache-protocol loops: a node answers for what it holds, it never
+	// asks the ring on a peer's behalf.
+	Local rescache.Store
+	// Ring is the fleet's consistent-hash ring (internal/cluster); nil
+	// means a single-node server with no proxying.
+	Ring *cluster.Ring
+	// Self is this node's advertised base URL — the ring member that
+	// means "run it here". Required when Ring is set.
+	Self string
 }
 
 // Server is the HTTP experiment service. Construct with New; serve with
@@ -88,6 +116,10 @@ type Server struct {
 	reg      []experiments.Experiment
 	byID     map[string]experiments.Experiment
 	cache    *rescache.Cache
+	local    rescache.Store
+	ring     *cluster.Ring
+	self     string
+	proxy    *http.Client
 	obs      *obs.Observer
 	sem      chan struct{}
 	flights  flightGroup
@@ -116,10 +148,18 @@ func New(cfg Config) *Server {
 	if o == nil {
 		o = obs.New()
 	}
+	local := cfg.Local
+	if local == nil && cfg.Cache != nil {
+		local = cfg.Cache.Store()
+	}
 	s := &Server{
 		reg:     reg,
 		byID:    make(map[string]experiments.Experiment, len(reg)),
 		cache:   cfg.Cache,
+		local:   local,
+		ring:    cfg.Ring,
+		self:    cfg.Self,
+		proxy:   &http.Client{},
 		obs:     o,
 		sem:     make(chan struct{}, inflight),
 		timeout: timeout,
@@ -131,6 +171,8 @@ func New(cfg Config) *Server {
 	// appear (as zeros) in every /metrics document.
 	o.Counter("server.requests")
 	o.Counter("server.coalesced")
+	o.Counter("server.proxied")
+	o.Counter("server.proxy.errors")
 	o.Gauge("server.inflight")
 
 	mux := http.NewServeMux()
@@ -140,6 +182,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/run/{id}", s.handleRun)
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	mux.HandleFunc("GET /v1/cache/{digest}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{digest}", s.handleCachePut)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.handler = s.instrument(mux)
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
@@ -200,6 +245,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
+// handleReadyz reports readiness plus cache-backend health, so a cache
+// directory that breaks after startup is surfaced here instead of
+// degrading silently one miss at a time. A degraded cache does not flip
+// readiness — the node can still compute — but the probe result and the
+// running backend-error count are in the body for operators and load
+// balancers that look.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
@@ -208,6 +259,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Write([]byte("ready\n"))
+	switch {
+	case s.cache == nil:
+		w.Write([]byte("cache: off\n"))
+	default:
+		if err := s.cache.Check(); err != nil {
+			fmt.Fprintf(w, "cache: degraded: %v\n", err)
+		} else {
+			w.Write([]byte("cache: ok\n"))
+		}
+		if n := s.cache.Errors(); n > 0 {
+			fmt.Fprintf(w, "cache: %d backend errors since boot\n", n)
+		}
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

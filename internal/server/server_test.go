@@ -13,6 +13,7 @@ import (
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
 	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
 )
 
 // fakeExp builds an unregistered experiment for server tests, so the
@@ -43,10 +44,11 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Ob
 		cfg.Obs = obs.New()
 	}
 	if cfg.Cache == nil {
-		cache, err := rescache.Open(t.TempDir())
+		st, err := fsstore.Open(t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
+		cache := rescache.New(st)
 		cache.SetObserver(cfg.Obs)
 		cfg.Cache = cache
 	}
@@ -102,8 +104,10 @@ func TestHealthAndReady(t *testing.T) {
 	if code, _, body := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
 		t.Fatalf("healthz = %d %q", code, body)
 	}
-	if code, _, body := get(t, ts.URL+"/readyz"); code != 200 || body != "ready\n" {
+	if code, _, body := get(t, ts.URL+"/readyz"); code != 200 || !strings.HasPrefix(body, "ready\n") {
 		t.Fatalf("readyz = %d %q", code, body)
+	} else if !strings.Contains(body, "cache: ok") {
+		t.Fatalf("readyz body missing cache health: %q", body)
 	}
 }
 
@@ -164,8 +168,8 @@ func TestRunWarmRepeatIsCachedAndByteIdentical(t *testing.T) {
 	if got := hdr1.Get(statusHeader); got != "ok" {
 		t.Fatalf("cold status %q", got)
 	}
-	if got := hdr2.Get(statusHeader); got != "ok (cached)" {
-		t.Fatalf("warm status %q, want ok (cached)", got)
+	if got := hdr2.Get(statusHeader); got != "ok (cached fs)" {
+		t.Fatalf("warm status %q, want ok (cached fs)", got)
 	}
 	if got := hdr2.Get(attemptsHeader); got != "0" {
 		t.Fatalf("warm attempts %q, want 0", got)

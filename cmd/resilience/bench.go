@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resilience/internal/loadgen"
+)
+
+// runBench drives `resilience bench`: a closed-loop load run against a
+// live serve endpoint (internal/loadgen), the full JSON report on
+// stdout, progress on stderr, a trajectory row appended to -bench-out,
+// and a non-nil error — hence a non-zero exit — when the SLO verdict
+// fails. The verdict, not the exit of any single request, is the
+// command's contract: CI gates on it.
+func runBench(stdout, stderr io.Writer, opt options) error {
+	target := strings.TrimRight(opt.target, "/")
+	ids := splitIDs(opt.ids)
+	if len(ids) == 0 {
+		discovered, err := loadgen.DiscoverIDs(target)
+		if err != nil {
+			return fmt.Errorf("bench: discovering experiments from %s: %w", target, err)
+		}
+		ids = discovered
+	}
+
+	var slo *loadgen.SLO
+	if opt.slo != "" {
+		data, err := inlineOrFile(opt.slo)
+		if err != nil {
+			return fmt.Errorf("bench: reading SLO: %w", err)
+		}
+		if slo, err = loadgen.ParseSLO(data); err != nil {
+			return err
+		}
+	}
+	var chaos *loadgen.ChaosPlan
+	if opt.chaosPlan != "" {
+		data, err := inlineOrFile(opt.chaosPlan)
+		if err != nil {
+			return fmt.Errorf("bench: reading chaos plan: %w", err)
+		}
+		if chaos, err = loadgen.ParseChaos(data); err != nil {
+			return err
+		}
+	}
+
+	duration := opt.benchDuration
+	if duration == 0 && opt.benchRequests == 0 {
+		duration = 10 * time.Second
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   target,
+		Clients:  opt.clients,
+		Duration: duration,
+		Requests: opt.benchRequests,
+		Seed:     opt.seed,
+		Mix: loadgen.Mix{
+			IDs:         ids,
+			SuiteRatio:  opt.suiteRatio,
+			RepeatRatio: opt.repeatRatio,
+			Quick:       opt.quick,
+		},
+		SLO:   slo,
+		Chaos: chaos,
+		Log:   stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(stdout); err != nil {
+		return err
+	}
+	if opt.benchOut != "" {
+		if err := report.AppendTrajectory(opt.benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "bench: appended trajectory row to %s\n", opt.benchOut)
+	}
+	if !report.Verdict.Pass {
+		return fmt.Errorf("bench: SLO verdict failed: %s", strings.Join(report.Verdict.Violations, "; "))
+	}
+	return nil
+}
+
+func splitIDs(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// inlineOrFile treats arguments starting with '{' as inline JSON and
+// anything else as a file path.
+func inlineOrFile(s string) ([]byte, error) {
+	if strings.HasPrefix(strings.TrimSpace(s), "{") {
+		return []byte(s), nil
+	}
+	return os.ReadFile(s)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilience/internal/servertest"
+)
+
+// TestBenchCLI drives `resilience bench` end to end against an
+// in-process daemon: report JSON on stdout, a well-formed trajectory
+// row in -bench-out, exit success under a generous SLO — and a non-nil
+// error (the non-zero exit) when the budget is impossible.
+func TestBenchCLI(t *testing.T) {
+	n := servertest.Boot(t)
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	stdout, stderr, err := runCLI(t, "bench",
+		"-target", n.URL,
+		"-requests", "30", "-clients", "2", "-quick",
+		"-ids", "e01,e02", "-seed", "7",
+		"-slo", `{"maxErrorRatio":0}`,
+		"-bench-out", out)
+	if err != nil {
+		t.Fatalf("bench failed: %v\nstderr: %s", err, stderr)
+	}
+	var report struct {
+		Schema   string           `json:"schema"`
+		Sent     int64            `json:"sent"`
+		Statuses map[string]int64 `json:"statuses"`
+		Verdict  struct {
+			Pass bool `json:"pass"`
+		} `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout)
+	}
+	if report.Schema != "resilience-bench/1" || report.Sent != 30 || !report.Verdict.Pass {
+		t.Fatalf("report %+v", report)
+	}
+	if !strings.Contains(stderr, "appended trajectory row") {
+		t.Fatalf("stderr missing trajectory note: %s", stderr)
+	}
+
+	var traj struct {
+		Benchmark  string `json:"benchmark"`
+		DataPoints []struct {
+			Sent    int64 `json:"sent"`
+			SLOPass bool  `json:"slo_pass"`
+		} `json:"data_points"`
+	}
+	if _, _, err := runCLI(t, "bench", "-target", n.URL, "-requests", "4",
+		"-quick", "-ids", "e01", "-bench-out", out); err != nil {
+		t.Fatalf("second bench failed: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("trajectory is not JSON: %v", err)
+	}
+	if traj.Benchmark != "BenchServeLoad" || len(traj.DataPoints) != 2 ||
+		traj.DataPoints[0].Sent != 30 || !traj.DataPoints[0].SLOPass {
+		t.Fatalf("trajectory %+v", traj)
+	}
+
+	// An impossible budget must surface as a command error (non-zero
+	// exit) while the report still lands on stdout for the post-mortem.
+	stdout, _, err = runCLI(t, "bench", "-target", n.URL, "-requests", "4",
+		"-quick", "-ids", "e01", "-bench-out", "",
+		"-slo", `{"minThroughput":1e9}`)
+	if err == nil || !strings.Contains(err.Error(), "SLO verdict failed") {
+		t.Fatalf("impossible SLO: err = %v", err)
+	}
+	if !strings.Contains(stdout, `"pass": false`) {
+		t.Fatalf("failing report missing from stdout: %s", stdout)
+	}
+}
+
+// TestBenchCLIBadInputs: malformed budgets and plans fail before any
+// load is generated.
+func TestBenchCLIBadInputs(t *testing.T) {
+	n := servertest.Boot(t)
+	for name, args := range map[string][]string{
+		"bad slo json":    {"bench", "-target", n.URL, "-ids", "e01", "-slo", `{"p99":1}`},
+		"missing slo":     {"bench", "-target", n.URL, "-ids", "e01", "-slo", "no/such/file.json"},
+		"bad chaos plan":  {"bench", "-target", n.URL, "-ids", "e01", "-chaos-plan", `{"strikes":[]}`},
+		"dead target":     {"bench", "-target", "http://127.0.0.1:1", "-ids", "e01", "-requests", "1", "-bench-out", ""},
+		"discovery fails": {"bench", "-target", "http://127.0.0.1:1"},
+	} {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("%s: ran, want error", name)
+		}
+	}
+}

@@ -118,6 +118,18 @@ type options struct {
 	requestTimeout time.Duration
 	maxInflight    int
 	advertise      string
+
+	// bench-only flags.
+	target        string
+	clients       int
+	benchDuration time.Duration
+	benchRequests int64
+	repeatRatio   float64
+	suiteRatio    float64
+	ids           string
+	slo           string
+	chaosPlan     string
+	benchOut      string
 }
 
 // parseInterleaved parses args with fs, allowing flags and positional
@@ -175,6 +187,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", server.DefaultRequestTimeout, "serve: end-to-end bound on one request")
 	fs.IntVar(&opt.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "serve: max experiment runs computing concurrently")
 	fs.StringVar(&opt.advertise, "advertise", "", "serve: this node's base URL on the peer ring (default http://<addr>)")
+	fs.StringVar(&opt.target, "target", "http://127.0.0.1:8080", "bench: base URL of the serve endpoint under load")
+	fs.IntVar(&opt.clients, "clients", 4, "bench: closed-loop virtual clients")
+	fs.DurationVar(&opt.benchDuration, "duration", 0, "bench: wall-clock budget (default 10s unless -requests is set)")
+	fs.Int64Var(&opt.benchRequests, "requests", 0, "bench: stop after this many requests (0 = duration-bounded)")
+	fs.Float64Var(&opt.repeatRatio, "repeat-ratio", 0.5, "bench: fraction of requests reusing hot keys (cache/coalescer pressure)")
+	fs.Float64Var(&opt.suiteRatio, "suite-ratio", 0, "bench: fraction of requests sent to /v1/suite")
+	fs.StringVar(&opt.ids, "ids", "", "bench: comma-separated experiment IDs (default: discover via GET /v1/experiments)")
+	fs.StringVar(&opt.slo, "slo", "", "bench: SLO budget, inline JSON (starts with '{') or a file path")
+	fs.StringVar(&opt.chaosPlan, "chaos-plan", "", "bench: chaos timeline, inline JSON (starts with '{') or a file path")
+	fs.StringVar(&opt.benchOut, "bench-out", "BENCH_serve.json", "bench: trajectory file to append the summary to (\"\" disables)")
 	positional, err := parseInterleaved(fs, args[1:])
 	if err != nil {
 		return err
@@ -196,6 +218,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runSuite(stdout, stderr, experiments.All(), opt)
 	case "serve":
 		return serve(stderr, opt)
+	case "bench":
+		return runBench(stdout, stderr, opt)
 	case "chaos":
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: resilience chaos <plan.json> [-seed N] [-quick] [-jobs N]")
@@ -685,6 +709,16 @@ commands:
                           -max-inflight, -advertise; with -peers the node
                           joins a consistent-hash ring and proxies each run
                           to its cache digest's owner
+  bench                   closed-loop load generator against a live serve
+                          endpoint: N -clients replay a deterministic
+                          /v1/run + /v1/suite mix (-suite-ratio, -repeat-ratio,
+                          -ids, -seed) for -duration or -requests; reports
+                          latency quantiles, throughput and the status
+                          breakdown as JSON on stdout, appends a row to
+                          -bench-out (default BENCH_serve.json), and exits
+                          non-zero when the -slo error budget is violated;
+                          -chaos-plan arms server-side fault plans, corrupts
+                          cache dirs, or signals processes mid-run
 
 Each experiment's seed is derived from -seed and its ID, so a single run
 reproduces the corresponding rows of a full-suite run with the same seed.

@@ -4,35 +4,23 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"resilience/internal/obs"
-	"resilience/internal/rescache"
-	"resilience/internal/rescache/fsstore"
-	"resilience/internal/server"
+	"resilience/internal/servertest"
 )
 
 // newServeTest boots the HTTP service exactly as `resilience serve`
-// wires it — full registry, observer, fresh cache — on an httptest
-// listener, and returns the base URL plus the observer for counter
-// assertions.
+// wires it — full registry, observer, fresh cache — via the shared
+// internal/servertest helper, and returns the base URL plus the
+// observer for counter assertions.
 func newServeTest(t *testing.T) (string, *obs.Observer) {
 	t.Helper()
-	o := obs.New()
-	st, err := fsstore.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cache := rescache.New(st)
-	cache.SetObserver(o)
-	s := server.New(server.Config{Cache: cache, Obs: o})
-	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
-	return ts.URL, o
+	n := servertest.Boot(t)
+	return n.URL, n.Obs
 }
 
 func httpGet(t *testing.T, url string) (int, http.Header, string) {

@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// ChaosPlan is the client-side chaos timeline `resilience bench
+// -chaos-plan` drives while the load runs: each Strike fires at an
+// offset from the start of the run and disturbs the *server* — this is
+// deliberately distinct from internal/faultinject plans, which describe
+// what a fault does once armed; a Strike describes when and where one
+// lands.
+type ChaosPlan struct {
+	Name    string   `json:"name,omitempty"`
+	Strikes []Strike `json:"strikes"`
+}
+
+// Strike is one disturbance. Exactly one action must be set:
+//
+//   - Plan: a raw internal/faultinject plan POSTed to the target's
+//     /v1/chaos seam (disarmed again after DurationMs, or at the end of
+//     the run).
+//   - CorruptDir: scribble garbage over the entries of a cache
+//     directory, so the filesystem tier's integrity checks have
+//     something real to catch.
+//   - KillPid: signal a process — the fleet-mode "kill one ring member
+//     mid-run" disturbance (Signal names TERM or KILL, default KILL).
+type Strike struct {
+	AfterMs    int             `json:"afterMs"`
+	DurationMs int             `json:"durationMs,omitempty"`
+	Target     string          `json:"target,omitempty"` // base URL; defaults to the bench target
+	Plan       json.RawMessage `json:"plan,omitempty"`
+	CorruptDir string          `json:"corruptDir,omitempty"`
+	KillPid    int             `json:"killPid,omitempty"`
+	Signal     string          `json:"signal,omitempty"`
+}
+
+// ParseChaos decodes a chaos plan strictly and validates that every
+// strike names exactly one action.
+func ParseChaos(data []byte) (*ChaosPlan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p ChaosPlan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("loadgen: bad chaos plan: %w", err)
+	}
+	if len(p.Strikes) == 0 {
+		return nil, fmt.Errorf("loadgen: chaos plan has no strikes")
+	}
+	for i, s := range p.Strikes {
+		actions := 0
+		if len(s.Plan) > 0 {
+			actions++
+		}
+		if s.CorruptDir != "" {
+			actions++
+		}
+		if s.KillPid != 0 {
+			actions++
+		}
+		if actions != 1 {
+			return nil, fmt.Errorf("loadgen: strike %d must set exactly one of plan, corruptDir, killPid", i)
+		}
+		if s.AfterMs < 0 || s.DurationMs < 0 {
+			return nil, fmt.Errorf("loadgen: strike %d has a negative offset", i)
+		}
+		if s.Signal != "" && s.KillPid == 0 {
+			return nil, fmt.Errorf("loadgen: strike %d sets signal without killPid", i)
+		}
+		switch strings.ToUpper(s.Signal) {
+		case "", "KILL", "TERM":
+		default:
+			return nil, fmt.Errorf("loadgen: strike %d signal %q (want TERM or KILL)", i, s.Signal)
+		}
+		if s.DurationMs > 0 && len(s.Plan) == 0 {
+			return nil, fmt.Errorf("loadgen: strike %d sets durationMs on a one-shot action", i)
+		}
+	}
+	return &p, nil
+}
+
+// ChaosReport records what the controller actually did, for the bench
+// report: one human-readable line per applied event, plus any apply
+// errors (an unreachable seam is itself a finding, not a bench crash).
+type ChaosReport struct {
+	Name    string   `json:"name,omitempty"`
+	Applied []string `json:"applied,omitempty"`
+	Errors  []string `json:"errors,omitempty"`
+}
+
+// chaosEvent is one point on the controller timeline.
+type chaosEvent struct {
+	at    time.Duration
+	label string
+	apply func() error
+}
+
+// runChaos executes the plan's timeline from the start of the load run
+// until ctx is cancelled or the timeline is exhausted, then disarms any
+// seam it armed. It is synchronous — Run launches it in a goroutine and
+// waits for the returned report after the clients drain.
+func runChaos(ctx context.Context, client *http.Client, plan *ChaosPlan, target string, logf func(string, ...any)) *ChaosReport {
+	rep := &ChaosReport{Name: plan.Name}
+	events := make([]chaosEvent, 0, 2*len(plan.Strikes))
+	armed := map[string]bool{} // seam URLs that may still hold our plan
+	for _, s := range plan.Strikes {
+		s := s
+		url := s.Target
+		if url == "" {
+			url = target
+		}
+		at := time.Duration(s.AfterMs) * time.Millisecond
+		switch {
+		case len(s.Plan) > 0:
+			events = append(events, chaosEvent{at, fmt.Sprintf("t+%v arm fault plan on %s", at, url), func() error {
+				armed[url] = true
+				return postChaos(client, url, s.Plan)
+			}})
+			if s.DurationMs > 0 {
+				off := at + time.Duration(s.DurationMs)*time.Millisecond
+				events = append(events, chaosEvent{off, fmt.Sprintf("t+%v disarm %s", off, url), func() error {
+					armed[url] = false
+					return postChaos(client, url, nil)
+				}})
+			}
+		case s.CorruptDir != "":
+			events = append(events, chaosEvent{at, fmt.Sprintf("t+%v corrupt cache dir %s", at, s.CorruptDir), func() error {
+				return corruptDir(s.CorruptDir)
+			}})
+		default:
+			sig := syscall.SIGKILL
+			if strings.EqualFold(s.Signal, "TERM") {
+				sig = syscall.SIGTERM
+			}
+			events = append(events, chaosEvent{at, fmt.Sprintf("t+%v signal pid %d (%v)", at, s.KillPid, sig), func() error {
+				return signalPid(s.KillPid, sig)
+			}})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for _, ev := range events {
+		wait := ev.at - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				disarmAll(client, armed, rep)
+				return rep
+			case <-timer.C:
+			}
+		}
+		logf("chaos: %s", ev.label)
+		if err := ev.apply(); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", ev.label, err))
+		} else {
+			rep.Applied = append(rep.Applied, ev.label)
+		}
+	}
+	<-ctx.Done()
+	disarmAll(client, armed, rep)
+	return rep
+}
+
+// disarmAll clears every seam the timeline may have left armed, so a
+// finished bench never leaves a server degrading traffic it no longer
+// measures.
+func disarmAll(client *http.Client, armed map[string]bool, rep *ChaosReport) {
+	for url, on := range armed {
+		if !on {
+			continue
+		}
+		if err := postChaos(client, url, nil); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("final disarm %s: %v", url, err))
+		} else {
+			rep.Applied = append(rep.Applied, "final disarm "+url)
+		}
+	}
+}
+
+// postChaos arms (or, with a nil plan, disarms) a server's /v1/chaos
+// seam.
+func postChaos(client *http.Client, target string, plan json.RawMessage) error {
+	body := bytes.NewReader(plan)
+	resp, err := client.Post(target+"/v1/chaos", "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST /v1/chaos = %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
+}
+
+// corruptDir overwrites the head of every regular file under dir (up to
+// a sanity cap) with garbage, simulating disk corruption under the
+// filesystem cache tier.
+func corruptDir(dir string) error {
+	const maxFiles = 256
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.Type().IsRegular() || n >= maxFiles {
+			return err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		_, werr := f.WriteAt([]byte("\x00CHAOS\x00 scribbled by resilience bench"), 0)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no files to corrupt under %s", dir)
+	}
+	return nil
+}
+
+// signalPid delivers sig to pid.
+func signalPid(pid int, sig syscall.Signal) error {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return err
+	}
+	return p.Signal(sig)
+}

@@ -1,0 +1,148 @@
+// Chaos-under-load regression battery: fault plans strike the server
+// mid-bench, and the SLO verdict distinguishes a fleet that degrades
+// gracefully (retries absorb the disturbance, error budget intact) from
+// one that leaks it to clients (5xxs blow the budget). Both directions
+// are pinned so the harness itself cannot rot into always-green.
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/loadgen"
+	"resilience/internal/servertest"
+)
+
+func zeroRatio() *float64 { v := 0.0; return &v }
+
+// TestChaosUnderLoadHoldsSLO: a recoverable fault plan (error on
+// attempt 1, one retry) strikes mid-run. Disturbed requests degrade —
+// 200 with the degradation annotated in the status header — and the
+// zero-error budget still holds: graceful degradation is not an error.
+func TestChaosUnderLoadHoldsSLO(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(benchExp("b01", time.Millisecond)))
+	plan := json.RawMessage(`{"retries":1,"faults":[{"experiment":"*","seam":"body","kind":"error","attempt":1}]}`)
+
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  4,
+		Duration: 500 * time.Millisecond,
+		Seed:     3,
+		Mix:      loadgen.Mix{IDs: []string{"b01"}, Quick: true}, // unique seeds: every request computes
+		SLO:      &loadgen.SLO{MaxErrorRatio: zeroRatio()},
+		Chaos: &loadgen.ChaosPlan{
+			Name:    "recoverable-errors",
+			Strikes: []loadgen.Strike{{AfterMs: 100, Plan: plan}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statuses["degraded"] == 0 {
+		t.Fatalf("no degraded responses — the strike never landed: %v (chaos %+v)", r.Statuses, r.Chaos)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("errors %d under a recoverable plan, want 0: %v", r.Errors, r.Statuses)
+	}
+	if !r.Verdict.Pass {
+		t.Fatalf("verdict %+v, want pass — degraded-but-recovered must not blow the budget", r.Verdict)
+	}
+	if r.Chaos == nil || len(r.Chaos.Applied) == 0 || len(r.Chaos.Errors) != 0 {
+		t.Fatalf("chaos report %+v, want applied strikes and no errors", r.Chaos)
+	}
+
+	// The bench must disarm the seam on its way out: a finished run
+	// never leaves the server degrading traffic it no longer measures.
+	resp, err := http.Get(n.URL + "/v1/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"armed": false`) {
+		t.Fatalf("seam still armed after the bench: %s", body)
+	}
+}
+
+// TestChaosUnderLoadBlowsBudget is the deliberately failing direction:
+// an unrecoverable plan (error on every attempt, no retries) turns
+// every computation into a 5xx, and the zero-error budget must report
+// the violation. If this test ever sees a passing verdict, the harness
+// has stopped measuring.
+func TestChaosUnderLoadBlowsBudget(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(benchExp("b01", time.Millisecond)))
+	plan := json.RawMessage(`{"faults":[{"experiment":"*","seam":"body","kind":"error"}]}`)
+
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  2,
+		Duration: 400 * time.Millisecond,
+		Seed:     5,
+		Mix:      loadgen.Mix{IDs: []string{"b01"}, Quick: true},
+		SLO:      &loadgen.SLO{MaxErrorRatio: zeroRatio()},
+		Chaos: &loadgen.ChaosPlan{
+			Name:    "unrecoverable-errors",
+			Strikes: []loadgen.Strike{{AfterMs: 50, Plan: plan}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err) // the bench itself must still run; only the verdict fails
+	}
+	if r.Statuses["error.5xx"] == 0 {
+		t.Fatalf("no 5xx under an unrecoverable plan: %v (chaos %+v)", r.Statuses, r.Chaos)
+	}
+	if r.Verdict.Pass {
+		t.Fatal("verdict passed with a blown error budget — the harness stopped measuring")
+	}
+	found := false
+	for _, v := range r.Verdict.Violations {
+		if strings.Contains(v, "error ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not name the error ratio", r.Verdict.Violations)
+	}
+}
+
+// TestChaosCorruptionUnderLoad: scribbling over the filesystem cache
+// tier mid-run must not surface errors to clients — a corrupt entry is
+// a miss (recomputed, restored), not a 5xx. This is §3.3's adaptability
+// claim measured at the HTTP edge.
+func TestChaosCorruptionUnderLoad(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(benchExp("b01", 0)))
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  2,
+		Duration: 400 * time.Millisecond,
+		Seed:     11,
+		Mix: loadgen.Mix{
+			IDs:         []string{"b01"},
+			RepeatRatio: 1, // hammer the hot pool so the corrupted entries get re-read
+			Quick:       true,
+		},
+		SLO: &loadgen.SLO{MaxErrorRatio: zeroRatio()},
+		Chaos: &loadgen.ChaosPlan{
+			Name:    "disk-corruption",
+			Strikes: []loadgen.Strike{{AfterMs: 100, CorruptDir: n.CacheDir}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chaos == nil || len(r.Chaos.Errors) != 0 {
+		t.Fatalf("corruption strike did not apply cleanly: %+v", r.Chaos)
+	}
+	if r.Errors != 0 || !r.Verdict.Pass {
+		t.Fatalf("corruption leaked to clients: errors=%d verdict=%+v statuses=%v",
+			r.Errors, r.Verdict, r.Statuses)
+	}
+	if r.Statuses["ok"] < 2 {
+		t.Fatalf("expected recomputes after corruption, got %v", r.Statuses)
+	}
+}

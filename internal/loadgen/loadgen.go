@@ -1,0 +1,352 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/obs"
+)
+
+// Config describes one bench run.
+type Config struct {
+	// Target is the serve endpoint's base URL (no trailing slash).
+	Target string
+	// Clients is the number of closed-loop virtual clients (default 1).
+	// Each client issues its next request only after the previous one
+	// completes, so offered load adapts to what the server sustains.
+	Clients int
+	// Duration stops the run after a wall-clock budget; Requests stops
+	// it after a total request count. At least one must be set; with
+	// both, whichever trips first ends the run.
+	Duration time.Duration
+	Requests int64
+	// Mix is the workload blend (required: at least one experiment ID).
+	Mix Mix
+	// Seed makes the request mix reproducible.
+	Seed uint64
+	// SLO is the error budget the run is judged against; nil applies
+	// only the universal checks.
+	SLO *SLO
+	// Chaos, when set, disturbs the server mid-run.
+	Chaos *ChaosPlan
+	// Log receives human progress lines (nil = silent).
+	Log io.Writer
+	// DrainTimeout bounds the wait for the server's inflight gauge to
+	// reach zero after the clients stop (default 5s).
+	DrainTimeout time.Duration
+	// RequestTimeout bounds one HTTP request (default 60s).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) validate() error {
+	if c.Target == "" {
+		return fmt.Errorf("loadgen: no target URL")
+	}
+	if c.Duration <= 0 && c.Requests <= 0 {
+		return fmt.Errorf("loadgen: need a duration or a request count")
+	}
+	if c.Clients < 0 {
+		return fmt.Errorf("loadgen: negative client count")
+	}
+	return c.Mix.validate()
+}
+
+// tally is one client's private scoreboard, merged after the run so the
+// hot path never contends on a shared map.
+type tally struct {
+	statuses map[string]int64
+	proxied  int64
+}
+
+// Run executes the bench: scrape /metrics, unleash the clients (and the
+// chaos controller, if any), wait for the drain, scrape again, and
+// judge the result. An SLO violation is reported in the verdict, not as
+// an error — the error return is for runs that could not execute at
+// all.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	clients := cfg.Clients
+	if clients == 0 {
+		clients = 1
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 60 * time.Second
+	}
+	httpc := &http.Client{
+		Timeout: reqTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        clients + 4,
+			MaxIdleConnsPerHost: clients + 4,
+		},
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	before, err := scrapeMetrics(httpc, cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target not benchable: %w", err)
+	}
+
+	runCtx := ctx
+	var cancelRun context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancelRun = context.WithTimeout(ctx, cfg.Duration)
+	} else {
+		runCtx, cancelRun = context.WithCancel(ctx)
+	}
+	defer cancelRun()
+
+	var chaosCh chan *ChaosReport
+	if cfg.Chaos != nil {
+		chaosCh = make(chan *ChaosReport, 1)
+		go func() { chaosCh <- runChaos(runCtx, httpc, cfg.Chaos, cfg.Target, logf) }()
+	}
+
+	logf("bench: %d clients against %s (suite ratio %.2f, repeat ratio %.2f, seed %d)",
+		clients, cfg.Target, cfg.Mix.SuiteRatio, cfg.Mix.RepeatRatio, cfg.Seed)
+	timing := &obs.Timing{}
+	var issued atomic.Int64
+	tallies := make([]tally, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seq := cfg.Mix.Sequence(cfg.Seed, i)
+			t := tally{statuses: map[string]int64{}}
+			for runCtx.Err() == nil {
+				if cfg.Requests > 0 && issued.Add(1) > cfg.Requests {
+					break
+				}
+				doRequest(httpc, cfg.Target, seq.Next(), timing, &t)
+			}
+			tallies[i] = t
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancelRun() // ends the chaos timeline even on a count-bounded run
+
+	var chaosRep *ChaosReport
+	if chaosCh != nil {
+		chaosRep = <-chaosCh
+	}
+
+	hung := awaitDrain(httpc, cfg.Target, cfg.DrainTimeout)
+	after, err := scrapeMetrics(httpc, cfg.Target)
+	if err != nil {
+		logf("bench: post-run metrics scrape failed: %v", err)
+		after = &obs.Document{}
+	}
+
+	r := &Report{
+		Schema:         ReportSchema,
+		Target:         cfg.Target,
+		Clients:        clients,
+		Seed:           cfg.Seed,
+		ElapsedSeconds: elapsed.Seconds(),
+		Statuses:       map[string]int64{},
+		HungAfterDrain: hung,
+		Chaos:          chaosRep,
+		MetricsDelta:   counterDelta(before, after),
+	}
+	r.stamp(time.Now())
+	for _, t := range tallies {
+		for k, v := range t.statuses {
+			r.Statuses[k] += v
+			r.Sent += v
+			if strings.HasPrefix(k, "error.") {
+				r.Errors += v
+			}
+		}
+		r.Proxied += t.proxied
+	}
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(r.Sent) / elapsed.Seconds()
+	}
+	snap := timing.Snapshot()
+	r.Latency = LatencyMs{
+		Count:  snap.Count,
+		MeanMs: snap.Mean() * 1e3,
+		MinMs:  snap.Min * 1e3,
+		MaxMs:  snap.Max * 1e3,
+		P50Ms:  snap.P50 * 1e3,
+		P90Ms:  snap.P90 * 1e3,
+		P99Ms:  snap.P99 * 1e3,
+		P999Ms: snap.P999 * 1e3,
+	}
+	r.Verdict = cfg.SLO.Evaluate(r)
+	logf("bench: %d requests in %.2fs (%.1f req/s), p50 %.2fms p99 %.2fms p999 %.2fms, %d errors, verdict pass=%t",
+		r.Sent, r.ElapsedSeconds, r.ThroughputRPS, r.Latency.P50Ms, r.Latency.P99Ms, r.Latency.P999Ms,
+		r.Errors, r.Verdict.Pass)
+	return r, nil
+}
+
+// runBody is the /v1/run and /v1/suite request document.
+type runBody struct {
+	Seed  uint64   `json:"seed"`
+	Quick bool     `json:"quick,omitempty"`
+	IDs   []string `json:"ids,omitempty"`
+}
+
+// doRequest issues one generated request and scores the outcome. The
+// latency of every attempt — including failures — is observed; a slow
+// error is still a slow answer from the client's point of view.
+func doRequest(httpc *http.Client, target string, req Request, timing *obs.Timing, t *tally) {
+	body, err := json.Marshal(runBody{Seed: req.Seed, Quick: req.Quick, IDs: req.IDs})
+	if err != nil {
+		t.statuses["error.transport"]++
+		return
+	}
+	url := target + "/v1/run/" + req.ID
+	if req.Suite {
+		url = target + "/v1/suite"
+	}
+	start := time.Now()
+	resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		timing.Observe(time.Since(start).Seconds())
+		t.statuses["error.transport"]++
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // latency includes the full body
+	resp.Body.Close()
+	timing.Observe(time.Since(start).Seconds())
+	if resp.Header.Get("X-Resilience-Proxied") != "" {
+		t.proxied++
+	}
+	t.statuses[classify(resp.StatusCode, resp.Header.Get("X-Resilience-Status"), req.Suite)]++
+}
+
+// classify maps one response to a breakdown class. Proxied responses
+// carry the owner's status verbatim, so they classify like local ones
+// (the proxied count is tracked separately off the header).
+func classify(code int, status string, suite bool) string {
+	switch {
+	case code >= 200 && code < 300:
+		if suite {
+			return "suite"
+		}
+		switch {
+		case status == "ok (coalesced)":
+			return "coalesced"
+		case strings.HasPrefix(status, "ok (cached"):
+			tier := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(status, "ok (cached"), ")"))
+			if tier == "" {
+				return "cached"
+			}
+			return "cached." + tier
+		case strings.HasPrefix(status, "ok (degraded"):
+			return "degraded"
+		default:
+			return "ok"
+		}
+	case code >= 400 && code < 500:
+		return "error.4xx"
+	case code >= 500:
+		return "error.5xx"
+	default:
+		return "error.transport"
+	}
+}
+
+// scrapeMetrics fetches and decodes the target's /metrics document.
+func scrapeMetrics(httpc *http.Client, target string) (*obs.Document, error) {
+	resp, err := httpc.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics = %d", resp.StatusCode)
+	}
+	var doc obs.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bad metrics document: %w", err)
+	}
+	return &doc, nil
+}
+
+// awaitDrain polls the server's inflight gauge until it reaches zero or
+// the timeout expires, returning the count still in flight — a nonzero
+// value means the server is holding requests the clients already gave
+// up on, which the verdict treats as a violation regardless of SLO.
+func awaitDrain(httpc *http.Client, target string, timeout time.Duration) int64 {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	var last int64
+	for {
+		doc, err := scrapeMetrics(httpc, target)
+		if err == nil {
+			// The probe itself sits in the gauge while the handler
+			// snapshots it, so a fully drained server reads 1, not 0.
+			last = int64(doc.Gauges["server.inflight"]) - 1
+			if last <= 0 {
+				return 0
+			}
+		}
+		if time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// counterDelta subtracts the pre-run counter snapshot from the post-run
+// one, keeping only counters that moved.
+func counterDelta(before, after *obs.Document) map[string]int64 {
+	delta := map[string]int64{}
+	for k, v := range after.Counters {
+		if d := v - before.Counters[k]; d != 0 {
+			delta[k] = d
+		}
+	}
+	if len(delta) == 0 {
+		return nil
+	}
+	return delta
+}
+
+// DiscoverIDs asks the target for its experiment catalogue — the
+// default ID pool when the caller does not name one.
+func DiscoverIDs(target string) ([]string, error) {
+	resp, err := http.Get(target + "/v1/experiments")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/experiments = %d", resp.StatusCode)
+	}
+	var entries []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("bad experiments document: %w", err)
+	}
+	ids := make([]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("target serves no experiments")
+	}
+	return ids, nil
+}

@@ -1,0 +1,141 @@
+// End-to-end battery: real loadgen runs against in-process servertest
+// daemons, reconciled against the server's own counters.
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilience/internal/experiments"
+	"resilience/internal/loadgen"
+	"resilience/internal/servertest"
+)
+
+func benchExp(id string, delay time.Duration) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "bench fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true,
+		Run: func(rec *experiments.Recorder, cfg experiments.Config) error {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			rec.Notef("seed %d", cfg.Seed)
+			return nil
+		},
+	}
+}
+
+// TestBenchReconcilesWithServerCounters is the acceptance check for the
+// report: run a mixed repeated/unique workload, then reconcile the
+// client-observed status breakdown against the server's scraped counter
+// deltas — every fresh computation stored once, every coalesced waiter
+// counted by the server, every cache hit seen by rescache.
+func TestBenchReconcilesWithServerCounters(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(
+		benchExp("b01", time.Millisecond), benchExp("b02", time.Millisecond)))
+
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  4,
+		Requests: 120,
+		Seed:     1,
+		Mix: loadgen.Mix{
+			IDs:         []string{"b01", "b02"},
+			RepeatRatio: 0.5, // half the keys land on the hot pool: cache + coalescer traffic
+			Quick:       true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent != 120 {
+		t.Fatalf("sent %d, want the full 120-request budget", r.Sent)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("errors %d (%v), want 0", r.Errors, r.Statuses)
+	}
+	if !r.Verdict.Pass {
+		t.Fatalf("verdict %+v, want pass", r.Verdict)
+	}
+	if r.Latency.Count != 120 || r.Latency.P50Ms <= 0 || r.Latency.P999Ms < r.Latency.P50Ms {
+		t.Fatalf("implausible latency summary %+v", r.Latency)
+	}
+
+	// Reconcile with the server's ledger. Only run-work counters are
+	// comparable (server.requests also counts the bench's own /metrics
+	// scrapes).
+	ok, coalesced, cached := r.Statuses["ok"], r.Statuses["coalesced"], r.Cached()
+	if got := ok + coalesced + cached; got != r.Sent {
+		t.Fatalf("breakdown %v sums to %d, want %d", r.Statuses, got, r.Sent)
+	}
+	if ok == 0 || cached == 0 {
+		t.Fatalf("degenerate mix: ok=%d cached=%d — the bench exercised nothing", ok, cached)
+	}
+	for counter, want := range map[string]int64{
+		"rescache.stores":  ok, // each fresh compute stores exactly once
+		"server.coalesced": coalesced,
+		"rescache.hits":    cached,
+		"runner.attempts":  ok, // no retries, no faults: one attempt per compute
+	} {
+		if got := r.MetricsDelta[counter]; got != want {
+			t.Errorf("server counter %s moved by %d, client observed %d\nbreakdown: %v\ndeltas: %v",
+				counter, got, want, r.Statuses, r.MetricsDelta)
+		}
+	}
+}
+
+// TestBenchSuiteMix: an all-suite workload classifies as suite traffic
+// and still drains clean.
+func TestBenchSuiteMix(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(
+		benchExp("b01", 0), benchExp("b02", 0), benchExp("b03", 0)))
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  2,
+		Requests: 20,
+		Seed:     9,
+		Mix: loadgen.Mix{
+			IDs:        []string{"b01", "b02", "b03"},
+			SuiteRatio: 1,
+			Quick:      true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statuses["suite"] != r.Sent || r.Sent != 20 {
+		t.Fatalf("all-suite run classified %v (sent %d)", r.Statuses, r.Sent)
+	}
+	if r.HungAfterDrain != 0 || !r.Verdict.Pass {
+		t.Fatalf("hung=%d verdict=%+v", r.HungAfterDrain, r.Verdict)
+	}
+}
+
+// TestBenchRejectsBadConfig: a config that cannot run fails fast
+// instead of reporting an empty pass.
+func TestBenchRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]loadgen.Config{
+		"no target":   {Requests: 1, Mix: loadgen.Mix{IDs: []string{"a"}}},
+		"no budget":   {Target: "http://127.0.0.1:1", Mix: loadgen.Mix{IDs: []string{"a"}}},
+		"no ids":      {Target: "http://127.0.0.1:1", Requests: 1},
+		"unreachable": {Target: "http://127.0.0.1:1", Requests: 1, Mix: loadgen.Mix{IDs: []string{"a"}}},
+	} {
+		if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: ran, want error", name)
+		}
+	}
+}
+
+// TestDiscoverIDs: the default ID pool comes from the target's own
+// catalogue.
+func TestDiscoverIDs(t *testing.T) {
+	n := servertest.Boot(t, servertest.WithRegistry(benchExp("b01", 0), benchExp("b02", 0)))
+	ids, err := loadgen.DiscoverIDs(n.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "b01" || ids[1] != "b02" {
+		t.Fatalf("discovered %v", ids)
+	}
+}

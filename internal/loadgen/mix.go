@@ -1,0 +1,129 @@
+// Package loadgen is the closed-loop load generator behind `resilience
+// bench`: N virtual clients replay a deterministic mix of /v1/run and
+// /v1/suite requests against a live serve endpoint, per-request latency
+// lands in a log-linear histogram, and the run ends with a
+// machine-readable report plus an error-budget verdict against a
+// configurable SLO. A chaos controller can disturb the server mid-run
+// (armed fault plans, cache-dir corruption, process kills) to measure
+// resilience under load rather than in isolation.
+package loadgen
+
+import (
+	"fmt"
+
+	"resilience/internal/rng"
+)
+
+// Mix describes the workload blend each virtual client replays. The mix
+// is deterministic: a (bench seed, client index) pair always yields the
+// same request sequence, so a bench run is reproducible end to end and
+// two runs against different builds compare like for like.
+type Mix struct {
+	// IDs is the experiment pool requests draw from. Required.
+	IDs []string
+	// SuiteRatio is the fraction of requests sent to /v1/suite instead
+	// of /v1/run (0 = runs only, 1 = suites only).
+	SuiteRatio float64
+	// RepeatRatio is the fraction of requests that reuse a seed from a
+	// small hot pool — repeated (id, seed) keys land on the coalescer
+	// and the cache tiers; the remainder draw unique seeds and stress
+	// compute.
+	RepeatRatio float64
+	// HotSeeds is the size of the hot seed pool (default 8).
+	HotSeeds int
+	// SuiteSize is how many experiment IDs each suite request carries
+	// (default min(3, len(IDs))).
+	SuiteSize int
+	// Quick asks the server for quick-mode runs.
+	Quick bool
+}
+
+// Request is one generated request: either a single run (ID) or a suite
+// (IDs), always with a concrete seed.
+type Request struct {
+	Suite bool
+	ID    string
+	IDs   []string
+	Seed  uint64
+	Quick bool
+}
+
+func (m Mix) validate() error {
+	if len(m.IDs) == 0 {
+		return fmt.Errorf("loadgen: mix needs at least one experiment ID")
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"suite ratio", m.SuiteRatio}, {"repeat ratio", m.RepeatRatio}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("loadgen: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if m.HotSeeds < 0 || m.SuiteSize < 0 {
+		return fmt.Errorf("loadgen: negative pool sizes")
+	}
+	return nil
+}
+
+func (m Mix) hotSeedCount() int {
+	if m.HotSeeds > 0 {
+		return m.HotSeeds
+	}
+	return 8
+}
+
+func (m Mix) suiteSize() int {
+	if m.SuiteSize > 0 && m.SuiteSize <= len(m.IDs) {
+		return m.SuiteSize
+	}
+	if len(m.IDs) < 3 {
+		return len(m.IDs)
+	}
+	return 3
+}
+
+// Sequence is one client's deterministic request stream.
+type Sequence struct {
+	mix Mix
+	src *rng.Source
+	hot []uint64
+}
+
+// Sequence derives client i's request stream from the bench seed. The
+// hot seed pool is shared across clients (derived from the bench seed
+// alone), so repeated keys collide fleet-wide — that collision is the
+// point: it is what exercises coalescing and the cache tiers.
+func (m Mix) Sequence(seed uint64, client int) *Sequence {
+	hot := make([]uint64, m.hotSeedCount())
+	for i := range hot {
+		hot[i] = rng.DeriveStage(seed, "hot", i)
+	}
+	return &Sequence{
+		mix: m,
+		src: rng.New(rng.DeriveStage(seed, "client", client)),
+		hot: hot,
+	}
+}
+
+// Next returns the client's next request.
+func (s *Sequence) Next() Request {
+	m := s.mix
+	req := Request{Quick: m.Quick}
+	if s.src.Bool(m.SuiteRatio) {
+		req.Suite = true
+		perm := s.src.Perm(len(m.IDs))
+		req.IDs = make([]string, m.suiteSize())
+		for i := range req.IDs {
+			req.IDs[i] = m.IDs[perm[i]]
+		}
+	} else {
+		req.ID = m.IDs[s.src.Intn(len(m.IDs))]
+	}
+	if s.src.Bool(m.RepeatRatio) {
+		req.Seed = s.hot[s.src.Intn(len(s.hot))]
+	} else {
+		req.Seed = s.src.Uint64()
+	}
+	return req
+}

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testMix() Mix {
+	return Mix{
+		IDs:         []string{"e01", "e02", "e03"},
+		SuiteRatio:  0.3,
+		RepeatRatio: 0.5,
+		Quick:       true,
+	}
+}
+
+// TestMixDeterminism: a (bench seed, client) pair must always yield the
+// same request sequence — reproducibility is what makes two bench runs
+// comparable.
+func TestMixDeterminism(t *testing.T) {
+	m := testMix()
+	const steps = 200
+	a, b := m.Sequence(42, 3), m.Sequence(42, 3)
+	for i := 0; i < steps; i++ {
+		ra, rb := a.Next(), b.Next()
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+
+	// Different clients (and different bench seeds) draw different
+	// streams.
+	for name, other := range map[string]*Sequence{
+		"other client": m.Sequence(42, 4),
+		"other seed":   m.Sequence(43, 3),
+	} {
+		ref, same := m.Sequence(42, 3), 0
+		for i := 0; i < steps; i++ {
+			if reflect.DeepEqual(ref.Next(), other.Next()) {
+				same++
+			}
+		}
+		if same == steps {
+			t.Fatalf("%s replayed the identical sequence", name)
+		}
+	}
+}
+
+// TestMixRatios pins the edge ratios: 0 means never, 1 means always,
+// and repeat draws stay inside the shared hot pool.
+func TestMixRatios(t *testing.T) {
+	m := testMix()
+	m.SuiteRatio, m.RepeatRatio = 0, 1
+	hot := map[uint64]bool{}
+	seq := m.Sequence(7, 0)
+	for i := 0; i < 300; i++ {
+		r := seq.Next()
+		if r.Suite {
+			t.Fatal("suite request with SuiteRatio 0")
+		}
+		if r.ID == "" || !r.Quick {
+			t.Fatalf("bad run request %+v", r)
+		}
+		hot[r.Seed] = true
+	}
+	if len(hot) > m.hotSeedCount() {
+		t.Fatalf("repeat draws produced %d distinct seeds, want <= %d (the hot pool)",
+			len(hot), m.hotSeedCount())
+	}
+
+	// Hot pools are shared across clients: another client's repeats draw
+	// the very same seeds, which is what makes keys collide fleet-wide.
+	other := m.Sequence(7, 9)
+	for i := 0; i < 50; i++ {
+		if r := other.Next(); !hot[r.Seed] {
+			t.Fatalf("client 9 drew seed %d outside the shared hot pool", r.Seed)
+		}
+	}
+
+	m.SuiteRatio, m.RepeatRatio = 1, 0
+	seen := map[uint64]bool{}
+	seq = m.Sequence(7, 0)
+	for i := 0; i < 300; i++ {
+		r := seq.Next()
+		if !r.Suite || len(r.IDs) != m.suiteSize() {
+			t.Fatalf("want suite of %d ids, got %+v", m.suiteSize(), r)
+		}
+		if seen[r.Seed] {
+			t.Fatalf("unique draw repeated seed %d", r.Seed)
+		}
+		seen[r.Seed] = true
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for name, m := range map[string]Mix{
+		"no ids":       {},
+		"ratio > 1":    {IDs: []string{"a"}, SuiteRatio: 1.5},
+		"ratio < 0":    {IDs: []string{"a"}, RepeatRatio: -0.1},
+		"negative cap": {IDs: []string{"a"}, HotSeeds: -1},
+	} {
+		if err := m.validate(); err == nil {
+			t.Errorf("%s: validate passed, want error", name)
+		}
+	}
+	if err := testMix().validate(); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+}

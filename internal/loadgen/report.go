@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ReportSchema identifies the bench report layout.
+const ReportSchema = "resilience-bench/1"
+
+// LatencyMs summarizes the per-request latency histogram in
+// milliseconds.
+type LatencyMs struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	MinMs  float64 `json:"minMs"`
+	MaxMs  float64 `json:"maxMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+}
+
+// Report is the machine-readable outcome of one bench run. Statuses is
+// the client-observed breakdown keyed by outcome class: "ok",
+// "cached.mem" / "cached.fs" / "cached.peer" / "cached", "coalesced",
+// "degraded", "suite", and "error.transport" / "error.4xx" /
+// "error.5xx". MetricsDelta carries the change in every server counter
+// between the pre- and post-run /metrics scrapes, so a report can be
+// reconciled against what the server says happened.
+type Report struct {
+	Schema         string           `json:"schema"`
+	Date           string           `json:"date"`
+	Target         string           `json:"target"`
+	Clients        int              `json:"clients"`
+	Seed           uint64           `json:"seed"`
+	ElapsedSeconds float64          `json:"elapsedSeconds"`
+	Sent           int64            `json:"sent"`
+	ThroughputRPS  float64          `json:"throughputRps"`
+	Latency        LatencyMs        `json:"latency"`
+	Statuses       map[string]int64 `json:"statuses"`
+	Proxied        int64            `json:"proxied"`
+	Errors         int64            `json:"errors"`
+	HungAfterDrain int64            `json:"hungAfterDrain"`
+	Chaos          *ChaosReport     `json:"chaos,omitempty"`
+	MetricsDelta   map[string]int64 `json:"metricsDelta,omitempty"`
+	Verdict        Verdict          `json:"verdict"`
+}
+
+// status returns a breakdown entry without materializing zero keys.
+func (r *Report) status(key string) int64 { return r.Statuses[key] }
+
+// Cached sums the cache-hit classes across tiers.
+func (r *Report) Cached() int64 {
+	return r.status("cached") + r.status("cached.mem") + r.status("cached.fs") + r.status("cached.peer")
+}
+
+// trajectory mirrors the BENCH_*.json layout shared by the repo's other
+// benchmark trajectory files.
+type trajectory struct {
+	Benchmark   string            `json:"benchmark"`
+	Description string            `json:"description"`
+	DataPoints  []json.RawMessage `json:"data_points"`
+}
+
+// trajectoryPoint is the compact per-run row appended to
+// BENCH_serve.json.
+type trajectoryPoint struct {
+	Date          string  `json:"date"`
+	Clients       int     `json:"clients"`
+	Seed          uint64  `json:"seed"`
+	Sent          int64   `json:"sent"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	Ok            int64   `json:"ok"`
+	Cached        int64   `json:"cached"`
+	Coalesced     int64   `json:"coalesced"`
+	Degraded      int64   `json:"degraded"`
+	Suite         int64   `json:"suite"`
+	Errors        int64   `json:"errors"`
+	Proxied       int64   `json:"proxied"`
+	Chaos         string  `json:"chaos,omitempty"`
+	SLOPass       bool    `json:"slo_pass"`
+}
+
+const trajectoryDescription = "Closed-loop `resilience bench` runs against a live serve endpoint: " +
+	"N virtual clients replaying a deterministic /v1/run + /v1/suite mix " +
+	"(repeat-ratio controls how often hot keys land on the coalescer and cache tiers), " +
+	"per-request latency quantiles from a log-linear histogram, the client-observed " +
+	"status breakdown, and the SLO verdict. One row per recorded run; rows are " +
+	"timing-bearing and machine-appended, never edited by hand."
+
+// AppendTrajectory appends this run as one data point to the trajectory
+// file at path (created with the standard skeleton if missing).
+func (r *Report) AppendTrajectory(path string) error {
+	traj := trajectory{
+		Benchmark:   "BenchServeLoad",
+		Description: trajectoryDescription,
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			return fmt.Errorf("loadgen: %s is not a trajectory file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	point, err := json.Marshal(trajectoryPoint{
+		Date:          r.Date,
+		Clients:       r.Clients,
+		Seed:          r.Seed,
+		Sent:          r.Sent,
+		ThroughputRPS: round2(r.ThroughputRPS),
+		P50Ms:         round2(r.Latency.P50Ms),
+		P99Ms:         round2(r.Latency.P99Ms),
+		P999Ms:        round2(r.Latency.P999Ms),
+		Ok:            r.status("ok"),
+		Cached:        r.Cached(),
+		Coalesced:     r.status("coalesced"),
+		Degraded:      r.status("degraded"),
+		Suite:         r.status("suite"),
+		Errors:        r.Errors,
+		Proxied:       r.Proxied,
+		Chaos:         chaosName(r.Chaos),
+		SLOPass:       r.Verdict.Pass,
+	})
+	if err != nil {
+		return err
+	}
+	traj.DataPoints = append(traj.DataPoints, point)
+	out, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func chaosName(c *ChaosReport) string {
+	switch {
+	case c == nil:
+		return ""
+	case c.Name != "":
+		return c.Name
+	default:
+		return "unnamed"
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// WriteJSON writes the full report as indented JSON.
+func (r *Report) WriteJSON(w interface{ Write([]byte) (int, error) }) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// stamp fills the report's date from the wall clock (split out so tests
+// can pin it).
+func (r *Report) stamp(now time.Time) { r.Date = now.UTC().Format("2006-01-02") }

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendTrajectory: the trajectory file is created with the
+// standard skeleton on first append and grows one data point per run,
+// preserving earlier points byte-for-byte.
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	r := benchReport()
+	r.Schema = ReportSchema
+	r.Date = "2026-08-07"
+	r.Clients = 4
+	r.Seed = 42
+	r.ThroughputRPS = 123.456
+	r.Statuses["coalesced"] = 7
+	r.Verdict = Verdict{Pass: true}
+	if err := r.AppendTrajectory(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := benchReport()
+	r2.Date = "2026-08-08"
+	r2.Chaos = &ChaosReport{Name: "stall"}
+	r2.Verdict = Verdict{Pass: false, Violations: []string{"p99 blown"}}
+	if err := r2.AppendTrajectory(path); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Benchmark   string `json:"benchmark"`
+		Description string `json:"description"`
+		DataPoints  []struct {
+			Date    string  `json:"date"`
+			Clients int     `json:"clients"`
+			RPS     float64 `json:"throughput_rps"`
+			Ok      int64   `json:"ok"`
+			Chaos   string  `json:"chaos"`
+			Pass    bool    `json:"slo_pass"`
+		} `json:"data_points"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory is not JSON: %v", err)
+	}
+	if traj.Benchmark != "BenchServeLoad" || traj.Description == "" {
+		t.Fatalf("skeleton fields missing: %+v", traj)
+	}
+	if len(traj.DataPoints) != 2 {
+		t.Fatalf("data points = %d, want 2", len(traj.DataPoints))
+	}
+	p1, p2 := traj.DataPoints[0], traj.DataPoints[1]
+	if p1.Date != "2026-08-07" || p1.Clients != 4 || p1.RPS != 123.46 || p1.Ok != 1000 || !p1.Pass {
+		t.Fatalf("first point %+v", p1)
+	}
+	if p2.Date != "2026-08-08" || p2.Chaos != "stall" || p2.Pass {
+		t.Fatalf("second point %+v", p2)
+	}
+
+	// A non-trajectory file refuses the append instead of being clobbered.
+	bad := filepath.Join(t.TempDir(), "notes.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendTrajectory(bad); err == nil {
+		t.Fatal("appending over a non-trajectory file must fail")
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	p, err := ParseChaos([]byte(`{"name":"stall","strikes":[
+		{"afterMs":100,"durationMs":200,"plan":{"faults":[]}},
+		{"afterMs":300,"corruptDir":"/tmp/cache"},
+		{"afterMs":400,"killPid":123,"signal":"TERM"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "stall" || len(p.Strikes) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	for name, doc := range map[string]string{
+		"no strikes":          `{"name":"x"}`,
+		"empty strike":        `{"strikes":[{"afterMs":1}]}`,
+		"two actions":         `{"strikes":[{"plan":{},"killPid":1}]}`,
+		"negative offset":     `{"strikes":[{"afterMs":-1,"killPid":1}]}`,
+		"signal without pid":  `{"strikes":[{"corruptDir":"/x","signal":"TERM"}]}`,
+		"bad signal":          `{"strikes":[{"killPid":1,"signal":"HUP"}]}`,
+		"duration on oneshot": `{"strikes":[{"killPid":1,"durationMs":5}]}`,
+		"unknown field":       `{"strikes":[{"afterMss":1,"killPid":1}]}`,
+	} {
+		if _, err := ParseChaos([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed, want error", name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SLO is the error budget a bench run is judged against. Zero-valued
+// latency/throughput bounds are unchecked; MaxErrorRatio distinguishes
+// "unchecked" (nil) from "zero errors allowed" (pointer to 0). Two
+// checks are universal and apply even with a nil SLO: a run that
+// completed no requests is a failure, and so are requests still in
+// flight after the clients drained (a hung server masquerading as a
+// quiet one).
+type SLO struct {
+	// P50Ms / P99Ms / P999Ms bound the respective latency quantiles in
+	// milliseconds; 0 leaves a quantile unchecked.
+	P50Ms  float64 `json:"p50Ms,omitempty"`
+	P99Ms  float64 `json:"p99Ms,omitempty"`
+	P999Ms float64 `json:"p999Ms,omitempty"`
+	// MaxErrorRatio bounds errors/sent (transport errors plus non-2xx).
+	MaxErrorRatio *float64 `json:"maxErrorRatio,omitempty"`
+	// MinThroughput bounds achieved requests per second from below.
+	MinThroughput float64 `json:"minThroughput,omitempty"`
+}
+
+// ParseSLO decodes an SLO document strictly: unknown fields and
+// negative bounds are errors, so a typoed budget fails loudly instead
+// of silently checking nothing.
+func ParseSLO(data []byte) (*SLO, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SLO
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("loadgen: bad SLO: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("loadgen: bad SLO: trailing data")
+	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{{"p50Ms", s.P50Ms}, {"p99Ms", s.P99Ms}, {"p999Ms", s.P999Ms}, {"minThroughput", s.MinThroughput}} {
+		if b.v < 0 {
+			return nil, fmt.Errorf("loadgen: bad SLO: negative %s", b.name)
+		}
+	}
+	if s.MaxErrorRatio != nil && (*s.MaxErrorRatio < 0 || *s.MaxErrorRatio > 1) {
+		return nil, fmt.Errorf("loadgen: bad SLO: maxErrorRatio outside [0,1]")
+	}
+	return &s, nil
+}
+
+// Verdict is the budget evaluation: Pass with an empty violation list,
+// or the specific bounds that were blown.
+type Verdict struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Evaluate judges a finished run. A nil SLO applies only the universal
+// checks (empty run, hung requests after drain).
+func (s *SLO) Evaluate(r *Report) Verdict {
+	var v []string
+	if r.Sent == 0 {
+		v = append(v, "no requests completed")
+	}
+	if r.HungAfterDrain > 0 {
+		v = append(v, fmt.Sprintf("%d requests still in flight after drain", r.HungAfterDrain))
+	}
+	if s != nil && r.Sent > 0 {
+		for _, b := range []struct {
+			name  string
+			bound float64
+			got   float64
+		}{
+			{"p50", s.P50Ms, r.Latency.P50Ms},
+			{"p99", s.P99Ms, r.Latency.P99Ms},
+			{"p999", s.P999Ms, r.Latency.P999Ms},
+		} {
+			if b.bound > 0 && b.got > b.bound {
+				v = append(v, fmt.Sprintf("%s %.2fms exceeds budget %.2fms", b.name, b.got, b.bound))
+			}
+		}
+		if s.MaxErrorRatio != nil {
+			ratio := float64(r.Errors) / float64(r.Sent)
+			if ratio > *s.MaxErrorRatio {
+				v = append(v, fmt.Sprintf("error ratio %.4f exceeds budget %.4f (%d/%d)",
+					ratio, *s.MaxErrorRatio, r.Errors, r.Sent))
+			}
+		}
+		if s.MinThroughput > 0 && r.ThroughputRPS < s.MinThroughput {
+			v = append(v, fmt.Sprintf("throughput %.1f req/s below budget %.1f",
+				r.ThroughputRPS, s.MinThroughput))
+		}
+	}
+	return Verdict{Pass: len(v) == 0, Violations: v}
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO([]byte(`{"p99Ms":50,"maxErrorRatio":0,"minThroughput":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P99Ms != 50 || s.MaxErrorRatio == nil || *s.MaxErrorRatio != 0 || s.MinThroughput != 10 {
+		t.Fatalf("parsed %+v", s)
+	}
+	for name, doc := range map[string]string{
+		"unknown field": `{"p99":50}`,
+		"negative":      `{"p50Ms":-1}`,
+		"ratio > 1":     `{"maxErrorRatio":1.5}`,
+		"trailing data": `{"p50Ms":1} {"p50Ms":2}`,
+		"not json":      `p99 under 50ms please`,
+	} {
+		if _, err := ParseSLO([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed, want error", name)
+		}
+	}
+}
+
+// report builds a healthy baseline report the table cases then distort.
+func benchReport() *Report {
+	return &Report{
+		Sent:          1000,
+		Errors:        0,
+		ThroughputRPS: 200,
+		Latency:       LatencyMs{Count: 1000, P50Ms: 5, P99Ms: 40, P999Ms: 90},
+		Statuses:      map[string]int64{"ok": 1000},
+	}
+}
+
+// TestSLOVerdictTable drives Evaluate across the pass/fail boundaries:
+// bounds are budgets, so landing exactly on one passes and only
+// exceeding it fails.
+func TestSLOVerdictTable(t *testing.T) {
+	ratio := func(v float64) *float64 { return &v }
+	cases := []struct {
+		name     string
+		slo      *SLO
+		mutate   func(*Report)
+		pass     bool
+		mentions string
+	}{
+		{"nil SLO healthy run", nil, nil, true, ""},
+		{"nil SLO empty run", nil, func(r *Report) { r.Sent = 0; r.Latency = LatencyMs{} }, false, "no requests"},
+		{"nil SLO hung after drain", nil, func(r *Report) { r.HungAfterDrain = 2 }, false, "still in flight"},
+		{"p99 exactly on budget", &SLO{P99Ms: 40}, nil, true, ""},
+		{"p99 over budget", &SLO{P99Ms: 39.9}, nil, false, "p99"},
+		{"p50 over budget", &SLO{P50Ms: 4}, nil, false, "p50"},
+		{"p999 over budget", &SLO{P999Ms: 89}, nil, false, "p999"},
+		{"zero errors allowed, none seen", &SLO{MaxErrorRatio: ratio(0)}, nil, true, ""},
+		{"zero errors allowed, one seen", &SLO{MaxErrorRatio: ratio(0)},
+			func(r *Report) { r.Errors = 1 }, false, "error ratio"},
+		{"error ratio exactly on budget", &SLO{MaxErrorRatio: ratio(0.1)},
+			func(r *Report) { r.Errors = 100 }, true, ""},
+		{"error ratio over budget", &SLO{MaxErrorRatio: ratio(0.1)},
+			func(r *Report) { r.Errors = 101 }, false, "error ratio"},
+		{"throughput exactly on budget", &SLO{MinThroughput: 200}, nil, true, ""},
+		{"throughput under budget", &SLO{MinThroughput: 201}, nil, false, "throughput"},
+		{"empty run skips latency checks", &SLO{P99Ms: 1},
+			func(r *Report) { r.Sent = 0; r.Latency = LatencyMs{} }, false, "no requests"},
+		{"several violations listed", &SLO{P50Ms: 1, P99Ms: 1, MinThroughput: 10000}, nil, false, "p50"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := benchReport()
+			if tc.mutate != nil {
+				tc.mutate(r)
+			}
+			v := tc.slo.Evaluate(r)
+			if v.Pass != tc.pass {
+				t.Fatalf("pass = %t, want %t (violations %v)", v.Pass, tc.pass, v.Violations)
+			}
+			if v.Pass != (len(v.Violations) == 0) {
+				t.Fatalf("pass flag disagrees with violations %v", v.Violations)
+			}
+			if tc.mentions != "" && !strings.Contains(strings.Join(v.Violations, "; "), tc.mentions) {
+				t.Fatalf("violations %v do not mention %q", v.Violations, tc.mentions)
+			}
+		})
+	}
+
+	r := benchReport()
+	slo := &SLO{P50Ms: 1, P99Ms: 1, MinThroughput: 10000}
+	if v := slo.Evaluate(r); len(v.Violations) != 3 {
+		t.Fatalf("want all 3 violations listed, got %v", v.Violations)
+	}
+}

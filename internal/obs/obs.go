@@ -74,6 +74,16 @@ func (o *Observer) Histogram(name string) *Histogram {
 	return o.Metrics.Histogram(name)
 }
 
+// Timing returns the named latency histogram (no-op when o is nil).
+// Timings are timing-bearing like histograms, but log-linear and
+// quantile-capable — the instrument for p50/p99/p999 SLO reads.
+func (o *Observer) Timing(name string) *Timing {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Timing(name)
+}
+
 // Span starts a root span (no-op when o is nil).
 func (o *Observer) Span(name, kind string) *Span {
 	if o == nil {
@@ -90,6 +100,7 @@ type Document struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Timings    map[string]TimingSnapshot    `json:"timings,omitempty"`
 	Spans      []SpanDoc                    `json:"spans,omitempty"`
 }
 
@@ -104,6 +115,7 @@ func (o *Observer) Document() *Document {
 		doc.Counters = snap.Counters
 		doc.Gauges = snap.Gauges
 		doc.Histograms = snap.Histograms
+		doc.Timings = snap.Timings
 	}
 	if o.Trace != nil {
 		doc.Spans = o.Trace.Snapshot()

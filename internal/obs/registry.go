@@ -15,6 +15,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	timings  map[string]*Timing
 }
 
 // NewRegistry returns an empty registry.
@@ -23,6 +24,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		timings:  map[string]*Timing{},
 	}
 }
 
@@ -71,11 +73,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Timing returns the named latency histogram, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timings[name]
+	if t == nil {
+		t = &Timing{}
+		r.timings[name] = t
+	}
+	return t
+}
+
 // RegistrySnapshot is a point-in-time copy of every instrument.
 type RegistrySnapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+	Timings    map[string]TimingSnapshot
 }
 
 // Snapshot copies the registry's current values.
@@ -100,6 +118,12 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			snap.Histograms = map[string]HistogramSnapshot{}
 		}
 		snap.Histograms[name] = h.Snapshot()
+	}
+	for name, t := range r.timings {
+		if snap.Timings == nil {
+			snap.Timings = map[string]TimingSnapshot{}
+		}
+		snap.Timings[name] = t.Snapshot()
 	}
 	return snap
 }

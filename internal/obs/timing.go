@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Timing bucket layout: log-linear bounds spanning timingDecades
+// decades up from timingMin seconds, timingPerDecade buckets per
+// decade. At 16 buckets per decade adjacent bounds differ by a factor
+// of 10^(1/16) ≈ 1.155, so a quantile read from a bucket's geometric
+// midpoint is within ±7.5% of the true sample — fine-grained enough to
+// report a p999 honestly, coarse enough that a Timing is a fixed
+// 146-slot array with no per-sample allocation.
+const (
+	timingMin       = 1e-6 // 1µs: below any plausible request latency
+	timingDecades   = 9    // up through 1000s: beyond any request timeout
+	timingPerDecade = 16
+)
+
+// timingBounds holds the precomputed bucket upper bounds (seconds).
+var timingBounds = func() []float64 {
+	n := timingDecades * timingPerDecade
+	b := make([]float64, n+1)
+	for i := range b {
+		b[i] = timingMin * math.Pow(10, float64(i)/timingPerDecade)
+	}
+	return b
+}()
+
+// Timing is a latency histogram built for quantile reads: log-linear
+// buckets fine enough to report p50/p99/p999 with bounded relative
+// error, unlike the coarse decade buckets of Histogram (which exists to
+// sketch distributions cheaply, not to enforce latency SLOs). Like
+// every obs instrument it is timing-bearing — values vary run to run
+// and never feed stdout — safe for concurrent use, and nil-safe.
+type Timing struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // len(timingBounds)+1; last is +Inf overflow
+}
+
+// Observe records one sample in seconds. NaN and negative samples are
+// dropped.
+func (t *Timing) Observe(v float64) {
+	if t == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.buckets == nil {
+		t.buckets = make([]int64, len(timingBounds)+1)
+	}
+	if t.count == 0 || v < t.min {
+		t.min = v
+	}
+	if t.count == 0 || v > t.max {
+		t.max = v
+	}
+	t.count++
+	t.sum += v
+	t.buckets[sort.SearchFloat64s(timingBounds, v)]++
+}
+
+// Count returns how many samples were observed.
+func (t *Timing) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) in seconds: the
+// geometric midpoint of the bucket holding the q-th sample, clamped to
+// the observed min/max so degenerate distributions (all samples equal)
+// read back exactly. Returns 0 when nothing was observed.
+func (t *Timing) Quantile(q float64) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.quantileLocked(q)
+}
+
+func (t *Timing) quantileLocked(q float64) float64 {
+	if t.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return t.min
+	}
+	if q >= 1 {
+		return t.max
+	}
+	rank := int64(math.Ceil(q * float64(t.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range t.buckets {
+		cum += n
+		if cum < rank {
+			continue
+		}
+		var mid float64
+		switch {
+		case i == 0:
+			// Underflow bucket: everything at or below timingMin, so the
+			// observed min (which must be in here) is the best estimate.
+			mid = t.min
+		case i > len(timingBounds)-1:
+			// Overflow bucket: beyond the last bound; max is the only
+			// honest point estimate.
+			mid = t.max
+		default:
+			mid = math.Sqrt(timingBounds[i-1] * timingBounds[i])
+		}
+		return math.Min(math.Max(mid, t.min), t.max)
+	}
+	return t.max
+}
+
+// TimingSnapshot is the exportable state of a Timing: the summary
+// moments plus the standard latency quantiles, all in seconds.
+type TimingSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Mean returns the snapshot's average sample (0 when empty).
+func (s TimingSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot copies the timing's current state.
+func (t *Timing) Snapshot() TimingSnapshot {
+	if t == nil {
+		return TimingSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimingSnapshot{
+		Count: t.count,
+		Sum:   t.sum,
+		Min:   t.min,
+		Max:   t.max,
+		P50:   t.quantileLocked(0.50),
+		P90:   t.quantileLocked(0.90),
+		P99:   t.quantileLocked(0.99),
+		P999:  t.quantileLocked(0.999),
+	}
+}

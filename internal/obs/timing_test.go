@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTimingQuantilesKnownInputs checks the quantile math against an
+// exactly known distribution: 1000 samples at 1ms..1000ms in 1ms steps.
+// The true pXX is (XX0+1)ms-ish; the log-linear buckets guarantee the
+// estimate within one bucket width (±7.5% plus the bucket's span).
+func TestTimingQuantilesKnownInputs(t *testing.T) {
+	var tm Timing
+	for i := 1; i <= 1000; i++ {
+		tm.Observe(float64(i) / 1000) // 1ms .. 1000ms
+	}
+	if tm.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", tm.Count())
+	}
+	cases := []struct {
+		q    float64
+		want float64 // true quantile in seconds
+	}{
+		{0.50, 0.500},
+		{0.90, 0.900},
+		{0.99, 0.990},
+		{0.999, 0.999},
+	}
+	// One bucket spans a factor of 10^(1/16) ≈ 1.155; the geometric
+	// midpoint is within ±8% of any sample in the bucket.
+	const tol = 0.08
+	for _, c := range cases {
+		got := tm.Quantile(c.q)
+		if math.Abs(got-c.want)/c.want > tol {
+			t.Errorf("Quantile(%v) = %v, want %v ±%.0f%%", c.q, got, c.want, tol*100)
+		}
+	}
+	snap := tm.Snapshot()
+	if snap.Min != 0.001 || snap.Max != 1.0 {
+		t.Fatalf("min/max = %v/%v, want 0.001/1.0", snap.Min, snap.Max)
+	}
+	wantMean := 0.5005
+	if math.Abs(snap.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", snap.Mean(), wantMean)
+	}
+}
+
+// TestTimingDegenerate: constant samples must read back exactly (the
+// min/max clamp), whatever bucket they land in.
+func TestTimingDegenerate(t *testing.T) {
+	var tm Timing
+	for i := 0; i < 100; i++ {
+		tm.Observe(0.042)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := tm.Quantile(q); got != 0.042 {
+			t.Fatalf("Quantile(%v) = %v, want exactly 0.042", q, got)
+		}
+	}
+}
+
+// TestTimingEmptyAndNil: an empty timing reports zeros, and every
+// method is a no-op on nil (the package-wide contract).
+func TestTimingEmptyAndNil(t *testing.T) {
+	var tm Timing
+	if got := tm.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	if snap := tm.Snapshot(); snap.Count != 0 || snap.P999 != 0 || snap.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", snap)
+	}
+
+	var nilT *Timing
+	nilT.Observe(1)
+	if nilT.Quantile(0.5) != 0 || nilT.Count() != 0 {
+		t.Fatal("nil Timing must be a no-op")
+	}
+	if snap := nilT.Snapshot(); snap.Count != 0 {
+		t.Fatal("nil Timing snapshot must be zero")
+	}
+}
+
+// TestTimingOutOfRange: samples beyond the bucket range land in the
+// underflow/overflow buckets and still produce sane quantiles; NaN and
+// negative samples are dropped.
+func TestTimingOutOfRange(t *testing.T) {
+	var tm Timing
+	tm.Observe(1e-9) // below the 1µs floor
+	tm.Observe(5000) // above the 1000s ceiling
+	tm.Observe(math.NaN())
+	tm.Observe(-1)
+	if tm.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (NaN and negative dropped)", tm.Count())
+	}
+	if got := tm.Quantile(0.25); got != 1e-9 {
+		t.Fatalf("low quantile = %v, want the 1e-9 sample (clamped to min)", got)
+	}
+	if got := tm.Quantile(1); got != 5000 {
+		t.Fatalf("Quantile(1) = %v, want max 5000", got)
+	}
+}
+
+// TestRegistryTiming: timings are registered instruments — created on
+// first use, shared by name, snapshotted into the registry and the
+// metrics document under "timings".
+func TestRegistryTiming(t *testing.T) {
+	o := New()
+	o.Timing("req.latency").Observe(0.010)
+	o.Timing("req.latency").Observe(0.020)
+	if got := o.Timing("req.latency").Count(); got != 2 {
+		t.Fatalf("count = %d, want 2 (same instrument by name)", got)
+	}
+	snap := o.Metrics.Snapshot()
+	ts, ok := snap.Timings["req.latency"]
+	if !ok {
+		t.Fatal("registry snapshot missing the timing")
+	}
+	if ts.Count != 2 || ts.Min != 0.010 || ts.Max != 0.020 {
+		t.Fatalf("snapshot = %+v", ts)
+	}
+	doc := o.Document()
+	if _, ok := doc.Timings["req.latency"]; !ok {
+		t.Fatal("metrics document missing the timing")
+	}
+
+	var nilObs *Observer
+	if nilObs.Timing("x") != nil {
+		t.Fatal("nil observer must hand out nil timings")
+	}
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"resilience/internal/faultinject"
+)
+
+// emptyJSONBody reports a body that means "nothing": blank or "null".
+func emptyJSONBody(data []byte) bool {
+	trimmed := bytes.TrimSpace(data)
+	return len(trimmed) == 0 || bytes.Equal(trimmed, []byte("null"))
+}
+
+// Server-side chaos: the deterministic disturbance seam the resilience
+// bench points at a live daemon. An armed fault plan applies to every
+// computed run on this node — its faults strike the same engine seams a
+// request-supplied plan would, and its retries/backoff/timeout knobs
+// govern the recovery the server attempts — so "graceful degradation
+// under injected failure while serving traffic" becomes something a
+// load generator can switch on mid-run and measure from outside.
+//
+// Two deliberate asymmetries versus request-supplied plans:
+//
+//   - The chaos plan does NOT enter the cache key or the coalescing
+//     digest. Chaos is a disturbance to the serving system, not a
+//     different workload: cached entries keep serving hits untouched
+//     (they do not compute, so there is nothing to strike), herds still
+//     coalesce, and the runner's only-clean-first-attempt-results store
+//     policy keeps degraded output out of the cache.
+//   - "rng" faults are rejected at arm time. An rng fault perturbs
+//     result bytes while leaving the attempt "clean", which under the
+//     no-rekey rule above would let silently-corrupted results into the
+//     cache under the clean key — exactly the failure the content-
+//     addressed store exists to prevent. Server-side chaos covers
+//     crash/error/latency faults; silent corruption stays a client-side
+//     (request-plan) experiment, where it is keyed honestly.
+//
+// A request that carries its own plan is left alone: the client asked
+// for a specific faulted run, and that contract (including its cache
+// key) wins over ambient chaos.
+
+// maxChaosBodyBytes bounds an arm request; matches run requests.
+const maxChaosBodyBytes = maxBodyBytes
+
+// SetChaos arms plan as the server's ambient fault plan (nil disarms).
+// Plans containing "rng" faults are rejected — see the package note on
+// silent corruption.
+func (s *Server) SetChaos(plan *faultinject.Plan) error {
+	if plan != nil {
+		for i, f := range plan.Faults {
+			if f.Kind == faultinject.KindRNG {
+				return fmt.Errorf("chaos plan fault %d: kind %q cannot be armed server-side "+
+					"(it would corrupt results stored under a clean cache key); use panic/error/delay", i, f.Kind)
+			}
+		}
+		plan.SetObserver(s.obs)
+	}
+	s.chaos.Store(&chaosState{plan: plan})
+	s.obs.Counter("server.chaos.updates").Inc()
+	armed := 0.0
+	if plan != nil {
+		armed = 1
+	}
+	s.obs.Gauge("server.chaos.armed").Set(armed)
+	return nil
+}
+
+// Chaos returns the currently armed plan, or nil.
+func (s *Server) Chaos() *faultinject.Plan {
+	if st := s.chaos.Load(); st != nil {
+		return st.plan
+	}
+	return nil
+}
+
+// chaosState wraps the plan so an atomic.Pointer can distinguish
+// "never set" from "armed nil" without a typed-nil footgun.
+type chaosState struct {
+	plan *faultinject.Plan
+}
+
+// chaosStatus is the GET /v1/chaos document.
+type chaosStatus struct {
+	Armed  bool   `json:"armed"`
+	Name   string `json:"name,omitempty"`
+	Faults int    `json:"faults,omitempty"`
+}
+
+// handleChaosGet reports whether a chaos plan is armed, so a load
+// generator can verify its strike landed before measuring under it.
+func (s *Server) handleChaosGet(w http.ResponseWriter, r *http.Request) {
+	st := chaosStatus{}
+	if plan := s.Chaos(); plan != nil {
+		st.Armed = true
+		st.Name = plan.Name
+		st.Faults = len(plan.Faults)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeIndentedJSON(w, st)
+}
+
+// handleChaosPost arms the fault plan in the request body, or disarms
+// when the body is empty or "null". The plan is validated exactly like
+// a request-supplied one (strict fields, coherent faults), plus the
+// no-rng rule.
+func (s *Server) handleChaosPost(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxChaosBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "read request body: "+err.Error())
+		return
+	}
+	if len(data) > maxChaosBodyBytes {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("request body exceeds %d bytes", maxChaosBodyBytes))
+		return
+	}
+	var plan *faultinject.Plan
+	if !emptyJSONBody(data) {
+		plan, err = faultinject.Parse(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_plan", err.Error())
+			return
+		}
+	}
+	if err := s.SetChaos(plan); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_plan", err.Error())
+		return
+	}
+	st := chaosStatus{}
+	if plan != nil {
+		st.Armed = true
+		st.Name = plan.Name
+		st.Faults = len(plan.Faults)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeIndentedJSON(w, st)
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestChaosArmDisarm pins the /v1/chaos wire contract: unarmed by
+// default, armed by POSTing a fault plan, reported by GET, cleared by
+// POSTing an empty body, with the armed gauge tracking.
+func TestChaosArmDisarm(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+
+	code, _, body := get(t, ts.URL+"/v1/chaos")
+	if code != 200 || body != "{\n  \"armed\": false\n}\n" {
+		t.Fatalf("initial GET /v1/chaos = %d %q", code, body)
+	}
+
+	plan := `{"name":"stall","retries":1,"faults":[{"experiment":"*","seam":"body","kind":"delay","delayMs":1}]}`
+	code, _, body = post(t, ts.URL+"/v1/chaos", plan)
+	if code != 200 {
+		t.Fatalf("arm = %d: %s", code, body)
+	}
+	if got := o.Gauge("server.chaos.armed").Value(); got != 1 {
+		t.Fatalf("server.chaos.armed = %v, want 1", got)
+	}
+	code, _, body = get(t, ts.URL+"/v1/chaos")
+	if code != 200 || body != "{\n  \"armed\": true,\n  \"name\": \"stall\",\n  \"faults\": 1\n}\n" {
+		t.Fatalf("armed GET /v1/chaos = %d %q", code, body)
+	}
+
+	code, _, body = post(t, ts.URL+"/v1/chaos", "")
+	if code != 200 {
+		t.Fatalf("disarm = %d: %s", code, body)
+	}
+	if got := o.Gauge("server.chaos.armed").Value(); got != 0 {
+		t.Fatalf("server.chaos.armed after disarm = %v, want 0", got)
+	}
+	if updates := o.Counter("server.chaos.updates").Value(); updates != 2 {
+		t.Fatalf("server.chaos.updates = %d, want 2", updates)
+	}
+}
+
+// TestChaosRejectsBadPlans: malformed plans and rng faults (silent
+// corruption under a clean cache key) must not arm.
+func TestChaosRejectsBadPlans(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"malformed": `{"faults":[{"kind":"nope"}]}`,
+		"rng":       `{"faults":[{"experiment":"*","kind":"rng","skips":3}]}`,
+		"unknown":   `{"surprise":true}`,
+	} {
+		code, _, resp := post(t, ts.URL+"/v1/chaos", body)
+		if code != 400 {
+			t.Errorf("%s plan armed with status %d: %s", name, code, resp)
+		}
+		if eb := decodeErrorBody(t, resp); eb.Error.Code != "bad_plan" {
+			t.Errorf("%s plan error code %q, want bad_plan", name, eb.Error.Code)
+		}
+	}
+	if s.Chaos() != nil {
+		t.Fatal("a rejected plan must leave the seam unarmed")
+	}
+}
+
+// TestChaosDisturbsComputedRuns is the seam's core behaviour: with an
+// error-then-recover plan armed, a plain request (no plan of its own)
+// degrades and recovers — 200 with the annotation in the body and the
+// attempt count in the header — and the degraded result is NOT stored,
+// so the cache never serves chaos-tainted bytes under the clean key.
+func TestChaosDisturbsComputedRuns(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+	plan := `{"retries":1,"faults":[{"experiment":"*","seam":"body","kind":"error","attempt":1}]}`
+	if code, _, body := post(t, ts.URL+"/v1/chaos", plan); code != 200 {
+		t.Fatalf("arm = %d: %s", code, body)
+	}
+
+	code, hdr, body := post(t, ts.URL+"/v1/run/t01", `{"seed":7}`)
+	if code != 200 {
+		t.Fatalf("chaos run = %d, want 200 (degraded but recovered): %s", code, body)
+	}
+	if got := hdr.Get(statusHeader); got != "ok (degraded, 2 attempts)" {
+		t.Fatalf("status %q, want ok (degraded, 2 attempts)", got)
+	}
+	if stores := o.Metrics.Counter("rescache.stores").Value(); stores != 0 {
+		t.Fatalf("rescache.stores = %d, want 0 (degraded results are never stored)", stores)
+	}
+	if strikes := o.Metrics.Counter("faultinject.strikes").Value(); strikes != 1 {
+		t.Fatalf("faultinject.strikes = %d, want 1", strikes)
+	}
+
+	// Disarm; the same request now computes clean and stores.
+	post(t, ts.URL+"/v1/chaos", "null")
+	code, hdr, _ = post(t, ts.URL+"/v1/run/t01", `{"seed":7}`)
+	if code != 200 || hdr.Get(statusHeader) != "ok" {
+		t.Fatalf("post-chaos run = %d %q, want 200 ok", code, hdr.Get(statusHeader))
+	}
+	if stores := o.Metrics.Counter("rescache.stores").Value(); stores != 1 {
+		t.Fatalf("rescache.stores = %d, want 1 after disarm", stores)
+	}
+}
+
+// TestChaosLeavesCacheHitsAlone: an entry cached before the strike
+// keeps serving while an unrecoverable plan is armed — cached reads do
+// not compute, so there is nothing to strike; this is the tiered
+// cache's contribution to riding out a disturbance.
+func TestChaosLeavesCacheHitsAlone(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	if code, _, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":9}`); code != 200 {
+		t.Fatal("priming run failed")
+	}
+	// Error on every attempt, no retries: any computation now fails.
+	plan := `{"faults":[{"experiment":"*","seam":"body","kind":"error"}]}`
+	if code, _, body := post(t, ts.URL+"/v1/chaos", plan); code != 200 {
+		t.Fatalf("arm = %d: %s", code, body)
+	}
+
+	code, hdr, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":9}`)
+	if code != 200 || hdr.Get(statusHeader) != "ok (cached fs)" {
+		t.Fatalf("cached run under chaos = %d %q, want 200 ok (cached fs)", code, hdr.Get(statusHeader))
+	}
+
+	// An uncached seed under the same plan genuinely fails: 500 with the
+	// structured envelope — the disturbance is real, only the cache and
+	// recovery machinery soften it.
+	code, _, body := post(t, ts.URL+"/v1/run/t01", `{"seed":10}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("uncached run under unrecoverable chaos = %d, want 500: %s", code, body)
+	}
+	if eb := decodeErrorBody(t, body); eb.Error.Code != "experiment_failed" {
+		t.Fatalf("error code %q, want experiment_failed", eb.Error.Code)
+	}
+}
+
+// TestChaosRequestPlanWins: a request carrying its own fault plan is
+// exempt from ambient chaos — the client asked for a specific faulted
+// run, keyed honestly under that plan's hash.
+func TestChaosRequestPlanWins(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+	// Ambient chaos would fail every attempt...
+	chaos := `{"faults":[{"experiment":"*","seam":"body","kind":"error"}]}`
+	if code, _, body := post(t, ts.URL+"/v1/chaos", chaos); code != 200 {
+		t.Fatalf("arm = %d: %s", code, body)
+	}
+	// ...but the request's own (benign) plan takes precedence.
+	code, hdr, body := post(t, ts.URL+"/v1/run/t01",
+		`{"seed":3,"plan":{"retries":0,"faults":[]}}`)
+	if code != 200 || hdr.Get(statusHeader) != "ok" {
+		t.Fatalf("own-plan run under chaos = %d %q: %s", code, hdr.Get(statusHeader), body)
+	}
+	if strikes := o.Metrics.Counter("faultinject.strikes").Value(); strikes != 0 {
+		t.Fatalf("faultinject.strikes = %d, want 0 (chaos must not touch own-plan runs)", strikes)
+	}
+}

@@ -1,10 +1,14 @@
-package server
+// Cluster behaviour tests, written against the public surface (package
+// server_test) on top of internal/servertest — the fleet boot that used
+// to be hand-rolled here (a lazy-handler shim so the ring could know
+// every member's URL before any member's server existed) now lives in
+// servertest.BootFleet for every suite to share.
+package server_test
 
 import (
 	"encoding/json"
 	"io"
 	"net/http"
-	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,60 +16,41 @@ import (
 	"testing"
 	"time"
 
-	"resilience/internal/cluster"
 	"resilience/internal/experiments"
-	"resilience/internal/obs"
 	"resilience/internal/rescache"
-	"resilience/internal/rescache/fsstore"
 	"resilience/internal/runner"
+	"resilience/internal/servertest"
 )
 
-// lateHandler lets a httptest server start (and pick its URL) before the
-// Server that will answer on it exists — the ring needs every member's
-// URL up front, but each member's URL is only known after its listener
-// starts.
-type lateHandler struct {
-	mu sync.Mutex
-	h  http.Handler
-}
+// Wire constants pinned by these black-box tests; they must match the
+// values internal/server serves (drift here is an API break).
+const (
+	statusHeaderName  = "X-Resilience-Status"
+	proxiedHeaderName = "X-Resilience-Proxied"
+	tierHeaderName    = "X-Resilience-Tier"
+	maxCacheEntry     = 32 << 20
+)
 
-func (l *lateHandler) set(h http.Handler) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.h = h
-}
-
-func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	l.mu.Lock()
-	h := l.h
-	l.mu.Unlock()
-	if h == nil {
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
-		return
+func clusterFake(id string, run experiments.Runner) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true, Run: run,
 	}
-	h.ServeHTTP(w, r)
 }
 
-// newClusterNode builds one fleet member: its own observer, its own
-// filesystem cache tier, and the shared ring.
-func newClusterNode(t *testing.T, reg []experiments.Experiment, self string, ring *cluster.Ring) (*Server, *obs.Observer) {
+func clusterNoop(rec *experiments.Recorder, cfg experiments.Config) error {
+	rec.Notef("seed %d quick %t", cfg.Seed, cfg.Quick)
+	return nil
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, http.Header, string) {
 	t.Helper()
-	o := obs.New()
-	st, err := fsstore.Open(t.TempDir())
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache := rescache.New(st)
-	cache.SetObserver(o)
-	s := New(Config{Registry: reg, Obs: o, Cache: cache, Ring: ring, Self: self})
-	return s, o
-}
-
-func put(t *testing.T, url, body string) (int, http.Header, string) {
-	t.Helper()
-	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -79,28 +64,46 @@ func put(t *testing.T, url, body string) (int, http.Header, string) {
 	return resp.StatusCode, resp.Header, string(data)
 }
 
+// errEnvelope mirrors the server's error body shape for black-box
+// assertions.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, body string) errEnvelope {
+	t.Helper()
+	var eb errEnvelope
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("response is not a JSON error envelope: %v\n%s", err, body)
+	}
+	return eb
+}
+
 // TestCachePeerProtocol pins the /v1/cache wire contract the peerstore
 // tier speaks: GET misses are 404, PUT stores into the node's local
 // tiers, and a stored entry reads back byte-identical with its tier
 // named in the response header.
 func TestCachePeerProtocol(t *testing.T) {
-	_, ts, _ := newTestServer(t, Config{})
+	n := servertest.Boot(t, servertest.WithRegistry(clusterFake("t01", clusterNoop)))
 	d := (rescache.Key{ID: "e01", Seed: 7}).Digest()
 
-	if code, _, body := get(t, ts.URL+"/v1/cache/"+d); code != 404 {
+	if code, _, body := httpDo(t, "GET", n.URL+"/v1/cache/"+d, ""); code != 404 {
 		t.Fatalf("missing entry GET = %d %s, want 404", code, body)
-	} else if eb := decodeErrorBody(t, body); eb.Error.Code != "not_found" {
+	} else if eb := decodeEnvelope(t, body); eb.Error.Code != "not_found" {
 		t.Fatalf("missing entry error code %q", eb.Error.Code)
 	}
-	if code, _, body := put(t, ts.URL+"/v1/cache/"+d, "opaque entry bytes"); code != 204 {
+	if code, _, body := httpDo(t, "PUT", n.URL+"/v1/cache/"+d, "opaque entry bytes"); code != 204 {
 		t.Fatalf("PUT = %d %s, want 204", code, body)
 	}
-	code, hdr, body := get(t, ts.URL+"/v1/cache/"+d)
+	code, hdr, body := httpDo(t, "GET", n.URL+"/v1/cache/"+d, "")
 	if code != 200 || body != "opaque entry bytes" {
 		t.Fatalf("GET after PUT = %d %q", code, body)
 	}
-	if got := hdr.Get(tierHeader); got != "fs" {
-		t.Fatalf("%s = %q, want fs", tierHeader, got)
+	if got := hdr.Get(tierHeaderName); got != "fs" {
+		t.Fatalf("%s = %q, want fs", tierHeaderName, got)
 	}
 	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
 		t.Fatalf("Content-Type %q", ct)
@@ -108,47 +111,51 @@ func TestCachePeerProtocol(t *testing.T) {
 }
 
 func TestCachePeerProtocolRejectsBadRequests(t *testing.T) {
-	_, ts, _ := newTestServer(t, Config{})
+	n := servertest.Boot(t, servertest.WithRegistry(clusterFake("t01", clusterNoop)))
 	for _, bad := range []string{"short", strings.Repeat("Z", 64)} {
-		if code, _, body := get(t, ts.URL+"/v1/cache/"+bad); code != 400 {
+		if code, _, body := httpDo(t, "GET", n.URL+"/v1/cache/"+bad, ""); code != 400 {
 			t.Errorf("GET bad digest %q = %d, want 400", bad, code)
-		} else if eb := decodeErrorBody(t, body); eb.Error.Code != "bad_digest" {
+		} else if eb := decodeEnvelope(t, body); eb.Error.Code != "bad_digest" {
 			t.Errorf("GET bad digest error code %q", eb.Error.Code)
 		}
-		if code, _, _ := put(t, ts.URL+"/v1/cache/"+bad, "x"); code != 400 {
+		if code, _, _ := httpDo(t, "PUT", n.URL+"/v1/cache/"+bad, "x"); code != 400 {
 			t.Errorf("PUT bad digest %q = %d, want 400", bad, code)
 		}
 	}
 	d := (rescache.Key{ID: "e01"}).Digest()
-	big := strings.Repeat("x", maxCacheEntryBytes+1)
-	if code, _, body := put(t, ts.URL+"/v1/cache/"+d, big); code != http.StatusRequestEntityTooLarge {
+	big := strings.Repeat("x", maxCacheEntry+1)
+	if code, _, body := httpDo(t, "PUT", n.URL+"/v1/cache/"+d, big); code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized PUT = %d %s, want 413", code, body)
-	} else if eb := decodeErrorBody(t, body); eb.Error.Code != "too_large" {
+	} else if eb := decodeEnvelope(t, body); eb.Error.Code != "too_large" {
 		t.Fatalf("oversized PUT error code %q", eb.Error.Code)
 	}
+}
+
+// clusterDoc mirrors the GET /v1/cluster document for decoding.
+type clusterDoc struct {
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Draining bool     `json:"draining"`
+	Health   string   `json:"health"`
+	Owner    string   `json:"owner"`
 }
 
 // TestClusterStatusDocument checks one node's fleet view: membership,
 // health, and digest-ownership debugging.
 func TestClusterStatusDocument(t *testing.T) {
-	lh := &lateHandler{}
-	ts := httptest.NewServer(lh)
-	t.Cleanup(ts.Close)
-	ring := cluster.New([]string{ts.URL, "http://peer.invalid:9"}, 0)
-	reg := []experiments.Experiment{fakeExp("t01", noop)}
-	s, _ := newClusterNode(t, reg, ts.URL, ring)
-	lh.set(s.Handler())
+	nodes := servertest.BootFleet(t, 2, servertest.WithRegistry(clusterFake("t01", clusterNoop)))
+	n := nodes[0]
 
-	code, _, body := get(t, ts.URL+"/v1/cluster")
+	code, _, body := httpDo(t, "GET", n.URL+"/v1/cluster", "")
 	if code != 200 {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	var st clusterStatus
+	var st clusterDoc
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatalf("cluster document is not JSON: %v\n%s", err, body)
 	}
-	if st.Self != ts.URL {
-		t.Fatalf("self = %q, want %q", st.Self, ts.URL)
+	if st.Self != n.URL {
+		t.Fatalf("self = %q, want %q", st.Self, n.URL)
 	}
 	if len(st.Members) != 2 {
 		t.Fatalf("members = %v, want both ring members", st.Members)
@@ -161,14 +168,14 @@ func TestClusterStatusDocument(t *testing.T) {
 	}
 
 	d := (rescache.Key{ID: "e01"}).Digest()
-	_, _, body = get(t, ts.URL+"/v1/cluster?digest="+d)
+	_, _, body = httpDo(t, "GET", n.URL+"/v1/cluster?digest="+d, "")
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Owner != ring.Owner(d) {
-		t.Fatalf("owner = %q, want ring's %q", st.Owner, ring.Owner(d))
+	if st.Owner != n.Ring.Owner(d) {
+		t.Fatalf("owner = %q, want ring's %q", st.Owner, n.Ring.Owner(d))
 	}
-	if code, _, _ := get(t, ts.URL+"/v1/cluster?digest=nope"); code != 400 {
+	if code, _, _ := httpDo(t, "GET", n.URL+"/v1/cluster?digest=nope", ""); code != 400 {
 		t.Fatalf("bad ?digest status %d, want 400", code)
 	}
 }
@@ -179,28 +186,19 @@ func TestClusterStatusDocument(t *testing.T) {
 // every response byte-identical and the non-owner's answered by proxy.
 func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
 	var calls atomic.Int64
-	exp := fakeExp("t01", func(rec *experiments.Recorder, cfg experiments.Config) error {
+	exp := clusterFake("t01", func(rec *experiments.Recorder, cfg experiments.Config) error {
 		calls.Add(1)
 		time.Sleep(30 * time.Millisecond) // hold the flight open so herds pile up
 		rec.Notef("computed once")
 		return nil
 	})
-	reg := []experiments.Experiment{exp}
+	nodes := servertest.BootFleet(t, 2, servertest.WithRegistry(exp))
 
-	lhA, lhB := &lateHandler{}, &lateHandler{}
-	tsA, tsB := httptest.NewServer(lhA), httptest.NewServer(lhB)
-	t.Cleanup(tsA.Close)
-	t.Cleanup(tsB.Close)
-	ring := cluster.New([]string{tsA.URL, tsB.URL}, 0)
-	sA, oA := newClusterNode(t, reg, tsA.URL, ring)
-	sB, oB := newClusterNode(t, reg, tsB.URL, ring)
-	lhA.set(sA.Handler())
-	lhB.set(sB.Handler())
-
-	p := runParams{Seed: 7}
-	digest := runner.CacheKey(sA.options(p), exp).Digest()
-	owner := ring.Owner(digest)
-	if owner != tsA.URL && owner != tsB.URL {
+	// The coalescing digest is the cache key's: derived seed, quick
+	// flag, no plan — computable from the outside via runner.CacheKey.
+	digest := runner.CacheKey(runner.Options{Seed: 7}, exp).Digest()
+	owner := nodes[0].Ring.Owner(digest)
+	if owner != nodes[0].URL && owner != nodes[1].URL {
 		t.Fatalf("ring owner %q is not a member", owner)
 	}
 
@@ -212,7 +210,7 @@ func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
 	}
 	replies := make(chan reply, 2*per)
 	var wg sync.WaitGroup
-	for _, u := range []string{tsA.URL, tsB.URL} {
+	for _, n := range nodes {
 		for i := 0; i < per; i++ {
 			wg.Add(1)
 			go func(u string) {
@@ -224,8 +222,8 @@ func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
 				}
 				defer resp.Body.Close()
 				body, _ := io.ReadAll(resp.Body)
-				replies <- reply{resp.StatusCode, string(body), resp.Header.Get(proxiedHeader)}
-			}(u)
+				replies <- reply{resp.StatusCode, string(body), resp.Header.Get(proxiedHeaderName)}
+			}(n.URL)
 		}
 	}
 	wg.Wait()
@@ -234,10 +232,10 @@ func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("fleet computed %d times, want exactly 1", calls.Load())
 	}
-	storesA := oA.Metrics.Counter("rescache.stores").Value()
-	storesB := oB.Metrics.Counter("rescache.stores").Value()
-	if storesA+storesB != 1 {
-		t.Fatalf("fleet stored %d entries (%d + %d), want exactly 1", storesA+storesB, storesA, storesB)
+	stores := nodes[0].Obs.Metrics.Counter("rescache.stores").Value() +
+		nodes[1].Obs.Metrics.Counter("rescache.stores").Value()
+	if stores != 1 {
+		t.Fatalf("fleet stored %d entries, want exactly 1", stores)
 	}
 
 	var first string
@@ -267,40 +265,35 @@ func TestTwoNodeHerdComputesOnceFleetWide(t *testing.T) {
 // unreachable, the non-owner computes locally — a degraded fleet slows
 // down, it never turns membership changes into 5xxs.
 func TestDeadOwnerFallsBackToLocalCompute(t *testing.T) {
-	reg := []experiments.Experiment{fakeExp("t01", noop)}
-	lh := &lateHandler{}
-	ts := httptest.NewServer(lh)
-	t.Cleanup(ts.Close)
-	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
-	dead.Close() // the peer is in the ring but refuses connections
-
-	ring := cluster.New([]string{ts.URL, dead.URL}, 0)
-	s, o := newClusterNode(t, reg, ts.URL, ring)
-	lh.set(s.Handler())
+	exp := clusterFake("t01", clusterNoop)
+	nodes := servertest.BootFleet(t, 2, servertest.WithRegistry(exp))
+	survivor, victim := nodes[0], nodes[1]
+	victim.Kill()
 
 	// Find a seed whose digest the dead peer owns, so the request must
 	// try (and fail) to proxy.
 	var seed uint64
 	for seed = 1; ; seed++ {
-		d := runner.CacheKey(s.options(runParams{Seed: seed}), reg[0]).Digest()
-		if _, remote := s.owner(d); remote {
+		d := runner.CacheKey(runner.Options{Seed: seed}, exp).Digest()
+		if survivor.Ring.Owner(d) == victim.URL {
 			break
 		}
 	}
-	code, hdr, body := post(t, ts.URL+"/v1/run/t01", `{"seed":`+strconv.FormatUint(seed, 10)+`}`)
+	code, hdr, body := httpDo(t, "POST", survivor.URL+"/v1/run/t01",
+		`{"seed":`+strconv.FormatUint(seed, 10)+`}`)
 	if code != 200 {
 		t.Fatalf("dead-owner run = %d, want 200: %s", code, body)
 	}
-	if got := hdr.Get(statusHeader); got != "ok" {
+	if got := hdr.Get(statusHeaderName); got != "ok" {
 		t.Fatalf("status %q, want ok (a local compute)", got)
 	}
-	if got := hdr.Get(proxiedHeader); got != "" {
-		t.Fatalf("%s = %q, want unset", proxiedHeader, got)
+	if got := hdr.Get(proxiedHeaderName); got != "" {
+		t.Fatalf("%s = %q, want unset", proxiedHeaderName, got)
 	}
-	if n := o.Metrics.Counter("server.proxy.errors").Value(); n < 1 {
+	if n := survivor.Obs.Metrics.Counter("server.proxy.errors").Value(); n < 1 {
 		t.Fatalf("server.proxy.errors = %d, want >= 1", n)
 	}
-	if n := o.Metrics.Counter("server.proxied").Value(); n != 0 {
+	if n := survivor.Obs.Metrics.Counter("server.proxied").Value(); n != 0 {
 		t.Fatalf("server.proxied = %d, want 0", n)
 	}
 }

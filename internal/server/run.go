@@ -109,6 +109,12 @@ func decodeRunRequest(body io.Reader) (runParams, error) {
 // The per-attempt timeout is the plan's when set, else the request
 // budget, so a run that ignores its cancel signal cannot outlive the
 // request that asked for it.
+//
+// A request without its own plan runs under the server's armed chaos
+// plan, when there is one (see chaos.go): its faults, retries, backoff
+// and timeout apply to the computation, but the cache key and the
+// coalescing digest stay those of the clean run — chaos disturbs the
+// serving system, it does not define a new workload.
 func (s *Server) options(p runParams) runner.Options {
 	opts := runner.Options{
 		Jobs:  1,
@@ -117,13 +123,24 @@ func (s *Server) options(p runParams) runner.Options {
 		Obs:   s.obs,
 		Cache: s.cache,
 	}
-	if p.Plan != nil {
+	switch {
+	case p.Plan != nil:
 		p.Plan.SetObserver(s.obs)
 		opts.Hooks = p.Plan.HookFor
 		opts.Retries = p.Plan.Retries
 		opts.Backoff = p.Plan.Backoff()
 		opts.Timeout = p.Plan.Timeout()
 		opts.PlanHash = p.Plan.Hash()
+	default:
+		if chaos := s.Chaos(); chaos != nil {
+			opts.Hooks = chaos.HookFor
+			opts.Retries = chaos.Retries
+			opts.Backoff = chaos.Backoff()
+			opts.Timeout = chaos.Timeout()
+			// No PlanHash on purpose: cached clean entries keep serving,
+			// and only-clean-first-attempt stores keep degraded results
+			// out of the cache.
+		}
 	}
 	if opts.Timeout <= 0 && s.timeout > 0 {
 		opts.Timeout = s.timeout

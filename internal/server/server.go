@@ -29,6 +29,8 @@
 //	GET  /v1/cache/{digest} peer cache protocol: local entry bytes or 404
 //	PUT  /v1/cache/{digest} peer cache protocol: store entry bytes
 //	GET  /v1/cluster       fleet status: ring, tier stats, cache health
+//	GET  /v1/chaos         chaos seam status: is a fault plan armed?
+//	POST /v1/chaos         arm (or clear) a server-side fault plan; see chaos.go
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining) + cache health
 //	GET  /metrics          obs metrics document (resilience-metrics/1)
@@ -127,6 +129,7 @@ type Server struct {
 	handler  http.Handler
 	httpSrv  *http.Server
 	draining atomic.Bool
+	chaos    atomic.Pointer[chaosState]
 }
 
 // New builds a Server from cfg. The returned server is immediately
@@ -173,7 +176,9 @@ func New(cfg Config) *Server {
 	o.Counter("server.coalesced")
 	o.Counter("server.proxied")
 	o.Counter("server.proxy.errors")
+	o.Counter("server.chaos.updates")
 	o.Gauge("server.inflight")
+	o.Gauge("server.chaos.armed")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -185,6 +190,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/cache/{digest}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{digest}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("GET /v1/chaos", s.handleChaosGet)
+	mux.HandleFunc("POST /v1/chaos", s.handleChaosPost)
 	s.handler = s.instrument(mux)
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,

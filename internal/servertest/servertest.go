@@ -1,0 +1,256 @@
+// Package servertest boots in-process resilience serve daemons for
+// tests: a single node or a small consistent-hash fleet, wired exactly
+// like `resilience serve` (tiered cache, observer, ring, peer store),
+// listening on ephemeral ports, readiness-checked before the test runs,
+// and drained on cleanup. It replaces the hand-rolled boot code that
+// used to be copied between the CLI serve tests, the server cluster
+// tests, and the load-generator end-to-end battery.
+package servertest
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"resilience/internal/cluster"
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/fsstore"
+	"resilience/internal/rescache/memstore"
+	"resilience/internal/rescache/peerstore"
+	"resilience/internal/server"
+)
+
+// Node is one booted daemon: its base URL, the live server and observer
+// for white-box assertions, and the cache directory its filesystem tier
+// writes to (handy for corruption tests).
+type Node struct {
+	URL      string
+	Server   *server.Server
+	Obs      *obs.Observer
+	Ring     *cluster.Ring
+	CacheDir string
+
+	tb       testing.TB
+	listener net.Listener
+	serveErr chan error
+	stopped  bool
+}
+
+// config collects the Boot options.
+type config struct {
+	registry       []experiments.Experiment
+	memEntries     int
+	maxInflight    int
+	requestTimeout time.Duration
+	noCache        bool
+}
+
+// Option customizes a booted node (every node of a fleet gets the same
+// options).
+type Option func(*config)
+
+// WithRegistry serves the given experiments instead of the full
+// registry — the usual choice for tests that want fast fake bodies.
+func WithRegistry(reg ...experiments.Experiment) Option {
+	return func(c *config) { c.registry = reg }
+}
+
+// WithMemEntries stacks a bounded in-memory LRU tier of n entries over
+// the filesystem tier (off by default, so cache-tier assertions see
+// "fs" unless a test opts in).
+func WithMemEntries(n int) Option {
+	return func(c *config) { c.memEntries = n }
+}
+
+// WithMaxInflight bounds the node's worker pool.
+func WithMaxInflight(n int) Option {
+	return func(c *config) { c.maxInflight = n }
+}
+
+// WithRequestTimeout bounds one request end to end.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.requestTimeout = d }
+}
+
+// WithoutCache boots the node cacheless (requests still coalesce).
+func WithoutCache() Option {
+	return func(c *config) { c.noCache = true }
+}
+
+// Boot starts a single-node daemon on an ephemeral port, waits for
+// /readyz, and registers a drained shutdown on test cleanup.
+func Boot(tb testing.TB, opts ...Option) *Node {
+	tb.Helper()
+	nodes := boot(tb, 1, opts)
+	return nodes[0]
+}
+
+// BootFleet starts n daemons joined into one consistent-hash ring (each
+// node advertising its real URL, with a peer cache tier over the other
+// members), waits for every /readyz, and registers shutdown on test
+// cleanup. It exists because a ring needs every member's URL before any
+// member's server can be built — the chicken-and-egg every hand-rolled
+// fleet test solved with its own lazy-handler shim.
+func BootFleet(tb testing.TB, n int, opts ...Option) []*Node {
+	tb.Helper()
+	if n < 2 {
+		tb.Fatalf("servertest: a fleet needs at least 2 nodes, got %d", n)
+	}
+	return boot(tb, n, opts)
+}
+
+func boot(tb testing.TB, n int, opts []Option) []*Node {
+	tb.Helper()
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	// Listen first: the ring wants every member's URL up front, and a
+	// bound listener pins the ephemeral port before any server exists.
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("servertest: listen: %v", err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	var ring *cluster.Ring
+	if n > 1 {
+		ring = cluster.New(urls, 0)
+	}
+
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = bootNode(tb, cfg, listeners[i], urls[i], ring)
+	}
+	for _, node := range nodes {
+		waitReady(tb, node.URL)
+	}
+	return nodes
+}
+
+// bootNode assembles one node the way cmd/resilience's serve() does:
+// mem-over-fs local tiers served to the fleet, a peer tier joining only
+// the node's own read path, and the server draining on cleanup.
+func bootNode(tb testing.TB, cfg config, l net.Listener, self string, ring *cluster.Ring) *Node {
+	tb.Helper()
+	o := obs.New()
+	o.Trace.SetLimit(4096)
+
+	node := &Node{URL: self, Obs: o, Ring: ring, tb: tb, listener: l, serveErr: make(chan error, 1)}
+	var local, mem, fs rescache.Store
+	if !cfg.noCache {
+		if cfg.memEntries > 0 {
+			m, err := memstore.New(cfg.memEntries, 0)
+			if err != nil {
+				tb.Fatalf("servertest: memstore: %v", err)
+			}
+			mem = m
+		}
+		node.CacheDir = tb.TempDir()
+		f, err := fsstore.Open(node.CacheDir)
+		if err != nil {
+			tb.Fatalf("servertest: fsstore: %v", err)
+		}
+		fs = f
+		local = rescache.Tiered(mem, fs)
+	}
+	var peer rescache.Store
+	if ring != nil && !cfg.noCache {
+		peer = peerstore.New(func(digest string) (string, bool) {
+			owner := ring.Owner(digest)
+			return owner, owner != "" && owner != self
+		}, nil)
+	}
+	var cache *rescache.Cache
+	if !cfg.noCache {
+		cache = rescache.New(rescache.Tiered(mem, fs, peer))
+		cache.SetObserver(o)
+	}
+	node.Server = server.New(server.Config{
+		Registry:       cfg.registry,
+		Cache:          cache,
+		Local:          local,
+		Ring:           ring,
+		Self:           self,
+		Obs:            o,
+		MaxInflight:    cfg.maxInflight,
+		RequestTimeout: cfg.requestTimeout,
+	})
+	go func() { node.serveErr <- node.Server.Serve(l) }()
+	tb.Cleanup(node.stop)
+	return node
+}
+
+// waitReady polls /readyz until the node answers 200.
+func waitReady(tb testing.TB, url string) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("servertest: %s never became ready (last error: %v)", url, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Shutdown drains the node gracefully and waits for Serve to return.
+// It is what cleanup runs; tests call it early to exercise drains.
+func (n *Node) Shutdown() {
+	n.tb.Helper()
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := n.Server.Shutdown(ctx); err != nil {
+		n.tb.Errorf("servertest: shutdown %s: %v", n.URL, err)
+	}
+	if err := <-n.serveErr; err != nil && err != http.ErrServerClosed {
+		n.tb.Errorf("servertest: serve %s: %v", n.URL, err)
+	}
+}
+
+// Kill stops the node abruptly — no drain, listener torn down — the
+// fleet-test analogue of kill -9 on a ring member. The node stops
+// answering; its Serve error is swallowed.
+func (n *Node) Kill() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	n.listener.Close()
+	go func() {
+		// Serve returns with the listener error; unblock the channel so
+		// nothing leaks, and also stop keep-alive connections answering.
+		<-n.serveErr
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	n.Server.Shutdown(ctx) //nolint:errcheck // best-effort teardown of live conns
+}
+
+// stop is the cleanup hook: a graceful Shutdown unless the test already
+// stopped the node itself.
+func (n *Node) stop() {
+	if n.stopped {
+		return
+	}
+	n.Shutdown()
+}

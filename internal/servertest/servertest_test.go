@@ -1,0 +1,76 @@
+package servertest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"resilience/internal/experiments"
+)
+
+func fake(id string) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true,
+		Run: func(rec *experiments.Recorder, cfg experiments.Config) error {
+			rec.Notef("seed %d", cfg.Seed)
+			return nil
+		},
+	}
+}
+
+// TestBootSingleNode: Boot returns a ready daemon that serves runs and
+// metrics, with the observer visible for white-box assertions.
+func TestBootSingleNode(t *testing.T) {
+	n := Boot(t, WithRegistry(fake("t01")))
+	resp, err := http.Post(n.URL+"/v1/run/t01", "application/json", strings.NewReader(`{"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	if got := n.Obs.Metrics.Counter("runner.attempts").Value(); got != 1 {
+		t.Fatalf("runner.attempts = %d, want 1", got)
+	}
+	if n.CacheDir == "" {
+		t.Fatal("node should expose its cache directory")
+	}
+	// Shutdown is idempotent and drains cleanly before cleanup re-runs it.
+	n.Shutdown()
+	n.Shutdown()
+}
+
+// TestBootFleet: three nodes share one ring, report each other as
+// members, and a killed member leaves the survivors answering.
+func TestBootFleet(t *testing.T) {
+	nodes := BootFleet(t, 3, WithRegistry(fake("t01")))
+	resp, err := http.Get(nodes[0].URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Members []string `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Members) != 3 {
+		t.Fatalf("members = %v, want 3", st.Members)
+	}
+
+	nodes[2].Kill()
+	if _, err := http.Get(nodes[2].URL + "/healthz"); err == nil {
+		t.Fatal("killed node still answering")
+	}
+	resp, err = http.Get(nodes[0].URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("survivor unhealthy: %v", err)
+	}
+	resp.Body.Close()
+}

@@ -42,6 +42,11 @@
 //	-max-inflight N     max runs computing concurrently (default GOMAXPROCS)
 //	-advertise URL      this node's base URL on the peer ring
 //	                    (default http://<addr>)
+//	-adapt              run the MAPE-K controller (internal/adapt): the
+//	                    daemon sheds load with 429s, forces quick runs,
+//	                    and serves cache-only as pressure mounts, moving
+//	                    between normal/pressured/emergency modes
+//	-adapt-interval D   control-loop tick interval (default 250ms)
 //
 // Results are cached content-addressed (internal/rescache) under a key
 // of experiment ID, derived seed, -quick, the fault plan's hash, and
@@ -76,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"resilience/internal/adapt"
 	"resilience/internal/cluster"
 	"resilience/internal/core"
 	"resilience/internal/experiments"
@@ -118,6 +124,8 @@ type options struct {
 	requestTimeout time.Duration
 	maxInflight    int
 	advertise      string
+	adapt          bool
+	adaptInterval  time.Duration
 
 	// bench-only flags.
 	target        string
@@ -187,6 +195,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", server.DefaultRequestTimeout, "serve: end-to-end bound on one request")
 	fs.IntVar(&opt.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "serve: max experiment runs computing concurrently")
 	fs.StringVar(&opt.advertise, "advertise", "", "serve: this node's base URL on the peer ring (default http://<addr>)")
+	fs.BoolVar(&opt.adapt, "adapt", false, "serve: run the MAPE-K mode controller (shed/quick/cache-only under pressure)")
+	fs.DurationVar(&opt.adaptInterval, "adapt-interval", 250*time.Millisecond, "serve: control-loop tick interval")
 	fs.StringVar(&opt.target, "target", "http://127.0.0.1:8080", "bench: base URL of the serve endpoint under load")
 	fs.IntVar(&opt.clients, "clients", 4, "bench: closed-loop virtual clients")
 	fs.DurationVar(&opt.benchDuration, "duration", 0, "bench: wall-clock budget (default 10s unless -requests is set)")
@@ -471,6 +481,17 @@ func serve(stderr io.Writer, opt options) error {
 		MaxInflight:    opt.maxInflight,
 		RequestTimeout: opt.requestTimeout,
 	})
+	var ctrl *adapt.Controller
+	if opt.adapt {
+		c, err := adapt.New(adapt.Config{Target: srv, Obs: observer, Log: stderr})
+		if err != nil {
+			return err
+		}
+		ctrl = c
+		// Operator overrides (POST /v1/mode) go through the controller so
+		// the hysteresis ladder realigns instead of fighting them.
+		srv.SetForceMode(ctrl.Force)
+	}
 	l, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err
@@ -479,6 +500,11 @@ func serve(stderr io.Writer, opt options) error {
 		l.Addr(), opt.maxInflight, opt.requestTimeout, cache.Desc())
 	if ring != nil {
 		fmt.Fprintf(stderr, "serve: ring of %d nodes (self %s)\n", ring.Size(), self)
+	}
+	if ctrl != nil {
+		ctrl.Start(opt.adaptInterval)
+		defer ctrl.Stop()
+		fmt.Fprintf(stderr, "serve: adaptive mode control on (tick %v)\n", opt.adaptInterval)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -492,6 +518,9 @@ func serve(stderr io.Writer, opt options) error {
 		stop()
 	}
 	fmt.Fprintln(stderr, "serve: draining in-flight runs")
+	if ctrl != nil {
+		ctrl.Stop() // no mode changes mid-drain
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -499,10 +528,12 @@ func serve(stderr io.Writer, opt options) error {
 	}
 	<-errc // Serve has returned http.ErrServerClosed
 	st := cache.Stats()
-	fmt.Fprintf(stderr, "serve: drained (%d requests, %d coalesced, %d proxied; cache %d hits, %d misses, %d stores, %d errors)\n",
+	fmt.Fprintf(stderr, "serve: drained (%d requests, %d coalesced, %d proxied, %d shed, %d mode switches; cache %d hits, %d misses, %d stores, %d errors)\n",
 		observer.Metrics.Counter("server.requests").Value(),
 		observer.Metrics.Counter("server.coalesced").Value(),
 		observer.Metrics.Counter("server.proxied").Value(),
+		observer.Metrics.Counter("server.shed").Value(),
+		observer.Metrics.Counter("server.mode.switches").Value(),
 		st.Hits, st.Misses, st.Stores, st.Errors)
 	return nil
 }

@@ -1,0 +1,342 @@
+// Package adapt closes the paper's MAPE-K autonomic loop (§3.3.2)
+// around the serving system itself: the daemon that runs resilience
+// experiments now *is* one. Each tick is one Monitor → Analyze → Plan →
+// Execute cycle over a shared Knowledge store:
+//
+//   - Monitor: sample the live obs registry — inflight work, worker-pool
+//     queue depth, windowed latency p99, queue-wait p99, cache hit
+//     ratio — into a mape.Knowledge history (see monitor.go);
+//   - Analyze: collapse the sample into the §3.4.6 quality scalar
+//     Q ∈ [0,100], smooth it over the last few observations, and feed
+//     it through a modeswitch ladder (two hysteresis Switchers:
+//     normal↔pressured, pressured↔emergency);
+//   - Plan: map the ladder level to a target server.Mode;
+//   - Execute: actuate Target.SetMode, which applies the mode's policy
+//     on the live Server — shed with structured 429s, force quick-size
+//     runs, bound or suspend the worker pool, serve cache-only.
+//
+// This converts internal/mape and internal/modeswitch from experiment
+// subjects into the daemon's own control plane: the same Knowledge
+// bookkeeping and hysteresis semantics, actuating a real worker pool
+// instead of a sysmodel capacity graph.
+//
+// The controller never blocks the request path. It owns no locks the
+// handlers take; its actuators are an atomic mode word and the worker
+// pool's own mutex.
+package adapt
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"resilience/internal/mape"
+	"resilience/internal/modeswitch"
+	"resilience/internal/obs"
+	"resilience/internal/server"
+)
+
+// Tuning parameterizes the controller: thresholds are on the smoothed
+// quality signal Q ∈ [0,100], streaks are in ticks. Zero values take
+// the defaults; see DefaultTuning for the rationale.
+type Tuning struct {
+	// History bounds the Knowledge store (default 512 observations).
+	History int
+	// Smooth is the moving-average window, in observations, applied to
+	// quality before thresholding (default 3; 1 disables smoothing).
+	Smooth int
+	// PressureEnter / PressureExit bound the normal↔pressured rung
+	// (defaults 70 / 90): Q below PressureEnter for PressureAfter
+	// consecutive ticks enters pressured; Q at or above PressureExit
+	// for ExitAfter ticks leaves it.
+	PressureEnter float64
+	PressureExit  float64
+	PressureAfter int
+	// EmergencyEnter / EmergencyExit bound the pressured↔emergency rung
+	// (defaults 20 / 45) with EmergencyAfter entry ticks.
+	EmergencyEnter float64
+	EmergencyExit  float64
+	EmergencyAfter int
+	// ExitAfter is the de-escalation streak for both rungs (default 8):
+	// recovery is deliberately slower than escalation so a borderline
+	// load does not flap the mode.
+	ExitAfter int
+}
+
+// DefaultTuning is the serving daemon's stock controller tuning.
+//
+// Quality is dominated by relative queue depth (see Sample.Quality):
+// an empty queue reads 100, a queue at 2× the pool reads ~33, at 4×
+// the pool ~20. The pressured policy bounds the queue at 2× the pool,
+// so a pressured-but-coping server floats at Q ≈ 33–100 — above the
+// emergency band by construction. Emergency (Q < 20 sustained for
+// EmergencyAfter ticks) is reached only when a queue deeper than 4×
+// the pool *persists*, i.e. the pressured actuators never got to trim
+// it — and EmergencyAfter > PressureAfter guarantees the cheaper rung
+// always gets its chance first.
+func DefaultTuning() Tuning {
+	return Tuning{
+		History:        512,
+		Smooth:         3,
+		PressureEnter:  70,
+		PressureExit:   90,
+		PressureAfter:  2,
+		EmergencyEnter: 20,
+		EmergencyExit:  45,
+		EmergencyAfter: 6,
+		ExitAfter:      8,
+	}
+}
+
+func (t Tuning) withDefaults() Tuning {
+	d := DefaultTuning()
+	if t.History <= 0 {
+		t.History = d.History
+	}
+	if t.Smooth <= 0 {
+		t.Smooth = d.Smooth
+	}
+	if t.PressureEnter == 0 {
+		t.PressureEnter = d.PressureEnter
+	}
+	if t.PressureExit == 0 {
+		t.PressureExit = d.PressureExit
+	}
+	if t.PressureAfter <= 0 {
+		t.PressureAfter = d.PressureAfter
+	}
+	if t.EmergencyEnter == 0 {
+		t.EmergencyEnter = d.EmergencyEnter
+	}
+	if t.EmergencyExit == 0 {
+		t.EmergencyExit = d.EmergencyExit
+	}
+	if t.EmergencyAfter <= 0 {
+		t.EmergencyAfter = d.EmergencyAfter
+	}
+	if t.ExitAfter <= 0 {
+		t.ExitAfter = d.ExitAfter
+	}
+	return t
+}
+
+// Target is the actuator surface the controller drives — implemented by
+// *server.Server, narrowed to an interface so tests plug in fakes.
+type Target interface {
+	Mode() server.Mode
+	SetMode(server.Mode)
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// Target is the server to actuate. Required.
+	Target Target
+	// Obs is the registry the Monitor samples and where the controller
+	// exports its own adapt.* instruments. Required unless a custom
+	// Monitor is supplied (then it may be nil; adapt.* export is
+	// skipped on nil).
+	Obs *obs.Observer
+	// Monitor overrides the registry-backed monitor (tests, synthetic
+	// histories). Nil means NewRegistryMonitor(Obs).
+	Monitor Monitor
+	// Tuning's zero values take DefaultTuning.
+	Tuning Tuning
+	// Log, when non-nil, receives one line per mode transition.
+	Log io.Writer
+}
+
+// Controller is the MAPE-K loop instance. Construct with New, drive it
+// with Tick (deterministic, for tests) or Start/Stop (wall-clock).
+type Controller struct {
+	mu      sync.Mutex
+	target  Target
+	monitor Monitor
+	obs     *obs.Observer
+	tuning  Tuning
+	k       *mape.Knowledge
+	ladder  *modeswitch.Ladder
+	log     io.Writer
+	cycles  int
+
+	loopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New validates cfg and builds a stopped controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("adapt: Config.Target is required")
+	}
+	mon := cfg.Monitor
+	if mon == nil {
+		if cfg.Obs == nil {
+			return nil, fmt.Errorf("adapt: Config.Obs is required without a custom Monitor")
+		}
+		mon = NewRegistryMonitor(cfg.Obs)
+	}
+	t := cfg.Tuning.withDefaults()
+	ladder, err := modeswitch.NewLadder(
+		modeswitch.Config{
+			EnterBelow: t.PressureEnter, ExitAbove: t.PressureExit,
+			EnterAfter: t.PressureAfter, ExitAfter: t.ExitAfter,
+		},
+		modeswitch.Config{
+			EnterBelow: t.EmergencyEnter, ExitAbove: t.EmergencyExit,
+			EnterAfter: t.EmergencyAfter, ExitAfter: t.ExitAfter,
+		},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	return &Controller{
+		target:  cfg.Target,
+		monitor: mon,
+		obs:     cfg.Obs,
+		tuning:  t,
+		k:       mape.NewKnowledge(t.History),
+		ladder:  ladder,
+		log:     cfg.Log,
+	}, nil
+}
+
+// Knowledge exposes the controller's K store (read side: history,
+// MeanQuality) for tests and reporting.
+func (c *Controller) Knowledge() *mape.Knowledge { return c.k }
+
+// Cycles returns how many MAPE-K cycles have run.
+func (c *Controller) Cycles() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cycles
+}
+
+// Tick runs one MAPE-K cycle. Safe for concurrent use (the loop and a
+// test may both tick); cycles are serialized.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cycles++
+
+	// Monitor → Knowledge.
+	s := c.monitor.Sample()
+	q := s.Quality()
+	c.k.Record(mape.Observation{
+		Time:    c.cycles,
+		Quality: q,
+		Supply:  s.PoolSize,
+		Reserve: s.PoolSize - s.Inflight,
+		Signals: map[string]float64{
+			"inflight":      s.Inflight,
+			"queued":        s.Queued,
+			"pool.size":     s.PoolSize,
+			"latency.p99":   s.LatencyP99,
+			"queuewait.p99": s.QueueWaitP99,
+			"cache.hit":     s.HitRatio,
+		},
+	})
+
+	// Analyze: smoothed signal through the hysteresis ladder.
+	signal, _ := c.k.MeanQuality(c.tuning.Smooth)
+	level := c.ladder.Observe(signal)
+
+	// Plan + Execute: actuate only on change (SetMode is a no-op on the
+	// same mode anyway, but the log line should mean something).
+	want := levelMode(level)
+	cur := c.target.Mode()
+	if want != cur {
+		c.target.SetMode(want)
+		c.obs.Counter("adapt.transitions").Inc()
+		if c.log != nil {
+			fmt.Fprintf(c.log, "adapt: mode %s -> %s (quality %.1f, queued %.0f, inflight %.0f, p99 %.1fms)\n",
+				cur, want, signal, s.Queued, s.Inflight, s.LatencyP99*1000)
+		}
+	}
+	c.obs.Counter("adapt.cycles").Inc()
+	c.obs.Gauge("adapt.signal").Set(signal)
+	c.obs.Gauge("adapt.level").Set(float64(level))
+}
+
+// Force overrides the loop: the ladder jumps to the mode's level (so
+// hysteresis resumes from there instead of fighting the override) and
+// the target switches immediately. Wire into server.SetForceMode so
+// POST /v1/mode routes through here.
+func (c *Controller) Force(m server.Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	signal, _ := c.k.MeanQuality(c.tuning.Smooth)
+	c.ladder.Force(modeLevel(m), signal)
+	cur := c.target.Mode()
+	if m != cur {
+		c.target.SetMode(m)
+		c.obs.Counter("adapt.transitions").Inc()
+		if c.log != nil {
+			fmt.Fprintf(c.log, "adapt: mode %s -> %s (forced)\n", cur, m)
+		}
+	}
+	c.obs.Gauge("adapt.level").Set(float64(c.ladder.Level()))
+}
+
+func levelMode(level int) server.Mode {
+	switch {
+	case level >= 2:
+		return server.ModeEmergency
+	case level == 1:
+		return server.ModePressured
+	default:
+		return server.ModeNormal
+	}
+}
+
+func modeLevel(m server.Mode) int {
+	switch m {
+	case server.ModeEmergency:
+		return 2
+	case server.ModePressured:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Start launches the wall-clock loop, ticking every interval until
+// Stop. Starting a started controller is a no-op.
+func (c *Controller) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	c.loopMu.Lock()
+	defer c.loopMu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				c.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}(c.stop, c.done)
+}
+
+// Stop halts the loop and blocks until the goroutine exits. Stopping a
+// stopped controller is a no-op.
+func (c *Controller) Stop() {
+	c.loopMu.Lock()
+	defer c.loopMu.Unlock()
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop, c.done = nil, nil
+}

@@ -1,0 +1,352 @@
+package adapt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/obs"
+	"resilience/internal/server"
+)
+
+// scriptMonitor replays a fixed sample script (repeating the last
+// sample once exhausted) — a synthetic Knowledge history.
+type scriptMonitor struct {
+	samples []Sample
+	i       int
+}
+
+func (m *scriptMonitor) Sample() Sample {
+	if m.i < len(m.samples) {
+		s := m.samples[m.i]
+		m.i++
+		return s
+	}
+	return m.samples[len(m.samples)-1]
+}
+
+// fakeTarget records every actuation.
+type fakeTarget struct {
+	mode  server.Mode
+	calls []server.Mode
+}
+
+func (t *fakeTarget) Mode() server.Mode { return t.mode }
+func (t *fakeTarget) SetMode(m server.Mode) {
+	t.mode = m
+	t.calls = append(t.calls, m)
+}
+
+// q builds a sample whose Quality() is exactly the given value, via a
+// unit pool and the matching queue depth.
+func q(quality float64) Sample {
+	return Sample{PoolSize: 1, Queued: 100/quality - 1}
+}
+
+// testTuning: no smoothing, short streaks — transitions land on exact,
+// assertable ticks.
+func testTuning() Tuning {
+	return Tuning{
+		Smooth:        1,
+		PressureEnter: 70, PressureExit: 90, PressureAfter: 2,
+		EmergencyEnter: 20, EmergencyExit: 45, EmergencyAfter: 3,
+		ExitAfter: 2,
+	}
+}
+
+func newTestController(t *testing.T, mon Monitor, tgt Target, tun Tuning) *Controller {
+	t.Helper()
+	c, err := New(Config{Target: tgt, Obs: obs.New(), Monitor: mon, Tuning: tun})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// TestControllerModeTransitions drives synthetic quality histories
+// through full MAPE-K cycles and asserts the resulting actuation
+// sequence — the tentpole's core contract.
+func TestControllerModeTransitions(t *testing.T) {
+	cases := []struct {
+		name    string
+		history []float64
+		want    []server.Mode // actuations, in order
+		final   server.Mode
+	}{
+		{
+			name:    "healthy stays normal",
+			history: []float64{100, 100, 95, 100, 100},
+			want:    nil,
+			final:   server.ModeNormal,
+		},
+		{
+			name: "one bad tick is not a streak",
+			// PressureAfter is 2: a single dip must not actuate.
+			history: []float64{100, 50, 100, 100},
+			want:    nil,
+			final:   server.ModeNormal,
+		},
+		{
+			name:    "sustained pressure escalates",
+			history: []float64{100, 50, 50, 50},
+			want:    []server.Mode{server.ModePressured},
+			final:   server.ModePressured,
+		},
+		{
+			name: "collapse walks the whole ladder",
+			// <20 from tick 1: pressured fires at tick 2 (streak 2),
+			// emergency at tick 3 (streak 3).
+			history: []float64{100, 10, 10, 10, 10},
+			want:    []server.Mode{server.ModePressured, server.ModeEmergency},
+			final:   server.ModeEmergency,
+		},
+		{
+			name: "recovery unwinds with hysteresis",
+			// In: 2 low ticks. Out: signal ≥ both exits (95) for
+			// ExitAfter=2 ticks releases pressured.
+			history: []float64{50, 50, 95, 95, 95},
+			want:    []server.Mode{server.ModePressured, server.ModeNormal},
+			final:   server.ModeNormal,
+		},
+		{
+			name: "partial recovery holds the mode",
+			// 80 is above PressureEnter but below PressureExit=90:
+			// inside the hysteresis band, pressured holds.
+			history: []float64{50, 50, 80, 80, 80, 80},
+			want:    []server.Mode{server.ModePressured},
+			final:   server.ModePressured,
+		},
+		{
+			name: "emergency de-escalates to pressured first",
+			// Deep collapse, then a mid recovery (50): above the
+			// emergency exit (45) but below the pressured exit (90) —
+			// the ladder steps down one rung and holds.
+			history: []float64{10, 10, 10, 50, 50, 50, 50},
+			want:    []server.Mode{server.ModePressured, server.ModeEmergency, server.ModePressured},
+			final:   server.ModePressured,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			samples := make([]Sample, len(tc.history))
+			for i, quality := range tc.history {
+				samples[i] = q(quality)
+			}
+			tgt := &fakeTarget{}
+			c := newTestController(t, &scriptMonitor{samples: samples}, tgt, testTuning())
+			for range tc.history {
+				c.Tick()
+			}
+			if len(tgt.calls) != len(tc.want) {
+				t.Fatalf("actuations = %v, want %v", tgt.calls, tc.want)
+			}
+			for i := range tc.want {
+				if tgt.calls[i] != tc.want[i] {
+					t.Fatalf("actuations = %v, want %v", tgt.calls, tc.want)
+				}
+			}
+			if tgt.mode != tc.final {
+				t.Fatalf("final mode = %v, want %v", tgt.mode, tc.final)
+			}
+			if c.Cycles() != len(tc.history) {
+				t.Fatalf("cycles = %d, want %d", c.Cycles(), len(tc.history))
+			}
+		})
+	}
+}
+
+// TestControllerSmoothing: a load oscillating across the threshold
+// (55, 75, 55, 75…) never holds a raw 2-tick streak, so an unsmoothed
+// controller misses the chronic degradation; the 3-sample mean stays
+// below the threshold and escalates.
+func TestControllerSmoothing(t *testing.T) {
+	samples := make([]Sample, 8)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = q(55)
+		} else {
+			samples[i] = q(75)
+		}
+	}
+	run := func(smooth int) server.Mode {
+		tun := testTuning()
+		tun.Smooth = smooth
+		tgt := &fakeTarget{}
+		c := newTestController(t, &scriptMonitor{samples: samples}, tgt, tun)
+		for range samples {
+			c.Tick()
+		}
+		return tgt.mode
+	}
+	if got := run(1); got != server.ModeNormal {
+		t.Fatalf("unsmoothed mode = %v, want normal (streak broken every other tick)", got)
+	}
+	if got := run(3); got != server.ModePressured {
+		t.Fatalf("smoothed mode = %v, want pressured (mean holds below the threshold)", got)
+	}
+}
+
+// TestControllerKnowledge: every tick lands one observation, with the
+// raw signals preserved for post-hoc analysis.
+func TestControllerKnowledge(t *testing.T) {
+	tgt := &fakeTarget{}
+	s := Sample{PoolSize: 2, Queued: 4, Inflight: 2, LatencyP99: 0.120, QueueWaitP99: 0.080, HitRatio: 0.5}
+	c := newTestController(t, &scriptMonitor{samples: []Sample{s}}, tgt, testTuning())
+	c.Tick()
+	obs, ok := c.Knowledge().Latest()
+	if !ok {
+		t.Fatal("knowledge empty after a tick")
+	}
+	wantQ := 100 * 2.0 / 6.0
+	if math.Abs(obs.Quality-wantQ) > 1e-9 {
+		t.Fatalf("quality = %v, want %v", obs.Quality, wantQ)
+	}
+	if obs.Signals["queued"] != 4 || obs.Signals["latency.p99"] != 0.120 || obs.Signals["cache.hit"] != 0.5 {
+		t.Fatalf("signals = %v", obs.Signals)
+	}
+}
+
+// TestControllerForce: an override actuates immediately and realigns
+// the ladder, so the next healthy ticks de-escalate from the forced
+// level instead of fighting it.
+func TestControllerForce(t *testing.T) {
+	tgt := &fakeTarget{}
+	c := newTestController(t, &scriptMonitor{samples: []Sample{q(100)}}, tgt, testTuning())
+	c.Force(server.ModeEmergency)
+	if tgt.mode != server.ModeEmergency {
+		t.Fatalf("forced mode = %v, want emergency", tgt.mode)
+	}
+	// Healthy signal: ExitAfter=2 ticks per rung; emergency exits first
+	// (both rungs streak in parallel), then pressured.
+	for i := 0; i < 4; i++ {
+		c.Tick()
+	}
+	if tgt.mode != server.ModeNormal {
+		t.Fatalf("mode after recovery = %v, want normal", tgt.mode)
+	}
+}
+
+// TestControllerLog: transitions emit a line naming both modes.
+func TestControllerLog(t *testing.T) {
+	var buf strings.Builder
+	tgt := &fakeTarget{}
+	c, err := New(Config{
+		Target: tgt, Obs: obs.New(), Tuning: testTuning(), Log: &buf,
+		Monitor: &scriptMonitor{samples: []Sample{q(10)}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Tick()
+	c.Tick()
+	if !strings.Contains(buf.String(), "normal -> pressured") {
+		t.Fatalf("log = %q, want a normal -> pressured line", buf.String())
+	}
+}
+
+// TestControllerStartStop: the wall-clock loop ticks and stops cleanly
+// (Stop blocks until the goroutine exits; double Start/Stop are no-ops).
+func TestControllerStartStop(t *testing.T) {
+	tgt := &fakeTarget{}
+	c := newTestController(t, &scriptMonitor{samples: []Sample{q(100)}}, tgt, testTuning())
+	c.Start(time.Millisecond)
+	c.Start(time.Millisecond) // no-op
+	deadline := time.After(2 * time.Second)
+	for c.Cycles() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("loop never ticked")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.Stop()
+	c.Stop() // no-op
+	n := c.Cycles()
+	time.Sleep(10 * time.Millisecond)
+	if c.Cycles() != n {
+		t.Fatal("controller ticked after Stop")
+	}
+}
+
+// TestNewValidation: required fields and broken tunings are rejected.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil Target must be rejected")
+	}
+	if _, err := New(Config{Target: &fakeTarget{}}); err == nil {
+		t.Fatal("nil Obs without a Monitor must be rejected")
+	}
+	bad := testTuning()
+	bad.EmergencyEnter = 80 // does not nest inside the pressure rung
+	if _, err := New(Config{Target: &fakeTarget{}, Obs: obs.New(), Tuning: bad}); err == nil {
+		t.Fatal("non-nesting thresholds must be rejected")
+	}
+}
+
+// TestSampleQuality pins the quality curve the tuning defaults are
+// calibrated against.
+func TestSampleQuality(t *testing.T) {
+	cases := []struct {
+		size, queued, want float64
+	}{
+		{4, 0, 100},
+		{4, 4, 50},
+		{4, 8, 100.0 / 3}, // 2× pool: the pressured floor
+		{4, 16, 20},       // 4× pool: the emergency threshold
+		{0, 0, 100},       // zero pool clamps to 1
+		{0, 9, 10},        // clamped pool still yields a signal
+	}
+	for _, tc := range cases {
+		got := Sample{PoolSize: tc.size, Queued: tc.queued}.Quality()
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quality(size=%v queued=%v) = %v, want %v", tc.size, tc.queued, got, tc.want)
+		}
+	}
+}
+
+// TestRegistryMonitorWindows: the monitor reads gauges live but reads
+// timings and cache counters as per-window deltas anchored at the
+// previous sample.
+func TestRegistryMonitorWindows(t *testing.T) {
+	o := obs.New()
+	o.Gauge("server.inflight").Set(3)
+	o.Gauge("server.queued").Set(5)
+	o.Gauge("server.pool.size").Set(4)
+	// Pre-monitor history the windows must exclude.
+	o.Timing("server.latency").Observe(10.0)
+	o.Counter("rescache.hits").Add(100)
+	m := NewRegistryMonitor(o)
+
+	// Window 1: fast latencies, all misses.
+	for i := 0; i < 100; i++ {
+		o.Timing("server.latency").Observe(0.010)
+	}
+	o.Counter("rescache.misses").Add(10)
+	s := m.Sample()
+	if s.Inflight != 3 || s.Queued != 5 || s.PoolSize != 4 {
+		t.Fatalf("gauges = %+v", s)
+	}
+	if s.LatencyP99 > 0.02 {
+		t.Fatalf("windowed p99 = %v, want ~0.010 (the 10s outlier predates the window)", s.LatencyP99)
+	}
+	if s.HitRatio != 0 {
+		t.Fatalf("hit ratio = %v, want 0 (10 misses, 0 new hits)", s.HitRatio)
+	}
+
+	// Window 2: no lookups at all.
+	s = m.Sample()
+	if s.HitRatio != -1 {
+		t.Fatalf("hit ratio = %v, want -1 for an empty window", s.HitRatio)
+	}
+	if s.LatencyP99 != 0 {
+		t.Fatalf("empty-window p99 = %v, want 0", s.LatencyP99)
+	}
+
+	// Window 3: all hits.
+	o.Counter("rescache.hits").Add(7)
+	s = m.Sample()
+	if s.HitRatio != 1 {
+		t.Fatalf("hit ratio = %v, want 1", s.HitRatio)
+	}
+}

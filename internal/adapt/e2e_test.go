@@ -1,0 +1,129 @@
+// End-to-end: a real daemon under its MAPE-K controller, overloaded by
+// a real loadgen burst — the in-process version of the CI overload
+// bench. The acceptance shape is "degraded, not collapsed": the
+// controller must move the server into pressured mode, the over-bound
+// traffic must shed with structured 429s (classified "shed" by the
+// bench, which requires the Retry-After header), and the mode must
+// recover to normal once the burst ends.
+package adapt_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilience/internal/adapt"
+	"resilience/internal/experiments"
+	"resilience/internal/loadgen"
+	"resilience/internal/server"
+	"resilience/internal/servertest"
+)
+
+func slowExp(id string, delay time.Duration) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "slow fake " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true,
+		Run: func(rec *experiments.Recorder, cfg experiments.Config) error {
+			time.Sleep(delay)
+			rec.Notef("seed %d", cfg.Seed)
+			return nil
+		},
+	}
+}
+
+// fastTuning reacts within a few 5ms ticks instead of the production
+// seconds: one bad tick enters pressured, two clean ticks recover.
+// Emergency keeps the stock thresholds — the pressured queue bound
+// floors quality above the emergency band, so the deep rung must stay
+// quiet in this test.
+func fastTuning() adapt.Tuning {
+	return adapt.Tuning{
+		Smooth:        1,
+		PressureAfter: 1,
+		ExitAfter:     2,
+	}
+}
+
+func TestAdaptiveServerDegradesNotCollapses(t *testing.T) {
+	n := servertest.Boot(t,
+		servertest.WithRegistry(slowExp("a01", 20*time.Millisecond)),
+		servertest.WithMaxInflight(1),
+		servertest.WithAdapt(5*time.Millisecond, fastTuning()),
+	)
+
+	// 8 closed-loop clients against a 1-slot pool with unique seeds:
+	// nothing coalesces, nothing repeats, offered load is 8× capacity.
+	r, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   n.URL,
+		Clients:  8,
+		Duration: 600 * time.Millisecond,
+		Seed:     42,
+		Mix:      loadgen.Mix{IDs: []string{"a01"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst must have been shed, not errored or hung: every refusal
+	// was a 429 carrying Retry-After (that is what classifies as "shed").
+	if r.Statuses["shed"] == 0 {
+		t.Fatalf("no requests shed under 8× overload: %v", r.Statuses)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("adaptive server collapsed: %d errors (%v)", r.Errors, r.Statuses)
+	}
+	if !r.Verdict.Pass {
+		t.Fatalf("verdict %+v, want pass", r.Verdict)
+	}
+	// Client-observed sheds reconcile with the server's own ledger.
+	if got := r.MetricsDelta["server.shed"]; got != r.Statuses["shed"] {
+		t.Fatalf("server.shed moved by %d, clients observed %d sheds", got, r.Statuses["shed"])
+	}
+	// The controller actually switched modes (≥1: the pressured entry;
+	// recovery may land before or after the post-run scrape).
+	if got := r.MetricsDelta["server.mode.switches"]; got < 1 {
+		t.Fatalf("server.mode.switches moved by %d, want ≥ 1\ndeltas: %v", got, r.MetricsDelta)
+	}
+	// The pressured queue bound floors quality above the emergency band:
+	// the deep rung must never have fired.
+	if mode := server.Mode(n.Obs.Gauge("server.mode").Value()); mode == server.ModeEmergency {
+		t.Fatal("server ended the burst in emergency mode")
+	}
+
+	// Recovery: with the load gone the controller must walk back to
+	// normal within a few ticks.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Server.Mode() != server.ModeNormal {
+		if time.Now().After(deadline) {
+			t.Fatalf("mode stuck at %s after the burst ended", n.Server.Mode())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n.Adapt.Cycles() == 0 {
+		t.Fatal("controller never ticked")
+	}
+}
+
+// TestAdaptForceRoutesThroughController: with -adapt on, an operator
+// POST /v1/mode goes through Controller.Force, so the ladder realigns
+// and the loop un-forces the mode once the (healthy) signal allows.
+func TestAdaptForceRoutesThroughController(t *testing.T) {
+	n := servertest.Boot(t,
+		servertest.WithRegistry(slowExp("a01", time.Millisecond)),
+		servertest.WithAdapt(5*time.Millisecond, fastTuning()),
+	)
+
+	n.Adapt.Force(server.ModeEmergency)
+	if got := n.Server.Mode(); got != server.ModeEmergency {
+		t.Fatalf("forced mode = %s, want emergency", got)
+	}
+	// The server is idle, so the quality signal reads healthy and the
+	// loop de-escalates rung by rung back to normal on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Server.Mode() != server.ModeNormal {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop never recovered a forced emergency (mode %s)", n.Server.Mode())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

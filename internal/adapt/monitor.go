@@ -1,0 +1,104 @@
+package adapt
+
+import (
+	"sync"
+
+	"resilience/internal/obs"
+)
+
+// Sample is one Monitor reading of the serving system.
+type Sample struct {
+	// Inflight is the number of run/suite requests currently being
+	// served (the server.inflight gauge — scrapes and probes excluded).
+	Inflight float64
+	// Queued is the worker-pool wait-queue depth (server.queued).
+	Queued float64
+	// PoolSize is the current worker-pool size (server.pool.size).
+	PoolSize float64
+	// LatencyP99 is the p99 of request latency in seconds over the
+	// window since the previous sample (0 when no requests landed).
+	LatencyP99 float64
+	// QueueWaitP99 is the windowed p99 of time spent waiting for a
+	// worker slot, in seconds.
+	QueueWaitP99 float64
+	// HitRatio is cache hits / (hits + misses) over the window, or -1
+	// when the window saw no lookups.
+	HitRatio float64
+}
+
+// Quality collapses the sample into the §3.4.6 health scalar the mode
+// ladder observes, on a 0–100 scale: the share of demand the pool can
+// start immediately, 100·size/(size+queued). An idle or keeping-up
+// server reads 100; a queue as deep as the pool reads 50; 2× the pool
+// reads ~33; 4× reads 20 — the emergency band. Queue depth (not
+// latency) is the chosen signal because it is what the server can act
+// on *before* latency is already damaged, and because it is
+// policy-coupled: the pressured queue bound directly floors it.
+func (s Sample) Quality() float64 {
+	size := s.PoolSize
+	if size < 1 {
+		size = 1
+	}
+	return 100 * size / (size + s.Queued)
+}
+
+// Monitor produces one Sample per controller tick.
+type Monitor interface {
+	Sample() Sample
+}
+
+// RegistryMonitor samples the live obs registry a Server writes its
+// instruments into. Latency quantiles are read over the window since
+// the previous sample via obs.TimingCursor — a control loop needs "how
+// slow are we *now*", not a history-dominated cumulative p99 — and the
+// cache hit ratio is likewise a per-window delta of the rescache
+// counters.
+type RegistryMonitor struct {
+	o *obs.Observer
+
+	mu      sync.Mutex
+	latency obs.TimingCursor
+	wait    obs.TimingCursor
+	hits    int64
+	misses  int64
+}
+
+// NewRegistryMonitor builds a monitor over o with its windows anchored
+// at the current instrument state.
+func NewRegistryMonitor(o *obs.Observer) *RegistryMonitor {
+	return &RegistryMonitor{
+		o:       o,
+		latency: o.Timing("server.latency").Cursor(),
+		wait:    o.Timing("server.queue.wait").Cursor(),
+		hits:    o.Counter("rescache.hits").Value(),
+		misses:  o.Counter("rescache.misses").Value(),
+	}
+}
+
+// Sample reads the registry and advances the windows.
+func (m *RegistryMonitor) Sample() Sample {
+	s := Sample{
+		Inflight: m.o.Gauge("server.inflight").Value(),
+		Queued:   m.o.Gauge("server.queued").Value(),
+		PoolSize: m.o.Gauge("server.pool.size").Value(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lat := m.o.Timing("server.latency")
+	s.LatencyP99, _ = lat.QuantileSince(m.latency, 0.99)
+	m.latency = lat.Cursor()
+	wait := m.o.Timing("server.queue.wait")
+	s.QueueWaitP99, _ = wait.QuantileSince(m.wait, 0.99)
+	m.wait = wait.Cursor()
+
+	hits := m.o.Counter("rescache.hits").Value()
+	misses := m.o.Counter("rescache.misses").Value()
+	dh, dm := hits-m.hits, misses-m.misses
+	m.hits, m.misses = hits, misses
+	if dh+dm > 0 {
+		s.HitRatio = float64(dh) / float64(dh+dm)
+	} else {
+		s.HitRatio = -1
+	}
+	return s
+}

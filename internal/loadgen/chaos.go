@@ -36,6 +36,11 @@ type ChaosPlan struct {
 //     something real to catch.
 //   - KillPid: signal a process — the fleet-mode "kill one ring member
 //     mid-run" disturbance (Signal names TERM or KILL, default KILL).
+//   - Mode: force the target's serving mode ("normal", "pressured" or
+//     "emergency") via POST /v1/mode — the §3.4.5 operator override,
+//     driven on a timeline so a bench can assert how the fleet behaves
+//     in a degraded mode and after recovery (DurationMs > 0 reverts to
+//     normal when the window ends).
 type Strike struct {
 	AfterMs    int             `json:"afterMs"`
 	DurationMs int             `json:"durationMs,omitempty"`
@@ -44,6 +49,7 @@ type Strike struct {
 	CorruptDir string          `json:"corruptDir,omitempty"`
 	KillPid    int             `json:"killPid,omitempty"`
 	Signal     string          `json:"signal,omitempty"`
+	Mode       string          `json:"mode,omitempty"`
 }
 
 // ParseChaos decodes a chaos plan strictly and validates that every
@@ -69,8 +75,11 @@ func ParseChaos(data []byte) (*ChaosPlan, error) {
 		if s.KillPid != 0 {
 			actions++
 		}
+		if s.Mode != "" {
+			actions++
+		}
 		if actions != 1 {
-			return nil, fmt.Errorf("loadgen: strike %d must set exactly one of plan, corruptDir, killPid", i)
+			return nil, fmt.Errorf("loadgen: strike %d must set exactly one of plan, corruptDir, killPid, mode", i)
 		}
 		if s.AfterMs < 0 || s.DurationMs < 0 {
 			return nil, fmt.Errorf("loadgen: strike %d has a negative offset", i)
@@ -83,7 +92,12 @@ func ParseChaos(data []byte) (*ChaosPlan, error) {
 		default:
 			return nil, fmt.Errorf("loadgen: strike %d signal %q (want TERM or KILL)", i, s.Signal)
 		}
-		if s.DurationMs > 0 && len(s.Plan) == 0 {
+		switch s.Mode {
+		case "", "normal", "pressured", "emergency":
+		default:
+			return nil, fmt.Errorf("loadgen: strike %d mode %q (want normal, pressured or emergency)", i, s.Mode)
+		}
+		if s.DurationMs > 0 && len(s.Plan) == 0 && s.Mode == "" {
 			return nil, fmt.Errorf("loadgen: strike %d sets durationMs on a one-shot action", i)
 		}
 	}
@@ -113,7 +127,8 @@ type chaosEvent struct {
 func runChaos(ctx context.Context, client *http.Client, plan *ChaosPlan, target string, logf func(string, ...any)) *ChaosReport {
 	rep := &ChaosReport{Name: plan.Name}
 	events := make([]chaosEvent, 0, 2*len(plan.Strikes))
-	armed := map[string]bool{} // seam URLs that may still hold our plan
+	armed := map[string]bool{}  // seam URLs that may still hold our plan
+	forced := map[string]bool{} // mode endpoints we left off normal
 	for _, s := range plan.Strikes {
 		s := s
 		url := s.Target
@@ -122,6 +137,18 @@ func runChaos(ctx context.Context, client *http.Client, plan *ChaosPlan, target 
 		}
 		at := time.Duration(s.AfterMs) * time.Millisecond
 		switch {
+		case s.Mode != "":
+			events = append(events, chaosEvent{at, fmt.Sprintf("t+%v force mode %s on %s", at, s.Mode, url), func() error {
+				forced[url] = s.Mode != "normal"
+				return postMode(client, url, s.Mode)
+			}})
+			if s.DurationMs > 0 {
+				off := at + time.Duration(s.DurationMs)*time.Millisecond
+				events = append(events, chaosEvent{off, fmt.Sprintf("t+%v revert mode on %s", off, url), func() error {
+					forced[url] = false
+					return postMode(client, url, "normal")
+				}})
+			}
 		case len(s.Plan) > 0:
 			events = append(events, chaosEvent{at, fmt.Sprintf("t+%v arm fault plan on %s", at, url), func() error {
 				armed[url] = true
@@ -160,6 +187,7 @@ func runChaos(ctx context.Context, client *http.Client, plan *ChaosPlan, target 
 			select {
 			case <-ctx.Done():
 				disarmAll(client, armed, rep)
+				revertModes(client, forced, rep)
 				return rep
 			case <-timer.C:
 			}
@@ -173,7 +201,45 @@ func runChaos(ctx context.Context, client *http.Client, plan *ChaosPlan, target 
 	}
 	<-ctx.Done()
 	disarmAll(client, armed, rep)
+	revertModes(client, forced, rep)
 	return rep
+}
+
+// revertModes returns every server the timeline left in a degraded mode
+// to normal, mirroring disarmAll: a finished bench never strands a
+// daemon shedding traffic it no longer measures.
+func revertModes(client *http.Client, forced map[string]bool, rep *ChaosReport) {
+	for url, on := range forced {
+		if !on {
+			continue
+		}
+		if err := postMode(client, url, "normal"); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("final mode revert %s: %v", url, err))
+		} else {
+			rep.Applied = append(rep.Applied, "final mode revert "+url)
+		}
+	}
+}
+
+// postMode forces a server's serving mode through its /v1/mode endpoint.
+func postMode(client *http.Client, target, mode string) error {
+	body, err := json.Marshal(struct {
+		Mode string `json:"mode"`
+	}{mode})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(target+"/v1/mode", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST /v1/mode = %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
 }
 
 // disarmAll clears every seam the timeline may have left armed, so a

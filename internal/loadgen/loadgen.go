@@ -129,11 +129,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			defer wg.Done()
 			seq := cfg.Mix.Sequence(cfg.Seed, i)
 			t := tally{statuses: map[string]int64{}}
+			backoff := time.NewTimer(0)
+			if !backoff.Stop() {
+				<-backoff.C
+			}
+			defer backoff.Stop()
 			for runCtx.Err() == nil {
 				if cfg.Requests > 0 && issued.Add(1) > cfg.Requests {
 					break
 				}
-				doRequest(httpc, cfg.Target, seq.Next(), timing, &t)
+				if doRequest(httpc, cfg.Target, seq.Next(), timing, &t) {
+					// The server shed us with a Retry-After: honor it
+					// (capped well below the header's 1s so a closed-loop
+					// bench still measures the overload, not the sleep).
+					backoff.Reset(100 * time.Millisecond)
+					select {
+					case <-runCtx.Done():
+					case <-backoff.C:
+					}
+				}
 			}
 			tallies[i] = t
 		}(i)
@@ -204,14 +218,15 @@ type runBody struct {
 	IDs   []string `json:"ids,omitempty"`
 }
 
-// doRequest issues one generated request and scores the outcome. The
+// doRequest issues one generated request and scores the outcome,
+// reporting whether the server shed it (so the client can back off). The
 // latency of every attempt — including failures — is observed; a slow
 // error is still a slow answer from the client's point of view.
-func doRequest(httpc *http.Client, target string, req Request, timing *obs.Timing, t *tally) {
+func doRequest(httpc *http.Client, target string, req Request, timing *obs.Timing, t *tally) (shed bool) {
 	body, err := json.Marshal(runBody{Seed: req.Seed, Quick: req.Quick, IDs: req.IDs})
 	if err != nil {
 		t.statuses["error.transport"]++
-		return
+		return false
 	}
 	url := target + "/v1/run/" + req.ID
 	if req.Suite {
@@ -222,7 +237,7 @@ func doRequest(httpc *http.Client, target string, req Request, timing *obs.Timin
 	if err != nil {
 		timing.Observe(time.Since(start).Seconds())
 		t.statuses["error.transport"]++
-		return
+		return false
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // latency includes the full body
 	resp.Body.Close()
@@ -230,13 +245,20 @@ func doRequest(httpc *http.Client, target string, req Request, timing *obs.Timin
 	if resp.Header.Get("X-Resilience-Proxied") != "" {
 		t.proxied++
 	}
-	t.statuses[classify(resp.StatusCode, resp.Header.Get("X-Resilience-Status"), req.Suite)]++
+	class := classify(resp.StatusCode, resp.Header.Get("X-Resilience-Status"), resp.Header.Get("Retry-After"), req.Suite)
+	t.statuses[class]++
+	return class == "shed"
 }
 
 // classify maps one response to a breakdown class. Proxied responses
 // carry the owner's status verbatim, so they classify like local ones
-// (the proxied count is tracked separately off the header).
-func classify(code int, status string, suite bool) string {
+// (the proxied count is tracked separately off the header). A 429 that
+// carries Retry-After is the adaptive server's structured load shed —
+// a distinct "shed" class, not an "error." one, because the verdict for
+// an overload run judges "degraded, not collapsed": the server refusing
+// work it cannot absorb is the designed behavior, while a bare 429
+// stays error.4xx.
+func classify(code int, status, retryAfter string, suite bool) string {
 	switch {
 	case code >= 200 && code < 300:
 		if suite {
@@ -256,6 +278,8 @@ func classify(code int, status string, suite bool) string {
 		default:
 			return "ok"
 		}
+	case code == http.StatusTooManyRequests && retryAfter != "":
+		return "shed"
 	case code >= 400 && code < 500:
 		return "error.4xx"
 	case code >= 500:
@@ -295,9 +319,9 @@ func awaitDrain(httpc *http.Client, target string, timeout time.Duration) int64 
 	for {
 		doc, err := scrapeMetrics(httpc, target)
 		if err == nil {
-			// The probe itself sits in the gauge while the handler
-			// snapshots it, so a fully drained server reads 1, not 0.
-			last = int64(doc.Gauges["server.inflight"]) - 1
+			// The gauge counts only run/suite work, never the scrape
+			// itself, so a drained server reads exactly 0.
+			last = int64(doc.Gauges["server.inflight"])
 			if last <= 0 {
 				return 0
 			}

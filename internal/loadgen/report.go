@@ -26,8 +26,11 @@ type LatencyMs struct {
 // Report is the machine-readable outcome of one bench run. Statuses is
 // the client-observed breakdown keyed by outcome class: "ok",
 // "cached.mem" / "cached.fs" / "cached.peer" / "cached", "coalesced",
-// "degraded", "suite", and "error.transport" / "error.4xx" /
-// "error.5xx". MetricsDelta carries the change in every server counter
+// "degraded", "suite", "shed" (a structured 429 + Retry-After from an
+// adaptive server — counted apart from the "error." classes because
+// shedding is designed degradation, not collapse), and
+// "error.transport" / "error.4xx" / "error.5xx". MetricsDelta carries
+// the change in every server counter
 // between the pre- and post-run /metrics scrapes, so a report can be
 // reconciled against what the server says happened.
 type Report struct {
@@ -81,6 +84,7 @@ type trajectoryPoint struct {
 	Coalesced     int64   `json:"coalesced"`
 	Degraded      int64   `json:"degraded"`
 	Suite         int64   `json:"suite"`
+	Shed          int64   `json:"shed"`
 	Errors        int64   `json:"errors"`
 	Proxied       int64   `json:"proxied"`
 	Chaos         string  `json:"chaos,omitempty"`
@@ -122,6 +126,7 @@ func (r *Report) AppendTrajectory(path string) error {
 		Coalesced:     r.status("coalesced"),
 		Degraded:      r.status("degraded"),
 		Suite:         r.status("suite"),
+		Shed:          r.status("shed"),
 		Errors:        r.Errors,
 		Proxied:       r.Proxied,
 		Chaos:         chaosName(r.Chaos),

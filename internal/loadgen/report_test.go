@@ -78,17 +78,20 @@ func TestParseChaos(t *testing.T) {
 	p, err := ParseChaos([]byte(`{"name":"stall","strikes":[
 		{"afterMs":100,"durationMs":200,"plan":{"faults":[]}},
 		{"afterMs":300,"corruptDir":"/tmp/cache"},
-		{"afterMs":400,"killPid":123,"signal":"TERM"}]}`))
+		{"afterMs":400,"killPid":123,"signal":"TERM"},
+		{"afterMs":500,"durationMs":100,"mode":"emergency"}]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Name != "stall" || len(p.Strikes) != 3 {
+	if p.Name != "stall" || len(p.Strikes) != 4 {
 		t.Fatalf("parsed %+v", p)
 	}
 	for name, doc := range map[string]string{
 		"no strikes":          `{"name":"x"}`,
 		"empty strike":        `{"strikes":[{"afterMs":1}]}`,
 		"two actions":         `{"strikes":[{"plan":{},"killPid":1}]}`,
+		"mode plus kill":      `{"strikes":[{"mode":"normal","killPid":1}]}`,
+		"bad mode":            `{"strikes":[{"mode":"panic"}]}`,
 		"negative offset":     `{"strikes":[{"afterMs":-1,"killPid":1}]}`,
 		"signal without pid":  `{"strikes":[{"corruptDir":"/x","signal":"TERM"}]}`,
 		"bad signal":          `{"strikes":[{"killPid":1,"signal":"HUP"}]}`,

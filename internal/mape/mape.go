@@ -30,6 +30,10 @@ type Observation struct {
 	Reserve float64
 	Down    []sysmodel.ComponentID
 	Supply  float64
+	// Signals carries named raw readings behind the quality scalar
+	// (queue depth, latency quantiles, hit ratios…) so a Knowledge
+	// consumer can explain *why* quality moved, not just that it did.
+	Signals map[string]float64
 }
 
 // Knowledge is the shared K of MAPE-K: a bounded history of observations.
@@ -66,6 +70,25 @@ func (k *Knowledge) Latest() (Observation, bool) {
 		return Observation{}, false
 	}
 	return k.history[len(k.history)-1], true
+}
+
+// MeanQuality averages quality over the last n observations (clamped to
+// what exists); ok is false when the store is empty or n < 1. Control
+// loops use it to smooth a noisy per-tick signal before thresholding.
+func (k *Knowledge) MeanQuality(n int) (mean float64, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.history) == 0 || n < 1 {
+		return 0, false
+	}
+	if n > len(k.history) {
+		n = len(k.history)
+	}
+	sum := 0.0
+	for _, o := range k.history[len(k.history)-n:] {
+		sum += o.Quality
+	}
+	return sum / float64(n), true
 }
 
 // QualityHistory returns the recorded quality series, oldest first.

@@ -240,3 +240,36 @@ func TestFasterControlSmallerLoss(t *testing.T) {
 		t.Fatalf("fast loss %v should be below slow loss %v", fast, slow)
 	}
 }
+
+// TestKnowledgeMeanQuality: the smoothing window clamps to available
+// history and reports not-ok when empty.
+func TestKnowledgeMeanQuality(t *testing.T) {
+	k := NewKnowledge(10)
+	if _, ok := k.MeanQuality(3); ok {
+		t.Fatal("empty knowledge must report ok=false")
+	}
+	for i, q := range []float64{100, 80, 60, 40} {
+		k.Record(Observation{Time: i, Quality: q})
+	}
+	if _, ok := k.MeanQuality(0); ok {
+		t.Fatal("n < 1 must report ok=false")
+	}
+	if m, ok := k.MeanQuality(2); !ok || m != 50 {
+		t.Fatalf("MeanQuality(2) = %v/%v, want 50/true", m, ok)
+	}
+	// n beyond the history clamps to all four samples.
+	if m, ok := k.MeanQuality(99); !ok || m != 70 {
+		t.Fatalf("MeanQuality(99) = %v/%v, want 70/true", m, ok)
+	}
+}
+
+// TestObservationSignals: named raw readings ride along in the
+// knowledge store untouched.
+func TestObservationSignals(t *testing.T) {
+	k := NewKnowledge(4)
+	k.Record(Observation{Time: 1, Quality: 33, Signals: map[string]float64{"queued": 4, "p99": 0.120}})
+	got, ok := k.Latest()
+	if !ok || got.Signals["queued"] != 4 || got.Signals["p99"] != 0.120 {
+		t.Fatalf("signals lost in the store: %+v (ok=%v)", got, ok)
+	}
+}

@@ -1,0 +1,92 @@
+package modeswitch
+
+import "fmt"
+
+// Ladder stacks Switchers into an ordered escalation: rung 0 guards the
+// first degraded mode, rung 1 the next, and so on. Every rung observes
+// every sample (each with its own thresholds and streaks), and the
+// ladder's level is the contiguous-from-the-bottom count of rungs in
+// Emergency — a deeper rung firing without the shallower ones does not
+// escalate. This is §3.4.6 generalized past two modes: the serve
+// daemon's normal → pressured → emergency ladder is a two-rung instance.
+//
+// Like Switcher, a Ladder is not safe for concurrent use.
+type Ladder struct {
+	rungs []*Switcher
+	level int
+}
+
+// NewLadder builds a ladder from bottom rung up. Each deeper rung's
+// thresholds must nest at or inside the previous rung's (lower or equal
+// EnterBelow and ExitAbove), so escalation is monotone in the signal.
+func NewLadder(cfgs ...Config) (*Ladder, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("modeswitch: a ladder needs at least one rung")
+	}
+	l := &Ladder{rungs: make([]*Switcher, 0, len(cfgs))}
+	for i, cfg := range cfgs {
+		if i > 0 {
+			prev := cfgs[i-1]
+			if cfg.EnterBelow > prev.EnterBelow || cfg.ExitAbove > prev.ExitAbove {
+				return nil, fmt.Errorf("modeswitch: rung %d thresholds (%v/%v) must nest inside rung %d (%v/%v)",
+					i, cfg.EnterBelow, cfg.ExitAbove, i-1, prev.EnterBelow, prev.ExitAbove)
+			}
+		}
+		s, err := NewSwitcher(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rung %d: %w", i, err)
+		}
+		l.rungs = append(l.rungs, s)
+	}
+	return l, nil
+}
+
+// Observe feeds one signal sample to every rung and returns the new
+// level: 0 means all rungs Normal, n means rungs 0..n-1 are in
+// Emergency.
+func (l *Ladder) Observe(signal float64) int {
+	level := 0
+	for i, r := range l.rungs {
+		if r.Observe(signal) == Emergency && level == i {
+			level = i + 1
+		}
+	}
+	l.level = level
+	return level
+}
+
+// Level returns the current level without observing.
+func (l *Ladder) Level() int { return l.level }
+
+// Rungs returns how many rungs the ladder has (the maximum level).
+func (l *Ladder) Rungs() int { return len(l.rungs) }
+
+// Force sets the level unconditionally (clamped to [0, Rungs]): rungs
+// below it are forced into Emergency, rungs at or above it back to
+// Normal (a rung already in its target mode is untouched) — the
+// operator override of §3.4.5 applied ladder-wide.
+func (l *Ladder) Force(level int, signal float64) {
+	if level < 0 {
+		level = 0
+	}
+	if level > len(l.rungs) {
+		level = len(l.rungs)
+	}
+	for i, r := range l.rungs {
+		if i < level {
+			r.Force(Emergency, signal)
+		} else {
+			r.Force(Normal, signal)
+		}
+	}
+	l.level = level
+}
+
+// Switches counts transitions across all rungs.
+func (l *Ladder) Switches() int {
+	n := 0
+	for _, r := range l.rungs {
+		n += len(r.transitions)
+	}
+	return n
+}

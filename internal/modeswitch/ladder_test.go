@@ -1,0 +1,111 @@
+package modeswitch
+
+import "testing"
+
+func mustLadder(t *testing.T, cfgs ...Config) *Ladder {
+	t.Helper()
+	l, err := NewLadder(cfgs...)
+	if err != nil {
+		t.Fatalf("NewLadder: %v", err)
+	}
+	return l
+}
+
+// TestLadderEscalatesAndRecovers: a two-rung ladder walks 0 → 1 → 2 as
+// the signal collapses and unwinds 2 → 1 → 0 as it recovers, with each
+// rung honoring its own streak requirements.
+func TestLadderEscalatesAndRecovers(t *testing.T) {
+	l := mustLadder(t,
+		Config{EnterBelow: 70, ExitAbove: 90, EnterAfter: 2, ExitAfter: 2},
+		Config{EnterBelow: 20, ExitAbove: 45, EnterAfter: 3, ExitAfter: 2},
+	)
+	if l.Rungs() != 2 || l.Level() != 0 {
+		t.Fatalf("fresh ladder: rungs=%d level=%d, want 2/0", l.Rungs(), l.Level())
+	}
+	steps := []struct {
+		signal float64
+		want   int
+	}{
+		{100, 0}, // healthy
+		{50, 0},  // below rung 0 enter, streak 1 of 2
+		{50, 1},  // streak 2: pressured
+		{10, 1},  // below rung 1 enter too, its streak is 1+1+1… restarts? see below
+		{10, 1},
+		{10, 2}, // rung 1 needed 3 consecutive <20 samples: emergency
+		{30, 2}, // above rung 1 enter but below its exit: hold
+		{50, 2}, // ≥45, rung 1 exit streak 1 of 2
+		{50, 1}, // rung 1 exits: back to pressured
+		{95, 1}, // ≥90, rung 0 exit streak 1 of 2
+		{95, 0}, // fully recovered
+	}
+	for i, s := range steps {
+		if got := l.Observe(s.signal); got != s.want {
+			t.Fatalf("step %d (signal %v): level = %d, want %d", i, s.signal, got, s.want)
+		}
+	}
+	if l.Switches() != 4 {
+		t.Fatalf("switches = %d, want 4 (two in, two out)", l.Switches())
+	}
+}
+
+// TestLadderContiguity: a deep rung firing while the shallow rung is
+// still Normal must not escalate — the level counts contiguous rungs
+// from the bottom.
+func TestLadderContiguity(t *testing.T) {
+	// Rung 0 demands a long streak, rung 1 fires instantly.
+	l := mustLadder(t,
+		Config{EnterBelow: 70, ExitAbove: 90, EnterAfter: 5, ExitAfter: 1},
+		Config{EnterBelow: 20, ExitAbove: 45, EnterAfter: 1, ExitAfter: 1},
+	)
+	for i := 0; i < 4; i++ {
+		if got := l.Observe(10); got != 0 {
+			t.Fatalf("observation %d: level = %d, want 0 while rung 0 streaks", i, got)
+		}
+	}
+	// Fifth low sample: rung 0 finally fires, rung 1 already Emergency.
+	if got := l.Observe(10); got != 2 {
+		t.Fatalf("level = %d, want 2 once the bottom rung catches up", got)
+	}
+}
+
+// TestLadderForce: operator override jumps to any level (clamped) and
+// Observe resumes hysteresis from there.
+func TestLadderForce(t *testing.T) {
+	l := mustLadder(t,
+		Config{EnterBelow: 70, ExitAbove: 90},
+		Config{EnterBelow: 20, ExitAbove: 45},
+	)
+	l.Force(2, 0)
+	if l.Level() != 2 {
+		t.Fatalf("forced level = %d, want 2", l.Level())
+	}
+	l.Force(99, 0)
+	if l.Level() != 2 {
+		t.Fatalf("over-forced level = %d, want clamp to 2", l.Level())
+	}
+	// A healthy signal unwinds both rungs (ExitAfter defaults to 1).
+	if got := l.Observe(95); got != 0 {
+		t.Fatalf("post-force recovery level = %d, want 0", got)
+	}
+	l.Force(-3, 0)
+	if l.Level() != 0 {
+		t.Fatalf("negative force level = %d, want clamp to 0", l.Level())
+	}
+}
+
+// TestLadderValidation: rungs must nest and each rung's config is still
+// checked by NewSwitcher.
+func TestLadderValidation(t *testing.T) {
+	if _, err := NewLadder(); err == nil {
+		t.Fatal("empty ladder must be rejected")
+	}
+	if _, err := NewLadder(
+		Config{EnterBelow: 20, ExitAbove: 45},
+		Config{EnterBelow: 70, ExitAbove: 90},
+	); err == nil {
+		t.Fatal("non-nesting rungs must be rejected")
+	}
+	if _, err := NewLadder(Config{EnterBelow: 50, ExitAbove: 10}); err == nil {
+		t.Fatal("inverted hysteresis must be rejected")
+	}
+}

@@ -127,6 +127,77 @@ func (t *Timing) quantileLocked(q float64) float64 {
 	return t.max
 }
 
+// TimingCursor marks a point in a Timing's sample stream. It is an
+// opaque copy of the bucket state at Cursor() time; QuantileSince
+// subtracts it out to read quantiles over only the samples that arrived
+// after it — the windowed view a control loop needs (a cumulative p99
+// stops reacting once history dwarfs the tail).
+type TimingCursor struct {
+	count   int64
+	buckets []int64
+}
+
+// Cursor snapshots the timing's current position for later windowed
+// reads via QuantileSince.
+func (t *Timing) Cursor() TimingCursor {
+	if t == nil {
+		return TimingCursor{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := TimingCursor{count: t.count}
+	if t.buckets != nil {
+		c.buckets = append([]int64(nil), t.buckets...)
+	}
+	return c
+}
+
+// QuantileSince estimates the q-th quantile over the samples observed
+// after cur was taken, returning the estimate (seconds) and the window's
+// sample count. An empty window returns (0, 0). The estimate uses the
+// same geometric-midpoint read as Quantile but clamps to the all-time
+// min/max (per-window extremes are not tracked), so a window whose
+// samples all share one bucket may read slightly wide of its true range.
+func (t *Timing) QuantileSince(cur TimingCursor, q float64) (float64, int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	window := t.count - cur.count
+	if window <= 0 || t.buckets == nil {
+		return 0, 0
+	}
+	rank := int64(math.Ceil(q * float64(window)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > window {
+		rank = window
+	}
+	var cum int64
+	for i, n := range t.buckets {
+		if i < len(cur.buckets) {
+			n -= cur.buckets[i]
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		var mid float64
+		switch {
+		case i == 0:
+			mid = t.min
+		case i > len(timingBounds)-1:
+			mid = t.max
+		default:
+			mid = math.Sqrt(timingBounds[i-1] * timingBounds[i])
+		}
+		return math.Min(math.Max(mid, t.min), t.max), window
+	}
+	return t.max, window
+}
+
 // TimingSnapshot is the exportable state of a Timing: the summary
 // moments plus the standard latency quantiles, all in seconds.
 type TimingSnapshot struct {

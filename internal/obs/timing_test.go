@@ -100,6 +100,63 @@ func TestTimingOutOfRange(t *testing.T) {
 	}
 }
 
+// TestTimingCursorWindow: a cursor splits the stream — QuantileSince
+// reads only the samples after it, which is how the adapt monitor gets
+// a per-tick p99 instead of a history-dominated cumulative one.
+func TestTimingCursorWindow(t *testing.T) {
+	var tm Timing
+	// A slow era: 1000 samples around 1s.
+	for i := 0; i < 1000; i++ {
+		tm.Observe(1.0)
+	}
+	cur := tm.Cursor()
+	// A fast era: 100 samples at 10ms.
+	for i := 0; i < 100; i++ {
+		tm.Observe(0.010)
+	}
+	// The cumulative p99 is still stuck in the slow era…
+	if got := tm.Quantile(0.99); got < 0.5 {
+		t.Fatalf("cumulative p99 = %v, want slow-era ~1s", got)
+	}
+	// …but the windowed read sees only the fast era.
+	got, n := tm.QuantileSince(cur, 0.99)
+	if n != 100 {
+		t.Fatalf("window count = %d, want 100", n)
+	}
+	const tol = 0.08
+	if math.Abs(got-0.010)/0.010 > tol {
+		t.Fatalf("windowed p99 = %v, want 0.010 ±%.0f%%", got, tol*100)
+	}
+}
+
+// TestTimingCursorEdges: empty windows, nil receivers, stale zero-value
+// cursors, and rank clamping at q=0/q=1.
+func TestTimingCursorEdges(t *testing.T) {
+	var tm Timing
+	cur := tm.Cursor()
+	if got, n := tm.QuantileSince(cur, 0.5); got != 0 || n != 0 {
+		t.Fatalf("empty window = (%v, %d), want (0, 0)", got, n)
+	}
+	tm.Observe(0.2)
+	// A zero-value cursor covers the whole stream.
+	if got, n := tm.QuantileSince(TimingCursor{}, 0.5); got != 0.2 || n != 1 {
+		t.Fatalf("zero cursor = (%v, %d), want (0.2, 1)", got, n)
+	}
+	for _, q := range []float64{-1, 0, 1, 2} {
+		if got, n := tm.QuantileSince(TimingCursor{}, q); got != 0.2 || n != 1 {
+			t.Fatalf("QuantileSince(q=%v) = (%v, %d), want clamped (0.2, 1)", q, got, n)
+		}
+	}
+
+	var nilT *Timing
+	if nilT.Cursor().count != 0 {
+		t.Fatal("nil Cursor must be zero")
+	}
+	if got, n := nilT.QuantileSince(TimingCursor{}, 0.5); got != 0 || n != 0 {
+		t.Fatalf("nil QuantileSince = (%v, %d), want (0, 0)", got, n)
+	}
+}
+
 // TestRegistryTiming: timings are registered instruments — created on
 // first use, shared by name, snapshotted into the registry and the
 // metrics document under "timings".

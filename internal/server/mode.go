@@ -1,0 +1,176 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Mode is the server's operational mode — the paper's mode-switching
+// strategy (§3.4.6) applied to the serving system itself. In normal
+// mode the system works within the designed realm; under pressure it
+// trades result fidelity and admission for latency; in an emergency it
+// suspends compute entirely and serves only what it already knows.
+// The integer values are the server.mode gauge's wire values.
+type Mode int32
+
+// Operational modes, in escalation order.
+const (
+	ModeNormal Mode = iota
+	ModePressured
+	ModeEmergency
+)
+
+// String returns the mode name as it appears in the X-Resilience-Mode
+// header, /readyz, and log lines.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModePressured:
+		return "pressured"
+	case ModeEmergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("mode(%d)", int32(m))
+	}
+}
+
+// ParseMode maps a mode name back to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "normal":
+		return ModeNormal, nil
+	case "pressured":
+		return ModePressured, nil
+	case "emergency":
+		return ModeEmergency, nil
+	}
+	return ModeNormal, fmt.Errorf("unknown mode %q (want normal, pressured, or emergency)", s)
+}
+
+// ModePolicy is what a mode means operationally — the actuator settings
+// the server applies when it switches.
+type ModePolicy struct {
+	// ForceQuick runs every computation with quick-size workloads,
+	// whatever the request asked for. Bodies stay deterministic *per
+	// mode* (a forced-quick body is byte-identical to an explicit
+	// quick:true run); the X-Resilience-Mode header is the annotation
+	// that tells the client which contract it got.
+	ForceQuick bool
+	// MaxQueue bounds the worker-pool wait queue: -1 unbounded, 0 sheds
+	// every request that cannot start immediately, n sheds once n are
+	// already waiting.
+	MaxQueue int
+	// CacheOnly serves only cache hits; a miss is a structured 503 and
+	// compute stays suspended.
+	CacheOnly bool
+	// Workers resizes the pool; 0 keeps the configured size.
+	Workers int
+}
+
+// policyFor returns mode m's policy given the configured pool size.
+//
+//   - normal: full-size runs, unbounded queue (the request timeout is
+//     the only back-pressure, as before this machinery existed);
+//   - pressured: quick-size runs, queue bounded at 2× the pool — beyond
+//     that requests shed with a 429 + Retry-After instead of queueing
+//     toward their timeout. The bound also floors the quality signal
+//     the adapt controller reads at size/(size+2·size) ≈ 33, holding a
+//     shedding-but-serving server out of the emergency band;
+//   - emergency: cache-only. Misses 503, nothing queues, and the pool
+//     halves so an operator forcing recovery ramps compute back up
+//     rather than stampeding it. ForceQuick stays on: degradation is
+//     monotone down the ladder, so emergency serves the quick entries
+//     pressured mode just warmed.
+func policyFor(m Mode, base int) ModePolicy {
+	switch m {
+	case ModePressured:
+		return ModePolicy{ForceQuick: true, MaxQueue: 2 * base}
+	case ModeEmergency:
+		w := base / 2
+		if w < 1 {
+			w = 1
+		}
+		return ModePolicy{ForceQuick: true, CacheOnly: true, MaxQueue: 0, Workers: w}
+	default:
+		return ModePolicy{MaxQueue: -1}
+	}
+}
+
+// Mode returns the server's current operational mode.
+func (s *Server) Mode() Mode { return Mode(s.mode.Load()) }
+
+// SetMode switches the operational mode and applies its worker policy.
+// It is the executor surface the adapt controller (and POST /v1/mode)
+// actuates; calling it with the current mode is a no-op.
+func (s *Server) SetMode(m Mode) {
+	if Mode(s.mode.Swap(int32(m))) == m {
+		return
+	}
+	s.obs.Gauge("server.mode").Set(float64(m))
+	s.obs.Counter("server.mode.switches").Inc()
+	pol := policyFor(m, s.baseWorkers)
+	workers := pol.Workers
+	if workers == 0 {
+		workers = s.baseWorkers
+	}
+	s.pool.SetPolicy(workers, pol.MaxQueue)
+}
+
+// SetForceMode installs the hook POST /v1/mode routes through. The
+// adapt controller registers its Force here so an operator-forced mode
+// also resets the controller's hysteresis state instead of being
+// fought back on the next tick. Must be called before the server
+// starts serving.
+func (s *Server) SetForceMode(fn func(Mode)) { s.forceMode = fn }
+
+// modeStatus is the GET/POST /v1/mode document.
+type modeStatus struct {
+	Mode     string `json:"mode"`
+	Adaptive bool   `json:"adaptive"`
+	Switches int64  `json:"switches"`
+	Shed     int64  `json:"shed"`
+}
+
+func (s *Server) writeModeStatus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	writeIndentedJSON(w, modeStatus{
+		Mode:     s.Mode().String(),
+		Adaptive: s.forceMode != nil,
+		Switches: s.obs.Counter("server.mode.switches").Value(),
+		Shed:     s.obs.Counter("server.shed").Value(),
+	})
+}
+
+func (s *Server) handleModeGet(w http.ResponseWriter, r *http.Request) {
+	s.writeModeStatus(w)
+}
+
+// handleModePost forces an operational mode — the operator (or a chaos
+// plan's mode strike) overriding the controller, §3.4.5's "consensus
+// building may decide the mode". Body: {"mode": "normal" | "pressured"
+// | "emergency"}. With an adapt controller attached the force routes
+// through it so the controller's hysteresis agrees with the override.
+func (s *Server) handleModePost(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Mode string `json:"mode"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("parse mode request: %v", err))
+		return
+	}
+	m, err := ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if s.forceMode != nil {
+		s.forceMode(m)
+	} else {
+		s.SetMode(m)
+	}
+	s.writeModeStatus(w)
+}

@@ -1,0 +1,524 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilience/internal/cluster"
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/runner"
+)
+
+// TestInflightGaugeExcludesScrapes is the regression test for the
+// inflight-counting bug: the gauge used to move for *every* request, so
+// a /metrics scrape observed itself as in-flight work — the pre-fix
+// gauge value inside a scrape is 1, and the SLO hung-after-drain check
+// (plus the adapt Monitor) read that phantom work as a hung server.
+func TestInflightGaugeExcludesScrapes(t *testing.T) {
+	_, ts, o := newTestServer(t, Config{})
+	_, _, body := get(t, ts.URL+"/metrics")
+	var doc struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("metrics document: %v", err)
+	}
+	if got := doc.Gauges["server.inflight"]; got != 0 {
+		t.Fatalf("a /metrics scrape reported server.inflight = %v; scrapes must not count as work", got)
+	}
+	// Probes must not move it either.
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/readyz")
+	if got := o.Gauge("server.inflight").Value(); got != 0 {
+		t.Fatalf("server.inflight = %v after probes, want 0", got)
+	}
+	// Real work still counts: a gated run holds the gauge at 1.
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	gate := fakeExp("tgate", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		rec.Notef("gated")
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	s2, ts2, o2 := newTestServer(t, Config{Registry: []experiments.Experiment{gate}})
+	go func() {
+		// Raw client: test helpers may not Fatal off the test goroutine.
+		resp, err := http.Post(ts2.URL+"/v1/run/tgate", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain and move on
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	if got := o2.Gauge("server.inflight").Value(); got != 1 {
+		t.Fatalf("server.inflight = %v during a run, want 1", got)
+	}
+	close(release)
+	waitGaugeZero(t, o2, "server.inflight")
+	if s2.Mode() != ModeNormal {
+		t.Fatalf("mode drifted to %v", s2.Mode())
+	}
+}
+
+func waitGaugeZero(t *testing.T, o *obs.Observer, name string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if o.Gauge(name).Value() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s never drained to 0 (at %v)", name, o.Gauge(name).Value())
+}
+
+// TestNilCacheRingNode is the regression test for the coordinator
+// nil-cache path: Config.Cache is documented as "nil disables caching",
+// and a ring-configured node must serve a digest it does not own by
+// skipping the cache read-through (nothing to read) and proxying — or,
+// with the owner dead, computing locally — without ever dereferencing
+// the absent cache. The request must succeed end to end.
+func TestNilCacheRingNode(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	dead := "http://127.0.0.1:9" // no listener: every proxy attempt fails
+	ring := cluster.New([]string{self, dead}, 0)
+	s := New(Config{
+		Registry: []experiments.Experiment{fakeExp("t01", noop)},
+		Obs:      obs.New(),
+		Cache:    nil, // the documented-legal configuration under test
+		Ring:     ring,
+		Self:     self,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Find a seed whose digest the dead peer owns, so the remote-owner
+	// branch (the pre-fix panic site) runs.
+	e := s.byID["t01"]
+	for seed := uint64(0); seed < 64; seed++ {
+		digest := runner.CacheKey(s.options(runParams{Seed: seed}), e).Digest()
+		if owner, remote := s.owner(digest); remote && owner == dead {
+			code, _, body := post(t, ts.URL+"/v1/run/t01", fmt.Sprintf(`{"seed":%d}`, seed))
+			if code != 200 {
+				t.Fatalf("nil-cache ring node: status %d, body %s", code, body)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in range hashed to the dead peer")
+}
+
+// TestSuiteRejectsDuplicateIDs bounds the suite fan-out: one goroutine
+// is spawned per requested id *before* coalescing saves the compute, so
+// a request repeating an id thousands of times was a memory-
+// amplification lever. Duplicates are now a 400.
+func TestSuiteRejectsDuplicateIDs(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	code, _, body := post(t, ts.URL+"/v1/suite", `{"ids":["t01","t01"]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("duplicate ids: status %d, want 400 (body %s)", code, body)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.Error.Code != "bad_request" || !strings.Contains(eb.Error.Message, "duplicate id") {
+		t.Fatalf("error = %+v", eb.Error)
+	}
+	// The amplified shape: thousands of repeats must be rejected, fast.
+	ids := make([]string, 4096)
+	for i := range ids {
+		ids[i] = "t01"
+	}
+	doc, _ := json.Marshal(map[string]any{"ids": ids})
+	if code, _, _ := post(t, ts.URL+"/v1/suite", string(doc)); code != http.StatusBadRequest {
+		t.Fatalf("amplified duplicate ids: status %d, want 400", code)
+	}
+	// Distinct ids still work.
+	if code, _, _ := post(t, ts.URL+"/v1/suite", `{"ids":["t01","t02"]}`); code != 200 {
+		t.Fatalf("distinct ids: status %d, want 200", code)
+	}
+}
+
+// TestModeHeaderAndEndpoint: every run response names its mode; the
+// /v1/mode endpoints report and force modes; /readyz includes the mode
+// line.
+func TestModeHeaderAndEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	if _, hdr, _ := post(t, ts.URL+"/v1/run/t01", ""); hdr.Get(modeHeader) != "normal" {
+		t.Fatalf("mode header = %q, want normal", hdr.Get(modeHeader))
+	}
+	code, _, body := get(t, ts.URL+"/v1/mode")
+	if code != 200 || !strings.Contains(body, `"mode": "normal"`) {
+		t.Fatalf("GET /v1/mode = %d %s", code, body)
+	}
+
+	code, _, body = post(t, ts.URL+"/v1/mode", `{"mode":"pressured"}`)
+	if code != 200 || !strings.Contains(body, `"mode": "pressured"`) {
+		t.Fatalf("POST /v1/mode = %d %s", code, body)
+	}
+	if s.Mode() != ModePressured {
+		t.Fatalf("mode = %v after force, want pressured", s.Mode())
+	}
+	if _, _, body := get(t, ts.URL+"/readyz"); !strings.Contains(body, "mode: pressured") {
+		t.Fatalf("readyz missing mode line: %q", body)
+	}
+	if _, hdr, _ := post(t, ts.URL+"/v1/run/t01", ""); hdr.Get(modeHeader) != "pressured" {
+		t.Fatalf("mode header = %q, want pressured", hdr.Get(modeHeader))
+	}
+
+	// Bad requests.
+	if code, _, _ := post(t, ts.URL+"/v1/mode", `{"mode":"panic"}`); code != 400 {
+		t.Fatalf("unknown mode: status %d, want 400", code)
+	}
+	if code, _, _ := post(t, ts.URL+"/v1/mode", `{"bogus":1}`); code != 400 {
+		t.Fatalf("unknown field: status %d, want 400", code)
+	}
+
+	// A registered force hook takes over (the adapt controller's seat).
+	var forced Mode = -1
+	s2, ts2, _ := newTestServer(t, Config{})
+	s2.SetForceMode(func(m Mode) { forced = m; s2.SetMode(m) })
+	post(t, ts2.URL+"/v1/mode", `{"mode":"emergency"}`)
+	if forced != ModeEmergency || s2.Mode() != ModeEmergency {
+		t.Fatalf("force hook: forced=%v mode=%v, want emergency/emergency", forced, s2.Mode())
+	}
+	if _, _, body := get(t, ts2.URL+"/v1/mode"); !strings.Contains(body, `"adaptive": true`) {
+		t.Fatalf("mode status should report adaptive: %s", body)
+	}
+}
+
+// TestPressuredForcesQuick: in pressured mode a full-size request is
+// served the quick body — byte-identical to an explicit quick:true run
+// in normal mode, so bodies stay deterministic per mode — and the
+// stored cache entry is the quick entry.
+func TestPressuredForcesQuick(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	_, _, wantBody := post(t, ts.URL+"/v1/run/t01", `{"seed":7,"quick":true}`)
+
+	s2, ts2, _ := newTestServer(t, Config{})
+	s2.SetMode(ModePressured)
+	code, hdr, body := post(t, ts2.URL+"/v1/run/t01", `{"seed":7}`)
+	if code != 200 {
+		t.Fatalf("pressured run: status %d", code)
+	}
+	if body != wantBody {
+		t.Fatalf("pressured full-size body != normal quick body:\n%s\nvs\n%s", body, wantBody)
+	}
+	if hdr.Get(modeHeader) != "pressured" {
+		t.Fatalf("mode header = %q", hdr.Get(modeHeader))
+	}
+
+	// Back in normal mode the same request computes the full-size run:
+	// the quick entry must not masquerade as the full result.
+	s2.SetMode(ModeNormal)
+	_, hdr, _ = post(t, ts2.URL+"/v1/run/t01", `{"seed":7}`)
+	if status := hdr.Get(statusHeader); strings.Contains(status, "cached") {
+		t.Fatalf("full-size run after pressured served %q; quick and full must not share a key", status)
+	}
+}
+
+// TestEmergencyCacheOnly: emergency serves hits (without taking a
+// worker slot) and refuses misses with a structured 503 + Retry-After;
+// compute stays suspended.
+func TestEmergencyCacheOnly(t *testing.T) {
+	s, ts, o := newTestServer(t, Config{})
+	// Warm one quick entry (emergency forces quick, so warm quick).
+	if code, _, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":7,"quick":true}`); code != 200 {
+		t.Fatal("warmup failed")
+	}
+	s.SetMode(ModeEmergency)
+
+	code, hdr, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":7,"quick":true}`)
+	if code != 200 {
+		t.Fatalf("emergency cache hit: status %d, want 200", code)
+	}
+	if status := hdr.Get(statusHeader); !strings.Contains(status, "cached") {
+		t.Fatalf("emergency hit status = %q, want cached", status)
+	}
+
+	attempts := o.Counter("runner.attempts").Value()
+	code, hdr, body := post(t, ts.URL+"/v1/run/t01", `{"seed":8}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("emergency miss: status %d, want 503 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("emergency miss must carry Retry-After")
+	}
+	if eb := decodeErrorBody(t, body); eb.Error.Code != "cache_only" {
+		t.Fatalf("emergency miss code = %q, want cache_only", eb.Error.Code)
+	}
+	if got := o.Counter("runner.attempts").Value(); got != attempts {
+		t.Fatalf("emergency miss ran compute (attempts %d -> %d)", attempts, got)
+	}
+
+	// Recovery: the same miss computes again in normal mode.
+	s.SetMode(ModeNormal)
+	if code, _, _ := post(t, ts.URL+"/v1/run/t01", `{"seed":8}`); code != 200 {
+		t.Fatalf("post-recovery run: status %d, want 200", code)
+	}
+}
+
+// TestPressuredShedsAtQueueBound: with a 1-slot pool the pressured
+// queue bound is 2 — the third concurrent distinct request sheds with
+// a 429 + Retry-After and the server.shed counter moves.
+func TestPressuredShedsAtQueueBound(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	// Every gated run blocks until released, jamming the 1-slot pool.
+	blockAll := fakeExp("tgate", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		rec.Notef("gated")
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil
+	})
+	s, ts, o := newTestServer(t, Config{
+		Registry:    []experiments.Experiment{blockAll, fakeExp("twarm", noop)},
+		MaxInflight: 1,
+	})
+	// Registered after newTestServer so it runs before ts.Close (LIFO):
+	// the gated handlers must unblock or Close waits on them forever.
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	// Warm a cacheable entry before the pool jams.
+	post(t, ts.URL+"/v1/run/twarm", `{"seed":1,"quick":true}`)
+
+	s.SetMode(ModePressured)
+	// Occupy the slot, then fill the queue (bound = 2×1 = 2) with
+	// distinct seeds so nothing coalesces.
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, _ := post(t, ts.URL+"/v1/run/tgate", fmt.Sprintf(`{"seed":%d}`, 10+i))
+			codes[i] = code
+		}(i)
+		if i == 0 {
+			<-started // the leader holds the slot before the queue fills
+		} else {
+			waitQueued(t, s, i)
+		}
+	}
+	// Queue is at its bound: the next distinct request must shed, now.
+	code, hdr, body := post(t, ts.URL+"/v1/run/tgate", `{"seed":99}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-bound request: status %d, want 429 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response must carry Retry-After")
+	}
+	if eb := decodeErrorBody(t, body); eb.Error.Code != "shed" {
+		t.Fatalf("shed code = %q", eb.Error.Code)
+	}
+	if o.Counter("server.shed").Value() == 0 {
+		t.Fatal("server.shed did not count the shed")
+	}
+	// Pressured mode sheds uniformly: even a cache-warm request needs a
+	// pool slot (the runner consults the cache after admission), so it
+	// sheds too. Only emergency CacheOnly serves hits without a slot —
+	// see TestEmergencyCacheOnly.
+	if code, _, _ := post(t, ts.URL+"/v1/run/twarm", `{"seed":1,"quick":true}`); code != http.StatusTooManyRequests {
+		t.Fatalf("warm request while jammed: status %d, want 429", code)
+	}
+	releaseOnce.Do(func() { close(release) })
+	wg.Wait()
+	for i, code := range codes {
+		if code != 200 {
+			t.Fatalf("queued request %d: status %d, want 200", i, code)
+		}
+	}
+}
+
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.pool.Queued() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pool queue never reached %d (at %d)", n, s.pool.Queued())
+}
+
+// TestSetModeAppliesPoolPolicy: mode changes resize the pool and trim
+// an over-bound queue immediately (tail first), and the gauges track.
+func TestSetModeAppliesPoolPolicy(t *testing.T) {
+	o := obs.New()
+	s := New(Config{Registry: []experiments.Experiment{fakeExp("t01", noop)}, Obs: o, MaxInflight: 4})
+	if got := o.Gauge("server.pool.size").Value(); got != 4 {
+		t.Fatalf("pool.size = %v, want 4", got)
+	}
+	s.SetMode(ModeEmergency)
+	if got := s.pool.Size(); got != 2 {
+		t.Fatalf("emergency pool size = %d, want base/2 = 2", got)
+	}
+	if got := o.Gauge("server.mode").Value(); got != float64(ModeEmergency) {
+		t.Fatalf("server.mode gauge = %v, want %v", got, float64(ModeEmergency))
+	}
+	s.SetMode(ModeNormal)
+	if got := s.pool.Size(); got != 4 {
+		t.Fatalf("restored pool size = %d, want 4", got)
+	}
+	if got := o.Counter("server.mode.switches").Value(); got != 2 {
+		t.Fatalf("mode.switches = %d, want 2", got)
+	}
+	// Same-mode set is a no-op.
+	s.SetMode(ModeNormal)
+	if got := o.Counter("server.mode.switches").Value(); got != 2 {
+		t.Fatalf("no-op SetMode moved the counter to %d", got)
+	}
+}
+
+// TestWorkPool exercises the pool directly: FIFO grants, admission
+// bounds, tail-first trims on SetPolicy, and context cancellation.
+func TestWorkPool(t *testing.T) {
+	o := obs.New()
+	p := newWorkPool(1, o)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Two FIFO waiters.
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.Acquire(ctx); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			p.Release()
+		}(i)
+		deadline := time.Now().Add(5 * time.Second)
+		for p.Queued() < i {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Release()
+	wg.Wait()
+	if a, b := <-order, <-order; a != 1 || b != 2 {
+		t.Fatalf("grant order = %d,%d, want FIFO 1,2", a, b)
+	}
+
+	// Admission bound: maxQueue 0 sheds instantly once the slot is held.
+	p.SetPolicy(1, 0)
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("free slot: %v", err)
+	}
+	if err := p.Acquire(ctx); err != errShed {
+		t.Fatalf("over-bound acquire = %v, want errShed", err)
+	}
+
+	// Tightening the bound sheds queued waiters from the tail.
+	p.SetPolicy(1, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Acquire(ctx)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Queued() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.SetPolicy(1, 1) // trims exactly one — the newest
+	deadlineShed := time.Now().Add(5 * time.Second)
+	for p.Queued() != 1 {
+		if time.Now().After(deadlineShed) {
+			t.Fatalf("queue = %d after trim, want 1", p.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Release() // grants the survivor
+	wg.Wait()
+	shed := 0
+	for _, err := range errs {
+		if err == errShed {
+			shed++
+		} else if err != nil {
+			t.Fatalf("unexpected waiter error: %v", err)
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("%d waiters shed, want exactly 1", shed)
+	}
+	p.Release()
+
+	// Context cancellation while queued.
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- p.Acquire(cctx) }()
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancel waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	if p.Queued() != 0 {
+		t.Fatalf("canceled waiter left in queue (%d)", p.Queued())
+	}
+
+	// Growth grants immediately.
+	done2 := make(chan error, 1)
+	go func() { done2 <- p.Acquire(ctx) }()
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("growth waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.SetPolicy(2, -1)
+	if err := <-done2; err != nil {
+		t.Fatalf("growth grant: %v", err)
+	}
+}
+
+// TestParseMode round-trips every mode and rejects garbage.
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{ModeNormal, ModePressured, ModeEmergency} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("chaos"); err == nil {
+		t.Fatal("ParseMode must reject unknown names")
+	}
+	if got := Mode(42).String(); got != "mode(42)" {
+		t.Fatalf("unknown mode String = %q", got)
+	}
+}

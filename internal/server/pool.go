@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"resilience/internal/obs"
+)
+
+// errShed is returned by workPool.Acquire when the admission bound is
+// hit: the request is refused *before* queueing so the client gets a
+// fast structured 429 instead of a slow timeout — shedding before the
+// queue melts is the point of the pressured mode.
+var errShed = errors.New("server overloaded: request shed, retry later")
+
+// workPool is the server's resizable worker pool: a counting semaphore
+// with an explicit FIFO wait queue, an admission bound, and live
+// occupancy metrics. It replaces the fixed channel semaphore so the
+// adapt controller can actuate on it at runtime:
+//
+//   - SetPolicy resizes the pool and bounds (or sheds down) the wait
+//     queue when the operating mode changes;
+//   - the server.queued gauge and server.queue.wait timing expose the
+//     congestion signal the controller's Monitor samples.
+//
+// Fairness: slots are granted strictly in arrival order, and a policy
+// change that shrinks the queue bound sheds from the *tail* (newest
+// waiters), so a request never loses its place to a later one.
+type workPool struct {
+	obs *obs.Observer
+
+	mu       sync.Mutex
+	size     int
+	maxQueue int // -1 unbounded, 0 sheds anything that cannot start now
+	used     int
+	waiters  []*poolWaiter
+}
+
+type poolWaiter struct {
+	ready chan struct{} // closed on grant or shed
+	err   error         // set before close when the waiter is shed
+}
+
+func newWorkPool(size int, o *obs.Observer) *workPool {
+	p := &workPool{obs: o, size: size, maxQueue: -1}
+	o.Gauge("server.pool.size").Set(float64(size))
+	o.Gauge("server.queued")
+	return p
+}
+
+// Acquire takes one worker slot, queueing (FIFO) while the pool is
+// saturated. It returns errShed when the queue is at the admission
+// bound, or ctx.Err() if the caller's budget expires while waiting.
+func (p *workPool) Acquire(ctx context.Context) error {
+	p.mu.Lock()
+	if p.used < p.size {
+		p.used++
+		p.mu.Unlock()
+		return nil
+	}
+	if p.maxQueue >= 0 && len(p.waiters) >= p.maxQueue {
+		p.mu.Unlock()
+		return errShed
+	}
+	w := &poolWaiter{ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.obs.Gauge("server.queued").Set(float64(len(p.waiters)))
+	p.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+		if w.err == nil {
+			p.obs.Timing("server.queue.wait").Observe(time.Since(start).Seconds())
+		}
+		return w.err
+	case <-ctx.Done():
+		p.mu.Lock()
+		select {
+		case <-w.ready:
+			// Resolved in the race window. A granted slot goes back to
+			// the queue head; a shed stays a shed (the context error is
+			// what the caller sees either way).
+			if w.err == nil {
+				p.releaseLocked()
+			}
+			p.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		p.removeLocked(w)
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a worker slot and hands it to the oldest waiter.
+func (p *workPool) Release() {
+	p.mu.Lock()
+	p.releaseLocked()
+	p.mu.Unlock()
+}
+
+func (p *workPool) releaseLocked() {
+	p.used--
+	p.grantLocked()
+}
+
+// grantLocked hands free slots to the head of the waiter queue.
+func (p *workPool) grantLocked() {
+	for p.used < p.size && len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.used++
+		close(w.ready)
+	}
+	p.obs.Gauge("server.queued").Set(float64(len(p.waiters)))
+}
+
+func (p *workPool) removeLocked(target *poolWaiter) {
+	for i, w := range p.waiters {
+		if w == target {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			break
+		}
+	}
+	p.obs.Gauge("server.queued").Set(float64(len(p.waiters)))
+}
+
+// SetPolicy applies a mode's worker policy: resize the pool (minimum 1
+// slot) and bound the wait queue (-1 unbounded). Growing grants slots
+// to queued waiters immediately; a tighter queue bound sheds the
+// excess waiters from the tail right now — each unblocks with the same
+// structured errShed a fresh arrival would get, so entering pressured
+// mode empties a queue that has already grown past the bound instead
+// of letting it drain at compute speed.
+func (p *workPool) SetPolicy(size, maxQueue int) {
+	if size < 1 {
+		size = 1
+	}
+	p.mu.Lock()
+	p.size = size
+	p.maxQueue = maxQueue
+	for maxQueue >= 0 && len(p.waiters) > maxQueue {
+		w := p.waiters[len(p.waiters)-1]
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		w.err = errShed
+		close(w.ready)
+	}
+	p.grantLocked()
+	p.mu.Unlock()
+	p.obs.Gauge("server.pool.size").Set(float64(size))
+}
+
+// Size returns the current pool size.
+func (p *workPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// Queued returns how many requests are waiting for a slot.
+func (p *workPool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waiters)
+}

@@ -24,6 +24,11 @@ const (
 	statusHeader   = "X-Resilience-Status"
 	attemptsHeader = "X-Resilience-Attempts"
 	schemaHeader   = "X-Resilience-Schema"
+	// modeHeader names the operational mode a run/suite request was
+	// served under. Bodies stay deterministic *per mode* (pressured
+	// forces quick, so its 200 body is exactly the quick:true body);
+	// the header is how a client learns which contract applied.
+	modeHeader = "X-Resilience-Mode"
 )
 
 // DefaultSeed is the root seed used when a request document omits one —
@@ -152,8 +157,16 @@ func (s *Server) options(p runParams) runner.Options {
 // identical in-flight run when there is one. Only the flight leader
 // takes a worker-pool slot; waiters block on the leader's completion
 // (or their own deadline). The returned error is a transport-level
-// failure (timeout while queued or waiting); an experiment failure
-// travels inside the Outcome.
+// failure (timeout while queued or waiting, shed under pressure,
+// cache-only miss in emergency); an experiment failure travels inside
+// the Outcome.
+//
+// mode is the caller's snapshot of the operational mode: pressured
+// forces quick-size runs (before the cache key is computed, so the
+// stored entry is honestly quick) and its queue bound sheds with
+// errShed; emergency answers from cache or not at all. The snapshot
+// keeps one request's policy coherent even if the controller switches
+// mid-flight.
 //
 // With a ring configured, the flight leader on a node that does not
 // own the run's cache digest first reads through the tiered cache
@@ -166,14 +179,37 @@ func (s *Server) options(p runParams) runner.Options {
 // matter what this node's ring says. An unreachable or draining owner
 // degrades to local compute (counted in server.proxy.errors), never to
 // a 5xx.
-func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runParams, forwarded bool) (runner.Outcome, error) {
+func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runParams, forwarded bool, mode Mode) (runner.Outcome, error) {
+	pol := policyFor(mode, s.baseWorkers)
+	if pol.ForceQuick {
+		// Degrade *before* building options so the cache key and the
+		// coalescing digest are the quick run's — a forced-quick result
+		// is stored and shared as exactly what it is.
+		p.Quick = true
+	}
 	opts := s.options(p)
 	cacheKey := runner.CacheKey(opts, e)
 	key := cacheKey.Digest()
 	out, coalesced, err := s.flights.do(ctx, key, func() (runner.Outcome, error) {
+		if pol.CacheOnly {
+			// Emergency: serve what we already know (any tier — the
+			// peer tier still reads through the owner's store), suspend
+			// everything else. No slot taken, no proxied compute.
+			if s.cache != nil {
+				if res, tier, ok := s.cache.Get(cacheKey); ok {
+					return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+				}
+			}
+			return runner.Outcome{}, errCacheOnly
+		}
 		if owner, remote := s.owner(key); remote && !forwarded {
-			if res, tier, ok := s.cache.Get(cacheKey); ok {
-				return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+			// Config.Cache may legally be nil ("nil disables caching"):
+			// a ring-configured node without a cache skips the
+			// read-through and goes straight to the owner.
+			if s.cache != nil {
+				if res, tier, ok := s.cache.Get(cacheKey); ok {
+					return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+				}
 			}
 			got, err := s.proxyRun(ctx, owner, e, p)
 			if err == nil {
@@ -184,12 +220,13 @@ func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runPar
 			// Fall through: the owner is unreachable, so this node
 			// computes (and stores) the result itself.
 		}
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return runner.Outcome{}, ctx.Err()
+		if err := s.pool.Acquire(ctx); err != nil {
+			if errors.Is(err, errShed) {
+				s.obs.Counter("server.shed").Inc()
+			}
+			return runner.Outcome{}, err
 		}
-		defer func() { <-s.sem }()
+		defer s.pool.Release()
 		var got runner.Outcome
 		runner.Run([]experiments.Experiment{e}, opts, func(o runner.Outcome) { got = o })
 		return got, nil
@@ -230,7 +267,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", `"ids" is only valid for /v1/suite; the run target is in the path`)
 		return
 	}
-	out, err := s.execute(r.Context(), e, p, r.Header.Get(forwardedHeader) != "")
+	mode := s.Mode()
+	w.Header().Set(modeHeader, mode.String())
+	out, err := s.execute(r.Context(), e, p, r.Header.Get(forwardedHeader) != "", mode)
 	if err != nil {
 		writeTransportError(w, err)
 		return
@@ -266,15 +305,28 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	exps := s.reg
 	if len(p.IDs) > 0 {
 		exps = make([]experiments.Experiment, 0, len(p.IDs))
+		seen := make(map[string]bool, len(p.IDs))
 		for _, id := range p.IDs {
 			e, ok := s.byID[id]
 			if !ok {
 				writeError(w, http.StatusNotFound, "unknown_experiment", fmt.Sprintf("unknown experiment %q", id))
 				return
 			}
+			// Reject duplicates before the fan-out below: a request
+			// repeating one id thousands of times would spawn thousands
+			// of goroutines only for all but one to coalesce — a cheap
+			// memory-amplification lever. The registry bounds a valid
+			// request's fan-out.
+			if seen[id] {
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("duplicate id %q in suite request", id))
+				return
+			}
+			seen[id] = true
 			exps = append(exps, e)
 		}
 	}
+	mode := s.Mode()
+	w.Header().Set(modeHeader, mode.String())
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
 
@@ -291,7 +343,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		done[i] = make(chan struct{})
 		go func() {
 			defer close(done[i])
-			outs[i], errs[i] = s.execute(ctx, exps[i], p, forwarded)
+			outs[i], errs[i] = s.execute(ctx, exps[i], p, forwarded, mode)
 		}()
 	}
 	flusher, _ := w.(http.Flusher)
@@ -338,19 +390,38 @@ func writeErrorResult(w http.ResponseWriter, status int, code, msg, id string, r
 	writeIndentedJSON(w, errorBody{Error: errObj{Code: code, Message: msg, ID: id}, Result: res})
 }
 
+// errCacheOnly is returned by execute when the emergency policy finds
+// no cached result: compute is suspended, so a miss is all the server
+// can honestly say.
+var errCacheOnly = errors.New("emergency mode: compute suspended and result not cached")
+
 // writeTransportError maps a queueing/coalescing failure to a status:
-// a request that ran out of budget is a 504, anything else (client
-// disconnect, drain) a 503.
+// a shed request is a 429 with Retry-After, an emergency cache miss a
+// 503 with Retry-After, a request that ran out of budget a 504, and
+// anything else (client disconnect, drain) a 503. Retry-After makes
+// the overload responses *structured* shedding — a client can tell
+// "come back later" apart from "broken".
 func writeTransportError(w http.ResponseWriter, err error) {
 	status := http.StatusServiceUnavailable
-	if errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, errShed):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errCacheOnly):
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	}
 	writeError(w, status, transportCode(err), err.Error())
 }
 
 func transportCode(err error) string {
-	if errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, errShed):
+		return "shed"
+	case errors.Is(err, errCacheOnly):
+		return "cache_only"
+	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	}
 	return "unavailable"

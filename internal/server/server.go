@@ -5,9 +5,16 @@
 // resilience machinery only matters once the system is operated as a
 // service under sustained load, so the server is production-shaped:
 //
-//   - bounded concurrency — computing requests take a slot on a worker
-//     pool (internal/runner semantics); excess requests queue and are
-//     bounded by the per-request timeout rather than melting the host;
+//   - bounded concurrency — computing requests take a slot on a
+//     resizable worker pool (see pool.go); excess requests queue FIFO,
+//     bounded by the per-request timeout and, under pressure, by the
+//     operational mode's admission policy rather than melting the host;
+//   - operational modes — the server runs a normal → pressured →
+//     emergency ladder (§3.4.6, see mode.go): pressured forces quick
+//     runs and sheds with structured 429s once the queue passes its
+//     bound, emergency serves cache-only with compute suspended. The
+//     internal/adapt controller (or POST /v1/mode) drives transitions;
+//     every response names its mode in the X-Resilience-Mode header;
 //   - request coalescing — concurrent requests for the same
 //     (experiment, seed, quick, plan) tuple fold onto one computation,
 //     keyed by the same rescache digest the result cache uses, so a
@@ -31,8 +38,10 @@
 //	GET  /v1/cluster       fleet status: ring, tier stats, cache health
 //	GET  /v1/chaos         chaos seam status: is a fault plan armed?
 //	POST /v1/chaos         arm (or clear) a server-side fault plan; see chaos.go
+//	GET  /v1/mode          operational mode + shed/switch counts; see mode.go
+//	POST /v1/mode          force a mode (operator/chaos override)
 //	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining) + cache health
+//	GET  /readyz           readiness (503 while draining) + mode + cache health
 //	GET  /metrics          obs metrics document (resilience-metrics/1)
 //
 // With a ring configured (Config.Self + Config.Peers) the server is a
@@ -115,21 +124,27 @@ type Config struct {
 // Serve (or mount Handler on an existing http.Server); stop with
 // Shutdown.
 type Server struct {
-	reg      []experiments.Experiment
-	byID     map[string]experiments.Experiment
-	cache    *rescache.Cache
-	local    rescache.Store
-	ring     *cluster.Ring
-	self     string
-	proxy    *http.Client
-	obs      *obs.Observer
-	sem      chan struct{}
-	flights  flightGroup
-	timeout  time.Duration
-	handler  http.Handler
-	httpSrv  *http.Server
-	draining atomic.Bool
-	chaos    atomic.Pointer[chaosState]
+	reg         []experiments.Experiment
+	byID        map[string]experiments.Experiment
+	cache       *rescache.Cache
+	local       rescache.Store
+	ring        *cluster.Ring
+	self        string
+	proxy       *http.Client
+	obs         *obs.Observer
+	pool        *workPool
+	baseWorkers int
+	flights     flightGroup
+	timeout     time.Duration
+	handler     http.Handler
+	httpSrv     *http.Server
+	draining    atomic.Bool
+	chaos       atomic.Pointer[chaosState]
+	mode        atomic.Int32
+	// forceMode, when set (SetForceMode, before serving starts), is how
+	// POST /v1/mode overrides the mode: through the adapt controller so
+	// its hysteresis follows the override.
+	forceMode func(Mode)
 }
 
 // New builds a Server from cfg. The returned server is immediately
@@ -156,16 +171,17 @@ func New(cfg Config) *Server {
 		local = cfg.Cache.Store()
 	}
 	s := &Server{
-		reg:     reg,
-		byID:    make(map[string]experiments.Experiment, len(reg)),
-		cache:   cfg.Cache,
-		local:   local,
-		ring:    cfg.Ring,
-		self:    cfg.Self,
-		proxy:   &http.Client{},
-		obs:     o,
-		sem:     make(chan struct{}, inflight),
-		timeout: timeout,
+		reg:         reg,
+		byID:        make(map[string]experiments.Experiment, len(reg)),
+		cache:       cfg.Cache,
+		local:       local,
+		ring:        cfg.Ring,
+		self:        cfg.Self,
+		proxy:       &http.Client{},
+		obs:         o,
+		pool:        newWorkPool(inflight, o),
+		baseWorkers: inflight,
+		timeout:     timeout,
 	}
 	for _, e := range reg {
 		s.byID[e.ID] = e
@@ -177,8 +193,13 @@ func New(cfg Config) *Server {
 	o.Counter("server.proxied")
 	o.Counter("server.proxy.errors")
 	o.Counter("server.chaos.updates")
+	o.Counter("server.shed")
+	o.Counter("server.mode.switches")
 	o.Gauge("server.inflight")
 	o.Gauge("server.chaos.armed")
+	o.Gauge("server.mode")
+	o.Timing("server.latency")
+	o.Timing("server.queue.wait")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -192,6 +213,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/chaos", s.handleChaosGet)
 	mux.HandleFunc("POST /v1/chaos", s.handleChaosPost)
+	mux.HandleFunc("GET /v1/mode", s.handleModeGet)
+	mux.HandleFunc("POST /v1/mode", s.handleModePost)
 	s.handler = s.instrument(mux)
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
@@ -223,7 +246,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // instrument wraps the mux with the request-scoped observability and
 // lifecycle concerns shared by every endpoint: the draining gate, the
-// server.requests counter, the server.inflight gauge, a per-request
+// server.requests counter, the work-tracking instruments, a per-request
 // span, and the end-to-end request timeout.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -233,8 +256,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			return
 		}
 		s.obs.Counter("server.requests").Inc()
-		s.obs.Gauge("server.inflight").Add(1)
-		defer s.obs.Gauge("server.inflight").Add(-1)
+		// Only run/suite work moves the inflight gauge and latency
+		// timing. Scrapes and probes must not: the SLO hung-after-drain
+		// check and the adapt Monitor both read these as "work the
+		// server owes someone", and a /metrics poll during a bench run
+		// would inflate exactly the signal it is trying to observe.
+		if isWork(r.URL.Path) {
+			s.obs.Gauge("server.inflight").Add(1)
+			start := time.Now()
+			defer func() {
+				s.obs.Timing("server.latency").Observe(time.Since(start).Seconds())
+				s.obs.Gauge("server.inflight").Add(-1)
+			}()
+		}
 		span := s.obs.Span(r.Method+" "+r.URL.Path, "request")
 		defer span.End()
 		ctx := r.Context()
@@ -245,6 +279,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// isWork reports whether a request path is run/suite computation — the
+// work the inflight gauge, server.latency timing, and adapt controller
+// track, as opposed to scrapes, probes, and control-plane calls.
+func isWork(path string) bool {
+	return strings.HasPrefix(path, "/v1/run/") || path == "/v1/suite"
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -266,6 +307,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Write([]byte("ready\n"))
+	fmt.Fprintf(w, "mode: %s\n", s.Mode())
 	switch {
 	case s.cache == nil:
 		w.Write([]byte("cache: off\n"))

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"resilience/internal/adapt"
 	"resilience/internal/cluster"
 	"resilience/internal/experiments"
 	"resilience/internal/obs"
@@ -33,6 +34,9 @@ type Node struct {
 	Obs      *obs.Observer
 	Ring     *cluster.Ring
 	CacheDir string
+	// Adapt is the node's MAPE-K controller, non-nil only under
+	// WithAdapt. Tests may Tick or Force it directly.
+	Adapt *adapt.Controller
 
 	tb       testing.TB
 	listener net.Listener
@@ -47,6 +51,9 @@ type config struct {
 	maxInflight    int
 	requestTimeout time.Duration
 	noCache        bool
+	adapt          bool
+	adaptInterval  time.Duration
+	adaptTuning    adapt.Tuning
 }
 
 // Option customizes a booted node (every node of a fleet gets the same
@@ -79,6 +86,20 @@ func WithRequestTimeout(d time.Duration) Option {
 // WithoutCache boots the node cacheless (requests still coalesce).
 func WithoutCache() Option {
 	return func(c *config) { c.noCache = true }
+}
+
+// WithAdapt runs the node under its MAPE-K controller, exactly like
+// `resilience serve -adapt`: the control loop ticks every interval,
+// POST /v1/mode routes through Controller.Force, and the loop stops on
+// cleanup before the server drains. Tuning zero values take
+// adapt.DefaultTuning — tests that need fast transitions pass short
+// streaks.
+func WithAdapt(interval time.Duration, tuning adapt.Tuning) Option {
+	return func(c *config) {
+		c.adapt = true
+		c.adaptInterval = interval
+		c.adaptTuning = tuning
+	}
 }
 
 // Boot starts a single-node daemon on an ephemeral port, waits for
@@ -185,8 +206,26 @@ func bootNode(tb testing.TB, cfg config, l net.Listener, self string, ring *clus
 		MaxInflight:    cfg.maxInflight,
 		RequestTimeout: cfg.requestTimeout,
 	})
+	var ctrl *adapt.Controller
+	if cfg.adapt {
+		var err error
+		ctrl, err = adapt.New(adapt.Config{
+			Target: node.Server,
+			Obs:    o,
+			Tuning: cfg.adaptTuning,
+		})
+		if err != nil {
+			tb.Fatalf("servertest: adapt: %v", err)
+		}
+		node.Adapt = ctrl
+		node.Server.SetForceMode(ctrl.Force)
+	}
 	go func() { node.serveErr <- node.Server.Serve(l) }()
 	tb.Cleanup(node.stop)
+	if ctrl != nil {
+		ctrl.Start(cfg.adaptInterval)
+		tb.Cleanup(ctrl.Stop) // LIFO: the loop stops before the drain
+	}
 	return node
 }
 

@@ -1,0 +1,198 @@
+// Command allocgate compares a `go test -bench -benchmem` run of
+// BenchmarkSuiteWarmVsCold against the committed allocation trajectory
+// in BENCH_alloc.json and fails when the suite's allocation counts
+// regress past the gate's tolerances.
+//
+// Allocations per op — unlike ns/op — are effectively hardware- and
+// load-independent, so a gate on them is stable across CI runners: the
+// cold count is the price of computing, marshalling, and storing all 31
+// results once, and the warm count is the price of replaying them from
+// the cache. The gate reads the LAST data point of the baseline file
+// (the trajectory's newest entry) and applies:
+//
+//   - cold: allocs/op may exceed the baseline by at most
+//     gate.cold_allocs_tolerance_pct percent;
+//   - warm and warm-mem: allocs/op may exceed the baseline by at most
+//     gate.warm_slack_allocs allocations — an absolute allowance for
+//     run-to-run runtime jitter (measured at ±2) set far below the cost
+//     of reintroducing a single per-result decode or re-render.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSuiteWarmVsCold -benchmem . > out.txt
+//	go run ./cmd/allocgate -baseline BENCH_alloc.json out.txt
+//
+// With no file argument the benchmark output is read from stdin, so the
+// two commands pipe together.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors BENCH_alloc.json.
+type baseline struct {
+	Benchmark  string      `json:"benchmark"`
+	Gate       gate        `json:"gate"`
+	DataPoints []dataPoint `json:"data_points"`
+}
+
+type gate struct {
+	ColdAllocsTolerancePct float64 `json:"cold_allocs_tolerance_pct"`
+	WarmSlackAllocs        int64   `json:"warm_slack_allocs"`
+}
+
+type dataPoint struct {
+	Date          string `json:"date"`
+	ColdAllocs    int64  `json:"cold_allocs_per_op"`
+	ColdBytes     int64  `json:"cold_bytes_per_op"`
+	WarmAllocs    int64  `json:"warm_allocs_per_op"`
+	WarmBytes     int64  `json:"warm_bytes_per_op"`
+	MemWarmAllocs int64  `json:"mem_warm_allocs_per_op"`
+	MemWarmBytes  int64  `json:"mem_warm_bytes_per_op"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	allocs int64
+	bytes  int64
+}
+
+// benchLine matches one `go test -bench` result row with -benchmem
+// columns, e.g.
+//
+//	BenchmarkSuiteWarmVsCold/cold-8   3   425449664 ns/op   90054538 B/op   471013 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is optional (single-proc runners
+// omit it).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_alloc.json", "committed allocation trajectory to gate against")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: allocgate [-baseline BENCH_alloc.json] [bench-output.txt]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(*baselinePath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, args []string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	if len(base.DataPoints) == 0 {
+		return fmt.Errorf("%s has no data points to gate against", baselinePath)
+	}
+	ref := base.DataPoints[len(base.DataPoints)-1]
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if len(args) > 1 {
+		return fmt.Errorf("at most one benchmark output file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, src = f, args[0]
+	}
+	got, err := parseBench(in, base.Benchmark)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", src, err)
+	}
+
+	type check struct {
+		name       string
+		meas       measurement
+		baseAllocs int64
+		baseBytes  int64
+		limit      int64
+		rule       string
+	}
+	coldLimit := ref.ColdAllocs + int64(float64(ref.ColdAllocs)*base.Gate.ColdAllocsTolerancePct/100)
+	checks := []check{
+		{"cold", got["cold"], ref.ColdAllocs, ref.ColdBytes, coldLimit,
+			fmt.Sprintf("baseline +%g%%", base.Gate.ColdAllocsTolerancePct)},
+		{"warm", got["warm"], ref.WarmAllocs, ref.WarmBytes, ref.WarmAllocs + base.Gate.WarmSlackAllocs,
+			fmt.Sprintf("baseline +%d allocs jitter slack", base.Gate.WarmSlackAllocs)},
+		{"warm-mem", got["warm-mem"], ref.MemWarmAllocs, ref.MemWarmBytes, ref.MemWarmAllocs + base.Gate.WarmSlackAllocs,
+			fmt.Sprintf("baseline +%d allocs jitter slack", base.Gate.WarmSlackAllocs)},
+	}
+	failed := 0
+	for _, c := range checks {
+		if c.meas.allocs == 0 {
+			fmt.Printf("FAIL %-8s missing from benchmark output (want %s/%s)\n", c.name, base.Benchmark, c.name)
+			failed++
+			continue
+		}
+		verdict := "ok  "
+		if c.meas.allocs > c.limit {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-8s %9d allocs/op (baseline %9d from %s, limit %9d: %s); %9d B/op (baseline %9d)\n",
+			verdict, c.name, c.meas.allocs, c.baseAllocs, ref.Date, c.limit, c.rule, c.meas.bytes, c.baseBytes)
+		if c.meas.allocs <= c.limit && c.baseAllocs > 0 {
+			if drop := 100 * float64(c.baseAllocs-c.meas.allocs) / float64(c.baseAllocs); drop >= 10 {
+				fmt.Printf("     %-8s improved %.1f%% — consider appending a new data point to the trajectory\n",
+					c.name, drop)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d allocation gates failed against %s's %s point",
+			failed, len(checks), baselinePath, ref.Date)
+	}
+	return nil
+}
+
+// parseBench extracts the per-variant measurements of the named
+// benchmark ("cold", "warm", "warm-mem") from `go test -bench` output.
+func parseBench(in io.Reader, benchmark string) (map[string]measurement, error) {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest, ok := strings.Cut(m[1], "/")
+		if !ok || name != benchmark {
+			continue
+		}
+		bytes, err1 := strconv.ParseInt(m[2], 10, 64)
+		allocs, err2 := strconv.ParseInt(m[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("unparseable row %q", sc.Text())
+		}
+		out[rest] = measurement{allocs: allocs, bytes: bytes}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %s/... result rows found (did the run use -benchmem?)", benchmark)
+	}
+	return out, nil
+}

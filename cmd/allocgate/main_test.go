@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBaseline = `{
+  "benchmark": "BenchmarkSuiteWarmVsCold",
+  "gate": {"cold_allocs_tolerance_pct": 10, "warm_slack_allocs": 16},
+  "data_points": [
+    {"date": "2026-01-01", "cold_allocs_per_op": 9999999, "warm_allocs_per_op": 9999},
+    {
+      "date": "2026-08-07",
+      "cold_allocs_per_op": 471013, "cold_bytes_per_op": 90054512,
+      "warm_allocs_per_op": 4449, "warm_bytes_per_op": 229944,
+      "mem_warm_allocs_per_op": 4170, "mem_warm_bytes_per_op": 170514
+    }
+  ]
+}`
+
+func benchOutput(cold, warm, memWarm int64) string {
+	return `goos: linux
+goarch: amd64
+pkg: resilience
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSuiteWarmVsCold/cold-8         	       3	 425449664 ns/op	90054538 B/op	 ` +
+		itoa(cold) + ` allocs/op
+BenchmarkSuiteWarmVsCold/warm         	       3	   1947424 ns/op	  229944 B/op	    ` +
+		itoa(warm) + ` allocs/op
+BenchmarkSuiteWarmVsCold/warm-mem     	       3	   1851299 ns/op	  170514 B/op	    ` +
+		itoa(memWarm) + ` allocs/op
+PASS
+ok  	resilience	4.211s
+`
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		panic("negative")
+	}
+	b := [20]byte{}
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
+
+// gateRun writes the baseline and bench output to temp files and runs
+// the gate, returning its error.
+func gateRun(t *testing.T, baseline, bench string) error {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "BENCH_alloc.json")
+	op := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(bp, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(op, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return run(bp, []string{op})
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	if err := gateRun(t, testBaseline, benchOutput(471013, 4449, 4170)); err != nil {
+		t.Fatalf("baseline-exact run failed the gate: %v", err)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	// Cold +9.9%, warm and warm-mem at the edge of the jitter slack.
+	if err := gateRun(t, testBaseline, benchOutput(517000, 4465, 4186)); err != nil {
+		t.Fatalf("in-tolerance run failed the gate: %v", err)
+	}
+}
+
+func TestGateFailsOnColdRegression(t *testing.T) {
+	// Cold +11% exceeds the 10% tolerance.
+	err := gateRun(t, testBaseline, benchOutput(522825, 4449, 4170))
+	if err == nil || !strings.Contains(err.Error(), "1 of 3") {
+		t.Fatalf("cold regression not caught: %v", err)
+	}
+}
+
+func TestGateFailsOnWarmRegression(t *testing.T) {
+	// A reintroduced per-result decode costs thousands of allocs; even a
+	// slack-plus-one regression must fail.
+	err := gateRun(t, testBaseline, benchOutput(471013, 4449+17, 4170))
+	if err == nil {
+		t.Fatal("warm regression passed the gate")
+	}
+}
+
+func TestGateFailsOnMissingVariant(t *testing.T) {
+	partial := `BenchmarkSuiteWarmVsCold/cold-8   3   425449664 ns/op   90054538 B/op   471013 allocs/op` + "\n"
+	err := gateRun(t, testBaseline, partial)
+	if err == nil || !strings.Contains(err.Error(), "2 of 3") {
+		t.Fatalf("missing warm variants not caught: %v", err)
+	}
+}
+
+func TestGateFailsWithoutBenchmem(t *testing.T) {
+	noMem := `BenchmarkSuiteWarmVsCold/cold-8   3   425449664 ns/op` + "\n"
+	err := gateRun(t, testBaseline, noMem)
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("memless output not diagnosed: %v", err)
+	}
+}
+
+func TestGateUsesLastDataPoint(t *testing.T) {
+	// The first (stale, huge) data point must not be the reference: a
+	// count below it but far above the last point has to fail.
+	err := gateRun(t, testBaseline, benchOutput(5000000, 4449, 4170))
+	if err == nil {
+		t.Fatal("gate compared against a stale data point")
+	}
+}

@@ -297,11 +297,18 @@ func runSuite(stdout, stderr io.Writer, exps []experiments.Experiment, opt optio
 			fmt.Fprintln(stdout)
 		}
 		emitted++
-		if err := render.Render(stdout, o.Result); err != nil && renderErr == nil {
+		// JSON output reuses the canonical bytes the runner already
+		// marshalled (or replayed from the cache) — indent-on-write, no
+		// re-marshal. Text rendering reads the decoded Result as before.
+		if opt.format == "json" && o.Canon != nil {
+			if err := experiments.RenderJSONBytes(stdout, o.Canon); err != nil && renderErr == nil {
+				renderErr = err
+			}
+		} else if err := render.Render(stdout, o.Result); err != nil && renderErr == nil {
 			renderErr = err
 		}
 		if opt.outDir != "" {
-			if err := writeArtifact(opt.outDir, o.Result); err != nil && renderErr == nil {
+			if err := writeArtifact(opt.outDir, o); err != nil && renderErr == nil {
 				renderErr = err
 			}
 		}
@@ -572,13 +579,19 @@ func writeMetrics(stderr io.Writer, observer *obs.Observer, path string) error {
 	return f.Close()
 }
 
-// writeArtifact writes one JSON result document to dir/<id>.json.
-func writeArtifact(dir string, res *experiments.Result) error {
-	f, err := os.Create(filepath.Join(dir, res.ID+".json"))
+// writeArtifact writes one JSON result document to dir/<id>.json,
+// copying the outcome's canonical bytes when it carries them.
+func writeArtifact(dir string, o runner.Outcome) error {
+	f, err := os.Create(filepath.Join(dir, o.Experiment.ID+".json"))
 	if err != nil {
 		return err
 	}
-	if err := experiments.RenderJSON(f, res); err != nil {
+	if o.Canon != nil {
+		err = experiments.RenderJSONBytes(f, o.Canon)
+	} else {
+		err = experiments.RenderJSON(f, o.Result)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}

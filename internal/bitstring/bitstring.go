@@ -147,6 +147,22 @@ func (s String) Hamming(t String) (int, error) {
 	return d, nil
 }
 
+// MaskedHamming returns the number of positions where s and t differ,
+// counted only at positions set in mask — popcount((s XOR t) AND mask)
+// without materializing either intermediate. This is the hot kernel of
+// dcsp.Mask.Violations, which greedy repair calls once per candidate
+// flip per agent per step.
+func (s String) MaskedHamming(t, mask String) (int, error) {
+	if s.n != t.n || s.n != mask.n {
+		return 0, ErrLengthMismatch
+	}
+	d := 0
+	for i := range s.words {
+		d += bits.OnesCount64((s.words[i] ^ t.words[i]) & mask.words[i])
+	}
+	return d, nil
+}
+
 // Equal reports whether s and t have the same length and bits.
 func (s String) Equal(t String) bool {
 	if s.n != t.n {

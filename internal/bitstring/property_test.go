@@ -48,6 +48,45 @@ func TestHammingProperties(t *testing.T) {
 	}
 }
 
+// TestMaskedHammingMatchesMaterialized checks the allocation-free masked
+// distance against the definitional form |(s⊕t)∧m| built from Xor, And
+// and Count, over random strings spanning multiple words.
+func TestMaskedHammingMatchesMaterialized(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(300)
+		s, u := randomPair(n, r)
+		m := Random(n, r)
+		got, err := s.MaskedHamming(u, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := s.Xor(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked, err := diff.And(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := masked.Count(); got != want {
+			t.Fatalf("n=%d: MaskedHamming = %d, |(s xor u) and m| = %d", n, got, want)
+		}
+		if full, _ := s.MaskedHamming(u, Ones(n)); full != masked.Count() {
+			dsu, _ := s.Hamming(u)
+			if full != dsu {
+				t.Fatalf("n=%d: all-ones mask gives %d, Hamming gives %d", n, full, dsu)
+			}
+		}
+	}
+	if _, err := New(3).MaskedHamming(New(3), New(4)); err == nil {
+		t.Fatal("mask length mismatch not rejected")
+	}
+	if _, err := New(3).MaskedHamming(New(4), New(3)); err == nil {
+		t.Fatal("operand length mismatch not rejected")
+	}
+}
+
 // TestHammingQuick drives the same symmetry/identity invariants through
 // testing/quick over single-word strings.
 func TestHammingQuick(t *testing.T) {

@@ -34,6 +34,13 @@ type Forest struct {
 	// Suppressed counts fires put out by the policy.
 	Suppressed int
 	steps      int
+
+	// Flood-fill scratch, reused across cluster calls so the lightning
+	// sweep allocates nothing per strike: mark[j] == epoch means cell j
+	// was visited by the current fill.
+	mark  []int
+	epoch int
+	queue []int
 }
 
 // NewForest creates an empty forest with the given parameters.
@@ -109,13 +116,19 @@ func (f *Forest) Step(r *rng.Source) {
 }
 
 // cluster returns the connected tree cluster containing cell i
-// (4-neighborhood).
+// (4-neighborhood). The returned slice is the Forest's reused scratch
+// buffer — valid until the next cluster call, which is how Step
+// consumes it.
 func (f *Forest) cluster(i int) []int {
 	if f.cells[i] == cellEmpty {
 		return nil
 	}
-	seen := map[int]struct{}{i: {}}
-	queue := []int{i}
+	if len(f.mark) != len(f.cells) {
+		f.mark = make([]int, len(f.cells))
+	}
+	f.epoch++
+	f.mark[i] = f.epoch
+	queue := append(f.queue[:0], i)
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
 		x, y := cur%f.l, cur/f.l
@@ -128,13 +141,14 @@ func (f *Forest) cluster(i int) []int {
 			if f.cells[j] == cellEmpty {
 				continue
 			}
-			if _, ok := seen[j]; ok {
+			if f.mark[j] == f.epoch {
 				continue
 			}
-			seen[j] = struct{}{}
+			f.mark[j] = f.epoch
 			queue = append(queue, j)
 		}
 	}
+	f.queue = queue
 	return queue
 }
 

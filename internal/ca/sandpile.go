@@ -30,6 +30,9 @@ const TopplingThreshold = 4
 type Sandpile struct {
 	l      int
 	height []int
+	// queue is the relaxation work list, kept on the struct so the hot
+	// drop-relax loop reuses one buffer instead of allocating per grain.
+	queue []int
 	// Dissipated counts grains lost over the edges.
 	Dissipated int
 	// TotalAdded counts grains dropped.
@@ -71,27 +74,31 @@ func (s *Sandpile) AddGrain(x, y int) (int, error) {
 		return 0, fmt.Errorf("ca: site (%d,%d) outside %dx%d pile", x, y, s.l, s.l)
 	}
 	s.TotalAdded++
-	s.height[y*s.l+x]++
-	return s.relax(), nil
+	i := y*s.l + x
+	s.height[i]++
+	return s.relax(i), nil
 }
 
 // AddRandomGrain drops one grain at a uniformly random site.
 func (s *Sandpile) AddRandomGrain(r *rng.Source) int {
+	i := r.Intn(len(s.height))
 	s.TotalAdded++
-	s.height[r.Intn(len(s.height))]++
-	return s.relax()
+	s.height[i]++
+	return s.relax(i)
 }
 
 // relax topples until every site is below threshold and returns the
-// number of topplings.
-func (s *Sandpile) relax() int {
+// number of topplings. dropped is the site the triggering grain landed
+// on: every relax call leaves the whole pile below threshold and grains
+// only ever arrive one at a time, so the dropped site is the only
+// possible over-threshold seed — no grid scan needed. The toppling
+// order (and the resulting heights — the BTW model is abelian anyway)
+// is exactly what the old full scan produced.
+func (s *Sandpile) relax(dropped int) int {
 	topplings := 0
-	// Work queue of over-threshold sites.
-	var queue []int
-	for i, h := range s.height {
-		if h >= TopplingThreshold {
-			queue = append(queue, i)
-		}
+	queue := s.queue[:0]
+	if s.height[dropped] >= TopplingThreshold {
+		queue = append(queue, dropped)
 	}
 	for len(queue) > 0 {
 		i := queue[len(queue)-1]
@@ -114,6 +121,7 @@ func (s *Sandpile) relax() int {
 			}
 		}
 	}
+	s.queue = queue[:0]
 	return topplings
 }
 

@@ -139,20 +139,16 @@ func (c Mask) Len() int { return c.Template.Len() }
 // Fit reports whether all cared bits match the template.
 func (c Mask) Fit(s bitstring.String) bool { return c.Violations(s) == 0 && s.Len() == c.Len() }
 
-// Violations counts cared bits that differ from the template.
+// Violations counts cared bits that differ from the template. It runs
+// allocation-free: greedy repair probes it once per candidate flip, so a
+// materialized XOR/AND intermediate here dominated the whole suite's
+// allocation profile.
 func (c Mask) Violations(s bitstring.String) int {
-	if s.Len() != c.Len() {
-		return c.MaxViolations()
-	}
-	diff, err := s.Xor(c.Template)
+	d, err := s.MaskedHamming(c.Template, c.Care)
 	if err != nil {
 		return c.MaxViolations()
 	}
-	masked, err := diff.And(c.Care)
-	if err != nil {
-		return c.MaxViolations()
-	}
-	return masked.Count()
+	return d
 }
 
 // MaxViolations returns the number of cared bits.

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is the one-pass canonical encoder for Result. It produces,
+// in a single append pass over a caller-supplied buffer, exactly the
+// bytes the old pipeline produced with a full JSON round trip
+// (Marshal -> Unmarshal into any-trees -> Marshal): struct-valued cells
+// emit sorted key order, every number is normalized through float64,
+// strings are escaped the way encoding/json escapes them. Those bytes
+// are the canonical form that flows unchanged through cache, coalescer,
+// and HTTP responses (see DESIGN.md "Canonical-bytes contract"), so the
+// encoder must stay byte-compatible with encoding/json — the
+// differential test in canonical_test.go pins that equivalence against
+// a copy of the legacy round-tripping marshaller.
+
+// AppendCanonical appends the canonical JSON encoding of r to dst and
+// returns the extended buffer. The output is a fixed point: unmarshal
+// it into a Result and re-encode, and the same bytes come back. Passing
+// a reused buffer (sliced to length 0) makes encoding allocation-free
+// once the buffer has grown to steady-state size.
+func (r *Result) AppendCanonical(dst []byte) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, r.ID)
+	dst = append(dst, `,"title":`...)
+	dst = appendJSONString(dst, r.Title)
+	dst = append(dst, `,"source":`...)
+	dst = appendJSONString(dst, r.Source)
+	if len(r.Modules) > 0 {
+		dst = append(dst, `,"modules":`...)
+		dst = appendStringArray(dst, r.Modules)
+	}
+	dst = append(dst, `,"seed":`...)
+	dst = strconv.AppendUint(dst, r.Seed, 10)
+	dst = append(dst, `,"quick":`...)
+	dst = strconv.AppendBool(dst, r.Quick)
+	dst = append(dst, `,"tables":`...)
+	if r.Tables == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, t := range r.Tables {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, err = appendTable(dst, t); err != nil {
+				return nil, err
+			}
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Scalars) > 0 {
+		dst = append(dst, `,"scalars":[`...)
+		for i, s := range r.Scalars {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"name":`...)
+			dst = appendJSONString(dst, s.Name)
+			dst = append(dst, `,"value":`...)
+			if dst, err = appendValue(dst, s.Value); err != nil {
+				return nil, err
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Notes) > 0 {
+		dst = append(dst, `,"notes":`...)
+		dst = appendStringArray(dst, r.Notes)
+	}
+	if r.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, r.Error)
+	}
+	dst = appendLayout(dst, r)
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendLayout emits the layout field: "table"/"note" tokens in
+// recording order. A Result that never recorded an order (hand-built,
+// or a zero value) gets the same layout the Unmarshal fallback would
+// rebuild — all tables, then all notes — so the encoding is a fixed
+// point under round trips either way.
+func appendLayout(dst []byte, r *Result) []byte {
+	nItems := len(r.order)
+	if nItems == 0 {
+		nItems = len(r.Tables) + len(r.Notes)
+	}
+	if nItems == 0 {
+		return dst
+	}
+	dst = append(dst, `,"layout":[`...)
+	if len(r.order) > 0 {
+		for i, it := range r.order {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if it.table != nil {
+				dst = append(dst, `"table"`...)
+			} else {
+				dst = append(dst, `"note"`...)
+			}
+		}
+	} else {
+		for i := 0; i < nItems; i++ {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if i < len(r.Tables) {
+				dst = append(dst, `"table"`...)
+			} else {
+				dst = append(dst, `"note"`...)
+			}
+		}
+	}
+	return append(dst, ']')
+}
+
+func appendTable(dst []byte, t *Table) ([]byte, error) {
+	if t == nil {
+		return append(dst, "null"...), nil
+	}
+	var err error
+	dst = append(dst, `{"name":`...)
+	dst = appendJSONString(dst, t.Name)
+	dst = append(dst, `,"columns":`...)
+	if t.Columns == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = appendStringArray(dst, t.Columns)
+	}
+	dst = append(dst, `,"rows":`...)
+	if t.Rows == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, row := range t.Rows {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if row == nil {
+				dst = append(dst, "null"...)
+				continue
+			}
+			dst = append(dst, '[')
+			for j := range row {
+				if j > 0 {
+					dst = append(dst, ',')
+				}
+				dst = append(dst, `{"value":`...)
+				if dst, err = appendValue(dst, row[j].Value); err != nil {
+					return nil, err
+				}
+				dst = append(dst, `,"text":`...)
+				dst = appendJSONString(dst, row[j].Text)
+				dst = append(dst, '}')
+			}
+			dst = append(dst, ']')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}'), nil
+}
+
+// appendValue encodes an arbitrary cell or scalar value canonically:
+// the bytes encoding/json would produce after one round trip through
+// `any`. Common concrete types take direct paths (numbers normalize
+// through float64 exactly as a round trip would); anything else —
+// structs, typed maps, slices of structs — falls back to a real
+// Marshal/Unmarshal round trip, which is what guarantees sorted key
+// order on the first pass.
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, "null"...), nil
+	case string:
+		return appendJSONString(dst, x), nil
+	case bool:
+		return strconv.AppendBool(dst, x), nil
+	case int:
+		return appendCanonFloat(dst, float64(x))
+	case int64:
+		return appendCanonFloat(dst, float64(x))
+	case int32:
+		return appendCanonFloat(dst, float64(x))
+	case uint64:
+		return appendCanonFloat(dst, float64(x))
+	case uint:
+		return appendCanonFloat(dst, float64(x))
+	case float64:
+		return appendCanonFloat(dst, x)
+	case []float64:
+		if x == nil {
+			return append(dst, "null"...), nil
+		}
+		var err error
+		dst = append(dst, '[')
+		for i, f := range x {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, err = appendCanonFloat(dst, f); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, ']'), nil
+	case []int:
+		if x == nil {
+			return append(dst, "null"...), nil
+		}
+		var err error
+		dst = append(dst, '[')
+		for i, n := range x {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, err = appendCanonFloat(dst, float64(n)); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, ']'), nil
+	case []string:
+		if x == nil {
+			return append(dst, "null"...), nil
+		}
+		return appendStringArray(dst, x), nil
+	case []any:
+		if x == nil {
+			return append(dst, "null"...), nil
+		}
+		var err error
+		dst = append(dst, '[')
+		for i := range x {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, err = appendValue(dst, x[i]); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, ']'), nil
+	case map[string]any:
+		if x == nil {
+			return append(dst, "null"...), nil
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var err error
+		dst = append(dst, '{')
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			if dst, err = appendValue(dst, x[k]); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, '}'), nil
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		var tree any
+		if err := json.Unmarshal(raw, &tree); err != nil {
+			return nil, err
+		}
+		return appendValue(dst, tree)
+	}
+}
+
+// appendCanonFloat formats f exactly as encoding/json's floatEncoder
+// does for a float64: shortest form, 'f' format unless the magnitude
+// calls for scientific notation, with the exponent's leading zero
+// stripped. Every canonical number goes through this path because a
+// JSON round trip decodes all numbers as float64.
+func appendCanonFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json turns e-09 into e-9 and e+09 into e+9.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+func appendStringArray(dst []byte, ss []string) []byte {
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, s)
+	}
+	return append(dst, ']')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, escaped exactly as
+// encoding/json does with HTML escaping on: `"` `\` and control bytes
+// escaped, `<` `>` `&` emitted as < > &, invalid UTF-8
+// replaced with �, and U+2028/U+2029 escaped for JS embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// encoding/json escapes an invalid byte as �, but the
+			// round trip decodes that escape to the literal replacement
+			// rune and the second marshal leaves it unescaped — so the
+			// canonical form is the literal rune.
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, 0xEF, 0xBF, 0xBD)
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

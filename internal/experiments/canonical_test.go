@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"resilience/internal/rng"
+	"resilience/internal/xevent"
+)
+
+// legacyDoc is a frozen copy of the pre-canonical-encoder resultDoc, and
+// legacyMarshal/legacyCanonicalMarshal below are frozen copies of the
+// old MarshalJSON + Canonical() pipeline: marshal via encoding/json,
+// round-trip through Unmarshal (struct values become sorted-key maps,
+// numbers become float64), marshal again. The differential tests pin
+// the new one-pass encoder to these bytes exactly — if the encoder ever
+// drifts from encoding/json's output, cache replays and HTTP responses
+// would stop being byte-identical to fresh runs.
+type legacyDoc struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Source  string   `json:"source"`
+	Modules []string `json:"modules,omitempty"`
+	Seed    uint64   `json:"seed"`
+	Quick   bool     `json:"quick"`
+	Tables  []*Table `json:"tables"`
+	Scalars []Scalar `json:"scalars,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Layout  []string `json:"layout,omitempty"`
+}
+
+func legacyMarshal(r *Result) ([]byte, error) {
+	doc := legacyDoc{
+		ID: r.ID, Title: r.Title, Source: r.Source, Modules: r.Modules,
+		Seed: r.Seed, Quick: r.Quick, Tables: r.Tables,
+		Scalars: r.Scalars, Notes: r.Notes, Error: r.Error,
+	}
+	for _, it := range r.order {
+		if it.table != nil {
+			doc.Layout = append(doc.Layout, "table")
+		} else {
+			doc.Layout = append(doc.Layout, "note")
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// legacyCanonicalMarshal is what the old pipeline emitted everywhere:
+// runner.Canonical() (a marshal/unmarshal round trip) followed by the
+// old MarshalJSON.
+func legacyCanonicalMarshal(t *testing.T, r *Result) []byte {
+	t.Helper()
+	data, err := legacyMarshal(r)
+	if err != nil {
+		t.Fatalf("legacy marshal: %v", err)
+	}
+	var round Result
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("legacy round trip: %v", err)
+	}
+	out, err := legacyMarshal(&round)
+	if err != nil {
+		t.Fatalf("legacy re-marshal: %v", err)
+	}
+	return out
+}
+
+// flakyHook fails every failAt-th seam strike, standing in for a fault
+// plan: experiments abort mid-recording, leaving partial tables and a
+// populated Error field — the shapes the error-path encoder must get
+// byte-right too.
+type flakyHook struct {
+	n, failAt int
+}
+
+func (h *flakyHook) Strike(seam string, _ *rng.Source) error {
+	h.n++
+	if h.failAt > 0 && h.n%h.failAt == 0 {
+		return fmt.Errorf("injected fault at seam %q (strike %d)", seam, h.n)
+	}
+	return nil
+}
+
+// checkCanonical asserts the new one-pass encoding of res matches the
+// legacy round-tripping pipeline byte for byte, and that the encoding
+// is a fixed point under a decode/re-encode cycle.
+func checkCanonical(t *testing.T, res *Result) {
+	t.Helper()
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("canonical marshal: %v", err)
+	}
+	want := legacyCanonicalMarshal(t, res)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("canonical encoding drifted from legacy round trip:\n--- new ---\n%s\n--- legacy ---\n%s",
+			diffHint(got, want), want)
+	}
+	var back Result
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("decode canonical bytes: %v", err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal decoded result: %v", err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatalf("canonical encoding is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+			got, again)
+	}
+}
+
+// diffHint prefixes the first byte position where got and want differ,
+// so a failure points at the drift instead of two full documents.
+func diffHint(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("(first diff at byte %d: ...%s...)\n%s", i, got[lo:i+1], got)
+		}
+	}
+	return fmt.Sprintf("(lengths differ: %d vs %d)\n%s", len(got), len(want), got)
+}
+
+// TestCanonicalMatchesLegacyRoundTrip is the differential test for the
+// one-pass encoder: every experiment, quick and full, clean and under
+// an injected-fault hook, must encode to exactly the bytes the old
+// Canonical() round trip produced. Full (non-quick) runs are the slow
+// half and are skipped under -short.
+func TestCanonicalMatchesLegacyRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		for _, quick := range []bool{true, false} {
+			quick := quick
+			for _, faulty := range []bool{false, true} {
+				faulty := faulty
+				name := e.ID
+				if quick {
+					name += "/quick"
+				} else {
+					name += "/full"
+				}
+				if faulty {
+					name += "/faults"
+				}
+				t.Run(name, func(t *testing.T) {
+					if !quick && testing.Short() {
+						t.Skip("full runs skipped in -short mode")
+					}
+					t.Parallel()
+					cfg := Config{Seed: 42, Quick: quick}
+					if faulty {
+						cfg.Hook = &flakyHook{failAt: 3}
+					}
+					res, err := e.Record(cfg)
+					if res == nil {
+						t.Fatalf("no result (err=%v)", err)
+					}
+					checkCanonical(t, res)
+					// The runner stamps recovered results after the fact;
+					// post-run annotations must stay canonical too.
+					res.Annotate("recovered after %d attempts (degraded)", 2)
+					res.AddScalar("runner_attempts", 2)
+					checkCanonical(t, res)
+				})
+			}
+		}
+	}
+}
+
+// TestCanonicalStructCells pins the motivating case for the canonical
+// contract: struct-valued cells (e15 records xevent distributions via
+// C("%s", d)) marshal in sorted key order on the first pass — Pareto's
+// field order (Scale, Alpha) is not its key order (Alpha, Scale).
+func TestCanonicalStructCells(t *testing.T) {
+	rec := NewRecorder(Experiment{ID: "tstruct", Title: "struct cells", Source: "test"},
+		Config{Seed: 7})
+	rec.Table("dists", "dist", "mean").
+		Row(C("%s", xevent.Gaussian{Mean: 10, StdDev: 2}), F("%.1f", 10.0)).
+		Row(C("%s", xevent.Pareto{Scale: 1, Alpha: 2.5}), F("%.1f", 1.67))
+	rec.Scalar("pareto", xevent.Pareto{Scale: 3, Alpha: 1.5})
+	res := rec.Result()
+	checkCanonical(t, res)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key order must be sorted, not struct field order.
+	if !strings.Contains(string(data), `{"alpha":2.5,"scale":1}`) &&
+		!strings.Contains(string(data), `{"Alpha":2.5,"Scale":1}`) {
+		t.Fatalf("Pareto cell not emitted in sorted key order:\n%s", data)
+	}
+}
+
+// TestCanonicalEncoderEdgeCases covers the encoder paths experiments
+// rarely hit: escaping, extreme floats, nil and empty containers, and
+// hand-built results with no recording order.
+func TestCanonicalEncoderEdgeCases(t *testing.T) {
+	rec := NewRecorder(Experiment{ID: "tedge", Title: "a<b&c>d    \"q\"\\", Source: "src\ttab\nnl"},
+		Config{Seed: 1<<63 + 3})
+	tb := rec.Table("t", "v")
+	for _, v := range []any{
+		nil, "", "plain", "<html>&stuff</html>", "\x01\x1f", "bad\xffutf8",
+		true, false, 0, -1, 42, int64(1) << 62, uint64(1) << 63,
+		0.0, -0.0, 1.5, -2.25, 1e-7, 9.999e-7, 1e21, 1.5e300, 5e-324,
+		[]float64{1, 2.5}, []int{3, 4}, []string{"a", "b"}, []any{1.0, "x", nil},
+		[]float64(nil), []int(nil), []string(nil), []any(nil), map[string]any(nil),
+		map[string]any{"z": 1.0, "a": "two", "m": map[string]any{"k": []any{true}}},
+		struct {
+			B float64 `json:"b"`
+			A string  `json:"a"`
+		}{B: 3.5, A: "x"},
+		[]xevent.Pareto{{Scale: 1, Alpha: 2}},
+		map[string]float64{"y": 1, "x": 2},
+		float32(0.1), float32(3.14159),
+	} {
+		tb.Row(V(v, "%v", v))
+	}
+	rec.Notef("note with   separator and <angle> & amp")
+	rec.Scalar("big", uint64(1)<<63+111)
+	res := rec.Result()
+	res.Error = "an <error> & such"
+	checkCanonical(t, res)
+
+	// Hand-built results without a recording order must also be fixed
+	// points (the layout fallback path).
+	bare := &Result{ID: "bare", Title: "t", Source: "s", Seed: 9,
+		Tables: []*Table{{Name: "n", Columns: []string{"c"}, Rows: [][]Cell{{D(1)}}}},
+		Notes:  []string{"n1", "n2"}}
+	checkCanonical(t, bare)
+	empty := &Result{ID: "empty", Title: "t", Source: "s"}
+	checkCanonical(t, empty)
+}
+
+// FuzzCanonicalMarshal fuzzes the encoder against the legacy pipeline
+// over struct-valued cells and adversarial strings: for any Result
+// built through the Recorder, the one-pass encoding must equal the
+// legacy round-trip encoding and be a fixed point.
+func FuzzCanonicalMarshal(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4}, "hello", 10.0, 2.5)
+	f.Add([]byte{4, 4, 0, 1, 3, 2}, "a<b>& ", -1e21, 1e-7)
+	f.Add([]byte{}, "", 0.0, 0.0)
+	f.Add([]byte{0, 1, 1, 4, 3}, "ünïcødé \xff", 1e300, 5e-324)
+	f.Fuzz(func(t *testing.T, shape []byte, text string, x, y float64) {
+		rec := NewRecorder(Experiment{ID: "fzc", Title: text, Source: "fuzz"},
+			Config{Seed: 11, Quick: len(shape)%2 == 1})
+		var tb *Table
+		for i, b := range shape {
+			if i >= 24 {
+				break
+			}
+			switch b % 5 {
+			case 0:
+				tb = rec.Table(fmt.Sprintf("t%d", i), "a", "b")
+			case 1:
+				if tb != nil {
+					tb.Row(C("%v", xevent.Gaussian{Mean: x, StdDev: y}), S(text))
+				}
+			case 2:
+				rec.Notef("note %d: %s", i, text)
+			case 3:
+				rec.Scalar(fmt.Sprintf("s%d", i), x)
+			case 4:
+				if tb != nil {
+					tb.Row(V(map[string]any{"p": xevent.Pareto{Scale: x, Alpha: y}, text: y}, "%v", x),
+						V([]any{x, text, nil, []float64{y}}, "%v", y))
+				}
+			}
+		}
+		res := rec.Result()
+		got, err := json.Marshal(res)
+		if err != nil {
+			// NaN/Inf cell values are unsupported either way; the legacy
+			// pipeline must reject them too.
+			if _, lerr := legacyMarshal(res); lerr == nil {
+				t.Fatalf("new encoder rejected what legacy accepts: %v", err)
+			}
+			return
+		}
+		checkCanonical(t, res)
+		_ = got
+	})
+}

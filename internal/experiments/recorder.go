@@ -114,7 +114,9 @@ func (r *Result) AddScalar(name string, value any) {
 
 // resultDoc is the JSON shape of a Result: the exported fields plus the
 // table/note interleaving, so a document round-trips through JSON with
-// its text rendering intact.
+// its text rendering intact. MarshalJSON emits this shape directly via
+// the canonical encoder (canonical.go); the struct exists for the
+// decode side.
 type resultDoc struct {
 	ID      string   `json:"id"`
 	Title   string   `json:"title"`
@@ -132,21 +134,14 @@ type resultDoc struct {
 }
 
 // MarshalJSON encodes the Result with its layout, so the note/table
-// interleaving survives a JSON round trip.
+// interleaving survives a JSON round trip. The encoding is canonical on
+// the first pass — struct-valued cells emit sorted key order, numbers
+// normalize through float64 — so marshalling is a fixed point and every
+// consumer (cache, coalescer, HTTP responses, stdout) sees the same
+// bytes without a canonicalizing round trip. See AppendCanonical for
+// the allocation-free entry point.
 func (r *Result) MarshalJSON() ([]byte, error) {
-	doc := resultDoc{
-		ID: r.ID, Title: r.Title, Source: r.Source, Modules: r.Modules,
-		Seed: r.Seed, Quick: r.Quick, Tables: r.Tables,
-		Scalars: r.Scalars, Notes: r.Notes, Error: r.Error,
-	}
-	for _, it := range r.order {
-		if it.table != nil {
-			doc.Layout = append(doc.Layout, "table")
-		} else {
-			doc.Layout = append(doc.Layout, "note")
-		}
-	}
-	return json.Marshal(doc)
+	return r.AppendCanonical(make([]byte, 0, 1024))
 }
 
 // UnmarshalJSON decodes a Result and rebuilds the rendering order from
@@ -184,28 +179,6 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		r.order = append(r.order, renderItem{note: ni})
 	}
 	return nil
-}
-
-// Canonical returns the result as it would appear after one JSON round
-// trip: cell values recorded as Go structs become generic maps that
-// marshal with sorted keys, numbers become float64, and so on. The
-// runner canonicalizes every computed result so a fresh run and a
-// cache replay (which stores the round-tripped form) render
-// byte-identical JSON — without this, a struct-valued cell marshals in
-// field order when fresh but key order when replayed. Text rendering
-// is unaffected either way: it reads only the Text strings, which
-// round-trip exactly. On a marshalling error the result is returned
-// unchanged.
-func (r *Result) Canonical() *Result {
-	data, err := json.Marshal(r)
-	if err != nil {
-		return r
-	}
-	var out Result
-	if err := json.Unmarshal(data, &out); err != nil {
-		return r
-	}
-	return &out
 }
 
 // Recorder collects an experiment's output. Experiments emit named

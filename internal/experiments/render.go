@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -79,11 +80,25 @@ func (jsonRenderer) Render(w io.Writer, res *Result) error { return RenderJSON(w
 // renderer shows, and contains no timing, so it too is deterministic
 // for a given seed.
 func RenderJSON(w io.Writer, res *Result) error {
-	buf, err := json.MarshalIndent(res, "", "  ")
+	canon, err := res.AppendCanonical(make([]byte, 0, 2048))
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	_, err = w.Write(buf)
+	return RenderJSONBytes(w, canon)
+}
+
+// RenderJSONBytes writes an already-canonical result document (the
+// bytes AppendCanonical produced, possibly replayed from the cache) as
+// the same indented JSON RenderJSON emits — an indent-on-write pass
+// over the bytes, no decode, no re-marshal. Warm replays hand their
+// cached bytes straight here.
+func RenderJSONBytes(w io.Writer, canon []byte) error {
+	var buf bytes.Buffer
+	buf.Grow(len(canon) + len(canon)/2 + 64)
+	if err := json.Indent(&buf, canon, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
 	return err
 }

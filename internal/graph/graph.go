@@ -184,11 +184,40 @@ func (g *Graph) Components() [][]int {
 // GiantComponentSize returns the size of the largest connected component
 // (0 for a graph with no alive nodes).
 func (g *Graph) GiantComponentSize() int {
-	comps := g.Components()
-	if len(comps) == 0 {
-		return 0
+	seen := make([]bool, len(g.adj))
+	comp := make([]int, 0, len(g.adj))
+	return g.giantSize(seen, comp)
+}
+
+// giantSize is GiantComponentSize over caller-provided scratch: seen
+// must be len(g.adj) (it is reset here), comp should have capacity for
+// the node count so the flood fill never reallocates. Attack curves
+// call this once per removal, so the scratch reuse is what keeps a
+// robustness sweep from allocating per point.
+func (g *Graph) giantSize(seen []bool, comp []int) int {
+	for i := range seen {
+		seen[i] = false
 	}
-	return len(comps[0])
+	best := 0
+	for start := range g.adj {
+		if seen[start] || g.removed[start] {
+			continue
+		}
+		comp = append(comp[:0], start)
+		seen[start] = true
+		for head := 0; head < len(comp); head++ {
+			for _, w := range g.adj[comp[head]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		if len(comp) > best {
+			best = len(comp)
+		}
+	}
+	return best
 }
 
 // GiantFraction returns the giant component size divided by the ORIGINAL
@@ -328,25 +357,41 @@ func AttackCurve(g *Graph, strategy AttackStrategy, removals int, r *rng.Source)
 		return nil, fmt.Errorf("graph: removals %d out of range", removals)
 	}
 	work := g.Clone()
+	n := work.N()
+	// One scratch set for the whole curve: the per-removal giant-size
+	// flood fill and the random-target list reuse these instead of
+	// allocating O(n) per point.
+	seen := make([]bool, n)
+	comp := make([]int, 0, n)
+	alive := make([]int, 0, n)
+	fraction := func() float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(work.giantSize(seen, comp)) / float64(n)
+	}
 	curve := make([]float64, 0, removals+1)
-	curve = append(curve, work.GiantFraction())
+	curve = append(curve, fraction())
 	for i := 0; i < removals; i++ {
-		v, err := pickTarget(work, strategy, r)
+		v, err := pickTarget(work, strategy, r, alive)
 		if err != nil {
 			return nil, err
 		}
 		if err := work.RemoveNode(v); err != nil {
 			return nil, err
 		}
-		curve = append(curve, work.GiantFraction())
+		curve = append(curve, fraction())
 	}
 	return curve, nil
 }
 
-func pickTarget(g *Graph, strategy AttackStrategy, r *rng.Source) (int, error) {
+// pickTarget selects the next node to remove; scratch is reused storage
+// for the random strategy's alive list (same iteration order, same RNG
+// draws as building a fresh list).
+func pickTarget(g *Graph, strategy AttackStrategy, r *rng.Source, scratch []int) (int, error) {
 	switch strategy {
 	case RandomAttack:
-		alive := make([]int, 0, g.Alive())
+		alive := scratch[:0]
 		for v := range g.adj {
 			if !g.removed[v] {
 				alive = append(alive, v)

@@ -24,6 +24,7 @@
 package rescache
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -243,6 +244,74 @@ func (c *Cache) Get(k Key) (*experiments.Result, string, bool) {
 	return &res, tier, true
 }
 
+// GetBytes returns the stored canonical bytes for k plus the tier that
+// served them, or (nil, "", false) on a miss — without decoding to a
+// Result. It is the read path for callers that only forward bytes (the
+// HTTP server streaming a warm response, the runner in bytes-only
+// mode). The same miss discipline as Get applies, enforced without an
+// Unmarshal: the payload must be valid JSON whose first field is the
+// expected id (the canonical encoder always emits id first), so a torn
+// write, corrupt file, or digest collision is a miss, never served.
+func (c *Cache) GetBytes(k Key) ([]byte, string, bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	data, tier, err := c.store.Get(k.Digest())
+	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			c.count("errors", &c.errcnt)
+		}
+		c.count("misses", &c.misses)
+		return nil, "", false
+	}
+	if !canonicalFor(data, k.ID) {
+		c.count("misses", &c.misses)
+		return nil, "", false
+	}
+	c.count("hits", &c.hits)
+	c.observer.Counter("rescache.hits." + tier).Inc()
+	return data, tier, true
+}
+
+// canonicalFor reports whether data plausibly holds the canonical
+// encoding of the experiment id: syntactically valid JSON (an alloc-free
+// scan) that opens with the id as its first field.
+func canonicalFor(data []byte, id string) bool {
+	if plainJSONString(id) {
+		// Registry ids ("e01"…) need no escaping, so the expected prefix
+		// is `{"id":"<id>",` verbatim — checked without building it, which
+		// keeps the warm hit path allocation-free.
+		const open = `{"id":"`
+		n := len(open) + len(id)
+		if len(data) < n+2 || string(data[:len(open)]) != open ||
+			string(data[len(open):n]) != id || data[n] != '"' || data[n+1] != ',' {
+			return false
+		}
+		return json.Valid(data)
+	}
+	quoted, err := json.Marshal(id)
+	if err != nil {
+		return false
+	}
+	prefix := make([]byte, 0, len(quoted)+8)
+	prefix = append(prefix, `{"id":`...)
+	prefix = append(prefix, quoted...)
+	prefix = append(prefix, ',')
+	return bytes.HasPrefix(data, prefix) && json.Valid(data)
+}
+
+// plainJSONString reports whether s encodes to JSON as itself inside
+// quotes — printable ASCII with nothing the canonical encoder escapes.
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b < 0x20 || b >= 0x7F || b == '"' || b == '\\' || b == '<' || b == '>' || b == '&' {
+			return false
+		}
+	}
+	return true
+}
+
 // Put stores res under k. Write failures are counted (rescache.errors)
 // and returned; callers treat them as non-fatal — a full disk or dead
 // peer slows the next run down, it must not fail this one.
@@ -253,6 +322,23 @@ func (c *Cache) Put(k Key, res *experiments.Result) error {
 	data, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("encode cache entry %s: %w", k.ID, err)
+	}
+	if err := c.store.Put(k.Digest(), data); err != nil {
+		c.count("errors", &c.errcnt)
+		return fmt.Errorf("store cache entry %s: %w", k.ID, err)
+	}
+	c.count("stores", &c.stores)
+	return nil
+}
+
+// PutBytes stores already-canonical bytes under k without re-encoding.
+// It is the write path of the canonical-bytes contract: the runner
+// marshals a Result exactly once and hands the same bytes to the cache,
+// the coalescer, and the response writer. Write failures are counted
+// and returned, and are non-fatal to the run, exactly as in Put.
+func (c *Cache) PutBytes(k Key, data []byte) error {
+	if c == nil {
+		return nil
 	}
 	if err := c.store.Put(k.Digest(), data); err != nil {
 		c.count("errors", &c.errcnt)

@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -70,6 +71,14 @@ type Options struct {
 	// loaded); it is part of the cache key so editing a plan invalidates
 	// every entry recorded under the old one.
 	PlanHash string
+	// BytesOnly makes cache hits return only the canonical bytes
+	// (Outcome.Canon) without decoding a Result. The HTTP server sets it:
+	// a warm /v1/run or /v1/suite response copies the cached bytes to the
+	// wire, so paying a JSON decode per hit would be pure waste. Computed
+	// (non-hit) outcomes always carry both Result and Canon, and failures
+	// always come from a computation, so error envelopes keep their
+	// partial Result either way.
+	BytesOnly bool
 }
 
 // Recovery is the Bruneau-style recovery triangle of one experiment that
@@ -93,8 +102,18 @@ type Outcome struct {
 	// Experiment is the registry entry that ran.
 	Experiment experiments.Experiment
 	// Result holds the recorded tables, scalars and notes. It is non-nil
-	// even on failure (partial results plus the error).
+	// even on failure (partial results plus the error) — except on a
+	// cache hit under Options.BytesOnly, where only Canon is populated.
 	Result *experiments.Result
+	// Canon is the result's canonical JSON encoding, marshalled exactly
+	// once per computation (or read back verbatim from the cache). Every
+	// downstream consumer — cache store, coalesced waiters, HTTP
+	// response bodies, the CLI's JSON renderer — copies these bytes
+	// instead of re-marshalling, which is what makes a fresh run, a
+	// replay, and a proxied response byte-identical by construction.
+	// Treat it as immutable. Nil when the result failed to marshal (the
+	// consumer falls back to marshalling Result itself).
+	Canon []byte
 	// Err is the experiment's failure, nil on success. Panics surface as
 	// *experiments.PanicError; timeouts as *TimeoutError.
 	Err error
@@ -316,9 +335,23 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	span.SetAttr("id", e.ID)
 	defer span.End()
 
-	if res, tier, ok := opts.Cache.Get(cacheKey(opts, e)); ok {
+	if data, tier, ok := opts.Cache.GetBytes(cacheKey(opts, e)); ok {
 		span.Event("cache hit (" + tier + ")")
-		return Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier, Elapsed: time.Since(start)}
+		hit := Outcome{Experiment: e, Canon: data, CacheHit: true, CacheTier: tier}
+		if opts.BytesOnly {
+			hit.Elapsed = time.Since(start)
+			return hit
+		}
+		// Callers that inspect the Result (text rendering, the CLI) still
+		// get a decoded copy; a payload that passed the cache's validation
+		// but fails to decode is treated as the miss it is.
+		var res experiments.Result
+		if err := json.Unmarshal(data, &res); err == nil && res.ID == e.ID {
+			hit.Result = &res
+			hit.Elapsed = time.Since(start)
+			return hit
+		}
+		span.Event("cache payload undecodable, recomputing")
 	}
 
 	attempts := opts.Retries + 1
@@ -384,14 +417,19 @@ func runOne(e experiments.Experiment, opts Options, sem chan struct{}, parent *o
 	out.Experiment = e
 	out.Elapsed = time.Since(start)
 	if out.Result != nil {
-		// Canonicalize before storing or returning, so a fresh result
-		// and its future cache replay marshal to identical JSON (struct-
-		// valued cells would otherwise flip from field order to sorted
-		// key order across the round trip).
-		out.Result = out.Result.Canonical()
+		// Marshal once: the encoder is canonical on its first pass
+		// (struct-valued cells emit sorted key order, numbers normalize
+		// through float64), so these bytes are what the cache stores,
+		// what a replay serves, and what every response body copies — no
+		// canonicalizing round trip, and no re-marshal downstream.
+		if canon, cerr := out.Result.AppendCanonical(make([]byte, 0, 2048)); cerr == nil {
+			out.Canon = canon
+		} else {
+			span.Eventf("canonical encode failed: %v", cerr)
+		}
 	}
-	if out.Err == nil && out.Attempts == 1 && !out.TimedOut {
-		if perr := opts.Cache.Put(cacheKey(opts, e), out.Result); perr != nil {
+	if out.Err == nil && out.Attempts == 1 && !out.TimedOut && out.Canon != nil {
+		if perr := opts.Cache.PutBytes(cacheKey(opts, e), out.Canon); perr != nil {
 			// A full or read-only cache slows the next run down; it must
 			// not fail this one.
 			span.Eventf("cache store failed: %v", perr)

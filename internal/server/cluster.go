@@ -189,11 +189,24 @@ func (s *Server) proxyRun(ctx context.Context, owner string, e experiments.Exper
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-		var res experiments.Result
-		if err := json.Unmarshal(data, &res); err != nil {
+		// The owner's body is the indented rendering of its canonical
+		// bytes; compacting recovers them exactly — no decode to Result.
+		// The id prefix check rejects a well-formed but wrong document
+		// (the canonical encoder always emits id first).
+		var buf bytes.Buffer
+		buf.Grow(len(data))
+		if err := json.Compact(&buf, data); err != nil {
 			return runner.Outcome{}, fmt.Errorf("decode proxy result from %s: %w", owner, err)
 		}
-		out.Result = &res
+		quoted, err := json.Marshal(e.ID)
+		if err != nil {
+			return runner.Outcome{}, fmt.Errorf("encode id %q: %w", e.ID, err)
+		}
+		prefix := append(append([]byte(`{"id":`), quoted...), ',')
+		if !bytes.HasPrefix(buf.Bytes(), prefix) {
+			return runner.Outcome{}, fmt.Errorf("proxy result from %s is not experiment %q", owner, e.ID)
+		}
+		out.Canon = buf.Bytes()
 		return out, nil
 	case http.StatusInternalServerError:
 		// The owner ran the experiment and it genuinely failed; relay

@@ -127,6 +127,11 @@ func (s *Server) options(p runParams) runner.Options {
 		Quick: p.Quick,
 		Obs:   s.obs,
 		Cache: s.cache,
+		// The server only ever copies canonical bytes to the wire, so a
+		// cache hit must not pay a JSON decode: warm responses are a
+		// byte copy (Outcome.Canon), and failures still carry their
+		// partial Result because they always come from a computation.
+		BytesOnly: true,
 	}
 	switch {
 	case p.Plan != nil:
@@ -196,8 +201,8 @@ func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runPar
 			// peer tier still reads through the owner's store), suspend
 			// everything else. No slot taken, no proxied compute.
 			if s.cache != nil {
-				if res, tier, ok := s.cache.Get(cacheKey); ok {
-					return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+				if data, tier, ok := s.cache.GetBytes(cacheKey); ok {
+					return runner.Outcome{Experiment: e, Canon: data, CacheHit: true, CacheTier: tier}, nil
 				}
 			}
 			return runner.Outcome{}, errCacheOnly
@@ -207,8 +212,8 @@ func (s *Server) execute(ctx context.Context, e experiments.Experiment, p runPar
 			// a ring-configured node without a cache skips the
 			// read-through and goes straight to the owner.
 			if s.cache != nil {
-				if res, tier, ok := s.cache.Get(cacheKey); ok {
-					return runner.Outcome{Experiment: e, Result: res, CacheHit: true, CacheTier: tier}, nil
+				if data, tier, ok := s.cache.GetBytes(cacheKey); ok {
+					return runner.Outcome{Experiment: e, Canon: data, CacheHit: true, CacheTier: tier}, nil
 				}
 			}
 			got, err := s.proxyRun(ctx, owner, e, p)
@@ -285,6 +290,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// A warm (or proxied, or coalesced) outcome already carries its
+	// canonical bytes: indent them on the way out, no decode, no
+	// re-marshal. The body is byte-identical either way.
+	if out.Canon != nil {
+		experiments.RenderJSONBytes(w, out.Canon)
+		return
+	}
 	experiments.RenderJSON(w, out.Result)
 }
 
@@ -356,6 +368,11 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 			enc.Encode(errorBody{Error: errObj{
 				Code: transportCode(errs[i]), Message: errs[i].Error(), ID: exps[i].ID,
 			}})
+		} else if outs[i].Canon != nil {
+			// The canonical bytes ARE the NDJSON line (the encoder
+			// would produce exactly these bytes plus the newline).
+			w.Write(outs[i].Canon)
+			io.WriteString(w, "\n")
 		} else {
 			enc.Encode(outs[i].Result)
 		}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"resilience/internal/campaign"
+	"resilience/internal/obs"
+)
+
+// runCampaign implements `resilience campaign <spec.json|->`: expand a
+// campaign spec into its scenario grid, sweep it through the staged
+// engine and result cache on the bounded worker pool, and stream one
+// NDJSON row per scenario followed by the summary document. With a
+// "search" section the spec runs in adversarial mode instead: eval
+// rows stream per candidate and the summary carries the worst plan
+// found as a replayable artifact.
+//
+// Formats: "ndjson" (and "text", the global default) stream compact
+// rows plus a final summary line on stdout; "json" and "summary" print
+// only the indented summary document. -out DIR additionally writes
+// rows.ndjson, summary.json and — in search mode — worst_plan.json.
+// Stdout is byte-identical for a given spec at any -jobs and any cache
+// warmth; progress, cache and metrics lines go to stderr.
+func runCampaign(stdout, stderr io.Writer, path string, opt options) error {
+	switch opt.format {
+	case "text", "ndjson", "json", "summary":
+	default:
+		return fmt.Errorf("campaign: unknown format %q (want ndjson, json or summary)", opt.format)
+	}
+	streamRows := opt.format == "text" || opt.format == "ndjson"
+	data, err := readSpec(path)
+	if err != nil {
+		return err
+	}
+	spec, err := campaign.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if opt.outDir != "" {
+		if err := os.MkdirAll(opt.outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var observer *obs.Observer
+	if opt.metrics != "" {
+		observer = obs.New()
+	}
+	cache := openCache(stderr, opt)
+	cache.SetObserver(observer)
+	exec := campaign.LocalExec(cache, observer)
+	cfg := campaign.RunConfig{
+		Name:             spec.Name,
+		DeadlineAttempts: spec.DeadlineAttempts,
+		Jobs:             opt.jobs,
+	}
+
+	// Rows stream to stdout (in ndjson formats) and, with -out, to
+	// rows.ndjson — one encoder per sink so a slow disk never perturbs
+	// the stdout bytes.
+	var rowsFile *os.File
+	var sinks []*json.Encoder
+	if streamRows {
+		sinks = append(sinks, json.NewEncoder(stdout))
+	}
+	if opt.outDir != "" {
+		rowsFile, err = os.Create(filepath.Join(opt.outDir, "rows.ndjson"))
+		if err != nil {
+			return err
+		}
+		defer rowsFile.Close()
+		sinks = append(sinks, json.NewEncoder(rowsFile))
+	}
+	var emitErr error
+	emitRow := func(v any) {
+		for _, enc := range sinks {
+			if err := enc.Encode(v); err != nil && emitErr == nil {
+				emitErr = err
+			}
+		}
+	}
+
+	start := time.Now()
+	var sum campaign.Summary
+	if spec.Search != nil {
+		fmt.Fprintf(stderr, "campaign %q: adversarial search, objective %s, budget %d, jobs %d\n",
+			spec.Name, spec.Search.Objective, spec.Search.Budget, opt.jobs)
+		sum, err = campaign.RunSearch(context.Background(), spec, nil, cfg, exec,
+			func(row campaign.EvalRow) { emitRow(row) })
+		if err != nil {
+			return err
+		}
+	} else {
+		scenarios, err := spec.Expand(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "campaign %q: %d scenarios, jobs %d\n", spec.Name, len(scenarios), opt.jobs)
+		sum = campaign.Run(context.Background(), scenarios, cfg, exec,
+			func(row campaign.Row) { emitRow(row) })
+	}
+
+	if streamRows {
+		// The summary is the stream's last NDJSON line.
+		if err := json.NewEncoder(stdout).Encode(sum); err != nil {
+			return err
+		}
+	} else if err := writeJSON(stdout, sum); err != nil {
+		return err
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if rowsFile != nil {
+		if err := rowsFile.Close(); err != nil {
+			return err
+		}
+	}
+	if opt.outDir != "" {
+		if err := writeCampaignArtifacts(opt.outDir, sum); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stderr, "campaign: %d scenarios — %d ok, %d degraded, %d failed, %d shed, %d errors in %v\n",
+		sum.Scenarios, sum.OK, sum.Degraded, sum.Failed, sum.Shed, sum.Errors,
+		time.Since(start).Round(time.Millisecond))
+	if sd := sum.Search; sd != nil {
+		fmt.Fprintf(stderr, "search: best %s %.0f vs baseline %.0f (beat=%v) over %d evaluations; worst plan %s\n",
+			sd.Objective, sd.Best, sd.Baseline, sd.BeatBaseline, sd.Evaluations, sd.WorstPlanHash[:12])
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(stderr, "cache: %d hits, %d misses, %d stores\n", st.Hits, st.Misses, st.Stores)
+	}
+	if observer != nil {
+		if err := writeMetrics(stderr, observer, opt.metrics); err != nil {
+			return err
+		}
+	}
+	if sum.Errors > 0 {
+		return fmt.Errorf("campaign: %d scenarios errored", sum.Errors)
+	}
+	return nil
+}
+
+// readSpec loads the campaign spec document: a file path, or "-" for
+// stdin so specs can be piped in.
+func readSpec(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// writeCampaignArtifacts writes the summary document — and, in search
+// mode, the worst plan as a standalone replayable fault plan — to dir.
+func writeCampaignArtifacts(dir string, sum campaign.Summary) error {
+	f, err := os.Create(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(f, sum); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if sum.Search == nil || len(sum.Search.WorstPlan) == 0 {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, "worst_plan.json"),
+		append(append([]byte(nil), sum.Search.WorstPlan...), '\n'), 0o644)
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"resilience/internal/campaign"
+)
+
+const campaignSpecPath = "testdata/campaign_3x3x2.json"
+
+// TestCampaignGolden pins the 3×3×2 campaign's full NDJSON stream —
+// every row plus the summary line — to a committed golden file, and
+// asserts the determinism battery's CLI face: the stream is
+// byte-identical at -jobs 1 and -jobs 8. Regenerate with
+//
+//	go test ./cmd/resilience -run CampaignGolden -update
+func TestCampaignGolden(t *testing.T) {
+	j1, _, err := runCLI(t, "campaign", campaignSpecPath, "-jobs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, _, err := runCLI(t, "campaign", campaignSpecPath, "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j8 {
+		t.Fatal("campaign stdout differs between -jobs 1 and -jobs 8")
+	}
+	path := filepath.Join("testdata", "campaign_3x3x2.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(j1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(j1))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(j1, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("campaign output drifted from %s at line %d:\n got: %s\nwant: %s\n"+
+				"If the change is intentional, rerun with -update.", path, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("campaign output drifted from %s: got %d lines, want %d. "+
+		"If the change is intentional, rerun with -update.", path, len(gotLines), len(wantLines))
+}
+
+// TestCampaignWarmRunIdentical: a warm re-run of the same spec renders
+// byte-identical stdout while replaying clean scenarios from the cache.
+func TestCampaignWarmRunIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cold, _, err := runCLI(t, "campaign", campaignSpecPath, "-cache-dir", dir, "-cache-mem-entries", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stderr, err := runCLI(t, "campaign", campaignSpecPath, "-cache-dir", dir, "-cache-mem-entries", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm {
+		t.Fatal("warm campaign stdout differs from cold")
+	}
+	hits := cacheCounter(t, stderr, "hits")
+	// All 12 clean scenarios replay; fault-plan scenarios retried, so
+	// their results are never stored.
+	if hits < 12 {
+		t.Fatalf("warm run replayed only %d scenarios from cache, want >= 12\nstderr:\n%s", hits, stderr)
+	}
+}
+
+// cacheCounter scrapes one counter from the stderr cache line.
+func cacheCounter(t *testing.T, stderr, name string) int {
+	t.Helper()
+	m := regexp.MustCompile(`cache: .*?(\d+) ` + name).FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("no cache %s in stderr:\n%s", name, stderr)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCampaignSearchReplaysThroughChaos is the adversarial regression's
+// CLI face: the worst-plan artifact a search reports, replayed through
+// `resilience chaos` at the grid's seed, reproduces exactly the
+// triangle area the search claimed (100 quality%·attempts per retry).
+func TestCampaignSearchReplaysThroughChaos(t *testing.T) {
+	out, _, err := runCLI(t, "campaign", "testdata/campaign_search.json", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("campaign -format json is not one JSON document: %v", err)
+	}
+	sd := sum.Search
+	if sd == nil {
+		t.Fatal("search summary carries no search document")
+	}
+	if sd.Evaluations != 24 || len(sd.WorstPlan) == 0 {
+		t.Fatalf("unexpected search document: %+v", sd)
+	}
+	if sd.BestArea <= 0 {
+		t.Fatalf("search found no damage at all: %+v", sd)
+	}
+	plan := filepath.Join(t.TempDir(), "worst_plan.json")
+	if err := os.WriteFile(plan, sd.WorstPlan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The grid swept e01+e08 at seed 42 quick; chaos runs the full
+	// suite at the same derived seeds, where the plan's faults hit only
+	// those experiments — so the suite's total retries are exactly the
+	// search's failed attempts.
+	_, stderr, err := runCLI(t, "chaos", plan, "-quick", "-seed", "42", "-jobs", "4")
+	if err != nil {
+		t.Fatalf("worst-plan replay failed: %v\n%s", err, stderr)
+	}
+	m := regexp.MustCompile(`recovery: (\d+) degraded, (\d+) retries`).FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("no recovery line in chaos stderr:\n%s", stderr)
+	}
+	degraded, _ := strconv.Atoi(m[1])
+	retries, _ := strconv.Atoi(m[2])
+	if got := 100 * float64(retries); got != sd.BestArea {
+		t.Fatalf("replayed triangle area %v != reported %v (stderr:\n%s)", got, sd.BestArea, stderr)
+	}
+	if degraded == 0 {
+		t.Fatal("worst-plan replay degraded nothing")
+	}
+}
+
+// TestCampaignOutArtifacts: -out writes the row stream and summary (and
+// in search mode the worst plan) as artifacts that agree with stdout.
+func TestCampaignOutArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	out, _, err := runCLI(t, "campaign", campaignSpecPath, "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := os.ReadFile(filepath.Join(dir, "rows.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stdout = rows + summary line; the artifact holds just the rows.
+	if !strings.HasPrefix(out, string(rows)) {
+		t.Fatal("rows.ndjson does not match the stdout stream")
+	}
+	lines := strings.Split(strings.TrimSpace(string(rows)), "\n")
+	if len(lines) != 18 {
+		t.Fatalf("rows.ndjson has %d rows, want 18", len(lines))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("summary.json invalid: %v", err)
+	}
+	if sum.Scenarios != 18 || sum.Schema != campaign.SpecSchema {
+		t.Fatalf("summary.json incomplete: %+v", sum)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "worst_plan.json")); !os.IsNotExist(err) {
+		t.Fatal("sweep campaign wrote a worst_plan.json")
+	}
+
+	searchDir := t.TempDir()
+	if _, _, err := runCLI(t, "campaign", "testdata/campaign_search.json", "-out", searchDir, "-format", "summary"); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := os.ReadFile(filepath.Join(searchDir, "worst_plan.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(worst) {
+		t.Fatal("worst_plan.json is not valid JSON")
+	}
+}
+
+// TestCampaignStdinSpec: "-" reads the spec from stdin, so specs can be
+// generated and piped.
+func TestCampaignStdinSpec(t *testing.T) {
+	spec, err := os.ReadFile(campaignSpecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = orig }()
+	go func() {
+		w.Write(spec)
+		w.Close()
+	}()
+	piped, _, err := runCLI(t, "campaign", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, _, err := runCLI(t, "campaign", campaignSpecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped != fromFile {
+		t.Fatal("stdin spec produced different output than the same spec from a file")
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	if _, _, err := runCLI(t, "campaign"); err == nil {
+		t.Error("want usage error for missing spec path")
+	}
+	if _, _, err := runCLI(t, "campaign", "/nonexistent.json"); err == nil {
+		t.Error("want error for missing spec file")
+	}
+	if _, _, err := runCLI(t, "campaign", campaignSpecPath, "-format", "xml"); err == nil {
+		t.Error("want error for unknown format")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"experiments":["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "campaign", bad); err == nil {
+		t.Error("want error for unknown experiment in spec")
+	}
+	if _, _, err := runCLI(t, "campaign", bad, "-format", "json"); err == nil {
+		t.Error("want error for unknown experiment in spec (json format)")
+	}
+}
+
+// TestCampaignLargeSweep exercises the acceptance-scale path: a
+// 1000+-scenario campaign completes through the CLI and its warm
+// re-run replays ≥95% of scenarios from the cache. The grid mixes
+// clean cells with an rng-skip plan — a perturbation that changes the
+// result digest without failing any attempt, so every scenario stays
+// cacheable.
+func TestCampaignLargeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-scenario sweep in -short mode")
+	}
+	spec := filepath.Join(t.TempDir(), "large.json")
+	doc := `{
+	  "name": "large",
+	  "experiments": ["e01"],
+	  "seeds": {"from": 1, "count": 500},
+	  "plans": [null, {"name": "skew", "faults": [
+	    {"experiment": "e01", "kind": "rng", "skips": 3}
+	  ]}]
+	}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cold, _, err := runCLI(t, "campaign", spec, "-cache-dir", dir, "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stderr, err := runCLI(t, "campaign", spec, "-cache-dir", dir, "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm {
+		t.Fatal("warm large sweep differs from cold")
+	}
+	lines := strings.Split(strings.TrimSpace(warm), "\n")
+	if len(lines) != 1001 { // 1000 rows + summary
+		t.Fatalf("stream has %d lines, want 1001", len(lines))
+	}
+	hits := cacheCounter(t, stderr, "hits")
+	if hits < 950 {
+		t.Fatalf("warm re-run hit rate %d/1000, want >= 950\nstderr:\n%s", hits, stderr)
+	}
+}

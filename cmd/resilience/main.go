@@ -9,6 +9,7 @@
 //	resilience bok                  # print the resilience strategy catalogue
 //	resilience scenario FILE.json   # run a declarative chaos scenario
 //	resilience chaos PLAN.json      # run the suite under a fault-injection plan
+//	resilience campaign SPEC.json   # sweep a campaign spec's scenario grid
 //	resilience serve [flags]        # long-running HTTP experiment service
 //
 // Flags (accepted before or after positional arguments):
@@ -236,6 +237,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opt.faults = positional[0]
 		return runSuite(stdout, stderr, experiments.All(), opt)
+	case "campaign":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: resilience campaign <spec.json|-> [-jobs N] [-out DIR] [-format ndjson|json|summary]")
+		}
+		return runCampaign(stdout, stderr, positional[0], opt)
 	default:
 		e, ok := experiments.Find(cmd)
 		if !ok {
@@ -746,6 +752,18 @@ commands:
   e01..e31                run one experiment
   scenario <file.json>    run a declarative chaos scenario
   chaos <plan.json>       run every experiment under a fault-injection plan
+  campaign <spec.json|->  expand a campaign spec (experiments × seeds × sizes ×
+                          fault plans × perturbations, internal/campaign) into
+                          its scenario grid and sweep it on the worker pool:
+                          one NDJSON row per scenario plus a summary document
+                          with triangle-area/recovery/retry distributions and
+                          diversity indices; a spec with a "search" section
+                          runs the adversarial fault search instead and
+                          reports the worst plan found as a replayable
+                          artifact; -format ndjson streams rows (default),
+                          json/summary print only the summary; -out DIR also
+                          writes rows.ndjson, summary.json, worst_plan.json;
+                          stdout is byte-identical at any -jobs/cache warmth
   serve                   long-running HTTP service: POST /v1/run/{id} and
                           /v1/suite run experiments (request-coalesced, cache-
                           backed); GET /v1/experiments, /v1/cluster, /healthz,

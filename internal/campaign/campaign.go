@@ -1,0 +1,392 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"resilience/internal/diversity"
+	"resilience/internal/experiments"
+	"resilience/internal/obs"
+	"resilience/internal/rescache"
+	"resilience/internal/runner"
+)
+
+// Row statuses. "failed" is an experiment outcome (all attempts failed
+// — that is data, not an executor problem); "shed" and "error" are
+// executor verdicts (the scenario never produced an outcome at all).
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusFailed   = "failed"
+	StatusShed     = "shed"
+	StatusError    = "error"
+)
+
+// Row is one scenario's NDJSON record. Every field is derived from the
+// spec and the experiment's deterministic outcome — never from wall
+// time, cache warmth, or -jobs — so two runs of the same spec produce
+// byte-identical row streams.
+type Row struct {
+	Scenario   int    `json:"scenario"`
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Size       string `json:"size"`
+	Plan       string `json:"plan"`
+	PlanHash   string `json:"planHash,omitempty"`
+	Status     string `json:"status"`
+	Error      string `json:"error,omitempty"`
+	// Recovered reports a recovery episode that completed: at least one
+	// attempt failed and a later one succeeded.
+	Recovered bool `json:"recovered"`
+	// FailedAttempts is the logical damage: how many attempts failed
+	// before the outcome (0 for a clean run — including a warm replay
+	// of one, which runs no attempts at all).
+	FailedAttempts int `json:"failedAttempts"`
+	// Retries is FailedAttempts capped by the retry budget's view: for
+	// a recovered scenario it equals FailedAttempts, for an exhausted
+	// one it is attempts−1.
+	Retries int `json:"retries"`
+	// TriangleArea is the logical Bruneau triangle: each failed attempt
+	// costs one time unit at 100% quality loss, so area =
+	// 100 × FailedAttempts in quality%·attempts. The wall-clock triangle
+	// (runner.Recovery.Loss) stays on the obs side.
+	TriangleArea float64 `json:"triangleArea"`
+	// DeadlineMiss reports deadline-bounded recoverability (only
+	// populated when the spec sets deadlineAttempts): true when the
+	// scenario did not reach a healthy result within the deadline's
+	// attempt budget.
+	DeadlineMiss bool `json:"deadlineMiss,omitempty"`
+	// Digest is the first 12 hex digits of sha256 over the result's
+	// canonical bytes — the species tag for outcome-diversity indices,
+	// and a cheap cross-run equality check. Empty when the scenario
+	// produced no canonical result.
+	Digest string `json:"digest,omitempty"`
+}
+
+// ExecFunc executes one scenario. A non-nil outcome error (Outcome.Err)
+// means the experiment itself failed — that is recorded as data. A
+// non-nil returned error means the executor could not run the scenario
+// at all (context canceled, request shed); RunConfig.ErrStatus maps it
+// to a row status.
+type ExecFunc func(ctx context.Context, sc Scenario) (runner.Outcome, error)
+
+// RunConfig configures a campaign execution.
+type RunConfig struct {
+	// Name labels the summary document.
+	Name string
+	// DeadlineAttempts enables deadline-bounded recoverability rows and
+	// counting when > 0.
+	DeadlineAttempts int
+	// Jobs bounds scenario-level parallelism; values below 1 mean 1.
+	Jobs int
+	// ErrStatus maps an executor error to a row status (StatusShed or
+	// StatusError); nil, or an unrecognized return, means StatusError.
+	ErrStatus func(error) string
+}
+
+// buildRow derives the deterministic row for one scenario's outcome.
+func buildRow(cfg RunConfig, sc Scenario, out runner.Outcome, execErr error) Row {
+	row := Row{
+		Scenario:   sc.Index,
+		Experiment: sc.Experiment.ID,
+		Seed:       sc.Seed,
+		Size:       sc.Size,
+		Plan:       sc.PlanName,
+	}
+	if sc.PlanHash != "" {
+		row.PlanHash = shortHash(sc.PlanHash)
+	}
+	if execErr != nil {
+		row.Status = StatusError
+		if cfg.ErrStatus != nil {
+			if s := cfg.ErrStatus(execErr); s == StatusShed || s == StatusError {
+				row.Status = s
+			}
+		}
+		row.Error = execErr.Error()
+		if cfg.DeadlineAttempts > 0 {
+			row.DeadlineMiss = true
+		}
+		return row
+	}
+	if r := out.Recovery; r != nil {
+		row.FailedAttempts = r.FailedAttempts
+		row.Recovered = r.Recovered
+	}
+	row.TriangleArea = 100 * float64(row.FailedAttempts)
+	if out.Attempts > 1 {
+		row.Retries = out.Attempts - 1
+	}
+	switch {
+	case out.Err != nil:
+		row.Status = StatusFailed
+		row.Error = out.Err.Error()
+	case out.Degraded:
+		row.Status = StatusDegraded
+	default:
+		row.Status = StatusOK
+	}
+	if cfg.DeadlineAttempts > 0 {
+		// Attempts-to-health is failed attempts plus the one that
+		// succeeded; an exhausted scenario never got healthy at all.
+		row.DeadlineMiss = out.Err != nil || row.FailedAttempts+1 > cfg.DeadlineAttempts
+	}
+	if len(out.Canon) > 0 {
+		sum := sha256.Sum256(out.Canon)
+		row.Digest = hex.EncodeToString(sum[:6])
+	}
+	return row
+}
+
+// shortHash abbreviates a plan content hash for row display; the full
+// hash still rides on Scenario.PlanHash for cache keying.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// Run executes every scenario with at most cfg.Jobs in flight, calling
+// emit once per scenario in index order as rows become available —
+// runner.Run's in-order delivery discipline, lifted a level: rows are
+// built inside the workers (and the outcome's canonical bytes dropped
+// there), but emission and summary accumulation happen on the single
+// ordered loop, so the row stream and the summary are byte-identical
+// at any Jobs.
+func Run(ctx context.Context, scenarios []Scenario, cfg RunConfig, exec ExecFunc, emit func(Row)) Summary {
+	jobs := cfg.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(scenarios) {
+		jobs = len(scenarios)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	rows := make([]Row, len(scenarios))
+	done := make([]chan struct{}, len(scenarios))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, jobs)
+	for i := range scenarios {
+		i := i
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			out, err := exec(ctx, scenarios[i])
+			rows[i] = buildRow(cfg, scenarios[i], out, err)
+			close(done[i])
+		}()
+	}
+	b := NewSummaryBuilder(cfg)
+	for i := range scenarios {
+		<-done[i]
+		b.Add(rows[i])
+		if emit != nil {
+			emit(rows[i])
+		}
+	}
+	return b.Summary()
+}
+
+// DiversityDoc reports the paper's diversity measures over one species
+// population drawn from the campaign's rows.
+type DiversityDoc struct {
+	// Species is the number of distinct species observed.
+	Species int `json:"species"`
+	// IndexG is the paper's Diversity Index G over raw counts.
+	IndexG float64 `json:"indexG"`
+	// InverseSimpson is the effective number of species.
+	InverseSimpson float64 `json:"inverseSimpson"`
+	// Shannon is the Shannon entropy in nats.
+	Shannon float64 `json:"shannon"`
+}
+
+// Distributions carries the summary's three headline distributions.
+type Distributions struct {
+	// TriangleArea is the logical Bruneau area over all scenarios.
+	TriangleArea DistSnapshot `json:"triangleArea"`
+	// RecoveryAttempts is attempts-to-outcome over only the scenarios
+	// that had a recovery episode (failedAttempts > 0) — the logical
+	// recovery time.
+	RecoveryAttempts DistSnapshot `json:"recoveryAttempts"`
+	// Retries is the retry count over all scenarios.
+	Retries DistSnapshot `json:"retries"`
+}
+
+// Summary is the campaign's final document (the last NDJSON line of a
+// stream, or the whole body in summary formats).
+type Summary struct {
+	Schema    string `json:"schema"`
+	Name      string `json:"name,omitempty"`
+	Scenarios int    `json:"scenarios"`
+	OK        int    `json:"ok"`
+	Degraded  int    `json:"degraded"`
+	Failed    int    `json:"failed"`
+	Shed      int    `json:"shed"`
+	Errors    int    `json:"errors"`
+	Retries   int    `json:"retries"`
+	// DeadlineAttempts echoes the spec's recovery deadline (0 = none);
+	// DeadlineMisses counts scenarios that were not healthy within it.
+	DeadlineAttempts int           `json:"deadlineAttempts"`
+	DeadlineMisses   int           `json:"deadlineMisses"`
+	Distributions    Distributions `json:"distributions"`
+	Diversity        struct {
+		// Statuses treats each row status as a species — a healthy
+		// campaign is dominated by one species ("ok"), an interesting
+		// one is not.
+		Statuses DiversityDoc `json:"statuses"`
+		// Outcomes treats each distinct result digest as a species:
+		// how many genuinely different results the grid produced.
+		Outcomes DiversityDoc `json:"outcomes"`
+	} `json:"diversity"`
+	Search *SearchDoc `json:"search,omitempty"`
+}
+
+// SummaryBuilder accumulates rows into a Summary. Add is total over
+// arbitrary rows — statuses it does not recognize count as errors, and
+// negative or NaN measures are dropped by the distributions — so a
+// partial or even corrupted row stream still summarizes. Not safe for
+// concurrent use; feed it from the ordered emit loop.
+type SummaryBuilder struct {
+	cfg        RunConfig
+	sum        Summary
+	area       Dist
+	recovery   Dist
+	retries    Dist
+	statusPop  map[string]int
+	outcomePop map[string]int
+}
+
+// NewSummaryBuilder returns a builder for one campaign run.
+func NewSummaryBuilder(cfg RunConfig) *SummaryBuilder {
+	b := &SummaryBuilder{
+		cfg:        cfg,
+		statusPop:  make(map[string]int),
+		outcomePop: make(map[string]int),
+	}
+	b.sum.Schema = SpecSchema
+	b.sum.Name = cfg.Name
+	b.sum.DeadlineAttempts = cfg.DeadlineAttempts
+	return b
+}
+
+// Add accumulates one row.
+func (b *SummaryBuilder) Add(row Row) {
+	b.sum.Scenarios++
+	switch row.Status {
+	case StatusOK:
+		b.sum.OK++
+	case StatusDegraded:
+		b.sum.Degraded++
+	case StatusFailed:
+		b.sum.Failed++
+	case StatusShed:
+		b.sum.Shed++
+	default:
+		b.sum.Errors++
+	}
+	if row.Retries > 0 {
+		b.sum.Retries += row.Retries
+	}
+	if row.DeadlineMiss {
+		b.sum.DeadlineMisses++
+	}
+	b.area.Observe(row.TriangleArea)
+	if row.FailedAttempts > 0 {
+		attempts := row.FailedAttempts
+		if row.Recovered {
+			attempts++
+		}
+		b.recovery.Observe(float64(attempts))
+	}
+	b.retries.Observe(float64(row.Retries))
+	b.statusPop[row.Status]++
+	// Rows without a digest (shed, errored, unmarshalable) share one
+	// species: "no result" is itself an outcome the grid produced.
+	key := row.Digest
+	if key == "" {
+		key = "(none)"
+	}
+	b.outcomePop[key]++
+}
+
+// Summary finalizes and returns the document.
+func (b *SummaryBuilder) Summary() Summary {
+	s := b.sum
+	s.Distributions.TriangleArea = b.area.Snapshot()
+	s.Distributions.RecoveryAttempts = b.recovery.Snapshot()
+	s.Distributions.Retries = b.retries.Snapshot()
+	s.Diversity.Statuses = diversityDoc(b.statusPop)
+	s.Diversity.Outcomes = diversityDoc(b.outcomePop)
+	return s
+}
+
+// diversityDoc computes the diversity measures over a species→count
+// population. Keys are sorted before accumulation so float summation
+// order — and therefore the serialized digits — is deterministic.
+func diversityDoc(pop map[string]int) DiversityDoc {
+	if len(pop) == 0 {
+		return DiversityDoc{}
+	}
+	keys := make([]string, 0, len(pop))
+	for k := range pop {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pops := make([]float64, len(keys))
+	for i, k := range keys {
+		pops[i] = float64(pop[k])
+	}
+	doc := DiversityDoc{Species: diversity.Richness(pops)}
+	if g, err := diversity.IndexG(pops); err == nil {
+		doc.IndexG = g
+	}
+	if inv, err := diversity.InverseSimpson(pops); err == nil {
+		doc.InverseSimpson = inv
+	}
+	if h, err := diversity.Shannon(pops); err == nil {
+		doc.Shannon = h
+	}
+	return doc
+}
+
+// LocalExec returns an ExecFunc that runs scenarios in-process through
+// the staged engine via runner.Run — the same retry/timeout/cache path
+// `resilience suite` uses, one experiment per call. Each scenario runs
+// at Jobs:1 inside its worker slot (campaign-level parallelism already
+// saturates the pool) with BytesOnly hits, so a warm scenario costs a
+// cache read and a digest. The observer receives wall-clock instruments
+// (campaign.scenario.seconds etc.); rows never do.
+func LocalExec(cache *rescache.Cache, observer *obs.Observer) ExecFunc {
+	return func(ctx context.Context, sc Scenario) (runner.Outcome, error) {
+		if err := ctx.Err(); err != nil {
+			return runner.Outcome{}, err
+		}
+		opts := runner.Options{
+			Jobs:      1,
+			Seed:      sc.Seed,
+			Quick:     sc.Quick,
+			Obs:       observer,
+			BytesOnly: true,
+		}
+		if sc.Plan != nil {
+			opts.Hooks = sc.Plan.HookFor
+			opts.Retries = sc.Plan.Retries
+			opts.Backoff = sc.Plan.Backoff()
+			opts.Timeout = sc.Plan.Timeout()
+		}
+		if !sc.NoCache {
+			opts.Cache = cache
+			opts.PlanHash = sc.PlanHash
+		}
+		var out runner.Outcome
+		runner.Run([]experiments.Experiment{sc.Experiment}, opts, func(o runner.Outcome) { out = o })
+		return out, nil
+	}
+}

@@ -1,0 +1,316 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"resilience/internal/experiments"
+	"resilience/internal/rescache"
+	"resilience/internal/rescache/memstore"
+	"resilience/internal/rng"
+	"resilience/internal/runner"
+)
+
+// toyExp builds a fast experiment whose output depends on its seed and
+// on a strikable random stream ("stage/work"), so rng faults change its
+// digest and seed sweeps produce distinct outcomes.
+func toyExp(id string) experiments.Experiment {
+	return experiments.Experiment{
+		ID: id, Title: "toy " + id, Source: "test",
+		Modules: []string{"test"}, SupportsQuick: true,
+		Run: func(rec *experiments.Recorder, cfg experiments.Config) error {
+			r := rng.New(cfg.Seed)
+			if err := cfg.Strike("stage/work", r); err != nil {
+				return err
+			}
+			rec.Scalar("draw", r.Intn(1_000_000))
+			return nil
+		},
+	}
+}
+
+func toyRegistry() []experiments.Experiment {
+	return []experiments.Experiment{toyExp("t01"), toyExp("t02"), toyExp("t03")}
+}
+
+func newMemCache(t *testing.T) *rescache.Cache {
+	t.Helper()
+	mem, err := memstore.New(4096, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rescache.New(mem)
+}
+
+// sweepSpec is a small mixed grid: clean cells, a recoverable error
+// plan, an exhausting plan, and a perturbation axis.
+const sweepSpec = `{
+  "name": "toy-sweep",
+  "experiments": ["t01", "t02"],
+  "seeds": {"from": 1, "count": 3},
+  "deadlineAttempts": 1,
+  "plans": [
+    null,
+    {"name": "jolt", "retries": 2, "faults": [
+      {"experiment": "t01", "kind": "error", "attempt": 1, "message": "jolt"}]},
+    {"name": "wall", "retries": 1, "faults": [
+      {"experiment": "t02", "kind": "error", "message": "hard down"}]}
+  ],
+  "perturb": [
+    {},
+    {"name": "stretch", "retriesDelta": 1}
+  ]
+}`
+
+// runSpec expands and executes a spec against the toy registry,
+// returning the marshalled row stream and summary.
+func runSpec(t *testing.T, specDoc string, jobs int, cache *rescache.Cache) ([]byte, Summary) {
+	t.Helper()
+	spec, err := ParseSpec([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	cfg := RunConfig{Name: spec.Name, DeadlineAttempts: spec.DeadlineAttempts, Jobs: jobs}
+	sum := Run(context.Background(), scs, cfg, LocalExec(cache, nil), func(row Row) {
+		if err := enc.Encode(row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return ndjson.Bytes(), sum
+}
+
+// TestRunDeterministicAcrossJobs is the package-level half of the
+// determinism battery: same spec ⇒ byte-identical NDJSON rows and
+// summary at -jobs 1 and 8.
+func TestRunDeterministicAcrossJobs(t *testing.T) {
+	rows1, sum1 := runSpec(t, sweepSpec, 1, nil)
+	rows8, sum8 := runSpec(t, sweepSpec, 8, nil)
+	if !bytes.Equal(rows1, rows8) {
+		t.Fatalf("row stream differs between jobs=1 and jobs=8:\n%s\n---\n%s", rows1, rows8)
+	}
+	doc1, err := json.Marshal(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc8, err := json.Marshal(sum8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc1, doc8) {
+		t.Fatalf("summary differs between jobs=1 and jobs=8:\n%s\n---\n%s", doc1, doc8)
+	}
+}
+
+// TestRunWarmReplayIdentical asserts the other determinism axis: a warm
+// re-run over a shared cache emits byte-identical rows even though
+// clean scenarios replay from the cache instead of computing.
+func TestRunWarmReplayIdentical(t *testing.T) {
+	cache := newMemCache(t)
+	cold, coldSum := runSpec(t, sweepSpec, 4, cache)
+	warm, warmSum := runSpec(t, sweepSpec, 4, cache)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm replay rows differ from cold run:\n%s\n---\n%s", cold, warm)
+	}
+	if coldSum.Scenarios != warmSum.Scenarios || coldSum.OK != warmSum.OK {
+		t.Fatalf("warm summary counts differ: cold %+v warm %+v", coldSum, warmSum)
+	}
+}
+
+// TestSweepSummaryCounts pins the toy grid's semantics: 2 exps × 3
+// seeds × (1 clean + 2 plans × 2 perturbs) = 30 scenarios; "jolt"
+// strikes only t01 (recovers), "wall" exhausts t02's retries.
+func TestSweepSummaryCounts(t *testing.T) {
+	rows, sum := runSpec(t, sweepSpec, 4, nil)
+	if sum.Scenarios != 30 {
+		t.Fatalf("scenarios = %d, want 30", sum.Scenarios)
+	}
+	// jolt hits t01 on attempt 1 in both perturb variants: 3 seeds × 2
+	// variants = 6 degraded. wall hits t02 every attempt: base variant
+	// (retries 1) fails after 2 attempts; stretched (retries 2) also
+	// fails — 3 seeds × 2 variants = 6 failed.
+	if sum.Degraded != 6 {
+		t.Fatalf("degraded = %d, want 6", sum.Degraded)
+	}
+	if sum.Failed != 6 {
+		t.Fatalf("failed = %d, want 6", sum.Failed)
+	}
+	if sum.OK != 30-6-6 {
+		t.Fatalf("ok = %d, want %d", sum.OK, 30-6-6)
+	}
+	// Every non-clean episode misses a 1-attempt recovery deadline.
+	if sum.DeadlineMisses != 12 {
+		t.Fatalf("deadlineMisses = %d, want 12", sum.DeadlineMisses)
+	}
+	// Logical triangle area: degraded jolt rows fail exactly 1 attempt
+	// (area 100); wall rows fail 2 (base) and 3 (stretched) attempts.
+	wantArea := 6*100.0 + 3*200.0 + 3*300.0
+	if got := sum.Distributions.TriangleArea.Sum; got != wantArea {
+		t.Fatalf("triangle area sum = %v, want %v", got, wantArea)
+	}
+	if sum.Diversity.Statuses.Species != 3 {
+		t.Fatalf("status species = %d, want 3 (ok/degraded/failed)", sum.Diversity.Statuses.Species)
+	}
+	// Per-seed draws differ, so the outcome population must be richer
+	// than the status population.
+	if sum.Diversity.Outcomes.Species <= sum.Diversity.Statuses.Species {
+		t.Fatalf("outcome species = %d, want > %d", sum.Diversity.Outcomes.Species, sum.Diversity.Statuses.Species)
+	}
+	var n int
+	for _, line := range bytes.Split(bytes.TrimSpace(rows), []byte("\n")) {
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("row %d: %v", n, err)
+		}
+		if row.Scenario != n {
+			t.Fatalf("row %d has scenario index %d", n, row.Scenario)
+		}
+		n++
+	}
+	if n != 30 {
+		t.Fatalf("emitted %d rows, want 30", n)
+	}
+}
+
+// TestBuildRowExecutorErrors covers the executor-error path: ErrStatus
+// routes sheds, everything else is an error, and both count as
+// deadline misses when a deadline is armed.
+func TestBuildRowExecutorErrors(t *testing.T) {
+	errShed := errors.New("shed: queue full")
+	cfg := RunConfig{
+		DeadlineAttempts: 2,
+		ErrStatus: func(err error) string {
+			if errors.Is(err, errShed) {
+				return StatusShed
+			}
+			return StatusError
+		},
+	}
+	sc := Scenario{Index: 3, Experiment: toyExp("t01"), Seed: 9, Size: "quick", PlanName: "clean"}
+	row := buildRow(cfg, sc, runner.Outcome{}, errShed)
+	if row.Status != StatusShed || !row.DeadlineMiss || row.Error == "" {
+		t.Fatalf("shed row = %+v", row)
+	}
+	row = buildRow(cfg, sc, runner.Outcome{}, errors.New("boom"))
+	if row.Status != StatusError {
+		t.Fatalf("error row = %+v", row)
+	}
+	// An ErrStatus returning nonsense must not invent a new status.
+	cfg.ErrStatus = func(error) string { return "lunch" }
+	row = buildRow(cfg, sc, runner.Outcome{}, errors.New("boom"))
+	if row.Status != StatusError {
+		t.Fatalf("unrecognized ErrStatus mapped to %q, want %q", row.Status, StatusError)
+	}
+}
+
+// TestRunContextCanceled: a canceled context turns every scenario into
+// an error row instead of hanging or panicking.
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec, err := ParseSpec([]byte(`{"experiments":["t01"],"seeds":{"count":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Run(ctx, scs, RunConfig{Jobs: 2}, LocalExec(nil, nil), nil)
+	if sum.Errors != 4 {
+		t.Fatalf("errors = %d, want 4: %+v", sum.Errors, sum)
+	}
+}
+
+// TestSummaryBuilderStableSchema: the summary document keeps its keys
+// (and therefore its byte layout) even when empty.
+func TestSummaryBuilderStableSchema(t *testing.T) {
+	b := NewSummaryBuilder(RunConfig{Name: "empty"})
+	doc, err := json.Marshal(b.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema":"resilience-campaign/1"`, `"scenarios":0`, `"triangleArea"`, `"recoveryAttempts"`, `"diversity"`} {
+		if !bytes.Contains(doc, []byte(key)) {
+			t.Fatalf("empty summary missing %s:\n%s", key, doc)
+		}
+	}
+}
+
+// TestExpandGridOrder pins the canonical expansion order the NDJSON
+// stream relies on: experiments × seeds × sizes × plan variants.
+func TestExpandGridOrder(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "experiments": ["t02", "t01"],
+	  "seeds": {"list": [5, 1]},
+	  "sizes": ["full", "quick"],
+	  "plans": [null, {"name": "p", "faults": [{"experiment": "*", "kind": "rng", "skips": 1}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, sc := range scs {
+		got = append(got, fmt.Sprintf("%s/%d/%s/%s", sc.Experiment.ID, sc.Seed, sc.Size, sc.PlanName))
+	}
+	want := []string{
+		"t02/5/full/clean", "t02/5/full/p", "t02/5/quick/clean", "t02/5/quick/p",
+		"t02/1/full/clean", "t02/1/full/p", "t02/1/quick/clean", "t02/1/quick/p",
+		"t01/5/full/clean", "t01/5/full/p", "t01/5/quick/clean", "t01/5/quick/p",
+		"t01/1/full/clean", "t01/1/full/p", "t01/1/quick/clean", "t01/1/quick/p",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("expanded %d scenarios, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scenario %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for i, sc := range scs {
+		if sc.Index != i {
+			t.Fatalf("scenario %d carries index %d", i, sc.Index)
+		}
+	}
+}
+
+// TestScenarioPlansArePrivate: expanding twice and mutating one
+// scenario's plan must not leak into its siblings (each scenario owns a
+// clone, so parallel executors can attach observers safely).
+func TestScenarioPlansArePrivate(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "experiments": ["t01"],
+	  "seeds": {"count": 2},
+	  "plans": [{"name": "p", "retries": 1, "faults": [{"experiment": "t01", "kind": "error", "attempt": 1}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("expanded %d scenarios, want 2", len(scs))
+	}
+	if scs[0].Plan == scs[1].Plan {
+		t.Fatal("scenarios share one *Plan")
+	}
+	scs[0].Plan.Faults[0].Kind = "panic"
+	if scs[1].Plan.Faults[0].Kind != "error" {
+		t.Fatal("mutating scenario 0's plan leaked into scenario 1")
+	}
+}

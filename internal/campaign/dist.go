@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist bucket layout, modelled on obs.Timing but for the campaign's
+// *logical* measures (triangle area in quality%·attempts, attempt
+// counts, retries): log-linear bounds spanning distDecades decades up
+// from distMin, distPerDecade buckets per decade. At 8 buckets per
+// decade adjacent bounds differ by a factor of 10^(1/8) ≈ 1.33, so a
+// quantile read from a bucket's geometric midpoint is within ±15% of
+// the true sample. Unlike obs.Timing, Dist feeds stdout — its inputs
+// are already deterministic (logical units, never wall time), and its
+// bucket arithmetic uses only exact-in-float64 operations on those
+// inputs, so a snapshot is byte-stable run to run.
+const (
+	distMin       = 1.0 // counts and areas are >= 1 when nonzero
+	distDecades   = 6   // up through 1e6: far past any bounded campaign
+	distPerDecade = 8
+)
+
+// distBounds holds the precomputed bucket upper bounds.
+var distBounds = func() []float64 {
+	n := distDecades * distPerDecade
+	b := make([]float64, n+1)
+	for i := range b {
+		b[i] = distMin * math.Pow(10, float64(i)/distPerDecade)
+	}
+	return b
+}()
+
+// Dist accumulates one campaign measure across scenarios. Not safe for
+// concurrent use: the campaign executor accumulates rows on the single
+// in-order emit path, exactly where NDJSON is written.
+type Dist struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // len(distBounds)+1; last is +Inf overflow
+}
+
+// Observe records one sample. NaN and negative samples are dropped
+// (campaign measures are counts and areas, never negative).
+func (d *Dist) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	if d.buckets == nil {
+		d.buckets = make([]int64, len(distBounds)+1)
+	}
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+	d.buckets[sort.SearchFloat64s(distBounds, v)]++
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1): the geometric
+// midpoint of the bucket holding the q-th sample, clamped to the
+// observed [min, max] so every reported quantile is bounded by real
+// samples and degenerate distributions read back exactly. Returns 0
+// when nothing was observed. Monotone in q by construction: rank is
+// nondecreasing in q, the bucket cursor only moves right, and the
+// midpoint sequence min ≤ mid(i) ≤ … ≤ max is nondecreasing.
+func (d *Dist) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if q <= 0 || math.IsNaN(q) {
+		return d.min
+	}
+	if q >= 1 {
+		return d.max
+	}
+	rank := int64(math.Ceil(q * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range d.buckets {
+		cum += n
+		if cum < rank {
+			continue
+		}
+		var mid float64
+		switch {
+		case i == 0:
+			// Underflow bucket: everything at or below distMin; min is
+			// the honest point estimate.
+			mid = d.min
+		case i > len(distBounds)-1:
+			mid = d.max
+		default:
+			mid = math.Sqrt(distBounds[i-1] * distBounds[i])
+		}
+		return math.Min(math.Max(mid, d.min), d.max)
+	}
+	return d.max
+}
+
+// DistBucket is one non-empty bucket of a snapshot: cumulative count of
+// samples at or below the upper bound Le (Prometheus-style "le").
+type DistBucket struct {
+	Le  float64 `json:"le"`
+	Cum int64   `json:"cum"`
+}
+
+// DistSnapshot is the exportable state of a Dist: summary moments, the
+// standard quantiles, and the non-empty cumulative buckets (so a
+// 49-slot layout with three occupied buckets serializes as three
+// entries, not fifty).
+type DistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
+	Buckets []DistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the distribution. The overflow bucket's bound
+// serializes as the observed max (JSON has no +Inf).
+func (d *Dist) Snapshot() DistSnapshot {
+	s := DistSnapshot{
+		Count: d.count,
+		Sum:   d.sum,
+		Min:   d.min,
+		Max:   d.max,
+		P50:   d.Quantile(0.50),
+		P90:   d.Quantile(0.90),
+		P99:   d.Quantile(0.99),
+	}
+	if d.count > 0 {
+		s.Mean = d.sum / float64(d.count)
+	}
+	var cum int64
+	for i, n := range d.buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		le := s.Max
+		if i < len(distBounds) {
+			le = distBounds[i]
+		}
+		s.Buckets = append(s.Buckets, DistBucket{Le: le, Cum: cum})
+	}
+	return s
+}

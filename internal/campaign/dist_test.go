@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"resilience/internal/rng"
+)
+
+// TestDistQuantileProperties is the satellite property test: over many
+// random sample sets, every reported quantile is bounded by the
+// observed min/max and the quantile function is monotone in rank.
+func TestDistQuantileProperties(t *testing.T) {
+	r := rng.New(7)
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 200; trial++ {
+		var d Dist
+		n := 1 + r.Intn(400)
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes across the whole bucket range, including
+			// underflow (<1) and overflow (>1e6) samples.
+			v := math.Pow(10, r.Float64()*9-1)
+			if r.Intn(5) == 0 {
+				v = float64(r.Intn(4)) // exact small counts incl. zero
+			}
+			d.Observe(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			got := d.Quantile(q)
+			if got < min || got > max {
+				t.Fatalf("trial %d: q%.3f = %v outside [%v, %v]", trial, q, got, min, max)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: quantiles not monotone: q%.3f = %v < %v", trial, q, got, prev)
+			}
+			prev = got
+		}
+		snap := d.Snapshot()
+		if snap.Count != int64(n) || snap.Min != min || snap.Max != max {
+			t.Fatalf("trial %d: snapshot moments %+v, want n=%d min=%v max=%v", trial, snap, n, min, max)
+		}
+		if snap.P50 > snap.P90 || snap.P90 > snap.P99 {
+			t.Fatalf("trial %d: snapshot quantiles not ordered: %+v", trial, snap)
+		}
+		// Buckets are cumulative, strictly increasing, and end at n.
+		var prevCum int64
+		var prevLe float64
+		for i, b := range snap.Buckets {
+			if b.Cum <= prevCum {
+				t.Fatalf("trial %d: bucket %d cum %d not increasing past %d", trial, i, b.Cum, prevCum)
+			}
+			if i > 0 && b.Le <= prevLe {
+				t.Fatalf("trial %d: bucket %d bound %v not increasing past %v", trial, i, b.Le, prevLe)
+			}
+			prevCum, prevLe = b.Cum, b.Le
+		}
+		if prevCum != int64(n) {
+			t.Fatalf("trial %d: buckets sum to %d, want %d", trial, prevCum, n)
+		}
+	}
+}
+
+// TestDistDegenerate: an all-equal sample set reads back exactly at
+// every quantile, and the empty distribution reports zeros.
+func TestDistDegenerate(t *testing.T) {
+	var d Dist
+	for i := 0; i < 10; i++ {
+		d.Observe(300)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := d.Quantile(q); got != 300 {
+			t.Fatalf("q%.2f = %v, want exactly 300", q, got)
+		}
+	}
+	var empty Dist
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty dist quantile != 0")
+	}
+	snap := empty.Snapshot()
+	if snap.Count != 0 || snap.Mean != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+}
+
+// TestDistDropsInvalid: NaN and negative samples are ignored rather
+// than corrupting the moments.
+func TestDistDropsInvalid(t *testing.T) {
+	var d Dist
+	d.Observe(math.NaN())
+	d.Observe(-4)
+	d.Observe(2)
+	snap := d.Snapshot()
+	if snap.Count != 1 || snap.Min != 2 || snap.Max != 2 {
+		t.Fatalf("snapshot = %+v, want single sample 2", snap)
+	}
+}
+
+// TestDistQuantileAccuracy: against a sorted reference, bucket-midpoint
+// estimates stay within one bucket width (±15%) of the true sample.
+func TestDistQuantileAccuracy(t *testing.T) {
+	r := rng.New(3)
+	var d Dist
+	var samples []float64
+	for i := 0; i < 5000; i++ {
+		v := 1 + math.Pow(10, r.Float64()*4)
+		d.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := samples[int(math.Ceil(q*float64(len(samples))))-1]
+		got := d.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.16 {
+			t.Fatalf("q%.2f = %v, true %v, relative error %.3f > 0.16", q, got, want, rel)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCampaignSpecParse: the spec parser is total — any byte sequence
+// either yields a valid spec (which must expand without panicking) or a
+// structured "campaign:"-prefixed error, never a panic.
+func FuzzCampaignSpecParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(sweepSpec))
+	f.Add([]byte(`{"experiments":["t01"],"seeds":{"list":[1,2]},"sizes":["quick","full"]}`))
+	f.Add([]byte(`{"seeds":{"from":18446744073709551615,"count":2}}`))
+	f.Add([]byte(`{"plans":[null,{"retries":1,"faults":[{"experiment":"*","kind":"rng","skips":1}]}]}`))
+	f.Add([]byte(`{"perturb":[{"delayScale":1e308},{"retriesDelta":-9}]}`))
+	f.Add([]byte(`{"search":{"budget":4,"objective":"deadline-miss","deadlineAttempts":2,"seams":["worker","ghost"]}}`))
+	f.Add([]byte(`{"deadlineAttempts": 3, "name": "\\u0000"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"plans":[{"faults":[{"experiment":"t01","kind":"delay","delayMs":-1}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v returned alongside a spec", err)
+			}
+			if !strings.Contains(err.Error(), "campaign:") && !strings.Contains(err.Error(), "faultinject:") {
+				t.Fatalf("unstructured error: %v", err)
+			}
+			return
+		}
+		// A spec that parses must expand deterministically or fail with
+		// a structured error — and expansion must not depend on who
+		// asks: two calls agree cell for cell.
+		a, errA := spec.Expand(toyRegistry())
+		b, errB := spec.Expand(toyRegistry())
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("expand nondeterministic: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if len(a) != len(b) {
+			t.Fatalf("expand sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Experiment.ID != b[i].Experiment.ID || a[i].Seed != b[i].Seed ||
+				a[i].Size != b[i].Size || a[i].PlanHash != b[i].PlanHash {
+				t.Fatalf("expand cell %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// FuzzCampaignSummary: the summary builder tolerates arbitrary row
+// sequences — decoded from hostile NDJSON or synthesized from raw
+// bytes — and always produces a marshalable document whose reported
+// quantiles stay inside the observed range.
+func FuzzCampaignSummary(f *testing.F) {
+	f.Add([]byte(`{"scenario":0,"experiment":"e01","seed":1,"size":"quick","plan":"clean","status":"ok","recovered":false,"failedAttempts":0,"retries":0,"triangleArea":0}`))
+	f.Add([]byte(`{"status":"degraded","failedAttempts":2,"recovered":true,"retries":2,"triangleArea":200,"deadlineMiss":true,"digest":"abc"}` + "\n" + `{"status":"weird"}`))
+	f.Add([]byte(`{"triangleArea":-5,"retries":-2,"failedAttempts":-1}`))
+	f.Add([]byte(`{"triangleArea":1e300,"failedAttempts":2147483647}`))
+	f.Add([]byte("garbage\n\n{\"status\":\"shed\"}\nmore garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewSummaryBuilder(RunConfig{Name: "fuzz", DeadlineAttempts: 1})
+		rows := 0
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			var row Row
+			if err := json.Unmarshal(line, &row); err != nil {
+				// Synthesize a row from the raw bytes so the builder also
+				// sees statuses/digests no marshaller would produce.
+				row = Row{
+					Status:         string(line),
+					Digest:         string(line),
+					Error:          string(line),
+					FailedAttempts: len(line) - 4,
+					Retries:        len(line)%7 - 3,
+					TriangleArea:   float64(len(line)*100 - 350),
+					Recovered:      len(line)%2 == 0,
+					DeadlineMiss:   len(line)%3 == 0,
+				}
+			}
+			b.Add(row)
+			rows++
+		}
+		sum := b.Summary()
+		if sum.Scenarios != rows {
+			t.Fatalf("summary counted %d rows, want %d", sum.Scenarios, rows)
+		}
+		if got := sum.OK + sum.Degraded + sum.Failed + sum.Shed + sum.Errors; got != rows {
+			t.Fatalf("status counts sum to %d, want %d", got, rows)
+		}
+		doc, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatalf("summary does not marshal: %v", err)
+		}
+		if !bytes.Contains(doc, []byte(SpecSchema)) {
+			t.Fatal("summary lost its schema tag")
+		}
+		for name, d := range map[string]DistSnapshot{
+			"triangleArea":     sum.Distributions.TriangleArea,
+			"recoveryAttempts": sum.Distributions.RecoveryAttempts,
+			"retries":          sum.Distributions.Retries,
+		} {
+			if d.Count == 0 {
+				continue
+			}
+			for q, v := range map[string]float64{"p50": d.P50, "p90": d.P90, "p99": d.P99} {
+				if v < d.Min || v > d.Max {
+					t.Fatalf("%s %s = %v outside [%v, %v]", name, q, v, d.Min, d.Max)
+				}
+			}
+			if d.P50 > d.P90 || d.P90 > d.P99 {
+				t.Fatalf("%s quantiles not ordered: %+v", name, d)
+			}
+		}
+	})
+}

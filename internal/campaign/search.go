@@ -1,0 +1,404 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"resilience/internal/experiments"
+	"resilience/internal/faultinject"
+	"resilience/internal/rng"
+)
+
+// Search defaults.
+const (
+	defaultSearchRetries    = 2
+	defaultSearchMaxFaults  = 3
+	defaultSearchPopulation = 8
+)
+
+// defaultSeams is the mutation seam pool when the spec names none:
+// the two seams every experiment has. Specs can widen it with stage
+// seams ("dcsp/generate", "mc/d3", …) — including decoy seams the
+// target experiments don't have, which makes the landscape harder for
+// random sampling.
+var defaultSeams = []string{"worker", "body"}
+
+// searchKinds is the fault-kind pool. Damaging kinds (panic, error)
+// compete with mostly-harmless ones (delay, rng), so a random sampler
+// wastes budget on duds while the evolutionary loop learns to stack
+// damage.
+var searchKinds = []faultinject.Kind{
+	faultinject.KindPanic,
+	faultinject.KindError,
+	faultinject.KindDelay,
+	faultinject.KindRNG,
+}
+
+// EvalRow is one candidate evaluation's NDJSON record in search mode —
+// the search-campaign analogue of Row. Deterministic for a given spec.
+type EvalRow struct {
+	Eval  int    `json:"eval"`
+	Phase string `json:"phase"` // "baseline" or "search"
+	// Score is the objective scalar being maximized: summed logical
+	// triangle area, or (for deadline-miss) misses lifted above any
+	// possible area so lexicographic order and numeric order agree.
+	Score float64 `json:"score"`
+	// TriangleArea and DeadlineMisses report the candidate's raw grid
+	// totals whatever the objective.
+	TriangleArea   float64 `json:"triangleArea"`
+	DeadlineMisses int     `json:"deadlineMisses"`
+	Faults         int     `json:"faults"`
+	PlanHash       string  `json:"planHash"`
+	// Best marks an evaluation that strictly improved its phase's best.
+	Best bool `json:"best"`
+}
+
+// SearchDoc reports the adversarial search: the worst plan found, how
+// it compares to the same-budget random baseline, and the score
+// distribution the search explored.
+type SearchDoc struct {
+	Objective   string `json:"objective"`
+	Budget      int    `json:"budget"`
+	Evaluations int    `json:"evaluations"`
+	// Best and Baseline are the two phases' best scores on the shared
+	// objective scalar; BeatBaseline is the strict comparison the CI
+	// gate asserts.
+	Best         float64 `json:"best"`
+	Baseline     float64 `json:"baseline"`
+	BeatBaseline bool    `json:"beatBaseline"`
+	// BestArea/BestMisses are the winning candidate's raw grid totals.
+	BestArea   float64 `json:"bestArea"`
+	BestMisses int     `json:"bestMisses"`
+	// WorstPlan is the winning candidate as a replayable fault-plan
+	// document (compact, NDJSON-safe): feed it to `resilience chaos` to
+	// reproduce the damage. WorstPlanHash is its full content hash.
+	WorstPlan     json.RawMessage `json:"worstPlan"`
+	WorstPlanHash string          `json:"worstPlanHash"`
+	// Scores is the distribution of search-phase scores.
+	Scores DistSnapshot `json:"scores"`
+}
+
+// searchScore orders candidates: primary the objective, area as the
+// deadline-miss tiebreak.
+type searchScore struct {
+	area   float64
+	misses int
+}
+
+// searchSpace is the resolved genome space one search runs over.
+type searchSpace struct {
+	ids       []string
+	seams     []string
+	retries   int
+	maxFaults int
+	// offset lifts a deadline-miss count above any achievable area sum,
+	// making the lexicographic (misses, area) order a single float.
+	offset    float64
+	objective string
+}
+
+func (sp searchSpace) value(s searchScore) float64 {
+	if sp.objective == ObjectiveDeadlineMiss {
+		return float64(s.misses)*sp.offset + s.area
+	}
+	return s.area
+}
+
+// randomFault draws one genome gene. Attempts are confined to
+// [1, retries], so attempt retries+1 is always clean: every candidate
+// plan is recoverable by construction and replays through `resilience
+// chaos` without failing the suite.
+func (sp searchSpace) randomFault(r *rng.Source) faultinject.Fault {
+	f := faultinject.Fault{
+		Experiment: sp.ids[r.Intn(len(sp.ids))],
+		Seam:       sp.seams[r.Intn(len(sp.seams))],
+		Attempt:    1 + r.Intn(max(1, sp.retries)),
+	}
+	sp.setKind(&f, searchKinds[r.Intn(len(searchKinds))], r)
+	return f
+}
+
+// setKind switches a gene's fault kind, drawing whatever parameters the
+// new kind requires so the gene stays valid.
+func (sp searchSpace) setKind(f *faultinject.Fault, k faultinject.Kind, r *rng.Source) {
+	f.Kind = k
+	f.DelayMs, f.Skips = 0, 0
+	switch k {
+	case faultinject.KindDelay:
+		f.DelayMs = 1 + r.Intn(5)
+	case faultinject.KindRNG:
+		f.Skips = 1 + r.Intn(4)
+	}
+}
+
+// randomPlan draws a whole candidate: 1..maxFaults random genes on a
+// fixed chassis (retries from the spec, no backoff or timeout so
+// evaluations stay fast and wall-clock-free).
+func (sp searchSpace) randomPlan(r *rng.Source) *faultinject.Plan {
+	p := &faultinject.Plan{Name: "candidate", Retries: sp.retries}
+	n := 1 + r.Intn(max(1, sp.maxFaults))
+	for i := 0; i < n; i++ {
+		p.Faults = append(p.Faults, sp.randomFault(r))
+	}
+	return p
+}
+
+// mutate returns a copy of parent one step away: a gene edited,
+// resampled, added, removed, or escalated. Escalation — duplicate a
+// gene one attempt deeper, overwriting another slot when the genome is
+// full — is the move that exploits the retry ladder's structure: a
+// fault at attempt k only fires when attempts 1..k−1 already failed,
+// so damage compounds only along attempt *prefixes*, which random
+// sampling almost never assembles whole but escalation builds one rung
+// at a time.
+func (sp searchSpace) mutate(parent *faultinject.Plan, r *rng.Source) *faultinject.Plan {
+	p := clonePlan(parent)
+	op := r.Intn(5)
+	switch {
+	case op == 1 && len(p.Faults) < sp.maxFaults:
+		p.Faults = append(p.Faults, sp.randomFault(r))
+		return p
+	case op == 2 && len(p.Faults) > 1:
+		i := r.Intn(len(p.Faults))
+		p.Faults = append(p.Faults[:i], p.Faults[i+1:]...)
+		return p
+	case op == 3:
+		i := r.Intn(len(p.Faults))
+		esc := p.Faults[i]
+		if esc.Attempt < sp.retries {
+			esc.Attempt++
+			if len(p.Faults) < sp.maxFaults {
+				p.Faults = append(p.Faults, esc)
+			} else if len(p.Faults) > 1 {
+				j := r.Intn(len(p.Faults) - 1)
+				if j >= i {
+					j++
+				}
+				p.Faults[j] = esc
+			}
+			return p
+		}
+	case op == 4:
+		p.Faults[r.Intn(len(p.Faults))] = sp.randomFault(r)
+		return p
+	}
+	f := &p.Faults[r.Intn(len(p.Faults))]
+	switch r.Intn(4) {
+	case 0:
+		f.Experiment = sp.ids[r.Intn(len(sp.ids))]
+	case 1:
+		f.Seam = sp.seams[r.Intn(len(sp.seams))]
+	case 2:
+		sp.setKind(f, searchKinds[r.Intn(len(searchKinds))], r)
+	default:
+		f.Attempt = 1 + r.Intn(max(1, sp.retries))
+	}
+	return p
+}
+
+// elite is one member of the evolutionary pool.
+type elite struct {
+	plan  *faultinject.Plan
+	score float64
+}
+
+// RunSearch runs the spec's adversarial mode: a same-budget random
+// baseline phase, then a seeded evolutionary loop (random init, then
+// tournament-select + mutate over an elite pool), every candidate
+// evaluated by sweeping the spec's base grid (experiments × seeds ×
+// sizes) under the candidate plan with the cache bypassed. emit (if
+// non-nil) receives one EvalRow per evaluation, in order. The returned
+// Summary is the winning candidate's grid summary with the SearchDoc
+// attached. Deterministic: every random choice flows from search.seed,
+// and evaluations inherit Run's jobs-independence.
+func RunSearch(ctx context.Context, spec *Spec, reg []experiments.Experiment, cfg RunConfig, exec ExecFunc, emit func(EvalRow)) (Summary, error) {
+	search := spec.Search
+	if search == nil {
+		return Summary{}, fmt.Errorf("campaign: spec has no search section")
+	}
+	base, err := spec.Expand(reg)
+	if err != nil {
+		return Summary{}, err
+	}
+	sp := searchSpace{
+		retries:   search.Retries,
+		maxFaults: search.MaxFaults,
+		objective: search.Objective,
+		seams:     search.Seams,
+	}
+	if sp.retries == 0 {
+		sp.retries = defaultSearchRetries
+	}
+	if sp.maxFaults == 0 {
+		sp.maxFaults = defaultSearchMaxFaults
+	}
+	if len(sp.seams) == 0 {
+		sp.seams = defaultSeams
+	}
+	seen := make(map[string]bool)
+	for _, sc := range base {
+		if !seen[sc.Experiment.ID] {
+			seen[sc.Experiment.ID] = true
+			sp.ids = append(sp.ids, sc.Experiment.ID)
+		}
+	}
+	// Max area per scenario is 100×(retries+1) (every attempt failed),
+	// so this offset strictly dominates any area sum.
+	sp.offset = 100*float64(sp.retries+1)*float64(len(base)) + 1
+
+	population := search.Population
+	if population == 0 {
+		population = defaultSearchPopulation
+	}
+	if population > search.Budget {
+		population = search.Budget
+	}
+	seed := search.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg.DeadlineAttempts = search.DeadlineAttempts
+
+	evals := 0
+	evaluate := func(p *faultinject.Plan) (searchScore, Summary) {
+		scs := make([]Scenario, len(base))
+		hash := p.Hash()
+		raw, _ := json.Marshal(p)
+		for i, sc := range base {
+			sc.Plan = clonePlan(p)
+			sc.PlanName = "candidate"
+			sc.PlanHash = hash
+			sc.PlanRaw = raw
+			sc.NoCache = true
+			scs[i] = sc
+		}
+		sum := Run(ctx, scs, cfg, exec, nil)
+		evals++
+		return searchScore{area: sum.Distributions.TriangleArea.Sum, misses: sum.DeadlineMisses}, sum
+	}
+	report := func(phase string, p *faultinject.Plan, s searchScore, best bool) {
+		if emit == nil {
+			return
+		}
+		emit(EvalRow{
+			Eval:           evals,
+			Phase:          phase,
+			Score:          sp.value(s),
+			TriangleArea:   s.area,
+			DeadlineMisses: s.misses,
+			Faults:         len(p.Faults),
+			PlanHash:       shortHash(p.Hash()),
+			Best:           best,
+		})
+	}
+
+	// Phase 1: the same-budget random baseline the search must beat.
+	var baselineBest float64
+	runBaseline := search.Baseline == nil || *search.Baseline
+	if runBaseline {
+		r := rng.New(rng.Derive(seed, "baseline"))
+		for i := 0; i < search.Budget; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			p := sp.randomPlan(r)
+			s, _ := evaluate(p)
+			v := sp.value(s)
+			improved := i == 0 || v > baselineBest
+			if improved {
+				baselineBest = v
+			}
+			report("baseline", p, s, improved)
+		}
+	}
+
+	// Phase 2: the evolutionary loop — random init to fill the elite
+	// pool, then binary-tournament parent selection and one mutation
+	// per evaluation.
+	r := rng.New(rng.Derive(seed, "search"))
+	var pool []elite
+	var bestPlan *faultinject.Plan
+	var bestScore searchScore
+	var bestSum Summary
+	haveBest := false
+	var scores Dist
+	for i := 0; i < search.Budget; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		var p *faultinject.Plan
+		if i < population || len(pool) == 0 {
+			p = sp.randomPlan(r)
+		} else {
+			// Rank-biased tournament on the score-sorted pool: two
+			// uniform draws, keep the better rank. Ties in score are
+			// already ordered newest-first, so plateaus favor fresh
+			// genomes.
+			at := r.Intn(len(pool))
+			if b := r.Intn(len(pool)); b < at {
+				at = b
+			}
+			p = sp.mutate(pool[at].plan, r)
+		}
+		s, sum := evaluate(p)
+		v := sp.value(s)
+		scores.Observe(v)
+		improved := !haveBest || v > sp.value(bestScore)
+		if improved {
+			haveBest = true
+			bestPlan, bestScore, bestSum = p, s, sum
+		}
+		report("search", p, s, improved)
+		// Insert into the elite pool: keep the best `population` plans.
+		// Ties go to the newcomer (it sorts ahead of equal scores and
+		// the oldest worst elite is truncated), so the pool drifts
+		// across neutral plateaus instead of freezing on its first
+		// `population` candidates — without drift, an all-dud init pins
+		// the search to the same few neighborhoods for the whole
+		// budget. Sequential and rng-free, so still deterministic.
+		at := len(pool)
+		for j, e := range pool {
+			if v >= e.score {
+				at = j
+				break
+			}
+		}
+		if at < population {
+			pool = append(pool, elite{})
+			copy(pool[at+1:], pool[at:])
+			pool[at] = elite{plan: p, score: v}
+			if len(pool) > population {
+				pool = pool[:population]
+			}
+		}
+	}
+	if !haveBest {
+		return Summary{}, fmt.Errorf("campaign: search evaluated no candidates: %w", ctx.Err())
+	}
+
+	doc := &SearchDoc{
+		Objective:    search.Objective,
+		Budget:       search.Budget,
+		Evaluations:  evals,
+		Best:         sp.value(bestScore),
+		Baseline:     baselineBest,
+		BestArea:     bestScore.area,
+		BestMisses:   bestScore.misses,
+		BeatBaseline: runBaseline && sp.value(bestScore) > baselineBest,
+		Scores:       scores.Snapshot(),
+	}
+	if raw, err := json.Marshal(bestPlan); err == nil {
+		doc.WorstPlan = raw
+	}
+	doc.WorstPlanHash = bestPlan.Hash()
+	bestSum.Search = doc
+	return bestSum, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

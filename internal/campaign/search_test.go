@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"resilience/internal/faultinject"
+)
+
+// searchSpecDoc is the toy adversarial spec the regression tests pin:
+// two experiments, one seed, a seam pool salted with ghost seams that
+// never fire (decoys random sampling wastes budget on), and attempt
+// budgets that reward stacking damage precisely.
+const searchSpecDoc = `{
+  "name": "toy-search",
+  "experiments": ["t01", "t02"],
+  "seeds": {"list": [7]},
+  "search": {"budget": 40, "objective": "triangle-area", "seed": 1,
+             "retries": 3, "maxFaults": 3,
+             "seams": ["worker", "body", "ghost/a", "ghost/b", "ghost/c"]}
+}`
+
+func runSearchSpec(t *testing.T, doc string, jobs int) (Summary, []byte) {
+	t.Helper()
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows bytes.Buffer
+	enc := json.NewEncoder(&rows)
+	sum, err := RunSearch(context.Background(), spec, toyRegistry(),
+		RunConfig{Name: spec.Name, Jobs: jobs}, LocalExec(nil, nil), func(row EvalRow) {
+			if err := enc.Encode(row); err != nil {
+				t.Fatal(err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, rows.Bytes()
+}
+
+// TestSearchBeatsBaseline is the forward direction of the adversarial
+// regression: on the same budget, the seeded evolutionary search must
+// find a strictly worse plan than pure random sampling.
+func TestSearchBeatsBaseline(t *testing.T) {
+	sum, rows := runSearchSpec(t, searchSpecDoc, 4)
+	doc := sum.Search
+	if doc == nil {
+		t.Fatal("summary carries no search document")
+	}
+	if doc.Evaluations != 80 {
+		t.Fatalf("evaluations = %d, want 80 (budget 40 × baseline + search)", doc.Evaluations)
+	}
+	if !doc.BeatBaseline || doc.Best <= doc.Baseline {
+		t.Fatalf("search did not beat baseline: best %v vs baseline %v", doc.Best, doc.Baseline)
+	}
+	if doc.Best != doc.BestArea {
+		t.Fatalf("triangle-area objective: best %v != bestArea %v", doc.Best, doc.BestArea)
+	}
+	if len(doc.WorstPlan) == 0 || doc.WorstPlanHash == "" {
+		t.Fatal("no worst-plan artifact")
+	}
+	// The artifact is a valid, replayable fault plan whose hash matches.
+	plan, err := faultinject.Parse(doc.WorstPlan)
+	if err != nil {
+		t.Fatalf("worst plan does not parse: %v", err)
+	}
+	if plan.Hash() != doc.WorstPlanHash {
+		t.Fatalf("worst plan hash %q != reported %q", plan.Hash(), doc.WorstPlanHash)
+	}
+	// Eval rows stream in order with coherent phases.
+	lines := bytes.Split(bytes.TrimSpace(rows), []byte("\n"))
+	if len(lines) != 80 {
+		t.Fatalf("emitted %d eval rows, want 80", len(lines))
+	}
+	for i, line := range lines {
+		var row EvalRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("eval row %d: %v", i, err)
+		}
+		if row.Eval != i+1 {
+			t.Fatalf("eval row %d numbered %d", i, row.Eval)
+		}
+		wantPhase := "baseline"
+		if i >= 40 {
+			wantPhase = "search"
+		}
+		if row.Phase != wantPhase {
+			t.Fatalf("eval row %d phase %q, want %q", i, row.Phase, wantPhase)
+		}
+	}
+}
+
+// TestSearchWorstPlanReplays is the reverse direction: sweeping the
+// same grid under the worst-plan artifact reproduces exactly the
+// triangle area the search reported — the artifact is evidence, not
+// just a trophy.
+func TestSearchWorstPlanReplays(t *testing.T) {
+	sum, _ := runSearchSpec(t, searchSpecDoc, 4)
+	doc := sum.Search
+	if doc == nil {
+		t.Fatal("summary carries no search document")
+	}
+	replayDoc := fmt.Sprintf(`{"experiments":["t01","t02"],"seeds":{"list":[7]},"plans":[%s]}`, doc.WorstPlan)
+	_, replay := runSpec(t, replayDoc, 1, nil)
+	if got := replay.Distributions.TriangleArea.Sum; got != doc.BestArea {
+		t.Fatalf("replayed area %v != reported %v", got, doc.BestArea)
+	}
+	// Candidate plans are recoverable by construction (fault attempts
+	// stay within the retry budget), so the replay degrades — it never
+	// fails the sweep.
+	if replay.Failed != 0 || replay.Errors != 0 {
+		t.Fatalf("worst-plan replay failed scenarios: %+v", replay)
+	}
+	if replay.Degraded == 0 {
+		t.Fatal("worst-plan replay did no damage at all")
+	}
+}
+
+// TestSearchDeterministic: the whole search — rows and summary — is a
+// pure function of the spec, at any jobs setting.
+func TestSearchDeterministic(t *testing.T) {
+	sumA, rowsA := runSearchSpec(t, searchSpecDoc, 1)
+	sumB, rowsB := runSearchSpec(t, searchSpecDoc, 8)
+	if !bytes.Equal(rowsA, rowsB) {
+		t.Fatal("eval rows differ across jobs")
+	}
+	docA, err := json.Marshal(sumA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docB, err := json.Marshal(sumB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(docA, docB) {
+		t.Fatalf("search summaries differ:\n%s\n---\n%s", docA, docB)
+	}
+}
+
+// TestSearchDeadlineMissObjective exercises the Time-Bounded-Resilience
+// objective: misses dominate the score, area only breaks ties.
+func TestSearchDeadlineMissObjective(t *testing.T) {
+	doc := `{
+	  "experiments": ["t01", "t02"],
+	  "seeds": {"list": [7]},
+	  "search": {"budget": 12, "objective": "deadline-miss", "deadlineAttempts": 1,
+	             "seed": 5, "retries": 2, "maxFaults": 2}
+	}`
+	sum, _ := runSearchSpec(t, doc, 4)
+	sd := sum.Search
+	if sd == nil {
+		t.Fatal("no search document")
+	}
+	if sd.Objective != ObjectiveDeadlineMiss {
+		t.Fatalf("objective = %q", sd.Objective)
+	}
+	// Two scenarios in the grid: misses are bounded by it, and with
+	// damaging kinds in the pool the search must miss at least once.
+	if sd.BestMisses < 1 || sd.BestMisses > 2 {
+		t.Fatalf("bestMisses = %d, want 1..2", sd.BestMisses)
+	}
+	if sd.Best < float64(sd.BestMisses) {
+		t.Fatalf("score %v below miss count %d", sd.Best, sd.BestMisses)
+	}
+	if sum.DeadlineAttempts != 1 {
+		t.Fatalf("summary deadlineAttempts = %d, want 1", sum.DeadlineAttempts)
+	}
+}
+
+// TestSearchNoBaseline: disabling the baseline halves the budget spent
+// and never claims a win.
+func TestSearchNoBaseline(t *testing.T) {
+	doc := `{
+	  "experiments": ["t01"],
+	  "seeds": {"list": [7]},
+	  "search": {"budget": 6, "objective": "triangle-area", "seed": 2, "baseline": false}
+	}`
+	sum, rows := runSearchSpec(t, doc, 2)
+	sd := sum.Search
+	if sd.Evaluations != 6 {
+		t.Fatalf("evaluations = %d, want 6", sd.Evaluations)
+	}
+	if sd.BeatBaseline || sd.Baseline != 0 {
+		t.Fatalf("baseline-off search claims a baseline: %+v", sd)
+	}
+	if n := bytes.Count(rows, []byte(`"phase":"baseline"`)); n != 0 {
+		t.Fatalf("%d baseline rows emitted with baseline off", n)
+	}
+}

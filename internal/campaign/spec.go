@@ -1,0 +1,485 @@
+// Package campaign turns one run — an (experiment, seed, plan) triple —
+// into thousands: a spec-driven sweep engine for the paper's
+// "anticipation" strategy (§3.4). A resilient system must discover the
+// scenarios that hurt it *before* they happen, so a campaign expands a
+// declarative JSON spec (experiment sets × seed ranges × fault-plan
+// grids × quick/full sizes × parameter perturbations) into a scenario
+// list, fans it through the staged engine and result cache on a
+// bounded-parallel executor, streams one NDJSON row per scenario, and
+// summarizes the population with distributions of recovery indicators —
+// Bruneau-triangle area, recovery time, retries — plus diversity
+// indices over statuses and outcome digests (internal/diversity), the
+// "report distributions, not points" discipline of the Quality
+// Indicators for Collective Systems Resilience line of work.
+//
+// On top of sweeps sits an adversarial mode (Spec.Search): a seeded
+// evolutionary loop that mutates fault plans to maximize damage
+// (triangle area) or deadline-bounded recovery violations à la
+// Time-Bounded Resilience, reporting the worst plan found as a
+// replayable artifact (`resilience chaos <worst-plan.json>`).
+//
+// Determinism contract: rows and the summary document depend only on
+// the spec (its seeds, plans, and search seed) — never on -jobs, cache
+// warmth, or wall time. Recovery is therefore accounted *logically*:
+// each failed attempt costs one unit of time at full (100%) quality
+// loss, so a scenario's triangle area is 100 × failedAttempts and its
+// recovery time is its attempt count. Wall-clock recovery measures stay
+// in obs instruments (campaign.scenario.seconds), which never feed
+// stdout, exactly like the rest of the repo.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"resilience/internal/experiments"
+	"resilience/internal/faultinject"
+)
+
+// SpecSchema names the campaign spec / output document schema.
+const SpecSchema = "resilience-campaign/1"
+
+// MaxScenarios bounds one spec's expansion; a grid past this is almost
+// certainly a typo (and would OOM the row buffer long before it
+// finished running).
+const MaxScenarios = 250_000
+
+// Seeds describes the seed axis: either an explicit list or a
+// contiguous range [From, From+Count).
+type Seeds struct {
+	From  *uint64  `json:"from,omitempty"`
+	Count int      `json:"count,omitempty"`
+	List  []uint64 `json:"list,omitempty"`
+}
+
+// expand returns the seed values in axis order.
+func (s *Seeds) expand() []uint64 {
+	if s == nil {
+		return []uint64{DefaultSeed}
+	}
+	if len(s.List) > 0 {
+		return s.List
+	}
+	from := uint64(1)
+	if s.From != nil {
+		from = *s.From
+	}
+	out := make([]uint64, s.Count)
+	for i := range out {
+		out[i] = from + uint64(i)
+	}
+	return out
+}
+
+func (s *Seeds) validate() error {
+	if s == nil {
+		return nil
+	}
+	if len(s.List) > 0 {
+		if s.Count != 0 || s.From != nil {
+			return fmt.Errorf("campaign: seeds: use either list or from/count, not both")
+		}
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("campaign: seeds: count must be >= 1 (got %d)", s.Count)
+	}
+	return nil
+}
+
+// DefaultSeed matches the CLI's -seed default; a spec without a seeds
+// axis sweeps exactly one scenario per cell at this seed.
+const DefaultSeed = 42
+
+// Perturb is one parameter perturbation applied to every non-nil plan
+// on the plan axis: multiplicative scales on the plan's timing-ish
+// parameters and an additive delta on its retry budget. The zero value
+// is the identity (the unperturbed plan).
+type Perturb struct {
+	Name         string  `json:"name,omitempty"`
+	DelayScale   float64 `json:"delayScale,omitempty"`
+	SkipsScale   float64 `json:"skipsScale,omitempty"`
+	BackoffScale float64 `json:"backoffScale,omitempty"`
+	TimeoutScale float64 `json:"timeoutScale,omitempty"`
+	RetriesDelta int     `json:"retriesDelta,omitempty"`
+}
+
+func (p Perturb) isIdentity() bool { return p == Perturb{} }
+
+func (p Perturb) validate(i int) error {
+	for _, s := range []struct {
+		name string
+		v    float64
+	}{{"delayScale", p.DelayScale}, {"skipsScale", p.SkipsScale}, {"backoffScale", p.BackoffScale}, {"timeoutScale", p.TimeoutScale}} {
+		if s.v < 0 || math.IsNaN(s.v) || math.IsInf(s.v, 0) {
+			return fmt.Errorf("campaign: perturb %d: %s must be a finite value >= 0", i, s.name)
+		}
+	}
+	return nil
+}
+
+// scaleInt applies a multiplicative perturbation to an integer
+// parameter, keeping it at least floor so a scaled-down fault stays a
+// valid fault (delayMs > 0, skips > 0) instead of failing validation.
+func scaleInt(v int, scale float64, floor int) int {
+	if scale == 0 || v == 0 {
+		return v
+	}
+	n := int(math.Round(float64(v) * scale))
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// apply returns a private perturbed copy of plan.
+func (p Perturb) apply(plan *faultinject.Plan) *faultinject.Plan {
+	out := clonePlan(plan)
+	if p.isIdentity() {
+		return out
+	}
+	out.Retries += p.RetriesDelta
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	out.BackoffMs = scaleInt(out.BackoffMs, p.BackoffScale, 0)
+	out.TimeoutMs = scaleInt(out.TimeoutMs, p.TimeoutScale, 0)
+	for i := range out.Faults {
+		f := &out.Faults[i]
+		f.DelayMs = scaleInt(f.DelayMs, p.DelayScale, 1)
+		f.Skips = scaleInt(f.Skips, p.SkipsScale, 1)
+	}
+	return out
+}
+
+// clonePlan deep-copies a fault plan so every scenario owns its plan
+// privately: the runner attaches observers to plans, and a shared plan
+// written from parallel scenario workers would be a data race.
+func clonePlan(p *faultinject.Plan) *faultinject.Plan {
+	if p == nil {
+		return nil
+	}
+	out := &faultinject.Plan{
+		Name:      p.Name,
+		Retries:   p.Retries,
+		BackoffMs: p.BackoffMs,
+		TimeoutMs: p.TimeoutMs,
+	}
+	if len(p.Faults) > 0 {
+		out.Faults = append([]faultinject.Fault(nil), p.Faults...)
+	}
+	return out
+}
+
+// Search configures the adversarial mode: a seeded evolutionary loop
+// over fault plans, replacing the plan axis of a sweep.
+type Search struct {
+	// Budget is how many candidate plans the search evaluates (each
+	// evaluation runs the whole base grid). The baseline, when enabled,
+	// spends the same budget on pure random sampling.
+	Budget int `json:"budget"`
+	// Objective selects what "worst" means: "triangle-area" maximizes
+	// the summed logical Bruneau area; "deadline-miss" maximizes the
+	// number of scenarios whose recovery did not complete within
+	// DeadlineAttempts attempts (ties broken by area).
+	Objective string `json:"objective"`
+	// DeadlineAttempts is the recovery deadline, in attempts, for the
+	// "deadline-miss" objective: a scenario misses when it needed more
+	// than this many attempts to produce a healthy result.
+	DeadlineAttempts int `json:"deadlineAttempts,omitempty"`
+	// Seed drives every random choice the search makes; same spec +
+	// same seed ⇒ the same candidates in the same order, byte-identical
+	// output. Defaults to 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Retries is the candidate plans' retry budget (default 2). Fault
+	// attempts are confined to [1, Retries], so attempt Retries+1 is
+	// always clean and every candidate plan is recoverable by
+	// construction — the worst plan replays through `resilience chaos`
+	// without failing the suite, and the maximum damage per scenario is
+	// a bounded 100×Retries.
+	Retries int `json:"retries,omitempty"`
+	// MaxFaults bounds a candidate's genome length (default 3).
+	MaxFaults int `json:"maxFaults,omitempty"`
+	// Population is the elite pool size for the evolutionary loop
+	// (default 8, clamped to Budget).
+	Population int `json:"population,omitempty"`
+	// Seams is the seam pool mutations draw from; defaults to
+	// ["worker", "body"]. Including seams the target experiments do not
+	// have (decoys) makes the space harder for random sampling — which
+	// is the point of searching.
+	Seams []string `json:"seams,omitempty"`
+	// Baseline controls whether the same-budget random-sweep baseline
+	// runs for comparison; nil means true.
+	Baseline *bool `json:"baseline,omitempty"`
+}
+
+func (s *Search) validate() error {
+	if s.Budget < 2 {
+		return fmt.Errorf("campaign: search: budget must be >= 2 (got %d)", s.Budget)
+	}
+	switch s.Objective {
+	case ObjectiveTriangleArea:
+	case ObjectiveDeadlineMiss:
+		if s.DeadlineAttempts < 1 {
+			return fmt.Errorf("campaign: search: objective %q needs deadlineAttempts >= 1", s.Objective)
+		}
+	default:
+		return fmt.Errorf("campaign: search: unknown objective %q (want %q or %q)",
+			s.Objective, ObjectiveTriangleArea, ObjectiveDeadlineMiss)
+	}
+	if s.Retries < 0 || s.MaxFaults < 0 || s.Population < 0 {
+		return fmt.Errorf("campaign: search: negative retries/maxFaults/population")
+	}
+	return nil
+}
+
+// The supported search objectives.
+const (
+	ObjectiveTriangleArea = "triangle-area"
+	ObjectiveDeadlineMiss = "deadline-miss"
+)
+
+// Spec is a campaign document. Every axis is optional; the zero spec
+// sweeps the whole registry once at the default seed, quick size,
+// clean (no fault plan).
+type Spec struct {
+	Name string `json:"name,omitempty"`
+	// Experiments is the experiment-set axis (registry IDs); empty
+	// means every registered experiment.
+	Experiments []string `json:"experiments,omitempty"`
+	// Seeds is the seed axis.
+	Seeds *Seeds `json:"seeds,omitempty"`
+	// Sizes is the workload-size axis: "quick" and/or "full". Empty
+	// means ["quick"].
+	Sizes []string `json:"sizes,omitempty"`
+	// Plans is the fault-plan axis: inline fault-plan documents
+	// (internal/faultinject), with null meaning the clean baseline.
+	// Empty means [null]. Mutually exclusive with Search.
+	Plans []json.RawMessage `json:"plans,omitempty"`
+	// Perturb is the parameter-perturbation axis, applied to every
+	// non-null plan (a clean cell has nothing to perturb, so it is
+	// swept exactly once regardless). Empty means [identity].
+	Perturb []Perturb `json:"perturb,omitempty"`
+	// DeadlineAttempts, when > 0, adds deadline-bounded recoverability
+	// accounting to sweep rows and the summary: a scenario misses the
+	// deadline when it needed more than this many attempts to recover.
+	DeadlineAttempts int `json:"deadlineAttempts,omitempty"`
+	// Search switches the campaign to adversarial mode.
+	Search *Search `json:"search,omitempty"`
+
+	// plans holds the parsed plan axis after ParseSpec.
+	plans []*faultinject.Plan
+}
+
+// ParseSpec decodes and validates a campaign spec. It is strict —
+// unknown fields, trailing data, and invalid embedded fault plans are
+// errors — so a typo'd axis fails loudly instead of silently sweeping
+// the wrong grid.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("campaign: trailing data after spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's axes and parses its embedded fault plans.
+func (s *Spec) Validate() error {
+	if err := s.Seeds.validate(); err != nil {
+		return err
+	}
+	for _, size := range s.Sizes {
+		if size != "quick" && size != "full" {
+			return fmt.Errorf("campaign: unknown size %q (want \"quick\" or \"full\")", size)
+		}
+	}
+	for i, p := range s.Perturb {
+		if err := p.validate(i); err != nil {
+			return err
+		}
+	}
+	if s.DeadlineAttempts < 0 {
+		return fmt.Errorf("campaign: negative deadlineAttempts")
+	}
+	s.plans = nil
+	for i, raw := range s.Plans {
+		if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+			s.plans = append(s.plans, nil)
+			continue
+		}
+		p, err := faultinject.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("campaign: plan %d: %w", i, err)
+		}
+		s.plans = append(s.plans, p)
+	}
+	if s.Search != nil {
+		if len(s.Plans) > 0 {
+			return fmt.Errorf("campaign: \"plans\" and \"search\" are mutually exclusive (the search owns the plan axis)")
+		}
+		if len(s.Perturb) > 0 {
+			return fmt.Errorf("campaign: \"perturb\" and \"search\" are mutually exclusive")
+		}
+		if err := s.Search.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planVariant is one cell of the (plan × perturb) grid.
+type planVariant struct {
+	plan *faultinject.Plan
+	name string
+	hash string
+	raw  json.RawMessage
+}
+
+// planVariants expands the plan × perturbation grid. Plan hashes and
+// wire documents are computed once per variant, not once per scenario.
+func (s *Spec) planVariants() ([]planVariant, error) {
+	plans := s.plans
+	if len(plans) == 0 {
+		plans = []*faultinject.Plan{nil}
+	}
+	perturbs := s.Perturb
+	if len(perturbs) == 0 {
+		perturbs = []Perturb{{}}
+	}
+	var out []planVariant
+	for pi, plan := range plans {
+		if plan == nil {
+			out = append(out, planVariant{name: "clean"})
+			continue
+		}
+		name := plan.Name
+		if name == "" {
+			name = fmt.Sprintf("plan%d", pi)
+		}
+		for _, pert := range perturbs {
+			v := planVariant{plan: pert.apply(plan), name: name}
+			if !pert.isIdentity() {
+				suffix := pert.Name
+				if suffix == "" {
+					suffix = "perturbed"
+				}
+				v.name += "+" + suffix
+			}
+			if err := v.plan.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: plan %q perturbed to an invalid plan: %w", v.name, err)
+			}
+			v.hash = v.plan.Hash()
+			raw, err := json.Marshal(v.plan)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: marshal plan %q: %w", v.name, err)
+			}
+			v.raw = raw
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Scenario is one expanded cell of the campaign grid: a single
+// (experiment, seed, size, plan) run.
+type Scenario struct {
+	Index      int
+	Experiment experiments.Experiment
+	Seed       uint64
+	Quick      bool
+	Size       string
+	// Plan is this scenario's private fault plan (nil = clean); every
+	// scenario owns its own copy so executors may attach observers
+	// without racing.
+	Plan     *faultinject.Plan
+	PlanName string
+	// PlanHash is the full content hash ("" for clean), the same value
+	// the result cache keys on.
+	PlanHash string
+	// PlanRaw is the plan's compact wire document, used by the HTTP
+	// server to rebuild a faithful request body when proxying the run
+	// to its cache digest's owner.
+	PlanRaw json.RawMessage
+	// NoCache asks the executor to bypass the result cache — set by the
+	// adversarial search, whose thousands of one-off candidate plans
+	// would otherwise pollute the store.
+	NoCache bool
+}
+
+// Expand resolves the spec against a registry and returns the scenario
+// list in canonical order: experiments × seeds × sizes × plan
+// variants, outermost to innermost. The order is part of the output
+// contract — row N of two runs of the same spec is the same scenario.
+func (s *Spec) Expand(reg []experiments.Experiment) ([]Scenario, error) {
+	if reg == nil {
+		reg = experiments.All()
+	}
+	byID := make(map[string]experiments.Experiment, len(reg))
+	for _, e := range reg {
+		byID[e.ID] = e
+	}
+	var exps []experiments.Experiment
+	if len(s.Experiments) == 0 {
+		exps = reg
+	} else {
+		seen := make(map[string]bool, len(s.Experiments))
+		for _, id := range s.Experiments {
+			e, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("campaign: unknown experiment %q", id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("campaign: duplicate experiment %q", id)
+			}
+			seen[id] = true
+			exps = append(exps, e)
+		}
+	}
+	seeds := s.Seeds.expand()
+	sizes := s.Sizes
+	if len(sizes) == 0 {
+		sizes = []string{"quick"}
+	}
+	variants, err := s.planVariants()
+	if err != nil {
+		return nil, err
+	}
+	total := len(exps) * len(seeds) * len(sizes) * len(variants)
+	if total == 0 {
+		return nil, fmt.Errorf("campaign: spec expands to zero scenarios")
+	}
+	if total > MaxScenarios {
+		return nil, fmt.Errorf("campaign: spec expands to %d scenarios (max %d)", total, MaxScenarios)
+	}
+	out := make([]Scenario, 0, total)
+	for _, e := range exps {
+		for _, seed := range seeds {
+			for _, size := range sizes {
+				for _, v := range variants {
+					out = append(out, Scenario{
+						Index:      len(out),
+						Experiment: e,
+						Seed:       seed,
+						Quick:      size == "quick",
+						Size:       size,
+						Plan:       clonePlan(v.plan),
+						PlanName:   v.name,
+						PlanHash:   v.hash,
+						PlanRaw:    v.raw,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecRejects walks the validation table: every malformed spec
+// fails loudly with a structured error, never a panic or a silent
+// default.
+func TestParseSpecRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, want string
+	}{
+		{"empty input", ``, "parse spec"},
+		{"not json", `{{`, "parse spec"},
+		{"unknown field", `{"experimnets": ["e01"]}`, "unknown field"},
+		{"trailing data", `{} {}`, "trailing data"},
+		{"bad size", `{"sizes": ["medium"]}`, "unknown size"},
+		{"seeds zero count", `{"seeds": {"count": 0}}`, "count must be >= 1"},
+		{"seeds list and range", `{"seeds": {"list": [1], "count": 2}}`, "not both"},
+		{"negative deadline", `{"deadlineAttempts": -1}`, "negative deadlineAttempts"},
+		{"bad plan", `{"plans": [{"faults": [{"experiment": "e01", "kind": "fire"}]}]}`, "unknown kind"},
+		{"plan unknown field", `{"plans": [{"surprise": 1}]}`, "unknown field"},
+		{"negative perturb scale", `{"perturb": [{"delayScale": -1}]}`, "delayScale"},
+		{"plans with search", `{"plans": [null], "search": {"budget": 2, "objective": "triangle-area"}}`, "mutually exclusive"},
+		{"perturb with search", `{"perturb": [{}], "search": {"budget": 2, "objective": "triangle-area"}}`, "mutually exclusive"},
+		{"search tiny budget", `{"search": {"budget": 1, "objective": "triangle-area"}}`, "budget must be >= 2"},
+		{"search bad objective", `{"search": {"budget": 4, "objective": "chaos"}}`, "unknown objective"},
+		{"deadline objective without deadline", `{"search": {"budget": 4, "objective": "deadline-miss"}}`, "deadlineAttempts"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("ParseSpec accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpandRejects covers registry-time failures.
+func TestExpandRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, want string
+	}{
+		{"unknown experiment", `{"experiments": ["zzz"]}`, "unknown experiment"},
+		{"duplicate experiment", `{"experiments": ["t01", "t01"]}`, "duplicate experiment"},
+		{"grid too large", `{"seeds": {"count": 300000}}`, "max"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseSpec([]byte(tc.doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := spec.Expand(toyRegistry()); err == nil {
+				t.Fatalf("Expand accepted %s", tc.doc)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestZeroSpecDefaults: the empty spec sweeps the whole registry once,
+// quick, clean, at the default seed.
+func TestZeroSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("expanded %d scenarios, want one per registry entry", len(scs))
+	}
+	for _, sc := range scs {
+		if sc.Seed != DefaultSeed || !sc.Quick || sc.Plan != nil || sc.PlanName != "clean" || sc.PlanHash != "" {
+			t.Fatalf("default scenario = %+v", sc)
+		}
+	}
+}
+
+// TestPerturbApply pins the perturbation semantics: multiplicative
+// scales with validity floors, additive retries, and distinct plan
+// hashes per variant (so the cache never conflates them).
+func TestPerturbApply(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "experiments": ["t01"],
+	  "plans": [{"name": "p", "retries": 2, "backoffMs": 10, "timeoutMs": 100, "faults": [
+	    {"experiment": "t01", "kind": "delay", "delayMs": 8, "attempt": 1},
+	    {"experiment": "t01", "kind": "rng", "skips": 4, "attempt": 2}]}],
+	  "perturb": [
+	    {"name": "double", "delayScale": 2, "skipsScale": 2, "backoffScale": 2, "timeoutScale": 2, "retriesDelta": 1},
+	    {"name": "crush", "delayScale": 0.01, "skipsScale": 0.01, "retriesDelta": -5}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("expanded %d scenarios, want 2", len(scs))
+	}
+	double, crush := scs[0], scs[1]
+	if double.PlanName != "p+double" || crush.PlanName != "p+crush" {
+		t.Fatalf("variant names = %q, %q", double.PlanName, crush.PlanName)
+	}
+	d := double.Plan
+	if d.Retries != 3 || d.BackoffMs != 20 || d.TimeoutMs != 200 || d.Faults[0].DelayMs != 16 || d.Faults[1].Skips != 8 {
+		t.Fatalf("double variant = %+v", d)
+	}
+	c := crush.Plan
+	// Scaled-down parameters floor at the smallest valid value; retries
+	// floor at zero.
+	if c.Retries != 0 || c.Faults[0].DelayMs != 1 || c.Faults[1].Skips != 1 {
+		t.Fatalf("crush variant = %+v", c)
+	}
+	if double.PlanHash == crush.PlanHash || double.PlanHash == "" {
+		t.Fatalf("variant hashes collide: %q vs %q", double.PlanHash, crush.PlanHash)
+	}
+}
+
+// TestSeedsExpansion covers both seed-axis shapes.
+func TestSeedsExpansion(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"experiments": ["t01"], "seeds": {"from": 100, "count": 3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for _, sc := range scs {
+		got = append(got, sc.Seed)
+	}
+	if len(got) != 3 || got[0] != 100 || got[1] != 101 || got[2] != 102 {
+		t.Fatalf("range seeds = %v", got)
+	}
+	spec, err = ParseSpec([]byte(`{"experiments": ["t01"], "seeds": {"list": [9, 3, 9]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err = spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	for _, sc := range scs {
+		got = append(got, sc.Seed)
+	}
+	if len(got) != 3 || got[0] != 9 || got[1] != 3 || got[2] != 9 {
+		t.Fatalf("list seeds = %v", got)
+	}
+}

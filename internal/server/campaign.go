@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"resilience/internal/campaign"
+	"resilience/internal/engine"
+	"resilience/internal/runner"
+)
+
+// maxCampaignScenarios bounds one request's grid. A campaign is batch
+// work riding on a serving system: the cap keeps a single POST from
+// monopolizing the node for minutes past its request timeout anyway.
+// Larger sweeps belong on the CLI (`resilience campaign`), which has
+// no co-tenants to protect.
+const maxCampaignScenarios = 10_000
+
+// handleCampaign executes a campaign spec (internal/campaign) and
+// streams one NDJSON row per scenario followed by the summary document
+// — the CLI's `campaign` stream, served over HTTP.
+//
+// The endpoint is mode-governed batch work, bounded so it can never
+// starve interactive /v1/run traffic:
+//
+//   - scenario parallelism is capped at half the worker pool, and every
+//     scenario takes a normal pool slot through the same execute path
+//     /v1/run uses (coalesced, cached, ring-routed), so interactive
+//     requests keep competing for slots on equal FIFO terms;
+//   - admission is refused outright in emergency mode (429 + Retry-
+//     After, the same structured shedding the pool applies);
+//   - the mode is re-checked per scenario: a controller that escalates
+//     mid-campaign turns the remaining scenarios into "shed" rows
+//     (emergency serves only what the cache already knows) — a partial,
+//     annotated stream rather than an aborted one. The summary's shed
+//     count is the annotation.
+//
+// Search-mode specs are refused: an adversarial search runs thousands
+// of cache-bypassing evaluations, which is CLI work, not service work.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("read request body: %v", err))
+		return
+	}
+	if len(data) > maxBodyBytes {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("campaign spec exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	spec, err := campaign.ParseSpec(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if spec.Search != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"search-mode campaigns are not served over HTTP; run `resilience campaign` instead")
+		return
+	}
+	scenarios, err := spec.Expand(s.reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if len(scenarios) > maxCampaignScenarios {
+		writeError(w, http.StatusBadRequest, "campaign_too_large",
+			fmt.Sprintf("spec expands to %d scenarios (server max %d); run larger sweeps via the CLI",
+				len(scenarios), maxCampaignScenarios))
+		return
+	}
+	mode := s.Mode()
+	w.Header().Set(modeHeader, mode.String())
+	if mode == ModeEmergency {
+		writeTransportError(w, errShed)
+		return
+	}
+	s.obs.Counter("server.campaign.requests").Inc()
+
+	jobs := s.baseWorkers / 2
+	if jobs < 1 {
+		jobs = 1
+	}
+	cfg := campaign.RunConfig{
+		Name:             spec.Name,
+		DeadlineAttempts: spec.DeadlineAttempts,
+		Jobs:             jobs,
+		ErrStatus: func(err error) string {
+			if errors.Is(err, errShed) || errors.Is(err, errCacheOnly) {
+				return campaign.StatusShed
+			}
+			return campaign.StatusError
+		},
+	}
+	exec := func(ctx context.Context, sc campaign.Scenario) (runner.Outcome, error) {
+		// Per-scenario mode snapshot: the ladder applies mid-campaign,
+		// exactly as it would to the same runs arriving as /v1/run.
+		return s.execute(ctx, sc.Experiment, runParams{
+			Seed:    sc.Seed,
+			Quick:   sc.Quick,
+			Plan:    sc.Plan,
+			PlanRaw: sc.PlanRaw,
+		}, false, s.Mode())
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(schemaHeader, strconv.Itoa(engine.SchemaVersion))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	shed := s.obs.Counter("server.campaign.shed")
+	sum := campaign.Run(r.Context(), scenarios, cfg, exec, func(row campaign.Row) {
+		s.obs.Counter("server.campaign.scenarios").Inc()
+		if row.Status == campaign.StatusShed {
+			shed.Inc()
+		}
+		enc.Encode(row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	enc.Encode(sum)
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/campaign"
+	"resilience/internal/experiments"
+)
+
+// splitCampaignStream decodes a /v1/campaign NDJSON body into its
+// scenario rows and trailing summary line.
+func splitCampaignStream(t *testing.T, body string) ([]campaign.Row, campaign.Summary) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 1 {
+		t.Fatalf("empty campaign stream: %q", body)
+	}
+	var sum campaign.Summary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("last stream line is not a summary: %v\n%s", err, lines[len(lines)-1])
+	}
+	rows := make([]campaign.Row, 0, len(lines)-1)
+	for i, line := range lines[:len(lines)-1] {
+		var row campaign.Row
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %d invalid: %v\n%s", i, err, line)
+		}
+		rows = append(rows, row)
+	}
+	return rows, sum
+}
+
+// TestCampaignEndpointStreams: the happy path — rows stream in scenario
+// order, the summary is the last line, and the response is annotated
+// with mode and schema headers.
+func TestCampaignEndpointStreams(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	spec := `{"name":"e2e","experiments":["t01","t02"],"seeds":{"from":1,"count":3}}`
+	code, hdr, body := post(t, ts.URL+"/v1/campaign", spec)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if m := hdr.Get(modeHeader); m != "normal" {
+		t.Fatalf("mode header %q", m)
+	}
+	rows, sum := splitCampaignStream(t, body)
+	if len(rows) != 6 || sum.Scenarios != 6 || sum.OK != 6 {
+		t.Fatalf("stream shape: %d rows, summary %+v", len(rows), sum)
+	}
+	for i, row := range rows {
+		if row.Scenario != i {
+			t.Fatalf("row %d carries scenario %d", i, row.Scenario)
+		}
+		if row.Status != campaign.StatusOK || row.Digest == "" {
+			t.Fatalf("row %d: %+v", i, row)
+		}
+	}
+	if sum.Schema != campaign.SpecSchema {
+		t.Fatalf("summary schema %q", sum.Schema)
+	}
+}
+
+// TestCampaignEndpointWarmHits: re-running the same campaign against
+// the same node replays every scenario from the result cache — the
+// ≥95% warm-hit acceptance bar, which a clean grid meets at 100%.
+func TestCampaignEndpointWarmHits(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	spec := `{"name":"warm","experiments":["t01","t02"],"seeds":{"from":1,"count":10}}`
+	_, _, cold := post(t, ts.URL+"/v1/campaign", spec)
+	before := s.cache.Stats()
+	code, _, warm := post(t, ts.URL+"/v1/campaign", spec)
+	if code != 200 {
+		t.Fatalf("warm status %d", code)
+	}
+	if cold != warm {
+		t.Fatal("warm campaign body differs from cold")
+	}
+	hits := s.cache.Stats().Hits - before.Hits
+	if hits < 19 { // 19/20 = 95%
+		t.Fatalf("warm re-run hit only %d/20 scenarios in cache", hits)
+	}
+	_, sum := splitCampaignStream(t, warm)
+	if sum.OK != 20 || sum.Errors != 0 {
+		t.Fatalf("warm summary %+v", sum)
+	}
+}
+
+// TestCampaignEndpointShedsInEmergency: emergency mode refuses campaign
+// admission with the pool's structured shed — 429 + Retry-After — and
+// recovers once the mode steps back down.
+func TestCampaignEndpointShedsInEmergency(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	s.SetMode(ModeEmergency)
+	spec := `{"experiments":["t01"]}`
+	code, hdr, body := post(t, ts.URL+"/v1/campaign", spec)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if eb := decodeErrorBody(t, body); eb.Error.Code != "shed" {
+		t.Fatalf("error code %q, want shed", eb.Error.Code)
+	}
+	if hdr.Get(modeHeader) != "emergency" {
+		t.Fatalf("mode header %q", hdr.Get(modeHeader))
+	}
+	s.SetMode(ModeNormal)
+	if code, _, _ := post(t, ts.URL+"/v1/campaign", spec); code != 200 {
+		t.Fatalf("post-recovery status %d", code)
+	}
+}
+
+// TestCampaignEndpointPartialUnderEscalation: a mode escalation in the
+// middle of a campaign does not abort the stream — the scenarios that
+// already ran keep their rows, and the rest come back as "shed" rows
+// (emergency serves only cache hits), with the summary counting them.
+func TestCampaignEndpointPartialUnderEscalation(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	blocker := fakeExp("t01", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		if !once {
+			once = true
+			close(started)
+			<-release
+		}
+		return noop(rec, cfg)
+	})
+	s, ts, _ := newTestServer(t, Config{
+		Registry: []experiments.Experiment{blocker, fakeExp("t02", noop), fakeExp("t03", noop)},
+		// MaxInflight 2 ⇒ campaign jobs 1: scenarios run sequentially, so
+		// the escalation lands deterministically between rows 0 and 1.
+		MaxInflight: 2,
+	})
+	type result struct {
+		code int
+		body string
+	}
+	got := make(chan result, 1)
+	go func() {
+		code, _, body := post(t, ts.URL+"/v1/campaign", `{"experiments":["t01","t02","t03"]}`)
+		got <- result{code, body}
+	}()
+	<-started
+	s.SetMode(ModeEmergency)
+	close(release)
+	res := <-got
+	if res.code != 200 {
+		t.Fatalf("status %d: %s", res.code, res.body)
+	}
+	rows, sum := splitCampaignStream(t, res.body)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	if rows[0].Status != campaign.StatusOK {
+		t.Fatalf("row 0 (ran before escalation) = %+v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row.Status != campaign.StatusShed {
+			t.Fatalf("post-escalation row not shed: %+v", row)
+		}
+		if row.Error == "" {
+			t.Fatalf("shed row missing its annotation: %+v", row)
+		}
+	}
+	if sum.OK != 1 || sum.Shed != 2 {
+		t.Fatalf("summary %+v, want 1 ok / 2 shed", sum)
+	}
+}
+
+// TestCampaignEndpointNeverStarvesRun: with a campaign monopolizing its
+// half of the pool, an interactive /v1/run still gets a slot and
+// completes while the campaign is in flight.
+func TestCampaignEndpointNeverStarvesRun(t *testing.T) {
+	slow := fakeExp("t01", func(rec *experiments.Recorder, cfg experiments.Config) error {
+		time.Sleep(5 * time.Millisecond)
+		return noop(rec, cfg)
+	})
+	_, ts, _ := newTestServer(t, Config{
+		Registry:    []experiments.Experiment{slow, fakeExp("t02", noop)},
+		MaxInflight: 4, // campaign jobs 2, leaving slots for /v1/run
+	})
+	done := make(chan string, 1)
+	go func() {
+		_, _, body := post(t, ts.URL+"/v1/campaign",
+			`{"experiments":["t01"],"seeds":{"from":1,"count":60}}`)
+		done <- body
+	}()
+	time.Sleep(20 * time.Millisecond) // campaign is mid-flight
+	start := time.Now()
+	code, _, body := post(t, ts.URL+"/v1/run/t02", `{"seed":7}`)
+	elapsed := time.Since(start)
+	if code != 200 {
+		t.Fatalf("/v1/run under campaign load: %d %s", code, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("/v1/run starved for %v behind the campaign", elapsed)
+	}
+	stream := <-done
+	_, sum := splitCampaignStream(t, stream)
+	if sum.Scenarios != 60 || sum.OK != 60 {
+		t.Fatalf("campaign summary %+v", sum)
+	}
+}
+
+// TestCampaignEndpointRejects: malformed, oversized, unknown and
+// search-mode specs are structured 400s, not streams.
+func TestCampaignEndpointRejects(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, spec, code string
+	}{
+		{"malformed", `{"experiments":`, "bad_request"},
+		{"unknown field", `{"experimints":["t01"]}`, "bad_request"},
+		{"unknown experiment", `{"experiments":["zz"]}`, "bad_request"},
+		{"search mode", `{"experiments":["t01"],"search":{"budget":4,"objective":"triangle-area"}}`, "bad_request"},
+		{"too large", fmt.Sprintf(`{"experiments":["t01"],"seeds":{"from":1,"count":%d}}`, maxCampaignScenarios+1), "campaign_too_large"},
+	} {
+		code, _, body := post(t, ts.URL+"/v1/campaign", tc.spec)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
+			continue
+		}
+		if eb := decodeErrorBody(t, body); eb.Error.Code != tc.code {
+			t.Errorf("%s: error code %q, want %q", tc.name, eb.Error.Code, tc.code)
+		}
+	}
+}

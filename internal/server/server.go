@@ -33,6 +33,10 @@
 //	GET  /v1/experiments   registry listing (same JSON as `list -format json`)
 //	POST /v1/run/{id}      run one experiment; body {seed, quick, plan}
 //	POST /v1/suite         run many; streams one compact Result per line (NDJSON)
+//	POST /v1/campaign      sweep a campaign spec (internal/campaign); streams
+//	                       one row per scenario + a summary line (NDJSON),
+//	                       parallelism capped at half the pool, shed per mode
+
 //	GET  /v1/cache/{digest} peer cache protocol: local entry bytes or 404
 //	PUT  /v1/cache/{digest} peer cache protocol: store entry bytes
 //	GET  /v1/cluster       fleet status: ring, tier stats, cache health
@@ -195,6 +199,9 @@ func New(cfg Config) *Server {
 	o.Counter("server.chaos.updates")
 	o.Counter("server.shed")
 	o.Counter("server.mode.switches")
+	o.Counter("server.campaign.requests")
+	o.Counter("server.campaign.scenarios")
+	o.Counter("server.campaign.shed")
 	o.Gauge("server.inflight")
 	o.Gauge("server.chaos.armed")
 	o.Gauge("server.mode")
@@ -208,6 +215,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/run/{id}", s.handleRun)
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("GET /v1/cache/{digest}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{digest}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
@@ -285,7 +293,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // work the inflight gauge, server.latency timing, and adapt controller
 // track, as opposed to scrapes, probes, and control-plane calls.
 func isWork(path string) bool {
-	return strings.HasPrefix(path, "/v1/run/") || path == "/v1/suite"
+	return strings.HasPrefix(path, "/v1/run/") || path == "/v1/suite" || path == "/v1/campaign"
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -172,17 +172,24 @@ func Run(ctx context.Context, scenarios []Scenario, cfg RunConfig, exec ExecFunc
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	// The launch loop runs on its own goroutine: it blocks on the jobs
+	// semaphore, and if it shared the emit loop's goroutine no row could
+	// be emitted until every worker had been launched — turning the
+	// stream into a single end-of-run burst. Ordering is unaffected; the
+	// emit loop below still drains done[i] in index order.
 	sem := make(chan struct{}, jobs)
-	for i := range scenarios {
-		i := i
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem }()
-			out, err := exec(ctx, scenarios[i])
-			rows[i] = buildRow(cfg, scenarios[i], out, err)
-			close(done[i])
-		}()
-	}
+	go func() {
+		for i := range scenarios {
+			i := i
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem }()
+				out, err := exec(ctx, scenarios[i])
+				rows[i] = buildRow(cfg, scenarios[i], out, err)
+				close(done[i])
+			}()
+		}
+	}()
 	b := NewSummaryBuilder(cfg)
 	for i := range scenarios {
 		<-done[i]

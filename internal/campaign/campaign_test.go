@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"resilience/internal/experiments"
 	"resilience/internal/rescache"
@@ -209,6 +211,46 @@ func TestBuildRowExecutorErrors(t *testing.T) {
 	row = buildRow(cfg, sc, runner.Outcome{}, errors.New("boom"))
 	if row.Status != StatusError {
 		t.Fatalf("unrecognized ErrStatus mapped to %q, want %q", row.Status, StatusError)
+	}
+}
+
+// TestRunStreamsWhileLaunching: rows must be emitted while workers are
+// still being launched, not in one end-of-run burst. With Jobs:1 the
+// second scenario's executor refuses to finish until the first row has
+// been emitted — if the launch loop shared the emit loop's goroutine
+// (blocking on the semaphore until every worker launched), that wait
+// would time out into an error row and fail the test.
+func TestRunStreamsWhileLaunching(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"experiments":["t01"],"seeds":{"count":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := spec.Expand(toyRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEmitted := make(chan struct{})
+	exec := func(ctx context.Context, sc Scenario) (runner.Outcome, error) {
+		if sc.Index == 1 {
+			select {
+			case <-firstEmitted:
+			case <-time.After(10 * time.Second):
+				return runner.Outcome{}, errors.New("row 0 not emitted while launches were pending")
+			}
+		}
+		return runner.Outcome{}, nil
+	}
+	var once sync.Once
+	emitted := 0
+	sum := Run(context.Background(), scs, RunConfig{Jobs: 1}, exec, func(Row) {
+		emitted++
+		once.Do(func() { close(firstEmitted) })
+	})
+	if sum.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (emission stalled behind worker launches)", sum.Errors)
+	}
+	if emitted != 3 {
+		t.Fatalf("emitted %d rows, want 3", emitted)
 	}
 }
 

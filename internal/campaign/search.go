@@ -258,7 +258,12 @@ func RunSearch(ctx context.Context, spec *Spec, reg []experiments.Experiment, cf
 	if seed == 0 {
 		seed = 1
 	}
-	cfg.DeadlineAttempts = search.DeadlineAttempts
+	// The search deadline takes over only when set; a triangle-area
+	// search otherwise keeps the spec-level deadlineAttempts the caller
+	// put in cfg, so its rows and summary still account deadline misses.
+	if search.DeadlineAttempts != 0 {
+		cfg.DeadlineAttempts = search.DeadlineAttempts
+	}
 
 	evals := 0
 	evaluate := func(p *faultinject.Plan) (searchScore, Summary) {

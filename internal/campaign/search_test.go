@@ -172,6 +172,36 @@ func TestSearchDeadlineMissObjective(t *testing.T) {
 	}
 }
 
+// TestSearchKeepsSpecDeadline: a triangle-area search must not clobber
+// a spec-level deadlineAttempts the caller put in cfg — the search has
+// no deadline of its own, so the rows and summary keep accounting
+// misses against the spec's deadline.
+func TestSearchKeepsSpecDeadline(t *testing.T) {
+	doc := `{
+	  "experiments": ["t01"],
+	  "seeds": {"list": [7]},
+	  "deadlineAttempts": 1,
+	  "search": {"budget": 8, "objective": "triangle-area", "seed": 3, "retries": 2}
+	}`
+	spec, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunSearch(context.Background(), spec, toyRegistry(),
+		RunConfig{DeadlineAttempts: spec.DeadlineAttempts, Jobs: 2}, LocalExec(nil, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DeadlineAttempts != 1 {
+		t.Fatalf("summary deadlineAttempts = %d, want the spec's 1", sum.DeadlineAttempts)
+	}
+	// The winning plan does damage (the search maximizes area), so under
+	// a 1-attempt deadline its grid must record at least one miss.
+	if sum.DeadlineMisses == 0 {
+		t.Fatal("spec-level deadline recorded no misses under the worst plan")
+	}
+}
+
 // TestSearchNoBaseline: disabling the baseline halves the budget spent
 // and never claims a win.
 func TestSearchNoBaseline(t *testing.T) {

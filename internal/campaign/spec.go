@@ -86,6 +86,12 @@ func (s *Seeds) validate() error {
 	if s.Count < 1 {
 		return fmt.Errorf("campaign: seeds: count must be >= 1 (got %d)", s.Count)
 	}
+	// The cap is enforced here, before expand ever allocates: a spec is
+	// client-supplied over /v1/campaign, and an unbounded count would
+	// let a tiny request body demand a multi-TB seed slice.
+	if s.Count > MaxScenarios {
+		return fmt.Errorf("campaign: seeds: count %d exceeds the scenario cap (%d)", s.Count, MaxScenarios)
+	}
 	return nil
 }
 
@@ -145,7 +151,10 @@ func (p Perturb) apply(plan *faultinject.Plan) *faultinject.Plan {
 		out.Retries = 0
 	}
 	out.BackoffMs = scaleInt(out.BackoffMs, p.BackoffScale, 0)
-	out.TimeoutMs = scaleInt(out.TimeoutMs, p.TimeoutScale, 0)
+	// Floor 1: TimeoutMs 0 means "no timeout" in faultinject, so letting
+	// a small scale round a positive timeout down to 0 would turn a
+	// tightening perturbation into the removal of the timeout entirely.
+	out.TimeoutMs = scaleInt(out.TimeoutMs, p.TimeoutScale, 1)
 	for i := range out.Faults {
 		f := &out.Faults[i]
 		f.DelayMs = scaleInt(f.DelayMs, p.DelayScale, 1)
@@ -454,12 +463,18 @@ func (s *Spec) Expand(reg []experiments.Experiment) ([]Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	total := len(exps) * len(seeds) * len(sizes) * len(variants)
-	if total == 0 {
-		return nil, fmt.Errorf("campaign: spec expands to zero scenarios")
-	}
-	if total > MaxScenarios {
-		return nil, fmt.Errorf("campaign: spec expands to %d scenarios (max %d)", total, MaxScenarios)
+	// Grid size is checked one factor at a time against the remaining
+	// headroom (division, never multiplication) so the arithmetic cannot
+	// overflow int no matter how large an axis is.
+	total := 1
+	for _, n := range []int{len(exps), len(seeds), len(sizes), len(variants)} {
+		if n == 0 {
+			return nil, fmt.Errorf("campaign: spec expands to zero scenarios")
+		}
+		if total > MaxScenarios/n {
+			return nil, fmt.Errorf("campaign: spec expands to more than %d scenarios", MaxScenarios)
+		}
+		total *= n
 	}
 	out := make([]Scenario, 0, total)
 	for _, e := range exps {

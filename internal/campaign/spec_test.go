@@ -20,6 +20,10 @@ func TestParseSpecRejects(t *testing.T) {
 		{"seeds zero count", `{"seeds": {"count": 0}}`, "count must be >= 1"},
 		{"seeds list and range", `{"seeds": {"list": [1], "count": 2}}`, "not both"},
 		{"negative deadline", `{"deadlineAttempts": -1}`, "negative deadlineAttempts"},
+		// The seed-count cap fires at validation, before expand ever
+		// allocates: a tiny request body must not demand a huge slice.
+		{"seeds count over cap", `{"seeds": {"count": 300000}}`, "scenario cap"},
+		{"seeds count absurd", `{"seeds": {"count": 1000000000000}}`, "scenario cap"},
 		{"bad plan", `{"plans": [{"faults": [{"experiment": "e01", "kind": "fire"}]}]}`, "unknown kind"},
 		{"plan unknown field", `{"plans": [{"surprise": 1}]}`, "unknown field"},
 		{"negative perturb scale", `{"perturb": [{"delayScale": -1}]}`, "delayScale"},
@@ -48,7 +52,9 @@ func TestExpandRejects(t *testing.T) {
 	}{
 		{"unknown experiment", `{"experiments": ["zzz"]}`, "unknown experiment"},
 		{"duplicate experiment", `{"experiments": ["t01", "t01"]}`, "duplicate experiment"},
-		{"grid too large", `{"seeds": {"count": 300000}}`, "max"},
+		// Each axis is individually under the cap; only the product —
+		// computed with overflow-safe headroom checks — exceeds it.
+		{"grid too large", `{"seeds": {"count": 200000}, "sizes": ["quick", "full"]}`, "more than"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			spec, err := ParseSpec([]byte(tc.doc))
@@ -96,7 +102,7 @@ func TestPerturbApply(t *testing.T) {
 	    {"experiment": "t01", "kind": "rng", "skips": 4, "attempt": 2}]}],
 	  "perturb": [
 	    {"name": "double", "delayScale": 2, "skipsScale": 2, "backoffScale": 2, "timeoutScale": 2, "retriesDelta": 1},
-	    {"name": "crush", "delayScale": 0.01, "skipsScale": 0.01, "retriesDelta": -5}
+	    {"name": "crush", "delayScale": 0.01, "skipsScale": 0.01, "timeoutScale": 0.001, "retriesDelta": -5}
 	  ]
 	}`))
 	if err != nil {
@@ -119,8 +125,9 @@ func TestPerturbApply(t *testing.T) {
 	}
 	c := crush.Plan
 	// Scaled-down parameters floor at the smallest valid value; retries
-	// floor at zero.
-	if c.Retries != 0 || c.Faults[0].DelayMs != 1 || c.Faults[1].Skips != 1 {
+	// floor at zero. The timeout floors at 1, not 0 — TimeoutMs 0 means
+	// "no timeout", so a tightening perturbation must never remove it.
+	if c.Retries != 0 || c.Faults[0].DelayMs != 1 || c.Faults[1].Skips != 1 || c.TimeoutMs != 1 {
 		t.Fatalf("crush variant = %+v", c)
 	}
 	if double.PlanHash == crush.PlanHash || double.PlanHash == "" {
